@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the simulator substrate: these guard the
+//! throughput of the hot paths that every figure-regeneration run leans
+//! on (tens of millions of simulated accesses per experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cascade_bench::{cascade_cfg, parmvr, CHUNK_64K};
+use cascade_core::{run_cascaded, run_sequential, HelperPolicy};
+use cascade_mem::machines::pentium_pro;
+use cascade_mem::{Access, Op, Phase, StreamClass, System};
+
+fn bench_cache_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mem-sim");
+    g.sample_size(20);
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("sequential_read_stream", |b| {
+        b.iter(|| {
+            let mut sys = System::new(pentium_pro(), 1);
+            let mut total = 0.0;
+            for i in 0..n {
+                total += sys.access(
+                    0,
+                    Access { addr: i * 8, bytes: 8, op: Op::Read, class: StreamClass::Affine },
+                    Phase::Execution,
+                );
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("scattered_write_stream", |b| {
+        b.iter(|| {
+            let mut sys = System::new(pentium_pro(), 2);
+            let mut total = 0.0;
+            for i in 0..n {
+                let addr = (i.wrapping_mul(2_654_435_761) % (1 << 24)) & !7;
+                total += sys.access(
+                    (i % 2) as usize,
+                    Access { addr, bytes: 8, op: Op::Write, class: StreamClass::Indirect },
+                    Phase::Execution,
+                );
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_parmvr_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parmvr-sim");
+    g.sample_size(10);
+    let p = parmvr(0.02);
+    let m = pentium_pro();
+    g.bench_function("sequential_baseline", |b| {
+        b.iter(|| black_box(run_sequential(&m, &p.workload, 1, true).total_cycles()))
+    });
+    g.bench_function("cascade_restructured_4p", |b| {
+        let cfg = cascade_cfg(4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let cfg = cascade_core::CascadeConfig { calls: 1, ..cfg };
+        b.iter(|| black_box(run_cascaded(&m, &p.workload, &cfg).total_cycles()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache_access, bench_parmvr_runs);
+criterion_main!(benches);

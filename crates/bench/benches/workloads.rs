@@ -1,0 +1,50 @@
+//! Criterion benchmarks of workload construction and planning — the parts
+//! of a figure run that are not the simulator inner loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cascade_core::ChunkPlan;
+use cascade_kernels::suite;
+use cascade_trace::{AddressSpace, Arena};
+use cascade_wave5::{Parmvr, ParmvrParams};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("parmvr_scale_0_05", |b| {
+        b.iter(|| black_box(Parmvr::build(ParmvrParams { scale: 0.05, seed: 1 })))
+    });
+    g.bench_function("kernel_suite_64k", |b| b.iter(|| black_box(suite(1 << 16, 1))));
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let p = Parmvr::build(ParmvrParams { scale: 0.25, seed: 1 });
+    let mut g = c.benchmark_group("plan");
+    g.bench_function("chunk_plan_all_loops", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for spec in &p.workload.loops {
+                total += ChunkPlan::new(spec, 64 * 1024, 32).num_chunks();
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn bench_arena(c: &mut Criterion) {
+    let mut space = AddressSpace::new();
+    let a = space.alloc("a", 8, 1 << 20);
+    let mut arena = Arena::new(&space);
+    for i in 0..(1u64 << 20) {
+        arena.set_f64(&space, a, i, i as f64);
+    }
+    let mut g = c.benchmark_group("arena");
+    g.throughput(Throughput::Bytes(arena.len() as u64));
+    g.bench_function("checksum_8MB", |b| b.iter(|| black_box(arena.checksum())));
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_planning, bench_arena);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Extra experiment I (model extension): does cascaded execution still
+//! pay on a 2020s machine?
+//!
+//! The paper predicted growing benefit as processors outpace memory
+//! (§3.4). A modern core complicates that picture: memory latency has
+//! indeed grown (~300 cycles), but deep out-of-order execution, many
+//! outstanding misses and aggressive stream prefetchers hide far more of
+//! it, and an 8MB L3 absorbs working sets that thrashed 1997's L2s. This
+//! experiment runs the same PARMVR and synthetic loops on the `modern`
+//! preset (3 cache levels, 64B lines) next to the Table-1 machines.
+
+use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_core::{run_sequential, run_unbounded, HelperPolicy, UnboundedConfig};
+use cascade_mem::machines::{modern, pentium_pro, r10000};
+use cascade_synth::{Synth, Variant};
+
+fn main() {
+    let scale = scale_from_args(SWEEP_SCALE);
+    header(&format!(
+        "Extra I: cascaded execution on a modern (3-level, 64B-line) machine (scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let widths = [11usize, 7, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "machine".into(),
+                "procs".into(),
+                "prefetched".into(),
+                "restructured".into(),
+                "exec L3 miss".into()
+            ],
+            &widths
+        )
+    );
+    for (machine, procs) in
+        [(pentium_pro(), 4usize), (r10000(), 8), (modern(), 8), (modern(), 16)]
+    {
+        let base = baseline(&machine, w);
+        let pre = cascaded(&machine, w, procs, CHUNK_64K, HelperPolicy::Prefetch);
+        let rst = cascaded(&machine, w, procs, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        println!(
+            "{}",
+            row(
+                &[
+                    machine.name.to_string(),
+                    procs.to_string(),
+                    format!("{:.2}", pre.overall_speedup_vs(&base)),
+                    format!("{:.2}", rst.overall_speedup_vs(&base)),
+                    rst.loops.iter().map(|l| l.exec.l3_misses).sum::<u64>().to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!("\nSynthetic sparse loop, unbounded model (the §3.4 projection, on real 2020s");
+    println!("latencies instead of extrapolation):");
+    let n = 4u64 << 20;
+    for machine in [pentium_pro(), modern()] {
+        let synth = Synth::build(n, Variant::Sparse, cascade_bench::SEED);
+        let base = run_sequential(&machine, &synth.workload, 1, true);
+        let r = run_unbounded(
+            &machine,
+            &synth.workload,
+            &UnboundedConfig {
+                chunk_bytes: 16 * 1024,
+                policy: HelperPolicy::Restructure { hoist: true },
+                calls: 1,
+                flush_between_calls: true,
+            },
+        );
+        println!("  {:11} sparse restructured: {:.1}x", machine.name, r.overall_speedup_vs(&base));
+    }
+    println!("\nReading: the benefit survives on modern hardware but is smaller than the");
+    println!("paper's future projection assumed — latency grew as predicted, yet so did");
+    println!("the hardware's own ability to hide it (prefetchers, MSHRs, giant L3s). The");
+    println!("technique's niche remains what §4 said: memory-bound loops the compiler and");
+    println!("prefetchers cannot help — gathers, scatters, conflict-prone strides.");
+}

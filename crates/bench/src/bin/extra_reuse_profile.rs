@@ -1,0 +1,111 @@
+//! Extra experiment H: stream-theoretic explanation of restructuring.
+//!
+//! Independent of any simulator, LRU stack distances prove the §2.1
+//! claim: the execution-phase reference stream of a restructured chunk
+//! (a dense sequential buffer plus in-place writes) has a compulsory-only
+//! reuse profile, while the original gather stream has reuse distances
+//! far beyond any cache capacity. Reuse distance >= capacity is a
+//! guaranteed fully-associative LRU miss, so the comparison is
+//! machine-independent ground truth for the technique.
+
+use cascade_bench::{header, parmvr, row, scale_from_args};
+use cascade_core::ChunkPlan;
+use cascade_trace::{reuse_distances, Mode, Resolver, TraceRef};
+
+fn main() {
+    let scale = scale_from_args(0.25);
+    header(&format!(
+        "Extra H: reuse-distance profile, original vs restructured stream (scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let res = Resolver::new(&w.space, &w.index);
+    let line = 32u64;
+
+    let widths = [46usize, 10, 12, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "loop / stream".into(),
+                "accesses".into(),
+                "lines (WS)".into(),
+                "mean dist".into(),
+                "miss@L1".into(),
+                "miss@L2".into()
+            ],
+            &widths
+        )
+    );
+    // Fully-associative equivalents of the Pentium Pro caches.
+    let l1_lines = 8 * 1024 / 32;
+    let l2_lines = 512 * 1024 / 32;
+
+    for spec in w.loops.iter().filter(|l| l.has_indirection()).take(3) {
+        // Analyze one 64KB chunk (the paper's unit of execution).
+        let plan = ChunkPlan::new(spec, 64 * 1024, line);
+        let range = plan.range(0);
+
+        // Original execution stream: index reads + data accesses.
+        let mut original = Vec::new();
+        for i in range.clone() {
+            for r in &spec.refs {
+                if let Some(ix) = res.index_access(r, i) {
+                    original.push(TraceRef { addr: ix.addr, bytes: ix.bytes });
+                }
+                let d = res.data_access(r, i);
+                original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                if matches!(r.mode, Mode::Modify) {
+                    original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                }
+            }
+        }
+
+        // Restructured execution stream: one dense buffer read per
+        // iteration plus the in-place writes.
+        let pbpi = spec.packed_bytes_per_iter(true);
+        let buffer_base = w.space.extent(); // anywhere disjoint
+        let mut restructured = Vec::new();
+        for i in range.clone() {
+            if pbpi > 0 {
+                restructured.push(TraceRef {
+                    addr: buffer_base + (i - range.start) * pbpi,
+                    bytes: pbpi as u32,
+                });
+            }
+            for r in &spec.refs {
+                if !r.mode.writes() {
+                    continue;
+                }
+                let d = res.data_access(r, i);
+                restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                if matches!(r.mode, Mode::Modify) {
+                    restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                }
+            }
+        }
+
+        for (label, refs) in [("original", &original), ("restructured", &restructured)] {
+            let prof = reuse_distances(refs, line);
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{} / {label}", &spec.name[..spec.name.len().min(32)]),
+                        refs.len().to_string(),
+                        prof.working_set_lines.to_string(),
+                        prof.mean_distance().map_or("-".into(), |d| format!("{d:.0}")),
+                        prof.misses_at_capacity(l1_lines).to_string(),
+                        prof.misses_at_capacity(l2_lines).to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+    println!("Reading: per 64KB chunk, the restructured stream's working set and miss counts");
+    println!("collapse to near-compulsory (the dense buffer reuses every line fully and the");
+    println!("only remaining spread is the in-place writes), while the original gather stream");
+    println!("misses on nearly every access even in an L2-sized fully-associative cache.");
+}

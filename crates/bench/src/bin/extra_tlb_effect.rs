@@ -1,0 +1,82 @@
+//! Extra experiment E (model extension, not in the paper): the sequential
+//! buffer's *page-locality* benefit.
+//!
+//! The paper's §2.1 lists the cache-side benefits of restructuring; on a
+//! machine whose TLB misses are expensive (the R10000 refills its TLB in
+//! software) there is a fourth benefit the 1999 counters could not
+//! isolate: the execution phase of a restructured gather touches a dense
+//! buffer (one page per 4KB of operands) instead of a scattered gather
+//! range (up to one page *per iteration*). This binary enables the TLB
+//! model — off by default so every paper figure is unaffected — and
+//! measures it.
+//!
+//! Measured outcome: restructuring moves the *read-gather* page walks to
+//! the helper phase (its execution phase reads a dense buffer), while
+//! scatter writes keep their page walks in the execution phase on every
+//! policy — so execution-phase TLB misses drop by the read-gather share
+//! (~25% in our loop mix) rather than collapsing outright, and end-to-end
+//! speedups move only slightly.
+
+use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_core::HelperPolicy;
+use cascade_mem::machines::{pentium_pro, r10000};
+use cascade_mem::TlbConfig;
+
+fn main() {
+    let scale = scale_from_args(SWEEP_SCALE);
+    header(&format!(
+        "Extra E: restructuring with a modelled TLB (4 procs, 64KB chunks, scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let widths = [11usize, 10, 12, 14, 15, 15];
+    println!(
+        "{}",
+        row(
+            &[
+                "machine".into(),
+                "TLB".into(),
+                "pre-spd".into(),
+                "rst-spd".into(),
+                "exec-TLBmiss pre".into(),
+                "exec-TLBmiss rst".into()
+            ],
+            &widths
+        )
+    );
+    for (base_machine, tlb) in [
+        (pentium_pro(), TlbConfig::pentium_pro()),
+        (r10000(), TlbConfig::r10000()),
+    ] {
+        for enable in [false, true] {
+            let machine = if enable { base_machine.clone().with_tlb(tlb) } else { base_machine.clone() };
+            let b = baseline(&machine, w);
+            let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
+            let rst =
+                cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+            let sp = pre.overall_speedup_vs(&b);
+            let sr = rst.overall_speedup_vs(&b);
+            let tlb_pre: u64 = pre.loops.iter().map(|l| l.exec.tlb_misses).sum();
+            let tlb_rst: u64 = rst.loops.iter().map(|l| l.exec.tlb_misses).sum();
+            println!(
+                "{}",
+                row(
+                    &[
+                        machine.name.to_string(),
+                        if enable { format!("{}cy", tlb.miss_cycles) } else { "off".into() },
+                        format!("{sp:.3}"),
+                        format!("{sr:.3}"),
+                        tlb_pre.to_string(),
+                        tlb_rst.to_string(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("\nReading: restructuring moves read-gather page walks into the helper phase");
+    println!("(its execution phase reads a dense buffer); scatter-write page walks remain");
+    println!("on every policy, so exec-phase TLB misses drop by the read-gather share.");
+    println!("End-to-end speedups move only slightly: helpers absorb translation misses");
+    println!("off the critical path, exactly as they absorb cache misses.");
+}

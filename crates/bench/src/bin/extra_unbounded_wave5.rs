@@ -1,0 +1,63 @@
+//! Extra experiment A (§3.3): unbounded-processor simulation of the wave5
+//! loops. The paper: "In simulations of an unbounded number of processors,
+//! some loops were shown to have potential speedups as high as 30."
+
+use cascade_bench::{baseline, header, parmvr, row, scale_from_args, CHUNK_64K, FULL_SCALE};
+use cascade_core::{run_unbounded, HelperPolicy, UnboundedConfig};
+use cascade_mem::machines::{pentium_pro, r10000};
+
+#[allow(clippy::needless_range_loop)] // parallel indexing into four result columns
+fn main() {
+    let scale = scale_from_args(FULL_SCALE);
+    header(&format!(
+        "Extra A: unbounded-processor speedups of the PARMVR loops (64KB chunks, scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let widths = [44usize, 12, 12, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "loop".into(),
+                "PPro pre".into(),
+                "PPro rst".into(),
+                "R10k pre".into(),
+                "R10k rst".into()
+            ],
+            &widths
+        )
+    );
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for machine in [pentium_pro(), r10000()] {
+        let base = baseline(&machine, w);
+        for policy in [HelperPolicy::Prefetch, HelperPolicy::Restructure { hoist: true }] {
+            let cfg = UnboundedConfig {
+                chunk_bytes: CHUNK_64K,
+                policy,
+                calls: 2,
+                flush_between_calls: true,
+            };
+            let r = run_unbounded(&machine, w, &cfg);
+            cols.push(r.loop_speedups_vs(&base));
+        }
+    }
+    for i in 0..w.loops.len() {
+        println!(
+            "{}",
+            row(
+                &[
+                    w.loops[i].name.clone(),
+                    format!("{:.2}", cols[0][i]),
+                    format!("{:.2}", cols[1][i]),
+                    format!("{:.2}", cols[2][i]),
+                    format!("{:.2}", cols[3][i]),
+                ],
+                &widths
+            )
+        );
+    }
+    let max = cols.iter().flat_map(|c| c.iter()).cloned().fold(0.0f64, f64::max);
+    println!("\nBest individual-loop speedup: {max:.1}  (paper: 'as high as 30' with unbounded");
+    println!("processors; bounded 4-8 processor results are 'more modest')");
+}

@@ -1,0 +1,64 @@
+//! Figure 2: overall speedup of PARMVR versus processor count, 64KB
+//! chunks, Prefetched and Restructured, on both machines.
+//!
+//! Paper reference values: Pentium Pro restructured reaches ~1.35 at 4
+//! processors; R10000 restructured reaches ~1.7 at 8 processors;
+//! prefetched on the R10000 stays near 1.0 at all processor counts; every
+//! curve rises with processor count (more processors leave more time to
+//! complete helper iterations, §3.3).
+
+use cascade_bench::plot::{line_chart, Series};
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, paper_policies, row, scale_from_args, CHUNK_64K,
+    SWEEP_SCALE,
+};
+use cascade_mem::machines::{pentium_pro, r10000};
+
+fn main() {
+    let scale = scale_from_args(SWEEP_SCALE);
+    header(&format!(
+        "Figure 2: overall PARMVR speedup vs processors (64KB chunks, scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let widths = [11usize, 18, 8, 8, 8, 8];
+    for (machine, procs) in
+        [(pentium_pro(), vec![2usize, 3, 4]), (r10000(), vec![2, 4, 6, 8])]
+    {
+        let base = baseline(&machine, w);
+        let mut head = vec!["machine".to_string(), "policy".to_string()];
+        head.extend(procs.iter().map(|p| format!("{p} procs")));
+        println!("{}", row(&head, &widths));
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        for policy in paper_policies() {
+            let mut cells = vec![machine.name.to_string(), policy.label().to_string()];
+            let mut ys = Vec::new();
+            for &np in &procs {
+                let r = cascaded(&machine, w, np, CHUNK_64K, policy);
+                let s = r.overall_speedup_vs(&base);
+                ys.push(s);
+                cells.push(format!("{s:.2}"));
+            }
+            curves.push((policy.label().to_string(), ys));
+            println!("{}", row(&cells, &widths));
+        }
+        println!();
+        let xl: Vec<String> = procs.iter().map(|p| p.to_string()).collect();
+        let xl: Vec<&str> = xl.iter().map(|s| s.as_str()).collect();
+        let series: Vec<Series> = curves
+            .iter()
+            .map(|(l, v)| Series { label: l, values: v })
+            .collect();
+        println!(
+            "{}",
+            line_chart(
+                &format!("{} — overall speedup vs processors", machine.name),
+                &xl,
+                &series,
+                10
+            )
+        );
+    }
+    println!("Paper: PPro restructured ~1.35 @4p, prefetched lower; R10000 restructured ~1.7 @8p,");
+    println!("       prefetched ~1.0 flat; all curves rise with processor count.");
+}

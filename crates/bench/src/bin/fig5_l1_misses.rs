@@ -1,0 +1,72 @@
+//! Figure 5: L1 data cache misses in each PARMVR loop — Original,
+//! Prefetched and Restructured (4 procs, 64KB chunks) — on both machines.
+//!
+//! Paper reference: on both platforms data restructuring eliminates L1
+//! data cache misses in several of the loops (it removes L1 conflicts);
+//! prefetching alone does not reduce L1 misses (64KB chunks exceed both
+//! L1 caches, so prefetched lines live in L2 when execution reaches them).
+
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, FULL_SCALE,
+};
+use cascade_core::HelperPolicy;
+use cascade_mem::machines::{pentium_pro, r10000};
+
+fn main() {
+    let scale = scale_from_args(FULL_SCALE);
+    header(&format!(
+        "Figure 5: L1 data cache misses per PARMVR loop (execution phases; 4 procs, 64KB chunks, scale {scale})"
+    ));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let widths = [44usize, 11, 11, 12, 7];
+    for machine in [pentium_pro(), r10000()] {
+        println!("{}:", machine.name);
+        let base = baseline(&machine, w);
+        let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
+        let rst = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        println!(
+            "{}",
+            row(
+                &[
+                    "loop".into(),
+                    "original".into(),
+                    "prefetched".into(),
+                    "restructured".into(),
+                    "rst/org".into()
+                ],
+                &widths
+            )
+        );
+        for i in 0..base.loops.len() {
+            let (b, pr, rs) =
+                (base.loops[i].exec.l1_misses, pre.loops[i].exec.l1_misses, rst.loops[i].exec.l1_misses);
+            println!(
+                "{}",
+                row(
+                    &[
+                        base.loops[i].name.clone(),
+                        b.to_string(),
+                        pr.to_string(),
+                        rs.to_string(),
+                        format!("{:.2}", rs as f64 / b as f64),
+                    ],
+                    &widths
+                )
+            );
+        }
+        let tb: u64 = base.loops.iter().map(|l| l.exec.l1_misses).sum();
+        let tp: u64 = pre.loops.iter().map(|l| l.exec.l1_misses).sum();
+        let tr: u64 = rst.loops.iter().map(|l| l.exec.l1_misses).sum();
+        println!(
+            "{}",
+            row(
+                &["TOTAL".into(), tb.to_string(), tp.to_string(), tr.to_string(), String::new()],
+                &widths
+            )
+        );
+        println!();
+    }
+    println!("Paper: restructuring eliminates L1 misses in several loops (conflict removal);");
+    println!("       prefetching does not reduce L1 misses on either platform.");
+}

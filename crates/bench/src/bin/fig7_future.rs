@@ -1,0 +1,72 @@
+//! Figure 7: cascaded-execution speedups with increased memory access
+//! costs — the §3.4 synthetic loop `X(IJ(i)) = X(IJ(i)) + A(i) + B(i)`,
+//! dense (k=1) and sparse (k=8), chunk sizes 1KB..256KB, both machines,
+//! under the paper's unbounded-processor single-processor-alternation
+//! methodology (helpers always complete; total = execution phases +
+//! one transfer per chunk).
+//!
+//! Paper reference: dense ~4x on both machines; sparse ~16x on the
+//! Pentium Pro and ~14x on the R10000; restructured above prefetched.
+
+use cascade_bench::plot::{line_chart, Series};
+use cascade_bench::{header, row, scale_from_args};
+use cascade_core::{run_sequential, run_unbounded, HelperPolicy, UnboundedConfig};
+use cascade_mem::machines::{pentium_pro, r10000};
+use cascade_synth::{Synth, Variant};
+
+fn main() {
+    // `scale` multiplies the vector length (default n = 4M integers).
+    let scale = scale_from_args(1.0);
+    let n = ((4u64 << 20) as f64 * scale) as u64 / 8 * 8;
+    header(&format!("Figure 7: synthetic-loop speedups, unbounded processors (n = {n})"));
+    let sizes_kb: Vec<u64> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256];
+    let widths: Vec<usize> = std::iter::once(34usize).chain(sizes_kb.iter().map(|_| 6)).collect();
+
+    for machine in [pentium_pro(), r10000()] {
+        let mut head = vec![format!("{} chunk KB ->", machine.name)];
+        head.extend(sizes_kb.iter().map(|k| k.to_string()));
+        println!("{}", row(&head, &widths));
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        for variant in [Variant::Sparse, Variant::Dense] {
+            let synth = Synth::build(n, variant, cascade_bench::SEED);
+            let base = run_sequential(&machine, &synth.workload, 1, true);
+            for policy in
+                [HelperPolicy::Restructure { hoist: true }, HelperPolicy::Prefetch]
+            {
+                let label = format!("{}, {}", policy.label(), variant.label());
+                let mut cells = vec![label.clone()];
+                let mut ys = Vec::new();
+                for &kb in &sizes_kb {
+                    let cfg = UnboundedConfig {
+                        chunk_bytes: kb * 1024,
+                        policy,
+                        calls: 1,
+                        flush_between_calls: true,
+                    };
+                    let r = run_unbounded(&machine, &synth.workload, &cfg);
+                    let s = r.overall_speedup_vs(&base);
+                    ys.push(s);
+                    cells.push(format!("{s:.1}"));
+                }
+                curves.push((label, ys));
+                println!("{}", row(&cells, &widths));
+            }
+        }
+        println!();
+        let xl: Vec<String> = sizes_kb.iter().map(|k| format!("{k}K")).collect();
+        let xl: Vec<&str> = xl.iter().map(|s| s.as_str()).collect();
+        let series: Vec<Series> =
+            curves.iter().map(|(l, v)| Series { label: l, values: v }).collect();
+        println!(
+            "{}",
+            line_chart(
+                &format!("{} — synthetic-loop speedup vs chunk size", machine.name),
+                &xl,
+                &series,
+                12
+            )
+        );
+    }
+    println!("Paper: sparse restructured ~16x (PPro) / ~14x (R10000); dense ~4x on both;");
+    println!("       speedups rise to a plateau in the tens-of-KB chunk range.");
+}

@@ -1,0 +1,42 @@
+//! One-screen overview: headline numbers of the reproduction next to the
+//! paper's headline claims. Useful as a smoke test that the calibration
+//! still holds after changes.
+
+use cascade_bench::{baseline, cascaded, header, parmvr, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_core::HelperPolicy;
+use cascade_mem::machines::{pentium_pro, r10000};
+
+fn main() {
+    let scale = scale_from_args(SWEEP_SCALE);
+    header(&format!("Overview (scale {scale})"));
+    let p = parmvr(scale);
+    let w = &p.workload;
+    let rst = HelperPolicy::Restructure { hoist: true };
+
+    let m = pentium_pro();
+    let base = baseline(&m, w);
+    let r = cascaded(&m, w, 4, CHUNK_64K, rst);
+    let l2b: u64 = base.loops.iter().map(|l| l.exec.l2_misses).sum();
+    let l2r: u64 = r.loops.iter().map(|l| l.exec.l2_misses).sum();
+    println!(
+        "PPro   4 procs restructured: speedup {:.2} (paper 1.35), L2 misses removed {:.0}% (paper 93-94%)",
+        r.overall_speedup_vs(&base),
+        100.0 * (1.0 - l2r as f64 / l2b as f64)
+    );
+
+    let m = r10000();
+    let base = baseline(&m, w);
+    let r = cascaded(&m, w, 8, CHUNK_64K, rst);
+    let pre = cascaded(&m, w, 8, CHUNK_64K, HelperPolicy::Prefetch);
+    println!(
+        "R10000 8 procs restructured: speedup {:.2} (paper 1.7); prefetched {:.2} (paper ~1.0)",
+        r.overall_speedup_vs(&base),
+        pre.overall_speedup_vs(&base)
+    );
+    let spread = r.loop_speedups_vs(&base);
+    println!(
+        "R10000 per-loop range: {:.2}..{:.2} (paper: 0.9..4.5)",
+        spread.iter().cloned().fold(f64::INFINITY, f64::min),
+        spread.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 1: memory characteristics of the two simulated machines
+//! (Pentium Pro per Intel refs 10-11 of the paper; R10000 per MIPS ref 13).
+
+use cascade_bench::header;
+use cascade_mem::machines::{pentium_pro, r10000};
+use cascade_mem::MachineConfig;
+
+fn print_machine(m: &MachineConfig) {
+    println!("{}", m.name);
+    println!(
+        "  L1      {:>4} cycles  {:>7} KB  {:>2}-way  {:>3}-byte lines",
+        m.l1.latency,
+        m.l1.size / 1024,
+        m.l1.assoc,
+        m.l1.line
+    );
+    println!(
+        "  L2      {:>4} cycles  {:>7} KB  {:>2}-way  {:>3}-byte lines",
+        m.l2.latency,
+        m.l2.size / 1024,
+        m.l2.assoc,
+        m.l2.line
+    );
+    println!("  Memory  {:>4} cycles (dirty-remote {})", m.mem_latency, m.dirty_remote_latency);
+    println!("  Transfer of control: {} cycles per chunk", m.transfer_cost);
+    println!(
+        "  Overlap model: affine {:.1}x, indirect {:.1}x, conflict {:.1}x, helper {:.1}x{}",
+        m.affine_overlap,
+        m.indirect_overlap,
+        m.conflict_overlap,
+        m.helper_overlap,
+        if m.compiler_prefetch { "  (compiler software prefetch)" } else { "" }
+    );
+}
+
+fn main() {
+    header("Table 1: Pentium Pro and R10000 memory characteristics");
+    print_machine(&pentium_pro());
+    println!();
+    print_machine(&r10000());
+    println!();
+    println!("Paper reference: PPro L1 3cy/8KB/2-way/32B, L2 7cy/512KB/4-way/32B, mem 58cy;");
+    println!("                 R10000 L1 3cy/32KB/2-way/32B, L2 6cy/2MB/2-way/128B, mem 100-200cy;");
+    println!("                 transfers ~120cy (PPro) / ~500cy (R10000), paper footnote 2.");
+}

@@ -1,0 +1,141 @@
+//! # cascade-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5 for the
+//! index). Every binary prints an aligned text table with the same rows or
+//! series the paper plots, plus the paper's reference values where the
+//! paper states them, so paper-vs-measured comparison is mechanical.
+//!
+//! Shared here: workload construction, the standard configuration grid,
+//! and table formatting.
+
+#![warn(missing_docs)]
+
+pub mod plot;
+
+use cascade_core::{run_cascaded, run_sequential, CascadeConfig, HelperPolicy, RunReport};
+use cascade_mem::MachineConfig;
+use cascade_trace::Workload;
+use cascade_wave5::{Parmvr, ParmvrParams};
+
+/// Default workload scale for single-configuration experiments (1.0 = the
+/// paper's enlarged problem).
+pub const FULL_SCALE: f64 = 1.0;
+
+/// Default workload scale for parameter sweeps (figs 2 and 6), trading a
+/// factor of two in footprint for sweep runtime; relative shapes are
+/// preserved.
+pub const SWEEP_SCALE: f64 = 0.5;
+
+/// Seed used by every experiment (reproducibility).
+pub const SEED: u64 = 0x1999_0412;
+
+/// The paper's headline chunk size.
+pub const CHUNK_64K: u64 = 64 * 1024;
+
+/// Resolve the workload scale: first CLI argument, else `CASCADE_SCALE`
+/// env var, else the given default.
+pub fn scale_from_args(default: f64) -> f64 {
+    if let Some(s) = std::env::args().nth(1).and_then(|s| s.parse::<f64>().ok()) {
+        return s;
+    }
+    if let Ok(v) = std::env::var("CASCADE_SCALE") {
+        if let Ok(s) = v.parse::<f64>() {
+            return s;
+        }
+    }
+    default
+}
+
+/// Build the PARMVR workload at `scale`.
+pub fn parmvr(scale: f64) -> Parmvr {
+    Parmvr::build(ParmvrParams { scale, seed: SEED })
+}
+
+/// Standard cascade configuration: `calls = 2` with a flush between calls
+/// (first call warms structural state, second is measured — the paper
+/// measures call 12 of ~5000, i.e. a steady-state call).
+pub fn cascade_cfg(nprocs: usize, chunk_bytes: u64, policy: HelperPolicy) -> CascadeConfig {
+    CascadeConfig {
+        nprocs,
+        chunk_bytes,
+        policy,
+        jump_out: true,
+        calls: 2,
+        flush_between_calls: true,
+    }
+}
+
+/// Run the sequential baseline with the standard call discipline.
+pub fn baseline(machine: &MachineConfig, workload: &Workload) -> RunReport {
+    run_sequential(machine, workload, 2, true)
+}
+
+/// Run a cascaded configuration with the standard call discipline.
+pub fn cascaded(
+    machine: &MachineConfig,
+    workload: &Workload,
+    nprocs: usize,
+    chunk_bytes: u64,
+    policy: HelperPolicy,
+) -> RunReport {
+    run_cascaded(machine, workload, &cascade_cfg(nprocs, chunk_bytes, policy))
+}
+
+/// The two helper policies the paper's figures compare.
+pub fn paper_policies() -> [HelperPolicy; 2] {
+    [HelperPolicy::Prefetch, HelperPolicy::Restructure { hoist: true }]
+}
+
+/// Print a title line followed by a separator of matching width.
+pub fn header(title: &str) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len().min(100)));
+}
+
+/// Format a row of right-aligned fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = *w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Cycles in millions with two decimals (the unit of Figure 3's axes).
+pub fn mcycles(c: f64) -> String {
+    format!("{:.2}", c / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_mem::machines::pentium_pro;
+
+    #[test]
+    fn parmvr_builder_is_reusable() {
+        let p = parmvr(0.01);
+        assert_eq!(p.workload.loops.len(), 15);
+    }
+
+    #[test]
+    fn baseline_and_cascade_share_loop_structure() {
+        let p = parmvr(0.01);
+        let m = pentium_pro();
+        let b = baseline(&m, &p.workload);
+        let c = cascaded(&m, &p.workload, 2, CHUNK_64K, HelperPolicy::Prefetch);
+        assert_eq!(b.loops.len(), c.loops.len());
+        assert!(c.overall_speedup_vs(&b) > 0.0);
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn scale_default_is_positive() {
+        assert!(scale_from_args(0.25) > 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Terminal line charts, so the figure binaries can render curve shapes —
+//! not just tables — the way the paper's figures do.
+//!
+//! Output is plain ASCII: a y-scaled grid with one glyph per series, an
+//! axis with numeric labels, and a legend. Deterministic and snapshot-
+//! testable.
+
+/// One plotted series: a label and its y-values (one per x position).
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Y-values; must be as long as the x-label list.
+    pub values: &'a [f64],
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Render a line chart of `series` over `x_labels`, `height` rows tall.
+///
+/// The y-axis starts at 0 (speedup charts read honestly) and tops out at
+/// the maximum value rounded up. Points that share a cell are shown with
+/// the glyph of the first series plotted there.
+pub fn line_chart(title: &str, x_labels: &[&str], series: &[Series<'_>], height: usize) -> String {
+    assert!(height >= 2, "chart needs at least two rows");
+    assert!(!x_labels.is_empty(), "chart needs x positions");
+    for s in series {
+        assert_eq!(
+            s.values.len(),
+            x_labels.len(),
+            "series '{}' length mismatch ({} values, {} x positions)",
+            s.label,
+            s.values.len(),
+            x_labels.len()
+        );
+    }
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    // Round the top of the axis up to one decimal of headroom.
+    let top = (max * 1.05 * 10.0).ceil() / 10.0;
+
+    // Column width per x position (at least the label width + 1).
+    let col = x_labels.iter().map(|l| l.len()).max().unwrap().max(4) + 1;
+    let width = col * x_labels.len();
+
+    // Grid, rows from top (index 0) to bottom.
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, &v) in s.values.iter().enumerate() {
+            let frac = (v / top).clamp(0.0, 1.0);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            let c = xi * col + col / 2;
+            if grid[row][c] == ' ' {
+                grid[row][c] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (ri, row) in grid.iter().enumerate() {
+        let yval = top * (1.0 - ri as f64 / (height - 1) as f64);
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{yval:>6.1} |{}\n", line.trim_end()));
+    }
+    out.push_str(&format!("{:>6} +{}\n", "", "-".repeat(width)));
+    let mut xs = format!("{:>6}  ", "");
+    for l in x_labels {
+        xs.push_str(&format!("{l:^col$}"));
+    }
+    out.push_str(xs.trim_end());
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, s)| format!("{} {}", GLYPHS[si % GLYPHS.len()], s.label))
+        .collect();
+    out.push_str(&format!("{:>8}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axis_and_legend() {
+        let chart = line_chart(
+            "speedup vs procs",
+            &["2", "4", "8"],
+            &[
+                Series { label: "restructured", values: &[1.5, 2.0, 2.8] },
+                Series { label: "prefetched", values: &[1.0, 1.1, 1.1] },
+            ],
+            8,
+        );
+        assert!(chart.starts_with("speedup vs procs\n"));
+        assert!(chart.contains("* restructured"));
+        assert!(chart.contains("o prefetched"));
+        assert!(chart.contains('+'), "axis corner");
+        // The y axis top must cover the max value.
+        assert!(chart.lines().nth(1).unwrap().trim_start().starts_with('3'));
+    }
+
+    #[test]
+    fn monotone_series_renders_monotone_rows() {
+        let chart = line_chart(
+            "t",
+            &["a", "b", "c", "d"],
+            &[Series { label: "s", values: &[1.0, 2.0, 3.0, 4.0] }],
+            9,
+        );
+        // Sort glyphs by column: row index must not increase as x advances
+        // (larger values sit higher on the chart).
+        let mut points: Vec<(usize, usize)> = chart
+            .lines()
+            .skip(1)
+            .take(9)
+            .enumerate()
+            .flat_map(|(ri, line)| line.match_indices('*').map(move |(ci, _)| (ci, ri)))
+            .collect();
+        points.sort();
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "rising values must not fall on the chart: {points:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_floor_keeps_ratios_honest() {
+        // A value half the max must plot near the middle of the chart.
+        let chart = line_chart(
+            "t",
+            &["a", "b"],
+            &[Series { label: "s", values: &[2.0, 4.0] }],
+            11,
+        );
+        let rows: Vec<usize> = chart
+            .lines()
+            .skip(1)
+            .take(11)
+            .enumerate()
+            .flat_map(|(ri, line)| line.match_indices('*').map(move |_| ri))
+            .collect();
+        let (high, low) = (rows[1].min(rows[0]), rows[0].max(rows[1]));
+        assert!(low > high, "4.0 must be above 2.0");
+        assert!((low as i64 - 5).abs() <= 1, "2.0 should sit near mid-chart: rows {rows:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        line_chart("t", &["a"], &[Series { label: "s", values: &[1.0, 2.0] }], 4);
+    }
+}

@@ -1,0 +1,197 @@
+//! A small, dependency-free command-line parser.
+//!
+//! Grammar: `cascade <subcommand> [--flag] [--key value]...`. Values may
+//! use size suffixes (`64K`, `2M`) where a byte count is expected.
+
+use std::collections::HashMap;
+
+/// Parsed invocation: a subcommand plus `--key value` options and bare
+/// `--flag`s.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// The subcommand (first non-flag argument), if any.
+    pub command: Option<String>,
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+    /// Keys actually consulted (for unknown-option diagnostics).
+    used: std::cell::RefCell<Vec<String>>,
+}
+
+/// A parse or validation error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (excluding argv[0]).
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().map(Into::into).peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let key = key.to_string();
+                if key.is_empty() {
+                    return Err(ArgError("empty option name '--'".into()));
+                }
+                // An option takes a value when the next token is not
+                // another option; otherwise it is a boolean flag.
+                match it.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        if args.opts.insert(key.clone(), v).is_some() {
+                            return Err(ArgError(format!("duplicate option --{key}")));
+                        }
+                    }
+                    _ => args.flags.push(key),
+                }
+            } else if args.command.is_none() {
+                args.command = Some(a);
+            } else {
+                return Err(ArgError(format!("unexpected positional argument '{a}'")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option with default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.used.borrow_mut().push(key.to_string());
+        self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional string option.
+    pub fn get_opt(&self, key: &str) -> Option<String> {
+        self.used.borrow_mut().push(key.to_string());
+        self.opts.get(key).cloned()
+    }
+
+    /// Numeric option with default.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        self.used.borrow_mut().push(key.to_string());
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}' as a number"))),
+        }
+    }
+
+    /// Byte-size option with default, accepting `K`/`M`/`G` suffixes.
+    pub fn get_bytes(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        self.used.borrow_mut().push(key.to_string());
+        match self.opts.get(key) {
+            None => Ok(default),
+            Some(v) => parse_bytes(v)
+                .ok_or_else(|| ArgError(format!("--{key}: cannot parse '{v}' as a byte size"))),
+        }
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.used.borrow_mut().push(key.to_string());
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Comma-separated list option.
+    pub fn get_list(&self, key: &str, default: &[&str]) -> Vec<String> {
+        self.used.borrow_mut().push(key.to_string());
+        match self.opts.get(key) {
+            None => default.iter().map(|s| s.to_string()).collect(),
+            Some(v) => v.split(',').map(|s| s.trim().to_string()).collect(),
+        }
+    }
+
+    /// After a command has pulled everything it understands, reject
+    /// leftovers (typo protection).
+    pub fn reject_unknown(&self) -> Result<(), ArgError> {
+        let used = self.used.borrow();
+        for key in self.opts.keys().chain(self.flags.iter()) {
+            if !used.iter().any(|u| u == key) {
+                return Err(ArgError(format!("unknown option --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse `"64K"`, `"2M"`, `"512"`, `"1G"` into bytes.
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (num, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1),
+    };
+    let v: f64 = num.parse().ok()?;
+    if v < 0.0 {
+        return None;
+    }
+    Some((v * mult as f64).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = Args::parse(["sim", "--machine", "r10000", "--per-loop", "--procs", "8"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("sim"));
+        assert_eq!(a.get("machine", "ppro"), "r10000");
+        assert_eq!(a.get_num("procs", 4usize).unwrap(), 8);
+        assert!(a.flag("per-loop"));
+        assert!(!a.flag("unbounded"));
+        a.reject_unknown().unwrap();
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_bytes("64K"), Some(64 * 1024));
+        assert_eq!(parse_bytes("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_bytes("512"), Some(512));
+        assert_eq!(parse_bytes("1.5k"), Some(1536));
+        assert_eq!(parse_bytes("x"), None);
+        assert_eq!(parse_bytes("-4K"), None);
+    }
+
+    #[test]
+    fn duplicate_option_is_an_error() {
+        assert!(Args::parse(["sim", "--procs", "2", "--procs", "4"]).is_err());
+    }
+
+    #[test]
+    fn unknown_option_is_rejected_after_use() {
+        let a = Args::parse(["sim", "--bogus", "1"]).unwrap();
+        let _ = a.get("machine", "ppro");
+        assert!(a.reject_unknown().is_err());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(["sim"]).unwrap();
+        assert_eq!(a.get_bytes("chunk", 64 * 1024).unwrap(), 64 * 1024);
+        assert_eq!(a.get_list("values", &["2", "4"]), vec!["2", "4"]);
+    }
+
+    #[test]
+    fn list_parsing_trims() {
+        let a = Args::parse(["sweep", "--values", "2, 4 ,8"]).unwrap();
+        assert_eq!(a.get_list("values", &[]), vec!["2", "4", "8"]);
+    }
+
+    #[test]
+    fn positional_after_command_is_an_error() {
+        assert!(Args::parse(["sim", "extra"]).is_err());
+    }
+}

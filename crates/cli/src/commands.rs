@@ -1,0 +1,508 @@
+//! The `cascade` subcommands.
+
+use cascade_core::{
+    run_cascaded, run_sequential, run_unbounded, CascadeConfig, HelperPolicy, RunReport,
+    UnboundedConfig,
+};
+use cascade_mem::{machines, MachineConfig};
+use cascade_rt::{RtPolicy, RunnerConfig, SpecProgram};
+use cascade_synth::{Synth, Variant};
+use cascade_trace::{from_text, to_text, Arena, Workload};
+use cascade_wave5::{Parmvr, ParmvrParams};
+
+use cascade_core::ChunkPlan;
+use cascade_trace::{reuse_distances, stride_histogram, Mode, Resolver, TraceRef};
+
+use crate::args::{ArgError, Args};
+
+/// Usage text.
+pub fn help() -> String {
+    "\
+cascade — cascaded execution (IPPS 1999) reproduction
+
+USAGE:
+  cascade machines
+      Print the simulated machines (paper Table 1).
+
+  cascade sim [options]
+      Simulate cascaded execution and report speedup vs. the sequential
+      baseline.
+        --workload parmvr|synth-dense|synth-sparse   (default parmvr)
+        --scale F          workload scale for parmvr (default 0.25)
+        --n N              vector length for synth workloads (default 4194304)
+        --seed N           workload seed (default 42)
+        --machine ppro|r10000                        (default ppro)
+        --future K         scale the machine's memory latency by K
+        --procs N          processors (default 4)
+        --chunk BYTES      chunk size, accepts K/M suffix (default 64K)
+        --policy none|prefetch|restructure|restructure+hoist
+                                                      (default restructure+hoist)
+        --calls N          invocations, last measured (default 2)
+        --no-jump-out      stall the token instead of abandoning helpers
+        --unbounded        use the paper's unbounded-processor model
+        --per-loop         per-loop table instead of one-line summary
+
+  cascade rt [options]
+      Run the workload on real threads and verify bitwise equivalence
+      with sequential execution.
+        --workload/--scale/--n/--seed   as above
+        --threads N        worker threads (default: available parallelism)
+        --chunk-iters N    iterations per chunk (default 4096)
+        --policy none|prefetch|restructure            (default restructure)
+        --poll N           helper iterations between token polls (default 64)
+
+  cascade sweep [options]
+      Sweep one parameter of the simulated cascade.
+        --param procs|chunk
+        --values a,b,c     e.g. 2,4,8 or 4K,64K,1M
+        (plus all `sim` options for the fixed parameters)
+
+  cascade analyze [options]
+      Reuse-distance / stride analysis of one loop's reference stream
+      (original vs restructured execution stream over one chunk).
+        --workload/--scale/--n/--seed   as above
+        --loop N           loop index within the workload (default 0)
+        --chunk BYTES      chunk to analyze (default 64K)
+        --line BYTES       line granularity (default 32)
+
+  cascade dump [options]
+      Serialize a workload to the text format (share/edit/replay).
+        --workload/--scale/--n/--seed   as above
+        --out FILE         write to a file instead of stdout
+
+  cascade schedule [options]
+      Render the cascade schedule of one loop as a timeline (Figure 1).
+        --workload/--scale/--n/--seed/--machine/--policy   as above
+        --loop N           loop index (default 0)
+        --procs N          processors (default 3)
+        --chunks N         approximate chunk count (default 12)
+        --width N          chart width (default 72)
+
+  Every workload option also accepts --workload-file FILE (a dump).
+"
+    .to_string()
+}
+
+fn machine_from(args: &Args) -> Result<MachineConfig, ArgError> {
+    let m = match args.get("machine", "ppro").as_str() {
+        "ppro" | "pentium-pro" | "pentiumpro" => machines::pentium_pro(),
+        "r10000" | "r10k" => machines::r10000(),
+        other => return Err(ArgError(format!("unknown machine '{other}' (ppro|r10000)"))),
+    };
+    match args.get_opt("future") {
+        None => Ok(m),
+        Some(k) => {
+            let k: f64 = k
+                .parse()
+                .map_err(|_| ArgError(format!("--future: cannot parse '{k}'")))?;
+            Ok(machines::future(&m, k))
+        }
+    }
+}
+
+fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
+    let seed = args.get_num("seed", 42u64)?;
+    if let Some(path) = args.get_opt("workload-file") {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ArgError(format!("--workload-file {path}: {e}")))?;
+        let workload =
+            from_text(&text).map_err(|e| ArgError(format!("--workload-file {path}: {e}")))?;
+        // Build real backing data: deterministic values for the non-index
+        // arrays, index contents from the file.
+        let mut arena = Arena::new(&workload.space);
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for (id, def) in workload.space.iter() {
+            if workload.index.contains(id) || def.elem != 8 {
+                continue;
+            }
+            for i in 0..def.len {
+                arena.set_f64(&workload.space, id, i, next() + 0.001);
+            }
+        }
+        arena.install_indices(&workload.space, &workload.index);
+        return Ok((workload, arena, format!("file:{path}")));
+    }
+    match args.get("workload", "parmvr").as_str() {
+        "parmvr" | "wave5" => {
+            let scale = args.get_num("scale", 0.25f64)?;
+            if scale <= 0.0 {
+                return Err(ArgError("--scale must be positive".into()));
+            }
+            let p = Parmvr::build(ParmvrParams { scale, seed });
+            Ok((p.workload, p.arena, format!("parmvr (scale {scale})")))
+        }
+        w @ ("synth-dense" | "synth-sparse") => {
+            let n = args.get_num("n", 4u64 << 20)?;
+            let variant = if w.ends_with("dense") { Variant::Dense } else { Variant::Sparse };
+            let s = Synth::build(n, variant, seed);
+            Ok((s.workload, s.arena, format!("synthetic {} (n={n})", variant.label())))
+        }
+        other => Err(ArgError(format!(
+            "unknown workload '{other}' (parmvr|synth-dense|synth-sparse)"
+        ))),
+    }
+}
+
+fn sim_policy_from(args: &Args) -> Result<HelperPolicy, ArgError> {
+    match args.get("policy", "restructure+hoist").as_str() {
+        "none" => Ok(HelperPolicy::None),
+        "prefetch" | "prefetched" => Ok(HelperPolicy::Prefetch),
+        "restructure" | "restructured" => Ok(HelperPolicy::Restructure { hoist: false }),
+        "restructure+hoist" | "restructured+hoist" => {
+            Ok(HelperPolicy::Restructure { hoist: true })
+        }
+        other => Err(ArgError(format!(
+            "unknown policy '{other}' (none|prefetch|restructure|restructure+hoist)"
+        ))),
+    }
+}
+
+/// `cascade machines`
+pub fn machines(args: &Args) -> Result<String, ArgError> {
+    args.reject_unknown()?;
+    let mut out = String::new();
+    for m in [machines::pentium_pro(), machines::r10000()] {
+        out.push_str(&format!(
+            "{}\n  L1 {:>4} KB {}-way {:>3}B lines, {} cycles\n  L2 {:>4} KB {}-way {:>3}B lines, {} cycles\n  memory {} cycles, transfer of control {} cycles\n",
+            m.name,
+            m.l1.size / 1024,
+            m.l1.assoc,
+            m.l1.line,
+            m.l1.latency,
+            m.l2.size / 1024,
+            m.l2.assoc,
+            m.l2.line,
+            m.l2.latency,
+            m.mem_latency,
+            m.transfer_cost,
+        ));
+    }
+    Ok(out)
+}
+
+fn render_summary(report: &RunReport, base: &RunReport, title: &str) -> String {
+    format!(
+        "{title}\n  configuration: {}\n  baseline:      {:.3e} cycles\n  cascaded:      {:.3e} cycles\n  overall speedup {:.3}\n",
+        report.summary(),
+        base.total_cycles(),
+        report.total_cycles(),
+        report.overall_speedup_vs(base),
+    )
+}
+
+fn render_per_loop(report: &RunReport, base: &RunReport) -> String {
+    let mut out = format!(
+        "{:<48} {:>12} {:>12} {:>8} {:>9}\n",
+        "loop", "orig Mcy", "casc Mcy", "speedup", "coverage"
+    );
+    for (l, b) in report.loops.iter().zip(&base.loops) {
+        out.push_str(&format!(
+            "{:<48} {:>12.2} {:>12.2} {:>8.2} {:>8.0}%\n",
+            l.name,
+            b.cycles / 1e6,
+            l.cycles / 1e6,
+            b.cycles / l.cycles,
+            l.helper_coverage() * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<48} {:>12.2} {:>12.2} {:>8.2}\n",
+        "OVERALL",
+        base.total_cycles() / 1e6,
+        report.total_cycles() / 1e6,
+        report.overall_speedup_vs(base),
+    ));
+    out
+}
+
+/// `cascade sim`
+pub fn sim(args: &Args) -> Result<String, ArgError> {
+    let machine = machine_from(args)?;
+    let (workload, _arena, wname) = workload_from(args)?;
+    let policy = sim_policy_from(args)?;
+    let procs = args.get_num("procs", 4usize)?;
+    let chunk = args.get_bytes("chunk", 64 * 1024)?;
+    let calls = args.get_num("calls", 2usize)?;
+    let unbounded = args.flag("unbounded");
+    let per_loop = args.flag("per-loop");
+    let no_jump_out = args.flag("no-jump-out");
+    args.reject_unknown()?;
+
+    let base = run_sequential(&machine, &workload, calls, true);
+    let report = if unbounded {
+        run_unbounded(
+            &machine,
+            &workload,
+            &UnboundedConfig { chunk_bytes: chunk, policy, calls, flush_between_calls: true },
+        )
+    } else {
+        run_cascaded(
+            &machine,
+            &workload,
+            &CascadeConfig {
+                nprocs: procs,
+                chunk_bytes: chunk,
+                policy,
+                jump_out: !no_jump_out,
+                calls,
+                flush_between_calls: true,
+            },
+        )
+    };
+    let title = format!("simulated cascaded execution of {wname} on {}", machine.name);
+    let mut out = render_summary(&report, &base, &title);
+    if per_loop {
+        out.push('\n');
+        out.push_str(&render_per_loop(&report, &base));
+    }
+    Ok(out)
+}
+
+/// `cascade rt`
+pub fn rt(args: &Args) -> Result<String, ArgError> {
+    let (workload, arena, wname) = workload_from(args)?;
+    let threads = args.get_num(
+        "threads",
+        std::thread::available_parallelism().map_or(2, |n| n.get()),
+    )?;
+    let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
+    let poll = args.get_num("poll", 64u64)?;
+    let policy = match args.get("policy", "restructure").as_str() {
+        "none" => RtPolicy::None,
+        "prefetch" | "prefetched" => RtPolicy::Prefetch,
+        "restructure" | "restructured" => RtPolicy::Restructure,
+        other => {
+            return Err(ArgError(format!(
+                "unknown policy '{other}' (none|prefetch|restructure)"
+            )))
+        }
+    };
+    args.reject_unknown()?;
+
+    // Sequential reference.
+    let expected = {
+        let mut prog = SpecProgram::new(workload.clone(), arena.clone());
+        let t0 = std::time::Instant::now();
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            cascade_rt::run_sequential(&k);
+        }
+        (prog.checksum(), t0.elapsed())
+    };
+
+    let mut prog = SpecProgram::new(workload, arena);
+    let cfg = RunnerConfig { nthreads: threads, iters_per_chunk: chunk_iters, policy, poll_batch: poll };
+    let t0 = std::time::Instant::now();
+    let mut chunks = 0u64;
+    let mut helped = 0u64;
+    let mut iters = 0u64;
+    for i in 0..prog.num_loops() {
+        let k = prog.kernel(i);
+        let stats = cascade_rt::run_cascaded(&k, &cfg);
+        chunks += stats.chunks;
+        iters += stats.iters;
+        helped += stats.threads.iter().map(|t| t.helper_iters).sum::<u64>();
+    }
+    let elapsed = t0.elapsed();
+    let ok = prog.checksum() == expected.0;
+
+    let mut out = format!(
+        "real-thread cascaded execution of {wname}\n  threads {threads}, {chunks} chunks, policy {}\n  sequential {:.2} ms, cascaded {:.2} ms, helper coverage {:.0}%\n",
+        policy.label(),
+        expected.1.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3,
+        100.0 * helped as f64 / iters.max(1) as f64,
+    );
+    if ok {
+        out.push_str("  result: bitwise identical to sequential execution\n");
+    } else {
+        return Err(ArgError("cascaded result DIVERGED from sequential execution".into()));
+    }
+    Ok(out)
+}
+
+/// `cascade dump`
+pub fn dump(args: &Args) -> Result<String, ArgError> {
+    let (workload, _arena, _name) = workload_from(args)?;
+    let out_path = args.get_opt("out");
+    args.reject_unknown()?;
+    let text = to_text(&workload);
+    match out_path {
+        None => Ok(text),
+        Some(p) => {
+            std::fs::write(&p, &text).map_err(|e| ArgError(format!("--out {p}: {e}")))?;
+            Ok(format!("wrote {} bytes to {p}\n", text.len()))
+        }
+    }
+}
+
+/// `cascade schedule`
+pub fn schedule(args: &Args) -> Result<String, ArgError> {
+    let machine = machine_from(args)?;
+    let (mut workload, _arena, wname) = workload_from(args)?;
+    let policy = sim_policy_from(args)?;
+    let procs = args.get_num("procs", 3usize)?;
+    let loop_idx = args.get_num("loop", 0usize)?;
+    let width = args.get_num("width", 72usize)?;
+    let chunks_wanted = args.get_num("chunks", 12u64)?;
+    args.reject_unknown()?;
+    if loop_idx >= workload.loops.len() {
+        return Err(ArgError(format!("--loop {loop_idx}: workload has {} loops", workload.loops.len())));
+    }
+    let spec = workload.loops.swap_remove(loop_idx);
+    workload.loops = vec![spec];
+    let chunk_bytes = (workload.loops[0].footprint() / chunks_wanted.max(1)).max(4096);
+    let r = run_cascaded(
+        &machine,
+        &workload,
+        &CascadeConfig {
+            nprocs: procs,
+            chunk_bytes,
+            policy,
+            jump_out: true,
+            calls: 1,
+            flush_between_calls: true,
+        },
+    );
+    let l = &r.loops[0];
+    Ok(format!(
+        "cascade schedule of {wname} / {} on {} ({} procs, {} chunks)\n\n{}",
+        l.name,
+        machine.name,
+        procs,
+        l.chunks,
+        l.timeline.render(width)
+    ))
+}
+
+/// `cascade analyze`
+pub fn analyze(args: &Args) -> Result<String, ArgError> {
+    let (workload, _arena, wname) = workload_from(args)?;
+    let loop_idx = args.get_num("loop", 0usize)?;
+    let chunk = args.get_bytes("chunk", 64 * 1024)?;
+    let line = args.get_bytes("line", 32)?;
+    args.reject_unknown()?;
+    let spec = workload
+        .loops
+        .get(loop_idx)
+        .ok_or_else(|| ArgError(format!("--loop {loop_idx}: workload has {} loops", workload.loops.len())))?;
+    let res = Resolver::new(&workload.space, &workload.index);
+    let plan = ChunkPlan::new(spec, chunk, line);
+    let range = plan.range(0);
+
+    let mut original = Vec::new();
+    for i in range.clone() {
+        for r in &spec.refs {
+            if let Some(ix) = res.index_access(r, i) {
+                original.push(TraceRef { addr: ix.addr, bytes: ix.bytes });
+            }
+            let d = res.data_access(r, i);
+            original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+            if matches!(r.mode, Mode::Modify) {
+                original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+            }
+        }
+    }
+    let pbpi = spec.packed_bytes_per_iter(true);
+    let base = workload.space.extent();
+    let mut restructured = Vec::new();
+    for i in range.clone() {
+        if pbpi > 0 {
+            restructured.push(TraceRef { addr: base + (i - range.start) * pbpi, bytes: pbpi as u32 });
+        }
+        for r in &spec.refs {
+            if r.mode.writes() {
+                let d = res.data_access(r, i);
+                restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+            }
+        }
+    }
+
+    let mut out = format!(
+        "reference-stream analysis of {wname}, loop {loop_idx} ({}), first chunk of {} iterations
+",
+        spec.name,
+        range.end - range.start
+    );
+    for (label, refs) in [("original", &original), ("restructured", &restructured)] {
+        let p = reuse_distances(refs, line);
+        out.push_str(&format!(
+            "  {label:<13} {:>7} accesses, {:>6} lines, mean reuse distance {}, compulsory {}
+",
+            refs.len(),
+            p.working_set_lines,
+            p.mean_distance().map_or("-".into(), |d| format!("{d:.1}")),
+            p.compulsory(),
+        ));
+    }
+    let strides = stride_histogram(&original);
+    out.push_str("  dominant strides (original): ");
+    let top: Vec<String> =
+        strides.iter().take(3).map(|(s, c)| format!("{s:+} x{c}")).collect();
+    out.push_str(&top.join(", "));
+    out.push('\n');
+    Ok(out)
+}
+
+/// `cascade sweep`
+pub fn sweep(args: &Args) -> Result<String, ArgError> {
+    let param = args.get("param", "procs");
+    let machine = machine_from(args)?;
+    let (workload, _arena, wname) = workload_from(args)?;
+    let policy = sim_policy_from(args)?;
+    let procs = args.get_num("procs", 4usize)?;
+    let chunk = args.get_bytes("chunk", 64 * 1024)?;
+    let calls = args.get_num("calls", 2usize)?;
+    let values = args.get_list("values", &["2", "4", "8"]);
+    args.reject_unknown()?;
+
+    let base = run_sequential(&machine, &workload, calls, true);
+    let mut out = format!(
+        "sweep of {param} — {wname} on {}, policy {}\n",
+        machine.name,
+        policy.label()
+    );
+    for v in values {
+        let (label, cfg) = match param.as_str() {
+            "procs" => {
+                let np: usize = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("--values: '{v}' is not a processor count")))?;
+                (
+                    format!("procs={v}"),
+                    CascadeConfig {
+                        nprocs: np,
+                        chunk_bytes: chunk,
+                        policy,
+                        jump_out: true,
+                        calls,
+                        flush_between_calls: true,
+                    },
+                )
+            }
+            "chunk" => {
+                let bytes = crate::args::parse_bytes(&v)
+                    .ok_or_else(|| ArgError(format!("--values: '{v}' is not a byte size")))?;
+                (
+                    format!("chunk={v}"),
+                    CascadeConfig {
+                        nprocs: procs,
+                        chunk_bytes: bytes,
+                        policy,
+                        jump_out: true,
+                        calls,
+                        flush_between_calls: true,
+                    },
+                )
+            }
+            other => return Err(ArgError(format!("unknown sweep parameter '{other}' (procs|chunk)"))),
+        };
+        let r = run_cascaded(&machine, &workload, &cfg);
+        out.push_str(&format!("  {label:<14} speedup {:.3}\n", r.overall_speedup_vs(&base)));
+    }
+    Ok(out)
+}

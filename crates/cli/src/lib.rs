@@ -1,0 +1,233 @@
+//! # cascade-cli — the `cascade` command
+//!
+//! A command-line front end to the cascaded-execution reproduction:
+//!
+//! ```text
+//! cascade machines
+//! cascade sim   --workload parmvr --machine r10000 --procs 8 --policy restructure+hoist
+//! cascade sim   --workload synth-sparse --unbounded --chunk 16K
+//! cascade rt    --workload parmvr --threads 4 --chunk-iters 2048 --policy restructure
+//! cascade sweep --param procs --values 2,4,6,8 --machine r10000
+//! cascade sweep --param chunk --values 4K,16K,64K,256K --machine ppro
+//! ```
+//!
+//! The library exposes [`run`] (arguments in, report text out) so the
+//! whole interface is unit-testable; the `cascade` binary is a thin
+//! wrapper.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, ArgError};
+
+/// Entry point: parse `raw` (excluding argv[0]) and execute the
+/// subcommand, returning the report text.
+pub fn run<I, S>(raw: I) -> Result<String, ArgError>
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    let args = Args::parse(raw)?;
+    match args.command.as_deref() {
+        None | Some("help") => Ok(commands::help()),
+        Some("machines") => commands::machines(&args),
+        Some("sim") => commands::sim(&args),
+        Some("rt") => commands::rt(&args),
+        Some("sweep") => commands::sweep(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some("dump") => commands::dump(&args),
+        Some("schedule") => commands::schedule(&args),
+        Some(other) => Err(ArgError(format!(
+            "unknown subcommand '{other}' (try: machines, sim, rt, sweep, analyze, dump, schedule, help)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_is_the_default() {
+        let out = run(Vec::<String>::new()).unwrap();
+        assert!(out.contains("cascade sim"));
+        assert!(out.contains("cascade rt"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        let err = run(["frobnicate"]).unwrap_err();
+        assert!(err.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn machines_lists_both_testbeds() {
+        let out = run(["machines"]).unwrap();
+        assert!(out.contains("Pentium Pro"));
+        assert!(out.contains("R10000"));
+        assert!(out.contains("512 KB"));
+    }
+
+    #[test]
+    fn sim_runs_a_tiny_parmvr() {
+        let out = run([
+            "sim",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+            "--procs",
+            "2",
+            "--policy",
+            "prefetch",
+        ])
+        .unwrap();
+        assert!(out.contains("overall speedup"), "missing summary: {out}");
+        assert!(out.contains("prefetched"));
+    }
+
+    #[test]
+    fn sim_per_loop_table() {
+        let out = run([
+            "sim",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+            "--per-loop",
+        ])
+        .unwrap();
+        assert!(out.contains("L1 field gather"));
+        assert!(out.contains("L15"));
+    }
+
+    #[test]
+    fn sim_unbounded_synth() {
+        let out = run([
+            "sim",
+            "--workload",
+            "synth-sparse",
+            "--n",
+            "65536",
+            "--unbounded",
+            "--chunk",
+            "8K",
+        ])
+        .unwrap();
+        assert!(out.contains("unbounded"));
+    }
+
+    #[test]
+    fn sim_future_machine() {
+        let out =
+            run(["sim", "--workload", "synth-dense", "--n", "65536", "--future", "4"]).unwrap();
+        assert!(out.contains("Future"));
+    }
+
+    #[test]
+    fn rt_verifies_bitwise() {
+        let out = run([
+            "rt",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "32768",
+            "--threads",
+            "2",
+            "--chunk-iters",
+            "512",
+        ])
+        .unwrap();
+        assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn sweep_over_procs() {
+        let out = run([
+            "sweep",
+            "--param",
+            "procs",
+            "--values",
+            "2,3",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+        ])
+        .unwrap();
+        assert!(out.contains("procs=2"));
+        assert!(out.contains("procs=3"));
+    }
+
+    #[test]
+    fn sweep_over_chunk() {
+        let out = run([
+            "sweep",
+            "--param",
+            "chunk",
+            "--values",
+            "8K,32K",
+            "--workload",
+            "synth-sparse",
+            "--n",
+            "65536",
+        ])
+        .unwrap();
+        assert!(out.contains("chunk=8K"));
+        assert!(out.contains("chunk=32K"));
+    }
+
+    #[test]
+    fn analyze_profiles_a_gather_loop() {
+        let out = run(["analyze", "--workload", "parmvr", "--scale", "0.005", "--loop", "0"])
+            .unwrap();
+        assert!(out.contains("original"), "{out}");
+        assert!(out.contains("restructured"));
+        assert!(out.contains("dominant strides"));
+    }
+
+    #[test]
+    fn analyze_rejects_out_of_range_loop() {
+        let err = run(["analyze", "--workload", "synth-dense", "--n", "4096", "--loop", "5"])
+            .unwrap_err();
+        assert!(err.0.contains("loops"));
+    }
+
+    #[test]
+    fn dump_then_simulate_round_trips() {
+        let dir = std::env::temp_dir().join("cascade-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wl.txt");
+        let p = path.to_str().unwrap();
+        let out = run(["dump", "--workload", "synth-dense", "--n", "4096", "--out", p]).unwrap();
+        assert!(out.contains("wrote"));
+        let sim = run(["sim", "--workload-file", p, "--procs", "2", "--chunk", "4K"]).unwrap();
+        assert!(sim.contains("overall speedup"), "{sim}");
+        let sched = run(["schedule", "--workload-file", p, "--procs", "2", "--chunks", "6"]).unwrap();
+        assert!(sched.contains("E"), "{sched}");
+        assert!(sched.contains("helper phase"));
+    }
+
+    #[test]
+    fn schedule_renders_a_timeline() {
+        let out = run(["schedule", "--workload", "parmvr", "--scale", "0.005", "--procs", "3"])
+            .unwrap();
+        assert!(out.contains("proc 0"));
+        assert!(out.contains("proc 2"));
+        assert!(out.contains("execution phase"));
+    }
+
+    #[test]
+    fn bad_machine_is_reported() {
+        let err = run(["sim", "--machine", "cray"]).unwrap_err();
+        assert!(err.0.contains("machine"));
+    }
+
+    #[test]
+    fn typo_options_are_rejected() {
+        let err = run(["sim", "--prox", "4"]).unwrap_err();
+        assert!(err.0.contains("unknown option"), "{err}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `cascade` binary: thin wrapper over [`cascade_cli::run`].
+
+fn main() {
+    match cascade_cli::run(std::env::args().skip(1)) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `cascade help` for usage");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Whole-application projection (the paper's motivation, §1).
+//!
+//! "Amdahl's Law tells us that as parallelization becomes increasingly
+//! effective, any unparallelized loop becomes an increasingly dominant
+//! performance bottleneck." This module closes the loop: given a
+//! program's parallelizable fraction and a measured cascaded speedup for
+//! its sequential remainder, it projects whole-application speedups with
+//! and without cascaded execution — e.g. wave5, where PARMVR alone is
+//! ~50% of sequential runtime (§3.1).
+
+/// A program decomposed into a perfectly-parallelizable fraction and a
+/// sequential remainder (time fractions of the 1-processor execution).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmdahlModel {
+    /// Fraction of 1-processor runtime that parallelizes perfectly,
+    /// in [0, 1]. The remainder is the unparallelized (cascadable) part.
+    pub parallel_fraction: f64,
+}
+
+impl AmdahlModel {
+    /// Build a model; panics outside [0, 1].
+    pub fn new(parallel_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&parallel_fraction),
+            "parallel fraction must be in [0,1], got {parallel_fraction}"
+        );
+        AmdahlModel { parallel_fraction }
+    }
+
+    /// Whole-application speedup on `nprocs` processors when the
+    /// sequential remainder itself runs `seq_speedup` times faster
+    /// (e.g. under cascaded execution on those same processors).
+    ///
+    /// `seq_speedup = 1.0` gives classic Amdahl.
+    pub fn overall_speedup(&self, nprocs: usize, seq_speedup: f64) -> f64 {
+        assert!(nprocs >= 1, "need at least one processor");
+        assert!(seq_speedup > 0.0, "sequential speedup must be positive");
+        let p = self.parallel_fraction;
+        1.0 / (p / nprocs as f64 + (1.0 - p) / seq_speedup)
+    }
+
+    /// Classic Amdahl speedup (sequential part untouched).
+    pub fn classic(&self, nprocs: usize) -> f64 {
+        self.overall_speedup(nprocs, 1.0)
+    }
+
+    /// The asymptotic (infinite-processor) speedup ceiling when the
+    /// sequential remainder runs `seq_speedup` times faster. Returns
+    /// `f64::INFINITY` for a fully parallel program.
+    pub fn ceiling(&self, seq_speedup: f64) -> f64 {
+        assert!(seq_speedup > 0.0);
+        let serial = 1.0 - self.parallel_fraction;
+        if serial == 0.0 {
+            f64::INFINITY
+        } else {
+            seq_speedup / serial
+        }
+    }
+
+    /// Fraction of the *parallel-execution* time spent in the sequential
+    /// remainder (how dominant the bottleneck has become on `nprocs`
+    /// processors), with the remainder sped up `seq_speedup` times.
+    pub fn sequential_share(&self, nprocs: usize, seq_speedup: f64) -> f64 {
+        let p = self.parallel_fraction;
+        let seq = (1.0 - p) / seq_speedup;
+        let par = p / nprocs as f64;
+        seq / (seq + par)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_amdahl_known_values() {
+        let m = AmdahlModel::new(0.5);
+        assert!((m.classic(1) - 1.0).abs() < 1e-12);
+        // p=0.5, P=4: 1/(0.125+0.5) = 1.6
+        assert!((m.classic(4) - 1.6).abs() < 1e-12);
+        // ceiling without cascading: 1/(1-p) = 2
+        assert!((m.ceiling(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascading_raises_the_ceiling_proportionally() {
+        let m = AmdahlModel::new(0.5);
+        assert!((m.ceiling(1.7) - 3.4).abs() < 1e-12);
+        assert!((m.ceiling(4.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave5_projection_shape() {
+        // wave5: PARMVR ~50% of sequential runtime. On 8 processors with
+        // the paper's R10000 cascaded speedup of 1.7 for that remainder:
+        let m = AmdahlModel::new(0.5);
+        let without = m.classic(8); // 1/(0.0625+0.5) = 1.778
+        let with = m.overall_speedup(8, 1.7); // 1/(0.0625+0.294) = 2.804
+        assert!((without - 1.7778).abs() < 1e-3);
+        assert!((with - 2.8044).abs() < 1e-3);
+        assert!(with / without > 1.5, "cascading must matter at the app level");
+    }
+
+    #[test]
+    fn sequential_share_grows_with_processors() {
+        let m = AmdahlModel::new(0.9);
+        let share4 = m.sequential_share(4, 1.0);
+        let share64 = m.sequential_share(64, 1.0);
+        assert!(share64 > share4, "the bottleneck dominates as P grows");
+        assert!(share64 > 0.8, "at 64 procs a 10% serial part dominates: {share64}");
+        // Cascading the remainder pushes the share back down.
+        assert!(m.sequential_share(64, 3.0) < share64);
+    }
+
+    #[test]
+    fn fully_parallel_program_has_infinite_ceiling() {
+        let m = AmdahlModel::new(1.0);
+        assert!(m.ceiling(1.0).is_infinite());
+        assert!((m.classic(8) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fully_serial_program_speedup_is_exactly_seq_speedup() {
+        let m = AmdahlModel::new(0.0);
+        assert!((m.overall_speedup(16, 2.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel fraction")]
+    fn rejects_out_of_range_fraction() {
+        AmdahlModel::new(1.5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Helper-phase policies (§2.1 of the paper).
+
+/// What a processor does with its helper phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HelperPolicy {
+    /// Helpers idle. Cascading still happens (chunks still rotate across
+    /// processors, transfers still cost cycles) — this is the ablation that
+    /// isolates the memory-state-optimization benefit from the rotation
+    /// itself. Expect a slight *slowdown* versus sequential execution.
+    None,
+    /// The simplest helper: execute a shadow version of the loop body that
+    /// loads (prefetches) the operands of the processor's next chunk into
+    /// its caches. "Prefetched" in the paper's figures.
+    Prefetch,
+    /// Stream all read-only operands, in dynamic reference order, into a
+    /// per-processor *sequential buffer*; the execution phase consumes them
+    /// as a dense sequential stream. Scatter indices are packed too; data
+    /// that will be written is prefetched in place. "Restructured" in the
+    /// paper's figures.
+    Restructure {
+        /// Additionally evaluate computation that involves only read-only
+        /// values during the helper phase, storing results (rather than raw
+        /// operands) in the buffer (§2.1, last benefit listed).
+        hoist: bool,
+    },
+}
+
+impl HelperPolicy {
+    /// Short label used in reports ("none", "prefetched", "restructured",
+    /// "restructured+hoist").
+    pub fn label(&self) -> &'static str {
+        match self {
+            HelperPolicy::None => "none",
+            HelperPolicy::Prefetch => "prefetched",
+            HelperPolicy::Restructure { hoist: false } => "restructured",
+            HelperPolicy::Restructure { hoist: true } => "restructured+hoist",
+        }
+    }
+
+    /// Does this policy use a sequential buffer?
+    pub fn packs(&self) -> bool {
+        matches!(self, HelperPolicy::Restructure { .. })
+    }
+
+    /// Does this policy hoist read-only computation into the helper?
+    pub fn hoists(&self) -> bool {
+        matches!(self, HelperPolicy::Restructure { hoist: true })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            HelperPolicy::None,
+            HelperPolicy::Prefetch,
+            HelperPolicy::Restructure { hoist: false },
+            HelperPolicy::Restructure { hoist: true },
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(!HelperPolicy::Prefetch.packs());
+        assert!(HelperPolicy::Restructure { hoist: false }.packs());
+        assert!(!HelperPolicy::Restructure { hoist: false }.hoists());
+        assert!(HelperPolicy::Restructure { hoist: true }.hoists());
+    }
+}

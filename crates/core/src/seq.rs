@@ -1,0 +1,138 @@
+//! The sequential baseline: one processor executes every loop as written.
+//! Every speedup in the paper is measured against this.
+
+use cascade_mem::{MachineConfig, System};
+use cascade_trace::{Resolver, Workload};
+
+use crate::report::{LoopReport, PhaseTotals, RunReport};
+use crate::walk::exec_original;
+
+/// Run the workload's loop sequence `calls` times on a single processor of
+/// `machine` and report the final call (the paper measures the 12th of
+/// ~5000 PARMVR calls — a steady-state call, which the last one is).
+///
+/// With `flush_between_calls` the caches are emptied between calls,
+/// modelling the application's intervening parallel sections displacing the
+/// loop data.
+pub fn run_sequential(
+    machine: &MachineConfig,
+    workload: &Workload,
+    calls: usize,
+    flush_between_calls: bool,
+) -> RunReport {
+    assert!(calls >= 1, "at least one call required");
+    workload.validate();
+    let mut sys = System::new(machine.clone(), 1);
+    let res = Resolver::new(&workload.space, &workload.index);
+    let mut loops = Vec::new();
+
+    for call in 0..calls {
+        if call > 0 && flush_between_calls {
+            sys.flush_all();
+        }
+        let measured = call == calls - 1;
+        if measured {
+            loops.clear();
+        }
+        for spec in &workload.loops {
+            sys.begin_region();
+            let before = sys.snapshot();
+            let cycles = exec_original(&mut sys, 0, res, spec, 0..spec.iters);
+            if measured {
+                let mut exec = PhaseTotals::default();
+                exec.add_delta(&sys.snapshot().since(&before));
+                loops.push(LoopReport {
+                    name: spec.name.clone(),
+                    cycles,
+                    exec,
+                    helper: PhaseTotals::default(),
+                    chunks: 0,
+                    helper_complete: 0,
+                    helper_iters: 0,
+                    iters: spec.iters,
+                    timeline: crate::timeline::Timeline::default(),
+                });
+            }
+        }
+    }
+
+    RunReport {
+        machine: machine.name.to_string(),
+        policy: "original".to_string(),
+        nprocs: 1,
+        chunk_bytes: 0,
+        loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_mem::machines::pentium_pro;
+    use cascade_trace::{AddressSpace, IndexStore, LoopSpec, Mode, Pattern, StreamRef};
+
+    fn tiny_workload() -> Workload {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 1 << 12);
+        let b = space.alloc("b", 8, 1 << 12);
+        let spec = LoopSpec {
+            name: "triad".into(),
+            iters: 1 << 12,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "b(i)",
+                    array: b,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Write,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 2.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        Workload { space, index: IndexStore::new(), loops: vec![spec] }
+    }
+
+    #[test]
+    fn baseline_reports_one_entry_per_loop() {
+        let r = run_sequential(&pentium_pro(), &tiny_workload(), 2, true);
+        assert_eq!(r.loops.len(), 1);
+        assert_eq!(r.nprocs, 1);
+        assert!(r.loops[0].cycles > 0.0);
+        assert!(r.loops[0].exec.l1_misses > 0, "cold data must miss");
+    }
+
+    #[test]
+    fn flushing_between_calls_keeps_misses_cold() {
+        let w = tiny_workload();
+        // 64KB of data fits the 512KB L2: without flushing, call 2 hits.
+        let warm = run_sequential(&pentium_pro(), &w, 2, false);
+        let cold = run_sequential(&pentium_pro(), &w, 2, true);
+        assert!(
+            cold.loops[0].exec.l2_misses > warm.loops[0].exec.l2_misses,
+            "flushed call should miss more: cold {} vs warm {}",
+            cold.loops[0].exec.l2_misses,
+            warm.loops[0].exec.l2_misses
+        );
+        assert!(cold.total_cycles() > warm.total_cycles());
+    }
+
+    #[test]
+    fn single_call_equals_last_of_identical_flushed_calls() {
+        let w = tiny_workload();
+        let one = run_sequential(&pentium_pro(), &w, 1, true);
+        let three = run_sequential(&pentium_pro(), &w, 3, true);
+        assert!((one.total_cycles() - three.total_cycles()).abs() < 1e-6);
+        assert_eq!(one.loops[0].exec.l2_misses, three.loops[0].exec.l2_misses);
+    }
+}

@@ -1,0 +1,208 @@
+//! Schedule timelines: the data behind the paper's Figure 1.
+//!
+//! The bounded-processor scheduler records one [`ChunkEvent`] per chunk —
+//! who ran it, when its helper worked, when it executed. From these a
+//! per-processor timeline (helper / execute / idle segments) can be
+//! rendered, which is exactly what Figure 1(b) of the paper draws by
+//! hand.
+
+/// One chunk's life in the schedule (all times in simulated cycles from
+/// the start of the run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkEvent {
+    /// Chunk index within its loop.
+    pub chunk: u64,
+    /// Processor that owned the chunk.
+    pub proc: usize,
+    /// When the processor became free to start this chunk's helper.
+    pub helper_start: f64,
+    /// Cycles the helper actually ran (0 under `HelperPolicy::None`).
+    pub helper_cycles: f64,
+    /// When the token arrived (end of previous chunk + transfer).
+    pub token_arrival: f64,
+    /// When execution began (max of token arrival and helper completion).
+    pub exec_start: f64,
+    /// When execution finished.
+    pub exec_end: f64,
+    /// Iterations the helper covered.
+    pub helper_iters: u64,
+    /// Iterations in the chunk.
+    pub iters: u64,
+}
+
+impl ChunkEvent {
+    /// Idle cycles between helper completion and execution start.
+    pub fn spin_cycles(&self) -> f64 {
+        (self.exec_start - (self.helper_start + self.helper_cycles)).max(0.0)
+    }
+
+    /// Execution-phase duration.
+    pub fn exec_cycles(&self) -> f64 {
+        self.exec_end - self.exec_start
+    }
+}
+
+/// A whole loop's schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// Events in token (chunk) order.
+    pub events: Vec<ChunkEvent>,
+    /// Number of processors in the schedule.
+    pub nprocs: usize,
+}
+
+impl Timeline {
+    /// Start time of the earliest event (0 for an empty timeline).
+    pub fn start(&self) -> f64 {
+        self.events.first().map_or(0.0, |e| e.helper_start.min(e.token_arrival))
+    }
+
+    /// End time of the schedule.
+    pub fn end(&self) -> f64 {
+        self.events.iter().map(|e| e.exec_end).fold(0.0, f64::max)
+    }
+
+    /// Validate the invariants every legal cascade schedule obeys;
+    /// panics with a description on violation. Used by tests and by the
+    /// renderer before drawing.
+    pub fn validate(&self) {
+        let mut prev_end = f64::NEG_INFINITY;
+        let mut proc_busy_until = vec![f64::NEG_INFINITY; self.nprocs];
+        for (i, e) in self.events.iter().enumerate() {
+            assert_eq!(e.chunk as usize, i, "events must be in chunk order");
+            assert!(e.proc < self.nprocs, "processor out of range");
+            assert!(e.exec_start >= e.token_arrival - 1e-9, "executed before the token arrived");
+            assert!(e.exec_end >= e.exec_start, "negative execution");
+            assert!(
+                e.exec_start >= prev_end - 1e-9,
+                "chunk {i} overlapped the previous execution phase"
+            );
+            assert!(
+                e.helper_start >= proc_busy_until[e.proc] - 1e-9,
+                "chunk {i}'s helper overlapped its processor's previous work"
+            );
+            prev_end = e.exec_end;
+            proc_busy_until[e.proc] = e.exec_end;
+        }
+    }
+
+    /// Render an ASCII Gantt chart: one row per processor, `width`
+    /// characters across the full makespan. Glyphs: `h` helper, `.` spin
+    /// (waiting for the token), `E` execute, space idle.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width >= 10, "chart too narrow");
+        self.validate();
+        let t0 = self.start();
+        let t1 = self.end();
+        let span = (t1 - t0).max(1e-9);
+        let col = |t: f64| -> usize {
+            (((t - t0) / span) * (width - 1) as f64).round().clamp(0.0, (width - 1) as f64)
+                as usize
+        };
+        let mut rows = vec![vec![' '; width]; self.nprocs];
+        for e in &self.events {
+            let row = &mut rows[e.proc];
+            let fill = |row: &mut Vec<char>, a: f64, b: f64, ch: char| {
+                if b > a {
+                    for cell in row.iter_mut().take(col(b).min(width - 1) + 1).skip(col(a)) {
+                        *cell = ch;
+                    }
+                }
+            };
+            fill(row, e.helper_start, e.helper_start + e.helper_cycles, 'h');
+            fill(row, e.helper_start + e.helper_cycles, e.exec_start, '.');
+            fill(row, e.exec_start, e.exec_end, 'E');
+        }
+        let mut out = String::new();
+        for (p, row) in rows.iter().enumerate() {
+            let line: String = row.iter().collect();
+            out.push_str(&format!("proc {p} |{}|\n", line));
+        }
+        out.push_str(&format!(
+            "        0{:>width$}\n",
+            format!("{:.0} cycles", span),
+            width = width - 1
+        ));
+        out.push_str("        h = helper phase   . = waiting for token   E = execution phase\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(chunk: u64, proc: usize, hs: f64, hc: f64, ta: f64, es: f64, ee: f64) -> ChunkEvent {
+        ChunkEvent {
+            chunk,
+            proc,
+            helper_start: hs,
+            helper_cycles: hc,
+            token_arrival: ta,
+            exec_start: es,
+            exec_end: ee,
+            helper_iters: 1,
+            iters: 1,
+        }
+    }
+
+    fn cascade3() -> Timeline {
+        Timeline {
+            nprocs: 3,
+            events: vec![
+                ev(0, 0, 0.0, 0.0, 0.0, 0.0, 100.0),
+                ev(1, 1, 0.0, 80.0, 110.0, 110.0, 190.0),
+                ev(2, 2, 0.0, 80.0, 200.0, 200.0, 280.0),
+                ev(3, 0, 100.0, 80.0, 290.0, 290.0, 370.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        cascade3().validate();
+        assert_eq!(cascade3().end(), 370.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapped the previous execution")]
+    fn overlapping_execution_is_rejected() {
+        let mut t = cascade3();
+        t.events[1].token_arrival = 40.0;
+        t.events[1].exec_start = 50.0; // inside chunk 0's execution
+        t.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "before the token arrived")]
+    fn premature_execution_is_rejected() {
+        let mut t = cascade3();
+        t.events[2].exec_start = 150.0;
+        t.validate();
+    }
+
+    #[test]
+    fn render_shows_all_three_phases() {
+        let s = cascade3().render(60);
+        assert!(s.contains('E'));
+        assert!(s.contains('h'));
+        assert!(s.contains('.'), "proc 1 spins between helper end and token: {s}");
+        assert_eq!(s.lines().count(), 5, "3 procs + axis + legend");
+    }
+
+    #[test]
+    fn exactly_one_processor_executes_at_a_time() {
+        // Structural Figure-1 property: E segments never overlap.
+        let t = cascade3();
+        for w in t.events.windows(2) {
+            assert!(w[1].exec_start >= w[0].exec_end);
+        }
+    }
+
+    #[test]
+    fn spin_cycles_accounting() {
+        let e = ev(1, 1, 0.0, 80.0, 110.0, 110.0, 190.0);
+        assert_eq!(e.spin_cycles(), 30.0);
+        assert_eq!(e.exec_cycles(), 80.0);
+    }
+}

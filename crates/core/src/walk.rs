@@ -1,0 +1,561 @@
+//! Phase walkers: the four ways a range of iterations is pushed through the
+//! memory system.
+//!
+//! * [`exec_original`] — the loop body as written (sequential baseline, and
+//!   execution phases under `None`/`Prefetch` policies);
+//! * [`helper_prefetch`] — the shadow loop that loads upcoming operands
+//!   (§2.1, "the simplest helper technique");
+//! * [`helper_pack`] — sequential-buffer restructuring: read-only operands
+//!   stream into a dense per-processor buffer in dynamic reference order,
+//!   scatter indices are packed, to-be-written data is prefetched in place;
+//! * [`exec_restructured`] — the execution phase that consumes the packed
+//!   buffer sequentially and falls back to the original body for iterations
+//!   the helper did not reach (jump-out leaves a partially packed chunk).
+//!
+//! All walkers go through the same [`Resolver`], so the reference streams
+//! they generate are identical by construction — only *which processor*,
+//! *which phase* and *which redundant accesses are elided* differ.
+
+use std::ops::Range;
+
+use cascade_mem::{Access, Op, Phase, StreamClass, System};
+use cascade_trace::{LoopSpec, Mode, Pattern, Resolver};
+
+/// Extra address-arithmetic cycles charged per indirect reference in the
+/// original loop body (index load consumption, effective-address compute).
+/// Restructuring eliminates this for packed streams — one of the §2.1
+/// benefits ("may reduce the number of operations ... required to index
+/// array data").
+pub const INDIRECT_INDEXING_CYCLES: f64 = 1.0;
+
+/// Loop-control cycles charged per iteration of any walked loop.
+pub const LOOP_CONTROL_CYCLES: f64 = 1.0;
+
+/// Cycles of packing work (store address generation, cursor bump) charged
+/// per packed operand per iteration in the restructuring helper.
+pub const PACK_CYCLES_PER_REF: f64 = 0.5;
+
+fn n_indirect(spec: &LoopSpec) -> usize {
+    spec.refs.iter().filter(|r| matches!(r.pattern, Pattern::Indirect { .. })).count()
+}
+
+/// Walk iterations `range` of the original loop body on processor `proc`,
+/// charging execution-phase costs. Returns the exposed cycles.
+pub fn exec_original(
+    sys: &mut System,
+    proc: usize,
+    res: Resolver<'_>,
+    spec: &LoopSpec,
+    range: Range<u64>,
+) -> f64 {
+    let per_iter_compute =
+        spec.compute + LOOP_CONTROL_CYCLES + INDIRECT_INDEXING_CYCLES * n_indirect(spec) as f64;
+    let mut cycles = 0.0;
+    for i in range {
+        cycles += sys.charge(proc, per_iter_compute);
+        cycles += body_original(sys, proc, res, spec, i, Phase::Execution);
+    }
+    cycles
+}
+
+/// The memory accesses of one original-body iteration (shared between the
+/// execution walker above and the fallback path of [`exec_restructured`]).
+fn body_original(
+    sys: &mut System,
+    proc: usize,
+    res: Resolver<'_>,
+    spec: &LoopSpec,
+    i: u64,
+    phase: Phase,
+) -> f64 {
+    let mut cycles = 0.0;
+    for r in &spec.refs {
+        if let Some(ix) = res.index_access(r, i) {
+            cycles += sys.access(
+                proc,
+                Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                phase,
+            );
+        }
+        let d = res.data_access(r, i);
+        match r.mode {
+            Mode::Read => {
+                cycles += sys.access(
+                    proc,
+                    Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                    phase,
+                );
+            }
+            Mode::Write => {
+                cycles += sys.access(
+                    proc,
+                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    phase,
+                );
+            }
+            Mode::Modify => {
+                cycles += sys.access(
+                    proc,
+                    Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                    phase,
+                );
+                cycles += sys.access(
+                    proc,
+                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    phase,
+                );
+            }
+        }
+    }
+    cycles
+}
+
+/// Outcome of a (possibly budget-limited) helper walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HelperOutcome {
+    /// Cycles the helper consumed.
+    pub cycles: f64,
+    /// Iterations fully processed (counted from the start of the range).
+    pub iters_done: u64,
+}
+
+impl HelperOutcome {
+    /// Did the helper process its whole range?
+    pub fn completed(&self, range_len: u64) -> bool {
+        self.iters_done >= range_len
+    }
+}
+
+/// Run the prefetch helper over `range` on `proc`: read index elements,
+/// prefetch every operand line (including write targets — write-allocate
+/// would otherwise miss). Stops early once `budget` cycles are exceeded
+/// (the paper's jump-out-of-helper modification, §3.3); pass `None` to run
+/// to completion.
+pub fn helper_prefetch(
+    sys: &mut System,
+    proc: usize,
+    res: Resolver<'_>,
+    spec: &LoopSpec,
+    range: Range<u64>,
+    budget: Option<f64>,
+) -> HelperOutcome {
+    let per_iter_compute =
+        LOOP_CONTROL_CYCLES + INDIRECT_INDEXING_CYCLES * n_indirect(spec) as f64;
+    let mut cycles = 0.0;
+    let mut done = 0u64;
+    for i in range {
+        cycles += sys.charge(proc, per_iter_compute);
+        for r in &spec.refs {
+            if let Some(ix) = res.index_access(r, i) {
+                cycles += sys.access(
+                    proc,
+                    Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                    Phase::Helper,
+                );
+            }
+            let d = res.data_access(r, i);
+            cycles += sys.access(
+                proc,
+                Access { addr: d.addr, bytes: d.bytes, op: Op::Prefetch, class: d.class },
+                Phase::Helper,
+            );
+        }
+        done += 1;
+        if let Some(b) = budget {
+            if cycles >= b {
+                break;
+            }
+        }
+    }
+    HelperOutcome { cycles, iters_done: done }
+}
+
+/// Run the restructuring helper over `range` on `proc`: pack read-only
+/// operands (or, with `hoist`, the precomputed results of read-only-only
+/// computation) and scatter indices into the sequential buffer starting at
+/// byte address `buffer_base`, and prefetch write targets in place.
+///
+/// The buffer layout is `packed_bytes_per_iter(hoist)` bytes per iteration,
+/// written (and later read) as one dense stream.
+#[allow(clippy::too_many_arguments)] // a phase is naturally parameterized by all of these
+pub fn helper_pack(
+    sys: &mut System,
+    proc: usize,
+    res: Resolver<'_>,
+    spec: &LoopSpec,
+    range: Range<u64>,
+    buffer_base: u64,
+    hoist: bool,
+    budget: Option<f64>,
+) -> HelperOutcome {
+    let pbpi = spec.packed_bytes_per_iter(hoist);
+    let hoist_compute = if hoist { spec.hoistable_compute } else { 0.0 };
+    let mut cycles = 0.0;
+    let mut done = 0u64;
+    let start = range.start;
+    for i in range {
+        let mut cursor = buffer_base + (i - start) * pbpi;
+        let mut hoisted_any = false;
+        let mut packed_refs = 0usize;
+        let mut iter_cycles = sys.charge(proc, LOOP_CONTROL_CYCLES + hoist_compute);
+        for r in &spec.refs {
+            match r.mode {
+                Mode::Read => {
+                    // Read the operand (through its index if indirect)...
+                    if let Some(ix) = res.index_access(r, i) {
+                        iter_cycles += sys.access(
+                            proc,
+                            Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                            Phase::Helper,
+                        );
+                    }
+                    let d = res.data_access(r, i);
+                    iter_cycles += sys.access(
+                        proc,
+                        Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                        Phase::Helper,
+                    );
+                    // ...and stream it (or fold it into the hoisted result).
+                    if hoist && r.hoistable {
+                        hoisted_any = true;
+                    } else {
+                        iter_cycles += sys.access(
+                            proc,
+                            Access {
+                                addr: cursor,
+                                bytes: r.bytes,
+                                op: Op::Write,
+                                class: StreamClass::Affine,
+                            },
+                            Phase::Helper,
+                        );
+                        cursor += r.bytes as u64;
+                        packed_refs += 1;
+                    }
+                }
+                Mode::Write | Mode::Modify => {
+                    if let Some(ix) = res.index_access(r, i) {
+                        // Scatter indices are read-only data: pack them.
+                        iter_cycles += sys.access(
+                            proc,
+                            Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                            Phase::Helper,
+                        );
+                        iter_cycles += sys.access(
+                            proc,
+                            Access {
+                                addr: cursor,
+                                bytes: ix.bytes,
+                                op: Op::Write,
+                                class: StreamClass::Affine,
+                            },
+                            Phase::Helper,
+                        );
+                        cursor += ix.bytes as u64;
+                        packed_refs += 1;
+                    }
+                    // The write target itself stays in place; warm it up.
+                    let d = res.data_access(r, i);
+                    iter_cycles += sys.access(
+                        proc,
+                        Access { addr: d.addr, bytes: d.bytes, op: Op::Prefetch, class: d.class },
+                        Phase::Helper,
+                    );
+                }
+            }
+        }
+        if hoisted_any {
+            iter_cycles += sys.access(
+                proc,
+                Access {
+                    addr: cursor,
+                    bytes: spec.hoist_result_bytes,
+                    op: Op::Write,
+                    class: StreamClass::Affine,
+                },
+                Phase::Helper,
+            );
+            packed_refs += 1;
+        }
+        iter_cycles += sys.charge(proc, PACK_CYCLES_PER_REF * packed_refs as f64);
+        cycles += iter_cycles;
+        done += 1;
+        if let Some(b) = budget {
+            if cycles >= b {
+                break;
+            }
+        }
+    }
+    HelperOutcome { cycles, iters_done: done }
+}
+
+/// Walk the execution phase of a restructured chunk: the first
+/// `packed_iters` iterations of `range` consume the sequential buffer at
+/// `buffer_base`; any remainder (helper jumped out early) falls back to the
+/// original body. Returns exposed cycles.
+#[allow(clippy::too_many_arguments)] // a phase is naturally parameterized by all of these
+pub fn exec_restructured(
+    sys: &mut System,
+    proc: usize,
+    res: Resolver<'_>,
+    spec: &LoopSpec,
+    range: Range<u64>,
+    buffer_base: u64,
+    hoist: bool,
+    packed_iters: u64,
+) -> f64 {
+    let pbpi = spec.packed_bytes_per_iter(hoist);
+    let exec_compute = spec.exec_compute(hoist) + LOOP_CONTROL_CYCLES;
+    let fallback_compute =
+        spec.compute + LOOP_CONTROL_CYCLES + INDIRECT_INDEXING_CYCLES * n_indirect(spec) as f64;
+    let start = range.start;
+    let packed_end = (start + packed_iters).min(range.end);
+    let mut cycles = 0.0;
+    for i in range.clone() {
+        if i < packed_end {
+            cycles += sys.charge(proc, exec_compute);
+            // One dense sequential read covering everything the helper
+            // packed for this iteration.
+            if pbpi > 0 {
+                cycles += sys.access(
+                    proc,
+                    Access {
+                        addr: buffer_base + (i - start) * pbpi,
+                        bytes: pbpi as u32,
+                        op: Op::Read,
+                        class: StreamClass::Affine,
+                    },
+                    Phase::Execution,
+                );
+            }
+            // Writes happen in place, exactly as in the original body; the
+            // index value needed by an indirect write came from the buffer.
+            for r in &spec.refs {
+                if !r.mode.writes() {
+                    continue;
+                }
+                let d = res.data_access(r, i);
+                if matches!(r.mode, Mode::Modify) {
+                    cycles += sys.access(
+                        proc,
+                        Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                        Phase::Execution,
+                    );
+                }
+                cycles += sys.access(
+                    proc,
+                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    Phase::Execution,
+                );
+            }
+        } else {
+            cycles += sys.charge(proc, fallback_compute);
+            cycles += body_original(sys, proc, res, spec, i, Phase::Execution);
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cascade_mem::machines::pentium_pro;
+    use cascade_trace::{AddressSpace, IndexStore, StreamRef};
+
+    /// x(ij(i)) += a(i) + b(i): the paper's synthetic loop shape.
+    fn synthetic() -> (AddressSpace, IndexStore, LoopSpec) {
+        let n = 4096u64;
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 4, n);
+        let a = s.alloc("a", 4, n);
+        let b = s.alloc("b", 4, n);
+        let ij = s.alloc("ij", 4, n);
+        let mut idx = IndexStore::new();
+        idx.set(ij, (0..n as u32).collect());
+        let spec = LoopSpec {
+            name: "synthetic".into(),
+            iters: n,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 4,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "b(i)",
+                    array: b,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 4,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "x(ij(i))",
+                    array: x,
+                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    mode: Mode::Modify,
+                    bytes: 4,
+                    hoistable: false,
+                },
+            ],
+            compute: 3.0,
+            hoistable_compute: 1.0,
+            hoist_result_bytes: 4,
+        };
+        spec.validate();
+        (s, idx, spec)
+    }
+
+    #[test]
+    fn prefetched_execution_is_faster_than_cold() {
+        let (s, idx, spec) = synthetic();
+        let res = Resolver::new(&s, &idx);
+
+        let mut cold = System::new(pentium_pro(), 1);
+        let cold_cycles = exec_original(&mut cold, 0, res, &spec, 0..spec.iters);
+
+        let mut warm = System::new(pentium_pro(), 1);
+        let h = helper_prefetch(&mut warm, 0, res, &spec, 0..spec.iters, None);
+        assert!(h.completed(spec.iters));
+        let warm_cycles = exec_original(&mut warm, 0, res, &spec, 0..spec.iters);
+
+        assert!(
+            warm_cycles < cold_cycles * 0.8,
+            "prefetched exec {warm_cycles} should be well under cold {cold_cycles}"
+        );
+    }
+
+    #[test]
+    fn restructured_execution_is_faster_than_prefetched() {
+        let (mut s, idx, spec) = synthetic();
+        let buf_len = spec.iters * spec.packed_bytes_per_iter(true);
+        let buf = s.alloc("buf", 1, buf_len);
+        let buffer_base = s.array(buf).base;
+        let res = Resolver::new(&s, &idx);
+
+        let mut pre = System::new(pentium_pro(), 1);
+        helper_prefetch(&mut pre, 0, res, &spec, 0..spec.iters, None);
+        let pre_cycles = exec_original(&mut pre, 0, res, &spec, 0..spec.iters);
+
+        let mut rst = System::new(pentium_pro(), 1);
+        let h = helper_pack(&mut rst, 0, res, &spec, 0..spec.iters, buffer_base, true, None);
+        assert!(h.completed(spec.iters));
+        let rst_cycles =
+            exec_restructured(&mut rst, 0, res, &spec, 0..spec.iters, buffer_base, true, spec.iters);
+
+        assert!(
+            rst_cycles < pre_cycles,
+            "restructured {rst_cycles} should beat prefetched {pre_cycles}"
+        );
+    }
+
+    #[test]
+    fn budget_limits_helper_progress() {
+        let (s, idx, spec) = synthetic();
+        let res = Resolver::new(&s, &idx);
+        let mut sys = System::new(pentium_pro(), 1);
+        let h = helper_prefetch(&mut sys, 0, res, &spec, 0..spec.iters, Some(100.0));
+        assert!(h.iters_done < spec.iters, "a 100-cycle budget cannot cover the loop");
+        assert!(h.iters_done >= 1, "at least one iteration must be attempted");
+        assert!(!h.completed(spec.iters));
+    }
+
+    #[test]
+    fn partial_restructure_falls_back_to_original_body() {
+        let (mut s, idx, spec) = synthetic();
+        let buf_len = spec.iters * spec.packed_bytes_per_iter(false);
+        let buf = s.alloc("buf", 1, buf_len);
+        let buffer_base = s.array(buf).base;
+        let res = Resolver::new(&s, &idx);
+
+        let mut sys = System::new(pentium_pro(), 1);
+        let packed = 100u64;
+        helper_pack(&mut sys, 0, res, &spec, 0..packed, buffer_base, false, None);
+        // Executing the full range with only 100 packed iterations must not
+        // panic and must cost more than a fully packed run.
+        let part =
+            exec_restructured(&mut sys, 0, res, &spec, 0..spec.iters, buffer_base, false, packed);
+
+        let mut full_sys = System::new(pentium_pro(), 1);
+        let buf_full = spec.iters * spec.packed_bytes_per_iter(false);
+        assert!(buf_len >= buf_full);
+        helper_pack(&mut full_sys, 0, res, &spec, 0..spec.iters, buffer_base, false, None);
+        let full = exec_restructured(
+            &mut full_sys, 0, res, &spec, 0..spec.iters, buffer_base, false, spec.iters,
+        );
+        assert!(part > full, "partial packing {part} must cost more than full {full}");
+    }
+
+    #[test]
+    fn hoisting_reduces_execution_cycles_further() {
+        let (mut s, idx, spec) = synthetic();
+        let buf_len = spec.iters * spec.packed_bytes_per_iter(false).max(spec.packed_bytes_per_iter(true));
+        let buf = s.alloc("buf", 1, buf_len);
+        let base = s.array(buf).base;
+        let res = Resolver::new(&s, &idx);
+
+        let mut no_hoist = System::new(pentium_pro(), 1);
+        helper_pack(&mut no_hoist, 0, res, &spec, 0..spec.iters, base, false, None);
+        let c_no =
+            exec_restructured(&mut no_hoist, 0, res, &spec, 0..spec.iters, base, false, spec.iters);
+
+        let mut hoist = System::new(pentium_pro(), 1);
+        helper_pack(&mut hoist, 0, res, &spec, 0..spec.iters, base, true, None);
+        let c_h =
+            exec_restructured(&mut hoist, 0, res, &spec, 0..spec.iters, base, true, spec.iters);
+
+        assert!(c_h < c_no, "hoisted exec {c_h} should beat non-hoisted {c_no}");
+    }
+
+    #[test]
+    fn empty_ranges_cost_nothing() {
+        let (s, idx, spec) = synthetic();
+        let res = Resolver::new(&s, &idx);
+        let mut sys = System::new(pentium_pro(), 1);
+        assert_eq!(exec_original(&mut sys, 0, res, &spec, 5..5), 0.0);
+        let h = helper_prefetch(&mut sys, 0, res, &spec, 5..5, None);
+        assert_eq!((h.cycles, h.iters_done), (0.0, 0));
+        let h = helper_pack(&mut sys, 0, res, &spec, 5..5, 1 << 30, false, Some(0.0));
+        assert_eq!((h.cycles, h.iters_done), (0.0, 0));
+        assert_eq!(
+            exec_restructured(&mut sys, 0, res, &spec, 5..5, 1 << 30, false, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn restructured_with_nothing_packed_equals_fallback_body() {
+        // packed_iters = 0 must walk the original body for every
+        // iteration — identical cycles to exec_original on an identical
+        // fresh system.
+        let (s, idx, spec) = synthetic();
+        let res = Resolver::new(&s, &idx);
+        let mut a = System::new(pentium_pro(), 1);
+        let ca = exec_original(&mut a, 0, res, &spec, 0..512);
+        let mut b = System::new(pentium_pro(), 1);
+        let cb = exec_restructured(&mut b, 0, res, &spec, 0..512, 1 << 30, false, 0);
+        assert_eq!(ca, cb, "zero packed iterations must degrade to the original body");
+        assert_eq!(
+            a.snapshot().total().l2.misses,
+            b.snapshot().total().l2.misses
+        );
+    }
+
+    #[test]
+    fn walkers_touch_identical_data_lines() {
+        // The prefetch helper must cover every line the execution touches:
+        // after a completed helper, execution takes no memory-line fetches.
+        let (s, idx, spec) = synthetic();
+        let res = Resolver::new(&s, &idx);
+        let mut sys = System::new(pentium_pro(), 1);
+        // Footprint: 4 arrays x 16KB = 64KB; fits the 512KB L2.
+        helper_prefetch(&mut sys, 0, res, &spec, 0..spec.iters, None);
+        let before = sys.snapshot().total().mem_lines;
+        exec_original(&mut sys, 0, res, &spec, 0..spec.iters);
+        let after = sys.snapshot().total().mem_lines;
+        assert_eq!(before, after, "execution after a full prefetch must not touch memory");
+    }
+}

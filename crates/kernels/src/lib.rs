@@ -1,0 +1,428 @@
+//! # cascade-kernels — classically unparallelizable loops
+//!
+//! The paper motivates cascaded execution with loops "for which the
+//! compiler cannot find a legal or efficient parallel realization". This
+//! crate provides the canonical population of such loops beyond wave5's
+//! particle mover, so the technique can be evaluated across loop classes:
+//!
+//! | kernel | why it resists parallelization | memory shape |
+//! |---|---|---|
+//! | [`triangular_solve`] | loop-carried through the solution vector | affine row data + gather of earlier results |
+//! | [`pointer_chase`] | address of iteration `i+1` is data of iteration `i` | dependent gather chain |
+//! | [`iir_recurrence`] | `y[i] = a*y[i-1] + x[i]` | streaming with a carried scalar chain |
+//! | [`histogram`] | colliding scatter-add (order-sensitive in FP) | gather index + scatter |
+//! | [`seq_spmv`] | scatter-accumulate into the result vector | gather x, scatter y, streaming values |
+//!
+//! Each kernel is a [`Workload`] (+ initialized [`Arena`]) exactly like
+//! `cascade-wave5`'s loops, so the simulators run all of them unchanged.
+//! Kernels whose loops read an array they also write (`triangular_solve`,
+//! `iir_recurrence`) are *simulator-only*: the real-thread interpreter's
+//! safety validator rejects them, because it cannot prove the read
+//! prefix/write suffix never overlap within a helper's horizon. Use
+//! [`Kernel::rt_safe`] to filter.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cascade_trace::{
+    AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
+
+/// A built kernel: workload + data + metadata.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name (stable identifier).
+    pub name: &'static str,
+    /// Single-loop workload.
+    pub workload: Workload,
+    /// Initialized backing data.
+    pub arena: Arena,
+    /// Whether the real-thread interpreter accepts this kernel (loops that
+    /// read an array they also write are simulator-only).
+    pub rt_safe: bool,
+}
+
+fn finish(
+    name: &'static str,
+    space: AddressSpace,
+    index: IndexStore,
+    spec: LoopSpec,
+    arena: Arena,
+    rt_safe: bool,
+) -> Kernel {
+    spec.validate();
+    let workload = Workload { space, index, loops: vec![spec] };
+    workload.validate();
+    Kernel { name, workload, arena, rt_safe }
+}
+
+fn fill_f64(arena: &mut Arena, space: &AddressSpace, id: cascade_trace::ArrayId, rng: &mut StdRng) {
+    for i in 0..space.array(id).len {
+        arena.set_f64(space, id, i, rng.gen_range(0.01..1.0));
+    }
+}
+
+/// Sparse lower-triangular solve, flattened over rows with a fixed number
+/// of off-diagonal entries per row:
+/// `x(i) = (b(i) - sum_k L(i,k) * x(col(i,k))) / d(i)`.
+///
+/// The gather of earlier `x` entries is the loop-carried dependence.
+/// Simulator-only (`x` is both gathered and written).
+pub fn triangular_solve(n: u64, nnz_per_row: u64, seed: u64) -> Kernel {
+    assert!(n >= 16 && nnz_per_row >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let x = space.alloc("x", 8, n);
+    let b = space.alloc("b", 8, n);
+    let d = space.alloc("d", 8, n);
+    let lvals = space.alloc("L", 8, n * nnz_per_row);
+    let cols = space.alloc("col", 4, n * nnz_per_row);
+
+    let mut index = IndexStore::new();
+    // Row i references earlier unknowns only (j < max(i,1)).
+    let col_data: Vec<u32> = (0..n)
+        .flat_map(|i| {
+            let hi = i.max(1);
+            (0..nnz_per_row).map(move |k| ((i * 31 + k * 17 + 7) % hi) as u32)
+        })
+        .collect();
+    index.set(cols, col_data);
+
+    // One "iteration" = one row; the gather walks nnz entries via a
+    // strided indirect pattern (istride = nnz_per_row picks the row's
+    // first entry; the remaining entries are modelled as part of the
+    // row's affine value stream — the dominant traffic).
+    let spec = LoopSpec {
+        name: format!("tri-solve n={n} nnz={nnz_per_row}"),
+        iters: n,
+        refs: vec![
+            StreamRef {
+                name: "L(i,*)",
+                array: lvals,
+                pattern: Pattern::Affine { base: 0, stride: nnz_per_row as i64 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "b(i)",
+                array: b,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "d(i)",
+                array: d,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "x(col(i,0))",
+                array: x,
+                pattern: Pattern::Indirect { index: cols, ibase: 0, istride: nnz_per_row as i64 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: false, // depends on x written this loop: not hoistable
+            },
+            StreamRef {
+                name: "x(i)",
+                array: x,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 10.0 + 4.0 * nnz_per_row as f64,
+        hoistable_compute: 3.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    for id in [b, d, lvals] {
+        fill_f64(&mut arena, &space, id, &mut rng);
+    }
+    arena.install_indices(&space, &index);
+    finish("triangular_solve", space, index, spec, arena, false)
+}
+
+/// Linked-list pointer chase: visit `n` nodes in a precomputed random
+/// chain order, reading each node's payload. The chain order array *is*
+/// the simulated pointer data. Read-only: runs everywhere.
+pub fn pointer_chase(n: u64, payload_bytes: u32, seed: u64) -> Kernel {
+    assert!(n >= 16);
+    assert!(payload_bytes == 8, "payload modelled as one 8-byte field");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let nodes = space.alloc("nodes", 8, n);
+    let chain = space.alloc("chain", 4, n);
+
+    // A random permutation = a maximally cache-hostile chain.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut index = IndexStore::new();
+    index.set(chain, order);
+
+    let spec = LoopSpec {
+        name: format!("pointer-chase n={n}"),
+        iters: n,
+        refs: vec![StreamRef {
+            name: "nodes(chain(i))",
+            array: nodes,
+            pattern: Pattern::Indirect { index: chain, ibase: 0, istride: 1 },
+            mode: Mode::Read,
+            bytes: payload_bytes,
+            hoistable: true,
+        }],
+        compute: 4.0,
+        hoistable_compute: 2.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    fill_f64(&mut arena, &space, nodes, &mut rng);
+    arena.install_indices(&space, &index);
+    finish("pointer_chase", space, index, spec, arena, true)
+}
+
+/// First-order IIR recurrence `y(i) = a * y(i-1) + x(i)`: the classic
+/// un-vectorizable filter. Simulator-only (`y` read at `i-1`, written at
+/// `i`).
+pub fn iir_recurrence(n: u64, seed: u64) -> Kernel {
+    assert!(n >= 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let y = space.alloc("y", 8, n + 1);
+    let xv = space.alloc("x", 8, n);
+    let spec = LoopSpec {
+        name: format!("iir y(i)=a*y(i-1)+x(i), n={n}"),
+        iters: n,
+        refs: vec![
+            StreamRef {
+                name: "x(i)",
+                array: xv,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "y(i-1)",
+                array: y,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "y(i)",
+                array: y,
+                pattern: Pattern::Affine { base: 1, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 6.0,
+        hoistable_compute: 1.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    fill_f64(&mut arena, &space, xv, &mut rng);
+    arena.install_indices(&space, &IndexStore::new());
+    finish("iir_recurrence", space, IndexStore::new(), spec, arena, false)
+}
+
+/// Histogram accumulation `hist(key(i)) += w(i)` with colliding keys:
+/// order-sensitive in floating point, so it must stay sequential.
+/// Runs everywhere (the paper's scatter-add class).
+pub fn histogram(n: u64, buckets: u64, seed: u64) -> Kernel {
+    assert!(n >= 16 && buckets >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let hist = space.alloc("hist", 8, buckets);
+    let w = space.alloc("w", 8, n);
+    let key = space.alloc("key", 4, n);
+    let mut index = IndexStore::new();
+    index.set(key, (0..n).map(|_| rng.gen_range(0..buckets) as u32).collect());
+    let spec = LoopSpec {
+        name: format!("histogram n={n} buckets={buckets}"),
+        iters: n,
+        refs: vec![
+            StreamRef {
+                name: "w(i)",
+                array: w,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "hist(key(i))",
+                array: hist,
+                pattern: Pattern::Indirect { index: key, ibase: 0, istride: 1 },
+                mode: Mode::Modify,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 4.0,
+        hoistable_compute: 1.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    fill_f64(&mut arena, &space, w, &mut rng);
+    arena.install_indices(&space, &index);
+    finish("histogram", space, index, spec, arena, true)
+}
+
+/// Sequentialized sparse matrix-vector product over a nonzero stream:
+/// `y(row(k)) += A(k) * x(col(k))`. The scatter-accumulate into `y`
+/// defeats naive parallelization. Runs everywhere.
+pub fn seq_spmv(nnz: u64, nrows: u64, ncols: u64, seed: u64) -> Kernel {
+    assert!(nnz >= 16 && nrows >= 2 && ncols >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let y = space.alloc("y", 8, nrows);
+    let xv = space.alloc("x", 8, ncols);
+    let a = space.alloc("A", 8, nnz);
+    let rows = space.alloc("row", 4, nnz);
+    let cols = space.alloc("col", 4, nnz);
+    let mut index = IndexStore::new();
+    // Row indices mostly sorted (CSR-ish traversal), columns random.
+    index.set(rows, (0..nnz).map(|k| ((k * nrows) / nnz) as u32).collect());
+    index.set(cols, (0..nnz).map(|_| rng.gen_range(0..ncols) as u32).collect());
+    let spec = LoopSpec {
+        name: format!("seq-spmv nnz={nnz}"),
+        iters: nnz,
+        refs: vec![
+            StreamRef {
+                name: "A(k)",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "x(col(k))",
+                array: xv,
+                pattern: Pattern::Indirect { index: cols, ibase: 0, istride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "y(row(k))",
+                array: y,
+                pattern: Pattern::Indirect { index: rows, ibase: 0, istride: 1 },
+                mode: Mode::Modify,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 6.0,
+        hoistable_compute: 2.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    for id in [a, xv] {
+        fill_f64(&mut arena, &space, id, &mut rng);
+    }
+    arena.install_indices(&space, &index);
+    finish("seq_spmv", space, index, spec, arena, true)
+}
+
+/// Build the whole suite at a common scale (element counts ~`n`).
+pub fn suite(n: u64, seed: u64) -> Vec<Kernel> {
+    vec![
+        triangular_solve(n, 4, seed),
+        pointer_chase(n, 8, seed ^ 1),
+        iir_recurrence(n, seed ^ 2),
+        histogram(n, (n / 4).max(2), seed ^ 3),
+        seq_spmv(n * 4, n, n, seed ^ 4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_and_validates() {
+        let ks = suite(4096, 9);
+        assert_eq!(ks.len(), 5);
+        for k in &ks {
+            k.workload.validate();
+            assert_eq!(k.workload.loops.len(), 1);
+            assert_eq!(k.arena.len() as u64, k.workload.space.extent());
+        }
+    }
+
+    #[test]
+    fn rt_safety_flags_match_interpreter_validation() {
+        // Kernels marked rt_safe must be accepted by the interpreter's
+        // validator logic: no read-only ref's array is written.
+        for k in suite(1024, 5) {
+            let spec = &k.workload.loops[0];
+            let written: std::collections::HashSet<_> =
+                spec.refs.iter().filter(|r| r.mode.writes()).map(|r| r.array).collect();
+            let reads_written = spec
+                .refs
+                .iter()
+                .any(|r| r.mode.is_read_only() && written.contains(&r.array));
+            assert_eq!(
+                !reads_written, k.rt_safe,
+                "{}: rt_safe flag disagrees with ref structure",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn tri_solve_references_only_earlier_unknowns() {
+        let k = triangular_solve(512, 4, 3);
+        let cols = k.workload.space.iter().find(|(_, d)| d.name == "col").unwrap().0;
+        for i in 1..512u64 {
+            let j = k.workload.index.get(cols, i * 4) as u64;
+            assert!(j < i, "row {i} references x[{j}] >= i");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node_once() {
+        let k = pointer_chase(1024, 8, 3);
+        let chain = k.workload.space.iter().find(|(_, d)| d.name == "chain").unwrap().0;
+        let mut seen = vec![false; 1024];
+        for i in 0..1024u64 {
+            let v = k.workload.index.get(chain, i) as usize;
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+    }
+
+    #[test]
+    fn histogram_keys_in_range() {
+        let k = histogram(2048, 64, 3);
+        let key = k.workload.space.iter().find(|(_, d)| d.name == "key").unwrap().0;
+        for i in 0..2048u64 {
+            assert!((k.workload.index.get(key, i) as u64) < 64);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = histogram(1024, 32, 7);
+        let b = histogram(1024, 32, 7);
+        assert_eq!(a.arena.checksum(), b.arena.checksum());
+        let c = histogram(1024, 32, 8);
+        assert_ne!(a.arena.checksum(), c.arena.checksum());
+    }
+}

@@ -1,0 +1,110 @@
+//! The kernel suite through the full system: simulator speedups per loop
+//! class, and real-thread bitwise equivalence for the rt-safe kernels.
+
+use cascade_core::{run_cascaded, run_sequential, CascadeConfig, HelperPolicy};
+use cascade_kernels::{histogram, pointer_chase, seq_spmv, suite};
+use cascade_mem::machines::pentium_pro;
+use cascade_rt::{RtPolicy, RunnerConfig, SpecProgram};
+
+#[test]
+fn every_kernel_simulates_under_every_policy() {
+    let m = pentium_pro();
+    for k in suite(8192, 3) {
+        let base = run_sequential(&m, &k.workload, 1, true);
+        for policy in [
+            HelperPolicy::None,
+            HelperPolicy::Prefetch,
+            HelperPolicy::Restructure { hoist: false },
+            HelperPolicy::Restructure { hoist: true },
+        ] {
+            let cfg = CascadeConfig { nprocs: 4, policy, calls: 1, ..CascadeConfig::default() };
+            let r = run_cascaded(&m, &k.workload, &cfg);
+            let s = r.overall_speedup_vs(&base);
+            assert!(s > 0.2 && s < 20.0, "{} under {:?}: absurd speedup {s}", k.name, policy);
+        }
+    }
+}
+
+#[test]
+fn memory_bound_kernels_gain_most() {
+    // The pointer chase (no locality at all) must gain more from
+    // restructuring than the histogram over a small bucket array (whose
+    // working set is cache-resident).
+    let m = pentium_pro();
+    let chase = pointer_chase(1 << 18, 8, 3);
+    let hist = histogram(1 << 18, 512, 3); // 4KB of buckets: cache-resident
+    let cfg = CascadeConfig {
+        nprocs: 4,
+        policy: HelperPolicy::Restructure { hoist: true },
+        calls: 1,
+        ..CascadeConfig::default()
+    };
+    let s_chase = run_cascaded(&m, &chase.workload, &cfg)
+        .overall_speedup_vs(&run_sequential(&m, &chase.workload, 1, true));
+    let s_hist = run_cascaded(&m, &hist.workload, &cfg)
+        .overall_speedup_vs(&run_sequential(&m, &hist.workload, 1, true));
+    assert!(
+        s_chase > s_hist,
+        "chase ({s_chase:.2}) must out-gain cache-resident histogram ({s_hist:.2})"
+    );
+    assert!(s_chase > 1.5, "a random chase is highly memory bound: {s_chase:.2}");
+}
+
+#[test]
+fn rt_safe_kernels_cascade_bitwise_on_threads() {
+    for k in suite(4096, 11) {
+        if !k.rt_safe {
+            continue;
+        }
+        let name = k.name;
+        let expected = {
+            let mut prog = SpecProgram::new(k.workload.clone(), k.arena.clone());
+            let kern = prog.kernel(0);
+            // SAFETY: single-threaded baseline.
+            unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
+            prog.checksum()
+        };
+        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let kern = prog.kernel(0);
+        cascade_rt::run_cascaded(
+            &kern,
+            &RunnerConfig {
+                nthreads: 3,
+                iters_per_chunk: 119,
+                policy: RtPolicy::Restructure,
+                poll_batch: 8,
+            },
+        );
+        assert_eq!(prog.checksum(), expected, "{name} diverged under cascading");
+    }
+}
+
+#[test]
+fn spmv_scatter_order_is_preserved() {
+    // The scatter-accumulate makes seq_spmv order-sensitive; cascading
+    // across different chunk sizes must all give the sequential answer.
+    let build = || seq_spmv(8192, 2048, 2048, 5);
+    let expected = {
+        let k = build();
+        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let kern = prog.kernel(0);
+        // SAFETY: single-threaded baseline.
+        unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
+        prog.checksum()
+    };
+    for chunk in [64u64, 777, 5000] {
+        let k = build();
+        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let kern = prog.kernel(0);
+        cascade_rt::run_cascaded(
+            &kern,
+            &RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: chunk,
+                policy: RtPolicy::Prefetch,
+                poll_batch: 16,
+            },
+        );
+        assert_eq!(prog.checksum(), expected, "chunk {chunk} diverged");
+    }
+}

@@ -1,0 +1,266 @@
+//! A set-associative, write-back, write-allocate cache with true LRU
+//! replacement.
+//!
+//! The cache operates on *line addresses* (byte address divided by the line
+//! size); translation from byte ranges to line addresses is done by the
+//! [`crate::system::System`] that owns the per-processor hierarchies.
+
+use crate::config::CacheConfig;
+use crate::stats::LevelStats;
+
+/// Result of probing or filling one line in a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been filled.
+    Miss {
+        /// The line address of a dirty victim displaced by the fill (its
+        /// writeback is the caller's responsibility), if any.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+impl LineOutcome {
+    /// True when the probe found the line resident.
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, LineOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    /// Line address stored in this way; `u64::MAX` marks an invalid way.
+    tag: u64,
+    dirty: bool,
+    /// Monotone recency stamp; larger = more recently used.
+    lru: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// A single cache level.
+///
+/// `Cache` deliberately knows nothing about latencies or other levels: it
+/// answers "was this line here?" and maintains replacement state. Timing is
+/// composed by the system model so that different charging policies (helper
+/// vs. execution phase) can reuse the same state machine.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    set_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    stats: LevelStats,
+}
+
+impl Cache {
+    /// Create an empty (all-invalid) cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            ways: vec![Way { tag: INVALID, dirty: false, lru: 0 }; sets * cfg.assoc],
+            set_shift: 0, // line address already excludes the offset bits
+            set_mask: (sets as u64) - 1,
+            clock: 0,
+            stats: LevelStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    #[inline]
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Cumulative hit/miss counters.
+    #[inline]
+    pub fn stats(&self) -> &LevelStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let set = ((line_addr >> self.set_shift) & self.set_mask) as usize;
+        let base = set * self.cfg.assoc;
+        base..base + self.cfg.assoc
+    }
+
+    /// Probe without modifying replacement state or counters. Used by tests
+    /// and by the directory when deciding invalidation targets.
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.ways[self.set_range(line_addr)].iter().any(|w| w.tag == line_addr)
+    }
+
+    /// True if the line is present and dirty.
+    pub fn is_dirty(&self, line_addr: u64) -> bool {
+        self.ways[self.set_range(line_addr)]
+            .iter()
+            .any(|w| w.tag == line_addr && w.dirty)
+    }
+
+    /// Access a line: on a hit, update LRU (and dirtiness for writes); on a
+    /// miss, fill the line, evicting the LRU way.
+    ///
+    /// Returns the outcome, including the address of any dirty line that was
+    /// written back to make room.
+    pub fn access(&mut self, line_addr: u64, write: bool) -> LineOutcome {
+        debug_assert_ne!(line_addr, INVALID, "reserved line address");
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(line_addr);
+        let set = &mut self.ways[range];
+
+        // Hit path.
+        if let Some(w) = set.iter_mut().find(|w| w.tag == line_addr) {
+            w.lru = clock;
+            w.dirty |= write;
+            self.stats.hits += 1;
+            return LineOutcome::Hit;
+        }
+
+        // Miss: pick an invalid way if any, else the least recently used.
+        self.stats.misses += 1;
+        let victim = match set.iter_mut().find(|w| w.tag == INVALID) {
+            Some(w) => w,
+            None => set.iter_mut().min_by_key(|w| w.lru).expect("assoc >= 1"),
+        };
+        let evicted_dirty = (victim.tag != INVALID && victim.dirty).then_some(victim.tag);
+        if evicted_dirty.is_some() {
+            self.stats.writebacks += 1;
+        }
+        *victim = Way { tag: line_addr, dirty: write, lru: clock };
+        LineOutcome::Miss { evicted_dirty }
+    }
+
+    /// Remove a line if present (coherence invalidation). Returns `true` if
+    /// the line was present and dirty — the caller is responsible for the
+    /// implied writeback.
+    pub fn invalidate(&mut self, line_addr: u64) -> bool {
+        let range = self.set_range(line_addr);
+        for w in &mut self.ways[range] {
+            if w.tag == line_addr {
+                let was_dirty = w.dirty;
+                *w = Way { tag: INVALID, dirty: false, lru: 0 };
+                self.stats.invalidations += 1;
+                return was_dirty;
+            }
+        }
+        false
+    }
+
+    /// Drop all contents (e.g. between independent experiments) without
+    /// resetting counters.
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            *w = Way { tag: INVALID, dirty: false, lru: 0 };
+        }
+    }
+
+    /// Number of valid lines currently resident (test/diagnostic helper).
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.tag != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways, 32B lines = 256B cache.
+        Cache::new(CacheConfig { size: 256, assoc: 2, line: 32, latency: 1 })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut c = tiny();
+        assert!(!c.access(7, false).is_hit());
+        assert!(c.access(7, false).is_hit());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_within_set() {
+        let mut c = tiny();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Assoc 2.
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // 0 is now MRU, 4 is LRU
+        c.access(8, false); // evicts 4
+        assert!(c.contains(0));
+        assert!(!c.contains(4));
+        assert!(c.contains(8));
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true);
+        assert!(c.is_dirty(0));
+        c.access(4, false);
+        // Touch 4 so 0 becomes LRU, then force eviction of 0.
+        c.access(4, false);
+        match c.access(8, false) {
+            LineOutcome::Miss { evicted_dirty: Some(addr) } => assert_eq!(addr, 0),
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn read_then_write_upgrades_dirtiness() {
+        let mut c = tiny();
+        c.access(3, false);
+        assert!(!c.is_dirty(3));
+        c.access(3, true);
+        assert!(c.is_dirty(3));
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.access(5, true);
+        assert!(c.invalidate(5));
+        assert!(!c.contains(5));
+        // Idempotent on absent lines.
+        assert!(!c.invalidate(5));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = tiny();
+        for line in 0..4u64 {
+            c.access(line, false);
+        }
+        for line in 0..4u64 {
+            assert!(c.contains(line), "line {line} should be resident");
+        }
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut c = tiny();
+        c.access(1, false);
+        c.access(2, false);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut c = tiny();
+        for line in 0..1000u64 {
+            c.access(line, line % 3 == 0);
+        }
+        assert!(c.resident_lines() <= c.config().lines());
+    }
+}

@@ -1,0 +1,298 @@
+//! Machine descriptions: cache geometries, latencies, and overlap factors.
+//!
+//! The two concrete machines come from Table 1 of the paper; the `future`
+//! constructor scales main-memory latency to model the paper's §3.4
+//! projection that memory access will increasingly dominate execution time.
+
+/// Geometry and latency of a single cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set). Must divide `size / line`.
+    pub assoc: usize,
+    /// Line size in bytes. Must be a power of two.
+    pub line: usize,
+    /// Access (hit) latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets in the cache.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.size / (self.line * self.assoc)
+    }
+
+    /// Number of lines in the cache.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.size / self.line
+    }
+
+    /// Bytes covered by one way (the aliasing distance: two addresses whose
+    /// distance is a multiple of this map to the same set).
+    #[inline]
+    pub fn way_bytes(&self) -> usize {
+        self.size / self.assoc
+    }
+
+    /// Validate internal consistency; panics on nonsensical geometry.
+    pub fn validate(&self) {
+        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(self.assoc >= 1, "associativity must be >= 1");
+        assert!(
+            self.size.is_multiple_of(self.line * self.assoc),
+            "size must be a multiple of line * assoc"
+        );
+        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+    }
+}
+
+/// Full description of a simulated shared-memory multiprocessor.
+///
+/// Latencies are charged as *exposed* cycles on the critical path of the
+/// execution phase; the `*_overlap` factors model how much of a miss's
+/// latency the processor can hide (out-of-order execution, non-blocking
+/// caches with up to four outstanding requests, and — on the R10000 — the
+/// MIPSpro compiler's automatic software prefetching; see paper §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable machine name, e.g. `"Pentium Pro"`.
+    pub name: &'static str,
+    /// First-level data cache.
+    pub l1: CacheConfig,
+    /// Second-level unified cache.
+    pub l2: CacheConfig,
+    /// Optional third-level cache (None on the paper's 1997 machines;
+    /// used by the `modern` preset).
+    pub l3: Option<CacheConfig>,
+    /// Main-memory access latency in cycles (beyond the L2 lookup).
+    pub mem_latency: u64,
+    /// Extra cost of fetching a line that is dirty in another processor's
+    /// cache (writeback + transfer), charged instead of `mem_latency`.
+    pub dirty_remote_latency: u64,
+    /// Cost in cycles of one transfer of control between processors
+    /// (shared flag store + remote spin read; §3.3 footnote 2).
+    pub transfer_cost: u64,
+    /// Divisor applied to the exposed latency of *first-touch* misses on
+    /// address-predictable (affine) streams during execution phases and the
+    /// sequential baseline. Models hardware overlap plus, where present,
+    /// compiler-inserted prefetch.
+    pub affine_overlap: f64,
+    /// Divisor applied to the exposed latency of first-touch misses on
+    /// data-dependent (indirect/gather) streams.
+    pub indirect_overlap: f64,
+    /// Divisor applied to the exposed latency of *re-misses* (lines that
+    /// were already touched this region and got bounced by a conflict or
+    /// capacity eviction). Hardware prefetch retries and out-of-order
+    /// overlap hide part of even these on aggressive cores.
+    pub conflict_overlap: f64,
+    /// Divisor applied to miss latency during *helper* phases. Helper loops
+    /// execute the same dependent address chains as the original body (a
+    /// gather's index must load before its data), so they pipeline only
+    /// marginally better than demand execution; the paper's observation
+    /// that helpers often fail to complete at 4-8 processors pins this
+    /// near 1.
+    pub helper_overlap: f64,
+    /// True when the machine's production compiler already inserts software
+    /// prefetches (MIPSpro on the R10000). Recorded for reporting; the
+    /// effect itself is folded into `affine_overlap`.
+    pub compiler_prefetch: bool,
+    /// Optional data-TLB model. `None` (the default in the Table-1
+    /// presets) reproduces the paper's cache-only measurements; enable it
+    /// with [`MachineConfig::with_tlb`] to expose the sequential buffer's
+    /// page-locality benefit (see `cascade-mem/src/tlb.rs`).
+    pub tlb: Option<crate::tlb::TlbConfig>,
+}
+
+impl MachineConfig {
+    /// Validate the nested cache configurations.
+    pub fn validate(&self) {
+        self.l1.validate();
+        self.l2.validate();
+        assert!(
+            self.l2.line >= self.l1.line,
+            "L2 line must be at least as large as L1 line"
+        );
+        if let Some(l3) = &self.l3 {
+            l3.validate();
+            assert_eq!(
+                l3.line, self.l2.line,
+                "L3 must share the L2 line size (uniform coherence granularity)"
+            );
+        }
+        assert!(self.affine_overlap >= 1.0);
+        assert!(self.indirect_overlap >= 1.0);
+        assert!(self.conflict_overlap >= 1.0);
+        assert!(self.helper_overlap >= 1.0);
+        if let Some(tlb) = &self.tlb {
+            tlb.validate();
+        }
+    }
+
+    /// The coarsest line size in the hierarchy (used for directory granularity).
+    #[inline]
+    pub fn coherence_line(&self) -> usize {
+        self.l3.map_or(self.l2.line, |l3| l3.line)
+    }
+
+    /// Return a copy of this machine with the given data TLB enabled.
+    pub fn with_tlb(mut self, tlb: crate::tlb::TlbConfig) -> Self {
+        tlb.validate();
+        self.tlb = Some(tlb);
+        self
+    }
+}
+
+/// The 4-processor 200 MHz Pentium Pro server of Table 1
+/// (NT Server 4.0; L1 8KB/2-way/32B/3cy, L2 512KB/4-way/32B/7cy, memory 58cy).
+pub fn pentium_pro() -> MachineConfig {
+    let m = MachineConfig {
+        name: "Pentium Pro",
+        l1: CacheConfig { size: 8 * 1024, assoc: 2, line: 32, latency: 3 },
+        l2: CacheConfig { size: 512 * 1024, assoc: 4, line: 32, latency: 7 },
+        l3: None,
+        mem_latency: 58,
+        dirty_remote_latency: 80,
+        transfer_cost: 120,
+        affine_overlap: 2.0,
+        indirect_overlap: 1.5,
+        conflict_overlap: 1.0,
+        helper_overlap: 1.2,
+        compiler_prefetch: false,
+        tlb: None,
+    };
+    m.validate();
+    m
+}
+
+/// The 8-processor 194 MHz R10000 SGI Power Onyx of Table 1
+/// (IRIX 6.2; L1 32KB/2-way/32B/3cy, L2 2MB/2-way/128B/6cy, memory 100-200cy).
+///
+/// We use the midpoint (150 cycles) of the paper's 100-200 cycle range for
+/// uniform accesses and the top of the range for dirty-remote fetches.
+pub fn r10000() -> MachineConfig {
+    let m = MachineConfig {
+        name: "R10000",
+        l1: CacheConfig { size: 32 * 1024, assoc: 2, line: 32, latency: 3 },
+        l2: CacheConfig { size: 2 * 1024 * 1024, assoc: 2, line: 128, latency: 6 },
+        l3: None,
+        mem_latency: 150,
+        dirty_remote_latency: 200,
+        transfer_cost: 500,
+        // MIPSpro inserts prefetch instructions in optimized code (§3.3), so
+        // predictable streaming misses are largely hidden even in the
+        // original sequential execution.
+        affine_overlap: 4.0,
+        indirect_overlap: 2.0,
+        conflict_overlap: 1.5,
+        helper_overlap: 1.3,
+        compiler_prefetch: true,
+        tlb: None,
+    };
+    m.validate();
+    m
+}
+
+/// A representative 2020s server core: three cache levels, 64-byte lines,
+/// deep out-of-order execution with many outstanding misses, and a memory
+/// latency near 300 cycles. Not part of the paper; used by the
+/// `extra_modern` experiment to ask whether cascaded execution still pays
+/// on current hardware.
+pub fn modern() -> MachineConfig {
+    let m = MachineConfig {
+        name: "Modern",
+        l1: CacheConfig { size: 32 * 1024, assoc: 8, line: 64, latency: 4 },
+        l2: CacheConfig { size: 512 * 1024, assoc: 8, line: 64, latency: 14 },
+        l3: Some(CacheConfig { size: 8 * 1024 * 1024, assoc: 16, line: 64, latency: 42 }),
+        mem_latency: 300,
+        dirty_remote_latency: 180, // on-die cache-to-cache beats DRAM now
+        transfer_cost: 250,        // cross-core flag handoff, ~80ns at 3GHz
+        affine_overlap: 8.0,       // L2 stream prefetchers + ~16 MSHRs
+        indirect_overlap: 3.0,
+        conflict_overlap: 2.0,
+        helper_overlap: 1.5,
+        compiler_prefetch: true,
+        tlb: None,
+    };
+    m.validate();
+    m
+}
+
+/// A projected future machine (§3.4): same cache geometry as the given base
+/// machine but with main-memory latency scaled by `mem_scale`, modelling
+/// processors continuing to outpace memory.
+pub fn future(base: &MachineConfig, mem_scale: f64) -> MachineConfig {
+    assert!(mem_scale >= 1.0, "future machines do not get faster memory");
+    let mut m = base.clone();
+    m.name = "Future";
+    m.mem_latency = (m.mem_latency as f64 * mem_scale).round() as u64;
+    m.dirty_remote_latency = (m.dirty_remote_latency as f64 * mem_scale).round() as u64;
+    m.validate();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pentium_pro_geometry() {
+        let m = pentium_pro();
+        assert_eq!(m.l1.size, 8 * 1024);
+        assert_eq!(m.l1.assoc, 2);
+        assert_eq!(m.l1.line, 32);
+        assert_eq!(m.l1.latency, 3);
+        assert_eq!(m.l2.size, 512 * 1024);
+        assert_eq!(m.l2.assoc, 4);
+        assert_eq!(m.l2.latency, 7);
+        assert_eq!(m.mem_latency, 58);
+        assert_eq!(m.transfer_cost, 120);
+        assert!(!m.compiler_prefetch);
+    }
+
+    #[test]
+    fn table1_r10000_geometry() {
+        let m = r10000();
+        assert_eq!(m.l1.size, 32 * 1024);
+        assert_eq!(m.l2.size, 2 * 1024 * 1024);
+        assert_eq!(m.l2.assoc, 2);
+        assert_eq!(m.l2.line, 128);
+        assert_eq!(m.transfer_cost, 500);
+        assert!(m.compiler_prefetch);
+        assert!(m.mem_latency >= 100 && m.mem_latency <= 200);
+    }
+
+    #[test]
+    fn set_and_way_math() {
+        let c = CacheConfig { size: 512 * 1024, assoc: 4, line: 32, latency: 7 };
+        assert_eq!(c.sets(), 4096);
+        assert_eq!(c.lines(), 16384);
+        assert_eq!(c.way_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn future_scales_memory_only() {
+        let base = pentium_pro();
+        let f = future(&base, 4.0);
+        assert_eq!(f.mem_latency, 232);
+        assert_eq!(f.l1, base.l1);
+        assert_eq!(f.l2, base.l2);
+        assert_eq!(f.transfer_cost, base.transfer_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "future machines")]
+    fn future_rejects_speedup_of_memory() {
+        future(&pentium_pro(), 0.5);
+    }
+
+    #[test]
+    fn aliasing_distances_differ_between_machines() {
+        // The R10000's 2-way 2MB L2 has a 1MB aliasing distance; the Pentium
+        // Pro's 4-way 512KB L2 aliases at 128KB but tolerates four streams.
+        assert_eq!(pentium_pro().l2.way_bytes(), 128 * 1024);
+        assert_eq!(r10000().l2.way_bytes(), 1024 * 1024);
+    }
+}

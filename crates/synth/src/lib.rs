@@ -1,0 +1,226 @@
+//! # cascade-synth — the §3.4 synthetic loop
+//!
+//! The paper estimates the benefit of cascaded execution on *future*
+//! machines (where memory access increasingly dominates) with one simple
+//! loop whose memory-to-compute ratio is much higher than the benchmark's:
+//!
+//! ```fortran
+//! do i = 1, n, k
+//!    X(IJ(i)) = X(IJ(i)) + A(i) + B(i)
+//! end do
+//! ```
+//!
+//! All operands are integers and `IJ` is the identity vector `1..n`. With
+//! step `k = 1` ("dense") the loop walks memory sequentially; with `k = 8`
+//! ("sparse") each iteration touches a fresh L1 line on both machines (32B
+//! lines, 4-byte integers), destroying all spatial locality and magnifying
+//! the memory-access-to-execution ratio.
+//!
+//! ```
+//! use cascade_synth::{Synth, Variant};
+//!
+//! let s = Synth::build(1 << 16, Variant::Sparse, 42);
+//! assert_eq!(s.workload.loops.len(), 1);
+//! assert_eq!(s.workload.loops[0].iters, (1 << 16) / 8);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cascade_trace::{
+    AddressSpace, Arena, ArrayId, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
+
+/// Dense (`k = 1`) or sparse (`k = 8`) stepping of the synthetic loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Step 1: full spatial locality (8 integers per 32-byte line).
+    Dense,
+    /// Step 8: one integer per L1 line — "no spatial locality whatsoever".
+    Sparse,
+}
+
+impl Variant {
+    /// The loop step `k`.
+    pub fn step(&self) -> u64 {
+        match self {
+            Variant::Dense => 1,
+            Variant::Sparse => 8,
+        }
+    }
+
+    /// Label used in reports ("dense" / "sparse").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Dense => "dense",
+            Variant::Sparse => "sparse",
+        }
+    }
+}
+
+/// Array handles of the synthetic loop.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthArrays {
+    /// The updated vector `X` (u32, length `n`).
+    pub x: ArrayId,
+    /// Operand `A` (u32, length `n`).
+    pub a: ArrayId,
+    /// Operand `B` (u32, length `n`).
+    pub b: ArrayId,
+    /// The identity index vector `IJ` (u32, length `n`).
+    pub ij: ArrayId,
+}
+
+/// A built synthetic-loop instance.
+#[derive(Debug, Clone)]
+pub struct Synth {
+    /// Simulator-facing description (one loop).
+    pub workload: Workload,
+    /// Real backing data for the runtime.
+    pub arena: Arena,
+    /// Array handles.
+    pub arrays: SynthArrays,
+    /// Which variant was built.
+    pub variant: Variant,
+    /// Vector length `n`.
+    pub n: u64,
+}
+
+impl Synth {
+    /// Build the synthetic loop over vectors of length `n` (deterministic
+    /// in `seed`). `n` must be a multiple of 8 so dense and sparse variants
+    /// cover the same arrays.
+    pub fn build(n: u64, variant: Variant, seed: u64) -> Self {
+        assert!(n >= 8 && n.is_multiple_of(8), "n must be a positive multiple of 8");
+        let k = variant.step() as i64;
+        let mut space = AddressSpace::new();
+        // Stagger the arrays so their base residues differ modulo every
+        // modelled cache way size (96KB, 192KB, 288KB pads are distinct
+        // mod 128KB and mod 1MB): the paper's synthetic loop measures
+        // memory *latency*, not cache conflicts, so the four streams must
+        // coexist in both machines' L2 caches.
+        let staggered = |space: &mut AddressSpace, name, pad_kb: u64| {
+            space.alloc(&format!("pad-{name}"), 1, pad_kb * 1024);
+            space.alloc(name, 4, n)
+        };
+        let arrays = SynthArrays {
+            x: space.alloc("X", 4, n),
+            a: staggered(&mut space, "A", 96),
+            b: staggered(&mut space, "B", 96),
+            ij: staggered(&mut space, "IJ", 96),
+        };
+        let mut index = IndexStore::new();
+        index.set(arrays.ij, (0..n as u32).collect());
+
+        let spec = LoopSpec {
+            name: format!("synthetic {} (k={})", variant.label(), k),
+            iters: n / variant.step(),
+            refs: vec![
+                StreamRef {
+                    name: "A(i)",
+                    array: arrays.a,
+                    pattern: Pattern::Affine { base: 0, stride: k },
+                    mode: Mode::Read,
+                    bytes: 4,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "B(i)",
+                    array: arrays.b,
+                    pattern: Pattern::Affine { base: 0, stride: k },
+                    mode: Mode::Read,
+                    bytes: 4,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "X(IJ(i))",
+                    array: arrays.x,
+                    pattern: Pattern::Indirect { index: arrays.ij, ibase: 0, istride: k },
+                    mode: Mode::Modify,
+                    bytes: 4,
+                    hoistable: false,
+                },
+            ],
+            // A low compute demand is the point: the loop is built to have
+            // a larger memory-access-to-instruction ratio than wave5.
+            compute: 3.0,
+            hoistable_compute: 1.0,
+            hoist_result_bytes: 4,
+        };
+        spec.validate();
+
+        let mut arena = Arena::new(&space);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for id in [arrays.x, arrays.a, arrays.b] {
+            for i in 0..n {
+                arena.set_u32(&space, id, i, rng.gen_range(0..1_000_000));
+            }
+        }
+        let workload = Workload { space, index, loops: vec![spec] };
+        arena.install_indices(&workload.space, &workload.index);
+        workload.validate();
+        Synth { workload, arena, arrays, variant, n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_walks_every_element() {
+        let s = Synth::build(1 << 12, Variant::Dense, 1);
+        assert_eq!(s.workload.loops[0].iters, 1 << 12);
+        assert!(s.workload.loops[0].has_indirection());
+    }
+
+    #[test]
+    fn sparse_touches_one_int_per_line() {
+        let s = Synth::build(1 << 12, Variant::Sparse, 1);
+        let spec = &s.workload.loops[0];
+        assert_eq!(spec.iters, (1 << 12) / 8);
+        // 4-byte elements, stride 8 -> 32 bytes advanced per iteration =
+        // exactly one L1 line on both Table-1 machines.
+        match spec.refs[0].pattern {
+            Pattern::Affine { stride, .. } => assert_eq!(stride * 4, 32),
+            _ => panic!("A(i) must be affine"),
+        }
+    }
+
+    #[test]
+    fn ij_is_identity() {
+        let s = Synth::build(64, Variant::Dense, 1);
+        for i in 0..64 {
+            assert_eq!(s.workload.index.get(s.arrays.ij, i), i as u32);
+            assert_eq!(s.arena.get_u32(&s.workload.space, s.arrays.ij, i), i as u32);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Synth::build(1 << 10, Variant::Dense, 5);
+        let b = Synth::build(1 << 10, Variant::Dense, 5);
+        assert_eq!(a.arena.checksum(), b.arena.checksum());
+        let c = Synth::build(1 << 10, Variant::Dense, 6);
+        assert_ne!(a.arena.checksum(), c.arena.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn rejects_ragged_lengths() {
+        Synth::build(100, Variant::Sparse, 1);
+    }
+
+    #[test]
+    fn memory_to_compute_ratio_exceeds_wave5_loops() {
+        // The defining property of §3.4's loop: touched bytes per compute
+        // cycle is high. Dense: 16 bytes / 3 cycles; sparse touches the
+        // same lines with 1/8 the iterations.
+        let s = Synth::build(1 << 12, Variant::Dense, 1);
+        let spec = &s.workload.loops[0];
+        let ratio = spec.bytes_per_iter() as f64 / spec.compute;
+        assert!(ratio > 4.0, "bytes per compute cycle {ratio}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Real backing storage for a simulated address space.
+//!
+//! An [`Arena`] is a flat byte buffer whose layout mirrors an
+//! [`AddressSpace`] exactly: element `i` of array `a` lives at byte offset
+//! `space.addr(a, i)`. This lets the real-thread runtime (`cascade-rt`)
+//! execute the *same* workload descriptions the simulator models — same
+//! arrays, same indices, same reference streams — against real memory, and
+//! lets tests compare cascaded and sequential executions bitwise.
+
+use crate::space::{AddressSpace, ArrayId, IndexStore};
+
+/// Flat storage backing every array of an address space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arena {
+    bytes: Vec<u8>,
+}
+
+impl Arena {
+    /// Allocate zeroed storage covering the whole space.
+    pub fn new(space: &AddressSpace) -> Self {
+        Arena { bytes: vec![0u8; space.extent() as usize] }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the arena is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw bytes (for checksumming / bitwise comparison).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Base pointer of the arena (for the real-thread runtime).
+    #[inline]
+    pub fn as_ptr(&self) -> *const u8 {
+        self.bytes.as_ptr()
+    }
+
+    /// Read an `f64` element of `array`.
+    #[inline]
+    pub fn get_f64(&self, space: &AddressSpace, array: ArrayId, i: u64) -> f64 {
+        debug_assert_eq!(space.array(array).elem, 8, "get_f64 on non-8-byte array");
+        let off = space.addr(array, i) as usize;
+        f64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+    }
+
+    /// Write an `f64` element of `array`.
+    #[inline]
+    pub fn set_f64(&mut self, space: &AddressSpace, array: ArrayId, i: u64, v: f64) {
+        debug_assert_eq!(space.array(array).elem, 8, "set_f64 on non-8-byte array");
+        let off = space.addr(array, i) as usize;
+        self.bytes[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Read a `u32` element of `array`.
+    #[inline]
+    pub fn get_u32(&self, space: &AddressSpace, array: ArrayId, i: u64) -> u32 {
+        debug_assert_eq!(space.array(array).elem, 4, "get_u32 on non-4-byte array");
+        let off = space.addr(array, i) as usize;
+        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+    }
+
+    /// Write a `u32` element of `array`.
+    #[inline]
+    pub fn set_u32(&mut self, space: &AddressSpace, array: ArrayId, i: u64, v: u32) {
+        debug_assert_eq!(space.array(array).elem, 4, "set_u32 on non-4-byte array");
+        let off = space.addr(array, i) as usize;
+        self.bytes[off..off + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Copy the contents of every index array in `index` into the arena, so
+    /// that real execution reads the same indices the simulator resolved.
+    pub fn install_indices(&mut self, space: &AddressSpace, index: &IndexStore) {
+        for (id, def) in space.iter() {
+            if !index.contains(id) {
+                continue;
+            }
+            assert_eq!(def.elem, 4, "index array {} must hold u32", def.name);
+            for i in 0..def.len {
+                let v = index.get(id, i);
+                self.set_u32(space, id, i, v);
+            }
+        }
+    }
+
+    /// Order-insensitive checksum of the arena contents (wrapping sum of
+    /// 8-byte words plus length), for cheap equality assertions in tests
+    /// and examples.
+    pub fn checksum(&self) -> u64 {
+        let mut sum = self.bytes.len() as u64;
+        let mut chunks = self.bytes.chunks_exact(8);
+        for c in &mut chunks {
+            sum = sum.wrapping_add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        for &b in chunks.remainder() {
+            sum = sum.wrapping_add(b as u64);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64_and_u32() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 10);
+        let j = space.alloc("j", 4, 10);
+        let mut ar = Arena::new(&space);
+        ar.set_f64(&space, a, 3, 2.5);
+        ar.set_u32(&space, j, 7, 42);
+        assert_eq!(ar.get_f64(&space, a, 3), 2.5);
+        assert_eq!(ar.get_u32(&space, j, 7), 42);
+        assert_eq!(ar.get_f64(&space, a, 0), 0.0, "untouched storage is zeroed");
+    }
+
+    #[test]
+    fn layout_matches_address_space() {
+        let mut space = AddressSpace::new();
+        let _pad = space.alloc("pad", 1, 13);
+        let a = space.alloc_aligned("a", 8, 4, 256);
+        let ar = {
+            let mut ar = Arena::new(&space);
+            ar.set_f64(&space, a, 0, 1.0);
+            ar
+        };
+        let off = space.addr(a, 0) as usize;
+        assert_eq!(off % 256, 0);
+        assert_eq!(f64::from_le_bytes(ar.bytes()[off..off + 8].try_into().unwrap()), 1.0);
+    }
+
+    #[test]
+    fn install_indices_copies_contents() {
+        let mut space = AddressSpace::new();
+        let ij = space.alloc("ij", 4, 5);
+        let mut index = IndexStore::new();
+        index.set(ij, vec![4, 3, 2, 1, 0]);
+        let mut ar = Arena::new(&space);
+        ar.install_indices(&space, &index);
+        for i in 0..5 {
+            assert_eq!(ar.get_u32(&space, ij, i), index.get(ij, i));
+        }
+    }
+
+    #[test]
+    fn checksum_detects_changes() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 100);
+        let mut ar = Arena::new(&space);
+        let c0 = ar.checksum();
+        ar.set_f64(&space, a, 50, 1.0);
+        assert_ne!(ar.checksum(), c0);
+    }
+}

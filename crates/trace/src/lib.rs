@@ -1,0 +1,34 @@
+//! # cascade-trace — workload description layer
+//!
+//! Substrate crate of the *Cascaded Execution* (IPPS 1999) reproduction.
+//! It defines the machine-independent vocabulary in which workloads (the
+//! synthetic wave5 PARMVR in `cascade-wave5`, the §3.4 synthetic loop in
+//! `cascade-synth`) describe themselves to the cascade engine:
+//!
+//! * [`space::AddressSpace`] — simulated arrays, bump-allocated with
+//!   explicit alignment (the knob that creates or avoids conflict misses);
+//! * [`space::IndexStore`] — contents of index arrays for gathers/scatters;
+//! * [`spec::LoopSpec`] — one unparallelized loop: reference streams
+//!   ([`spec::StreamRef`]), per-iteration compute, read-only/hoistable
+//!   marking, and the derived byte-per-iteration estimates that drive chunk
+//!   sizing and sequential-buffer layout;
+//! * [`stream::Resolver`] — the single authority mapping (stream,
+//!   iteration) to simulated addresses.
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod arena;
+pub mod space;
+pub mod spec;
+pub mod stream;
+pub mod textfmt;
+pub mod workload;
+
+pub use analyze::{reuse_distances, stride_histogram, ReuseProfile, TraceRef};
+pub use arena::Arena;
+pub use space::{AddressSpace, ArrayDef, ArrayId, IndexStore};
+pub use spec::{LoopSpec, Mode, Pattern, StreamRef, INDEX_BYTES};
+pub use stream::{DataAccess, Resolver};
+pub use textfmt::{from_text, to_text, FormatError};
+pub use workload::Workload;

@@ -1,0 +1,346 @@
+//! Loop descriptions: the reference streams and compute demand of one
+//! unparallelized loop, machine-independently.
+//!
+//! A [`LoopSpec`] is the unit the cascade engine schedules. It captures what
+//! the paper's §2 needs to know about a loop:
+//!
+//! * which arrays it touches, with what pattern (affine or indirect), width
+//!   and mode — drives the simulated reference stream;
+//! * bytes touched per iteration — drives chunk sizing (§2.2);
+//! * which operands are read-only — drives sequential-buffer restructuring;
+//! * which work involves only read-only values — drives hoisting into the
+//!   helper phase (§2.1 last paragraph).
+
+use crate::space::ArrayId;
+
+/// How a stream walks its array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Element index `base + stride * i` for iteration `i`.
+    Affine {
+        /// Starting element index.
+        base: i64,
+        /// Elements advanced per iteration (may be negative).
+        stride: i64,
+    },
+    /// Element index `index[ibase + istride * i]` — a gather/scatter through
+    /// an index array whose contents live in [`crate::space::IndexStore`].
+    Indirect {
+        /// The index array (read 4 bytes per iteration).
+        index: ArrayId,
+        /// Starting element index within the index array.
+        ibase: i64,
+        /// Index-array elements advanced per iteration.
+        istride: i64,
+    },
+}
+
+impl Pattern {
+    /// Is this stream address-predictable (hardware/compiler prefetchable)?
+    #[inline]
+    pub fn is_affine(&self) -> bool {
+        matches!(self, Pattern::Affine { .. })
+    }
+}
+
+/// What the loop does to the referenced element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Operand is only read. Eligible for sequential-buffer restructuring.
+    Read,
+    /// Element is only written (write-allocate still fetches the line).
+    Write,
+    /// Read-modify-write (e.g. the scatter-add `rho(ij(i)) += ...`).
+    Modify,
+}
+
+impl Mode {
+    /// True for `Read` — the only mode whose data restructuring may pack.
+    #[inline]
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Mode::Read)
+    }
+
+    /// True when the mode stores to the element.
+    #[inline]
+    pub fn writes(&self) -> bool {
+        matches!(self, Mode::Write | Mode::Modify)
+    }
+}
+
+/// One reference stream of a loop (one array operand position).
+#[derive(Debug, Clone)]
+pub struct StreamRef {
+    /// Operand name for reports (e.g. `"ex(ij(i))"`).
+    pub name: &'static str,
+    /// The referenced array.
+    pub array: ArrayId,
+    /// Address pattern.
+    pub pattern: Pattern,
+    /// Read/write mode.
+    pub mode: Mode,
+    /// Access width in bytes (typically the element size).
+    pub bytes: u32,
+    /// True when the operand participates only in computation over
+    /// read-only values, so that computation can be hoisted into the helper
+    /// phase under `Restructure { hoist: true }`.
+    pub hoistable: bool,
+}
+
+/// Size in bytes of one index-array element (indices are `u32`).
+pub const INDEX_BYTES: u32 = 4;
+
+/// A complete loop description.
+#[derive(Debug, Clone)]
+pub struct LoopSpec {
+    /// Loop name (e.g. `"L5 scatter-add charge deposition"`).
+    pub name: String,
+    /// Iteration count.
+    pub iters: u64,
+    /// The reference streams of the loop body.
+    pub refs: Vec<StreamRef>,
+    /// Compute cycles per iteration beyond memory accesses (ALU/FPU work,
+    /// loop control).
+    pub compute: f64,
+    /// Of `compute`, the cycles that involve only read-only operands and
+    /// move into the helper phase when hoisting (must be `<= compute`).
+    pub hoistable_compute: f64,
+    /// Bytes per iteration of precomputed result streamed through the
+    /// sequential buffer when hoisting replaces the hoistable operands.
+    pub hoist_result_bytes: u32,
+}
+
+impl LoopSpec {
+    /// Check internal consistency; panics on contradictions. Called by the
+    /// simulators before running a spec.
+    pub fn validate(&self) {
+        assert!(self.iters > 0, "{}: empty loop", self.name);
+        assert!(!self.refs.is_empty(), "{}: loop touches no memory", self.name);
+        assert!(
+            self.hoistable_compute <= self.compute,
+            "{}: hoistable compute exceeds total compute",
+            self.name
+        );
+        let any_hoistable = self.refs.iter().any(|r| r.hoistable);
+        if any_hoistable {
+            assert!(
+                self.hoist_result_bytes > 0,
+                "{}: hoistable refs need a hoist result width",
+                self.name
+            );
+        }
+        for r in &self.refs {
+            if r.hoistable {
+                assert!(
+                    r.mode.is_read_only(),
+                    "{}: hoistable operand {} must be read-only",
+                    self.name,
+                    r.name
+                );
+            }
+            assert!(r.bytes > 0, "{}: zero-width ref {}", self.name, r.name);
+        }
+    }
+
+    /// Estimated bytes of data touched per iteration of the *original*
+    /// loop: operand widths plus one index element per indirect stream.
+    /// This is the estimate §2.2 uses to convert a chunk byte budget into an
+    /// iteration count.
+    pub fn bytes_per_iter(&self) -> u64 {
+        self.refs
+            .iter()
+            .map(|r| {
+                r.bytes as u64
+                    + match r.pattern {
+                        Pattern::Indirect { .. } => INDEX_BYTES as u64,
+                        Pattern::Affine { .. } => 0,
+                    }
+            })
+            .sum()
+    }
+
+    /// Cache-line-granular footprint estimate: bytes of *lines* a single
+    /// iteration pulls into a cache with `line`-byte lines. A sparse
+    /// affine stream (stride * elem >= line) consumes a whole line per
+    /// iteration even though it reads only `bytes` of it; an indirect
+    /// stream is charged a full line (random target). This is the estimate
+    /// chunk planning uses (paper §2.2: chunks are sized by the data each
+    /// iteration touches, and touched data arrives line by line).
+    pub fn line_footprint_per_iter(&self, line: u64) -> u64 {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        self.refs
+            .iter()
+            .map(|r| {
+                // An access wider than a line always pulls its full width;
+                // otherwise the fresh footprint per iteration is the stride
+                // distance, capped at one line.
+                let width = r.bytes as u64;
+                let data = match r.pattern {
+                    Pattern::Affine { stride, .. } => {
+                        (stride.unsigned_abs() * width).min(line.max(width)).max(width.min(line))
+                    }
+                    Pattern::Indirect { .. } => line.max(width),
+                };
+                let index = match r.pattern {
+                    Pattern::Indirect { istride, .. } => (istride.unsigned_abs()
+                        * INDEX_BYTES as u64)
+                        .clamp(INDEX_BYTES as u64, line),
+                    Pattern::Affine { .. } => 0,
+                };
+                data + index
+            })
+            .sum()
+    }
+
+    /// Bytes per iteration written to the sequential buffer by the
+    /// restructuring helper (§2.1):
+    ///
+    /// * each non-hoisted read-only operand's value,
+    /// * one combined result of `hoist_result_bytes` when `hoist` and any
+    ///   operand is hoistable,
+    /// * the index element of each *written* indirect stream (the scatter
+    ///   indices are themselves read-only data).
+    ///
+    /// Read-only gathers' index elements are consumed during packing and do
+    /// not reach the buffer.
+    pub fn packed_bytes_per_iter(&self, hoist: bool) -> u64 {
+        let mut bytes = 0u64;
+        let mut hoisted_any = false;
+        for r in &self.refs {
+            match r.mode {
+                Mode::Read => {
+                    if hoist && r.hoistable {
+                        hoisted_any = true;
+                    } else {
+                        bytes += r.bytes as u64;
+                    }
+                }
+                Mode::Write | Mode::Modify => {
+                    if let Pattern::Indirect { .. } = r.pattern {
+                        bytes += INDEX_BYTES as u64;
+                    }
+                }
+            }
+        }
+        if hoisted_any {
+            bytes += self.hoist_result_bytes as u64;
+        }
+        bytes
+    }
+
+    /// Compute cycles per iteration that remain in the execution phase under
+    /// the given hoisting setting.
+    pub fn exec_compute(&self, hoist: bool) -> f64 {
+        if hoist {
+            self.compute - self.hoistable_compute
+        } else {
+            self.compute
+        }
+    }
+
+    /// Total data footprint estimate of the loop in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.bytes_per_iter() * self.iters
+    }
+
+    /// True when any stream is indirect (gather/scatter).
+    pub fn has_indirection(&self) -> bool {
+        self.refs.iter().any(|r| matches!(r.pattern, Pattern::Indirect { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::AddressSpace;
+
+    fn ids() -> (ArrayId, ArrayId, ArrayId) {
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 100);
+        let a = s.alloc("a", 8, 100);
+        let ij = s.alloc("ij", 4, 100);
+        (x, a, ij)
+    }
+
+    fn gather_scatter_spec() -> LoopSpec {
+        let (x, a, ij) = ids();
+        LoopSpec {
+            name: "test".into(),
+            iters: 100,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "x(ij(i))",
+                    array: x,
+                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    mode: Mode::Modify,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 10.0,
+            hoistable_compute: 4.0,
+            hoist_result_bytes: 8,
+        }
+    }
+
+    #[test]
+    fn bytes_per_iter_includes_index_reads() {
+        let spec = gather_scatter_spec();
+        // a: 8 bytes; x: 8 bytes data + 4 bytes index.
+        assert_eq!(spec.bytes_per_iter(), 20);
+        assert_eq!(spec.footprint(), 2000);
+    }
+
+    #[test]
+    fn packed_bytes_without_hoist_packs_ro_values_and_scatter_indices() {
+        let spec = gather_scatter_spec();
+        // a's value (8) + x's scatter index (4).
+        assert_eq!(spec.packed_bytes_per_iter(false), 12);
+    }
+
+    #[test]
+    fn packed_bytes_with_hoist_replaces_hoistable_operands() {
+        let spec = gather_scatter_spec();
+        // hoist result (8) + x's scatter index (4); a's value is folded in.
+        assert_eq!(spec.packed_bytes_per_iter(true), 12);
+        assert_eq!(spec.exec_compute(true), 6.0);
+        assert_eq!(spec.exec_compute(false), 10.0);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        gather_scatter_spec().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be read-only")]
+    fn validate_rejects_hoistable_writes() {
+        let mut spec = gather_scatter_spec();
+        spec.refs[1].hoistable = true;
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "hoistable compute exceeds")]
+    fn validate_rejects_excess_hoistable_compute() {
+        let mut spec = gather_scatter_spec();
+        spec.hoistable_compute = 11.0;
+        spec.validate();
+    }
+
+    #[test]
+    fn has_indirection_detects_gathers() {
+        let spec = gather_scatter_spec();
+        assert!(spec.has_indirection());
+        let affine_only = LoopSpec { refs: vec![spec.refs[0].clone()], ..spec };
+        assert!(!affine_only.has_indirection());
+    }
+}

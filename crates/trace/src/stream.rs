@@ -1,0 +1,166 @@
+//! Address resolution: turning a [`crate::spec::LoopSpec`] plus an iteration number into
+//! the concrete simulated addresses it touches.
+//!
+//! The resolver is the single source of truth for "what does iteration `i`
+//! of this loop reference" — the sequential baseline, the cascaded
+//! execution phases, the prefetch helper and the restructuring packer in
+//! `cascade-core` all go through it, so they can never disagree about the
+//! reference stream.
+
+use cascade_mem::StreamClass;
+
+use crate::space::{AddressSpace, IndexStore};
+use crate::spec::{Pattern, StreamRef, INDEX_BYTES};
+
+/// A resolved memory reference (address + width + predictability class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataAccess {
+    /// Simulated byte address.
+    pub addr: u64,
+    /// Width in bytes.
+    pub bytes: u32,
+    /// Predictability class for the latency-overlap model.
+    pub class: StreamClass,
+}
+
+/// Resolves patterns against an address space and index contents.
+#[derive(Clone, Copy)]
+pub struct Resolver<'a> {
+    /// Array placement.
+    pub space: &'a AddressSpace,
+    /// Index-array contents.
+    pub index: &'a IndexStore,
+}
+
+impl<'a> Resolver<'a> {
+    /// Create a resolver over the given space and index store.
+    pub fn new(space: &'a AddressSpace, index: &'a IndexStore) -> Self {
+        Resolver { space, index }
+    }
+
+    /// Element index referenced by `pattern` at iteration `i`.
+    pub fn elem_index(&self, pattern: &Pattern, i: u64) -> u64 {
+        match *pattern {
+            Pattern::Affine { base, stride } => {
+                let idx = base + stride * i as i64;
+                debug_assert!(idx >= 0, "negative element index {idx} at iteration {i}");
+                idx as u64
+            }
+            Pattern::Indirect { index, ibase, istride } => {
+                let ii = ibase + istride * i as i64;
+                debug_assert!(ii >= 0, "negative index-array position {ii} at iteration {i}");
+                self.index.get(index, ii as u64) as u64
+            }
+        }
+    }
+
+    /// The read of the index-array element itself, for indirect streams
+    /// (`None` for affine streams). Index arrays are walked affinely, so
+    /// this access is always predictable.
+    pub fn index_access(&self, r: &StreamRef, i: u64) -> Option<DataAccess> {
+        match r.pattern {
+            Pattern::Affine { .. } => None,
+            Pattern::Indirect { index, ibase, istride } => {
+                let ii = ibase + istride * i as i64;
+                debug_assert!(ii >= 0, "negative index-array position {ii} at iteration {i}");
+                Some(DataAccess {
+                    addr: self.space.addr(index, ii as u64),
+                    bytes: INDEX_BYTES,
+                    class: StreamClass::Affine,
+                })
+            }
+        }
+    }
+
+    /// The data access of stream `r` at iteration `i`.
+    pub fn data_access(&self, r: &StreamRef, i: u64) -> DataAccess {
+        let elem = self.elem_index(&r.pattern, i);
+        DataAccess {
+            addr: self.space.addr(r.array, elem),
+            bytes: r.bytes,
+            class: if r.pattern.is_affine() { StreamClass::Affine } else { StreamClass::Indirect },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mode;
+
+    fn setup() -> (AddressSpace, IndexStore) {
+        let mut s = AddressSpace::new();
+        let _x = s.alloc("x", 8, 100);
+        let ij = s.alloc("ij", 4, 100);
+        let mut idx = IndexStore::new();
+        idx.set(ij, (0..100u32).map(|i| (i * 7) % 100).collect());
+        (s, idx)
+    }
+
+    #[test]
+    fn affine_resolution_walks_strides() {
+        let (s, idx) = setup();
+        let r = Resolver::new(&s, &idx);
+        let p = Pattern::Affine { base: 5, stride: 3 };
+        assert_eq!(r.elem_index(&p, 0), 5);
+        assert_eq!(r.elem_index(&p, 4), 17);
+    }
+
+    #[test]
+    fn indirect_resolution_reads_index_contents() {
+        let (s, idx) = setup();
+        let r = Resolver::new(&s, &idx);
+        let ij = crate::space::ArrayId(1);
+        let p = Pattern::Indirect { index: ij, ibase: 0, istride: 1 };
+        assert_eq!(r.elem_index(&p, 3), 21); // (3*7) % 100
+    }
+
+    #[test]
+    fn data_access_classifies_predictability() {
+        let (s, idx) = setup();
+        let r = Resolver::new(&s, &idx);
+        let x = crate::space::ArrayId(0);
+        let ij = crate::space::ArrayId(1);
+        let affine = StreamRef {
+            name: "x(i)",
+            array: x,
+            pattern: Pattern::Affine { base: 0, stride: 1 },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        let gather = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        assert_eq!(r.data_access(&affine, 2).class, StreamClass::Affine);
+        assert_eq!(r.data_access(&gather, 2).class, StreamClass::Indirect);
+        assert!(r.index_access(&affine, 2).is_none());
+        let ia = r.index_access(&gather, 2).unwrap();
+        assert_eq!(ia.class, StreamClass::Affine);
+        assert_eq!(ia.bytes, INDEX_BYTES);
+        assert_eq!(ia.addr, s.addr(ij, 2));
+    }
+
+    #[test]
+    fn gather_address_follows_index_value() {
+        let (s, idx) = setup();
+        let r = Resolver::new(&s, &idx);
+        let x = crate::space::ArrayId(0);
+        let ij = crate::space::ArrayId(1);
+        let gather = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+            mode: Mode::Modify,
+            bytes: 8,
+            hoistable: false,
+        };
+        let a = r.data_access(&gather, 5);
+        assert_eq!(a.addr, s.addr(x, 35)); // ij[5] = 35
+    }
+}

@@ -1,0 +1,343 @@
+//! A human-readable text format for workloads, so loop populations can be
+//! shared, diffed and hand-edited — and fed back through the CLI.
+//!
+//! The format is line-based and versioned:
+//!
+//! ```text
+//! cascade-workload v1
+//! array <name> elem=<bytes> len=<elems> align=<bytes>
+//! index <array-ordinal> <v0> <v1> ...
+//! loop <iters> compute=<f> hoistable=<f> hoist_bytes=<n> name=<free text>
+//! ref <array-ordinal> mode=<r|w|m> bytes=<n> hoistable=<0|1> affine <base> <stride>
+//! ref <array-ordinal> mode=<r|w|m> bytes=<n> hoistable=<0|1> indirect <index-ordinal> <ibase> <istride>
+//! ```
+//!
+//! Arrays are referenced by allocation ordinal (their [`ArrayId`] index).
+//! Round-tripping preserves the workload exactly — see the property test.
+
+use crate::space::{AddressSpace, ArrayId, IndexStore};
+use crate::spec::{LoopSpec, Mode, Pattern, StreamRef};
+use crate::workload::Workload;
+
+/// Magic first line of the format.
+pub const HEADER: &str = "cascade-workload v1";
+
+/// Serialization/parsing error with a line number where applicable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line of the problem (0 = whole document).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+impl std::error::Error for FormatError {}
+
+fn err(line: usize, message: impl Into<String>) -> FormatError {
+    FormatError { line, message: message.into() }
+}
+
+/// Serialize a workload to the text format.
+///
+/// Note: leaked `&'static str` ref names are written as-is; names are not
+/// preserved through parsing (refs get generated names), which does not
+/// affect any simulation result.
+pub fn to_text(w: &Workload) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (_, def) in w.space.iter() {
+        // Alignment is not recorded by the space; emit the largest power
+        // of two dividing the base (capped at 1MB) so conflicts reproduce.
+        let align = if def.base == 0 {
+            1u64 << 20
+        } else {
+            (1u64 << def.base.trailing_zeros().min(20)).max(64)
+        };
+        out.push_str(&format!(
+            "array {} elem={} len={} align={}\n",
+            def.name.replace(' ', "_"),
+            def.elem,
+            def.len,
+            align
+        ));
+    }
+    for (id, def) in w.space.iter() {
+        if w.index.contains(id) {
+            out.push_str(&format!("index {}", id.0));
+            for i in 0..def.len {
+                out.push_str(&format!(" {}", w.index.get(id, i)));
+            }
+            out.push('\n');
+        }
+    }
+    for spec in &w.loops {
+        out.push_str(&format!(
+            "loop {} compute={} hoistable={} hoist_bytes={} name={}\n",
+            spec.iters, spec.compute, spec.hoistable_compute, spec.hoist_result_bytes, spec.name
+        ));
+        for r in &spec.refs {
+            let mode = match r.mode {
+                Mode::Read => "r",
+                Mode::Write => "w",
+                Mode::Modify => "m",
+            };
+            match r.pattern {
+                Pattern::Affine { base, stride } => out.push_str(&format!(
+                    "ref {} mode={} bytes={} hoistable={} affine {} {}\n",
+                    r.array.0, mode, r.bytes, r.hoistable as u8, base, stride
+                )),
+                Pattern::Indirect { index, ibase, istride } => out.push_str(&format!(
+                    "ref {} mode={} bytes={} hoistable={} indirect {} {} {}\n",
+                    r.array.0, mode, r.bytes, r.hoistable as u8, index.0, ibase, istride
+                )),
+            }
+        }
+    }
+    out
+}
+
+fn kv<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, FormatError> {
+    tok.strip_prefix(key)
+        .and_then(|s| s.strip_prefix('='))
+        .ok_or_else(|| err(line, format!("expected {key}=..., got '{tok}'")))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, FormatError> {
+    s.parse().map_err(|_| err(line, format!("cannot parse {what} from '{s}'")))
+}
+
+/// Parse a workload from the text format.
+pub fn from_text(text: &str) -> Result<Workload, FormatError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(err(1, format!("missing header '{HEADER}'"))),
+    }
+
+    let mut space = AddressSpace::new();
+    let mut index = IndexStore::new();
+    let mut loops: Vec<LoopSpec> = Vec::new();
+    let mut ids: Vec<ArrayId> = Vec::new();
+
+    for (ln0, raw) in lines {
+        let line = ln0 + 1;
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut toks = l.split_whitespace();
+        match toks.next() {
+            Some("array") => {
+                let name = toks.next().ok_or_else(|| err(line, "array needs a name"))?;
+                let elem: u32 = parse_num(kv(toks.next().unwrap_or(""), "elem", line)?, line, "elem")?;
+                let len: u64 = parse_num(kv(toks.next().unwrap_or(""), "len", line)?, line, "len")?;
+                let align: u64 =
+                    parse_num(kv(toks.next().unwrap_or(""), "align", line)?, line, "align")?;
+                ids.push(space.alloc_aligned(name, elem, len, align));
+            }
+            Some("index") => {
+                let ord: usize = parse_num(toks.next().unwrap_or(""), line, "array ordinal")?;
+                let id = *ids.get(ord).ok_or_else(|| err(line, "index array ordinal out of range"))?;
+                let vals: Result<Vec<u32>, _> =
+                    toks.map(|t| parse_num(t, line, "index value")).collect();
+                index.set(id, vals?);
+            }
+            Some("loop") => {
+                let iters: u64 = parse_num(toks.next().unwrap_or(""), line, "iters")?;
+                let compute: f64 =
+                    parse_num(kv(toks.next().unwrap_or(""), "compute", line)?, line, "compute")?;
+                let hoistable: f64 = parse_num(
+                    kv(toks.next().unwrap_or(""), "hoistable", line)?,
+                    line,
+                    "hoistable",
+                )?;
+                let hoist_bytes: u32 = parse_num(
+                    kv(toks.next().unwrap_or(""), "hoist_bytes", line)?,
+                    line,
+                    "hoist_bytes",
+                )?;
+                let rest: Vec<&str> = toks.collect();
+                let name = rest
+                    .join(" ")
+                    .strip_prefix("name=")
+                    .ok_or_else(|| err(line, "loop needs name=..."))?
+                    .to_string();
+                loops.push(LoopSpec {
+                    name,
+                    iters,
+                    refs: Vec::new(),
+                    compute,
+                    hoistable_compute: hoistable,
+                    hoist_result_bytes: hoist_bytes,
+                });
+            }
+            Some("ref") => {
+                let spec = loops.last_mut().ok_or_else(|| err(line, "ref before any loop"))?;
+                let ord: usize = parse_num(toks.next().unwrap_or(""), line, "array ordinal")?;
+                let array = *ids.get(ord).ok_or_else(|| err(line, "ref array ordinal out of range"))?;
+                let mode = match kv(toks.next().unwrap_or(""), "mode", line)? {
+                    "r" => Mode::Read,
+                    "w" => Mode::Write,
+                    "m" => Mode::Modify,
+                    other => return Err(err(line, format!("unknown mode '{other}'"))),
+                };
+                let bytes: u32 =
+                    parse_num(kv(toks.next().unwrap_or(""), "bytes", line)?, line, "bytes")?;
+                let hoist_flag: u8 = parse_num(
+                    kv(toks.next().unwrap_or(""), "hoistable", line)?,
+                    line,
+                    "hoistable flag",
+                )?;
+                let pattern = match toks.next() {
+                    Some("affine") => Pattern::Affine {
+                        base: parse_num(toks.next().unwrap_or(""), line, "base")?,
+                        stride: parse_num(toks.next().unwrap_or(""), line, "stride")?,
+                    },
+                    Some("indirect") => {
+                        let iord: usize =
+                            parse_num(toks.next().unwrap_or(""), line, "index ordinal")?;
+                        Pattern::Indirect {
+                            index: *ids
+                                .get(iord)
+                                .ok_or_else(|| err(line, "indirect index ordinal out of range"))?,
+                            ibase: parse_num(toks.next().unwrap_or(""), line, "ibase")?,
+                            istride: parse_num(toks.next().unwrap_or(""), line, "istride")?,
+                        }
+                    }
+                    other => return Err(err(line, format!("unknown pattern {other:?}"))),
+                };
+                spec.refs.push(StreamRef {
+                    name: Box::leak(format!("ref{}", spec.refs.len()).into_boxed_str()),
+                    array,
+                    pattern,
+                    mode,
+                    bytes,
+                    hoistable: hoist_flag != 0,
+                });
+            }
+            Some(other) => return Err(err(line, format!("unknown directive '{other}'"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    let w = Workload { space, index, loops };
+    if w.loops.is_empty() {
+        return Err(err(0, "workload has no loops"));
+    }
+    for l in &w.loops {
+        l.validate();
+    }
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Workload {
+        let mut space = AddressSpace::new();
+        let x = space.alloc_aligned("x", 8, 100, 1 << 20);
+        let a = space.alloc("a", 8, 100);
+        let ij = space.alloc("ij", 4, 100);
+        let mut index = IndexStore::new();
+        index.set(ij, (0..100u32).rev().collect());
+        let spec = LoopSpec {
+            name: "sample gather".into(),
+            iters: 100,
+            refs: vec![
+                StreamRef {
+                    name: "a(i)",
+                    array: a,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: true,
+                },
+                StreamRef {
+                    name: "x(ij(i))",
+                    array: x,
+                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    mode: Mode::Modify,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 5.0,
+            hoistable_compute: 2.0,
+            hoist_result_bytes: 8,
+        };
+        Workload { space, index, loops: vec![spec] }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_that_matters() {
+        let w = sample();
+        let text = to_text(&w);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.loops.len(), 1);
+        let (s0, s1) = (&w.loops[0], &back.loops[0]);
+        assert_eq!(s0.iters, s1.iters);
+        assert_eq!(s0.compute, s1.compute);
+        assert_eq!(s0.hoistable_compute, s1.hoistable_compute);
+        assert_eq!(s0.refs.len(), s1.refs.len());
+        for (r0, r1) in s0.refs.iter().zip(&s1.refs) {
+            assert_eq!(r0.pattern, r1.pattern);
+            assert_eq!(r0.mode, r1.mode);
+            assert_eq!(r0.bytes, r1.bytes);
+            assert_eq!(r0.hoistable, r1.hoistable);
+        }
+        // Array placement preserved (bases equal => same conflict behaviour).
+        for ((_, d0), (_, d1)) in w.space.iter().zip(back.space.iter()) {
+            assert_eq!(d0.base, d1.base, "array {} moved", d0.name);
+            assert_eq!(d0.elem, d1.elem);
+            assert_eq!(d0.len, d1.len);
+        }
+        // Index contents preserved.
+        let ij0 = w.space.iter().find(|(_, d)| d.name == "ij").unwrap().0;
+        let ij1 = back.space.iter().find(|(_, d)| d.name == "ij").unwrap().0;
+        for i in 0..100 {
+            assert_eq!(w.index.get(ij0, i), back.index.get(ij1, i));
+        }
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        assert!(from_text("array a elem=8 len=4 align=64\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = format!("{HEADER}\narray a elem=8 len=4 align=64\nbogus directive\n");
+        let e = from_text(&text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn ref_before_loop_is_rejected() {
+        let text = format!("{HEADER}\narray a elem=8 len=4 align=64\nref 0 mode=r bytes=8 hoistable=0 affine 0 1\n");
+        let e = from_text(&text).unwrap_err();
+        assert!(e.message.contains("before any loop"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let w = sample();
+        let mut text = to_text(&w);
+        text.push_str("\n# trailing comment\n\n");
+        assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_ordinals_are_rejected() {
+        let text = format!(
+            "{HEADER}\narray a elem=8 len=4 align=64\nloop 4 compute=1 hoistable=0 hoist_bytes=0 name=t\nref 7 mode=r bytes=8 hoistable=0 affine 0 1\n"
+        );
+        let e = from_text(&text).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+}

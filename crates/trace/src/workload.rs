@@ -1,0 +1,69 @@
+//! A complete workload: arrays, index contents, and the loop sequence.
+
+use crate::space::{AddressSpace, IndexStore};
+use crate::spec::LoopSpec;
+
+/// Everything a simulator needs to run a program fragment: the address
+/// space its arrays live in, the contents of its index arrays, and the
+/// sequence of unparallelized loops it executes (in order, sharing arrays,
+/// as PARMVR's fifteen loops do).
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// Array placement.
+    pub space: AddressSpace,
+    /// Index-array contents for gathers/scatters.
+    pub index: IndexStore,
+    /// The loop sequence.
+    pub loops: Vec<LoopSpec>,
+}
+
+impl Workload {
+    /// Validate every loop spec (panics on inconsistency).
+    pub fn validate(&self) {
+        assert!(!self.loops.is_empty(), "workload has no loops");
+        for l in &self.loops {
+            l.validate();
+        }
+    }
+
+    /// Sum of the loops' data footprints in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.loops.iter().map(|l| l.footprint()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Mode, Pattern, StreamRef};
+
+    #[test]
+    fn footprint_sums_loops() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 1000);
+        let mk = |iters| LoopSpec {
+            name: "l".into(),
+            iters,
+            refs: vec![StreamRef {
+                name: "a(i)",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: false,
+            }],
+            compute: 1.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload { space, index: IndexStore::new(), loops: vec![mk(100), mk(50)] };
+        w.validate();
+        assert_eq!(w.footprint(), 8 * 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "no loops")]
+    fn empty_workload_is_invalid() {
+        Workload::default().validate();
+    }
+}

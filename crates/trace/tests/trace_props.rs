@@ -1,0 +1,129 @@
+//! Property tests of the workload-description layer.
+
+use proptest::prelude::*;
+
+use cascade_trace::{
+    AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, Resolver, StreamRef,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Allocations never overlap and respect their alignment, regardless
+    /// of the request sequence.
+    #[test]
+    fn allocations_are_disjoint_and_aligned(
+        reqs in proptest::collection::vec(
+            (1u32..16, 1u64..5000, 0u32..6), 1..30),
+    ) {
+        let mut space = AddressSpace::new();
+        let mut ids = Vec::new();
+        for (i, (elem, len, align_log)) in reqs.iter().enumerate() {
+            let align = 1u64 << (6 + align_log); // 64B .. 2KB
+            ids.push(space.alloc_aligned(&format!("a{i}"), *elem, *len, align));
+            prop_assert_eq!(space.array(ids[i]).base % align, 0);
+        }
+        let mut ranges: Vec<(u64, u64)> = ids
+            .iter()
+            .map(|&id| {
+                let d = space.array(id);
+                (d.base, d.base + d.bytes())
+            })
+            .collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "allocations overlap: {:?}", w);
+        }
+        prop_assert_eq!(space.extent(), ranges.last().unwrap().1);
+    }
+
+    /// The resolver maps every iteration of a valid spec to an in-bounds
+    /// address within the referenced array.
+    #[test]
+    fn resolver_stays_in_bounds(
+        len in 64u64..4096,
+        base in 0i64..8,
+        stride in 1i64..8,
+        indirect in any::<bool>(),
+    ) {
+        let mut space = AddressSpace::new();
+        let data = space.alloc("data", 8, len);
+        let idx = space.alloc("idx", 4, len);
+        let mut index = IndexStore::new();
+        index.set(idx, (0..len).map(|i| ((i * 31) % len) as u32).collect());
+        let iters = ((len as i64 - base - 1) / stride) as u64;
+        prop_assume!(iters > 0);
+        let pattern = if indirect {
+            Pattern::Indirect { index: idx, ibase: base, istride: stride }
+        } else {
+            Pattern::Affine { base, stride }
+        };
+        let r = StreamRef { name: "d", array: data, pattern, mode: Mode::Read, bytes: 8, hoistable: false };
+        let res = Resolver::new(&space, &index);
+        let d = space.array(data);
+        for i in 0..iters {
+            let a = res.data_access(&r, i);
+            prop_assert!(a.addr >= d.base && a.addr + 8 <= d.base + d.bytes(),
+                "iteration {} escaped: {:x}", i, a.addr);
+        }
+    }
+
+    /// Line-granular footprint estimates are monotone in stride, bounded
+    /// below by the access width (capped at a line) and above by width +
+    /// line, and packed bytes never exceed original bytes per iteration.
+    #[test]
+    fn footprint_estimates_are_sane(
+        stride in 1i64..64,
+        bytes in prop_oneof![Just(4u32), Just(8u32)],
+        line in prop_oneof![Just(32u64), Just(64), Just(128)],
+    ) {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", bytes, 1 << 20);
+        let spec = |s: i64| LoopSpec {
+            name: "t".into(),
+            iters: 1024,
+            refs: vec![StreamRef {
+                name: "a",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: s },
+                mode: Mode::Read,
+                bytes,
+                hoistable: false,
+            }],
+            compute: 1.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let f1 = spec(stride).line_footprint_per_iter(line);
+        let f2 = spec(stride + 1).line_footprint_per_iter(line);
+        prop_assert!(f2 >= f1, "footprint must not shrink with stride");
+        prop_assert!(f1 >= bytes.min(line as u32) as u64);
+        prop_assert!(f1 <= line + bytes as u64);
+        prop_assert!(spec(stride).packed_bytes_per_iter(false) <= spec(stride).bytes_per_iter());
+    }
+
+    /// Arena round trips arbitrary f64 payloads and checksums detect any
+    /// single-element change.
+    #[test]
+    fn arena_roundtrip_and_checksum(
+        vals in proptest::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 1..100),
+        poke in any::<prop::sample::Index>(),
+    ) {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, vals.len() as u64);
+        let mut arena = Arena::new(&space);
+        for (i, v) in vals.iter().enumerate() {
+            arena.set_f64(&space, a, i as u64, *v);
+        }
+        for (i, v) in vals.iter().enumerate() {
+            prop_assert_eq!(arena.get_f64(&space, a, i as u64).to_bits(), v.to_bits());
+        }
+        let before = arena.checksum();
+        let i = poke.index(vals.len());
+        let old = arena.get_f64(&space, a, i as u64);
+        // Flip one mantissa bit: guaranteed bit-level change (adding 1.0
+        // would be absorbed for large magnitudes).
+        arena.set_f64(&space, a, i as u64, f64::from_bits(old.to_bits() ^ 1));
+        prop_assert_ne!(arena.checksum(), before);
+    }
+}

@@ -1,0 +1,180 @@
+//! The array inventory of the synthetic PARMVR subroutine.
+//!
+//! wave5 is a plasma (particle-in-cell) simulation; PARMVR is its particle
+//! mover. The arrays here are the PIC state a 1-D mover needs: per-particle
+//! state, per-cell field state, particle-to-cell index maps, scratch
+//! vectors, and deliberate placement properties:
+//!
+//! * the core f64 arrays (particles, fields, and the conflict group
+//!   `f1..f4`) are aligned to 1MB boundaries — the placement that
+//!   power-of-two-sized Fortran COMMON arrays naturally land on — so they
+//!   contend for the same cache sets (every modelled way size divides
+//!   1MB). Loops referencing two such streams fit both machines' L2s;
+//!   loops referencing three or four fit the Pentium Pro's 4-way L2 but
+//!   thrash the R10000's 2-way L2 — the associativity contrast of §3.3,
+//!   and the conflict misses that restructuring eliminates;
+//! * the scratch vectors `t1`/`t2` and index maps are packed naturally
+//!   (no alignment), so gather targets and mixed loops see ordinary
+//!   placement;
+//! * the *big pair* `b1/b2` realizes the paper's largest enlarged loop
+//!   footprint (~17MB).
+
+use cascade_trace::{AddressSpace, ArrayId};
+
+/// Sizing knobs of the workload, all derived from one scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dims {
+    /// Number of particles.
+    pub np: u64,
+    /// Number of grid cells.
+    pub ng: u64,
+    /// Length of each conflict-group array.
+    pub nf: u64,
+    /// Length of the small arrays (the paper's 256KB-class loops).
+    pub ns: u64,
+    /// Length of the big pair (the paper's 17MB-class loop).
+    pub nbig: u64,
+}
+
+impl Dims {
+    /// Paper-like dimensions scaled by `scale` (1.0 reproduces the
+    /// "enlarged problem" of §3.1: per-loop footprints from ~256KB to
+    /// ~17MB). Every dimension is floored at 1024 so that tiny scales used
+    /// in tests remain well-formed.
+    pub fn scaled(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |base: u64| -> u64 { ((base as f64 * scale) as u64).max(1024) };
+        Dims {
+            np: s(512 * 1024),
+            ng: s(512 * 1024),
+            nf: s(192 * 1024),
+            ns: s(16 * 1024),
+            nbig: s(1_100 * 1024),
+        }
+    }
+}
+
+/// All PARMVR arrays, with their [`ArrayId`]s in one allocated space.
+#[derive(Debug, Clone)]
+pub struct ParmvrArrays {
+    /// Dimensions used for allocation.
+    pub dims: Dims,
+    /// Particle positions (f64, `np`).
+    pub px: ArrayId,
+    /// Particle velocities (f64, `np`).
+    pub pvx: ArrayId,
+    /// Particle charge/mass ratios (f64, `np`).
+    pub pq: ArrayId,
+    /// Particle -> cell index, unsorted/random (u32, `np`).
+    pub ij: ArrayId,
+    /// Particle -> cell index, nearly sorted (u32, `np`).
+    pub ijs: ArrayId,
+    /// Particle permutation (u32, `np`).
+    pub ij2: ArrayId,
+    /// Electric field per cell (f64, `ng`).
+    pub ex: ArrayId,
+    /// Charge density per cell (f64, `ng`).
+    pub rho: ArrayId,
+    /// Potential per cell (f64, `ng`).
+    pub phi: ArrayId,
+    /// Conflict group, 1MB-aligned (f64, `nf` each).
+    pub f1: ArrayId,
+    /// Conflict group member 2.
+    pub f2: ArrayId,
+    /// Conflict group member 3.
+    pub f3: ArrayId,
+    /// Conflict group member 4.
+    pub f4: ArrayId,
+    /// Scratch vector 1 (f64, `np`).
+    pub t1: ArrayId,
+    /// Scratch vector 2 (f64, `np`).
+    pub t2: ArrayId,
+    /// Small vector 1 (f64, `ns`).
+    pub s1: ArrayId,
+    /// Small vector 2 (f64, `ns`).
+    pub s2: ArrayId,
+    /// Small index vector (u32, `ns`).
+    pub idx_s: ArrayId,
+    /// Big pair member 1 (f64, `nbig`).
+    pub b1: ArrayId,
+    /// Big pair member 2 (f64, `nbig`).
+    pub b2: ArrayId,
+}
+
+/// Alignment of the conflict group: a multiple of every modelled cache's
+/// way size (PPro L2 way 128KB, R10000 L2 way 1MB, both L1 ways).
+pub const CONFLICT_ALIGN: u64 = 1 << 20;
+
+impl ParmvrArrays {
+    /// Allocate every array into `space`.
+    pub fn allocate(space: &mut AddressSpace, dims: Dims) -> Self {
+        ParmvrArrays {
+            dims,
+            px: space.alloc_aligned("px", 8, dims.np, CONFLICT_ALIGN),
+            pvx: space.alloc_aligned("pvx", 8, dims.np, CONFLICT_ALIGN),
+            pq: space.alloc_aligned("pq", 8, dims.np, CONFLICT_ALIGN),
+            ij: space.alloc("ij", 4, dims.np),
+            ijs: space.alloc("ijs", 4, dims.np),
+            ij2: space.alloc("ij2", 4, dims.np),
+            ex: space.alloc_aligned("ex", 8, dims.ng, CONFLICT_ALIGN),
+            rho: space.alloc_aligned("rho", 8, dims.ng, CONFLICT_ALIGN),
+            phi: space.alloc_aligned("phi", 8, dims.ng, CONFLICT_ALIGN),
+            f1: space.alloc_aligned("f1", 8, dims.nf, CONFLICT_ALIGN),
+            f2: space.alloc_aligned("f2", 8, dims.nf, CONFLICT_ALIGN),
+            f3: space.alloc_aligned("f3", 8, dims.nf, CONFLICT_ALIGN),
+            f4: space.alloc_aligned("f4", 8, dims.nf, CONFLICT_ALIGN),
+            t1: space.alloc_aligned("t1", 8, dims.np, CONFLICT_ALIGN),
+            t2: space.alloc_aligned("t2", 8, dims.np, CONFLICT_ALIGN),
+            s1: space.alloc("s1", 8, dims.ns),
+            s2: space.alloc("s2", 8, dims.ns),
+            idx_s: space.alloc("idx_s", 4, dims.ns),
+            b1: space.alloc("b1", 8, dims.nbig),
+            b2: space.alloc("b2", 8, dims.nbig),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_dims_are_proportional() {
+        let full = Dims::scaled(1.0);
+        let half = Dims::scaled(0.5);
+        assert_eq!(full.np, 512 * 1024);
+        assert_eq!(half.np, 256 * 1024);
+        assert_eq!(full.nbig, 1_100 * 1024);
+    }
+
+    #[test]
+    fn tiny_scales_are_floored() {
+        let tiny = Dims::scaled(1e-6);
+        assert_eq!(tiny.np, 1024);
+        assert_eq!(tiny.ns, 1024);
+    }
+
+    #[test]
+    fn conflict_group_shares_way_residue() {
+        let mut space = AddressSpace::new();
+        let a = ParmvrArrays::allocate(&mut space, Dims::scaled(0.01));
+        for id in [a.f1, a.f2, a.f3, a.f4] {
+            assert_eq!(space.array(id).base % CONFLICT_ALIGN, 0);
+        }
+        // The paper's effect requires same residue modulo the *way size* of
+        // each machine; 128KB and 1MB both divide the alignment.
+        assert_eq!(CONFLICT_ALIGN % (128 * 1024), 0);
+        assert_eq!(CONFLICT_ALIGN % (1024 * 1024), 0);
+    }
+
+    #[test]
+    fn paper_footprint_range_is_covered() {
+        let d = Dims::scaled(1.0);
+        // Smallest loop class ~256KB (two small arrays + index).
+        let small = d.ns * (8 + 8 + 4);
+        assert!(small >= 256 * 1024, "small loop class: {small} bytes");
+        // Largest loop class ~17MB (big pair).
+        let big = d.nbig * 16;
+        assert!(big >= 17 * 1024 * 1024, "big loop class: {big} bytes");
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic (seeded) generation of PARMVR's data: index-array
+//! contents and initial floating-point state.
+//!
+//! Three index populations drive the workload's memory behaviour:
+//!
+//! * `ij` — particle -> cell, uniformly random: the hard gather/scatter
+//!   (particles far from sorted, as after many timesteps);
+//! * `ijs` — nearly sorted with bounded jitter: the easier gather (as just
+//!   after a particle sort), retaining some spatial locality;
+//! * `ij2` — a random permutation of the particles: every element touched
+//!   exactly once, in cache-hostile order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cascade_trace::{Arena, ArrayId, AddressSpace, IndexStore};
+
+use crate::arrays::ParmvrArrays;
+
+/// Jitter radius of the nearly-sorted map (index-array elements).
+const SORT_JITTER: i64 = 16;
+
+/// Build `ij` (uniform random cells), `ijs` (nearly sorted cells) and
+/// `ij2` (particle permutation) plus the small map `idx_s`.
+pub fn build_indices(a: &ParmvrArrays, seed: u64) -> IndexStore {
+    let d = a.dims;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = IndexStore::new();
+
+    // Uniform particle -> cell map.
+    let ij: Vec<u32> = (0..d.np).map(|_| rng.gen_range(0..d.ng) as u32).collect();
+    store.set(a.ij, ij);
+
+    // Nearly sorted map: monotone ramp over cells plus bounded jitter.
+    let ijs: Vec<u32> = (0..d.np)
+        .map(|i| {
+            let ideal = (i as i64 * d.ng as i64) / d.np as i64;
+            let jitter = rng.gen_range(-SORT_JITTER..=SORT_JITTER);
+            (ideal + jitter).clamp(0, d.ng as i64 - 1) as u32
+        })
+        .collect();
+    store.set(a.ijs, ijs);
+
+    // Random permutation of the particles (Fisher-Yates).
+    let mut ij2: Vec<u32> = (0..d.np as u32).collect();
+    for i in (1..ij2.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ij2.swap(i, j);
+    }
+    store.set(a.ij2, ij2);
+
+    // Small map: uniform within the small arrays.
+    let idx_s: Vec<u32> = (0..d.ns).map(|_| rng.gen_range(0..d.ns) as u32).collect();
+    store.set(a.idx_s, idx_s);
+
+    store
+}
+
+/// Fill every floating-point array with deterministic values in (0, 1) and
+/// install the index contents, producing real backing storage for the
+/// runtime.
+pub fn build_arena(
+    space: &AddressSpace,
+    a: &ParmvrArrays,
+    index: &IndexStore,
+    seed: u64,
+) -> Arena {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00f1_0a7d_a7a5_eed5);
+    let mut arena = Arena::new(space);
+    let f64_arrays: [ArrayId; 13] = [
+        a.px, a.pvx, a.pq, a.ex, a.rho, a.phi, a.f1, a.f2, a.f3, a.f4, a.t1, a.t2, a.b1,
+    ];
+    for id in f64_arrays {
+        let len = space.array(id).len;
+        for i in 0..len {
+            arena.set_f64(space, id, i, rng.gen_range(0.001..1.0));
+        }
+    }
+    // b2, s1, s2 start zeroed (pure outputs / filters).
+    for id in [a.b2, a.s1, a.s2] {
+        let len = space.array(id).len;
+        for i in 0..len {
+            arena.set_f64(space, id, i, 0.0);
+        }
+    }
+    arena.install_indices(space, index);
+    arena
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::{Dims, ParmvrArrays};
+
+    fn setup() -> (AddressSpace, ParmvrArrays) {
+        let mut space = AddressSpace::new();
+        let a = ParmvrArrays::allocate(&mut space, Dims::scaled(0.005));
+        (space, a)
+    }
+
+    #[test]
+    fn indices_are_in_range() {
+        let (_, a) = setup();
+        let store = build_indices(&a, 7);
+        let d = a.dims;
+        for i in 0..d.np {
+            assert!((store.get(a.ij, i) as u64) < d.ng);
+            assert!((store.get(a.ijs, i) as u64) < d.ng);
+            assert!((store.get(a.ij2, i) as u64) < d.np);
+        }
+        for i in 0..d.ns {
+            assert!((store.get(a.idx_s, i) as u64) < d.ns);
+        }
+    }
+
+    #[test]
+    fn ij2_is_a_permutation() {
+        let (_, a) = setup();
+        let store = build_indices(&a, 7);
+        let mut seen = vec![false; a.dims.np as usize];
+        for i in 0..a.dims.np {
+            let v = store.get(a.ij2, i) as usize;
+            assert!(!seen[v], "duplicate {v}");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn ijs_is_nearly_sorted() {
+        let (_, a) = setup();
+        let store = build_indices(&a, 7);
+        let d = a.dims;
+        for i in 0..d.np {
+            let ideal = (i as i64 * d.ng as i64) / d.np as i64;
+            let got = store.get(a.ijs, i) as i64;
+            assert!((got - ideal).abs() <= SORT_JITTER, "jitter exceeded at {i}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (space, a) = setup();
+        let s1 = build_indices(&a, 42);
+        let s2 = build_indices(&a, 42);
+        for i in 0..a.dims.np {
+            assert_eq!(s1.get(a.ij, i), s2.get(a.ij, i));
+        }
+        let ar1 = build_arena(&space, &a, &s1, 42);
+        let ar2 = build_arena(&space, &a, &s2, 42);
+        assert_eq!(ar1.checksum(), ar2.checksum());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (space, a) = setup();
+        let s1 = build_indices(&a, 1);
+        let s2 = build_indices(&a, 2);
+        let ar1 = build_arena(&space, &a, &s1, 1);
+        let ar2 = build_arena(&space, &a, &s2, 2);
+        assert_ne!(ar1.checksum(), ar2.checksum());
+    }
+
+    #[test]
+    fn arena_has_indices_installed() {
+        let (space, a) = setup();
+        let store = build_indices(&a, 3);
+        let arena = build_arena(&space, &a, &store, 3);
+        for i in (0..a.dims.np).step_by(97) {
+            assert_eq!(arena.get_u32(&space, a.ij, i), store.get(a.ij, i));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! # cascade-wave5 — the synthetic PARMVR workload
+//!
+//! The paper evaluates cascaded execution on PARMVR, the particle-mover
+//! subroutine that dominates (≈50%) the runtime of `wave5` from SPEC95fp.
+//! SPEC sources are proprietary, so this crate provides a *synthetic
+//! PARMVR*: fifteen loops of a 1-D particle-in-cell mover whose population
+//! matches everything the paper states about the original — loop count,
+//! enlarged per-loop footprints (≈256KB to ≈17MB), shared arrays across
+//! loops, indirect gathers/scatters that defeat parallelization, and a
+//! conflict-prone multi-stream sweep. See DESIGN.md for the full
+//! substitution argument and the per-loop table.
+//!
+//! ```
+//! use cascade_wave5::{Parmvr, ParmvrParams};
+//!
+//! // A miniature PARMVR for quick experiments (scale 1.0 = paper-sized).
+//! let parmvr = Parmvr::build(ParmvrParams { scale: 0.01, seed: 1 });
+//! assert_eq!(parmvr.workload.loops.len(), 15);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrays;
+pub mod data;
+pub mod loops;
+
+pub use arrays::{Dims, ParmvrArrays, CONFLICT_ALIGN};
+
+use cascade_trace::{AddressSpace, Arena, Workload};
+
+/// Parameters of a PARMVR instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParmvrParams {
+    /// Size multiplier; 1.0 reproduces the paper's enlarged problem.
+    pub scale: f64,
+    /// Seed for index and data generation.
+    pub seed: u64,
+}
+
+impl Default for ParmvrParams {
+    fn default() -> Self {
+        ParmvrParams { scale: 1.0, seed: 0x5EED_CA5C }
+    }
+}
+
+/// A fully built PARMVR instance: the simulator-facing [`Workload`], the
+/// runtime-facing [`Arena`] of real data, and the array handles.
+#[derive(Debug, Clone)]
+pub struct Parmvr {
+    /// Workload description (address space, index contents, 15 loops).
+    pub workload: Workload,
+    /// Real backing data matching the workload's address space.
+    pub arena: Arena,
+    /// Array handles for inspection.
+    pub arrays: ParmvrArrays,
+    /// Parameters it was built with.
+    pub params: ParmvrParams,
+}
+
+impl Parmvr {
+    /// Build a PARMVR instance deterministically from `params`.
+    pub fn build(params: ParmvrParams) -> Self {
+        let dims = Dims::scaled(params.scale);
+        let mut space = AddressSpace::new();
+        let arrays = ParmvrArrays::allocate(&mut space, dims);
+        let index = data::build_indices(&arrays, params.seed);
+        let arena = data::build_arena(&space, &arrays, &index, params.seed);
+        let loops = loops::build_loops(&arrays);
+        let workload = Workload { space, index, loops };
+        workload.validate();
+        Parmvr { workload, arena, arrays, params }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_valid_workload() {
+        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
+        p.workload.validate();
+        assert_eq!(p.workload.loops.len(), 15);
+        assert_eq!(p.arena.len() as u64, p.workload.space.extent());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
+        let b = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
+        assert_eq!(a.arena.checksum(), b.arena.checksum());
+        assert_eq!(a.workload.space.extent(), b.workload.space.extent());
+    }
+
+    #[test]
+    fn full_scale_footprint_matches_paper_class() {
+        // The paper's enlarged PARMVR touches tens of MB per call; make
+        // sure the default scale actually allocates that much.
+        let dims = Dims::scaled(1.0);
+        let mut space = AddressSpace::new();
+        let _ = ParmvrArrays::allocate(&mut space, dims);
+        let mb = space.extent() as f64 / (1024.0 * 1024.0);
+        assert!(mb > 50.0 && mb < 120.0, "total allocation {mb:.1} MB");
+    }
+}

@@ -1,0 +1,295 @@
+//! The fifteen loops of the synthetic PARMVR (paper §3.1: "PARMVR is
+//! called approximately 5000 times and consists of 15 loops").
+//!
+//! Each loop is a [`LoopSpec`] over the shared [`ParmvrArrays`]. The table
+//! in DESIGN.md §4 maps loop numbers to patterns and footprint classes;
+//! the mix is chosen to reproduce the paper's population: indirect gathers
+//! and scatters (the reason the compiler cannot parallelize the mover),
+//! streaming pushes, a conflict-prone multi-stream sweep, strided sweeps,
+//! reductions, and small loops where cascading barely pays.
+
+use cascade_trace::{LoopSpec, Mode, Pattern, StreamRef};
+
+use crate::arrays::ParmvrArrays;
+
+fn seq() -> Pattern {
+    Pattern::Affine { base: 0, stride: 1 }
+}
+
+fn rd(
+    name: &'static str,
+    array: cascade_trace::ArrayId,
+    pattern: Pattern,
+    hoistable: bool,
+) -> StreamRef {
+    StreamRef { name, array, pattern, mode: Mode::Read, bytes: 8, hoistable }
+}
+
+fn wr(name: &'static str, array: cascade_trace::ArrayId, pattern: Pattern) -> StreamRef {
+    StreamRef { name, array, pattern, mode: Mode::Write, bytes: 8, hoistable: false }
+}
+
+fn rmw(name: &'static str, array: cascade_trace::ArrayId, pattern: Pattern) -> StreamRef {
+    StreamRef { name, array, pattern, mode: Mode::Modify, bytes: 8, hoistable: false }
+}
+
+fn gather(index: cascade_trace::ArrayId) -> Pattern {
+    Pattern::Indirect { index, ibase: 0, istride: 1 }
+}
+
+/// Build all fifteen loops, in PARMVR order.
+pub fn build_loops(a: &ParmvrArrays) -> Vec<LoopSpec> {
+    let d = a.dims;
+    vec![
+        // L1: field gather at particle positions: t1(i) = ex(ij(i)).
+        LoopSpec {
+            name: "L1 field gather t1(i)=ex(ij(i))".into(),
+            iters: d.np,
+            refs: vec![
+                rd("ex(ij(i))", a.ex, gather(a.ij), false),
+                wr("t1(i)", a.t1, seq()),
+            ],
+            compute: 30.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        },
+        // L2: velocity push: pvx(i) += pq(i) * t1(i) * dt.
+        LoopSpec {
+            name: "L2 velocity push pvx(i)+=pq(i)*t1(i)*dt".into(),
+            iters: d.np,
+            refs: vec![
+                rd("pq(i)", a.pq, seq(), true),
+                rd("t1(i)", a.t1, seq(), true),
+                rmw("pvx(i)", a.pvx, seq()),
+            ],
+            compute: 50.0,
+            hoistable_compute: 12.0,
+            hoist_result_bytes: 8,
+        },
+        // L3: position push: px(i) += pvx(i) * dt.
+        LoopSpec {
+            name: "L3 position push px(i)+=pvx(i)*dt".into(),
+            iters: d.np,
+            refs: vec![
+                rd("pvx(i)", a.pvx, seq(), true),
+                rmw("px(i)", a.px, seq()),
+            ],
+            compute: 60.0,
+            hoistable_compute: 10.0,
+            hoist_result_bytes: 8,
+        },
+        // L4: periodic boundary wrap: px(i) = wrap(px(i)). Nothing is
+        // read-only, so restructuring has nothing to pack; the paper's
+        // "maximum slowdown of 0.9" class.
+        LoopSpec {
+            name: "L4 boundary wrap px(i)=wrap(px(i))".into(),
+            iters: d.np,
+            refs: vec![rmw("px(i)", a.px, seq())],
+            compute: 40.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        },
+        // L5: charge deposition scatter-add: rho(ij(i)) += pq(i)*w.
+        LoopSpec {
+            name: "L5 charge deposition rho(ij(i))+=pq(i)*w".into(),
+            iters: d.np,
+            refs: vec![
+                rd("pq(i)", a.pq, seq(), true),
+                rmw("rho(ij(i))", a.rho, gather(a.ij)),
+            ],
+            compute: 45.0,
+            hoistable_compute: 15.0,
+            hoist_result_bytes: 8,
+        },
+        // L6: field update from two aligned streams:
+        // phi(i) = c1*ex(i) + c2*rho(i). Three 1MB-aligned streams: fits
+        // the PPro's 4-way L2, thrashes the R10000's 2-way L2.
+        LoopSpec {
+            name: "L6 field update phi(i)=c1*ex(i)+c2*rho(i)".into(),
+            iters: d.ng,
+            refs: vec![
+                rd("ex(i)", a.ex, seq(), true),
+                rd("rho(i)", a.rho, seq(), true),
+                wr("phi(i)", a.phi, seq()),
+            ],
+            compute: 45.0,
+            hoistable_compute: 25.0,
+            hoist_result_bytes: 8,
+        },
+        // L7: compute-heavy gather (hoisting showcase):
+        // t2(i) = f(ex(ijs(i)), pq(i)) with expensive f.
+        LoopSpec {
+            name: "L7 compute-heavy gather t2(i)=f(ex(ijs(i)),pq(i))".into(),
+            iters: d.np,
+            refs: vec![
+                rd("ex(ijs(i))", a.ex, gather(a.ijs), true),
+                rd("pq(i)", a.pq, seq(), true),
+                wr("t2(i)", a.t2, seq()),
+            ],
+            compute: 120.0,
+            hoistable_compute: 95.0,
+            hoist_result_bytes: 8,
+        },
+        // L8: kinetic energy reduction: e += pvx(i)^2 (read-only loop).
+        LoopSpec {
+            name: "L8 energy reduction e+=pvx(i)^2".into(),
+            iters: d.np,
+            refs: vec![rd("pvx(i)", a.pvx, seq(), true)],
+            compute: 35.0,
+            hoistable_compute: 5.0,
+            hoist_result_bytes: 8,
+        },
+        // L9: conflict-prone 4-stream sweep over the 1MB-aligned group:
+        // f1(i) = f2(i) + f3(i)*f4(i).
+        LoopSpec {
+            name: "L9 aliased sweep f1(i)=f2(i)+f3(i)*f4(i)".into(),
+            iters: d.nf,
+            refs: vec![
+                rd("f2(i)", a.f2, seq(), true),
+                rd("f3(i)", a.f3, seq(), true),
+                rd("f4(i)", a.f4, seq(), true),
+                wr("f1(i)", a.f1, seq()),
+            ],
+            compute: 45.0,
+            hoistable_compute: 25.0,
+            hoist_result_bytes: 8,
+        },
+        // L10: small gather: s1(i) = s2(idx_s(i)). Fits in L2; cascading
+        // mostly adds transfer overhead here.
+        LoopSpec {
+            name: "L10 small gather s1(i)=s2(idx(i))".into(),
+            iters: d.ns,
+            refs: vec![
+                rd("s2(idx(i))", a.s2, gather(a.idx_s), false),
+                wr("s1(i)", a.s1, seq()),
+            ],
+            compute: 25.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        },
+        // L11: gather + scatter mix: rho(ij(i)) += ex(ijs(i)).
+        LoopSpec {
+            name: "L11 gather-scatter rho(ij(i))+=ex(ijs(i))".into(),
+            iters: d.np,
+            refs: vec![
+                rd("ex(ijs(i))", a.ex, gather(a.ijs), true),
+                rmw("rho(ij(i))", a.rho, gather(a.ij)),
+            ],
+            compute: 45.0,
+            hoistable_compute: 10.0,
+            hoist_result_bytes: 8,
+        },
+        // L12: strided sweep with poor spatial locality over three aligned
+        // streams: t1(i) = phi(8i) + f1(8i)*rho(8i).
+        LoopSpec {
+            name: "L12 strided sweep t1(i)=phi(8i)+f1(8i)*rho(8i)".into(),
+            iters: d.nf / 8,
+            refs: vec![
+                rd("phi(8i)", a.phi, Pattern::Affine { base: 0, stride: 8 }, true),
+                rd("f1(8i)", a.f1, Pattern::Affine { base: 0, stride: 8 }, true),
+                rd("rho(8i)", a.rho, Pattern::Affine { base: 0, stride: 8 }, true),
+                wr("t1(i)", a.t1, seq()),
+            ],
+            compute: 25.0,
+            hoistable_compute: 6.0,
+            hoist_result_bytes: 8,
+        },
+        // L13: the huge triad over the big pair: b2(i) = b1(i)*s + b2(i).
+        LoopSpec {
+            name: "L13 huge triad b2(i)=b1(i)*s+b2(i)".into(),
+            iters: d.nbig,
+            refs: vec![
+                rd("b1(i)", a.b1, seq(), true),
+                rmw("b2(i)", a.b2, seq()),
+            ],
+            compute: 30.0,
+            hoistable_compute: 5.0,
+            hoist_result_bytes: 8,
+        },
+        // L14: small conditional filter: s2(i) = g(s1(i)).
+        LoopSpec {
+            name: "L14 small filter s2(i)=g(s1(i))".into(),
+            iters: d.ns,
+            refs: vec![
+                rd("s1(i)", a.s1, seq(), true),
+                wr("s2(i)", a.s2, seq()),
+            ],
+            compute: 40.0,
+            hoistable_compute: 10.0,
+            hoist_result_bytes: 8,
+        },
+        // L15: permuted round trip: px(ij2(i)) = px(ij2(i))*c + t2(i).
+        LoopSpec {
+            name: "L15 permuted update px(ij2(i))=px(ij2(i))*c+t2(i)".into(),
+            iters: d.np,
+            refs: vec![
+                rd("t2(i)", a.t2, seq(), true),
+                rmw("px(ij2(i))", a.px, gather(a.ij2)),
+            ],
+            compute: 45.0,
+            hoistable_compute: 10.0,
+            hoist_result_bytes: 8,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrays::{Dims, ParmvrArrays};
+    use cascade_trace::AddressSpace;
+
+    fn loops_at(scale: f64) -> Vec<LoopSpec> {
+        let mut space = AddressSpace::new();
+        let a = ParmvrArrays::allocate(&mut space, Dims::scaled(scale));
+        build_loops(&a)
+    }
+
+    #[test]
+    fn there_are_fifteen_loops() {
+        assert_eq!(loops_at(0.01).len(), 15);
+    }
+
+    #[test]
+    fn all_loops_validate() {
+        for l in loops_at(0.01) {
+            l.validate();
+        }
+    }
+
+    #[test]
+    fn footprints_span_the_paper_range() {
+        // Paper §3.1: "the amount of data accessed by each loop ranges
+        // from 256KB to 17MB" in the enlarged problem.
+        let loops = loops_at(1.0);
+        let min = loops.iter().map(|l| l.footprint()).min().unwrap();
+        let max = loops.iter().map(|l| l.footprint()).max().unwrap();
+        assert!(min >= 200 * 1024, "smallest loop {min} bytes");
+        assert!(min <= 512 * 1024, "smallest loop {min} bytes");
+        assert!(max >= 17 * 1024 * 1024, "largest loop {max} bytes");
+        assert!(max <= 24 * 1024 * 1024, "largest loop {max} bytes");
+    }
+
+    #[test]
+    fn population_mix_matches_design() {
+        let loops = loops_at(0.01);
+        let gathers = loops.iter().filter(|l| l.has_indirection()).count();
+        assert!(gathers >= 5, "PIC movers are gather/scatter heavy: {gathers}");
+        let hoistable = loops.iter().filter(|l| l.hoistable_compute > 0.0).count();
+        assert!(hoistable >= 10, "most loops have read-only-only work: {hoistable}");
+        // L4 must be the no-read-only loop (the slowdown candidate).
+        assert_eq!(loops[3].packed_bytes_per_iter(true), 0);
+    }
+
+    #[test]
+    fn loop_names_are_numbered_in_order() {
+        for (i, l) in loops_at(0.01).iter().enumerate() {
+            assert!(
+                l.name.starts_with(&format!("L{} ", i + 1)),
+                "loop {} misnamed: {}",
+                i + 1,
+                l.name
+            );
+        }
+    }
+}

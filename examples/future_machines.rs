@@ -1,0 +1,63 @@
+//! The paper's §3.4 projection, extended: how does the benefit of
+//! cascaded execution grow as processors continue to outpace memory?
+//!
+//! The paper freezes the processor and varies the *loop* (dense vs sparse)
+//! to change the memory-to-compute ratio. Here we also vary the *machine*:
+//! `machines::future(&base, k)` scales main-memory latency by `k`,
+//! modelling k-times-worse relative memory. Both the paper's synthetic
+//! loop and a wave5-like gather loop are projected.
+//!
+//! ```sh
+//! cargo run --release --example future_machines
+//! ```
+
+use cascaded_execution::synth::{Synth, Variant};
+use cascaded_execution::wave5::{Parmvr, ParmvrParams};
+use cascaded_execution::{
+    machines, run_sequential, run_unbounded, HelperPolicy, UnboundedConfig,
+};
+
+fn main() {
+    let scales = [1.0, 2.0, 4.0, 8.0, 16.0];
+    let cfg = UnboundedConfig {
+        chunk_bytes: 32 * 1024,
+        policy: HelperPolicy::Restructure { hoist: true },
+        calls: 1,
+        flush_between_calls: true,
+    };
+
+    println!("Unbounded-processor restructured speedup vs memory-latency scaling");
+    println!("(base machine: Pentium Pro; paper §3.4 expects the benefit to grow)\n");
+    println!(
+        "{:<28} {}",
+        "workload",
+        scales.iter().map(|s| format!("{:>7}", format!("x{s}"))).collect::<String>()
+    );
+
+    // The paper's synthetic loop, dense and sparse.
+    for variant in [Variant::Dense, Variant::Sparse] {
+        let synth = Synth::build(1 << 20, variant, 11);
+        let mut cells = String::new();
+        for &ms in &scales {
+            let m = machines::future(&machines::pentium_pro(), ms);
+            let base = run_sequential(&m, &synth.workload, 1, true);
+            let r = run_unbounded(&m, &synth.workload, &cfg);
+            cells.push_str(&format!("{:>7.1}", r.overall_speedup_vs(&base)));
+        }
+        println!("{:<28} {}", format!("synthetic {}", variant.label()), cells);
+    }
+
+    // The full PARMVR at reduced scale.
+    let parmvr = Parmvr::build(ParmvrParams { scale: 0.1, seed: 11 });
+    let mut cells = String::new();
+    for &ms in &scales {
+        let m = machines::future(&machines::pentium_pro(), ms);
+        let base = run_sequential(&m, &parmvr.workload, 1, true);
+        let r = run_unbounded(&m, &parmvr.workload, &cfg);
+        cells.push_str(&format!("{:>7.1}", r.overall_speedup_vs(&base)));
+    }
+    println!("{:<28} {}", "wave5 PARMVR (15 loops)", cells);
+
+    println!("\nReading: columns are main-memory latency scaled 1x..16x; every row should");
+    println!("increase to the right — the slower memory gets, the more cascading helps.");
+}

@@ -1,0 +1,77 @@
+//! The paper's main workload end to end: the (synthetic) PARMVR
+//! subroutine of wave5, cascaded on a simulated machine.
+//!
+//! ```sh
+//! cargo run --release --example wave5_parmvr -- [scale] [machine] [procs]
+//! #   scale   workload scale, default 0.25 (1.0 = the paper's enlarged problem)
+//! #   machine "ppro" (default) or "r10000"
+//! #   procs   processor count, default 4
+//! ```
+
+use cascaded_execution::wave5::{Parmvr, ParmvrParams};
+use cascaded_execution::{machines, run_cascaded, run_sequential, CascadeConfig, HelperPolicy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let machine = match args.next().as_deref() {
+        Some("r10000") => machines::r10000(),
+        _ => machines::pentium_pro(),
+    };
+    let nprocs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!("Building PARMVR at scale {scale} ...");
+    let parmvr = Parmvr::build(ParmvrParams { scale, seed: 42 });
+    let w = &parmvr.workload;
+    println!(
+        "  15 loops, footprints {:.1}KB .. {:.1}MB, total arrays {:.1}MB\n",
+        w.loops.iter().map(|l| l.footprint()).min().unwrap() as f64 / 1024.0,
+        w.loops.iter().map(|l| l.footprint()).max().unwrap() as f64 / (1024.0 * 1024.0),
+        w.space.extent() as f64 / (1024.0 * 1024.0),
+    );
+
+    let baseline = run_sequential(&machine, w, 2, true);
+    let prefetched = run_cascaded(
+        &machine,
+        w,
+        &CascadeConfig { nprocs, policy: HelperPolicy::Prefetch, ..CascadeConfig::default() },
+    );
+    let restructured = run_cascaded(
+        &machine,
+        w,
+        &CascadeConfig {
+            nprocs,
+            policy: HelperPolicy::Restructure { hoist: true },
+            ..CascadeConfig::default()
+        },
+    );
+
+    println!(
+        "{} with {} processors, 64KB chunks (speedup over 1-processor sequential):",
+        machine.name, nprocs
+    );
+    println!("{:<46} {:>9} {:>9} {:>9}", "loop", "orig Mcy", "pre-spd", "rst-spd");
+    for i in 0..w.loops.len() {
+        println!(
+            "{:<46} {:>9.2} {:>9.2} {:>9.2}",
+            baseline.loops[i].name,
+            baseline.loops[i].cycles / 1e6,
+            baseline.loops[i].cycles / prefetched.loops[i].cycles,
+            baseline.loops[i].cycles / restructured.loops[i].cycles,
+        );
+    }
+    println!(
+        "{:<46} {:>9.2} {:>9.2} {:>9.2}",
+        "OVERALL",
+        baseline.total_cycles() / 1e6,
+        prefetched.overall_speedup_vs(&baseline),
+        restructured.overall_speedup_vs(&baseline),
+    );
+    println!(
+        "\nhelper coverage: prefetched {:.0}%, restructured {:.0}%",
+        100.0 * prefetched.loops.iter().map(|l| l.helper_iters).sum::<u64>() as f64
+            / prefetched.loops.iter().map(|l| l.iters).sum::<u64>() as f64,
+        100.0 * restructured.loops.iter().map(|l| l.helper_iters).sum::<u64>() as f64
+            / restructured.loops.iter().map(|l| l.iters).sum::<u64>() as f64,
+    );
+}

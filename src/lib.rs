@@ -1,0 +1,74 @@
+//! # cascaded-execution
+//!
+//! A reproduction, as a Rust library, of
+//!
+//! > R. E. Anderson, T. D. Nguyen, J. Zahorjan.
+//! > *Cascaded Execution: Speeding Up Unparallelized Execution on
+//! > Shared-Memory Multiprocessors.* IPPS/SPDP 1999.
+//!
+//! Loops a parallelizing compiler cannot parallelize must run
+//! sequentially, and by Amdahl's law they dominate as everything else
+//! speeds up. Cascaded execution rotates the *sequential* execution of
+//! such a loop across the machine's processors in chunks — exactly one
+//! processor executes at a time — while the waiting processors run
+//! *helper phases* that optimize their memory state for their next turn:
+//! prefetching operands, or restructuring read-only data into dense
+//! per-processor sequential buffers.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`engine`] | `cascade-core` | the cascade scheduler, helper policies, chunk planning, the three simulators |
+//! | [`mem`] | `cascade-mem` | the memory-hierarchy simulator and the paper's Table-1 machines |
+//! | [`trace`] | `cascade-trace` | workload descriptions: address spaces, loop specs, arenas |
+//! | [`rt`] | `cascade-rt` | the real-thread runtime (atomic token, prefetch intrinsics, packing) |
+//! | [`wave5`] | `cascade-wave5` | the synthetic PARMVR workload (15 loops, 256KB-17MB footprints) |
+//! | [`synth`] | `cascade-synth` | the §3.4 synthetic future-machine loop |
+//! | [`kernels`] | `cascade-kernels` | extra unparallelizable kernels (tri-solve, pointer chase, IIR, histogram, SpMV) |
+//! | [`pic`] | `cascade-pic-app` | a real 1-D PIC plasma application whose mover runs under the cascaded runtime |
+//!
+//! The most common entry points are re-exported at the top level.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cascaded_execution::{
+//!     machines, run_cascaded, run_sequential, CascadeConfig, HelperPolicy,
+//! };
+//! use cascaded_execution::wave5::{Parmvr, ParmvrParams};
+//!
+//! // A miniature PARMVR (scale 1.0 reproduces the paper's enlarged problem).
+//! let parmvr = Parmvr::build(ParmvrParams { scale: 0.02, seed: 7 });
+//! let machine = machines::pentium_pro();
+//!
+//! let baseline = run_sequential(&machine, &parmvr.workload, 2, true);
+//! let cascaded = run_cascaded(&machine, &parmvr.workload, &CascadeConfig {
+//!     nprocs: 4,
+//!     policy: HelperPolicy::Restructure { hoist: true },
+//!     ..CascadeConfig::default()
+//! });
+//! println!("overall speedup: {:.2}", cascaded.overall_speedup_vs(&baseline));
+//! assert!(cascaded.overall_speedup_vs(&baseline) > 1.0);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and modelling decisions, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table/figure.
+
+#![warn(missing_docs)]
+
+pub use cascade_core as engine;
+pub use cascade_mem as mem;
+pub use cascade_rt as rt;
+pub use cascade_kernels as kernels;
+pub use cascade_pic_app as pic;
+pub use cascade_synth as synth;
+pub use cascade_trace as trace;
+pub use cascade_wave5 as wave5;
+
+pub use cascade_core::{
+    run_cascaded, run_sequential, run_unbounded, AmdahlModel, CascadeConfig, ChunkPlan, HelperPolicy,
+    LoopReport, RunReport, UnboundedConfig, UNBOUNDED_PROCS,
+};
+pub use cascade_mem::{machines, MachineConfig};
+pub use cascade_trace::{AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload};

@@ -1,0 +1,141 @@
+//! Cross-crate integration: the full pipeline (workload -> simulators ->
+//! reports) holds the paper's structural properties at test scale.
+
+use cascaded_execution::wave5::{Parmvr, ParmvrParams};
+use cascaded_execution::{
+    machines, run_cascaded, run_sequential, run_unbounded, CascadeConfig, HelperPolicy,
+    UnboundedConfig,
+};
+
+fn parmvr() -> Parmvr {
+    Parmvr::build(ParmvrParams { scale: 0.05, seed: 99 })
+}
+
+fn cfg(nprocs: usize, policy: HelperPolicy) -> CascadeConfig {
+    CascadeConfig { nprocs, policy, calls: 1, ..CascadeConfig::default() }
+}
+
+#[test]
+fn restructured_beats_prefetched_beats_none_overall() {
+    let p = parmvr();
+    for machine in [machines::pentium_pro(), machines::r10000()] {
+        let base = run_sequential(&machine, &p.workload, 1, true);
+        let none = run_cascaded(&machine, &p.workload, &cfg(4, HelperPolicy::None));
+        let pre = run_cascaded(&machine, &p.workload, &cfg(4, HelperPolicy::Prefetch));
+        let rst = run_cascaded(
+            &machine,
+            &p.workload,
+            &cfg(4, HelperPolicy::Restructure { hoist: true }),
+        );
+        let (s_none, s_pre, s_rst) = (
+            none.overall_speedup_vs(&base),
+            pre.overall_speedup_vs(&base),
+            rst.overall_speedup_vs(&base),
+        );
+        assert!(
+            s_rst > s_pre && s_pre > s_none,
+            "{}: restructured {s_rst:.2} > prefetched {s_pre:.2} > none {s_none:.2}",
+            machine.name
+        );
+        assert!(s_none <= 1.0, "{}: helperless cascading cannot win", machine.name);
+    }
+}
+
+#[test]
+fn cascading_moves_l2_misses_off_the_execution_phase() {
+    let p = parmvr();
+    let machine = machines::pentium_pro();
+    let base = run_sequential(&machine, &p.workload, 1, true);
+    let pre = run_cascaded(&machine, &p.workload, &cfg(4, HelperPolicy::Prefetch));
+    let base_l2: u64 = base.loops.iter().map(|l| l.exec.l2_misses).sum();
+    let exec_l2: u64 = pre.loops.iter().map(|l| l.exec.l2_misses).sum();
+    let helper_l2: u64 = pre.loops.iter().map(|l| l.helper.l2_misses).sum();
+    assert!(
+        (exec_l2 as f64) < 0.3 * base_l2 as f64,
+        "execution-phase misses must collapse: {exec_l2} vs baseline {base_l2}"
+    );
+    assert!(helper_l2 > 0, "the misses must reappear in the helper phases");
+}
+
+#[test]
+fn speedup_grows_with_processors_and_unbounded_dominates() {
+    let p = parmvr();
+    let machine = machines::r10000();
+    let base = run_sequential(&machine, &p.workload, 1, true);
+    let policy = HelperPolicy::Restructure { hoist: true };
+    let s2 = run_cascaded(&machine, &p.workload, &cfg(2, policy)).overall_speedup_vs(&base);
+    let s8 = run_cascaded(&machine, &p.workload, &cfg(8, policy)).overall_speedup_vs(&base);
+    let unb = run_unbounded(
+        &machine,
+        &p.workload,
+        &UnboundedConfig { policy, calls: 1, ..UnboundedConfig::default() },
+    )
+    .overall_speedup_vs(&base);
+    assert!(s8 >= s2, "more processors should not hurt: {s2:.2} -> {s8:.2}");
+    assert!(
+        unb >= s8 * 0.95,
+        "unbounded processors bound the achievable speedup: {unb:.2} vs {s8:.2}"
+    );
+}
+
+#[test]
+fn per_loop_spread_matches_paper_shape() {
+    // The paper: individual loops range from slight slowdown (0.9x) to
+    // strong speedup; the no-read-only loop (L4) must be among the losers.
+    let p = parmvr();
+    let machine = machines::pentium_pro();
+    let base = run_sequential(&machine, &p.workload, 1, true);
+    let rst = run_cascaded(
+        &machine,
+        &p.workload,
+        &cfg(4, HelperPolicy::Restructure { hoist: true }),
+    );
+    let speedups = rst.loop_speedups_vs(&base);
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max / min > 1.5, "per-loop spread must be wide: {min:.2}..{max:.2}");
+    assert!(min > 0.7, "no catastrophic slowdown: {min:.2}");
+    let l4 = speedups[3];
+    assert!(
+        l4 < max * 0.8,
+        "L4 (nothing to restructure) must not be a top gainer: {l4:.2} vs max {max:.2}"
+    );
+}
+
+#[test]
+fn reports_are_fully_deterministic_across_builds() {
+    let a = {
+        let p = parmvr();
+        let m = machines::r10000();
+        run_cascaded(&m, &p.workload, &cfg(4, HelperPolicy::Restructure { hoist: false }))
+    };
+    let b = {
+        let p = parmvr();
+        let m = machines::r10000();
+        run_cascaded(&m, &p.workload, &cfg(4, HelperPolicy::Restructure { hoist: false }))
+    };
+    assert_eq!(a.total_cycles(), b.total_cycles());
+    for (la, lb) in a.loops.iter().zip(&b.loops) {
+        assert_eq!(la.exec.l1_misses, lb.exec.l1_misses);
+        assert_eq!(la.exec.l2_misses, lb.exec.l2_misses);
+        assert_eq!(la.chunks, lb.chunks);
+        assert_eq!(la.helper_iters, lb.helper_iters);
+    }
+}
+
+#[test]
+fn both_machines_run_the_same_workload_object() {
+    // One workload instance must be reusable across machines and runs
+    // (the simulators never mutate it).
+    let p = parmvr();
+    let w = &p.workload;
+    let before = w.space.extent();
+    let _ = run_sequential(&machines::pentium_pro(), w, 1, true);
+    let _ = run_cascaded(
+        &machines::r10000(),
+        w,
+        &cfg(3, HelperPolicy::Restructure { hoist: true }),
+    );
+    assert_eq!(w.space.extent(), before, "workload must be unchanged");
+    assert_eq!(w.loops.len(), 15);
+}
