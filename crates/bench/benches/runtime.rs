@@ -92,5 +92,10 @@ fn bench_cascade_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_token, bench_helpers, bench_cascade_end_to_end);
+criterion_group!(
+    benches,
+    bench_token,
+    bench_helpers,
+    bench_cascade_end_to_end
+);
 criterion_main!(benches);

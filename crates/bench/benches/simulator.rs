@@ -21,7 +21,12 @@ fn bench_cache_access(c: &mut Criterion) {
             for i in 0..n {
                 total += sys.access(
                     0,
-                    Access { addr: i * 8, bytes: 8, op: Op::Read, class: StreamClass::Affine },
+                    Access {
+                        addr: i * 8,
+                        bytes: 8,
+                        op: Op::Read,
+                        class: StreamClass::Affine,
+                    },
                     Phase::Execution,
                 );
             }
@@ -36,7 +41,12 @@ fn bench_cache_access(c: &mut Criterion) {
                 let addr = (i.wrapping_mul(2_654_435_761) % (1 << 24)) & !7;
                 total += sys.access(
                     (i % 2) as usize,
-                    Access { addr, bytes: 8, op: Op::Write, class: StreamClass::Indirect },
+                    Access {
+                        addr,
+                        bytes: 8,
+                        op: Op::Write,
+                        class: StreamClass::Indirect,
+                    },
                     Phase::Execution,
                 );
             }

@@ -12,14 +12,24 @@ fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
     g.sample_size(10);
     g.bench_function("parmvr_scale_0_05", |b| {
-        b.iter(|| black_box(Parmvr::build(ParmvrParams { scale: 0.05, seed: 1 })))
+        b.iter(|| {
+            black_box(Parmvr::build(ParmvrParams {
+                scale: 0.05,
+                seed: 1,
+            }))
+        })
     });
-    g.bench_function("kernel_suite_64k", |b| b.iter(|| black_box(suite(1 << 16, 1))));
+    g.bench_function("kernel_suite_64k", |b| {
+        b.iter(|| black_box(suite(1 << 16, 1)))
+    });
     g.finish();
 }
 
 fn bench_planning(c: &mut Criterion) {
-    let p = Parmvr::build(ParmvrParams { scale: 0.25, seed: 1 });
+    let p = Parmvr::build(ParmvrParams {
+        scale: 0.25,
+        seed: 1,
+    });
     let mut g = c.benchmark_group("plan");
     g.bench_function("chunk_plan_all_loops", |b| {
         b.iter(|| {

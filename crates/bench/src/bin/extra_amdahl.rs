@@ -5,7 +5,9 @@
 //! of cascading — exactly the "Amdahl's Law" argument the paper opens
 //! with.
 
-use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE,
+};
 use cascade_core::{AmdahlModel, HelperPolicy};
 use cascade_mem::machines::{pentium_pro, r10000};
 
@@ -35,7 +37,13 @@ fn main() {
     for (machine, procs) in [(pentium_pro(), vec![2usize, 4]), (r10000(), vec![2, 4, 8])] {
         let base = baseline(&machine, w);
         for np in procs {
-            let r = cascaded(&machine, w, np, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+            let r = cascaded(
+                &machine,
+                w,
+                np,
+                CHUNK_64K,
+                HelperPolicy::Restructure { hoist: true },
+            );
             let s_parmvr = r.overall_speedup_vs(&base);
             println!(
                 "{}",

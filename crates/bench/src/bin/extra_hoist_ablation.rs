@@ -8,7 +8,9 @@
 //! the compute-heavy gather) and where it fuses several packed operands
 //! into one result value (L2, L6, L9).
 
-use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE,
+};
 use cascade_core::HelperPolicy;
 use cascade_mem::machines::{pentium_pro, r10000};
 
@@ -23,12 +25,29 @@ fn main() {
     for machine in [pentium_pro(), r10000()] {
         println!("{}:", machine.name);
         let base = baseline(&machine, w);
-        let plain = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: false });
-        let hoist = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let plain = cascaded(
+            &machine,
+            w,
+            4,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: false },
+        );
+        let hoist = cascaded(
+            &machine,
+            w,
+            4,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: true },
+        );
         println!(
             "{}",
             row(
-                &["loop".into(), "no-hoist".into(), "hoist".into(), "gain".into()],
+                &[
+                    "loop".into(),
+                    "no-hoist".into(),
+                    "hoist".into(),
+                    "gain".into()
+                ],
                 &widths
             )
         );

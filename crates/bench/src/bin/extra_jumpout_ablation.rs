@@ -14,7 +14,9 @@
 //! helper coverage for earlier execution starts, and the two variants
 //! converge as processor count grows.
 
-use cascade_bench::{baseline, cascade_cfg, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_bench::{
+    baseline, cascade_cfg, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE,
+};
 use cascade_core::{run_cascaded, HelperPolicy};
 use cascade_mem::machines::{pentium_pro, r10000};
 

@@ -17,7 +17,9 @@ fn main() {
     // `scale` here multiplies the element count (default 256K elements).
     let scale = scale_from_args(1.0);
     let n = ((256u64 << 10) as f64 * scale) as u64;
-    header(&format!("Extra G: cascaded execution across kernel classes (n = {n}, 4 procs, 64KB)"));
+    header(&format!(
+        "Extra G: cascaded execution across kernel classes (n = {n}, 4 procs, 64KB)"
+    ));
     let widths = [18usize, 11, 10, 10, 12, 10];
     println!(
         "{}",
@@ -36,10 +38,17 @@ fn main() {
     for machine in [pentium_pro(), r10000()] {
         for k in suite(n, 0x1999) {
             let base = run_sequential(&machine, &k.workload, 2, true);
-            let mk = |policy| CascadeConfig { nprocs: 4, policy, ..CascadeConfig::default() };
+            let mk = |policy| CascadeConfig {
+                nprocs: 4,
+                policy,
+                ..CascadeConfig::default()
+            };
             let pre = run_cascaded(&machine, &k.workload, &mk(HelperPolicy::Prefetch));
-            let rst =
-                run_cascaded(&machine, &k.workload, &mk(HelperPolicy::Restructure { hoist: true }));
+            let rst = run_cascaded(
+                &machine,
+                &k.workload,
+                &mk(HelperPolicy::Restructure { hoist: true }),
+            );
             println!(
                 "{}",
                 row(

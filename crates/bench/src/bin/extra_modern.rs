@@ -9,7 +9,9 @@
 //! experiment runs the same PARMVR and synthetic loops on the `modern`
 //! preset (3 cache levels, 64B lines) next to the Table-1 machines.
 
-use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE,
+};
 use cascade_core::{run_sequential, run_unbounded, HelperPolicy, UnboundedConfig};
 use cascade_mem::machines::{modern, pentium_pro, r10000};
 use cascade_synth::{Synth, Variant};
@@ -35,12 +37,21 @@ fn main() {
             &widths
         )
     );
-    for (machine, procs) in
-        [(pentium_pro(), 4usize), (r10000(), 8), (modern(), 8), (modern(), 16)]
-    {
+    for (machine, procs) in [
+        (pentium_pro(), 4usize),
+        (r10000(), 8),
+        (modern(), 8),
+        (modern(), 16),
+    ] {
         let base = baseline(&machine, w);
         let pre = cascaded(&machine, w, procs, CHUNK_64K, HelperPolicy::Prefetch);
-        let rst = cascaded(&machine, w, procs, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let rst = cascaded(
+            &machine,
+            w,
+            procs,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: true },
+        );
         println!(
             "{}",
             row(
@@ -49,7 +60,11 @@ fn main() {
                     procs.to_string(),
                     format!("{:.2}", pre.overall_speedup_vs(&base)),
                     format!("{:.2}", rst.overall_speedup_vs(&base)),
-                    rst.loops.iter().map(|l| l.exec.l3_misses).sum::<u64>().to_string(),
+                    rst.loops
+                        .iter()
+                        .map(|l| l.exec.l3_misses)
+                        .sum::<u64>()
+                        .to_string(),
                 ],
                 &widths
             )
@@ -72,7 +87,11 @@ fn main() {
                 flush_between_calls: true,
             },
         );
-        println!("  {:11} sparse restructured: {:.1}x", machine.name, r.overall_speedup_vs(&base));
+        println!(
+            "  {:11} sparse restructured: {:.1}x",
+            machine.name,
+            r.overall_speedup_vs(&base)
+        );
     }
     println!("\nReading: the benefit survives on modern hardware but is smaller than the");
     println!("paper's future projection assumed — latency grew as predicted, yet so did");

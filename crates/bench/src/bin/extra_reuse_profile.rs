@@ -51,12 +51,21 @@ fn main() {
         for i in range.clone() {
             for r in &spec.refs {
                 if let Some(ix) = res.index_access(r, i) {
-                    original.push(TraceRef { addr: ix.addr, bytes: ix.bytes });
+                    original.push(TraceRef {
+                        addr: ix.addr,
+                        bytes: ix.bytes,
+                    });
                 }
                 let d = res.data_access(r, i);
-                original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                original.push(TraceRef {
+                    addr: d.addr,
+                    bytes: d.bytes,
+                });
                 if matches!(r.mode, Mode::Modify) {
-                    original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                    original.push(TraceRef {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                    });
                 }
             }
         }
@@ -78,9 +87,15 @@ fn main() {
                     continue;
                 }
                 let d = res.data_access(r, i);
-                restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                restructured.push(TraceRef {
+                    addr: d.addr,
+                    bytes: d.bytes,
+                });
                 if matches!(r.mode, Mode::Modify) {
-                    restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                    restructured.push(TraceRef {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                    });
                 }
             }
         }
@@ -94,7 +109,8 @@ fn main() {
                         format!("{} / {label}", &spec.name[..spec.name.len().min(32)]),
                         refs.len().to_string(),
                         prof.working_set_lines.to_string(),
-                        prof.mean_distance().map_or("-".into(), |d| format!("{d:.0}")),
+                        prof.mean_distance()
+                            .map_or("-".into(), |d| format!("{d:.0}")),
                         prof.misses_at_capacity(l1_lines).to_string(),
                         prof.misses_at_capacity(l2_lines).to_string(),
                     ],

@@ -66,7 +66,11 @@ fn main() {
                         format!("{:.2}", seq_sum.1.as_secs_f64() * 1e3),
                         format!("{:.2}", stats.elapsed.as_secs_f64() * 1e3),
                         stats.chunks.to_string(),
-                        if ok { "OK".into() } else { "MISMATCH".to_string() },
+                        if ok {
+                            "OK".into()
+                        } else {
+                            "MISMATCH".to_string()
+                        },
                     ],
                     &widths
                 )

@@ -17,7 +17,9 @@
 //! (~25% in our loop mix) rather than collapsing outright, and end-to-end
 //! speedups move only slightly.
 
-use cascade_bench::{baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE};
+use cascade_bench::{
+    baseline, cascaded, header, parmvr, row, scale_from_args, CHUNK_64K, SWEEP_SCALE,
+};
 use cascade_core::HelperPolicy;
 use cascade_mem::machines::{pentium_pro, r10000};
 use cascade_mem::TlbConfig;
@@ -49,11 +51,20 @@ fn main() {
         (r10000(), TlbConfig::r10000()),
     ] {
         for enable in [false, true] {
-            let machine = if enable { base_machine.clone().with_tlb(tlb) } else { base_machine.clone() };
+            let machine = if enable {
+                base_machine.clone().with_tlb(tlb)
+            } else {
+                base_machine.clone()
+            };
             let b = baseline(&machine, w);
             let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
-            let rst =
-                cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+            let rst = cascaded(
+                &machine,
+                w,
+                4,
+                CHUNK_64K,
+                HelperPolicy::Restructure { hoist: true },
+            );
             let sp = pre.overall_speedup_vs(&b);
             let sr = rst.overall_speedup_vs(&b);
             let tlb_pre: u64 = pre.loops.iter().map(|l| l.exec.tlb_misses).sum();
@@ -63,7 +74,11 @@ fn main() {
                 row(
                     &[
                         machine.name.to_string(),
-                        if enable { format!("{}cy", tlb.miss_cycles) } else { "off".into() },
+                        if enable {
+                            format!("{}cy", tlb.miss_cycles)
+                        } else {
+                            "off".into()
+                        },
                         format!("{sp:.3}"),
                         format!("{sr:.3}"),
                         tlb_pre.to_string(),

@@ -31,7 +31,10 @@ fn main() {
     let mut cols: Vec<Vec<f64>> = Vec::new();
     for machine in [pentium_pro(), r10000()] {
         let base = baseline(&machine, w);
-        for policy in [HelperPolicy::Prefetch, HelperPolicy::Restructure { hoist: true }] {
+        for policy in [
+            HelperPolicy::Prefetch,
+            HelperPolicy::Restructure { hoist: true },
+        ] {
             let cfg = UnboundedConfig {
                 chunk_bytes: CHUNK_64K,
                 policy,
@@ -57,7 +60,11 @@ fn main() {
             )
         );
     }
-    let max = cols.iter().flat_map(|c| c.iter()).cloned().fold(0.0f64, f64::max);
+    let max = cols
+        .iter()
+        .flat_map(|c| c.iter())
+        .cloned()
+        .fold(0.0f64, f64::max);
     println!("\nBest individual-loop speedup: {max:.1}  (paper: 'as high as 30' with unbounded");
     println!("processors; bounded 4-8 processor results are 'more modest')");
 }

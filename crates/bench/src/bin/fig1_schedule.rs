@@ -35,7 +35,11 @@ fn main() {
     for pnum in 1..3 {
         println!("proc {pnum} |{}|", " ".repeat(width));
     }
-    println!("        0{:>w$}", format!("{seq_cycles:.0} cycles"), w = width - 1);
+    println!(
+        "        0{:>w$}",
+        format!("{seq_cycles:.0} cycles"),
+        w = width - 1
+    );
 
     let chunk = (w.loops[0].footprint() / 6).max(4096);
     let cfg = cascade_cfg(3, chunk, HelperPolicy::Restructure { hoist: true });

@@ -9,7 +9,7 @@
 
 use cascade_bench::plot::{line_chart, Series};
 use cascade_bench::{
-    baseline, cascaded, header, parmvr, paper_policies, row, scale_from_args, CHUNK_64K,
+    baseline, cascaded, header, paper_policies, parmvr, row, scale_from_args, CHUNK_64K,
     SWEEP_SCALE,
 };
 use cascade_mem::machines::{pentium_pro, r10000};
@@ -22,9 +22,10 @@ fn main() {
     let p = parmvr(scale);
     let w = &p.workload;
     let widths = [11usize, 18, 8, 8, 8, 8];
-    for (machine, procs) in
-        [(pentium_pro(), vec![2usize, 3, 4]), (r10000(), vec![2, 4, 6, 8])]
-    {
+    for (machine, procs) in [
+        (pentium_pro(), vec![2usize, 3, 4]),
+        (r10000(), vec![2, 4, 6, 8]),
+    ] {
         let base = baseline(&machine, w);
         let mut head = vec!["machine".to_string(), "policy".to_string()];
         head.extend(procs.iter().map(|p| format!("{p} procs")));
@@ -47,7 +48,10 @@ fn main() {
         let xl: Vec<&str> = xl.iter().map(|s| s.as_str()).collect();
         let series: Vec<Series> = curves
             .iter()
-            .map(|(l, v)| Series { label: l, values: v })
+            .map(|(l, v)| Series {
+                label: l,
+                values: v,
+            })
             .collect();
         println!(
             "{}",

@@ -24,7 +24,13 @@ fn main() {
         println!("{}:", machine.name);
         let base = baseline(&machine, w);
         let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
-        let rst = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let rst = cascaded(
+            &machine,
+            w,
+            4,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: true },
+        );
         println!(
             "{}",
             row(

@@ -26,11 +26,22 @@ fn main() {
         println!("{}:", machine.name);
         let base = baseline(&machine, w);
         let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
-        let rst = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let rst = cascaded(
+            &machine,
+            w,
+            4,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: true },
+        );
         println!(
             "{}",
             row(
-                &["loop".into(), "original".into(), "prefetched".into(), "restructured".into()],
+                &[
+                    "loop".into(),
+                    "original".into(),
+                    "prefetched".into(),
+                    "restructured".into()
+                ],
                 &widths
             )
         );
@@ -53,7 +64,15 @@ fn main() {
         let tr: u64 = rst.loops.iter().map(|l| l.exec.l2_misses).sum();
         println!(
             "{}",
-            row(&["TOTAL".into(), tb.to_string(), tp.to_string(), tr.to_string()], &widths)
+            row(
+                &[
+                    "TOTAL".into(),
+                    tb.to_string(),
+                    tp.to_string(),
+                    tr.to_string()
+                ],
+                &widths
+            )
         );
         println!(
             "  eliminated: prefetched {:.0}%, restructured {:.0}%  (helper-phase L2 misses: pre {}, rst {})",
@@ -69,5 +88,7 @@ fn main() {
         "Original-sequential L2 miss ratio R10000/PPro: {:.2}  (paper: 2.59)",
         baseline_totals[1] as f64 / baseline_totals[0] as f64
     );
-    println!("Paper: PPro eliminates 93-94% of L2 misses; R10000 restructured ~47%, prefetched ~0%.");
+    println!(
+        "Paper: PPro eliminates 93-94% of L2 misses; R10000 restructured ~47%, prefetched ~0%."
+    );
 }

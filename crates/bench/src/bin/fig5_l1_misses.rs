@@ -24,7 +24,13 @@ fn main() {
         println!("{}:", machine.name);
         let base = baseline(&machine, w);
         let pre = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Prefetch);
-        let rst = cascaded(&machine, w, 4, CHUNK_64K, HelperPolicy::Restructure { hoist: true });
+        let rst = cascaded(
+            &machine,
+            w,
+            4,
+            CHUNK_64K,
+            HelperPolicy::Restructure { hoist: true },
+        );
         println!(
             "{}",
             row(
@@ -39,8 +45,11 @@ fn main() {
             )
         );
         for i in 0..base.loops.len() {
-            let (b, pr, rs) =
-                (base.loops[i].exec.l1_misses, pre.loops[i].exec.l1_misses, rst.loops[i].exec.l1_misses);
+            let (b, pr, rs) = (
+                base.loops[i].exec.l1_misses,
+                pre.loops[i].exec.l1_misses,
+                rst.loops[i].exec.l1_misses,
+            );
             println!(
                 "{}",
                 row(
@@ -61,7 +70,13 @@ fn main() {
         println!(
             "{}",
             row(
-                &["TOTAL".into(), tb.to_string(), tp.to_string(), tr.to_string(), String::new()],
+                &[
+                    "TOTAL".into(),
+                    tb.to_string(),
+                    tp.to_string(),
+                    tr.to_string(),
+                    String::new()
+                ],
                 &widths
             )
         );

@@ -8,7 +8,7 @@
 
 use cascade_bench::plot::{line_chart, Series};
 use cascade_bench::{
-    baseline, cascaded, header, parmvr, paper_policies, row, scale_from_args, SWEEP_SCALE,
+    baseline, cascaded, header, paper_policies, parmvr, row, scale_from_args, SWEEP_SCALE,
 };
 use cascade_mem::machines::{pentium_pro, r10000};
 
@@ -20,7 +20,9 @@ fn main() {
     let p = parmvr(scale);
     let w = &p.workload;
     let sizes_kb: Vec<u64> = vec![4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048];
-    let widths: Vec<usize> = std::iter::once(30usize).chain(sizes_kb.iter().map(|_| 7)).collect();
+    let widths: Vec<usize> = std::iter::once(30usize)
+        .chain(sizes_kb.iter().map(|_| 7))
+        .collect();
     for machine in [pentium_pro(), r10000()] {
         let base = baseline(&machine, w);
         let mut head = vec![format!("{} chunk KB ->", machine.name)];
@@ -42,11 +44,21 @@ fn main() {
         println!();
         let xl: Vec<String> = sizes_kb.iter().map(|k| format!("{k}K")).collect();
         let xl: Vec<&str> = xl.iter().map(|s| s.as_str()).collect();
-        let series: Vec<Series> =
-            curves.iter().map(|(l, v)| Series { label: l, values: v }).collect();
+        let series: Vec<Series> = curves
+            .iter()
+            .map(|(l, v)| Series {
+                label: l,
+                values: v,
+            })
+            .collect();
         println!(
             "{}",
-            line_chart(&format!("{} — speedup vs chunk size", machine.name), &xl, &series, 10)
+            line_chart(
+                &format!("{} — speedup vs chunk size", machine.name),
+                &xl,
+                &series,
+                10
+            )
         );
     }
     println!("Paper: optimum chunk size 16KB-64KB at 4 processors, larger than either L1 cache;");

@@ -18,9 +18,13 @@ fn main() {
     // `scale` multiplies the vector length (default n = 4M integers).
     let scale = scale_from_args(1.0);
     let n = ((4u64 << 20) as f64 * scale) as u64 / 8 * 8;
-    header(&format!("Figure 7: synthetic-loop speedups, unbounded processors (n = {n})"));
+    header(&format!(
+        "Figure 7: synthetic-loop speedups, unbounded processors (n = {n})"
+    ));
     let sizes_kb: Vec<u64> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256];
-    let widths: Vec<usize> = std::iter::once(34usize).chain(sizes_kb.iter().map(|_| 6)).collect();
+    let widths: Vec<usize> = std::iter::once(34usize)
+        .chain(sizes_kb.iter().map(|_| 6))
+        .collect();
 
     for machine in [pentium_pro(), r10000()] {
         let mut head = vec![format!("{} chunk KB ->", machine.name)];
@@ -30,9 +34,10 @@ fn main() {
         for variant in [Variant::Sparse, Variant::Dense] {
             let synth = Synth::build(n, variant, cascade_bench::SEED);
             let base = run_sequential(&machine, &synth.workload, 1, true);
-            for policy in
-                [HelperPolicy::Restructure { hoist: true }, HelperPolicy::Prefetch]
-            {
+            for policy in [
+                HelperPolicy::Restructure { hoist: true },
+                HelperPolicy::Prefetch,
+            ] {
                 let label = format!("{}, {}", policy.label(), variant.label());
                 let mut cells = vec![label.clone()];
                 let mut ys = Vec::new();
@@ -55,8 +60,13 @@ fn main() {
         println!();
         let xl: Vec<String> = sizes_kb.iter().map(|k| format!("{k}K")).collect();
         let xl: Vec<&str> = xl.iter().map(|s| s.as_str()).collect();
-        let series: Vec<Series> =
-            curves.iter().map(|(l, v)| Series { label: l, values: v }).collect();
+        let series: Vec<Series> = curves
+            .iter()
+            .map(|(l, v)| Series {
+                label: l,
+                values: v,
+            })
+            .collect();
         println!(
             "{}",
             line_chart(

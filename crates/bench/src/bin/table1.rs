@@ -21,15 +21,25 @@ fn print_machine(m: &MachineConfig) {
         m.l2.assoc,
         m.l2.line
     );
-    println!("  Memory  {:>4} cycles (dirty-remote {})", m.mem_latency, m.dirty_remote_latency);
-    println!("  Transfer of control: {} cycles per chunk", m.transfer_cost);
+    println!(
+        "  Memory  {:>4} cycles (dirty-remote {})",
+        m.mem_latency, m.dirty_remote_latency
+    );
+    println!(
+        "  Transfer of control: {} cycles per chunk",
+        m.transfer_cost
+    );
     println!(
         "  Overlap model: affine {:.1}x, indirect {:.1}x, conflict {:.1}x, helper {:.1}x{}",
         m.affine_overlap,
         m.indirect_overlap,
         m.conflict_overlap,
         m.helper_overlap,
-        if m.compiler_prefetch { "  (compiler software prefetch)" } else { "" }
+        if m.compiler_prefetch {
+            "  (compiler software prefetch)"
+        } else {
+            ""
+        }
     );
 }
 
@@ -40,6 +50,8 @@ fn main() {
     print_machine(&r10000());
     println!();
     println!("Paper reference: PPro L1 3cy/8KB/2-way/32B, L2 7cy/512KB/4-way/32B, mem 58cy;");
-    println!("                 R10000 L1 3cy/32KB/2-way/32B, L2 6cy/2MB/2-way/128B, mem 100-200cy;");
+    println!(
+        "                 R10000 L1 3cy/32KB/2-way/32B, L2 6cy/2MB/2-way/128B, mem 100-200cy;"
+    );
     println!("                 transfers ~120cy (PPro) / ~500cy (R10000), paper footnote 2.");
 }

@@ -83,7 +83,10 @@ pub fn cascaded(
 
 /// The two helper policies the paper's figures compare.
 pub fn paper_policies() -> [HelperPolicy; 2] {
-    [HelperPolicy::Prefetch, HelperPolicy::Restructure { hoist: true }]
+    [
+        HelperPolicy::Prefetch,
+        HelperPolicy::Restructure { hoist: true },
+    ]
 }
 
 /// Print a title line followed by a separator of matching width.

@@ -95,8 +95,14 @@ mod tests {
             "speedup vs procs",
             &["2", "4", "8"],
             &[
-                Series { label: "restructured", values: &[1.5, 2.0, 2.8] },
-                Series { label: "prefetched", values: &[1.0, 1.1, 1.1] },
+                Series {
+                    label: "restructured",
+                    values: &[1.5, 2.0, 2.8],
+                },
+                Series {
+                    label: "prefetched",
+                    values: &[1.0, 1.1, 1.1],
+                },
             ],
             8,
         );
@@ -113,7 +119,10 @@ mod tests {
         let chart = line_chart(
             "t",
             &["a", "b", "c", "d"],
-            &[Series { label: "s", values: &[1.0, 2.0, 3.0, 4.0] }],
+            &[Series {
+                label: "s",
+                values: &[1.0, 2.0, 3.0, 4.0],
+            }],
             9,
         );
         // Sort glyphs by column: row index must not increase as x advances
@@ -141,7 +150,10 @@ mod tests {
         let chart = line_chart(
             "t",
             &["a", "b"],
-            &[Series { label: "s", values: &[2.0, 4.0] }],
+            &[Series {
+                label: "s",
+                values: &[2.0, 4.0],
+            }],
             11,
         );
         let rows: Vec<usize> = chart
@@ -153,12 +165,23 @@ mod tests {
             .collect();
         let (high, low) = (rows[1].min(rows[0]), rows[0].max(rows[1]));
         assert!(low > high, "4.0 must be above 2.0");
-        assert!((low as i64 - 5).abs() <= 1, "2.0 should sit near mid-chart: rows {rows:?}");
+        assert!(
+            (low as i64 - 5).abs() <= 1,
+            "2.0 should sit near mid-chart: rows {rows:?}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_series_panics() {
-        line_chart("t", &["a"], &[Series { label: "s", values: &[1.0, 2.0] }], 4);
+        line_chart(
+            "t",
+            &["a"],
+            &[Series {
+                label: "s",
+                values: &[1.0, 2.0],
+            }],
+            4,
+        );
     }
 }

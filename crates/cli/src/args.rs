@@ -66,7 +66,10 @@ impl Args {
     /// String option with default.
     pub fn get(&self, key: &str, default: &str) -> String {
         self.used.borrow_mut().push(key.to_string());
-        self.opts.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.opts
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Optional string option.

@@ -1,11 +1,16 @@
 //! The `cascade` subcommands.
 
+use std::time::Duration;
+
 use cascade_core::{
     run_cascaded, run_sequential, run_unbounded, CascadeConfig, HelperPolicy, RunReport,
     UnboundedConfig,
 };
 use cascade_mem::{machines, MachineConfig};
-use cascade_rt::{RtPolicy, RunnerConfig, SpecProgram};
+use cascade_rt::{
+    try_run_cascaded, FaultKind, FaultPlan, FaultyKernel, RtPolicy, RunError, RunnerConfig,
+    SpecProgram, Tolerance,
+};
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
 use cascade_wave5::{Parmvr, ParmvrParams};
@@ -50,6 +55,19 @@ USAGE:
         --chunk-iters N    iterations per chunk (default 4096)
         --policy none|prefetch|restructure            (default restructure)
         --poll N           helper iterations between token polls (default 64)
+
+  cascade chaos [options]
+      Fault-injection matrix against the real-thread runtime: random
+      plans of panics, stalls and slowdowns, each run must either salvage
+      a bitwise sequential-identical result or report a typed error.
+      Exits 1 if any plan silently corrupts the result.
+        --n N              vector length of the synth workloads (default 16384)
+        --seed N           plan/workload seed (default 42)
+        --plans N          number of fault plans (default 20)
+        --max-threads N    thread counts sampled from 1..=N (default 4)
+        --chunk-iters N    iterations per chunk (default 128)
+        --watchdog-ms N    stall-detection window (default 25)
+        --stall-ms N       injected stall duration (default 80)
 
   cascade sweep [options]
       Sweep one parameter of the simulated cascade.
@@ -112,7 +130,9 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
         let mut arena = Arena::new(&workload.space);
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for (id, def) in workload.space.iter() {
@@ -137,9 +157,17 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
         }
         w @ ("synth-dense" | "synth-sparse") => {
             let n = args.get_num("n", 4u64 << 20)?;
-            let variant = if w.ends_with("dense") { Variant::Dense } else { Variant::Sparse };
+            let variant = if w.ends_with("dense") {
+                Variant::Dense
+            } else {
+                Variant::Sparse
+            };
             let s = Synth::build(n, variant, seed);
-            Ok((s.workload, s.arena, format!("synthetic {} (n={n})", variant.label())))
+            Ok((
+                s.workload,
+                s.arena,
+                format!("synthetic {} (n={n})", variant.label()),
+            ))
         }
         other => Err(ArgError(format!(
             "unknown workload '{other}' (parmvr|synth-dense|synth-sparse)"
@@ -152,9 +180,7 @@ fn sim_policy_from(args: &Args) -> Result<HelperPolicy, ArgError> {
         "none" => Ok(HelperPolicy::None),
         "prefetch" | "prefetched" => Ok(HelperPolicy::Prefetch),
         "restructure" | "restructured" => Ok(HelperPolicy::Restructure { hoist: false }),
-        "restructure+hoist" | "restructured+hoist" => {
-            Ok(HelperPolicy::Restructure { hoist: true })
-        }
+        "restructure+hoist" | "restructured+hoist" => Ok(HelperPolicy::Restructure { hoist: true }),
         other => Err(ArgError(format!(
             "unknown policy '{other}' (none|prefetch|restructure|restructure+hoist)"
         ))),
@@ -237,7 +263,12 @@ pub fn sim(args: &Args) -> Result<String, ArgError> {
         run_unbounded(
             &machine,
             &workload,
-            &UnboundedConfig { chunk_bytes: chunk, policy, calls, flush_between_calls: true },
+            &UnboundedConfig {
+                chunk_bytes: chunk,
+                policy,
+                calls,
+                flush_between_calls: true,
+            },
         )
     } else {
         run_cascaded(
@@ -253,7 +284,10 @@ pub fn sim(args: &Args) -> Result<String, ArgError> {
             },
         )
     };
-    let title = format!("simulated cascaded execution of {wname} on {}", machine.name);
+    let title = format!(
+        "simulated cascaded execution of {wname} on {}",
+        machine.name
+    );
     let mut out = render_summary(&report, &base, &title);
     if per_loop {
         out.push('\n');
@@ -295,7 +329,12 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     };
 
     let mut prog = SpecProgram::new(workload, arena);
-    let cfg = RunnerConfig { nthreads: threads, iters_per_chunk: chunk_iters, policy, poll_batch: poll };
+    let cfg = RunnerConfig {
+        nthreads: threads,
+        iters_per_chunk: chunk_iters,
+        policy,
+        poll_batch: poll,
+    };
     let t0 = std::time::Instant::now();
     let mut chunks = 0u64;
     let mut helped = 0u64;
@@ -320,8 +359,148 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     if ok {
         out.push_str("  result: bitwise identical to sequential execution\n");
     } else {
-        return Err(ArgError("cascaded result DIVERGED from sequential execution".into()));
+        return Err(ArgError(
+            "cascaded result DIVERGED from sequential execution".into(),
+        ));
     }
+    Ok(out)
+}
+
+/// Deterministic splitmix64 step — the CLI avoids external RNG crates.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// `cascade chaos`
+pub fn chaos(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 16_384u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let plans = args.get_num("plans", 20u64)?;
+    let max_threads = args.get_num("max-threads", 4usize)?;
+    let chunk_iters = args.get_num("chunk-iters", 128u64)?;
+    let watchdog_ms = args.get_num("watchdog-ms", 25u64)?;
+    let stall_ms = args.get_num("stall-ms", 80u64)?;
+    args.reject_unknown()?;
+    if plans == 0 {
+        return Err(ArgError("--plans must be positive".into()));
+    }
+    if max_threads == 0 {
+        return Err(ArgError("--max-threads must be positive".into()));
+    }
+
+    // Injected faults are ordinary panics; without this the default hook
+    // would spray a backtrace per fault over the report. Restored on drop
+    // (including the early-return error paths).
+    struct HookGuard;
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+    std::panic::set_hook(Box::new(|_| {}));
+    let _hook = HookGuard;
+
+    // One sequential reference checksum per workload variant.
+    let expected = |variant: Variant| -> u64 {
+        let s = Synth::build(n, variant, seed);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let k = prog.kernel(0);
+        cascade_rt::run_sequential(&k);
+        prog.checksum()
+    };
+    let reference = [expected(Variant::Dense), expected(Variant::Sparse)];
+
+    let tol = Tolerance::resilient(Duration::from_millis(watchdog_ms));
+    let mut rng = seed ^ 0x000F_A170_FA17_C0DE_u64;
+    let mut clean = 0u64;
+    let mut salvaged = 0u64;
+    let mut typed = 0u64;
+    let mut diverged = 0u64;
+    let mut out = format!(
+        "chaos matrix: {plans} fault plans, threads 1..={max_threads}, \
+         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms\n"
+    );
+    for case in 0..plans {
+        let variant = if case % 2 == 0 {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let nthreads = 1 + (splitmix64(&mut rng) as usize) % max_threads;
+        let policy = match splitmix64(&mut rng) % 3 {
+            0 => RtPolicy::None,
+            1 => RtPolicy::Prefetch,
+            _ => RtPolicy::Restructure,
+        };
+        let s = Synth::build(n, variant, seed);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let num_chunks = prog.workload().loops[0].iters.div_ceil(chunk_iters).max(1);
+        let mut plan = FaultPlan::new(chunk_iters);
+        let mut injected = Vec::new();
+        for _ in 0..=(splitmix64(&mut rng) % 3) {
+            let chunk = splitmix64(&mut rng) % num_chunks;
+            let kind = match splitmix64(&mut rng) % 3 {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Stall(Duration::from_millis(stall_ms)),
+                _ => FaultKind::Slowdown(Duration::from_millis(1 + splitmix64(&mut rng) % 3)),
+            };
+            injected.push(format!("{kind:?}@{chunk}"));
+            plan = plan.inject(chunk, kind);
+        }
+        let cfg = RunnerConfig {
+            nthreads,
+            iters_per_chunk: chunk_iters,
+            policy,
+            poll_batch: 8,
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan);
+        let result = try_run_cascaded(&faulty, &cfg, &tol);
+        drop(faulty);
+        let label = format!(
+            "  plan {case:>3}: {} threads, {:<11} [{}]",
+            nthreads,
+            policy.label(),
+            injected.join(", "),
+        );
+        let verdict = match result {
+            Ok(stats) => {
+                let bitwise = prog.checksum() == reference[(case % 2) as usize];
+                match (bitwise, stats.degraded) {
+                    (true, true) => {
+                        salvaged += 1;
+                        format!("salvaged bitwise ({} fault events)", stats.faults.len())
+                    }
+                    (true, false) => {
+                        clean += 1;
+                        "clean bitwise".to_string()
+                    }
+                    (false, _) => {
+                        diverged += 1;
+                        "SILENT DIVERGENCE".to_string()
+                    }
+                }
+            }
+            Err(e @ (RunError::WorkerPanicked { .. } | RunError::Stalled { .. })) => {
+                typed += 1;
+                format!("typed error: {e}")
+            }
+            Err(e) => return Err(ArgError(format!("chaos: plan {case}: {e}"))),
+        };
+        out.push_str(&format!("{label} -> {verdict}\n"));
+    }
+    out.push_str(&format!(
+        "summary: {clean} clean, {salvaged} salvaged, {typed} typed errors, {diverged} diverged\n"
+    ));
+    if diverged > 0 {
+        return Err(ArgError(format!(
+            "chaos: {diverged} of {plans} plans reported success with a corrupted result\n{out}"
+        )));
+    }
+    out.push_str("recovery verdict: no hangs, no silent corruption\n");
     Ok(out)
 }
 
@@ -351,7 +530,10 @@ pub fn schedule(args: &Args) -> Result<String, ArgError> {
     let chunks_wanted = args.get_num("chunks", 12u64)?;
     args.reject_unknown()?;
     if loop_idx >= workload.loops.len() {
-        return Err(ArgError(format!("--loop {loop_idx}: workload has {} loops", workload.loops.len())));
+        return Err(ArgError(format!(
+            "--loop {loop_idx}: workload has {} loops",
+            workload.loops.len()
+        )));
     }
     let spec = workload.loops.swap_remove(loop_idx);
     workload.loops = vec![spec];
@@ -386,10 +568,12 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     let chunk = args.get_bytes("chunk", 64 * 1024)?;
     let line = args.get_bytes("line", 32)?;
     args.reject_unknown()?;
-    let spec = workload
-        .loops
-        .get(loop_idx)
-        .ok_or_else(|| ArgError(format!("--loop {loop_idx}: workload has {} loops", workload.loops.len())))?;
+    let spec = workload.loops.get(loop_idx).ok_or_else(|| {
+        ArgError(format!(
+            "--loop {loop_idx}: workload has {} loops",
+            workload.loops.len()
+        ))
+    })?;
     let res = Resolver::new(&workload.space, &workload.index);
     let plan = ChunkPlan::new(spec, chunk, line);
     let range = plan.range(0);
@@ -398,12 +582,21 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     for i in range.clone() {
         for r in &spec.refs {
             if let Some(ix) = res.index_access(r, i) {
-                original.push(TraceRef { addr: ix.addr, bytes: ix.bytes });
+                original.push(TraceRef {
+                    addr: ix.addr,
+                    bytes: ix.bytes,
+                });
             }
             let d = res.data_access(r, i);
-            original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+            original.push(TraceRef {
+                addr: d.addr,
+                bytes: d.bytes,
+            });
             if matches!(r.mode, Mode::Modify) {
-                original.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                original.push(TraceRef {
+                    addr: d.addr,
+                    bytes: d.bytes,
+                });
             }
         }
     }
@@ -412,12 +605,18 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     let mut restructured = Vec::new();
     for i in range.clone() {
         if pbpi > 0 {
-            restructured.push(TraceRef { addr: base + (i - range.start) * pbpi, bytes: pbpi as u32 });
+            restructured.push(TraceRef {
+                addr: base + (i - range.start) * pbpi,
+                bytes: pbpi as u32,
+            });
         }
         for r in &spec.refs {
             if r.mode.writes() {
                 let d = res.data_access(r, i);
-                restructured.push(TraceRef { addr: d.addr, bytes: d.bytes });
+                restructured.push(TraceRef {
+                    addr: d.addr,
+                    bytes: d.bytes,
+                });
             }
         }
     }
@@ -441,8 +640,11 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     }
     let strides = stride_histogram(&original);
     out.push_str("  dominant strides (original): ");
-    let top: Vec<String> =
-        strides.iter().take(3).map(|(s, c)| format!("{s:+} x{c}")).collect();
+    let top: Vec<String> = strides
+        .iter()
+        .take(3)
+        .map(|(s, c)| format!("{s:+} x{c}"))
+        .collect();
     out.push_str(&top.join(", "));
     out.push('\n');
     Ok(out)
@@ -499,10 +701,17 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
                     },
                 )
             }
-            other => return Err(ArgError(format!("unknown sweep parameter '{other}' (procs|chunk)"))),
+            other => {
+                return Err(ArgError(format!(
+                    "unknown sweep parameter '{other}' (procs|chunk)"
+                )))
+            }
         };
         let r = run_cascaded(&machine, &workload, &cfg);
-        out.push_str(&format!("  {label:<14} speedup {:.3}\n", r.overall_speedup_vs(&base)));
+        out.push_str(&format!(
+            "  {label:<14} speedup {:.3}\n",
+            r.overall_speedup_vs(&base)
+        ));
     }
     Ok(out)
 }

@@ -20,7 +20,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{Args, ArgError};
+pub use args::{ArgError, Args};
 
 /// Entry point: parse `raw` (excluding argv[0]) and execute the
 /// subcommand, returning the report text.
@@ -35,12 +35,13 @@ where
         Some("machines") => commands::machines(&args),
         Some("sim") => commands::sim(&args),
         Some("rt") => commands::rt(&args),
+        Some("chaos") => commands::chaos(&args),
         Some("sweep") => commands::sweep(&args),
         Some("analyze") => commands::analyze(&args),
         Some("dump") => commands::dump(&args),
         Some("schedule") => commands::schedule(&args),
         Some(other) => Err(ArgError(format!(
-            "unknown subcommand '{other}' (try: machines, sim, rt, sweep, analyze, dump, schedule, help)"
+            "unknown subcommand '{other}' (try: machines, sim, rt, chaos, sweep, analyze, dump, schedule, help)"
         ))),
     }
 }
@@ -121,8 +122,16 @@ mod tests {
 
     #[test]
     fn sim_future_machine() {
-        let out =
-            run(["sim", "--workload", "synth-dense", "--n", "65536", "--future", "4"]).unwrap();
+        let out = run([
+            "sim",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "65536",
+            "--future",
+            "4",
+        ])
+        .unwrap();
         assert!(out.contains("Future"));
     }
 
@@ -141,6 +150,34 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn chaos_matrix_recovers_every_plan() {
+        let out = run([
+            "chaos",
+            "--n",
+            "2048",
+            "--plans",
+            "6",
+            "--chunk-iters",
+            "64",
+            "--max-threads",
+            "3",
+            "--stall-ms",
+            "60",
+        ])
+        .unwrap();
+        assert!(out.contains("chaos matrix: 6 fault plans"), "{out}");
+        assert!(out.contains("summary:"), "{out}");
+        assert!(out.contains("0 diverged"), "{out}");
+        assert!(out.contains("no hangs, no silent corruption"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_zero_plans() {
+        let err = run(["chaos", "--plans", "0"]).unwrap_err();
+        assert!(err.0.contains("--plans"), "{err}");
     }
 
     #[test]
@@ -181,8 +218,16 @@ mod tests {
 
     #[test]
     fn analyze_profiles_a_gather_loop() {
-        let out = run(["analyze", "--workload", "parmvr", "--scale", "0.005", "--loop", "0"])
-            .unwrap();
+        let out = run([
+            "analyze",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+            "--loop",
+            "0",
+        ])
+        .unwrap();
         assert!(out.contains("original"), "{out}");
         assert!(out.contains("restructured"));
         assert!(out.contains("dominant strides"));
@@ -190,8 +235,16 @@ mod tests {
 
     #[test]
     fn analyze_rejects_out_of_range_loop() {
-        let err = run(["analyze", "--workload", "synth-dense", "--n", "4096", "--loop", "5"])
-            .unwrap_err();
+        let err = run([
+            "analyze",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "4096",
+            "--loop",
+            "5",
+        ])
+        .unwrap_err();
         assert!(err.0.contains("loops"));
     }
 
@@ -201,19 +254,45 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wl.txt");
         let p = path.to_str().unwrap();
-        let out = run(["dump", "--workload", "synth-dense", "--n", "4096", "--out", p]).unwrap();
+        let out = run([
+            "dump",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "4096",
+            "--out",
+            p,
+        ])
+        .unwrap();
         assert!(out.contains("wrote"));
         let sim = run(["sim", "--workload-file", p, "--procs", "2", "--chunk", "4K"]).unwrap();
         assert!(sim.contains("overall speedup"), "{sim}");
-        let sched = run(["schedule", "--workload-file", p, "--procs", "2", "--chunks", "6"]).unwrap();
+        let sched = run([
+            "schedule",
+            "--workload-file",
+            p,
+            "--procs",
+            "2",
+            "--chunks",
+            "6",
+        ])
+        .unwrap();
         assert!(sched.contains("E"), "{sched}");
         assert!(sched.contains("helper phase"));
     }
 
     #[test]
     fn schedule_renders_a_timeline() {
-        let out = run(["schedule", "--workload", "parmvr", "--scale", "0.005", "--procs", "3"])
-            .unwrap();
+        let out = run([
+            "schedule",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+            "--procs",
+            "3",
+        ])
+        .unwrap();
         assert!(out.contains("proc 0"));
         assert!(out.contains("proc 2"));
         assert!(out.contains("execution phase"));

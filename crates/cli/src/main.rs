@@ -1,10 +1,16 @@
 //! The `cascade` binary: thin wrapper over [`cascade_cli::run`].
+//!
+//! Exit codes: 0 on success, 1 when a verification run (e.g. `chaos`)
+//! detected a correctness failure, 2 on usage errors.
 
 fn main() {
     match cascade_cli::run(std::env::args().skip(1)) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
+            if e.0.starts_with("chaos:") {
+                std::process::exit(1);
+            }
             eprintln!("run `cascade help` for usage");
             std::process::exit(2);
         }

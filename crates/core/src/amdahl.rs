@@ -98,7 +98,10 @@ mod tests {
         let with = m.overall_speedup(8, 1.7); // 1/(0.0625+0.294) = 2.804
         assert!((without - 1.7778).abs() < 1e-3);
         assert!((with - 2.8044).abs() < 1e-3);
-        assert!(with / without > 1.5, "cascading must matter at the app level");
+        assert!(
+            with / without > 1.5,
+            "cascading must matter at the app level"
+        );
     }
 
     #[test]
@@ -107,7 +110,10 @@ mod tests {
         let share4 = m.sequential_share(4, 1.0);
         let share64 = m.sequential_share(64, 1.0);
         assert!(share64 > share4, "the bottleneck dominates as P grows");
-        assert!(share64 > 0.8, "at 64 procs a 10% serial part dominates: {share64}");
+        assert!(
+            share64 > 0.8,
+            "at 64 procs a 10% serial part dominates: {share64}"
+        );
         // Cascading the remainder pushes the share back down.
         assert!(m.sequential_share(64, 3.0) < share64);
     }

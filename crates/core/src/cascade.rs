@@ -25,9 +25,7 @@ use crate::chunk::ChunkPlan;
 use crate::policy::HelperPolicy;
 use crate::report::{CascadeConfig, LoopReport, PhaseTotals, RunReport};
 use crate::timeline::{ChunkEvent, Timeline};
-use crate::walk::{
-    exec_original, exec_restructured, helper_pack, helper_prefetch, HelperOutcome,
-};
+use crate::walk::{exec_original, exec_restructured, helper_pack, helper_prefetch, HelperOutcome};
 
 /// Simulate cascaded execution of the workload's loop sequence under `cfg`
 /// and report the final call.
@@ -91,24 +89,37 @@ pub fn run_cascaded(
                 let p = (j as usize) % cfg.nprocs;
                 let range = plan.range(j);
                 let range_len = range.end - range.start;
-                let token_arrival = if j == 0 { loop_start } else { prev_end + transfer };
+                let token_arrival = if j == 0 {
+                    loop_start
+                } else {
+                    prev_end + transfer
+                };
                 let window = (token_arrival - proc_free[p]).max(0.0);
                 let budget = cfg.jump_out.then_some(window);
 
                 // --- helper phase ---
                 let s0 = sys.snapshot();
                 let helper = match cfg.policy {
-                    HelperPolicy::None => HelperOutcome { cycles: 0.0, iters_done: 0 },
+                    HelperPolicy::None => HelperOutcome {
+                        cycles: 0.0,
+                        iters_done: 0,
+                    },
                     HelperPolicy::Prefetch => {
                         if cfg.jump_out && window <= 0.0 {
-                            HelperOutcome { cycles: 0.0, iters_done: 0 }
+                            HelperOutcome {
+                                cycles: 0.0,
+                                iters_done: 0,
+                            }
                         } else {
                             helper_prefetch(&mut sys, p, res, spec, range.clone(), budget)
                         }
                     }
                     HelperPolicy::Restructure { hoist } => {
                         if cfg.jump_out && window <= 0.0 {
-                            HelperOutcome { cycles: 0.0, iters_done: 0 }
+                            HelperOutcome {
+                                cycles: 0.0,
+                                iters_done: 0,
+                            }
                         } else {
                             helper_pack(
                                 &mut sys,
@@ -183,7 +194,10 @@ pub fn run_cascaded(
                     helper_complete,
                     helper_iters,
                     iters: spec.iters,
-                    timeline: Timeline { events, nprocs: cfg.nprocs },
+                    timeline: Timeline {
+                        events,
+                        nprocs: cfg.nprocs,
+                    },
                 });
             }
         }
@@ -224,7 +238,11 @@ mod tests {
                 StreamRef {
                     name: "a(ij(i))",
                     array: a,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
                     mode: Mode::Read,
                     bytes: 8,
                     hoistable: true,
@@ -242,7 +260,11 @@ mod tests {
             hoistable_compute: 1.0,
             hoist_result_bytes: 8,
         };
-        Workload { space, index, loops: vec![spec] }
+        Workload {
+            space,
+            index,
+            loops: vec![spec],
+        }
     }
 
     fn cfg(policy: HelperPolicy, nprocs: usize) -> CascadeConfig {
@@ -273,7 +295,10 @@ mod tests {
         let base = run_sequential(&m, &w, 1, true);
         let casc = run_cascaded(&m, &w, &cfg(HelperPolicy::None, 4));
         let s = casc.overall_speedup_vs(&base);
-        assert!(s <= 1.0, "no-helper cascade cannot speed anything up, got {s:.3}");
+        assert!(
+            s <= 1.0,
+            "no-helper cascade cannot speed anything up, got {s:.3}"
+        );
     }
 
     #[test]
@@ -314,7 +339,10 @@ mod tests {
             casc.loops[0].exec.l2_misses,
             base.loops[0].exec.l2_misses
         );
-        assert!(casc.loops[0].helper.l2_misses > 0, "the misses moved to the helpers");
+        assert!(
+            casc.loops[0].helper.l2_misses > 0,
+            "the misses moved to the helpers"
+        );
     }
 
     #[test]

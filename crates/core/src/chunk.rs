@@ -26,14 +26,20 @@ impl ChunkPlan {
     pub fn new(spec: &LoopSpec, chunk_bytes: u64, line: u64) -> Self {
         assert!(chunk_bytes > 0, "chunk byte budget must be positive");
         let bpi = spec.line_footprint_per_iter(line).max(1);
-        ChunkPlan { iters: spec.iters, iters_per_chunk: (chunk_bytes / bpi).max(1) }
+        ChunkPlan {
+            iters: spec.iters,
+            iters_per_chunk: (chunk_bytes / bpi).max(1),
+        }
     }
 
     /// Plan with an explicit iteration count per chunk (used by tests and
     /// the real-thread runtime, which chunk by iterations directly).
     pub fn by_iterations(iters: u64, iters_per_chunk: u64) -> Self {
         assert!(iters_per_chunk > 0, "iterations per chunk must be positive");
-        ChunkPlan { iters, iters_per_chunk }
+        ChunkPlan {
+            iters,
+            iters_per_chunk,
+        }
     }
 
     /// Total number of chunks.

@@ -114,14 +114,22 @@ impl RunReport {
     /// Overall speedup of `self` relative to a baseline run over the same
     /// loops (paper Figure 2): ratio of total times.
     pub fn overall_speedup_vs(&self, baseline: &RunReport) -> f64 {
-        assert_eq!(self.loops.len(), baseline.loops.len(), "loop count mismatch");
+        assert_eq!(
+            self.loops.len(),
+            baseline.loops.len(),
+            "loop count mismatch"
+        );
         baseline.total_cycles() / self.total_cycles()
     }
 
     /// Per-loop speedups relative to a baseline run (paper Figure 3's data
     /// expressed as ratios).
     pub fn loop_speedups_vs(&self, baseline: &RunReport) -> Vec<f64> {
-        assert_eq!(self.loops.len(), baseline.loops.len(), "loop count mismatch");
+        assert_eq!(
+            self.loops.len(),
+            baseline.loops.len(),
+            "loop count mismatch"
+        );
         self.loops
             .iter()
             .zip(&baseline.loops)
@@ -135,7 +143,11 @@ impl RunReport {
             "{} / {} / {} procs / {} KB chunks: {:.3e} cycles over {} loops",
             self.machine,
             self.policy,
-            if self.nprocs == UNBOUNDED_PROCS { "unbounded".to_string() } else { self.nprocs.to_string() },
+            if self.nprocs == UNBOUNDED_PROCS {
+                "unbounded".to_string()
+            } else {
+                self.nprocs.to_string()
+            },
             self.chunk_bytes / 1024,
             self.total_cycles(),
             self.loops.len()
@@ -200,7 +212,11 @@ mod tests {
             policy: "p".into(),
             nprocs: 4,
             chunk_bytes: 65536,
-            loops: cycles.iter().enumerate().map(|(i, &c)| loop_report(&format!("L{i}"), c)).collect(),
+            loops: cycles
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| loop_report(&format!("L{i}"), c))
+                .collect(),
         }
     }
 

@@ -100,7 +100,11 @@ mod tests {
             hoistable_compute: 0.0,
             hoist_result_bytes: 0,
         };
-        Workload { space, index: IndexStore::new(), loops: vec![spec] }
+        Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![spec],
+        }
     }
 
     #[test]

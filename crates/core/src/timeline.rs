@@ -54,7 +54,9 @@ pub struct Timeline {
 impl Timeline {
     /// Start time of the earliest event (0 for an empty timeline).
     pub fn start(&self) -> f64 {
-        self.events.first().map_or(0.0, |e| e.helper_start.min(e.token_arrival))
+        self.events
+            .first()
+            .map_or(0.0, |e| e.helper_start.min(e.token_arrival))
     }
 
     /// End time of the schedule.
@@ -71,7 +73,10 @@ impl Timeline {
         for (i, e) in self.events.iter().enumerate() {
             assert_eq!(e.chunk as usize, i, "events must be in chunk order");
             assert!(e.proc < self.nprocs, "processor out of range");
-            assert!(e.exec_start >= e.token_arrival - 1e-9, "executed before the token arrived");
+            assert!(
+                e.exec_start >= e.token_arrival - 1e-9,
+                "executed before the token arrived"
+            );
             assert!(e.exec_end >= e.exec_start, "negative execution");
             assert!(
                 e.exec_start >= prev_end - 1e-9,
@@ -96,8 +101,9 @@ impl Timeline {
         let t1 = self.end();
         let span = (t1 - t0).max(1e-9);
         let col = |t: f64| -> usize {
-            (((t - t0) / span) * (width - 1) as f64).round().clamp(0.0, (width - 1) as f64)
-                as usize
+            (((t - t0) / span) * (width - 1) as f64)
+                .round()
+                .clamp(0.0, (width - 1) as f64) as usize
         };
         let mut rows = vec![vec![' '; width]; self.nprocs];
         for e in &self.events {
@@ -186,7 +192,10 @@ mod tests {
         let s = cascade3().render(60);
         assert!(s.contains('E'));
         assert!(s.contains('h'));
-        assert!(s.contains('.'), "proc 1 spins between helper end and token: {s}");
+        assert!(
+            s.contains('.'),
+            "proc 1 spins between helper end and token: {s}"
+        );
         assert_eq!(s.lines().count(), 5, "3 procs + axis + legend");
     }
 

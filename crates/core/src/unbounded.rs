@@ -100,7 +100,14 @@ pub fn run_unbounded(
                     }
                     HelperPolicy::Restructure { hoist } => {
                         let h = helper_pack(
-                            &mut sys, 0, res, spec, range.clone(), buffer_base, hoist, None,
+                            &mut sys,
+                            0,
+                            res,
+                            spec,
+                            range.clone(),
+                            buffer_base,
+                            hoist,
+                            None,
                         );
                         debug_assert!(h.completed(range_len));
                     }
@@ -111,7 +118,14 @@ pub fn run_unbounded(
                         exec_original(&mut sys, 0, res, spec, range.clone())
                     }
                     HelperPolicy::Restructure { hoist } => exec_restructured(
-                        &mut sys, 0, res, spec, range.clone(), buffer_base, hoist, range_len,
+                        &mut sys,
+                        0,
+                        res,
+                        spec,
+                        range.clone(),
+                        buffer_base,
+                        hoist,
+                        range_len,
                     ),
                 };
                 makespan += exec_cycles;
@@ -198,7 +212,11 @@ mod tests {
                 StreamRef {
                     name: "x(ij(i))",
                     array: x,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: k },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: k,
+                    },
                     mode: Mode::Modify,
                     bytes: 4,
                     hoistable: false,
@@ -208,7 +226,11 @@ mod tests {
             hoistable_compute: 1.0,
             hoist_result_bytes: 4,
         };
-        Workload { space, index, loops: vec![spec] }
+        Workload {
+            space,
+            index,
+            loops: vec![spec],
+        }
     }
 
     #[test]
@@ -224,7 +246,10 @@ mod tests {
         };
         let r = run_unbounded(&m, &w, &cfg);
         let s = r.overall_speedup_vs(&base);
-        assert!(s > 4.0, "sparse synthetic loop should speed up strongly, got {s:.2}");
+        assert!(
+            s > 4.0,
+            "sparse synthetic loop should speed up strongly, got {s:.2}"
+        );
     }
 
     #[test]
@@ -261,8 +286,8 @@ mod tests {
             calls: 1,
             flush_between_calls: true,
         };
-        let s_today =
-            run_unbounded(&today, &w, &cfg).overall_speedup_vs(&run_sequential(&today, &w, 1, true));
+        let s_today = run_unbounded(&today, &w, &cfg)
+            .overall_speedup_vs(&run_sequential(&today, &w, 1, true));
         let s_tomorrow = run_unbounded(&tomorrow, &w, &cfg)
             .overall_speedup_vs(&run_sequential(&tomorrow, &w, 1, true));
         assert!(

@@ -36,7 +36,10 @@ pub const LOOP_CONTROL_CYCLES: f64 = 1.0;
 pub const PACK_CYCLES_PER_REF: f64 = 0.5;
 
 fn n_indirect(spec: &LoopSpec) -> usize {
-    spec.refs.iter().filter(|r| matches!(r.pattern, Pattern::Indirect { .. })).count()
+    spec.refs
+        .iter()
+        .filter(|r| matches!(r.pattern, Pattern::Indirect { .. }))
+        .count()
 }
 
 /// Walk iterations `range` of the original loop body on processor `proc`,
@@ -73,7 +76,12 @@ fn body_original(
         if let Some(ix) = res.index_access(r, i) {
             cycles += sys.access(
                 proc,
-                Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                Access {
+                    addr: ix.addr,
+                    bytes: ix.bytes,
+                    op: Op::Read,
+                    class: ix.class,
+                },
                 phase,
             );
         }
@@ -82,26 +90,46 @@ fn body_original(
             Mode::Read => {
                 cycles += sys.access(
                     proc,
-                    Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                    Access {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        op: Op::Read,
+                        class: d.class,
+                    },
                     phase,
                 );
             }
             Mode::Write => {
                 cycles += sys.access(
                     proc,
-                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    Access {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        op: Op::Write,
+                        class: d.class,
+                    },
                     phase,
                 );
             }
             Mode::Modify => {
                 cycles += sys.access(
                     proc,
-                    Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                    Access {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        op: Op::Read,
+                        class: d.class,
+                    },
                     phase,
                 );
                 cycles += sys.access(
                     proc,
-                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    Access {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        op: Op::Write,
+                        class: d.class,
+                    },
                     phase,
                 );
             }
@@ -139,8 +167,7 @@ pub fn helper_prefetch(
     range: Range<u64>,
     budget: Option<f64>,
 ) -> HelperOutcome {
-    let per_iter_compute =
-        LOOP_CONTROL_CYCLES + INDIRECT_INDEXING_CYCLES * n_indirect(spec) as f64;
+    let per_iter_compute = LOOP_CONTROL_CYCLES + INDIRECT_INDEXING_CYCLES * n_indirect(spec) as f64;
     let mut cycles = 0.0;
     let mut done = 0u64;
     for i in range {
@@ -149,14 +176,24 @@ pub fn helper_prefetch(
             if let Some(ix) = res.index_access(r, i) {
                 cycles += sys.access(
                     proc,
-                    Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                    Access {
+                        addr: ix.addr,
+                        bytes: ix.bytes,
+                        op: Op::Read,
+                        class: ix.class,
+                    },
                     Phase::Helper,
                 );
             }
             let d = res.data_access(r, i);
             cycles += sys.access(
                 proc,
-                Access { addr: d.addr, bytes: d.bytes, op: Op::Prefetch, class: d.class },
+                Access {
+                    addr: d.addr,
+                    bytes: d.bytes,
+                    op: Op::Prefetch,
+                    class: d.class,
+                },
                 Phase::Helper,
             );
         }
@@ -167,7 +204,10 @@ pub fn helper_prefetch(
             }
         }
     }
-    HelperOutcome { cycles, iters_done: done }
+    HelperOutcome {
+        cycles,
+        iters_done: done,
+    }
 }
 
 /// Run the restructuring helper over `range` on `proc`: pack read-only
@@ -205,14 +245,24 @@ pub fn helper_pack(
                     if let Some(ix) = res.index_access(r, i) {
                         iter_cycles += sys.access(
                             proc,
-                            Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                            Access {
+                                addr: ix.addr,
+                                bytes: ix.bytes,
+                                op: Op::Read,
+                                class: ix.class,
+                            },
                             Phase::Helper,
                         );
                     }
                     let d = res.data_access(r, i);
                     iter_cycles += sys.access(
                         proc,
-                        Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                        Access {
+                            addr: d.addr,
+                            bytes: d.bytes,
+                            op: Op::Read,
+                            class: d.class,
+                        },
                         Phase::Helper,
                     );
                     // ...and stream it (or fold it into the hoisted result).
@@ -238,7 +288,12 @@ pub fn helper_pack(
                         // Scatter indices are read-only data: pack them.
                         iter_cycles += sys.access(
                             proc,
-                            Access { addr: ix.addr, bytes: ix.bytes, op: Op::Read, class: ix.class },
+                            Access {
+                                addr: ix.addr,
+                                bytes: ix.bytes,
+                                op: Op::Read,
+                                class: ix.class,
+                            },
                             Phase::Helper,
                         );
                         iter_cycles += sys.access(
@@ -258,7 +313,12 @@ pub fn helper_pack(
                     let d = res.data_access(r, i);
                     iter_cycles += sys.access(
                         proc,
-                        Access { addr: d.addr, bytes: d.bytes, op: Op::Prefetch, class: d.class },
+                        Access {
+                            addr: d.addr,
+                            bytes: d.bytes,
+                            op: Op::Prefetch,
+                            class: d.class,
+                        },
                         Phase::Helper,
                     );
                 }
@@ -286,7 +346,10 @@ pub fn helper_pack(
             }
         }
     }
-    HelperOutcome { cycles, iters_done: done }
+    HelperOutcome {
+        cycles,
+        iters_done: done,
+    }
 }
 
 /// Walk the execution phase of a restructured chunk: the first
@@ -338,13 +401,23 @@ pub fn exec_restructured(
                 if matches!(r.mode, Mode::Modify) {
                     cycles += sys.access(
                         proc,
-                        Access { addr: d.addr, bytes: d.bytes, op: Op::Read, class: d.class },
+                        Access {
+                            addr: d.addr,
+                            bytes: d.bytes,
+                            op: Op::Read,
+                            class: d.class,
+                        },
                         Phase::Execution,
                     );
                 }
                 cycles += sys.access(
                     proc,
-                    Access { addr: d.addr, bytes: d.bytes, op: Op::Write, class: d.class },
+                    Access {
+                        addr: d.addr,
+                        bytes: d.bytes,
+                        op: Op::Write,
+                        class: d.class,
+                    },
                     Phase::Execution,
                 );
             }
@@ -395,7 +468,11 @@ mod tests {
                 StreamRef {
                     name: "x(ij(i))",
                     array: x,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
                     mode: Mode::Modify,
                     bytes: 4,
                     hoistable: false,
@@ -441,10 +518,27 @@ mod tests {
         let pre_cycles = exec_original(&mut pre, 0, res, &spec, 0..spec.iters);
 
         let mut rst = System::new(pentium_pro(), 1);
-        let h = helper_pack(&mut rst, 0, res, &spec, 0..spec.iters, buffer_base, true, None);
+        let h = helper_pack(
+            &mut rst,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            buffer_base,
+            true,
+            None,
+        );
         assert!(h.completed(spec.iters));
-        let rst_cycles =
-            exec_restructured(&mut rst, 0, res, &spec, 0..spec.iters, buffer_base, true, spec.iters);
+        let rst_cycles = exec_restructured(
+            &mut rst,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            buffer_base,
+            true,
+            spec.iters,
+        );
 
         assert!(
             rst_cycles < pre_cycles,
@@ -458,8 +552,14 @@ mod tests {
         let res = Resolver::new(&s, &idx);
         let mut sys = System::new(pentium_pro(), 1);
         let h = helper_prefetch(&mut sys, 0, res, &spec, 0..spec.iters, Some(100.0));
-        assert!(h.iters_done < spec.iters, "a 100-cycle budget cannot cover the loop");
-        assert!(h.iters_done >= 1, "at least one iteration must be attempted");
+        assert!(
+            h.iters_done < spec.iters,
+            "a 100-cycle budget cannot cover the loop"
+        );
+        assert!(
+            h.iters_done >= 1,
+            "at least one iteration must be attempted"
+        );
         assert!(!h.completed(spec.iters));
     }
 
@@ -476,38 +576,96 @@ mod tests {
         helper_pack(&mut sys, 0, res, &spec, 0..packed, buffer_base, false, None);
         // Executing the full range with only 100 packed iterations must not
         // panic and must cost more than a fully packed run.
-        let part =
-            exec_restructured(&mut sys, 0, res, &spec, 0..spec.iters, buffer_base, false, packed);
+        let part = exec_restructured(
+            &mut sys,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            buffer_base,
+            false,
+            packed,
+        );
 
         let mut full_sys = System::new(pentium_pro(), 1);
         let buf_full = spec.iters * spec.packed_bytes_per_iter(false);
         assert!(buf_len >= buf_full);
-        helper_pack(&mut full_sys, 0, res, &spec, 0..spec.iters, buffer_base, false, None);
-        let full = exec_restructured(
-            &mut full_sys, 0, res, &spec, 0..spec.iters, buffer_base, false, spec.iters,
+        helper_pack(
+            &mut full_sys,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            buffer_base,
+            false,
+            None,
         );
-        assert!(part > full, "partial packing {part} must cost more than full {full}");
+        let full = exec_restructured(
+            &mut full_sys,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            buffer_base,
+            false,
+            spec.iters,
+        );
+        assert!(
+            part > full,
+            "partial packing {part} must cost more than full {full}"
+        );
     }
 
     #[test]
     fn hoisting_reduces_execution_cycles_further() {
         let (mut s, idx, spec) = synthetic();
-        let buf_len = spec.iters * spec.packed_bytes_per_iter(false).max(spec.packed_bytes_per_iter(true));
+        let buf_len = spec.iters
+            * spec
+                .packed_bytes_per_iter(false)
+                .max(spec.packed_bytes_per_iter(true));
         let buf = s.alloc("buf", 1, buf_len);
         let base = s.array(buf).base;
         let res = Resolver::new(&s, &idx);
 
         let mut no_hoist = System::new(pentium_pro(), 1);
-        helper_pack(&mut no_hoist, 0, res, &spec, 0..spec.iters, base, false, None);
-        let c_no =
-            exec_restructured(&mut no_hoist, 0, res, &spec, 0..spec.iters, base, false, spec.iters);
+        helper_pack(
+            &mut no_hoist,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            base,
+            false,
+            None,
+        );
+        let c_no = exec_restructured(
+            &mut no_hoist,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            base,
+            false,
+            spec.iters,
+        );
 
         let mut hoist = System::new(pentium_pro(), 1);
         helper_pack(&mut hoist, 0, res, &spec, 0..spec.iters, base, true, None);
-        let c_h =
-            exec_restructured(&mut hoist, 0, res, &spec, 0..spec.iters, base, true, spec.iters);
+        let c_h = exec_restructured(
+            &mut hoist,
+            0,
+            res,
+            &spec,
+            0..spec.iters,
+            base,
+            true,
+            spec.iters,
+        );
 
-        assert!(c_h < c_no, "hoisted exec {c_h} should beat non-hoisted {c_no}");
+        assert!(
+            c_h < c_no,
+            "hoisted exec {c_h} should beat non-hoisted {c_no}"
+        );
     }
 
     #[test]
@@ -537,7 +695,10 @@ mod tests {
         let ca = exec_original(&mut a, 0, res, &spec, 0..512);
         let mut b = System::new(pentium_pro(), 1);
         let cb = exec_restructured(&mut b, 0, res, &spec, 0..512, 1 << 30, false, 0);
-        assert_eq!(ca, cb, "zero packed iterations must degrade to the original body");
+        assert_eq!(
+            ca, cb,
+            "zero packed iterations must degrade to the original body"
+        );
         assert_eq!(
             a.snapshot().total().l2.misses,
             b.snapshot().total().l2.misses
@@ -556,6 +717,9 @@ mod tests {
         let before = sys.snapshot().total().mem_lines;
         exec_original(&mut sys, 0, res, &spec, 0..spec.iters);
         let after = sys.snapshot().total().mem_lines;
-        assert_eq!(before, after, "execution after a full prefetch must not touch memory");
+        assert_eq!(
+            before, after,
+            "execution after a full prefetch must not touch memory"
+        );
     }
 }

@@ -53,9 +53,18 @@ fn finish(
     rt_safe: bool,
 ) -> Kernel {
     spec.validate();
-    let workload = Workload { space, index, loops: vec![spec] };
+    let workload = Workload {
+        space,
+        index,
+        loops: vec![spec],
+    };
     workload.validate();
-    Kernel { name, workload, arena, rt_safe }
+    Kernel {
+        name,
+        workload,
+        arena,
+        rt_safe,
+    }
 }
 
 fn fill_f64(arena: &mut Arena, space: &AddressSpace, id: cascade_trace::ArrayId, rng: &mut StdRng) {
@@ -101,7 +110,10 @@ pub fn triangular_solve(n: u64, nnz_per_row: u64, seed: u64) -> Kernel {
             StreamRef {
                 name: "L(i,*)",
                 array: lvals,
-                pattern: Pattern::Affine { base: 0, stride: nnz_per_row as i64 },
+                pattern: Pattern::Affine {
+                    base: 0,
+                    stride: nnz_per_row as i64,
+                },
                 mode: Mode::Read,
                 bytes: 8,
                 hoistable: true,
@@ -125,7 +137,11 @@ pub fn triangular_solve(n: u64, nnz_per_row: u64, seed: u64) -> Kernel {
             StreamRef {
                 name: "x(col(i,0))",
                 array: x,
-                pattern: Pattern::Indirect { index: cols, ibase: 0, istride: nnz_per_row as i64 },
+                pattern: Pattern::Indirect {
+                    index: cols,
+                    ibase: 0,
+                    istride: nnz_per_row as i64,
+                },
                 mode: Mode::Read,
                 bytes: 8,
                 hoistable: false, // depends on x written this loop: not hoistable
@@ -177,7 +193,11 @@ pub fn pointer_chase(n: u64, payload_bytes: u32, seed: u64) -> Kernel {
         refs: vec![StreamRef {
             name: "nodes(chain(i))",
             array: nodes,
-            pattern: Pattern::Indirect { index: chain, ibase: 0, istride: 1 },
+            pattern: Pattern::Indirect {
+                index: chain,
+                ibase: 0,
+                istride: 1,
+            },
             mode: Mode::Read,
             bytes: payload_bytes,
             hoistable: true,
@@ -237,7 +257,14 @@ pub fn iir_recurrence(n: u64, seed: u64) -> Kernel {
     let mut arena = Arena::new(&space);
     fill_f64(&mut arena, &space, xv, &mut rng);
     arena.install_indices(&space, &IndexStore::new());
-    finish("iir_recurrence", space, IndexStore::new(), spec, arena, false)
+    finish(
+        "iir_recurrence",
+        space,
+        IndexStore::new(),
+        spec,
+        arena,
+        false,
+    )
 }
 
 /// Histogram accumulation `hist(key(i)) += w(i)` with colliding keys:
@@ -251,7 +278,10 @@ pub fn histogram(n: u64, buckets: u64, seed: u64) -> Kernel {
     let w = space.alloc("w", 8, n);
     let key = space.alloc("key", 4, n);
     let mut index = IndexStore::new();
-    index.set(key, (0..n).map(|_| rng.gen_range(0..buckets) as u32).collect());
+    index.set(
+        key,
+        (0..n).map(|_| rng.gen_range(0..buckets) as u32).collect(),
+    );
     let spec = LoopSpec {
         name: format!("histogram n={n} buckets={buckets}"),
         iters: n,
@@ -267,7 +297,11 @@ pub fn histogram(n: u64, buckets: u64, seed: u64) -> Kernel {
             StreamRef {
                 name: "hist(key(i))",
                 array: hist,
-                pattern: Pattern::Indirect { index: key, ibase: 0, istride: 1 },
+                pattern: Pattern::Indirect {
+                    index: key,
+                    ibase: 0,
+                    istride: 1,
+                },
                 mode: Mode::Modify,
                 bytes: 8,
                 hoistable: false,
@@ -298,7 +332,10 @@ pub fn seq_spmv(nnz: u64, nrows: u64, ncols: u64, seed: u64) -> Kernel {
     let mut index = IndexStore::new();
     // Row indices mostly sorted (CSR-ish traversal), columns random.
     index.set(rows, (0..nnz).map(|k| ((k * nrows) / nnz) as u32).collect());
-    index.set(cols, (0..nnz).map(|_| rng.gen_range(0..ncols) as u32).collect());
+    index.set(
+        cols,
+        (0..nnz).map(|_| rng.gen_range(0..ncols) as u32).collect(),
+    );
     let spec = LoopSpec {
         name: format!("seq-spmv nnz={nnz}"),
         iters: nnz,
@@ -314,7 +351,11 @@ pub fn seq_spmv(nnz: u64, nrows: u64, ncols: u64, seed: u64) -> Kernel {
             StreamRef {
                 name: "x(col(k))",
                 array: xv,
-                pattern: Pattern::Indirect { index: cols, ibase: 0, istride: 1 },
+                pattern: Pattern::Indirect {
+                    index: cols,
+                    ibase: 0,
+                    istride: 1,
+                },
                 mode: Mode::Read,
                 bytes: 8,
                 hoistable: true,
@@ -322,7 +363,11 @@ pub fn seq_spmv(nnz: u64, nrows: u64, ncols: u64, seed: u64) -> Kernel {
             StreamRef {
                 name: "y(row(k))",
                 array: y,
-                pattern: Pattern::Indirect { index: rows, ibase: 0, istride: 1 },
+                pattern: Pattern::Indirect {
+                    index: rows,
+                    ibase: 0,
+                    istride: 1,
+                },
                 mode: Mode::Modify,
                 bytes: 8,
                 hoistable: false,
@@ -372,8 +417,12 @@ mod tests {
         // validator logic: no read-only ref's array is written.
         for k in suite(1024, 5) {
             let spec = &k.workload.loops[0];
-            let written: std::collections::HashSet<_> =
-                spec.refs.iter().filter(|r| r.mode.writes()).map(|r| r.array).collect();
+            let written: std::collections::HashSet<_> = spec
+                .refs
+                .iter()
+                .filter(|r| r.mode.writes())
+                .map(|r| r.array)
+                .collect();
             let reads_written = spec
                 .refs
                 .iter()
@@ -389,7 +438,13 @@ mod tests {
     #[test]
     fn tri_solve_references_only_earlier_unknowns() {
         let k = triangular_solve(512, 4, 3);
-        let cols = k.workload.space.iter().find(|(_, d)| d.name == "col").unwrap().0;
+        let cols = k
+            .workload
+            .space
+            .iter()
+            .find(|(_, d)| d.name == "col")
+            .unwrap()
+            .0;
         for i in 1..512u64 {
             let j = k.workload.index.get(cols, i * 4) as u64;
             assert!(j < i, "row {i} references x[{j}] >= i");
@@ -399,7 +454,13 @@ mod tests {
     #[test]
     fn pointer_chase_visits_every_node_once() {
         let k = pointer_chase(1024, 8, 3);
-        let chain = k.workload.space.iter().find(|(_, d)| d.name == "chain").unwrap().0;
+        let chain = k
+            .workload
+            .space
+            .iter()
+            .find(|(_, d)| d.name == "chain")
+            .unwrap()
+            .0;
         let mut seen = vec![false; 1024];
         for i in 0..1024u64 {
             let v = k.workload.index.get(chain, i) as usize;
@@ -411,7 +472,13 @@ mod tests {
     #[test]
     fn histogram_keys_in_range() {
         let k = histogram(2048, 64, 3);
-        let key = k.workload.space.iter().find(|(_, d)| d.name == "key").unwrap().0;
+        let key = k
+            .workload
+            .space
+            .iter()
+            .find(|(_, d)| d.name == "key")
+            .unwrap()
+            .0;
         for i in 0..2048u64 {
             assert!((k.workload.index.get(key, i) as u64) < 64);
         }

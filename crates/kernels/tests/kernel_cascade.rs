@@ -17,10 +17,20 @@ fn every_kernel_simulates_under_every_policy() {
             HelperPolicy::Restructure { hoist: false },
             HelperPolicy::Restructure { hoist: true },
         ] {
-            let cfg = CascadeConfig { nprocs: 4, policy, calls: 1, ..CascadeConfig::default() };
+            let cfg = CascadeConfig {
+                nprocs: 4,
+                policy,
+                calls: 1,
+                ..CascadeConfig::default()
+            };
             let r = run_cascaded(&m, &k.workload, &cfg);
             let s = r.overall_speedup_vs(&base);
-            assert!(s > 0.2 && s < 20.0, "{} under {:?}: absurd speedup {s}", k.name, policy);
+            assert!(
+                s > 0.2 && s < 20.0,
+                "{} under {:?}: absurd speedup {s}",
+                k.name,
+                policy
+            );
         }
     }
 }
@@ -39,15 +49,26 @@ fn memory_bound_kernels_gain_most() {
         calls: 1,
         ..CascadeConfig::default()
     };
-    let s_chase = run_cascaded(&m, &chase.workload, &cfg)
-        .overall_speedup_vs(&run_sequential(&m, &chase.workload, 1, true));
-    let s_hist = run_cascaded(&m, &hist.workload, &cfg)
-        .overall_speedup_vs(&run_sequential(&m, &hist.workload, 1, true));
+    let s_chase = run_cascaded(&m, &chase.workload, &cfg).overall_speedup_vs(&run_sequential(
+        &m,
+        &chase.workload,
+        1,
+        true,
+    ));
+    let s_hist = run_cascaded(&m, &hist.workload, &cfg).overall_speedup_vs(&run_sequential(
+        &m,
+        &hist.workload,
+        1,
+        true,
+    ));
     assert!(
         s_chase > s_hist,
         "chase ({s_chase:.2}) must out-gain cache-resident histogram ({s_hist:.2})"
     );
-    assert!(s_chase > 1.5, "a random chase is highly memory bound: {s_chase:.2}");
+    assert!(
+        s_chase > 1.5,
+        "a random chase is highly memory bound: {s_chase:.2}"
+    );
 }
 
 #[test]
@@ -61,7 +82,9 @@ fn rt_safe_kernels_cascade_bitwise_on_threads() {
             let mut prog = SpecProgram::new(k.workload.clone(), k.arena.clone());
             let kern = prog.kernel(0);
             // SAFETY: single-threaded baseline.
-            unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
+            unsafe {
+                cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern))
+            };
             prog.checksum()
         };
         let mut prog = SpecProgram::new(k.workload, k.arena);

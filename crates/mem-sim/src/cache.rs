@@ -63,7 +63,14 @@ impl Cache {
         let sets = cfg.sets();
         Cache {
             cfg,
-            ways: vec![Way { tag: INVALID, dirty: false, lru: 0 }; sets * cfg.assoc],
+            ways: vec![
+                Way {
+                    tag: INVALID,
+                    dirty: false,
+                    lru: 0
+                };
+                sets * cfg.assoc
+            ],
             set_shift: 0, // line address already excludes the offset bits
             set_mask: (sets as u64) - 1,
             clock: 0,
@@ -93,7 +100,9 @@ impl Cache {
     /// Probe without modifying replacement state or counters. Used by tests
     /// and by the directory when deciding invalidation targets.
     pub fn contains(&self, line_addr: u64) -> bool {
-        self.ways[self.set_range(line_addr)].iter().any(|w| w.tag == line_addr)
+        self.ways[self.set_range(line_addr)]
+            .iter()
+            .any(|w| w.tag == line_addr)
     }
 
     /// True if the line is present and dirty.
@@ -133,7 +142,11 @@ impl Cache {
         if evicted_dirty.is_some() {
             self.stats.writebacks += 1;
         }
-        *victim = Way { tag: line_addr, dirty: write, lru: clock };
+        *victim = Way {
+            tag: line_addr,
+            dirty: write,
+            lru: clock,
+        };
         LineOutcome::Miss { evicted_dirty }
     }
 
@@ -145,7 +158,11 @@ impl Cache {
         for w in &mut self.ways[range] {
             if w.tag == line_addr {
                 let was_dirty = w.dirty;
-                *w = Way { tag: INVALID, dirty: false, lru: 0 };
+                *w = Way {
+                    tag: INVALID,
+                    dirty: false,
+                    lru: 0,
+                };
                 self.stats.invalidations += 1;
                 return was_dirty;
             }
@@ -157,7 +174,11 @@ impl Cache {
     /// resetting counters.
     pub fn flush(&mut self) {
         for w in &mut self.ways {
-            *w = Way { tag: INVALID, dirty: false, lru: 0 };
+            *w = Way {
+                tag: INVALID,
+                dirty: false,
+                lru: 0,
+            };
         }
     }
 
@@ -173,7 +194,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways, 32B lines = 256B cache.
-        Cache::new(CacheConfig { size: 256, assoc: 2, line: 32, latency: 1 })
+        Cache::new(CacheConfig {
+            size: 256,
+            assoc: 2,
+            line: 32,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -207,7 +233,9 @@ mod tests {
         // Touch 4 so 0 becomes LRU, then force eviction of 0.
         c.access(4, false);
         match c.access(8, false) {
-            LineOutcome::Miss { evicted_dirty: Some(addr) } => assert_eq!(addr, 0),
+            LineOutcome::Miss {
+                evicted_dirty: Some(addr),
+            } => assert_eq!(addr, 0),
             other => panic!("expected dirty eviction, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);

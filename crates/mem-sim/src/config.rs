@@ -39,13 +39,19 @@ impl CacheConfig {
 
     /// Validate internal consistency; panics on nonsensical geometry.
     pub fn validate(&self) {
-        assert!(self.line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.assoc >= 1, "associativity must be >= 1");
         assert!(
             self.size.is_multiple_of(self.line * self.assoc),
             "size must be a multiple of line * assoc"
         );
-        assert!(self.sets().is_power_of_two(), "set count must be a power of two");
+        assert!(
+            self.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
     }
 }
 
@@ -150,8 +156,18 @@ impl MachineConfig {
 pub fn pentium_pro() -> MachineConfig {
     let m = MachineConfig {
         name: "Pentium Pro",
-        l1: CacheConfig { size: 8 * 1024, assoc: 2, line: 32, latency: 3 },
-        l2: CacheConfig { size: 512 * 1024, assoc: 4, line: 32, latency: 7 },
+        l1: CacheConfig {
+            size: 8 * 1024,
+            assoc: 2,
+            line: 32,
+            latency: 3,
+        },
+        l2: CacheConfig {
+            size: 512 * 1024,
+            assoc: 4,
+            line: 32,
+            latency: 7,
+        },
         l3: None,
         mem_latency: 58,
         dirty_remote_latency: 80,
@@ -175,8 +191,18 @@ pub fn pentium_pro() -> MachineConfig {
 pub fn r10000() -> MachineConfig {
     let m = MachineConfig {
         name: "R10000",
-        l1: CacheConfig { size: 32 * 1024, assoc: 2, line: 32, latency: 3 },
-        l2: CacheConfig { size: 2 * 1024 * 1024, assoc: 2, line: 128, latency: 6 },
+        l1: CacheConfig {
+            size: 32 * 1024,
+            assoc: 2,
+            line: 32,
+            latency: 3,
+        },
+        l2: CacheConfig {
+            size: 2 * 1024 * 1024,
+            assoc: 2,
+            line: 128,
+            latency: 6,
+        },
         l3: None,
         mem_latency: 150,
         dirty_remote_latency: 200,
@@ -203,9 +229,24 @@ pub fn r10000() -> MachineConfig {
 pub fn modern() -> MachineConfig {
     let m = MachineConfig {
         name: "Modern",
-        l1: CacheConfig { size: 32 * 1024, assoc: 8, line: 64, latency: 4 },
-        l2: CacheConfig { size: 512 * 1024, assoc: 8, line: 64, latency: 14 },
-        l3: Some(CacheConfig { size: 8 * 1024 * 1024, assoc: 16, line: 64, latency: 42 }),
+        l1: CacheConfig {
+            size: 32 * 1024,
+            assoc: 8,
+            line: 64,
+            latency: 4,
+        },
+        l2: CacheConfig {
+            size: 512 * 1024,
+            assoc: 8,
+            line: 64,
+            latency: 14,
+        },
+        l3: Some(CacheConfig {
+            size: 8 * 1024 * 1024,
+            assoc: 16,
+            line: 64,
+            latency: 42,
+        }),
         mem_latency: 300,
         dirty_remote_latency: 180, // on-die cache-to-cache beats DRAM now
         transfer_cost: 250,        // cross-core flag handoff, ~80ns at 3GHz
@@ -266,7 +307,12 @@ mod tests {
 
     #[test]
     fn set_and_way_math() {
-        let c = CacheConfig { size: 512 * 1024, assoc: 4, line: 32, latency: 7 };
+        let c = CacheConfig {
+            size: 512 * 1024,
+            assoc: 4,
+            line: 32,
+            latency: 7,
+        };
         assert_eq!(c.sets(), 4096);
         assert_eq!(c.lines(), 16384);
         assert_eq!(c.way_bytes(), 128 * 1024);

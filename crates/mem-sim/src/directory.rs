@@ -28,7 +28,10 @@ struct LineState {
 
 impl Default for LineState {
     fn default() -> Self {
-        LineState { sharers: 0, dirty: NO_OWNER }
+        LineState {
+            sharers: 0,
+            dirty: NO_OWNER,
+        }
     }
 }
 
@@ -78,7 +81,9 @@ impl Directory {
         assert!(proc < 64, "directory supports at most 64 processors");
         let st = self.state_mut(line);
         let src = if st.dirty != NO_OWNER && st.dirty as usize != proc {
-            FetchSource::RemoteDirty { owner: st.dirty as usize }
+            FetchSource::RemoteDirty {
+                owner: st.dirty as usize,
+            }
         } else {
             FetchSource::Memory
         };
@@ -96,7 +101,9 @@ impl Directory {
         assert!(proc < 64, "directory supports at most 64 processors");
         let st = self.state_mut(line);
         let src = if st.dirty != NO_OWNER && st.dirty as usize != proc {
-            FetchSource::RemoteDirty { owner: st.dirty as usize }
+            FetchSource::RemoteDirty {
+                owner: st.dirty as usize,
+            }
         } else {
             FetchSource::Memory
         };

@@ -48,8 +48,8 @@ pub use cache::{Cache, LineOutcome};
 pub use config::{CacheConfig, MachineConfig};
 pub use directory::{Directory, FetchSource};
 pub use stats::{LevelStats, ProcStats, Snapshot};
-pub use tlb::{Tlb, TlbConfig};
 pub use system::{Access, Op, Phase, StreamClass, System};
+pub use tlb::{Tlb, TlbConfig};
 
 /// The machine presets of Table 1 (re-exported as a named module for
 /// discoverability: `machines::pentium_pro()`, `machines::r10000()`,

@@ -90,7 +90,11 @@ pub struct Snapshot {
 impl Snapshot {
     /// Difference of whole snapshots (must have equal processor counts).
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
-        assert_eq!(self.procs.len(), earlier.procs.len(), "snapshot shape mismatch");
+        assert_eq!(
+            self.procs.len(),
+            earlier.procs.len(),
+            "snapshot shape mismatch"
+        );
         Snapshot {
             procs: self
                 .procs
@@ -132,31 +136,67 @@ mod tests {
 
     #[test]
     fn level_delta_subtracts_componentwise() {
-        let a = LevelStats { hits: 10, misses: 4, writebacks: 1, invalidations: 0 };
-        let b = LevelStats { hits: 25, misses: 9, writebacks: 3, invalidations: 2 };
+        let a = LevelStats {
+            hits: 10,
+            misses: 4,
+            writebacks: 1,
+            invalidations: 0,
+        };
+        let b = LevelStats {
+            hits: 25,
+            misses: 9,
+            writebacks: 3,
+            invalidations: 2,
+        };
         let d = b.since(&a);
-        assert_eq!(d, LevelStats { hits: 15, misses: 5, writebacks: 2, invalidations: 2 });
+        assert_eq!(
+            d,
+            LevelStats {
+                hits: 15,
+                misses: 5,
+                writebacks: 2,
+                invalidations: 2
+            }
+        );
     }
 
     #[test]
     fn miss_ratio_handles_zero_accesses() {
         assert_eq!(LevelStats::default().miss_ratio(), 0.0);
-        let s = LevelStats { hits: 3, misses: 1, ..Default::default() };
+        let s = LevelStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn snapshot_total_sums_processors() {
         let p = ProcStats {
-            l1: LevelStats { hits: 1, misses: 2, ..Default::default() },
-            l2: LevelStats { hits: 3, misses: 4, ..Default::default() },
-            l3: LevelStats { hits: 5, misses: 6, ..Default::default() },
+            l1: LevelStats {
+                hits: 1,
+                misses: 2,
+                ..Default::default()
+            },
+            l2: LevelStats {
+                hits: 3,
+                misses: 4,
+                ..Default::default()
+            },
+            l3: LevelStats {
+                hits: 5,
+                misses: 6,
+                ..Default::default()
+            },
             cycles: 10.0,
             mem_lines: 4,
             remote_dirty_lines: 1,
             tlb_misses: 2,
         };
-        let snap = Snapshot { procs: vec![p, p, p] };
+        let snap = Snapshot {
+            procs: vec![p, p, p],
+        };
         let t = snap.total();
         assert_eq!(t.l1.misses, 6);
         assert_eq!(t.l2.hits, 9);
@@ -169,7 +209,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn snapshot_delta_rejects_shape_mismatch() {
-        let a = Snapshot { procs: vec![ProcStats::default()] };
+        let a = Snapshot {
+            procs: vec![ProcStats::default()],
+        };
         let b = Snapshot { procs: vec![] };
         let _ = a.since(&b);
     }

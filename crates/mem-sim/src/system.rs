@@ -99,7 +99,11 @@ impl System {
                 remote_dirty_lines: 0,
             })
             .collect();
-        System { cfg, procs, dir: Directory::new() }
+        System {
+            cfg,
+            procs,
+            dir: Directory::new(),
+        }
     }
 
     /// The machine description this system simulates.
@@ -158,7 +162,10 @@ impl System {
     /// TLB hit/miss counters of a processor, when the machine models a
     /// TLB.
     pub fn tlb_stats(&self, proc: usize) -> Option<(u64, u64)> {
-        self.procs[proc].tlb.as_ref().map(|t| (t.hits(), t.misses()))
+        self.procs[proc]
+            .tlb
+            .as_ref()
+            .map(|t| (t.hits(), t.misses()))
     }
 
     /// Access a single L1-line-aligned address. Returns exposed cycles.
@@ -208,7 +215,10 @@ impl System {
         // Clean evictions leave a stale sharer bit behind, which is benign:
         // the stale sharer merely receives a harmless extra invalidation if
         // another processor later writes that line.
-        if let crate::cache::LineOutcome::Miss { evicted_dirty: Some(victim) } = l2_outcome {
+        if let crate::cache::LineOutcome::Miss {
+            evicted_dirty: Some(victim),
+        } = l2_outcome
+        {
             self.dir.evict(proc, victim);
         }
 
@@ -219,11 +229,12 @@ impl System {
         // L2 miss -> L3 (when modelled). L3 shares the L2 line size, so
         // the same line index applies.
         if let Some(l3) = &mut p.l3 {
-            cycles += l3
-                .config()
-                .latency as f64;
+            cycles += l3.config().latency as f64;
             let l3_outcome = l3.access(l2_line, write);
-            if let crate::cache::LineOutcome::Miss { evicted_dirty: Some(victim) } = l3_outcome {
+            if let crate::cache::LineOutcome::Miss {
+                evicted_dirty: Some(victim),
+            } = l3_outcome
+            {
                 self.dir.evict(proc, victim);
             }
             if l3_outcome.is_hit() {
@@ -352,11 +363,21 @@ mod tests {
     use crate::config::{pentium_pro, r10000};
 
     fn read(addr: u64) -> Access {
-        Access { addr, bytes: 8, op: Op::Read, class: StreamClass::Affine }
+        Access {
+            addr,
+            bytes: 8,
+            op: Op::Read,
+            class: StreamClass::Affine,
+        }
     }
 
     fn write(addr: u64) -> Access {
-        Access { addr, bytes: 8, op: Op::Write, class: StreamClass::Affine }
+        Access {
+            addr,
+            bytes: 8,
+            op: Op::Write,
+            class: StreamClass::Affine,
+        }
     }
 
     #[test]
@@ -373,7 +394,14 @@ mod tests {
     #[test]
     fn prefetch_fills_cache_for_later_demand_read() {
         let mut s = System::new(pentium_pro(), 1);
-        s.access(0, Access { op: Op::Prefetch, ..read(64) }, Phase::Helper);
+        s.access(
+            0,
+            Access {
+                op: Op::Prefetch,
+                ..read(64)
+            },
+            Phase::Helper,
+        );
         assert!(s.in_l1(0, 64));
         let c = s.access(0, read(64), Phase::Execution);
         assert_eq!(c, s.machine().l1.latency as f64);
@@ -388,9 +416,19 @@ mod tests {
         // cost to be of the same order as a demand miss.
         let m = pentium_pro();
         let mut s = System::new(m.clone(), 2);
-        let pre = s.access(1, Access { op: Op::Prefetch, ..read(8192) }, Phase::Helper);
+        let pre = s.access(
+            1,
+            Access {
+                op: Op::Prefetch,
+                ..read(8192)
+            },
+            Phase::Helper,
+        );
         let unhidden = (m.l1.latency + m.l2.latency + m.mem_latency) as f64;
-        assert!(pre < unhidden, "prefetch {pre} must beat an unhidden miss {unhidden}");
+        assert!(
+            pre < unhidden,
+            "prefetch {pre} must beat an unhidden miss {unhidden}"
+        );
         assert!(
             pre > m.mem_latency as f64 / 4.0,
             "prefetch {pre} must not be unrealistically cheap"
@@ -405,7 +443,10 @@ mod tests {
         let c = s.access(1, read(128), Phase::Execution);
         let expect =
             (m.l1.latency + m.l2.latency) as f64 + m.dirty_remote_latency as f64 / m.affine_overlap;
-        assert!((c - expect).abs() < 1e-9, "remote dirty cost {c} != {expect}");
+        assert!(
+            (c - expect).abs() < 1e-9,
+            "remote dirty cost {c} != {expect}"
+        );
         let snap = s.snapshot();
         assert_eq!(snap.procs[1].remote_dirty_lines, 1);
     }
@@ -437,7 +478,10 @@ mod tests {
         assert!(!s.in_l2(0, 0));
         let c_re = s.access(0, read(0), Phase::Execution);
         let expect_re = (m.l1.latency + m.l2.latency) as f64 + m.mem_latency as f64;
-        assert!((c_re - expect_re).abs() < 1e-9, "re-miss {c_re} != {expect_re}");
+        assert!(
+            (c_re - expect_re).abs() < 1e-9,
+            "re-miss {c_re} != {expect_re}"
+        );
         assert!(c_re > c_first);
     }
 
@@ -452,7 +496,10 @@ mod tests {
         s.begin_region();
         let c = s.access(0, read(0), Phase::Execution);
         let expect = (m.l1.latency + m.l2.latency) as f64 + m.mem_latency as f64 / m.affine_overlap;
-        assert!((c - expect).abs() < 1e-9, "after region reset {c} != {expect}");
+        assert!(
+            (c - expect).abs() < 1e-9,
+            "after region reset {c} != {expect}"
+        );
     }
 
     #[test]
@@ -462,7 +509,12 @@ mod tests {
         // 64 bytes at offset 0 touches two 32-byte lines.
         let c = s.access(
             0,
-            Access { addr: 0, bytes: 64, op: Op::Read, class: StreamClass::Affine },
+            Access {
+                addr: 0,
+                bytes: 64,
+                op: Op::Read,
+                class: StreamClass::Affine,
+            },
             Phase::Execution,
         );
         let one = (m.l1.latency + m.l2.latency) as f64 + m.mem_latency as f64 / m.affine_overlap;
@@ -488,7 +540,12 @@ mod tests {
         let a = s.access(0, read(0), Phase::Execution);
         let i = s.access(
             0,
-            Access { addr: 1 << 20, bytes: 8, op: Op::Read, class: StreamClass::Indirect },
+            Access {
+                addr: 1 << 20,
+                bytes: 8,
+                op: Op::Read,
+                class: StreamClass::Indirect,
+            },
             Phase::Execution,
         );
         assert!(i > a, "indirect miss {i} should exceed affine miss {a}");
@@ -510,9 +567,11 @@ mod tests {
         // L3 present: second sweep costs L3 latency, not memory.
         assert!(s.in_l3(0, 0));
         let warm = s.access(0, read(1 << 19), Phase::Execution);
-        let expect_max = (m.l1.latency + m.l2.latency) as f64
-            + m.l3.unwrap().latency as f64;
-        assert!(warm <= expect_max + 1e-9, "L3 hit cost {warm} > {expect_max}");
+        let expect_max = (m.l1.latency + m.l2.latency) as f64 + m.l3.unwrap().latency as f64;
+        assert!(
+            warm <= expect_max + 1e-9,
+            "L3 hit cost {warm} > {expect_max}"
+        );
     }
 
     #[test]
@@ -538,7 +597,10 @@ mod tests {
         }
         assert!(s.in_l3(1, 0));
         s.access(0, write(0), Phase::Execution);
-        assert!(!s.in_l3(1, 0), "L3 copy must be invalidated by a remote write");
+        assert!(
+            !s.in_l3(1, 0),
+            "L3 copy must be invalidated by a remote write"
+        );
     }
 
     #[test]

@@ -24,19 +24,30 @@ impl TlbConfig {
     /// Validate the configuration; panics on nonsense.
     pub fn validate(&self) {
         assert!(self.entries >= 1, "TLB needs at least one entry");
-        assert!(self.page.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            self.page.is_power_of_two(),
+            "page size must be a power of two"
+        );
     }
 
     /// The Pentium Pro's data TLB: 64 entries, 4KB pages, hardware page
     /// walk (~25 cycles).
     pub fn pentium_pro() -> Self {
-        TlbConfig { entries: 64, page: 4096, miss_cycles: 25 }
+        TlbConfig {
+            entries: 64,
+            page: 4096,
+            miss_cycles: 25,
+        }
     }
 
     /// The R10000's TLB: 64 entries, 4KB pages (smallest configuration),
     /// software-refilled — expensive (~70 cycles).
     pub fn r10000() -> Self {
-        TlbConfig { entries: 64, page: 4096, miss_cycles: 70 }
+        TlbConfig {
+            entries: 64,
+            page: 4096,
+            miss_cycles: 70,
+        }
     }
 }
 
@@ -124,7 +135,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 4, page: 4096, miss_cycles: 25 })
+        Tlb::new(TlbConfig {
+            entries: 4,
+            page: 4096,
+            miss_cycles: 25,
+        })
     }
 
     #[test]

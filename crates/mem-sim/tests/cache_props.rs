@@ -7,14 +7,19 @@ use cascade_mem::{Access, Cache, CacheConfig, Op, Phase, StreamClass, System};
 
 fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
     // sets in {1,2,4,8,16}, assoc in {1,2,4}, line in {16,32,64}.
-    (0u32..5, prop_oneof![Just(1usize), Just(2), Just(4)], prop_oneof![
-        Just(16usize),
-        Just(32),
-        Just(64)
-    ])
+    (
+        0u32..5,
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        prop_oneof![Just(16usize), Just(32), Just(64)],
+    )
         .prop_map(|(sets_log, assoc, line)| {
             let sets = 1usize << sets_log;
-            CacheConfig { size: sets * assoc * line, assoc, line, latency: 3 }
+            CacheConfig {
+                size: sets * assoc * line,
+                assoc,
+                line,
+                latency: 3,
+            }
         })
 }
 

@@ -21,7 +21,12 @@ impl Grid {
     pub fn new(ng: usize, length: f64) -> Self {
         assert!(ng >= 4, "grid too small");
         assert!(length > 0.0);
-        Grid { ng, length, rho: vec![0.0; ng], ex: vec![0.0; ng] }
+        Grid {
+            ng,
+            length,
+            rho: vec![0.0; ng],
+            ex: vec![0.0; ng],
+        }
     }
 
     /// Cell width.
@@ -86,9 +91,9 @@ mod tests {
     fn uniform_charge_gives_zero_field() {
         let mut g = Grid::new(64, 2.0 * std::f64::consts::PI);
         g.clear_rho(); // background only, no electrons: rho = +1
-        // A *uniform* rho integrates to a linear E, but the periodic
-        // zero-mean gauge cannot represent it; physical setups always
-        // deposit electrons summing to -background. Use neutral rho = 0.
+                       // A *uniform* rho integrates to a linear E, but the periodic
+                       // zero-mean gauge cannot represent it; physical setups always
+                       // deposit electrons summing to -background. Use neutral rho = 0.
         for r in &mut g.rho {
             *r = 0.0;
         }

@@ -43,7 +43,10 @@ impl SimState {
             (grid.length - particles.length).abs() < 1e-12,
             "grid and particles must share the domain length"
         );
-        SimState { grid: UnsafeCell::new(grid), particles: UnsafeCell::new(particles) }
+        SimState {
+            grid: UnsafeCell::new(grid),
+            particles: UnsafeCell::new(particles),
+        }
     }
 
     /// Exclusive access to the grid (borrow-checked: no kernels alive).

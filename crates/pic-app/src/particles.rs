@@ -41,7 +41,11 @@ impl Particles {
                 (x0 + amp * (k * x0).sin()).rem_euclid(length)
             })
             .collect();
-        Particles { x, v: vec![0.0; np], length }
+        Particles {
+            x,
+            v: vec![0.0; np],
+            length,
+        }
     }
 
     /// Load two counter-streaming beams (the two-stream instability
@@ -54,7 +58,7 @@ impl Particles {
         let mut v = Vec::with_capacity(np);
         for i in 0..np {
             let x0 = (i as f64 + 0.5) * length / np as f64;
-            let jitter = rng.gen_range(-1e-4..1e-4) * length;
+            let jitter: f64 = rng.gen_range(-1e-4f64..1e-4) * length;
             x.push((x0 + jitter).rem_euclid(length));
             v.push(if i % 2 == 0 { v0 } else { -v0 });
         }

@@ -60,8 +60,14 @@ pub struct Simulation {
 impl Simulation {
     /// Assemble a simulation.
     pub fn new(grid: Grid, particles: Particles, cfg: PicConfig) -> Self {
-        assert!(cfg.dt > 0.0 && cfg.dt < 1.0, "dt must resolve the plasma frequency");
-        Simulation { state: SimState::new(grid, particles), cfg }
+        assert!(
+            cfg.dt > 0.0 && cfg.dt < 1.0,
+            "dt must resolve the plasma frequency"
+        );
+        Simulation {
+            state: SimState::new(grid, particles),
+            cfg,
+        }
     }
 
     fn run_kernel<K: RealKernel>(&self, kernel: &K, mode: MoverMode) {
@@ -72,7 +78,11 @@ impl Simulation {
                 // trivially serialized.
                 unsafe { kernel.execute(0..kernel.iters()) };
             }
-            MoverMode::Cascaded { threads, chunk, policy } => {
+            MoverMode::Cascaded {
+                threads,
+                chunk,
+                policy,
+            } => {
                 run_cascaded(
                     kernel,
                     &RunnerConfig {
@@ -112,7 +122,11 @@ impl Simulation {
         let kinetic = self.state.particles().kinetic_energy();
         let field = self.state.grid().field_energy();
         let momentum = self.state.particles().momentum();
-        StepDiagnostics { kinetic, field, momentum }
+        StepDiagnostics {
+            kinetic,
+            field,
+            momentum,
+        }
     }
 
     /// Bit patterns of the particle state (for equivalence tests).
@@ -177,9 +191,8 @@ mod tests {
         // quarters of the run.
         let mut sim = oscillation_sim(MoverMode::Sequential);
         let diags = sim.run(400);
-        let mean = |s: &[StepDiagnostics]| {
-            s.iter().map(|d| d.total()).sum::<f64>() / s.len() as f64
-        };
+        let mean =
+            |s: &[StepDiagnostics]| s.iter().map(|d| d.total()).sum::<f64>() / s.len() as f64;
         let early = mean(&diags[..100]);
         let late = mean(&diags[300..]);
         let drift = (late - early).abs() / early;
@@ -192,7 +205,9 @@ mod tests {
         let (min, max) = diags[5..]
             .iter()
             .map(|d| d.total())
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), e| (lo.min(e), hi.max(e)));
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), e| {
+                (lo.min(e), hi.max(e))
+            });
         assert!((max - min) / early < 0.3, "energy ripple out of bounds");
     }
 
@@ -240,11 +255,18 @@ mod tests {
         let mut sim = Simulation::new(
             grid,
             particles,
-            PicConfig { dt: 0.05, mover: MoverMode::Sequential },
+            PicConfig {
+                dt: 0.05,
+                mover: MoverMode::Sequential,
+            },
         );
         let diags = sim.run(600);
         let early = diags[10].field;
-        let late = diags.iter().skip(200).map(|d| d.field).fold(0.0f64, f64::max);
+        let late = diags
+            .iter()
+            .skip(200)
+            .map(|d| d.field)
+            .fold(0.0f64, f64::max);
         assert!(
             late > early * 100.0,
             "two-stream field energy must grow: early {early:.3e}, late {late:.3e}"
@@ -254,8 +276,9 @@ mod tests {
     #[test]
     fn period_estimator_on_a_known_sine() {
         let dt = 0.01;
-        let signal: Vec<f64> =
-            (0..2000).map(|i| (2.0 * std::f64::consts::PI * i as f64 * dt / 0.7).sin()).collect();
+        let signal: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 * dt / 0.7).sin())
+            .collect();
         let p = estimate_period(&signal, dt).unwrap();
         assert!((p - 0.7).abs() < 0.01, "period {p}");
     }

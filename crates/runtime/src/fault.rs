@@ -1,0 +1,251 @@
+//! Deterministic fault injection for exercising the runtime's failure
+//! paths: wrap any [`RealKernel`] in a [`FaultyKernel`] and a [`FaultPlan`]
+//! chooses exactly which chunks panic, stall, or slow down.
+//!
+//! Design points that keep injected faults compatible with salvage (see
+//! `docs/ROBUSTNESS.md`):
+//!
+//! * **Faults fire before the chunk body.** An injected panic interrupts
+//!   the chunk *before* the inner kernel writes anything, so re-executing
+//!   the chunk from its start (the salvage path) is bitwise-correct.
+//!   [`FaultyKernel`] therefore reports
+//!   [`RealKernel::panics_before_mutation`] — wrap only kernels that do
+//!   not panic on their own, or that promise fail-stop themselves.
+//! * **Faults fire once.** Each planned chunk trips at most one time, so
+//!   the sequential salvage (or a retry) does not re-trigger the fault it
+//!   is recovering from.
+//! * **Stalls are finite.** A stall sleeps for a fixed duration and then
+//!   runs the body, so every worker eventually returns and the supervisor
+//!   can always join the pool — the watchdog may well declare the worker
+//!   dead in the meantime (the `LateCompletion` path), but nothing hangs.
+
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::kernel::RealKernel;
+
+/// What an injected fault does when its chunk starts executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic before the chunk body runs (a crashed worker).
+    Panic,
+    /// Sleep for the duration, then run the body (a worker stuck long
+    /// enough for the watchdog to declare it dead, yet finite so the pool
+    /// always drains).
+    Stall(Duration),
+    /// Sleep briefly, then run the body (a slow worker that should *not*
+    /// trip a well-tuned watchdog).
+    Slowdown(Duration),
+}
+
+/// Which chunks of a run misbehave, and how. The plan is keyed by chunk
+/// index; under the runner's round-robin ownership the executing thread is
+/// `chunk % nthreads`, so [`FaultPlan::chunk_owned_by`] converts a
+/// (thread, turn) target into the chunk to plan.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    iters_per_chunk: u64,
+    faults: HashMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan. `iters_per_chunk` must match the
+    /// [`crate::runner::RunnerConfig::iters_per_chunk`] the run will use —
+    /// it is how the kernel maps an iteration range back to a chunk index.
+    pub fn new(iters_per_chunk: u64) -> Self {
+        assert!(iters_per_chunk >= 1, "chunks must be non-empty");
+        FaultPlan {
+            iters_per_chunk,
+            faults: HashMap::new(),
+        }
+    }
+
+    /// Plan `kind` for `chunk` (builder style).
+    pub fn inject(mut self, chunk: u64, kind: FaultKind) -> Self {
+        self.faults.insert(chunk, kind);
+        self
+    }
+
+    /// The chunk that worker `thread` (of `nthreads`, round-robin
+    /// ownership) executes on its `turn`-th turn — plan a fault there to
+    /// target a specific (thread, chunk) point.
+    pub fn chunk_owned_by(thread: u64, turn: u64, nthreads: u64) -> u64 {
+        thread + turn * nthreads
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The chunk an execution range starting at `iter` belongs to.
+    fn chunk_of(&self, iter: u64) -> u64 {
+        iter / self.iters_per_chunk
+    }
+}
+
+/// A [`RealKernel`] wrapper that injects the faults of a [`FaultPlan`] at
+/// the start of the planned chunks' execution phases.
+#[derive(Debug)]
+pub struct FaultyKernel<K> {
+    inner: K,
+    plan: FaultPlan,
+    fired: Mutex<HashSet<u64>>,
+}
+
+impl<K> FaultyKernel<K> {
+    /// Wrap `inner` so the chunks named in `plan` misbehave.
+    pub fn new(inner: K, plan: FaultPlan) -> Self {
+        FaultyKernel {
+            inner,
+            plan,
+            fired: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The chunks whose faults actually fired, sorted.
+    pub fn fired(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.fired.lock().unwrap().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Unwrap the inner kernel (e.g. to inspect its data after a run).
+    pub fn into_inner(self) -> K {
+        self.inner
+    }
+
+    /// Fire the planned fault for the chunk containing `start_iter`, at
+    /// most once per chunk.
+    fn trip(&self, start_iter: u64) {
+        let chunk = self.plan.chunk_of(start_iter);
+        let Some(kind) = self.plan.faults.get(&chunk) else {
+            return;
+        };
+        {
+            let mut fired = self.fired.lock().unwrap();
+            if !fired.insert(chunk) {
+                return; // fire once: salvage must not re-trip it
+            }
+        }
+        match *kind {
+            FaultKind::Panic => panic!("injected fault: panic at chunk {chunk}"),
+            FaultKind::Stall(d) | FaultKind::Slowdown(d) => std::thread::sleep(d),
+        }
+    }
+}
+
+impl<K: RealKernel> RealKernel for FaultyKernel<K> {
+    fn iters(&self) -> u64 {
+        self.inner.iters()
+    }
+
+    unsafe fn execute(&self, range: Range<u64>) {
+        self.trip(range.start);
+        // SAFETY: forwarded under the caller's exclusivity guarantee.
+        unsafe { self.inner.execute(range) }
+    }
+
+    fn prefetch_iter(&self, i: u64) {
+        self.inner.prefetch_iter(i)
+    }
+
+    fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
+        self.inner.pack_iter(i, buf)
+    }
+
+    unsafe fn execute_packed(&self, range: Range<u64>, buf: &[u8]) {
+        self.trip(range.start);
+        // SAFETY: forwarded under the caller's exclusivity guarantee.
+        unsafe { self.inner.execute_packed(range, buf) }
+    }
+
+    /// Injected panics fire strictly before the inner body (see module
+    /// docs); this promise is void if the *inner* kernel panics mid-body
+    /// on its own.
+    fn panics_before_mutation(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::UnsafeCell;
+    use std::time::Instant;
+
+    struct Counter(UnsafeCell<Vec<u64>>);
+    // SAFETY: mutation only via `execute` under the trait's exclusivity
+    // contract (single-threaded in these tests).
+    unsafe impl Sync for Counter {}
+    impl RealKernel for Counter {
+        fn iters(&self) -> u64 {
+            // SAFETY: length read; execute never resizes.
+            unsafe { (*self.0.get()).len() as u64 }
+        }
+        unsafe fn execute(&self, range: Range<u64>) {
+            // SAFETY: exclusive per contract.
+            let v = unsafe { &mut *self.0.get() };
+            for i in range {
+                v[i as usize] += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn faults_fire_once_per_chunk() {
+        let plan = FaultPlan::new(10).inject(1, FaultKind::Panic);
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 40])), plan);
+        // First touch of chunk 1 panics...
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: single-threaded.
+            unsafe { k.execute(10..20) }
+        }));
+        assert!(r.is_err());
+        assert_eq!(k.fired(), vec![1]);
+        // ...and the retry (the salvage path) runs clean, exactly once.
+        // SAFETY: single-threaded.
+        unsafe { k.execute(10..20) };
+        let counts = k.into_inner().0.into_inner();
+        assert!(counts[10..20].iter().all(|&c| c == 1), "{counts:?}");
+        assert!(counts[..10].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn unplanned_chunks_run_untouched() {
+        let plan = FaultPlan::new(10).inject(3, FaultKind::Panic);
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 40])), plan);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..10) };
+        assert!(k.fired().is_empty());
+        assert_eq!(k.iters(), 40);
+    }
+
+    #[test]
+    fn stall_sleeps_then_executes() {
+        let plan = FaultPlan::new(10).inject(0, FaultKind::Stall(Duration::from_millis(30)));
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 10])), plan);
+        let t0 = Instant::now();
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..10) };
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert!(k.into_inner().0.into_inner().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn thread_targeting_maps_to_round_robin_ownership() {
+        // Thread 2 of 3 executes chunks 2, 5, 8, ...
+        assert_eq!(FaultPlan::chunk_owned_by(2, 0, 3), 2);
+        assert_eq!(FaultPlan::chunk_owned_by(2, 1, 3), 5);
+        let plan = FaultPlan::new(4).inject(5, FaultKind::Panic);
+        assert_eq!(plan.len(), 1);
+        assert!(!plan.is_empty());
+    }
+}

@@ -63,12 +63,19 @@ impl SpecProgram {
         for spec in &workload.loops {
             Self::validate_loop(spec);
         }
-        SpecProgram { workload, arena: UnsafeCell::new(arena) }
+        SpecProgram {
+            workload,
+            arena: UnsafeCell::new(arena),
+        }
     }
 
     fn validate_loop(spec: &LoopSpec) {
-        let written: HashSet<ArrayId> =
-            spec.refs.iter().filter(|r| r.mode.writes()).map(|r| r.array).collect();
+        let written: HashSet<ArrayId> = spec
+            .refs
+            .iter()
+            .filter(|r| r.mode.writes())
+            .map(|r| r.array)
+            .collect();
         let mut width = None;
         for r in &spec.refs {
             match width {
@@ -110,7 +117,10 @@ impl SpecProgram {
 
     /// A kernel for loop `idx`, runnable by [`crate::runner::run_cascaded`].
     pub fn kernel(&self, idx: usize) -> SpecKernel<'_> {
-        SpecKernel { prog: self, spec: &self.workload.loops[idx] }
+        SpecKernel {
+            prog: self,
+            spec: &self.workload.loops[idx],
+        }
     }
 
     /// Number of loops.
@@ -142,6 +152,23 @@ impl SpecProgram {
     }
 }
 
+/// Decode the next `N`-byte operand at offset `cur` of the packed buffer,
+/// reporting underrun with offset/length context instead of a bare slice
+/// or `try_into` panic — a corrupted or truncated packed buffer then says
+/// exactly *where* it ran dry.
+fn take_bytes<const N: usize>(buf: &[u8], cur: usize) -> [u8; N] {
+    match buf
+        .get(cur..cur + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+    {
+        Some(bytes) => bytes,
+        None => panic!(
+            "packed buffer underrun: need {N} bytes at offset {cur}, buffer holds {} bytes",
+            buf.len()
+        ),
+    }
+}
+
 /// One loop of a [`SpecProgram`], as a [`RealKernel`].
 pub struct SpecKernel<'p> {
     prog: &'p SpecProgram,
@@ -166,7 +193,11 @@ impl<'p> SpecKernel<'p> {
     unsafe fn elem_index(&self, pattern: &Pattern, i: u64) -> u64 {
         match *pattern {
             Pattern::Affine { base, stride } => (base + stride * i as i64) as u64,
-            Pattern::Indirect { index, ibase, istride } => {
+            Pattern::Indirect {
+                index,
+                ibase,
+                istride,
+            } => {
                 let pos = (ibase + istride * i as i64) as u64;
                 let addr = self.prog.workload.space.addr(index, pos);
                 // SAFETY: in-bounds (space layout) and never written by
@@ -292,7 +323,12 @@ impl<'p> RealKernel for SpecKernel<'p> {
     fn prefetch_iter(&self, i: u64) {
         let base = self.prog.base() as *const u8;
         for r in &self.spec.refs {
-            if let Pattern::Indirect { index, ibase, istride } = r.pattern {
+            if let Pattern::Indirect {
+                index,
+                ibase,
+                istride,
+            } = r.pattern
+            {
                 let pos = (ibase + istride * i as i64) as u64;
                 let iaddr = self.prog.workload.space.addr(index, pos);
                 prefetch_range(base.wrapping_add(iaddr as usize), 4);
@@ -321,7 +357,12 @@ impl<'p> RealKernel for SpecKernel<'p> {
                     }
                 }
                 Mode::Write | Mode::Modify => {
-                    if let Pattern::Indirect { index, ibase, istride } = r.pattern {
+                    if let Pattern::Indirect {
+                        index,
+                        ibase,
+                        istride,
+                    } = r.pattern
+                    {
                         let pos = (ibase + istride * i as i64) as u64;
                         // SAFETY: index arrays are never written (validated).
                         let v = unsafe { self.load_u32(index, pos) };
@@ -345,18 +386,18 @@ impl<'p> RealKernel for SpecKernel<'p> {
                 match r.mode {
                     Mode::Read => {
                         if f64_loop {
-                            let v = f64::from_le_bytes(buf[cur..cur + 8].try_into().unwrap());
+                            let v = f64::from_le_bytes(take_bytes::<8>(buf, cur));
                             cur += 8;
                             acc_f = acc_f * 0.5 + v;
                         } else {
-                            let v = u32::from_le_bytes(buf[cur..cur + 4].try_into().unwrap());
+                            let v = u32::from_le_bytes(take_bytes::<4>(buf, cur));
                             cur += 4;
                             acc_u = acc_u.wrapping_mul(2_654_435_761).wrapping_add(v);
                         }
                     }
                     Mode::Write | Mode::Modify => {
                         if matches!(r.pattern, Pattern::Indirect { .. }) {
-                            let v = u32::from_le_bytes(buf[cur..cur + 4].try_into().unwrap());
+                            let v = u32::from_le_bytes(take_bytes::<4>(buf, cur));
                             cur += 4;
                             idx_cursor.push(v as u64);
                         }
@@ -439,7 +480,11 @@ mod tests {
                 StreamRef {
                     name: "rho(ij(i))",
                     array: rho,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
                     mode: Mode::Modify,
                     bytes: 8,
                     hoistable: false,
@@ -449,7 +494,11 @@ mod tests {
             hoistable_compute: 0.0,
             hoist_result_bytes: 0,
         };
-        let w = Workload { space, index, loops: vec![spec] };
+        let w = Workload {
+            space,
+            index,
+            loops: vec![spec],
+        };
         let mut arena = Arena::new(&w.space);
         for i in 0..n {
             arena.set_f64(&w.space, pq, i, (i % 13) as f64 * 0.125 + 0.25);
@@ -464,7 +513,12 @@ mod tests {
         let k = prog.kernel(0);
         run_cascaded(
             &k,
-            &RunnerConfig { nthreads: threads, iters_per_chunk: 257, policy, poll_batch: 16 },
+            &RunnerConfig {
+                nthreads: threads,
+                iters_per_chunk: 257,
+                policy,
+                poll_batch: 16,
+            },
         );
         prog.checksum()
     }
@@ -513,6 +567,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "packed buffer underrun")]
+    fn truncated_packed_buffer_reports_underrun_with_context() {
+        let (w, arena) = scatter_workload(64);
+        let prog = SpecProgram::new(w, arena);
+        let k = prog.kernel(0);
+        let mut buf = Vec::new();
+        for i in 0..4 {
+            assert!(k.pack_iter(i, &mut buf));
+        }
+        buf.truncate(buf.len() - 3); // corrupt: last operand is short
+                                     // SAFETY: single-threaded.
+        unsafe { k.execute_packed(0..4, &buf) };
+    }
+
+    #[test]
     fn prefetch_iter_is_pure() {
         let (w, arena) = scatter_workload(1024);
         let mut prog = SpecProgram::new(w, arena);
@@ -544,7 +613,10 @@ mod tests {
                 StreamRef {
                     name: "a(i+32)",
                     array: a,
-                    pattern: Pattern::Affine { base: 32, stride: 1 },
+                    pattern: Pattern::Affine {
+                        base: 32,
+                        stride: 1,
+                    },
                     mode: Mode::Write,
                     bytes: 8,
                     hoistable: false,
@@ -554,7 +626,11 @@ mod tests {
             hoistable_compute: 0.0,
             hoist_result_bytes: 0,
         };
-        let w = Workload { space, index: IndexStore::new(), loops: vec![spec] };
+        let w = Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![spec],
+        };
         let arena = Arena::new(&w.space);
         SpecProgram::new(w, arena);
     }
@@ -590,7 +666,11 @@ mod tests {
             hoistable_compute: 0.0,
             hoist_result_bytes: 0,
         };
-        let w = Workload { space, index: IndexStore::new(), loops: vec![spec] };
+        let w = Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![spec],
+        };
         let arena = Arena::new(&w.space);
         SpecProgram::new(w, arena);
     }

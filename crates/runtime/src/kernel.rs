@@ -52,6 +52,17 @@ pub trait RealKernel: Sync {
         // SAFETY: forwarded under the caller's own exclusivity guarantee.
         unsafe { self.execute(range) }
     }
+
+    /// Whether any panic raised by `execute` / `execute_packed` is
+    /// guaranteed to happen *before* the call mutates shared state
+    /// (fail-stop panics). The runner's salvage path re-executes an
+    /// interrupted chunk from its start, which is only bitwise-sound under
+    /// this promise — kernels that cannot make it keep the conservative
+    /// default and salvage is refused after a mid-body panic (see
+    /// `docs/ROBUSTNESS.md`).
+    fn panics_before_mutation(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

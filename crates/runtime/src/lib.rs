@@ -29,16 +29,33 @@
 //! assert_eq!(stats.chunks, 16);
 //! ```
 
+//! ## Fault tolerance
+//!
+//! The runtime also has a failure model (described in
+//! `docs/ROBUSTNESS.md`): bounded token waits with a progress watchdog,
+//! token poisoning with structured diagnostics, typed errors via
+//! [`try_run_cascaded`] / [`try_run_cascaded_sequence`], deterministic
+//! fault injection ([`FaultyKernel`]), and a graceful sequential fallback
+//! that salvages a faulted run into a bitwise-correct result.
+
 #![warn(missing_docs)]
 
+pub mod barrier;
+pub mod fault;
 pub mod interp;
 pub mod kernel;
 pub mod prefetch;
 pub mod runner;
 pub mod token;
 
+pub use barrier::{BarrierOutcome, FtBarrier};
+pub use fault::{FaultKind, FaultPlan, FaultyKernel};
 pub use interp::{SpecKernel, SpecProgram};
 pub use kernel::RealKernel;
 pub use prefetch::{prefetch_line, prefetch_range, PREFETCH_STRIDE};
-pub use runner::{run_cascaded, run_cascaded_sequence, run_sequential, RtPolicy, RunStats, RunnerConfig, ThreadStats};
-pub use token::Token;
+pub use runner::{
+    run_cascaded, run_cascaded_sequence, run_sequential, try_run_cascaded,
+    try_run_cascaded_sequence, FaultEvent, RtPolicy, RunError, RunStats, RunnerConfig, ThreadStats,
+    Tolerance,
+};
+pub use token::{PoisonCause, Token, WaitOutcome, POISONED};

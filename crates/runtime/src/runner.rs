@@ -7,13 +7,41 @@
 //! modification at batch granularity. On token arrival it executes its
 //! chunk (packed prefix first, original body for any unpacked remainder)
 //! and releases the token to the next chunk.
+//!
+//! ## Fault tolerance
+//!
+//! The fallible entry points [`try_run_cascaded`] /
+//! [`try_run_cascaded_sequence`] accept a [`Tolerance`] and return a typed
+//! [`RunError`] instead of panicking (see `docs/ROBUSTNESS.md`):
+//!
+//! * every worker catches its own panics per chunk and poisons the token
+//!   with a [`PoisonCause::Panicked`] diagnostic (thread, chunk, message);
+//! * with a watchdog window set, waiters use bounded token waits and
+//!   declare a stall — poisoning the token with [`PoisonCause::Stalled`] —
+//!   when the token does not move for a whole window;
+//! * token hand-off is a compare-and-swap ([`Token::try_release`]), so a
+//!   worker the watchdog declared dead can finish late ([`
+//!   FaultEvent::LateCompletion`]) but can never resurrect a poisoned
+//!   token;
+//! * with salvage enabled, after every worker has joined (join gives both
+//!   exclusivity and the happens-before edge) the calling thread finishes
+//!   the remaining iteration range sequentially, producing a bitwise
+//!   sequential-identical result flagged [`RunStats::degraded`].
+//!
+//! The original panicking entry points remain as thin shims over the
+//! fallible ones with a default (non-salvaging) [`Tolerance`].
 
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cascade_core::ChunkPlan;
 
+use crate::barrier::{BarrierOutcome, FtBarrier};
 use crate::kernel::RealKernel;
-use crate::token::Token;
+use crate::token::{PoisonCause, Token, WaitOutcome};
 
 /// Helper policy of the real-thread runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +92,118 @@ impl Default for RunnerConfig {
     }
 }
 
+/// Fault-tolerance policy of a run, separate from [`RunnerConfig`] so the
+/// performance knobs stay orthogonal to the failure-handling ones.
+#[derive(Debug, Clone, Default)]
+pub struct Tolerance {
+    /// Progress-watchdog window: when set, a waiter that sees no token
+    /// movement at all for a whole window declares a stall and poisons the
+    /// token. `None` (the default) waits unboundedly, like the original
+    /// runtime. Note the watchdog is waiter-driven: a single-thread
+    /// cascade has no waiters and therefore no stall detection (it cannot
+    /// deadlock on the token either — it always holds it).
+    pub watchdog: Option<Duration>,
+    /// After a fault, finish the remaining iteration range sequentially on
+    /// the calling thread (bitwise-identical result, `degraded` stats)
+    /// instead of returning the error. Salvage is refused — the error is
+    /// returned — when a chunk body was interrupted mid-flight and the
+    /// kernel does not promise fail-stop panics
+    /// ([`RealKernel::panics_before_mutation`]), because re-running a
+    /// half-applied chunk could double-apply writes.
+    pub salvage: bool,
+}
+
+impl Tolerance {
+    /// Watchdog plus salvage: detect stalls within `window` and fall back
+    /// to sequential execution on any fault.
+    pub fn resilient(window: Duration) -> Self {
+        Tolerance {
+            watchdog: Some(window),
+            salvage: true,
+        }
+    }
+}
+
+/// A typed failure of a cascaded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The configuration or kernel set is unusable (zero threads, empty
+    /// chunks, zero poll batch, empty kernel...).
+    InvalidConfig(String),
+    /// A worker panicked; the diagnostic names the thread and chunk.
+    WorkerPanicked {
+        /// Worker thread index (0-based).
+        thread: u64,
+        /// Chunk the worker owned (or was about to own).
+        chunk: u64,
+    },
+    /// The progress watchdog declared a stall: no token movement for a
+    /// whole window.
+    Stalled {
+        /// The chunk the token was stuck on.
+        chunk: u64,
+        /// How long the waiter watched the token not move.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::InvalidConfig(msg) => write!(f, "invalid cascade configuration: {msg}"),
+            RunError::WorkerPanicked { thread, chunk } => {
+                write!(f, "worker thread {thread} panicked on chunk {chunk}")
+            }
+            RunError::Stalled { chunk, waited } => {
+                write!(
+                    f,
+                    "cascade stalled on chunk {chunk} ({waited:?} without progress)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Something abnormal that happened during a run, in observation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A worker panicked (caught; the token was poisoned with the cause).
+    WorkerPanicked {
+        /// Worker thread index.
+        thread: u64,
+        /// Chunk it owned or was about to own.
+        chunk: u64,
+        /// Stringified panic payload.
+        message: String,
+    },
+    /// A waiter declared a stall after a full watchdog window without any
+    /// token movement.
+    StallDeclared {
+        /// The chunk the token was stuck on.
+        chunk: u64,
+        /// The window the waiter watched.
+        waited: Duration,
+    },
+    /// A worker declared dead finished its chunk after the poisoning; the
+    /// chunk still executed exactly once (the CAS hand-off refused its
+    /// release, so the poison stands).
+    LateCompletion {
+        /// The late worker.
+        thread: u64,
+        /// The chunk it completed late.
+        chunk: u64,
+    },
+    /// The calling thread finished the remaining range sequentially.
+    Salvaged {
+        /// First chunk the salvage re-ran (all earlier chunks completed).
+        from_chunk: u64,
+        /// Iterations executed by the salvage.
+        iters: u64,
+    },
+}
+
 /// Per-thread execution statistics.
 #[derive(Debug, Default, Clone)]
 pub struct ThreadStats {
@@ -84,7 +224,8 @@ pub struct ThreadStats {
 /// Whole-run statistics.
 #[derive(Debug, Clone)]
 pub struct RunStats {
-    /// Wall-clock duration of the cascaded loop.
+    /// Wall-clock duration of the cascaded loop (for a degraded run, of
+    /// the sequential salvage that completed it).
     pub elapsed: Duration,
     /// Total chunks executed.
     pub chunks: u64,
@@ -92,6 +233,11 @@ pub struct RunStats {
     pub iters: u64,
     /// Per-thread breakdown.
     pub threads: Vec<ThreadStats>,
+    /// Whether the run survived a fault by falling back to sequential
+    /// execution (the result is still bitwise sequential-identical).
+    pub degraded: bool,
+    /// Abnormal events observed during the run, in order.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl RunStats {
@@ -113,129 +259,457 @@ pub fn run_sequential<K: RealKernel>(kernel: &K) -> Duration {
     start.elapsed()
 }
 
-/// Execute `kernel` under cascaded execution with `cfg`.
+fn validate(cfg: &RunnerConfig) -> Result<(), RunError> {
+    if cfg.nthreads < 1 {
+        return Err(RunError::InvalidConfig("need at least one thread".into()));
+    }
+    if cfg.iters_per_chunk < 1 {
+        return Err(RunError::InvalidConfig("chunks must be non-empty".into()));
+    }
+    if cfg.poll_batch < 1 {
+        return Err(RunError::InvalidConfig(
+            "poll batch must be positive".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn run_error_from(cause: &PoisonCause) -> RunError {
+    match cause {
+        PoisonCause::Panicked { thread, chunk, .. } => RunError::WorkerPanicked {
+            thread: *thread,
+            chunk: *chunk,
+        },
+        PoisonCause::Stalled { chunk, waited } => RunError::Stalled {
+            chunk: *chunk,
+            waited: *waited,
+        },
+        // Unreachable for tokens this module creates, but kept total.
+        PoisonCause::Unspecified => RunError::WorkerPanicked {
+            thread: 0,
+            chunk: 0,
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared fault-handling state of one cascaded loop run.
+#[derive(Default)]
+struct FtRun {
+    token: Token,
+    /// `fetch_max(j + 1)` after chunk `j`'s body: chunks `0..completed`
+    /// executed exactly once. Token serialization completes chunks in
+    /// order, so this is the exact salvage resume point.
+    completed: AtomicU64,
+    faults: Mutex<Vec<FaultEvent>>,
+    /// Set when a chunk body was interrupted mid-flight by a kernel that
+    /// makes no fail-stop promise — re-running it could double-apply
+    /// writes, so salvage must be refused.
+    salvage_unsound: AtomicBool,
+}
+
+impl FtRun {
+    fn record(&self, ev: FaultEvent) {
+        self.faults.lock().unwrap().push(ev);
+    }
+
+    fn take_faults(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut *self.faults.lock().unwrap())
+    }
+
+    /// A worker panicked at (or on the way to) `chunk`: record and poison.
+    fn fail(&self, thread: u64, chunk: u64, payload: Box<dyn std::any::Any + Send>) {
+        let message = panic_message(payload.as_ref());
+        self.record(FaultEvent::WorkerPanicked {
+            thread,
+            chunk,
+            message: message.clone(),
+        });
+        self.token.poison_with(PoisonCause::Panicked {
+            thread,
+            chunk,
+            message,
+        });
+    }
+}
+
+/// Execute `kernel` under cascaded execution with `cfg` (panicking shim;
+/// prefer [`try_run_cascaded`]).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration, an empty kernel, or a worker fault
+/// — with the [`RunError`] display as the message.
 pub fn run_cascaded<K: RealKernel>(kernel: &K, cfg: &RunnerConfig) -> RunStats {
-    assert!(cfg.nthreads >= 1, "need at least one thread");
-    assert!(cfg.iters_per_chunk >= 1, "chunks must be non-empty");
-    assert!(cfg.poll_batch >= 1, "poll batch must be positive");
+    match try_run_cascaded(kernel, cfg, &Tolerance::default()) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Execute `kernel` under cascaded execution with `cfg`, handling faults
+/// per `tol` and returning a typed [`RunError`] instead of panicking.
+pub fn try_run_cascaded<K: RealKernel>(
+    kernel: &K,
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+) -> Result<RunStats, RunError> {
+    validate(cfg)?;
     let iters = kernel.iters();
-    assert!(iters > 0, "empty kernel");
+    if iters == 0 {
+        return Err(RunError::InvalidConfig("empty kernel".into()));
+    }
     let plan = ChunkPlan::by_iterations(iters, cfg.iters_per_chunk);
     let m = plan.num_chunks();
-    let token = Token::new();
+    let run = FtRun::default();
 
     let start = Instant::now();
     let threads: Vec<ThreadStats> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
-                let plan = &plan;
-                let token = &token;
-                s.spawn(move || {
-                    // A panicking kernel must not leave the other workers
-                    // spinning on a token that will never advance: poison
-                    // it, then let the panic propagate through join().
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        worker(kernel, cfg, plan, token, t as u64)
-                    }));
-                    match result {
-                        Ok(stats) => stats,
-                        Err(payload) => {
-                            token.poison();
-                            std::panic::resume_unwind(payload);
-                        }
-                    }
-                })
+                let (plan, run) = (&plan, &run);
+                s.spawn(move || ft_worker(kernel, cfg, tol, plan, run, t as u64))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // Workers catch their own panics and report through the token, so
+        // join only fails if the panic machinery itself misbehaved.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
     });
     let elapsed = start.elapsed();
-    debug_assert_eq!(token.current(), m, "token must end one past the last chunk");
+    let mut faults = run.take_faults();
 
-    RunStats { elapsed, chunks: m, iters, threads }
+    let Some(cause) = run.token.poison_cause() else {
+        debug_assert_eq!(
+            run.token.current(),
+            m,
+            "token must end one past the last chunk"
+        );
+        return Ok(RunStats {
+            elapsed,
+            chunks: m,
+            iters,
+            threads,
+            degraded: false,
+            faults,
+        });
+    };
+
+    // --- degraded path: a worker panicked or the cascade stalled ---
+    let err = run_error_from(&cause);
+    if !tol.salvage || run.salvage_unsound.load(Ordering::Acquire) {
+        return Err(err);
+    }
+    let done = run.completed.load(Ordering::Acquire);
+    if done < m {
+        let resume = plan.range(done).start;
+        // SAFETY: every worker has joined, so this thread has exclusive
+        // access and all completed chunks' writes happen-before it.
+        let salvage = catch_unwind(AssertUnwindSafe(|| unsafe {
+            kernel.execute(resume..iters)
+        }));
+        if salvage.is_err() {
+            // The kernel fails even sequentially: report the original fault.
+            return Err(err);
+        }
+        faults.push(FaultEvent::Salvaged {
+            from_chunk: done,
+            iters: iters - resume,
+        });
+    }
+    Ok(RunStats {
+        elapsed: start.elapsed(),
+        chunks: m,
+        iters,
+        threads,
+        degraded: true,
+        faults,
+    })
 }
 
 /// Execute a whole loop *sequence* (e.g. PARMVR's fifteen loops) under
-/// cascaded execution with one persistent pool of worker threads, instead
-/// of spawning threads per loop. Loops are separated by a barrier — the
-/// analogue of the application code between unparallelized loops — which
-/// both orders the loops (helpers for loop `i+1` must not read operands
-/// loop `i` is still writing) and provides the happens-before edge between
-/// them. Returns one [`RunStats`] per kernel, in order.
+/// cascaded execution with one persistent pool of worker threads
+/// (panicking shim; prefer [`try_run_cascaded_sequence`]).
+///
+/// # Panics
+///
+/// Panics on an invalid configuration, an empty kernel sequence, or a
+/// worker fault — with the [`RunError`] display as the message.
 pub fn run_cascaded_sequence<K: RealKernel>(kernels: &[K], cfg: &RunnerConfig) -> Vec<RunStats> {
-    assert!(cfg.nthreads >= 1, "need at least one thread");
-    assert!(!kernels.is_empty(), "empty kernel sequence");
+    match try_run_cascaded_sequence(kernels, cfg, &Tolerance::default()) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Execute a loop sequence under cascaded execution with one persistent
+/// pool of worker threads, handling faults per `tol`. Loops are separated
+/// by a poisonable barrier ([`FtBarrier`]) — the analogue of the
+/// application code between unparallelized loops — which both orders the
+/// loops (helpers for loop `i+1` must not read operands loop `i` is still
+/// writing) and provides the happens-before edge between them. A fault in
+/// loop `l` poisons the tokens of loops `l..` and the barrier, so the pool
+/// drains promptly; with salvage enabled the calling thread then finishes
+/// loop `l` from its last completed chunk and runs every later loop
+/// sequentially. Returns one [`RunStats`] per kernel, in order.
+pub fn try_run_cascaded_sequence<K: RealKernel>(
+    kernels: &[K],
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+) -> Result<Vec<RunStats>, RunError> {
+    validate(cfg)?;
+    if kernels.is_empty() {
+        return Err(RunError::InvalidConfig("empty kernel sequence".into()));
+    }
+    for k in kernels {
+        if k.iters() == 0 {
+            return Err(RunError::InvalidConfig("empty kernel".into()));
+        }
+    }
     let plans: Vec<ChunkPlan> = kernels
         .iter()
-        .map(|k| {
-            assert!(k.iters() > 0, "empty kernel");
-            ChunkPlan::by_iterations(k.iters(), cfg.iters_per_chunk)
-        })
+        .map(|k| ChunkPlan::by_iterations(k.iters(), cfg.iters_per_chunk))
         .collect();
-    let tokens: Vec<Token> = kernels.iter().map(|_| Token::new()).collect();
-    let barrier = std::sync::Barrier::new(cfg.nthreads);
-    let loop_starts: Vec<std::sync::Mutex<Option<Instant>>> =
-        kernels.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    let loop_ends: Vec<std::sync::Mutex<Option<Instant>>> =
-        kernels.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let runs: Vec<FtRun> = kernels.iter().map(|_| FtRun::default()).collect();
+    let barrier = FtBarrier::new(cfg.nthreads);
+    let loop_starts: Vec<Mutex<Option<Instant>>> =
+        kernels.iter().map(|_| Mutex::new(None)).collect();
+    let loop_ends: Vec<Mutex<Option<Instant>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
 
-    // per_thread[t][l] = stats of thread t on loop l.
+    // per_thread[t][l] = stats of thread t on loop l (may stop short when
+    // a fault drained the pool).
     let per_thread: Vec<Vec<ThreadStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
-                let (plans, tokens, barrier) = (&plans, &tokens, &barrier);
+                let (plans, runs, barrier) = (&plans, &runs, &barrier);
                 let (loop_starts, loop_ends) = (&loop_starts, &loop_ends);
                 s.spawn(move || {
                     let mut all = Vec::with_capacity(kernels.len());
-                    for (l, kernel) in kernels.iter().enumerate() {
-                        if barrier.wait().is_leader() {
-                            *loop_starts[l].lock().unwrap() = Some(Instant::now());
-                        }
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            worker(kernel, cfg, &plans[l], &tokens[l], t as u64)
-                        }));
-                        match result {
-                            Ok(stats) => all.push(stats),
-                            Err(payload) => {
-                                // Poison this and all later tokens so no
-                                // worker blocks on a loop that will never
-                                // be reached, then propagate.
-                                for tok in &tokens[l..] {
-                                    tok.poison();
-                                }
-                                std::panic::resume_unwind(payload);
+                    'seq: for (l, kernel) in kernels.iter().enumerate() {
+                        match barrier.wait() {
+                            BarrierOutcome::Poisoned => break 'seq,
+                            out if out.is_leader() => {
+                                *loop_starts[l].lock().unwrap() = Some(Instant::now());
                             }
+                            _ => {}
                         }
-                        if barrier.wait().is_leader() {
-                            *loop_ends[l].lock().unwrap() = Some(Instant::now());
+                        all.push(ft_worker(kernel, cfg, tol, &plans[l], &runs[l], t as u64));
+                        if let Some(cause) = runs[l].token.poison_cause() {
+                            // Propagate the fault: no worker may block on a
+                            // loop that will never start, and the poisoned
+                            // barrier wakes everyone already waiting.
+                            for later in &runs[l + 1..] {
+                                later.token.poison_with(cause.clone());
+                            }
+                            barrier.poison();
+                            break 'seq;
+                        }
+                        match barrier.wait() {
+                            BarrierOutcome::Poisoned => break 'seq,
+                            out if out.is_leader() => {
+                                *loop_ends[l].lock().unwrap() = Some(Instant::now());
+                            }
+                            _ => {}
                         }
                     }
                     all
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_default())
+            .collect()
     });
 
-    (0..kernels.len())
-        .map(|l| {
-            let start = loop_starts[l].lock().unwrap().expect("leader stamped start");
-            let end = loop_ends[l].lock().unwrap().expect("leader stamped end");
-            RunStats {
-                elapsed: end.duration_since(start),
-                chunks: plans[l].num_chunks(),
-                iters: kernels[l].iters(),
-                threads: per_thread.iter().map(|tv| tv[l].clone()).collect(),
+    let thread_stats_for = |l: usize| -> Vec<ThreadStats> {
+        per_thread
+            .iter()
+            .map(|tv| tv.get(l).cloned().unwrap_or_default())
+            .collect()
+    };
+    let healthy_stats = |l: usize| -> RunStats {
+        let start = loop_starts[l]
+            .lock()
+            .unwrap()
+            .expect("leader stamped start");
+        let end = loop_ends[l].lock().unwrap().expect("leader stamped end");
+        RunStats {
+            elapsed: end.duration_since(start),
+            chunks: plans[l].num_chunks(),
+            iters: kernels[l].iters(),
+            threads: thread_stats_for(l),
+            degraded: false,
+            faults: runs[l].take_faults(),
+        }
+    };
+
+    let Some(l0) = runs.iter().position(|r| r.token.poison_cause().is_some()) else {
+        return Ok((0..kernels.len()).map(healthy_stats).collect());
+    };
+
+    // --- degraded path ---
+    let cause = runs[l0]
+        .token
+        .poison_cause()
+        .expect("position found a cause");
+    let err = run_error_from(&cause);
+    if !tol.salvage
+        || runs
+            .iter()
+            .any(|r| r.salvage_unsound.load(Ordering::Acquire))
+    {
+        return Err(err);
+    }
+    let mut out: Vec<RunStats> = (0..l0).map(healthy_stats).collect();
+    // Finish loop l0 from its last completed chunk, then run every later
+    // loop start-to-end, all sequentially on this thread. Every worker has
+    // joined, so exclusivity and happens-before hold.
+    for l in l0..kernels.len() {
+        let mut faults = runs[l].take_faults();
+        let m = plans[l].num_chunks();
+        let iters = kernels[l].iters();
+        let done = runs[l].completed.load(Ordering::Acquire);
+        let resume = if done < m {
+            plans[l].range(done).start
+        } else {
+            iters
+        };
+        let t0 = Instant::now();
+        if resume < iters {
+            // SAFETY: all workers joined; single-threaded remainder.
+            let salvage = catch_unwind(AssertUnwindSafe(|| unsafe {
+                kernels[l].execute(resume..iters)
+            }));
+            if salvage.is_err() {
+                return Err(err);
             }
-        })
-        .collect()
+            faults.push(FaultEvent::Salvaged {
+                from_chunk: done,
+                iters: iters - resume,
+            });
+        }
+        out.push(RunStats {
+            elapsed: t0.elapsed(),
+            chunks: m,
+            iters,
+            threads: thread_stats_for(l),
+            degraded: true,
+            faults,
+        });
+    }
+    Ok(out)
 }
 
-fn worker<K: RealKernel>(
+/// Helper work for chunk `j` (covering `range`): prefetch or pack until
+/// the token arrives or the range is exhausted. Returns
+/// `(packed_iters, helped_iters)`.
+fn helper_phase<K: RealKernel>(
     kernel: &K,
     cfg: &RunnerConfig,
-    plan: &ChunkPlan,
     token: &Token,
+    j: u64,
+    range: &Range<u64>,
+    buf: &mut Vec<u8>,
+) -> (u64, u64) {
+    let mut packed_iters = 0u64;
+    let mut helped_iters = 0u64;
+    match cfg.policy {
+        RtPolicy::None => {}
+        RtPolicy::Prefetch => {
+            let mut i = range.start;
+            while !token.is_granted(j) && i < range.end {
+                let batch_end = (i + cfg.poll_batch).min(range.end);
+                for ii in i..batch_end {
+                    kernel.prefetch_iter(ii);
+                }
+                helped_iters += batch_end - i;
+                i = batch_end;
+            }
+        }
+        RtPolicy::Restructure => {
+            buf.clear();
+            let mut i = range.start;
+            let mut supported = true;
+            while supported && !token.is_granted(j) && i < range.end {
+                let batch_end = (i + cfg.poll_batch).min(range.end);
+                for ii in i..batch_end {
+                    if !kernel.pack_iter(ii, buf) {
+                        supported = false;
+                        break;
+                    }
+                    packed_iters += 1;
+                }
+                i = range.start + packed_iters;
+                if !supported {
+                    // Kernel cannot pack: degrade to nothing packed.
+                    buf.clear();
+                    packed_iters = 0;
+                }
+            }
+            helped_iters = packed_iters;
+        }
+    }
+    (packed_iters, helped_iters)
+}
+
+/// Wait for chunk `j`. `true` = granted, `false` = token poisoned. With a
+/// watchdog window, the waiter re-arms its deadline every time the token
+/// moves; a full window with no movement at all declares a stall.
+fn wait_watchdog(run: &FtRun, j: u64, tol: &Tolerance) -> bool {
+    let Some(window) = tol.watchdog else {
+        return matches!(
+            run.token.wait_for_deadline(j, None),
+            WaitOutcome::Granted { .. }
+        );
+    };
+    loop {
+        let observed = run.token.current();
+        match run
+            .token
+            .wait_for_deadline(j, Some(Instant::now() + window))
+        {
+            WaitOutcome::Granted { .. } => return true,
+            WaitOutcome::Poisoned(_) => return false,
+            WaitOutcome::TimedOut { waited } => {
+                if run.token.current() == observed {
+                    // Nobody moved the token for a whole window: its holder
+                    // is dead or stalled beyond tolerance. First poisoner
+                    // wins; it alone records the event.
+                    if run.token.poison_with(PoisonCause::Stalled {
+                        chunk: observed,
+                        waited,
+                    }) {
+                        run.record(FaultEvent::StallDeclared {
+                            chunk: observed,
+                            waited,
+                        });
+                    }
+                    return false;
+                }
+                // The cascade is advancing, just not to us yet: re-arm.
+            }
+        }
+    }
+}
+
+fn ft_worker<K: RealKernel>(
+    kernel: &K,
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+    plan: &ChunkPlan,
+    run: &FtRun,
     t: u64,
 ) -> ThreadStats {
     let mut stats = ThreadStats::default();
@@ -249,75 +723,73 @@ fn worker<K: RealKernel>(
 
         // --- helper phase (with jump-out at poll_batch granularity) ---
         let helper_start = Instant::now();
-        let mut packed_iters = 0u64;
-        let mut helped_iters = 0u64;
-        match cfg.policy {
-            RtPolicy::None => {}
-            RtPolicy::Prefetch => {
-                let mut i = range.start;
-                while !token.is_granted(j) && i < range.end {
-                    let batch_end = (i + cfg.poll_batch).min(range.end);
-                    for ii in i..batch_end {
-                        kernel.prefetch_iter(ii);
-                    }
-                    helped_iters += batch_end - i;
-                    i = batch_end;
-                }
+        let helper = catch_unwind(AssertUnwindSafe(|| {
+            helper_phase(kernel, cfg, &run.token, j, &range, &mut buf)
+        }));
+        let (packed_iters, helped_iters) = match helper {
+            Ok(counts) => counts,
+            Err(payload) => {
+                // Helpers never touch loop-written state, so the chunk body
+                // is untouched; salvage stays sound.
+                run.fail(t, j, payload);
+                return stats;
             }
-            RtPolicy::Restructure => {
-                buf.clear();
-                let mut i = range.start;
-                let mut supported = true;
-                while supported && !token.is_granted(j) && i < range.end {
-                    let batch_end = (i + cfg.poll_batch).min(range.end);
-                    for ii in i..batch_end {
-                        if !kernel.pack_iter(ii, &mut buf) {
-                            supported = false;
-                            break;
-                        }
-                        packed_iters += 1;
-                    }
-                    i = range.start + packed_iters;
-                    if !supported {
-                        // Kernel cannot pack: degrade to nothing packed.
-                        buf.clear();
-                        packed_iters = 0;
-                    }
-                }
-                helped_iters = packed_iters;
-            }
-        }
+        };
         stats.helper_ns += helper_start.elapsed().as_nanos();
         stats.helper_iters += helped_iters;
         if helped_iters >= range_len && !matches!(cfg.policy, RtPolicy::None) {
             stats.helper_complete += 1;
         }
 
-        // --- wait for the token (jump-out means we may arrive early) ---
+        // --- wait for the token (bounded when a watchdog is configured) ---
         let spin_start = Instant::now();
-        token.wait_for(j);
+        let granted = wait_watchdog(run, j, tol);
         stats.spin_ns += spin_start.elapsed().as_nanos();
+        if !granted {
+            return stats; // poisoned: the supervisor handles recovery
+        }
 
         // --- execution phase ---
         let exec_start = Instant::now();
-        let packed_end = range.start + packed_iters;
-        // SAFETY: we hold the token for chunk j: the protocol serializes
-        // all execute calls and release_to/wait_for form Release/Acquire
-        // edges making prior chunks' writes visible.
-        unsafe {
-            if packed_iters > 0 {
-                kernel.execute_packed(range.start..packed_end, &buf);
-                if packed_end < range.end {
-                    kernel.execute(packed_end..range.end);
+        let exec = catch_unwind(AssertUnwindSafe(|| {
+            let packed_end = range.start + packed_iters;
+            // SAFETY: we hold the token for chunk j: the protocol
+            // serializes all execute calls and release_to/wait_for form
+            // Release/Acquire edges making prior chunks' writes visible.
+            unsafe {
+                if packed_iters > 0 {
+                    kernel.execute_packed(range.start..packed_end, &buf);
+                    if packed_end < range.end {
+                        kernel.execute(packed_end..range.end);
+                    }
+                } else {
+                    kernel.execute(range.clone());
                 }
-            } else {
-                kernel.execute(range.clone());
             }
+        }));
+        if let Err(payload) = exec {
+            // The chunk body was interrupted. Unless the kernel promises
+            // fail-stop panics, part of the chunk's writes may have landed
+            // and re-running it could double-apply them.
+            if !kernel.panics_before_mutation() {
+                run.salvage_unsound.store(true, Ordering::Release);
+            }
+            run.fail(t, j, payload);
+            return stats;
         }
         stats.exec_ns += exec_start.elapsed().as_nanos();
         stats.chunks += 1;
+        run.completed.fetch_max(j + 1, Ordering::AcqRel);
 
-        token.release_to(j + 1);
+        if !run.token.try_release(j, j + 1) {
+            // Poisoned while we executed (the watchdog declared us dead).
+            // The chunk still completed exactly once — record and drain.
+            run.record(FaultEvent::LateCompletion {
+                thread: t,
+                chunk: j,
+            });
+            return stats;
+        }
         j += step;
     }
     stats
@@ -326,8 +798,8 @@ fn worker<K: RealKernel>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyKernel};
     use std::cell::UnsafeCell;
-    use std::ops::Range;
 
     /// prefix-sum-style kernel: order-sensitive across the whole loop.
     struct Chain {
@@ -338,7 +810,9 @@ mod tests {
     unsafe impl Sync for Chain {}
     impl Chain {
         fn new(n: usize) -> Self {
-            Chain { data: UnsafeCell::new((0..n).map(|i| (i % 97) as f64 * 0.25 + 0.1).collect()) }
+            Chain {
+                data: UnsafeCell::new((0..n).map(|i| (i % 97) as f64 * 0.25 + 0.1).collect()),
+            }
         }
         fn into_data(self) -> Vec<f64> {
             self.data.into_inner()
@@ -382,6 +856,8 @@ mod tests {
             };
             let stats = run_cascaded(&k, &cfg);
             assert_eq!(stats.chunks, (n as u64 - 1).div_ceil(700));
+            assert!(!stats.degraded);
+            assert!(stats.faults.is_empty());
             let got = k.into_data();
             assert_eq!(got, expected, "threads={threads}");
         }
@@ -442,5 +918,166 @@ mod tests {
     fn empty_kernel_is_rejected() {
         let k = Chain::new(1); // iters() == 0
         run_cascaded(&k, &RunnerConfig::default());
+    }
+
+    #[test]
+    fn try_run_reports_invalid_config_instead_of_panicking() {
+        let k = Chain::new(100);
+        for bad in [
+            RunnerConfig {
+                nthreads: 0,
+                ..RunnerConfig::default()
+            },
+            RunnerConfig {
+                iters_per_chunk: 0,
+                ..RunnerConfig::default()
+            },
+            RunnerConfig {
+                poll_batch: 0,
+                ..RunnerConfig::default()
+            },
+        ] {
+            match try_run_cascaded(&k, &bad, &Tolerance::default()) {
+                Err(RunError::InvalidConfig(_)) => {}
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_salvaged_bitwise() {
+        let n = 6_000;
+        let expected = seq_result(n);
+        for threads in [1usize, 2, 3] {
+            let plan = FaultPlan::new(100).inject(7, FaultKind::Panic);
+            let k = FaultyKernel::new(Chain::new(n), plan);
+            let cfg = RunnerConfig {
+                nthreads: threads,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            };
+            let stats =
+                try_run_cascaded(&k, &cfg, &Tolerance::resilient(Duration::from_millis(50)))
+                    .expect("salvage must recover");
+            assert!(stats.degraded, "threads={threads}");
+            assert!(
+                stats
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f, FaultEvent::WorkerPanicked { chunk: 7, .. })),
+                "missing panic event: {:?}",
+                stats.faults
+            );
+            assert!(stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::Salvaged { from_chunk: 7, .. })));
+            assert_eq!(k.into_inner().into_data(), expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_body_panic_refuses_salvage() {
+        // Chain makes no fail-stop promise, so a panic that may have
+        // landed partial writes must yield an error, not a wrong answer.
+        struct Exploding(Chain);
+        // SAFETY: same serialization argument as Chain.
+        unsafe impl Sync for Exploding {}
+        impl RealKernel for Exploding {
+            fn iters(&self) -> u64 {
+                self.0.iters()
+            }
+            unsafe fn execute(&self, range: Range<u64>) {
+                if range.contains(&500) {
+                    panic!("exploded mid-body");
+                }
+                // SAFETY: forwarded contract.
+                unsafe { self.0.execute(range) }
+            }
+        }
+        let k = Exploding(Chain::new(4_000));
+        let cfg = RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        match try_run_cascaded(&k, &cfg, &Tolerance::resilient(Duration::from_millis(50))) {
+            Err(RunError::WorkerPanicked { chunk: 5, .. }) => {}
+            other => panic!("expected WorkerPanicked on chunk 5, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stall_is_declared_and_salvaged_bitwise() {
+        let n = 4_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(6, FaultKind::Stall(Duration::from_millis(120)));
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::resilient(Duration::from_millis(20)))
+            .expect("stall must salvage");
+        assert!(stats.degraded);
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::StallDeclared { chunk: 6, .. })),
+            "missing stall event: {:?}",
+            stats.faults
+        );
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::LateCompletion { chunk: 6, .. })),
+            "the stalled worker still completes its chunk: {:?}",
+            stats.faults
+        );
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn slowdown_below_watchdog_window_stays_clean() {
+        let n = 4_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(200).inject(3, FaultKind::Slowdown(Duration::from_millis(2)));
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 200,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::resilient(Duration::from_millis(500)))
+            .expect("a slowdown is not a fault");
+        assert!(!stats.degraded);
+        assert!(stats.faults.is_empty());
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn panic_without_salvage_is_a_typed_error() {
+        let plan = FaultPlan::new(100).inject(4, FaultKind::Panic);
+        let k = FaultyKernel::new(Chain::new(3_000), plan);
+        let cfg = RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        match try_run_cascaded(&k, &cfg, &Tolerance::default()) {
+            Err(RunError::WorkerPanicked {
+                thread: 0,
+                chunk: 4,
+            }) => {}
+            other => panic!("expected WorkerPanicked thread 0 chunk 4, got {other:?}"),
+        }
     }
 }

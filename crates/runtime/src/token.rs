@@ -8,19 +8,110 @@
 //! with `Acquire` loads. The Release/Acquire pair is what makes the data
 //! written by chunk `j` visible to chunk `j+1` — it is the entire
 //! correctness argument for mutating shared arrays from rotating threads.
+//!
+//! ## Failure model
+//!
+//! The token is also the runtime's failure-propagation channel (see
+//! `docs/ROBUSTNESS.md`). A token can be **poisoned** — set to a reserved
+//! counter value no real chunk index reaches — carrying a structured
+//! [`PoisonCause`] diagnostic (who poisoned it, at which chunk, why).
+//! Waits come in two flavours: the classic unbounded [`Token::wait_for`]
+//! (panics on poison), and the bounded [`Token::wait_for_deadline`] that
+//! returns a [`WaitOutcome`] so callers can implement watchdogs instead of
+//! spinning forever behind a dead token holder.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use crossbeam::utils::CachePadded;
+/// Pads and aligns a value to 128 bytes (two x86-64 prefetch-pair lines)
+/// so the token never false-shares a cache line with neighbouring state.
+/// Local replacement for `crossbeam::utils::CachePadded` — the offline
+/// build vendors no external crates.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct CachePadded<T>(pub(crate) T);
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Why a token was poisoned: the diagnostic behind [`POISONED`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoisonCause {
+    /// A worker panicked while the cascade was running.
+    Panicked {
+        /// Worker thread index (0-based) that panicked.
+        thread: u64,
+        /// Chunk the worker owned (or was about to own) when it panicked.
+        chunk: u64,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+    /// The progress watchdog saw no token movement for its whole window.
+    Stalled {
+        /// The chunk the token was stuck on.
+        chunk: u64,
+        /// How long the token sat on that chunk before poisoning.
+        waited: Duration,
+    },
+    /// Poisoned via the legacy diagnostic-free [`Token::poison`].
+    Unspecified,
+}
+
+impl std::fmt::Display for PoisonCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoisonCause::Panicked {
+                thread,
+                chunk,
+                message,
+            } => {
+                write!(
+                    f,
+                    "worker thread {thread} panicked on chunk {chunk}: {message}"
+                )
+            }
+            PoisonCause::Stalled { chunk, waited } => {
+                write!(
+                    f,
+                    "no progress on chunk {chunk} for {waited:?} (stall declared)"
+                )
+            }
+            PoisonCause::Unspecified => write!(f, "poisoned without diagnostic"),
+        }
+    }
+}
+
+/// Result of a bounded wait ([`Token::wait_for_deadline`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The chunk was granted; carries the spin count (contention metric).
+    Granted {
+        /// Spin iterations before the grant was observed.
+        spins: u64,
+    },
+    /// The token was poisoned; carries the diagnostic.
+    Poisoned(PoisonCause),
+    /// The deadline passed without grant or poison.
+    TimedOut {
+        /// Time actually spent waiting.
+        waited: Duration,
+    },
+}
 
 /// A cascaded-execution token: the index of the chunk allowed to execute.
 #[derive(Debug, Default)]
 pub struct Token {
     counter: CachePadded<AtomicU64>,
+    cause: Mutex<Option<PoisonCause>>,
 }
 
-/// Counter value marking a poisoned token (a worker panicked while
-/// holding it). No real chunk index can reach this value.
+/// Counter value marking a poisoned token (a worker panicked or stalled
+/// while holding it). No real chunk index can reach this value.
 pub const POISONED: u64 = u64::MAX;
 
 impl Token {
@@ -29,18 +120,50 @@ impl Token {
         Token::default()
     }
 
-    /// Mark the token poisoned: every current and future waiter panics
-    /// instead of spinning forever. Called by the runner when a worker
-    /// panics mid-chunk, so the panic propagates instead of deadlocking
-    /// the remaining workers.
+    /// Mark the token poisoned: every current and future waiter panics (or
+    /// observes [`WaitOutcome::Poisoned`]) instead of spinning forever.
+    /// Called when a worker panics mid-chunk, so the failure propagates
+    /// instead of deadlocking the remaining workers.
     pub fn poison(&self) {
+        self.poison_with(PoisonCause::Unspecified);
+    }
+
+    /// Poison with a diagnostic. The first cause wins; later callers (for
+    /// instance several waiters declaring the same stall concurrently)
+    /// keep the original diagnostic. Returns `true` when `cause` was the
+    /// one installed — lets the winning caller alone record a fault event.
+    pub fn poison_with(&self, cause: PoisonCause) -> bool {
+        let installed = {
+            let mut slot = self.cause.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(cause);
+                true
+            } else {
+                false
+            }
+        };
         self.counter.store(POISONED, Ordering::Release);
+        installed
     }
 
     /// Has the token been poisoned?
     #[inline]
     pub fn is_poisoned(&self) -> bool {
         self.counter.load(Ordering::Acquire) == POISONED
+    }
+
+    /// The poison diagnostic, if the token is poisoned.
+    pub fn poison_cause(&self) -> Option<PoisonCause> {
+        if !self.is_poisoned() {
+            return None;
+        }
+        Some(
+            self.cause
+                .lock()
+                .unwrap()
+                .clone()
+                .unwrap_or(PoisonCause::Unspecified),
+        )
     }
 
     /// The chunk currently licensed to execute (Acquire: pairs with
@@ -61,25 +184,50 @@ impl Token {
     ///
     /// # Panics
     ///
-    /// Panics if the token is poisoned (another worker panicked while
-    /// holding it) — spinning forever would deadlock the pool.
+    /// Panics if the token is poisoned (another worker panicked or was
+    /// declared stalled) — spinning forever would deadlock the pool.
     pub fn wait_for(&self, chunk: u64) -> u64 {
+        match self.wait_for_deadline(chunk, None) {
+            WaitOutcome::Granted { spins } => spins,
+            WaitOutcome::Poisoned(cause) => {
+                panic!("cascade token poisoned: {cause}")
+            }
+            WaitOutcome::TimedOut { .. } => unreachable!("no deadline given"),
+        }
+    }
+
+    /// Spin until `chunk` is granted, the token is poisoned, or `deadline`
+    /// (when given) passes — the bounded wait underlying the runtime's
+    /// progress watchdog. Never panics.
+    pub fn wait_for_deadline(&self, chunk: u64, deadline: Option<Instant>) -> WaitOutcome {
         debug_assert_ne!(chunk, POISONED, "reserved chunk index");
+        let started = deadline.map(|_| Instant::now());
         let mut spins = 0u64;
         loop {
             let cur = self.current();
             if cur == chunk {
-                return spins;
+                return WaitOutcome::Granted { spins };
             }
             if cur == POISONED {
-                panic!("cascade token poisoned: another worker panicked");
+                return WaitOutcome::Poisoned(
+                    self.poison_cause().unwrap_or(PoisonCause::Unspecified),
+                );
             }
             std::hint::spin_loop();
             spins += 1;
             // On oversubscribed hosts (for instance this crate's tests on a
             // single-CPU machine) pure spinning would starve the token
-            // holder; yield periodically.
+            // holder; yield periodically. The deadline is also only
+            // checked here: Instant::now() per spin would dominate.
             if spins.is_multiple_of(1024) {
+                if let (Some(deadline), Some(started)) = (deadline, started) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return WaitOutcome::TimedOut {
+                            waited: now.duration_since(started),
+                        };
+                    }
+                }
                 std::thread::yield_now();
             }
         }
@@ -90,6 +238,17 @@ impl Token {
     #[inline]
     pub fn release_to(&self, next: u64) {
         self.counter.store(next, Ordering::Release);
+    }
+
+    /// Pass control from `held` to `next` only if the token still grants
+    /// `held` — fails (returning `false`) when the token was poisoned in
+    /// the meantime, so a worker declared dead by the watchdog can never
+    /// resurrect the token by overwriting [`POISONED`] with a plain store.
+    #[inline]
+    pub fn try_release(&self, held: u64, next: u64) -> bool {
+        self.counter
+            .compare_exchange(held, next, Ordering::Release, Ordering::Acquire)
+            .is_ok()
     }
 }
 
@@ -119,6 +278,52 @@ mod tests {
     }
 
     #[test]
+    fn bounded_wait_times_out() {
+        let t = Token::new();
+        let deadline = Instant::now() + Duration::from_millis(20);
+        match t.wait_for_deadline(5, Some(deadline)) {
+            WaitOutcome::TimedOut { waited } => {
+                assert!(
+                    waited >= Duration::from_millis(20),
+                    "returned early: {waited:?}"
+                )
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_wait_reports_poison_cause() {
+        let t = Token::new();
+        t.poison_with(PoisonCause::Stalled {
+            chunk: 3,
+            waited: Duration::from_millis(7),
+        });
+        match t.wait_for_deadline(5, None) {
+            WaitOutcome::Poisoned(PoisonCause::Stalled { chunk: 3, .. }) => {}
+            other => panic!("expected stall diagnostic, got {other:?}"),
+        }
+        // First cause wins.
+        t.poison_with(PoisonCause::Unspecified);
+        assert!(matches!(
+            t.poison_cause(),
+            Some(PoisonCause::Stalled { .. })
+        ));
+    }
+
+    #[test]
+    fn try_release_refuses_poisoned_token() {
+        let t = Token::new();
+        assert!(t.try_release(0, 1));
+        t.poison();
+        assert!(
+            !t.try_release(1, 2),
+            "CAS release must not resurrect a poisoned token"
+        );
+        assert!(t.is_poisoned());
+    }
+
+    #[test]
     fn token_serializes_two_threads() {
         // Two threads alternate chunks 0..100; a shared (non-atomic would
         // be UB, so atomic relaxed) log must come out strictly ordered.
@@ -142,7 +347,11 @@ mod tests {
             }
         });
         for (i, entry) in log.iter().enumerate() {
-            assert_eq!(entry.load(Ordering::Relaxed), i, "chunks must execute in order");
+            assert_eq!(
+                entry.load(Ordering::Relaxed),
+                i,
+                "chunks must execute in order"
+            );
         }
     }
 

@@ -1,0 +1,225 @@
+//! Randomized chaos tests of the fault-tolerant runtime: inject panics,
+//! stalls, and slowdowns at random (thread, chunk) points across thread
+//! counts 1–4 and require that every run terminates and either salvages a
+//! bitwise sequential-identical result or returns a typed [`RunError`] —
+//! never a hang, never a silently wrong answer.
+
+use std::time::Duration;
+
+use cascade_rt::{
+    try_run_cascaded, try_run_cascaded_sequence, FaultKind, FaultPlan, FaultyKernel, RealKernel,
+    RtPolicy, RunError, RunnerConfig, SpecProgram, Tolerance,
+};
+use cascade_synth::{Synth, Variant};
+use cascade_wave5::{Parmvr, ParmvrParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 1 << 12;
+const CHUNK_ITERS: u64 = 64;
+const WATCHDOG: Duration = Duration::from_millis(25);
+const STALL: Duration = Duration::from_millis(80);
+
+fn sequential_checksum(variant: Variant) -> u64 {
+    let s = Synth::build(N, variant, 99);
+    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let k = prog.kernel(0);
+    // SAFETY: single-threaded.
+    unsafe { k.execute(0..k.iters()) };
+    prog.checksum()
+}
+
+fn random_plan(rng: &mut StdRng, num_chunks: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(CHUNK_ITERS);
+    for _ in 0..rng.gen_range(1..=3usize) {
+        let chunk = rng.gen_range(0..num_chunks);
+        let kind = match rng.gen_range(0..3u32) {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Stall(STALL),
+            _ => FaultKind::Slowdown(Duration::from_millis(rng.gen_range(1..4u64))),
+        };
+        plan = plan.inject(chunk, kind);
+    }
+    plan
+}
+
+/// The acceptance matrix: ≥20 randomized plans mixing panic / stall /
+/// slowdown over 1–4 threads. Every plan must terminate and either match
+/// the sequential checksum bitwise (salvaged or clean) or produce a typed
+/// error — and a typed error is only acceptable when salvage could not
+/// legitimately run (it can here, so errors are confined to plans whose
+/// salvage itself trips a not-yet-fired fault).
+#[test]
+fn randomized_fault_matrix_always_terminates_and_never_corrupts() {
+    let mut rng = StdRng::seed_from_u64(0xFA117);
+    let mut salvaged = 0u32;
+    let mut clean = 0u32;
+    let mut typed_errors = 0u32;
+    for case in 0..24u64 {
+        let variant = if case % 2 == 0 {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let expected = sequential_checksum(variant);
+        let nthreads = rng.gen_range(1..=4usize);
+        let policy = match rng.gen_range(0..3u32) {
+            0 => RtPolicy::None,
+            1 => RtPolicy::Prefetch,
+            _ => RtPolicy::Restructure,
+        };
+        let s = Synth::build(N, variant, 99);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
+        let plan = random_plan(&mut rng, num_chunks);
+        let cfg = RunnerConfig {
+            nthreads,
+            iters_per_chunk: CHUNK_ITERS,
+            policy,
+            poll_batch: 8,
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan.clone());
+        let result = try_run_cascaded(&faulty, &cfg, &Tolerance::resilient(WATCHDOG));
+        drop(faulty);
+        match result {
+            Ok(stats) => {
+                assert_eq!(
+                    prog.checksum(),
+                    expected,
+                    "case {case}: threads {nthreads}, plan {plan:?} — \
+                     run reported success but the result diverged"
+                );
+                if stats.degraded {
+                    salvaged += 1;
+                } else {
+                    clean += 1;
+                }
+            }
+            Err(RunError::WorkerPanicked { .. } | RunError::Stalled { .. }) => {
+                // Typed, diagnosed failure — acceptable, never silent.
+                typed_errors += 1;
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+    }
+    // The matrix must actually exercise the recovery machinery.
+    assert!(salvaged >= 5, "only {salvaged} salvaged runs of 24");
+    assert!(salvaged + clean + typed_errors == 24);
+}
+
+/// Fault targeted at a specific (thread, chunk) point via round-robin
+/// ownership: the reported error names that thread.
+#[test]
+fn typed_error_names_the_injected_thread_and_chunk() {
+    let nthreads = 3u64;
+    let target_chunk = FaultPlan::chunk_owned_by(2, 4, nthreads); // thread 2, 5th turn
+    let s = Synth::build(N, Variant::Dense, 99);
+    let prog = SpecProgram::new(s.workload, s.arena);
+    let plan = FaultPlan::new(CHUNK_ITERS).inject(target_chunk, FaultKind::Panic);
+    let faulty = FaultyKernel::new(prog.kernel(0), plan);
+    let cfg = RunnerConfig {
+        nthreads: nthreads as usize,
+        iters_per_chunk: CHUNK_ITERS,
+        policy: RtPolicy::None,
+        poll_batch: 8,
+    };
+    match try_run_cascaded(&faulty, &cfg, &Tolerance::default()) {
+        Err(RunError::WorkerPanicked { thread: 2, chunk }) => assert_eq!(chunk, target_chunk),
+        other => panic!("expected WorkerPanicked on thread 2, got {other:?}"),
+    }
+}
+
+/// A faulted loop mid-sequence: the persistent pool drains instead of
+/// hanging, and salvage finishes the faulted loop plus every later loop
+/// for a bitwise sequential-identical final state.
+#[test]
+fn sequence_salvages_across_loops_bitwise() {
+    let build = || {
+        let p = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 31,
+        });
+        SpecProgram::new(p.workload, p.arena)
+    };
+    let expected = {
+        let mut prog = build();
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+        }
+        prog.checksum()
+    };
+    let mut prog = build();
+    let faulted_loop = 6;
+    let kernels: Vec<_> = (0..prog.num_loops())
+        .map(|i| {
+            let mut plan = FaultPlan::new(CHUNK_ITERS);
+            if i == faulted_loop {
+                plan = plan.inject(3, FaultKind::Panic);
+            }
+            FaultyKernel::new(prog.kernel(i), plan)
+        })
+        .collect();
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: CHUNK_ITERS,
+        policy: RtPolicy::Restructure,
+        poll_batch: 8,
+    };
+    let stats = try_run_cascaded_sequence(&kernels, &cfg, &Tolerance::resilient(WATCHDOG))
+        .expect("sequence salvage must recover");
+    drop(kernels);
+    assert_eq!(stats.len(), 15);
+    for (l, s) in stats.iter().enumerate() {
+        assert_eq!(s.degraded, l >= faulted_loop, "loop {l}: degraded flag");
+    }
+    assert!(stats[faulted_loop]
+        .faults
+        .iter()
+        .any(|f| matches!(f, cascade_rt::FaultEvent::WorkerPanicked { chunk: 3, .. })));
+    assert_eq!(prog.checksum(), expected, "salvaged sequence diverged");
+}
+
+/// Stalls mid-sequence drain the pool via the watchdog and still converge
+/// to the sequential result.
+#[test]
+fn sequence_stall_is_salvaged_bitwise() {
+    let build = || {
+        let p = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 47,
+        });
+        SpecProgram::new(p.workload, p.arena)
+    };
+    let expected = {
+        let mut prog = build();
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+        }
+        prog.checksum()
+    };
+    let mut prog = build();
+    let kernels: Vec<_> = (0..prog.num_loops())
+        .map(|i| {
+            let mut plan = FaultPlan::new(CHUNK_ITERS);
+            if i == 2 {
+                plan = plan.inject(1, FaultKind::Stall(STALL));
+            }
+            FaultyKernel::new(prog.kernel(i), plan)
+        })
+        .collect();
+    let cfg = RunnerConfig {
+        nthreads: 2,
+        iters_per_chunk: CHUNK_ITERS,
+        policy: RtPolicy::None,
+        poll_batch: 8,
+    };
+    let stats = try_run_cascaded_sequence(&kernels, &cfg, &Tolerance::resilient(WATCHDOG))
+        .expect("stalled sequence must salvage");
+    drop(kernels);
+    assert!(stats[2].degraded);
+    assert_eq!(prog.checksum(), expected);
+}

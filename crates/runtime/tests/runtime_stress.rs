@@ -69,7 +69,12 @@ fn repeated_runs_on_fresh_programs_are_stable() {
     let first = synth_checksum_cascaded(
         n,
         Variant::Dense,
-        &RunnerConfig { nthreads: 4, iters_per_chunk: 97, policy: RtPolicy::Prefetch, poll_batch: 8 },
+        &RunnerConfig {
+            nthreads: 4,
+            iters_per_chunk: 97,
+            policy: RtPolicy::Prefetch,
+            poll_batch: 8,
+        },
     );
     for _ in 0..3 {
         let again = synth_checksum_cascaded(
@@ -91,7 +96,10 @@ fn sequencing_all_loops_twice_matches_two_sequential_calls() {
     // PARMVR is called repeatedly in wave5; run the 15-loop sequence twice
     // cascaded and compare with twice sequential.
     let build = || {
-        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 77 });
+        let p = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 77,
+        });
         SpecProgram::new(p.workload, p.arena)
     };
     let expected = {
@@ -129,7 +137,12 @@ fn stats_account_every_iteration_under_contention() {
     let k = prog.kernel(0);
     let stats = run_cascaded(
         &k,
-        &RunnerConfig { nthreads: 4, iters_per_chunk: 50, policy: RtPolicy::Restructure, poll_batch: 7 },
+        &RunnerConfig {
+            nthreads: 4,
+            iters_per_chunk: 50,
+            policy: RtPolicy::Restructure,
+            poll_batch: 7,
+        },
     );
     assert_eq!(stats.iters, n);
     assert_eq!(stats.chunks, n.div_ceil(50));
@@ -142,7 +155,10 @@ fn stats_account_every_iteration_under_contention() {
 fn persistent_pool_sequence_matches_per_loop_runs() {
     use cascade_rt::run_cascaded_sequence;
     let build = || {
-        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 21 });
+        let p = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 21,
+        });
         SpecProgram::new(p.workload, p.arena)
     };
     let cfg = RunnerConfig {
@@ -193,7 +209,10 @@ impl cascade_rt::RealKernel for PanickingKernel {
 fn a_panicking_kernel_propagates_instead_of_deadlocking() {
     // Without token poisoning the other workers would spin forever and
     // this test would hang; with it, the panic propagates promptly.
-    let k = PanickingKernel { panic_at: 500, n: 10_000 };
+    let k = PanickingKernel {
+        panic_at: 500,
+        n: 10_000,
+    };
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_cascaded(
             &k,
@@ -205,7 +224,10 @@ fn a_panicking_kernel_propagates_instead_of_deadlocking() {
             },
         )
     }));
-    assert!(result.is_err(), "the kernel panic must propagate to the caller");
+    assert!(
+        result.is_err(),
+        "the kernel panic must propagate to the caller"
+    );
 }
 
 #[test]
@@ -216,4 +238,80 @@ fn poisoned_token_panics_waiters() {
     assert!(t.is_poisoned());
     let r = std::panic::catch_unwind(|| t.wait_for(3));
     assert!(r.is_err(), "waiting on a poisoned token must panic");
+}
+
+/// A kernel panicking in loop `l` of a sequence must poison loops `l..`
+/// and unblock every worker: the call returns a typed error promptly with
+/// all three workers drained, instead of hanging at a barrier or token.
+#[test]
+fn sequence_panic_poisons_later_loops_and_unblocks_workers() {
+    use cascade_rt::{try_run_cascaded_sequence, RunError, Tolerance};
+    let kernels = [
+        PanickingKernel {
+            panic_at: u64::MAX,
+            n: 4_000,
+        }, // loop 0: healthy
+        PanickingKernel {
+            panic_at: 500,
+            n: 4_000,
+        }, // loop 1: dies on chunk 5
+        PanickingKernel {
+            panic_at: u64::MAX,
+            n: 4_000,
+        }, // loop 2: must never hang
+    ];
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: 100,
+        policy: RtPolicy::None,
+        poll_batch: 4,
+    };
+    match try_run_cascaded_sequence(&kernels, &cfg, &Tolerance::default()) {
+        Err(RunError::WorkerPanicked { chunk: 5, .. }) => {}
+        other => panic!("expected WorkerPanicked on chunk 5, got {other:?}"),
+    }
+    // The panicking shim keeps the legacy behavior: it panics.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cascade_rt::run_cascaded_sequence(&kernels, &cfg)
+    }));
+    assert!(r.is_err(), "the sequence shim must propagate the failure");
+}
+
+/// Regression: `run_cascaded_sequence` used to skip the configuration
+/// validation `run_cascaded` performs, so a zero `poll_batch` hung the
+/// helpers and a zero `iters_per_chunk` div-by-zeroed the chunk plan.
+#[test]
+#[should_panic(expected = "poll batch must be positive")]
+fn sequence_rejects_zero_poll_batch() {
+    let kernels = [PanickingKernel {
+        panic_at: u64::MAX,
+        n: 1_000,
+    }];
+    cascade_rt::run_cascaded_sequence(
+        &kernels,
+        &RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 100,
+            policy: RtPolicy::Restructure,
+            poll_batch: 0,
+        },
+    );
+}
+
+#[test]
+#[should_panic(expected = "chunks must be non-empty")]
+fn sequence_rejects_zero_chunk_iters() {
+    let kernels = [PanickingKernel {
+        panic_at: u64::MAX,
+        n: 1_000,
+    }];
+    cascade_rt::run_cascaded_sequence(
+        &kernels,
+        &RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 0,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        },
+    );
 }

@@ -93,7 +93,10 @@ impl Synth {
     /// in `seed`). `n` must be a multiple of 8 so dense and sparse variants
     /// cover the same arrays.
     pub fn build(n: u64, variant: Variant, seed: u64) -> Self {
-        assert!(n >= 8 && n.is_multiple_of(8), "n must be a positive multiple of 8");
+        assert!(
+            n >= 8 && n.is_multiple_of(8),
+            "n must be a positive multiple of 8"
+        );
         let k = variant.step() as i64;
         let mut space = AddressSpace::new();
         // Stagger the arrays so their base residues differ modulo every
@@ -137,7 +140,11 @@ impl Synth {
                 StreamRef {
                     name: "X(IJ(i))",
                     array: arrays.x,
-                    pattern: Pattern::Indirect { index: arrays.ij, ibase: 0, istride: k },
+                    pattern: Pattern::Indirect {
+                        index: arrays.ij,
+                        ibase: 0,
+                        istride: k,
+                    },
                     mode: Mode::Modify,
                     bytes: 4,
                     hoistable: false,
@@ -158,10 +165,20 @@ impl Synth {
                 arena.set_u32(&space, id, i, rng.gen_range(0..1_000_000));
             }
         }
-        let workload = Workload { space, index, loops: vec![spec] };
+        let workload = Workload {
+            space,
+            index,
+            loops: vec![spec],
+        };
         arena.install_indices(&workload.space, &workload.index);
         workload.validate();
-        Synth { workload, arena, arrays, variant, n }
+        Synth {
+            workload,
+            arena,
+            arrays,
+            variant,
+            n,
+        }
     }
 }
 

@@ -30,7 +30,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {
@@ -135,7 +137,10 @@ pub fn reuse_distances(refs: &[TraceRef], line: u64) -> ReuseProfile {
         fen.add(i, 1);
         last_pos.insert(l, i);
     }
-    ReuseProfile { distances, working_set_lines: last_pos.len() }
+    ReuseProfile {
+        distances,
+        working_set_lines: last_pos.len(),
+    }
 }
 
 /// Histogram of address deltas between consecutive accesses (stride
@@ -175,8 +180,7 @@ mod tests {
     #[test]
     fn cyclic_sweep_distance_equals_working_set() {
         // Touch lines 0..4 twice: each reuse sees the other 3 lines.
-        let refs: Vec<TraceRef> =
-            (0..8).map(|i| r((i % 4) * 32)).collect();
+        let refs: Vec<TraceRef> = (0..8).map(|i| r((i % 4) * 32)).collect();
         let p = reuse_distances(&refs, 32);
         assert_eq!(p.compulsory(), 4);
         assert!(p.distances[4..].iter().flatten().all(|&d| d == 3));
@@ -190,8 +194,7 @@ mod tests {
         // Cross-check against a brute-force LRU simulation for a random-
         // ish stream: predicted misses at capacity C must equal an
         // LRU-of-C simulation's misses.
-        let refs: Vec<TraceRef> =
-            (0..500u64).map(|i| r(((i * 7919) % 60) * 32)).collect();
+        let refs: Vec<TraceRef> = (0..500u64).map(|i| r(((i * 7919) % 60) * 32)).collect();
         let p = reuse_distances(&refs, 32);
         for cap in [1usize, 4, 16, 50, 64] {
             let mut lru: Vec<u64> = Vec::new();

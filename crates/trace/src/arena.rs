@@ -18,7 +18,9 @@ pub struct Arena {
 impl Arena {
     /// Allocate zeroed storage covering the whole space.
     pub fn new(space: &AddressSpace) -> Self {
-        Arena { bytes: vec![0u8; space.extent() as usize] }
+        Arena {
+            bytes: vec![0u8; space.extent() as usize],
+        }
     }
 
     /// Size in bytes.
@@ -137,7 +139,10 @@ mod tests {
         };
         let off = space.addr(a, 0) as usize;
         assert_eq!(off % 256, 0);
-        assert_eq!(f64::from_le_bytes(ar.bytes()[off..off + 8].try_into().unwrap()), 1.0);
+        assert_eq!(
+            f64::from_le_bytes(ar.bytes()[off..off + 8].try_into().unwrap()),
+            1.0
+        );
     }
 
     #[test]

@@ -37,7 +37,12 @@ impl ArrayDef {
     /// Byte address of element `i` (debug-asserted in range).
     #[inline]
     pub fn addr(&self, i: u64) -> u64 {
-        debug_assert!(i < self.len, "index {i} out of bounds for {} (len {})", self.name, self.len);
+        debug_assert!(
+            i < self.len,
+            "index {i} out of bounds for {} (len {})",
+            self.name,
+            self.len
+        );
         self.base + i * self.elem as u64
     }
 }
@@ -69,7 +74,12 @@ impl AddressSpace {
         assert!(elem > 0 && len > 0, "arrays must be non-empty");
         let base = (self.next + align - 1) & !(align - 1);
         let id = ArrayId(self.arrays.len() as u32);
-        self.arrays.push(ArrayDef { name: name.to_string(), base, elem, len });
+        self.arrays.push(ArrayDef {
+            name: name.to_string(),
+            base,
+            elem,
+            len,
+        });
         self.next = base + elem as u64 * len;
         id
     }
@@ -106,7 +116,10 @@ impl AddressSpace {
 
     /// Iterate over all arrays in allocation order.
     pub fn iter(&self) -> impl Iterator<Item = (ArrayId, &ArrayDef)> {
-        self.arrays.iter().enumerate().map(|(i, d)| (ArrayId(i as u32), d))
+        self.arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (ArrayId(i as u32), d))
     }
 }
 

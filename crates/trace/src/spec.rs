@@ -115,7 +115,11 @@ impl LoopSpec {
     /// simulators before running a spec.
     pub fn validate(&self) {
         assert!(self.iters > 0, "{}: empty loop", self.name);
-        assert!(!self.refs.is_empty(), "{}: loop touches no memory", self.name);
+        assert!(
+            !self.refs.is_empty(),
+            "{}: loop touches no memory",
+            self.name
+        );
         assert!(
             self.hoistable_compute <= self.compute,
             "{}: hoistable compute exceeds total compute",
@@ -176,9 +180,9 @@ impl LoopSpec {
                 // distance, capped at one line.
                 let width = r.bytes as u64;
                 let data = match r.pattern {
-                    Pattern::Affine { stride, .. } => {
-                        (stride.unsigned_abs() * width).min(line.max(width)).max(width.min(line))
-                    }
+                    Pattern::Affine { stride, .. } => (stride.unsigned_abs() * width)
+                        .min(line.max(width))
+                        .max(width.min(line)),
                     Pattern::Indirect { .. } => line.max(width),
                 };
                 let index = match r.pattern {
@@ -245,7 +249,9 @@ impl LoopSpec {
 
     /// True when any stream is indirect (gather/scatter).
     pub fn has_indirection(&self) -> bool {
-        self.refs.iter().any(|r| matches!(r.pattern, Pattern::Indirect { .. }))
+        self.refs
+            .iter()
+            .any(|r| matches!(r.pattern, Pattern::Indirect { .. }))
     }
 }
 
@@ -279,7 +285,11 @@ mod tests {
                 StreamRef {
                     name: "x(ij(i))",
                     array: x,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
                     mode: Mode::Modify,
                     bytes: 8,
                     hoistable: false,
@@ -340,7 +350,10 @@ mod tests {
     fn has_indirection_detects_gathers() {
         let spec = gather_scatter_spec();
         assert!(spec.has_indirection());
-        let affine_only = LoopSpec { refs: vec![spec.refs[0].clone()], ..spec };
+        let affine_only = LoopSpec {
+            refs: vec![spec.refs[0].clone()],
+            ..spec
+        };
         assert!(!affine_only.has_indirection());
     }
 }

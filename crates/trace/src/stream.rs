@@ -46,9 +46,16 @@ impl<'a> Resolver<'a> {
                 debug_assert!(idx >= 0, "negative element index {idx} at iteration {i}");
                 idx as u64
             }
-            Pattern::Indirect { index, ibase, istride } => {
+            Pattern::Indirect {
+                index,
+                ibase,
+                istride,
+            } => {
                 let ii = ibase + istride * i as i64;
-                debug_assert!(ii >= 0, "negative index-array position {ii} at iteration {i}");
+                debug_assert!(
+                    ii >= 0,
+                    "negative index-array position {ii} at iteration {i}"
+                );
                 self.index.get(index, ii as u64) as u64
             }
         }
@@ -60,9 +67,16 @@ impl<'a> Resolver<'a> {
     pub fn index_access(&self, r: &StreamRef, i: u64) -> Option<DataAccess> {
         match r.pattern {
             Pattern::Affine { .. } => None,
-            Pattern::Indirect { index, ibase, istride } => {
+            Pattern::Indirect {
+                index,
+                ibase,
+                istride,
+            } => {
                 let ii = ibase + istride * i as i64;
-                debug_assert!(ii >= 0, "negative index-array position {ii} at iteration {i}");
+                debug_assert!(
+                    ii >= 0,
+                    "negative index-array position {ii} at iteration {i}"
+                );
                 Some(DataAccess {
                     addr: self.space.addr(index, ii as u64),
                     bytes: INDEX_BYTES,
@@ -78,7 +92,11 @@ impl<'a> Resolver<'a> {
         DataAccess {
             addr: self.space.addr(r.array, elem),
             bytes: r.bytes,
-            class: if r.pattern.is_affine() { StreamClass::Affine } else { StreamClass::Indirect },
+            class: if r.pattern.is_affine() {
+                StreamClass::Affine
+            } else {
+                StreamClass::Indirect
+            },
         }
     }
 }
@@ -111,7 +129,11 @@ mod tests {
         let (s, idx) = setup();
         let r = Resolver::new(&s, &idx);
         let ij = crate::space::ArrayId(1);
-        let p = Pattern::Indirect { index: ij, ibase: 0, istride: 1 };
+        let p = Pattern::Indirect {
+            index: ij,
+            ibase: 0,
+            istride: 1,
+        };
         assert_eq!(r.elem_index(&p, 3), 21); // (3*7) % 100
     }
 
@@ -132,7 +154,11 @@ mod tests {
         let gather = StreamRef {
             name: "x(ij(i))",
             array: x,
-            pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
             mode: Mode::Read,
             bytes: 8,
             hoistable: false,
@@ -155,7 +181,11 @@ mod tests {
         let gather = StreamRef {
             name: "x(ij(i))",
             array: x,
-            pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
             mode: Mode::Modify,
             bytes: 8,
             hoistable: false,

@@ -39,7 +39,10 @@ impl std::fmt::Display for FormatError {
 impl std::error::Error for FormatError {}
 
 fn err(line: usize, message: impl Into<String>) -> FormatError {
-    FormatError { line, message: message.into() }
+    FormatError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Serialize a workload to the text format.
@@ -91,7 +94,11 @@ pub fn to_text(w: &Workload) -> String {
                     "ref {} mode={} bytes={} hoistable={} affine {} {}\n",
                     r.array.0, mode, r.bytes, r.hoistable as u8, base, stride
                 )),
-                Pattern::Indirect { index, ibase, istride } => out.push_str(&format!(
+                Pattern::Indirect {
+                    index,
+                    ibase,
+                    istride,
+                } => out.push_str(&format!(
                     "ref {} mode={} bytes={} hoistable={} indirect {} {} {}\n",
                     r.array.0, mode, r.bytes, r.hoistable as u8, index.0, ibase, istride
                 )),
@@ -108,7 +115,8 @@ fn kv<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, FormatError> 
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, line: usize, what: &str) -> Result<T, FormatError> {
-    s.parse().map_err(|_| err(line, format!("cannot parse {what} from '{s}'")))
+    s.parse()
+        .map_err(|_| err(line, format!("cannot parse {what} from '{s}'")))
 }
 
 /// Parse a workload from the text format.
@@ -134,7 +142,8 @@ pub fn from_text(text: &str) -> Result<Workload, FormatError> {
         match toks.next() {
             Some("array") => {
                 let name = toks.next().ok_or_else(|| err(line, "array needs a name"))?;
-                let elem: u32 = parse_num(kv(toks.next().unwrap_or(""), "elem", line)?, line, "elem")?;
+                let elem: u32 =
+                    parse_num(kv(toks.next().unwrap_or(""), "elem", line)?, line, "elem")?;
                 let len: u64 = parse_num(kv(toks.next().unwrap_or(""), "len", line)?, line, "len")?;
                 let align: u64 =
                     parse_num(kv(toks.next().unwrap_or(""), "align", line)?, line, "align")?;
@@ -142,15 +151,20 @@ pub fn from_text(text: &str) -> Result<Workload, FormatError> {
             }
             Some("index") => {
                 let ord: usize = parse_num(toks.next().unwrap_or(""), line, "array ordinal")?;
-                let id = *ids.get(ord).ok_or_else(|| err(line, "index array ordinal out of range"))?;
+                let id = *ids
+                    .get(ord)
+                    .ok_or_else(|| err(line, "index array ordinal out of range"))?;
                 let vals: Result<Vec<u32>, _> =
                     toks.map(|t| parse_num(t, line, "index value")).collect();
                 index.set(id, vals?);
             }
             Some("loop") => {
                 let iters: u64 = parse_num(toks.next().unwrap_or(""), line, "iters")?;
-                let compute: f64 =
-                    parse_num(kv(toks.next().unwrap_or(""), "compute", line)?, line, "compute")?;
+                let compute: f64 = parse_num(
+                    kv(toks.next().unwrap_or(""), "compute", line)?,
+                    line,
+                    "compute",
+                )?;
                 let hoistable: f64 = parse_num(
                     kv(toks.next().unwrap_or(""), "hoistable", line)?,
                     line,
@@ -177,9 +191,13 @@ pub fn from_text(text: &str) -> Result<Workload, FormatError> {
                 });
             }
             Some("ref") => {
-                let spec = loops.last_mut().ok_or_else(|| err(line, "ref before any loop"))?;
+                let spec = loops
+                    .last_mut()
+                    .ok_or_else(|| err(line, "ref before any loop"))?;
                 let ord: usize = parse_num(toks.next().unwrap_or(""), line, "array ordinal")?;
-                let array = *ids.get(ord).ok_or_else(|| err(line, "ref array ordinal out of range"))?;
+                let array = *ids
+                    .get(ord)
+                    .ok_or_else(|| err(line, "ref array ordinal out of range"))?;
                 let mode = match kv(toks.next().unwrap_or(""), "mode", line)? {
                     "r" => Mode::Read,
                     "w" => Mode::Write,
@@ -224,7 +242,11 @@ pub fn from_text(text: &str) -> Result<Workload, FormatError> {
             None => unreachable!("blank lines are skipped"),
         }
     }
-    let w = Workload { space, index, loops };
+    let w = Workload {
+        space,
+        index,
+        loops,
+    };
     if w.loops.is_empty() {
         return Err(err(0, "workload has no loops"));
     }
@@ -260,7 +282,11 @@ mod tests {
                 StreamRef {
                     name: "x(ij(i))",
                     array: x,
-                    pattern: Pattern::Indirect { index: ij, ibase: 0, istride: 1 },
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
                     mode: Mode::Modify,
                     bytes: 8,
                     hoistable: false,
@@ -270,7 +296,11 @@ mod tests {
             hoistable_compute: 2.0,
             hoist_result_bytes: 8,
         };
-        Workload { space, index, loops: vec![spec] }
+        Workload {
+            space,
+            index,
+            loops: vec![spec],
+        }
     }
 
     #[test]

@@ -56,7 +56,11 @@ mod tests {
             hoistable_compute: 0.0,
             hoist_result_bytes: 0,
         };
-        let w = Workload { space, index: IndexStore::new(), loops: vec![mk(100), mk(50)] };
+        let w = Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![mk(100), mk(50)],
+        };
         w.validate();
         assert_eq!(w.footprint(), 8 * 150);
     }

@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use cascade_trace::{Arena, ArrayId, AddressSpace, IndexStore};
+use cascade_trace::{AddressSpace, Arena, ArrayId, IndexStore};
 
 use crate::arrays::ParmvrArrays;
 
@@ -59,12 +59,7 @@ pub fn build_indices(a: &ParmvrArrays, seed: u64) -> IndexStore {
 /// Fill every floating-point array with deterministic values in (0, 1) and
 /// install the index contents, producing real backing storage for the
 /// runtime.
-pub fn build_arena(
-    space: &AddressSpace,
-    a: &ParmvrArrays,
-    index: &IndexStore,
-    seed: u64,
-) -> Arena {
+pub fn build_arena(space: &AddressSpace, a: &ParmvrArrays, index: &IndexStore, seed: u64) -> Arena {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x00f1_0a7d_a7a5_eed5);
     let mut arena = Arena::new(space);
     let f64_arrays: [ArrayId; 13] = [

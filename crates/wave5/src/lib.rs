@@ -39,7 +39,10 @@ pub struct ParmvrParams {
 
 impl Default for ParmvrParams {
     fn default() -> Self {
-        ParmvrParams { scale: 1.0, seed: 0x5EED_CA5C }
+        ParmvrParams {
+            scale: 1.0,
+            seed: 0x5EED_CA5C,
+        }
     }
 }
 
@@ -66,9 +69,18 @@ impl Parmvr {
         let index = data::build_indices(&arrays, params.seed);
         let arena = data::build_arena(&space, &arrays, &index, params.seed);
         let loops = loops::build_loops(&arrays);
-        let workload = Workload { space, index, loops };
+        let workload = Workload {
+            space,
+            index,
+            loops,
+        };
         workload.validate();
-        Parmvr { workload, arena, arrays, params }
+        Parmvr {
+            workload,
+            arena,
+            arrays,
+            params,
+        }
     }
 }
 
@@ -78,7 +90,10 @@ mod tests {
 
     #[test]
     fn build_produces_valid_workload() {
-        let p = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
+        let p = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 9,
+        });
         p.workload.validate();
         assert_eq!(p.workload.loops.len(), 15);
         assert_eq!(p.arena.len() as u64, p.workload.space.extent());
@@ -86,8 +101,14 @@ mod tests {
 
     #[test]
     fn build_is_deterministic() {
-        let a = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
-        let b = Parmvr::build(ParmvrParams { scale: 0.005, seed: 9 });
+        let a = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 9,
+        });
+        let b = Parmvr::build(ParmvrParams {
+            scale: 0.005,
+            seed: 9,
+        });
         assert_eq!(a.arena.checksum(), b.arena.checksum());
         assert_eq!(a.workload.space.extent(), b.workload.space.extent());
     }

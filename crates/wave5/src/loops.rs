@@ -22,19 +22,44 @@ fn rd(
     pattern: Pattern,
     hoistable: bool,
 ) -> StreamRef {
-    StreamRef { name, array, pattern, mode: Mode::Read, bytes: 8, hoistable }
+    StreamRef {
+        name,
+        array,
+        pattern,
+        mode: Mode::Read,
+        bytes: 8,
+        hoistable,
+    }
 }
 
 fn wr(name: &'static str, array: cascade_trace::ArrayId, pattern: Pattern) -> StreamRef {
-    StreamRef { name, array, pattern, mode: Mode::Write, bytes: 8, hoistable: false }
+    StreamRef {
+        name,
+        array,
+        pattern,
+        mode: Mode::Write,
+        bytes: 8,
+        hoistable: false,
+    }
 }
 
 fn rmw(name: &'static str, array: cascade_trace::ArrayId, pattern: Pattern) -> StreamRef {
-    StreamRef { name, array, pattern, mode: Mode::Modify, bytes: 8, hoistable: false }
+    StreamRef {
+        name,
+        array,
+        pattern,
+        mode: Mode::Modify,
+        bytes: 8,
+        hoistable: false,
+    }
 }
 
 fn gather(index: cascade_trace::ArrayId) -> Pattern {
-    Pattern::Indirect { index, ibase: 0, istride: 1 }
+    Pattern::Indirect {
+        index,
+        ibase: 0,
+        istride: 1,
+    }
 }
 
 /// Build all fifteen loops, in PARMVR order.
@@ -70,10 +95,7 @@ pub fn build_loops(a: &ParmvrArrays) -> Vec<LoopSpec> {
         LoopSpec {
             name: "L3 position push px(i)+=pvx(i)*dt".into(),
             iters: d.np,
-            refs: vec![
-                rd("pvx(i)", a.pvx, seq(), true),
-                rmw("px(i)", a.px, seq()),
-            ],
+            refs: vec![rd("pvx(i)", a.pvx, seq(), true), rmw("px(i)", a.px, seq())],
             compute: 60.0,
             hoistable_compute: 10.0,
             hoist_result_bytes: 8,
@@ -185,9 +207,19 @@ pub fn build_loops(a: &ParmvrArrays) -> Vec<LoopSpec> {
             name: "L12 strided sweep t1(i)=phi(8i)+f1(8i)*rho(8i)".into(),
             iters: d.nf / 8,
             refs: vec![
-                rd("phi(8i)", a.phi, Pattern::Affine { base: 0, stride: 8 }, true),
+                rd(
+                    "phi(8i)",
+                    a.phi,
+                    Pattern::Affine { base: 0, stride: 8 },
+                    true,
+                ),
                 rd("f1(8i)", a.f1, Pattern::Affine { base: 0, stride: 8 }, true),
-                rd("rho(8i)", a.rho, Pattern::Affine { base: 0, stride: 8 }, true),
+                rd(
+                    "rho(8i)",
+                    a.rho,
+                    Pattern::Affine { base: 0, stride: 8 },
+                    true,
+                ),
                 wr("t1(i)", a.t1, seq()),
             ],
             compute: 25.0,
@@ -198,10 +230,7 @@ pub fn build_loops(a: &ParmvrArrays) -> Vec<LoopSpec> {
         LoopSpec {
             name: "L13 huge triad b2(i)=b1(i)*s+b2(i)".into(),
             iters: d.nbig,
-            refs: vec![
-                rd("b1(i)", a.b1, seq(), true),
-                rmw("b2(i)", a.b2, seq()),
-            ],
+            refs: vec![rd("b1(i)", a.b1, seq(), true), rmw("b2(i)", a.b2, seq())],
             compute: 30.0,
             hoistable_compute: 5.0,
             hoist_result_bytes: 8,
@@ -210,10 +239,7 @@ pub fn build_loops(a: &ParmvrArrays) -> Vec<LoopSpec> {
         LoopSpec {
             name: "L14 small filter s2(i)=g(s1(i))".into(),
             iters: d.ns,
-            refs: vec![
-                rd("s1(i)", a.s1, seq(), true),
-                wr("s2(i)", a.s2, seq()),
-            ],
+            refs: vec![rd("s1(i)", a.s1, seq(), true), wr("s2(i)", a.s2, seq())],
             compute: 40.0,
             hoistable_compute: 10.0,
             hoist_result_bytes: 8,
@@ -274,9 +300,15 @@ mod tests {
     fn population_mix_matches_design() {
         let loops = loops_at(0.01);
         let gathers = loops.iter().filter(|l| l.has_indirection()).count();
-        assert!(gathers >= 5, "PIC movers are gather/scatter heavy: {gathers}");
+        assert!(
+            gathers >= 5,
+            "PIC movers are gather/scatter heavy: {gathers}"
+        );
         let hoistable = loops.iter().filter(|l| l.hoistable_compute > 0.0).count();
-        assert!(hoistable >= 10, "most loops have read-only-only work: {hoistable}");
+        assert!(
+            hoistable >= 10,
+            "most loops have read-only-only work: {hoistable}"
+        );
         // L4 must be the no-read-only loop (the slowdown candidate).
         assert_eq!(loops[3].packed_bytes_per_iter(true), 0);
     }

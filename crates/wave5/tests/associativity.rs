@@ -8,7 +8,10 @@ use cascade_mem::machines::{pentium_pro, r10000};
 use cascade_wave5::{Parmvr, ParmvrParams};
 
 fn parmvr() -> Parmvr {
-    Parmvr::build(ParmvrParams { scale: 0.05, seed: 8 })
+    Parmvr::build(ParmvrParams {
+        scale: 0.05,
+        seed: 8,
+    })
 }
 
 /// Index of a loop by its name prefix.
@@ -76,9 +79,18 @@ fn restructuring_eliminates_the_conflict_misses_prefetching_cannot() {
     let i9 = loop_idx(&p, "L9");
     let m = r10000();
     let base = run_sequential(&m, &p.workload, 1, true);
-    let mk = |policy| CascadeConfig { nprocs: 4, policy, calls: 1, ..CascadeConfig::default() };
+    let mk = |policy| CascadeConfig {
+        nprocs: 4,
+        policy,
+        calls: 1,
+        ..CascadeConfig::default()
+    };
     let pre = run_cascaded(&m, &p.workload, &mk(HelperPolicy::Prefetch));
-    let rst = run_cascaded(&m, &p.workload, &mk(HelperPolicy::Restructure { hoist: true }));
+    let rst = run_cascaded(
+        &m,
+        &p.workload,
+        &mk(HelperPolicy::Restructure { hoist: true }),
+    );
     let b = base.loops[i9].exec.l2_misses as f64;
     let pf = pre.loops[i9].exec.l2_misses as f64;
     let rs = rst.loops[i9].exec.l2_misses as f64;
@@ -100,9 +112,18 @@ fn l4_gains_nothing_from_restructuring() {
     let p = parmvr();
     let i4 = loop_idx(&p, "L4");
     let m = pentium_pro();
-    let mk = |policy| CascadeConfig { nprocs: 4, policy, calls: 1, ..CascadeConfig::default() };
+    let mk = |policy| CascadeConfig {
+        nprocs: 4,
+        policy,
+        calls: 1,
+        ..CascadeConfig::default()
+    };
     let pre = run_cascaded(&m, &p.workload, &mk(HelperPolicy::Prefetch));
-    let rst = run_cascaded(&m, &p.workload, &mk(HelperPolicy::Restructure { hoist: true }));
+    let rst = run_cascaded(
+        &m,
+        &p.workload,
+        &mk(HelperPolicy::Restructure { hoist: true }),
+    );
     let ratio = rst.loops[i4].cycles / pre.loops[i4].cycles;
     assert!(
         (0.95..=1.05).contains(&ratio),

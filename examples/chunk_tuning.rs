@@ -19,7 +19,10 @@ fn main() {
         Some("r10000") => machines::r10000(),
         _ => machines::pentium_pro(),
     };
-    let parmvr = Parmvr::build(ParmvrParams { scale: 0.25, seed: 3 });
+    let parmvr = Parmvr::build(ParmvrParams {
+        scale: 0.25,
+        seed: 3,
+    });
     // Isolate loop L1 (the field gather) for a clean single-loop picture.
     let mut workload = parmvr.workload.clone();
     workload.loops.truncate(1);
@@ -56,6 +59,9 @@ fn main() {
             100.0 * l.exec.l2_misses as f64 / base_l2 as f64,
         );
     }
-    println!("\nThe optimum sits well above the L1 size ({}KB): transfers are too costly for", machine.l1.size / 1024);
+    println!(
+        "\nThe optimum sits well above the L1 size ({}KB): transfers are too costly for",
+        machine.l1.size / 1024
+    );
     println!("tiny chunks, while huge chunks overflow the L2 and leave helpers unfinished.");
 }

@@ -13,9 +13,7 @@
 
 use cascaded_execution::synth::{Synth, Variant};
 use cascaded_execution::wave5::{Parmvr, ParmvrParams};
-use cascaded_execution::{
-    machines, run_sequential, run_unbounded, HelperPolicy, UnboundedConfig,
-};
+use cascaded_execution::{machines, run_sequential, run_unbounded, HelperPolicy, UnboundedConfig};
 
 fn main() {
     let scales = [1.0, 2.0, 4.0, 8.0, 16.0];
@@ -31,7 +29,10 @@ fn main() {
     println!(
         "{:<28} {}",
         "workload",
-        scales.iter().map(|s| format!("{:>7}", format!("x{s}"))).collect::<String>()
+        scales
+            .iter()
+            .map(|s| format!("{:>7}", format!("x{s}")))
+            .collect::<String>()
     );
 
     // The paper's synthetic loop, dense and sparse.
@@ -48,7 +49,10 @@ fn main() {
     }
 
     // The full PARMVR at reduced scale.
-    let parmvr = Parmvr::build(ParmvrParams { scale: 0.1, seed: 11 });
+    let parmvr = Parmvr::build(ParmvrParams {
+        scale: 0.1,
+        seed: 11,
+    });
     let mut cells = String::new();
     for &ms in &scales {
         let m = machines::future(&machines::pentium_pro(), ms);

@@ -15,7 +15,10 @@ use cascaded_execution::rt::{RtPolicy, RunnerConfig, SpecProgram};
 use cascaded_execution::{machines, run_cascaded, run_sequential, CascadeConfig, HelperPolicy};
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1 << 17);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 17);
     println!("kernel zoo at n = {n} elements\n");
     println!(
         "{:<18} {:>12} {:>9} {:>9} {:>9}   why it is sequential",

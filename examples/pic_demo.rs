@@ -8,9 +8,7 @@
 //! cargo run --release --example pic_demo -- [particles] [steps] [threads]
 //! ```
 
-use cascaded_execution::pic::{
-    estimate_period, Grid, MoverMode, Particles, PicConfig, Simulation,
-};
+use cascaded_execution::pic::{estimate_period, Grid, MoverMode, Particles, PicConfig, Simulation};
 use cascaded_execution::rt::RtPolicy;
 
 fn main() {
@@ -50,7 +48,10 @@ fn main() {
     }
     let e0 = diags[0].total();
     let e1 = diags[steps - 1].total();
-    println!("total energy {e0:.4e} -> {e1:.4e} ({:+.2}%)", 100.0 * (e1 - e0) / e0);
+    println!(
+        "total energy {e0:.4e} -> {e1:.4e} ({:+.2}%)",
+        100.0 * (e1 - e0) / e0
+    );
 
     // Cascaded mover.
     let mut casc = build(MoverMode::Cascaded {

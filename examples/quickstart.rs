@@ -32,7 +32,10 @@ fn build_workload(n: u64) -> (Workload, Arena) {
     let mut index = IndexStore::new();
     // A colliding map: the scatter-add order matters, so the loop cannot
     // be parallelized without changing its result.
-    index.set(cell, (0..n).map(|i| ((i * 2_654_435_761) % n) as u32).collect());
+    index.set(
+        cell,
+        (0..n).map(|i| ((i * 2_654_435_761) % n) as u32).collect(),
+    );
 
     let spec = LoopSpec {
         name: "hist(cell(i)) += weight(i)".into(),
@@ -49,7 +52,11 @@ fn build_workload(n: u64) -> (Workload, Arena) {
             StreamRef {
                 name: "hist(cell(i))",
                 array: hist,
-                pattern: Pattern::Indirect { index: cell, ibase: 0, istride: 1 },
+                pattern: Pattern::Indirect {
+                    index: cell,
+                    ibase: 0,
+                    istride: 1,
+                },
                 mode: Mode::Modify,
                 bytes: 8,
                 hoistable: false,
@@ -60,7 +67,11 @@ fn build_workload(n: u64) -> (Workload, Arena) {
         hoist_result_bytes: 8,
     };
 
-    let workload = Workload { space, index, loops: vec![spec] };
+    let workload = Workload {
+        space,
+        index,
+        loops: vec![spec],
+    };
     let mut arena = Arena::new(&workload.space);
     for i in 0..n {
         arena.set_f64(&workload.space, weight, i, (i % 17) as f64 * 0.25 + 0.5);
@@ -77,11 +88,18 @@ fn main() {
     println!("Simulated cascaded execution (4 processors, 64KB chunks):");
     for machine in [machines::pentium_pro(), machines::r10000()] {
         let baseline = run_sequential(&machine, &workload, 2, true);
-        for policy in [HelperPolicy::Prefetch, HelperPolicy::Restructure { hoist: true }] {
+        for policy in [
+            HelperPolicy::Prefetch,
+            HelperPolicy::Restructure { hoist: true },
+        ] {
             let report = run_cascaded(
                 &machine,
                 &workload,
-                &CascadeConfig { nprocs: 4, policy, ..CascadeConfig::default() },
+                &CascadeConfig {
+                    nprocs: 4,
+                    policy,
+                    ..CascadeConfig::default()
+                },
             );
             println!(
                 "  {:11} {:18}: speedup {:.2}  (exec-phase L2 misses {} vs {})",
@@ -100,7 +118,10 @@ fn main() {
         let mut prog = SpecProgram::new(workload.clone(), arena.clone());
         let kernel = prog.kernel(0);
         let dt = rt_sequential(&kernel);
-        println!("  sequential:              {:>8.2} ms", dt.as_secs_f64() * 1e3);
+        println!(
+            "  sequential:              {:>8.2} ms",
+            dt.as_secs_f64() * 1e3
+        );
         prog.checksum()
     };
     let mut prog = SpecProgram::new(workload, arena);
@@ -120,6 +141,10 @@ fn main() {
         stats.elapsed.as_secs_f64() * 1e3,
         stats.helper_coverage() * 100.0
     );
-    assert_eq!(prog.checksum(), expected, "cascaded result must be bitwise sequential");
+    assert_eq!(
+        prog.checksum(),
+        expected,
+        "cascaded result must be bitwise sequential"
+    );
     println!("  result: bitwise identical to sequential execution");
 }

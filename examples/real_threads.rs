@@ -121,6 +121,9 @@ fn main() {
     }
 
     let got = k.result();
-    assert_eq!(got, reference, "cascaded execution must be bitwise sequential");
+    assert_eq!(
+        got, reference,
+        "cascaded execution must be bitwise sequential"
+    );
     println!("result: bitwise identical to sequential execution");
 }

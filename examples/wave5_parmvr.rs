@@ -34,7 +34,11 @@ fn main() {
     let prefetched = run_cascaded(
         &machine,
         w,
-        &CascadeConfig { nprocs, policy: HelperPolicy::Prefetch, ..CascadeConfig::default() },
+        &CascadeConfig {
+            nprocs,
+            policy: HelperPolicy::Prefetch,
+            ..CascadeConfig::default()
+        },
     );
     let restructured = run_cascaded(
         &machine,
@@ -50,7 +54,10 @@ fn main() {
         "{} with {} processors, 64KB chunks (speedup over 1-processor sequential):",
         machine.name, nprocs
     );
-    println!("{:<46} {:>9} {:>9} {:>9}", "loop", "orig Mcy", "pre-spd", "rst-spd");
+    println!(
+        "{:<46} {:>9} {:>9} {:>9}",
+        "loop", "orig Mcy", "pre-spd", "rst-spd"
+    );
     for i in 0..w.loops.len() {
         println!(
             "{:<46} {:>9.2} {:>9.2} {:>9.2}",
@@ -71,7 +78,12 @@ fn main() {
         "\nhelper coverage: prefetched {:.0}%, restructured {:.0}%",
         100.0 * prefetched.loops.iter().map(|l| l.helper_iters).sum::<u64>() as f64
             / prefetched.loops.iter().map(|l| l.iters).sum::<u64>() as f64,
-        100.0 * restructured.loops.iter().map(|l| l.helper_iters).sum::<u64>() as f64
+        100.0
+            * restructured
+                .loops
+                .iter()
+                .map(|l| l.helper_iters)
+                .sum::<u64>() as f64
             / restructured.loops.iter().map(|l| l.iters).sum::<u64>() as f64,
     );
 }

@@ -1,0 +1,72 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical generation strategy.
+pub trait Arbitrary: Sized {
+    /// Generate one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A` (`any::<u64>()`, `any::<bool>()`, ...).
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<A>(core::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_float {
+    ($($t:ty, $bits:ty, $from:path);*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mostly raw bit patterns (covering the full exponent
+                // range, NaNs, infinities), with a pinch of the values
+                // edge cases love.
+                match rng.next_u64() % 8 {
+                    0 => {
+                        const SPECIAL: [$t; 8] = [
+                            0.0, -0.0, 1.0, -1.0,
+                            <$t>::INFINITY, <$t>::NEG_INFINITY,
+                            <$t>::MIN_POSITIVE, <$t>::EPSILON,
+                        ];
+                        SPECIAL[(rng.next_u64() % 8) as usize]
+                    }
+                    _ => $from(rng.next_u64() as $bits),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_float!(f32, u32, f32::from_bits; f64, u64, f64::from_bits);
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::from_raw(rng.next_u64())
+    }
+}

@@ -1,0 +1,22 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// A length-agnostic index: generated once, projected onto any collection
+/// length with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Project onto a collection of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

@@ -1,0 +1,160 @@
+//! The case runner: configuration, RNG, and failure reporting.
+
+/// Per-test configuration (only `cases` is honoured by the shim).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases (filters/assumes) per test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` / filter); draw another.
+    Reject(String),
+    /// The property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (discard, not failure).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+/// Deterministic xoshiro256++ RNG handed to strategies; also accumulates
+/// `Debug` representations of the bindings generated for the running case
+/// so failures can report their inputs (the shim does not shrink).
+#[derive(Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+    bindings: Vec<String>,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        TestRng {
+            s,
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Record one generated binding (used by the `proptest!` expansion).
+    pub fn record_binding(&mut self, repr: String) {
+        self.bindings.push(repr);
+    }
+}
+
+/// Runs the cases of one property.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner for the property named `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Run the property until `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first failing case,
+    /// reporting the case number, seed, and every generated input.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Deterministic per-test seed: failures reproduce on re-run.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.name.bytes() {
+            name_hash = (name_hash ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        let mut draw = 0u64;
+        while case < self.config.cases {
+            let seed = name_hash ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            draw += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match f(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        panic!(
+                            "property '{}': too many rejected cases ({rejects}); \
+                             weaken the filters or assumptions",
+                            self.name
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let inputs = if rng.bindings.is_empty() {
+                        String::from("(no recorded inputs)")
+                    } else {
+                        rng.bindings.join("\n  ")
+                    };
+                    panic!(
+                        "property '{}' failed at case {case} (seed {seed:#x}): {msg}\n\
+                         inputs:\n  {inputs}\n\
+                         (shim runner: inputs are reported, not shrunk)",
+                        self.name
+                    );
+                }
+            }
+        }
+    }
+}

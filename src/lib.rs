@@ -58,17 +58,19 @@
 #![warn(missing_docs)]
 
 pub use cascade_core as engine;
-pub use cascade_mem as mem;
-pub use cascade_rt as rt;
 pub use cascade_kernels as kernels;
+pub use cascade_mem as mem;
 pub use cascade_pic_app as pic;
+pub use cascade_rt as rt;
 pub use cascade_synth as synth;
 pub use cascade_trace as trace;
 pub use cascade_wave5 as wave5;
 
 pub use cascade_core::{
-    run_cascaded, run_sequential, run_unbounded, AmdahlModel, CascadeConfig, ChunkPlan, HelperPolicy,
-    LoopReport, RunReport, UnboundedConfig, UNBOUNDED_PROCS,
+    run_cascaded, run_sequential, run_unbounded, AmdahlModel, CascadeConfig, ChunkPlan,
+    HelperPolicy, LoopReport, RunReport, UnboundedConfig, UNBOUNDED_PROCS,
 };
 pub use cascade_mem::{machines, MachineConfig};
-pub use cascade_trace::{AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload};
+pub use cascade_trace::{
+    AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};

@@ -8,11 +8,19 @@ use cascaded_execution::{
 };
 
 fn parmvr() -> Parmvr {
-    Parmvr::build(ParmvrParams { scale: 0.05, seed: 99 })
+    Parmvr::build(ParmvrParams {
+        scale: 0.05,
+        seed: 99,
+    })
 }
 
 fn cfg(nprocs: usize, policy: HelperPolicy) -> CascadeConfig {
-    CascadeConfig { nprocs, policy, calls: 1, ..CascadeConfig::default() }
+    CascadeConfig {
+        nprocs,
+        policy,
+        calls: 1,
+        ..CascadeConfig::default()
+    }
 }
 
 #[test]
@@ -37,7 +45,11 @@ fn restructured_beats_prefetched_beats_none_overall() {
             "{}: restructured {s_rst:.2} > prefetched {s_pre:.2} > none {s_none:.2}",
             machine.name
         );
-        assert!(s_none <= 1.0, "{}: helperless cascading cannot win", machine.name);
+        assert!(
+            s_none <= 1.0,
+            "{}: helperless cascading cannot win",
+            machine.name
+        );
     }
 }
 
@@ -54,7 +66,10 @@ fn cascading_moves_l2_misses_off_the_execution_phase() {
         (exec_l2 as f64) < 0.3 * base_l2 as f64,
         "execution-phase misses must collapse: {exec_l2} vs baseline {base_l2}"
     );
-    assert!(helper_l2 > 0, "the misses must reappear in the helper phases");
+    assert!(
+        helper_l2 > 0,
+        "the misses must reappear in the helper phases"
+    );
 }
 
 #[test]
@@ -68,10 +83,17 @@ fn speedup_grows_with_processors_and_unbounded_dominates() {
     let unb = run_unbounded(
         &machine,
         &p.workload,
-        &UnboundedConfig { policy, calls: 1, ..UnboundedConfig::default() },
+        &UnboundedConfig {
+            policy,
+            calls: 1,
+            ..UnboundedConfig::default()
+        },
     )
     .overall_speedup_vs(&base);
-    assert!(s8 >= s2, "more processors should not hurt: {s2:.2} -> {s8:.2}");
+    assert!(
+        s8 >= s2,
+        "more processors should not hurt: {s2:.2} -> {s8:.2}"
+    );
     assert!(
         unb >= s8 * 0.95,
         "unbounded processors bound the achievable speedup: {unb:.2} vs {s8:.2}"
@@ -93,7 +115,10 @@ fn per_loop_spread_matches_paper_shape() {
     let speedups = rst.loop_speedups_vs(&base);
     let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = speedups.iter().cloned().fold(0.0f64, f64::max);
-    assert!(max / min > 1.5, "per-loop spread must be wide: {min:.2}..{max:.2}");
+    assert!(
+        max / min > 1.5,
+        "per-loop spread must be wide: {min:.2}..{max:.2}"
+    );
     assert!(min > 0.7, "no catastrophic slowdown: {min:.2}");
     let l4 = speedups[3];
     assert!(
@@ -107,12 +132,20 @@ fn reports_are_fully_deterministic_across_builds() {
     let a = {
         let p = parmvr();
         let m = machines::r10000();
-        run_cascaded(&m, &p.workload, &cfg(4, HelperPolicy::Restructure { hoist: false }))
+        run_cascaded(
+            &m,
+            &p.workload,
+            &cfg(4, HelperPolicy::Restructure { hoist: false }),
+        )
     };
     let b = {
         let p = parmvr();
         let m = machines::r10000();
-        run_cascaded(&m, &p.workload, &cfg(4, HelperPolicy::Restructure { hoist: false }))
+        run_cascaded(
+            &m,
+            &p.workload,
+            &cfg(4, HelperPolicy::Restructure { hoist: false }),
+        )
     };
     assert_eq!(a.total_cycles(), b.total_cycles());
     for (la, lb) in a.loops.iter().zip(&b.loops) {

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use cascaded_execution::rt::{run_cascaded as rt_cascaded, RealKernel, RtPolicy, RunnerConfig, SpecProgram};
+use cascaded_execution::rt::{
+    run_cascaded as rt_cascaded, RealKernel, RtPolicy, RunnerConfig, SpecProgram,
+};
 use cascaded_execution::{
     machines, run_cascaded, run_sequential, AddressSpace, Arena, CascadeConfig, ChunkPlan,
     HelperPolicy, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
@@ -33,21 +35,34 @@ struct GenWorkload {
 }
 
 fn gen_ref() -> impl Strategy<Value = GenRef> {
-    (any::<bool>(), 0u8..3, any::<bool>(), 1i64..4, 0i64..4, 0u8..3, any::<bool>()).prop_map(
-        |(read_pool, array_pick, indirect, stride, base, mode_pick, hoistable)| GenRef {
-            read_pool,
-            array_pick,
-            indirect,
-            stride,
-            base,
-            mode_pick,
-            hoistable,
-        },
+    (
+        any::<bool>(),
+        0u8..3,
+        any::<bool>(),
+        1i64..4,
+        0i64..4,
+        0u8..3,
+        any::<bool>(),
     )
+        .prop_map(
+            |(read_pool, array_pick, indirect, stride, base, mode_pick, hoistable)| GenRef {
+                read_pool,
+                array_pick,
+                indirect,
+                stride,
+                base,
+                mode_pick,
+                hoistable,
+            },
+        )
 }
 
 fn gen_workload() -> impl Strategy<Value = GenWorkload> {
-    (64u64..800, proptest::collection::vec(gen_ref(), 1..5), any::<u64>())
+    (
+        64u64..800,
+        proptest::collection::vec(gen_ref(), 1..5),
+        any::<u64>(),
+    )
         .prop_map(|(iters, refs, seed)| GenWorkload { iters, refs, seed })
 }
 
@@ -56,15 +71,21 @@ fn gen_workload() -> impl Strategy<Value = GenWorkload> {
 /// disjoint written pool, so helper-phase reads can never race.
 fn build(gw: &GenWorkload) -> (Workload, Arena) {
     let mut space = AddressSpace::new();
-    let read_pool: Vec<_> = (0..3).map(|i| space.alloc(&format!("r{i}"), 8, ARR_LEN)).collect();
-    let write_pool: Vec<_> = (0..3).map(|i| space.alloc(&format!("w{i}"), 8, ARR_LEN)).collect();
+    let read_pool: Vec<_> = (0..3)
+        .map(|i| space.alloc(&format!("r{i}"), 8, ARR_LEN))
+        .collect();
+    let write_pool: Vec<_> = (0..3)
+        .map(|i| space.alloc(&format!("w{i}"), 8, ARR_LEN))
+        .collect();
     let index_arr = space.alloc("idx", 4, ARR_LEN);
 
     let mut index = IndexStore::new();
     // Deterministic pseudo-random in-range indices.
     index.set(
         index_arr,
-        (0..ARR_LEN).map(|i| ((i.wrapping_mul(2_654_435_761) ^ gw.seed) % ARR_LEN) as u32).collect(),
+        (0..ARR_LEN)
+            .map(|i| ((i.wrapping_mul(2_654_435_761) ^ gw.seed) % ARR_LEN) as u32)
+            .collect(),
     );
 
     let mut refs = Vec::new();
@@ -83,11 +104,21 @@ fn build(gw: &GenWorkload) -> (Workload, Arena) {
         let pool = if r.read_pool { &read_pool } else { &write_pool };
         let array = pool[(r.array_pick as usize) % pool.len()];
         // Keep affine walks in bounds: base + stride * iters <= ARR_LEN.
-        let stride = r.stride.min(((ARR_LEN - 8) / gw.iters.max(1)) as i64).max(1);
+        let stride = r
+            .stride
+            .min(((ARR_LEN - 8) / gw.iters.max(1)) as i64)
+            .max(1);
         let pattern = if r.indirect {
-            Pattern::Indirect { index: index_arr, ibase: 0, istride: stride }
+            Pattern::Indirect {
+                index: index_arr,
+                ibase: 0,
+                istride: stride,
+            }
         } else {
-            Pattern::Affine { base: r.base, stride }
+            Pattern::Affine {
+                base: r.base,
+                stride,
+            }
         };
         refs.push(StreamRef {
             name: Box::leak(format!("ref{k}").into_boxed_str()),
@@ -120,7 +151,11 @@ fn build(gw: &GenWorkload) -> (Workload, Arena) {
         hoist_result_bytes: if any_hoistable { 8 } else { 0 },
     };
     spec.validate();
-    let workload = Workload { space, index, loops: vec![spec] };
+    let workload = Workload {
+        space,
+        index,
+        loops: vec![spec],
+    };
     let mut arena = Arena::new(&workload.space);
     for (i, id) in read_pool.iter().chain(&write_pool).enumerate() {
         for e in 0..ARR_LEN {

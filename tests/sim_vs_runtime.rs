@@ -9,7 +9,10 @@ use cascaded_execution::wave5::{Parmvr, ParmvrParams};
 use cascaded_execution::ChunkPlan;
 
 fn parmvr() -> Parmvr {
-    Parmvr::build(ParmvrParams { scale: 0.01, seed: 31 })
+    Parmvr::build(ParmvrParams {
+        scale: 0.01,
+        seed: 31,
+    })
 }
 
 fn sequential_checksum(p: Parmvr) -> u64 {
@@ -91,7 +94,11 @@ fn simulator_and_runtime_agree_on_chunk_boundaries() {
         let plan_b = ChunkPlan::new(spec, 64 * 1024, 32);
         assert_eq!(plan_a, plan_b);
         let covered: u64 = plan_a.ranges().map(|r| r.end - r.start).sum();
-        assert_eq!(covered, spec.iters, "{}: plan must cover the loop exactly", spec.name);
+        assert_eq!(
+            covered, spec.iters,
+            "{}: plan must cover the loop exactly",
+            spec.name
+        );
     }
 }
 
@@ -110,9 +117,18 @@ fn runtime_helper_stats_are_consistent() {
         },
     );
     let total_chunks: u64 = stats.threads.iter().map(|t| t.chunks).sum();
-    assert_eq!(total_chunks, stats.chunks, "every chunk executed exactly once");
+    assert_eq!(
+        total_chunks, stats.chunks,
+        "every chunk executed exactly once"
+    );
     let coverage = stats.helper_coverage();
-    assert!((0.0..=1.0).contains(&coverage), "coverage must be a fraction: {coverage}");
+    assert!(
+        (0.0..=1.0).contains(&coverage),
+        "coverage must be a fraction: {coverage}"
+    );
     let helped: u64 = stats.threads.iter().map(|t| t.helper_iters).sum();
-    assert!(helped <= stats.iters, "helpers cannot cover more than the loop");
+    assert!(
+        helped <= stats.iters,
+        "helpers cannot cover more than the loop"
+    );
 }
