@@ -17,13 +17,84 @@ pub struct Args {
     used: std::cell::RefCell<Vec<String>>,
 }
 
-/// A parse or validation error with a user-facing message.
+/// What kind of failure an [`ArgError`] reports — and therefore which
+/// exit code the binary maps it to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Bad invocation: unknown option, unparsable value, missing
+    /// subcommand. Exit code 2.
+    Usage,
+    /// A verification run (e.g. `cascade chaos`) detected a correctness
+    /// failure: the tool worked, the system under test did not. Exit
+    /// code 1.
+    Verification,
+    /// A command panicked — a bug in the tool, not in the invocation.
+    /// Exit code 2, with a message asking for a report.
+    Internal,
+}
+
+/// A typed CLI error with a user-facing message; the kind picks the
+/// process exit code (see [`ErrorKind`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
+pub struct ArgError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl ArgError {
+    /// A usage error (exit 2).
+    pub fn usage(message: impl Into<String>) -> Self {
+        ArgError {
+            kind: ErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    /// A verification failure (exit 1): the run completed but detected a
+    /// correctness problem.
+    pub fn verification(message: impl Into<String>) -> Self {
+        ArgError {
+            kind: ErrorKind::Verification,
+            message: message.into(),
+        }
+    }
+
+    /// An internal error (exit 2): a command panicked.
+    pub fn internal(message: impl Into<String>) -> Self {
+        ArgError {
+            kind: ErrorKind::Internal,
+            message: message.into(),
+        }
+    }
+
+    /// The user-facing message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The failure kind.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// Is this a verification failure (exit 1) rather than a usage or
+    /// internal error (exit 2)?
+    pub fn is_verification(&self) -> bool {
+        self.kind == ErrorKind::Verification
+    }
+
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            ErrorKind::Verification => 1,
+            ErrorKind::Usage | ErrorKind::Internal => 2,
+        }
+    }
+}
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 impl std::error::Error for ArgError {}
@@ -41,23 +112,29 @@ impl Args {
             if let Some(key) = a.strip_prefix("--") {
                 let key = key.to_string();
                 if key.is_empty() {
-                    return Err(ArgError("empty option name '--'".into()));
+                    return Err(ArgError::usage("empty option name '--'"));
                 }
                 // An option takes a value when the next token is not
-                // another option; otherwise it is a boolean flag.
+                // another option; otherwise it is a boolean flag. The
+                // peek/next pair is written to degrade (treat the option
+                // as a flag) rather than panic if they ever disagree.
                 match it.peek() {
-                    Some(next) if !next.starts_with("--") => {
-                        let v = it.next().expect("peeked");
-                        if args.opts.insert(key.clone(), v).is_some() {
-                            return Err(ArgError(format!("duplicate option --{key}")));
+                    Some(next) if !next.starts_with("--") => match it.next() {
+                        Some(v) => {
+                            if args.opts.insert(key.clone(), v).is_some() {
+                                return Err(ArgError::usage(format!("duplicate option --{key}")));
+                            }
                         }
-                    }
+                        None => args.flags.push(key),
+                    },
                     _ => args.flags.push(key),
                 }
             } else if args.command.is_none() {
                 args.command = Some(a);
             } else {
-                return Err(ArgError(format!("unexpected positional argument '{a}'")));
+                return Err(ArgError::usage(format!(
+                    "unexpected positional argument '{a}'"
+                )));
             }
         }
         Ok(args)
@@ -85,7 +162,7 @@ impl Args {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}' as a number"))),
+                .map_err(|_| ArgError::usage(format!("--{key}: cannot parse '{v}' as a number"))),
         }
     }
 
@@ -94,8 +171,9 @@ impl Args {
         self.used.borrow_mut().push(key.to_string());
         match self.opts.get(key) {
             None => Ok(default),
-            Some(v) => parse_bytes(v)
-                .ok_or_else(|| ArgError(format!("--{key}: cannot parse '{v}' as a byte size"))),
+            Some(v) => parse_bytes(v).ok_or_else(|| {
+                ArgError::usage(format!("--{key}: cannot parse '{v}' as a byte size"))
+            }),
         }
     }
 
@@ -120,7 +198,7 @@ impl Args {
         let used = self.used.borrow();
         for key in self.opts.keys().chain(self.flags.iter()) {
             if !used.iter().any(|u| u == key) {
-                return Err(ArgError(format!("unknown option --{key}")));
+                return Err(ArgError::usage(format!("unknown option --{key}")));
             }
         }
         Ok(())

@@ -8,8 +8,8 @@ use cascade_core::{
 };
 use cascade_mem::{machines, MachineConfig};
 use cascade_rt::{
-    try_run_cascaded, FaultKind, FaultPlan, FaultyKernel, RtPolicy, RunError, RunnerConfig,
-    SpecProgram, Tolerance,
+    try_run_cascaded, FaultEvent, FaultKind, FaultPlan, FaultyKernel, RetryPolicy, RtPolicy,
+    RunError, RunnerConfig, SpecProgram, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
@@ -58,8 +58,9 @@ USAGE:
 
   cascade chaos [options]
       Fault-injection matrix against the real-thread runtime: random
-      plans of panics, stalls and slowdowns, each run must either salvage
-      a bitwise sequential-identical result or report a typed error.
+      plans of panics, stalls and slowdowns. Each run must recover
+      in-cascade (with --tolerance retry), salvage a bitwise
+      sequential-identical result, or report a typed error.
       Exits 1 if any plan silently corrupts the result.
         --n N              vector length of the synth workloads (default 16384)
         --seed N           plan/workload seed (default 42)
@@ -68,6 +69,13 @@ USAGE:
         --chunk-iters N    iterations per chunk (default 128)
         --watchdog-ms N    stall-detection window (default 25)
         --stall-ms N       injected stall duration (default 80)
+        --tolerance retry|salvage|fail-fast           (default salvage)
+                           retry: re-execute fail-stop chunks on healthy
+                           workers, quarantining the failed thread
+        --retry-budget N   chunk re-executions before falling through
+                           to salvage (default 4, retry only)
+        --retry-backoff-ms N  first stall backoff window, doubling per
+                           strike (default 10, retry only)
 
   cascade sweep [options]
       Sweep one parameter of the simulated cascade.
@@ -105,14 +113,18 @@ fn machine_from(args: &Args) -> Result<MachineConfig, ArgError> {
     let m = match args.get("machine", "ppro").as_str() {
         "ppro" | "pentium-pro" | "pentiumpro" => machines::pentium_pro(),
         "r10000" | "r10k" => machines::r10000(),
-        other => return Err(ArgError(format!("unknown machine '{other}' (ppro|r10000)"))),
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown machine '{other}' (ppro|r10000)"
+            )))
+        }
     };
     match args.get_opt("future") {
         None => Ok(m),
         Some(k) => {
             let k: f64 = k
                 .parse()
-                .map_err(|_| ArgError(format!("--future: cannot parse '{k}'")))?;
+                .map_err(|_| ArgError::usage(format!("--future: cannot parse '{k}'")))?;
             Ok(machines::future(&m, k))
         }
     }
@@ -122,9 +134,9 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
     let seed = args.get_num("seed", 42u64)?;
     if let Some(path) = args.get_opt("workload-file") {
         let text = std::fs::read_to_string(&path)
-            .map_err(|e| ArgError(format!("--workload-file {path}: {e}")))?;
-        let workload =
-            from_text(&text).map_err(|e| ArgError(format!("--workload-file {path}: {e}")))?;
+            .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
+        let workload = from_text(&text)
+            .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
         // Build real backing data: deterministic values for the non-index
         // arrays, index contents from the file.
         let mut arena = Arena::new(&workload.space);
@@ -150,7 +162,7 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
         "parmvr" | "wave5" => {
             let scale = args.get_num("scale", 0.25f64)?;
             if scale <= 0.0 {
-                return Err(ArgError("--scale must be positive".into()));
+                return Err(ArgError::usage("--scale must be positive"));
             }
             let p = Parmvr::build(ParmvrParams { scale, seed });
             Ok((p.workload, p.arena, format!("parmvr (scale {scale})")))
@@ -169,7 +181,7 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
                 format!("synthetic {} (n={n})", variant.label()),
             ))
         }
-        other => Err(ArgError(format!(
+        other => Err(ArgError::usage(format!(
             "unknown workload '{other}' (parmvr|synth-dense|synth-sparse)"
         ))),
     }
@@ -181,7 +193,7 @@ fn sim_policy_from(args: &Args) -> Result<HelperPolicy, ArgError> {
         "prefetch" | "prefetched" => Ok(HelperPolicy::Prefetch),
         "restructure" | "restructured" => Ok(HelperPolicy::Restructure { hoist: false }),
         "restructure+hoist" | "restructured+hoist" => Ok(HelperPolicy::Restructure { hoist: true }),
-        other => Err(ArgError(format!(
+        other => Err(ArgError::usage(format!(
             "unknown policy '{other}' (none|prefetch|restructure|restructure+hoist)"
         ))),
     }
@@ -310,7 +322,7 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
         "prefetch" | "prefetched" => RtPolicy::Prefetch,
         "restructure" | "restructured" => RtPolicy::Restructure,
         other => {
-            return Err(ArgError(format!(
+            return Err(ArgError::usage(format!(
                 "unknown policy '{other}' (none|prefetch|restructure)"
             )))
         }
@@ -359,8 +371,8 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     if ok {
         out.push_str("  result: bitwise identical to sequential execution\n");
     } else {
-        return Err(ArgError(
-            "cascaded result DIVERGED from sequential execution".into(),
+        return Err(ArgError::verification(
+            "cascaded result DIVERGED from sequential execution",
         ));
     }
     Ok(out)
@@ -384,13 +396,40 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let chunk_iters = args.get_num("chunk-iters", 128u64)?;
     let watchdog_ms = args.get_num("watchdog-ms", 25u64)?;
     let stall_ms = args.get_num("stall-ms", 80u64)?;
+    let tolerance = args.get("tolerance", "salvage");
+    let retry_budget = args.get_num("retry-budget", 4u64)?;
+    let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
     args.reject_unknown()?;
     if plans == 0 {
-        return Err(ArgError("--plans must be positive".into()));
+        return Err(ArgError::usage("--plans must be positive"));
     }
     if max_threads == 0 {
-        return Err(ArgError("--max-threads must be positive".into()));
+        return Err(ArgError::usage("--max-threads must be positive"));
     }
+    let window = Duration::from_millis(watchdog_ms);
+    let tol = match tolerance.as_str() {
+        "salvage" => Tolerance::resilient(window),
+        "retry" => Tolerance {
+            watchdog: Some(window),
+            retry: Some(RetryPolicy {
+                budget: retry_budget,
+                backoff: Duration::from_millis(retry_backoff_ms),
+                ..RetryPolicy::default()
+            }),
+            salvage: true,
+        },
+        "fail-fast" => Tolerance {
+            watchdog: Some(window),
+            retry: None,
+            salvage: false,
+        },
+        other => {
+            return Err(ArgError::usage(format!(
+                "--tolerance: unknown policy '{other}' (retry|salvage|fail-fast)"
+            )))
+        }
+    };
+    let retrying = tol.retry.is_some();
 
     // Injected faults are ordinary panics; without this the default hook
     // would spray a backtrace per fault over the report. Restored on drop
@@ -414,15 +453,16 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     };
     let reference = [expected(Variant::Dense), expected(Variant::Sparse)];
 
-    let tol = Tolerance::resilient(Duration::from_millis(watchdog_ms));
     let mut rng = seed ^ 0x000F_A170_FA17_C0DE_u64;
     let mut clean = 0u64;
+    let mut recovered = 0u64;
     let mut salvaged = 0u64;
     let mut typed = 0u64;
     let mut diverged = 0u64;
+    let mut unexplained = 0u64;
     let mut out = format!(
         "chaos matrix: {plans} fault plans, threads 1..={max_threads}, \
-         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms\n"
+         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}\n"
     );
     for case in 0..plans {
         let variant = if case % 2 == 0 {
@@ -471,8 +511,30 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
                 let bitwise = prog.checksum() == reference[(case % 2) as usize];
                 match (bitwise, stats.degraded) {
                     (true, true) => {
-                        salvaged += 1;
-                        format!("salvaged bitwise ({} fault events)", stats.faults.len())
+                        // With retry enabled, every fall-through to
+                        // salvage must leave its reason in the audit
+                        // trail; an unexplained salvage is a ladder bug.
+                        let explained = stats
+                            .faults
+                            .iter()
+                            .any(|f| matches!(f, FaultEvent::RetryAbandoned { .. }));
+                        if retrying && !explained {
+                            unexplained += 1;
+                            format!(
+                                "salvaged bitwise, but NO fall-through recorded ({} fault events)",
+                                stats.faults.len()
+                            )
+                        } else {
+                            salvaged += 1;
+                            format!("salvaged bitwise ({} fault events)", stats.faults.len())
+                        }
+                    }
+                    (true, false) if stats.retries > 0 => {
+                        recovered += 1;
+                        format!(
+                            "recovered in-cascade ({} retried, {} quarantined)",
+                            stats.retries, stats.quarantined
+                        )
                     }
                     (true, false) => {
                         clean += 1;
@@ -488,16 +550,32 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
                 typed += 1;
                 format!("typed error: {e}")
             }
-            Err(e) => return Err(ArgError(format!("chaos: plan {case}: {e}"))),
+            Err(e) => return Err(ArgError::verification(format!("chaos: plan {case}: {e}"))),
         };
         out.push_str(&format!("{label} -> {verdict}\n"));
     }
     out.push_str(&format!(
-        "summary: {clean} clean, {salvaged} salvaged, {typed} typed errors, {diverged} diverged\n"
+        "summary: {clean} clean, {recovered} recovered in-cascade, {salvaged} salvaged, \
+         {typed} typed errors, {diverged} diverged\n"
+    ));
+    out.push_str(&format!(
+        "recovery ladder: fail-fast{}{}\n",
+        if retrying {
+            " -> retry -> quarantine"
+        } else {
+            ""
+        },
+        if tol.salvage { " -> salvage" } else { "" },
     ));
     if diverged > 0 {
-        return Err(ArgError(format!(
+        return Err(ArgError::verification(format!(
             "chaos: {diverged} of {plans} plans reported success with a corrupted result\n{out}"
+        )));
+    }
+    if unexplained > 0 {
+        return Err(ArgError::verification(format!(
+            "chaos: {unexplained} of {plans} plans fell through to salvage without a recorded \
+             RetryAbandoned reason\n{out}"
         )));
     }
     out.push_str("recovery verdict: no hangs, no silent corruption\n");
@@ -513,7 +591,7 @@ pub fn dump(args: &Args) -> Result<String, ArgError> {
     match out_path {
         None => Ok(text),
         Some(p) => {
-            std::fs::write(&p, &text).map_err(|e| ArgError(format!("--out {p}: {e}")))?;
+            std::fs::write(&p, &text).map_err(|e| ArgError::usage(format!("--out {p}: {e}")))?;
             Ok(format!("wrote {} bytes to {p}\n", text.len()))
         }
     }
@@ -530,7 +608,7 @@ pub fn schedule(args: &Args) -> Result<String, ArgError> {
     let chunks_wanted = args.get_num("chunks", 12u64)?;
     args.reject_unknown()?;
     if loop_idx >= workload.loops.len() {
-        return Err(ArgError(format!(
+        return Err(ArgError::usage(format!(
             "--loop {loop_idx}: workload has {} loops",
             workload.loops.len()
         )));
@@ -569,7 +647,7 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     let line = args.get_bytes("line", 32)?;
     args.reject_unknown()?;
     let spec = workload.loops.get(loop_idx).ok_or_else(|| {
-        ArgError(format!(
+        ArgError::usage(format!(
             "--loop {loop_idx}: workload has {} loops",
             workload.loops.len()
         ))
@@ -671,9 +749,9 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     for v in values {
         let (label, cfg) = match param.as_str() {
             "procs" => {
-                let np: usize = v
-                    .parse()
-                    .map_err(|_| ArgError(format!("--values: '{v}' is not a processor count")))?;
+                let np: usize = v.parse().map_err(|_| {
+                    ArgError::usage(format!("--values: '{v}' is not a processor count"))
+                })?;
                 (
                     format!("procs={v}"),
                     CascadeConfig {
@@ -687,8 +765,9 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
                 )
             }
             "chunk" => {
-                let bytes = crate::args::parse_bytes(&v)
-                    .ok_or_else(|| ArgError(format!("--values: '{v}' is not a byte size")))?;
+                let bytes = crate::args::parse_bytes(&v).ok_or_else(|| {
+                    ArgError::usage(format!("--values: '{v}' is not a byte size"))
+                })?;
                 (
                     format!("chunk={v}"),
                     CascadeConfig {
@@ -702,7 +781,7 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
                 )
             }
             other => {
-                return Err(ArgError(format!(
+                return Err(ArgError::usage(format!(
                     "unknown sweep parameter '{other}' (procs|chunk)"
                 )))
             }

@@ -20,29 +20,52 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{ArgError, Args};
+pub use args::{ArgError, Args, ErrorKind};
 
 /// Entry point: parse `raw` (excluding argv[0]) and execute the
 /// subcommand, returning the report text.
+///
+/// Every failure comes back as a typed [`ArgError`] — including a panic
+/// inside a command, which is caught and reported as
+/// [`ErrorKind::Internal`] instead of aborting the process mid-report.
 pub fn run<I, S>(raw: I) -> Result<String, ArgError>
 where
     I: IntoIterator<Item = S>,
     S: Into<String>,
 {
     let args = Args::parse(raw)?;
-    match args.command.as_deref() {
-        None | Some("help") => Ok(commands::help()),
-        Some("machines") => commands::machines(&args),
-        Some("sim") => commands::sim(&args),
-        Some("rt") => commands::rt(&args),
-        Some("chaos") => commands::chaos(&args),
-        Some("sweep") => commands::sweep(&args),
-        Some("analyze") => commands::analyze(&args),
-        Some("dump") => commands::dump(&args),
-        Some("schedule") => commands::schedule(&args),
-        Some(other) => Err(ArgError(format!(
-            "unknown subcommand '{other}' (try: machines, sim, rt, chaos, sweep, analyze, dump, schedule, help)"
-        ))),
+    let dispatch = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> Result<String, ArgError> {
+            match args.command.as_deref() {
+                None | Some("help") => Ok(commands::help()),
+                Some("machines") => commands::machines(&args),
+                Some("sim") => commands::sim(&args),
+                Some("rt") => commands::rt(&args),
+                Some("chaos") => commands::chaos(&args),
+                Some("sweep") => commands::sweep(&args),
+                Some("analyze") => commands::analyze(&args),
+                Some("dump") => commands::dump(&args),
+                Some("schedule") => commands::schedule(&args),
+                Some(other) => Err(ArgError::usage(format!(
+                    "unknown subcommand '{other}' (try: machines, sim, rt, chaos, sweep, analyze, dump, schedule, help)"
+                ))),
+            }
+        },
+    ));
+    match dispatch {
+        Ok(result) => result,
+        Err(payload) => {
+            let what = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(ArgError::internal(format!(
+                "command panicked: {what} (this is a bug in cascade, not in your invocation)"
+            )))
+        }
     }
 }
 
@@ -60,7 +83,7 @@ mod tests {
     #[test]
     fn unknown_subcommand_errors() {
         let err = run(["frobnicate"]).unwrap_err();
-        assert!(err.0.contains("unknown subcommand"));
+        assert!(err.message().contains("unknown subcommand"));
     }
 
     #[test]
@@ -177,7 +200,43 @@ mod tests {
     #[test]
     fn chaos_rejects_zero_plans() {
         let err = run(["chaos", "--plans", "0"]).unwrap_err();
-        assert!(err.0.contains("--plans"), "{err}");
+        assert!(err.message().contains("--plans"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn chaos_retry_tolerance_reports_the_ladder() {
+        let out = run([
+            "chaos",
+            "--n",
+            "2048",
+            "--plans",
+            "6",
+            "--chunk-iters",
+            "64",
+            "--max-threads",
+            "3",
+            "--stall-ms",
+            "60",
+            "--tolerance",
+            "retry",
+        ])
+        .unwrap();
+        assert!(out.contains("tolerance retry"), "{out}");
+        assert!(
+            out.contains("recovery ladder: fail-fast -> retry -> quarantine -> salvage"),
+            "{out}"
+        );
+        assert!(out.contains("recovered in-cascade"), "{out}");
+        assert!(out.contains("no hangs, no silent corruption"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_tolerance() {
+        let err = run(["chaos", "--plans", "2", "--tolerance", "heroic"]).unwrap_err();
+        assert!(err.message().contains("--tolerance"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Usage);
     }
 
     #[test]
@@ -245,7 +304,7 @@ mod tests {
             "5",
         ])
         .unwrap_err();
-        assert!(err.0.contains("loops"));
+        assert!(err.message().contains("loops"));
     }
 
     #[test]
@@ -301,12 +360,12 @@ mod tests {
     #[test]
     fn bad_machine_is_reported() {
         let err = run(["sim", "--machine", "cray"]).unwrap_err();
-        assert!(err.0.contains("machine"));
+        assert!(err.message().contains("machine"));
     }
 
     #[test]
     fn typo_options_are_rejected() {
         let err = run(["sim", "--prox", "4"]).unwrap_err();
-        assert!(err.0.contains("unknown option"), "{err}");
+        assert!(err.message().contains("unknown option"), "{err}");
     }
 }

@@ -1,18 +1,18 @@
 //! The `cascade` binary: thin wrapper over [`cascade_cli::run`].
 //!
-//! Exit codes: 0 on success, 1 when a verification run (e.g. `chaos`)
-//! detected a correctness failure, 2 on usage errors.
+//! Exit codes come from the typed [`cascade_cli::ArgError`]: 0 on
+//! success, 1 when a verification run (e.g. `chaos`) detected a
+//! correctness failure, 2 on usage errors or internal errors.
 
 fn main() {
     match cascade_cli::run(std::env::args().skip(1)) {
         Ok(out) => print!("{out}"),
         Err(e) => {
             eprintln!("error: {e}");
-            if e.0.starts_with("chaos:") {
-                std::process::exit(1);
+            if !e.is_verification() {
+                eprintln!("run `cascade help` for usage");
             }
-            eprintln!("run `cascade help` for usage");
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,781 @@
+//! Deterministic model checking of the token/poison/retry protocol.
+//!
+//! The runner's recovery ladder (see [`crate::runner`]) rests on a small
+//! set of CAS transitions over one atomic word: grant → claim → advance,
+//! claim → unclaim (retry hand-back), anything → poison. Races between
+//! waiters, detectors, recovering workers, and late finishers are exactly
+//! where hand-written reasoning fails, so this module writes the protocol
+//! down as an explicit state machine ([`Protocol`]) and lets the
+//! `interleave` shim enumerate **every** thread interleaving, checking
+//! four invariants in every reachable state:
+//!
+//! 1. **Exactly-one executor** — no two threads inside a chunk body at
+//!    once;
+//! 2. **No lost or resurrected token** — the token position never moves
+//!    backward, a poisoned token stays poisoned, and a run never
+//!    deadlocks with the token still live (a lost hand-off is a terminal
+//!    non-accepting state, which the explorer reports as a deadlock);
+//! 3. **First-cause-wins poisoning** — concurrent poisoners never
+//!    overwrite the first recorded cause;
+//! 4. **No chunk executed twice after mutation** — a retry may re-run a
+//!    chunk only if its body never started writing (fail-stop faults).
+//!
+//! The model follows the runner's code paths step for step: `Seek`
+//! mirrors `Roster::next_owned`, `Claim`/`Advance` mirror
+//! `Token::try_claim`/`try_advance`, `Recover`/`HandBack` mirror
+//! `recover_from_panic` (remap under the roster lock, then the unclaim
+//! CAS as a separate step — the dangerous window in between is explored),
+//! and `DetectStall` mirrors `declare_stall` with the strike ladder
+//! compressed to its final verdict. Abstractions: backoff timing is
+//! dropped (any detector may fire whenever the real watchdog *could*
+//! have), and strikes escalate immediately — both over-approximate the
+//! real scheduler, so the verified state space is a superset of what the
+//! runtime can reach.
+//!
+//! [`Bug`] deliberately re-introduces protocol mistakes (skipping the
+//! claim CAS, plain-store release, last-cause-wins poisoning) so the
+//! tests can prove the checker actually *catches* violations instead of
+//! vacuously passing.
+
+use interleave::{explore, Exploration, Model};
+
+/// Modeled token word: the three decoded states of [`crate::TokenView`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Tok {
+    /// Chunk granted, unclaimed (`Granted` in the runtime).
+    Granted(u8),
+    /// Chunk claimed by an executor (`EXEC_BIT` set).
+    Claimed(u8),
+    /// Poisoned (`u64::MAX`).
+    Poisoned,
+}
+
+impl Tok {
+    /// The chunk the cascade is at, `None` when poisoned.
+    fn position(self) -> Option<u8> {
+        match self {
+            Tok::Granted(c) | Tok::Claimed(c) => Some(c),
+            Tok::Poisoned => None,
+        }
+    }
+}
+
+/// A fault a modeled thread is scripted to inject, once.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelFault {
+    /// Panic inside the chunk body before any write lands (fail-stop):
+    /// the chunk is legally retryable.
+    PanicFailStop,
+    /// Panic after partial writes (kernel not fail-stop): the chunk must
+    /// never be re-run.
+    PanicMidBody,
+    /// Panic in the helper phase: no claim held, body untouched.
+    PanicHelper,
+    /// Go quiet mid-body while holding the claim (a finite stall: the
+    /// thread wakes and finishes eventually).
+    Stall,
+}
+
+/// A deliberately seeded protocol bug, for negative tests: the checker
+/// must catch each of these.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Bug {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Execute without winning the claim CAS (the token stays granted):
+    /// breaks exactly-one-executor / at-most-once execution.
+    SkipClaim,
+    /// Release with a plain store instead of a CAS: a late finisher
+    /// resurrects a poisoned token.
+    ResurrectToken,
+    /// Poison with a store instead of a CAS: a later fault overwrites the
+    /// first recorded cause.
+    LastCauseWins,
+}
+
+/// What one modeled thread is doing (mirrors the runner's worker loop).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Th {
+    /// Between chunks: about to compute its next owned chunk.
+    Idle { cursor: u8 },
+    /// Helper done, polling the token for `chunk`. Keeps the cursor it
+    /// seeked from: a remap may hand this thread an *earlier* chunk, and
+    /// the re-seek must restart from the cursor, not from `chunk` (the
+    /// runner's `wait_to_claim` re-seeks on every roster-epoch change).
+    Waiting { chunk: u8, cursor: u8 },
+    /// Won the claim: inside the chunk body.
+    Executing { chunk: u8 },
+    /// Gone quiet mid-body, claim held (will wake).
+    Stalled { chunk: u8 },
+    /// Body done, about to CAS the token forward.
+    Releasing { chunk: u8 },
+    /// Panicked; about to climb the recovery ladder.
+    Recovering {
+        chunk: u8,
+        claimed: bool,
+        fail_stop: bool,
+    },
+    /// Self-quarantined and remapped; about to hand the claim back.
+    HandingBack { chunk: u8 },
+    /// Fell through the ladder; about to poison the token.
+    Poisoning { chunk: u8 },
+    /// Drained.
+    Done,
+}
+
+/// One atomic protocol step some thread takes.
+#[derive(Clone, Copy, Debug)]
+pub enum Step {
+    /// Compute the next owned chunk from the roster (or drain).
+    Seek(usize),
+    /// Notice supersession / poisoning / remap / quarantine while waiting.
+    Observe(usize),
+    /// The claim CAS: granted(j) → claimed(j).
+    Claim(usize),
+    /// Run the chunk body to completion.
+    Execute(usize),
+    /// Inject this thread's scripted fault instead of executing.
+    Fault(usize),
+    /// The advance CAS: claimed(j) → granted(j+1), refused when poisoned.
+    Advance(usize),
+    /// Recovery ladder: budget, roster remove + re-anchor, quarantine.
+    Recover(usize),
+    /// The unclaim CAS: hand a retryable chunk back to the survivors.
+    HandBack(usize),
+    /// The poison CAS (first cause wins).
+    Poison(usize),
+    /// A waiter's watchdog verdict against a suspect (strike ladder
+    /// compressed to its final outcome).
+    DetectStall {
+        /// The waiting thread whose watchdog fired.
+        detector: usize,
+        /// The thread it blames.
+        suspect: usize,
+    },
+    /// A stalled executor wakes and finishes its body.
+    Wake(usize),
+}
+
+/// Explicit state of the modeled protocol: token word, per-thread
+/// control state, roster, health, retry budget, and the bookkeeping the
+/// invariants need. Build one with [`Protocol::new`] and the `with_*`
+/// methods, then hand it to [`verify`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Protocol {
+    // Scenario (constant across a run, varied across tests).
+    chunks: u8,
+    spurious: bool,
+    bug: Bug,
+    plan: Vec<Option<(u8, ModelFault)>>,
+    // Dynamic protocol state.
+    budget: u8,
+    fired: Vec<bool>,
+    token: Tok,
+    threads: Vec<Th>,
+    executed: Vec<u8>,
+    mutated: Vec<bool>,
+    live: Vec<u8>,
+    base: u8,
+    quarantined: Vec<bool>,
+    cause: Option<(u8, u8)>,
+    // Violation trackers (set in apply, reported by invariant).
+    was_poisoned: bool,
+    max_pos: u8,
+    moved_back: bool,
+    cause_overwritten: bool,
+    double_exec: bool,
+}
+
+impl Protocol {
+    /// A faithful protocol over `nthreads` threads, `chunks` chunks and a
+    /// retry `budget`, with no scripted faults.
+    pub fn new(nthreads: usize, chunks: u8, budget: u8) -> Self {
+        Protocol {
+            chunks,
+            spurious: false,
+            bug: Bug::None,
+            plan: vec![None; nthreads],
+            budget,
+            fired: vec![false; nthreads],
+            token: Tok::Granted(0),
+            threads: vec![Th::Idle { cursor: 0 }; nthreads],
+            executed: vec![0; chunks as usize],
+            mutated: vec![false; chunks as usize],
+            live: (0..nthreads as u8).collect(),
+            base: 0,
+            quarantined: vec![false; nthreads],
+            cause: None,
+            was_poisoned: false,
+            max_pos: 0,
+            moved_back: false,
+            cause_overwritten: false,
+            double_exec: false,
+        }
+    }
+
+    /// Script thread `t` to inject `fault` at `chunk` (once).
+    pub fn with_fault(mut self, t: usize, chunk: u8, fault: ModelFault) -> Self {
+        self.plan[t] = Some((chunk, fault));
+        self
+    }
+
+    /// Let detectors fire spuriously against healthy owners of a granted
+    /// chunk — the watchdog false-positive a slow-but-alive worker causes.
+    pub fn with_spurious_detection(mut self) -> Self {
+        self.spurious = true;
+        self
+    }
+
+    /// Seed a protocol bug the checker must catch.
+    pub fn with_bug(mut self, bug: Bug) -> Self {
+        self.bug = bug;
+        self
+    }
+
+    /// `Roster::owner_of`, modeled.
+    fn owner_of(&self, chunk: u8) -> Option<u8> {
+        if self.live.is_empty() || chunk < self.base {
+            return None;
+        }
+        let l = self.live.len() as u8;
+        Some(self.live[((chunk - self.base) % l) as usize])
+    }
+
+    /// `Roster::next_owned`, modeled.
+    fn next_owned(&self, t: u8, from: u8) -> Option<u8> {
+        let idx = self.live.iter().position(|&x| x == t)? as u8;
+        let l = self.live.len() as u8;
+        let start = from.max(self.base);
+        let first = self.base + idx;
+        if start <= first {
+            return Some(first);
+        }
+        Some(first + (start - first).div_ceil(l) * l)
+    }
+
+    /// Move the token, tracking monotonicity for the invariant.
+    fn set_token(&mut self, tok: Tok) {
+        if let Some(p) = tok.position() {
+            if p < self.max_pos {
+                self.moved_back = true;
+            }
+            self.max_pos = self.max_pos.max(p);
+        }
+        self.token = tok;
+    }
+
+    /// `Token::poison_with`, modeled (a CAS: first cause wins) — except
+    /// under [`Bug::LastCauseWins`], which overwrites like a plain store.
+    fn poison(&mut self, by: u8, chunk: u8) {
+        if self.token == Tok::Poisoned {
+            if self.bug == Bug::LastCauseWins {
+                self.cause = Some((by, chunk));
+                self.cause_overwritten = true;
+            }
+            return;
+        }
+        self.token = Tok::Poisoned;
+        self.was_poisoned = true;
+        self.cause = Some((by, chunk));
+    }
+
+    /// Does thread `i` have an unfired body fault scripted at `chunk`?
+    fn body_fault_pending(&self, i: usize, chunk: u8) -> bool {
+        matches!(self.plan[i], Some((c, f)) if c == chunk && f != ModelFault::PanicHelper)
+            && !self.fired[i]
+    }
+}
+
+impl Model for Protocol {
+    type Action = Step;
+
+    fn actions(&self) -> Vec<Step> {
+        let mut acts = Vec::new();
+        for (i, th) in self.threads.iter().enumerate() {
+            match *th {
+                Th::Idle { .. } => acts.push(Step::Seek(i)),
+                Th::Waiting { chunk, cursor } => {
+                    if self.token == Tok::Granted(chunk) {
+                        acts.push(Step::Claim(i));
+                    }
+                    // Re-seek whenever poisoned, quarantined, or a
+                    // supersession/remap means seeking again would land
+                    // on a different chunk (possibly an *earlier* one we
+                    // now own) — mirroring `wait_to_claim`'s poison,
+                    // quarantine, supersession and epoch checks.
+                    let reseek_differs = match self.token.position() {
+                        None => true,
+                        Some(p) => self.next_owned(i as u8, cursor.max(p)) != Some(chunk),
+                    };
+                    if reseek_differs || self.quarantined[i] {
+                        acts.push(Step::Observe(i));
+                    }
+                    // The watchdog: a waiter may blame the thread holding
+                    // things up, whenever the real timer could have fired.
+                    match self.token {
+                        Tok::Claimed(c) => {
+                            for (s, sth) in self.threads.iter().enumerate() {
+                                if s != i && matches!(sth, Th::Stalled { chunk } if *chunk == c) {
+                                    acts.push(Step::DetectStall {
+                                        detector: i,
+                                        suspect: s,
+                                    });
+                                }
+                            }
+                        }
+                        Tok::Granted(c) if self.spurious => {
+                            if let Some(s) = self.owner_of(c) {
+                                if s as usize != i && !self.quarantined[s as usize] {
+                                    acts.push(Step::DetectStall {
+                                        detector: i,
+                                        suspect: s as usize,
+                                    });
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Th::Executing { chunk } => {
+                    if self.body_fault_pending(i, chunk) {
+                        acts.push(Step::Fault(i));
+                    } else {
+                        acts.push(Step::Execute(i));
+                    }
+                }
+                Th::Stalled { .. } => acts.push(Step::Wake(i)),
+                Th::Releasing { .. } => acts.push(Step::Advance(i)),
+                Th::Recovering { .. } => acts.push(Step::Recover(i)),
+                Th::HandingBack { .. } => acts.push(Step::HandBack(i)),
+                Th::Poisoning { .. } => acts.push(Step::Poison(i)),
+                Th::Done => {}
+            }
+        }
+        acts
+    }
+
+    fn apply(&self, step: &Step) -> Self {
+        let mut s = self.clone();
+        match *step {
+            Step::Seek(i) => {
+                let Th::Idle { cursor } = s.threads[i] else {
+                    unreachable!("Seek from non-Idle")
+                };
+                if s.quarantined[i] {
+                    s.threads[i] = Th::Done;
+                    return s;
+                }
+                let Some(pos) = s.token.position() else {
+                    s.threads[i] = Th::Done;
+                    return s;
+                };
+                let cursor = cursor.max(pos);
+                match s.next_owned(i as u8, cursor) {
+                    Some(j) if j < s.chunks => {
+                        if let Some((fc, ModelFault::PanicHelper)) = s.plan[i] {
+                            if fc == j && !s.fired[i] {
+                                s.fired[i] = true;
+                                s.threads[i] = Th::Recovering {
+                                    chunk: j,
+                                    claimed: false,
+                                    fail_stop: true,
+                                };
+                                return s;
+                            }
+                        }
+                        s.threads[i] = Th::Waiting { chunk: j, cursor };
+                    }
+                    _ => {
+                        // Drained: leave the roster before exiting so a
+                        // later remap can never orphan a chunk on an
+                        // already-exited worker (mirrors the runner's
+                        // drain-exit removal).
+                        if s.live.len() > 1 && s.live.contains(&(i as u8)) {
+                            s.live.retain(|&x| x != i as u8);
+                            s.base = s.base.max(pos);
+                        }
+                        s.threads[i] = Th::Done;
+                    }
+                }
+            }
+            Step::Observe(i) => {
+                let Th::Waiting { cursor, .. } = s.threads[i] else {
+                    unreachable!("Observe from non-Waiting")
+                };
+                if s.token == Tok::Poisoned || s.quarantined[i] {
+                    s.threads[i] = Th::Done;
+                } else {
+                    // Re-seek from the *cursor*, not the waited chunk: a
+                    // remap may have handed us an earlier granted chunk.
+                    s.threads[i] = Th::Idle { cursor };
+                }
+            }
+            Step::Claim(i) => {
+                let Th::Waiting { chunk, .. } = s.threads[i] else {
+                    unreachable!("Claim from non-Waiting")
+                };
+                if s.bug != Bug::SkipClaim {
+                    s.set_token(Tok::Claimed(chunk));
+                }
+                s.threads[i] = Th::Executing { chunk };
+            }
+            Step::Execute(i) | Step::Wake(i) => {
+                let (Th::Executing { chunk } | Th::Stalled { chunk }) = s.threads[i] else {
+                    unreachable!("Execute/Wake from non-body state")
+                };
+                if s.mutated[chunk as usize] {
+                    s.double_exec = true;
+                }
+                s.executed[chunk as usize] += 1;
+                s.mutated[chunk as usize] = true;
+                s.threads[i] = Th::Releasing { chunk };
+            }
+            Step::Fault(i) => {
+                let Th::Executing { chunk } = s.threads[i] else {
+                    unreachable!("Fault from non-Executing")
+                };
+                let (_, kind) = s.plan[i].expect("fault action requires a plan");
+                s.fired[i] = true;
+                s.threads[i] = match kind {
+                    ModelFault::PanicFailStop => Th::Recovering {
+                        chunk,
+                        claimed: true,
+                        fail_stop: true,
+                    },
+                    ModelFault::PanicMidBody => {
+                        s.mutated[chunk as usize] = true;
+                        Th::Recovering {
+                            chunk,
+                            claimed: true,
+                            fail_stop: false,
+                        }
+                    }
+                    ModelFault::Stall => Th::Stalled { chunk },
+                    ModelFault::PanicHelper => unreachable!("helper faults fire at Seek"),
+                };
+            }
+            Step::Advance(i) => {
+                let Th::Releasing { chunk } = s.threads[i] else {
+                    unreachable!("Advance from non-Releasing")
+                };
+                match s.token {
+                    Tok::Claimed(c) if c == chunk => {
+                        s.set_token(Tok::Granted(chunk + 1));
+                        s.threads[i] = Th::Idle { cursor: chunk + 1 };
+                    }
+                    Tok::Poisoned if s.bug == Bug::ResurrectToken => {
+                        // Plain store instead of the CAS: resurrection.
+                        s.token = Tok::Granted(chunk + 1);
+                        s.threads[i] = Th::Idle { cursor: chunk + 1 };
+                    }
+                    _ => {
+                        // CAS refused (poisoned, or — under SkipClaim —
+                        // never claimed): late completion, drain.
+                        s.threads[i] = Th::Done;
+                    }
+                }
+            }
+            Step::Recover(i) => {
+                let Th::Recovering {
+                    chunk,
+                    claimed,
+                    fail_stop,
+                } = s.threads[i]
+                else {
+                    unreachable!("Recover from non-Recovering")
+                };
+                if (claimed && !fail_stop) || s.budget == 0 {
+                    // Unretryable chunk or dry budget: fall through.
+                    s.threads[i] = Th::Poisoning { chunk };
+                    return s;
+                }
+                if s.live.contains(&(i as u8)) {
+                    if s.live.len() == 1 {
+                        // Last live worker: no survivor to retry on.
+                        s.threads[i] = Th::Poisoning { chunk };
+                        return s;
+                    }
+                    let Some(anchor) = s.token.position() else {
+                        // Poisoned while we recovered: just report.
+                        s.threads[i] = Th::Poisoning { chunk };
+                        return s;
+                    };
+                    s.budget -= 1;
+                    s.live.retain(|&x| x != i as u8);
+                    s.base = s.base.max(anchor);
+                    s.quarantined[i] = true;
+                }
+                // (If we were not live, a detector already quarantined and
+                // remapped us — just hand the chunk back.)
+                s.threads[i] = if claimed {
+                    Th::HandingBack { chunk }
+                } else {
+                    Th::Done
+                };
+            }
+            Step::HandBack(i) => {
+                let Th::HandingBack { chunk } = s.threads[i] else {
+                    unreachable!("HandBack from non-HandingBack")
+                };
+                if s.token == Tok::Claimed(chunk) {
+                    // The unclaim CAS: a survivor will re-claim.
+                    s.set_token(Tok::Granted(chunk));
+                    s.threads[i] = Th::Done;
+                } else {
+                    // Poisoned while recovering: the fall-through poison
+                    // call is a no-op CAS, modeled for the cause check.
+                    s.threads[i] = Th::Poisoning { chunk };
+                }
+            }
+            Step::Poison(i) => {
+                let Th::Poisoning { chunk } = s.threads[i] else {
+                    unreachable!("Poison from non-Poisoning")
+                };
+                s.poison(i as u8, chunk);
+                s.threads[i] = Th::Done;
+            }
+            Step::DetectStall { suspect, .. } => match s.token {
+                Tok::Claimed(c) => {
+                    // A stuck executor may still write: unretryable.
+                    s.poison(suspect as u8, c);
+                }
+                Tok::Granted(c) => {
+                    if !s.quarantined[suspect] {
+                        if s.budget == 0 || s.live.len() <= 1 {
+                            s.poison(suspect as u8, c);
+                        } else if s.live.contains(&(suspect as u8)) {
+                            s.quarantined[suspect] = true;
+                            s.budget -= 1;
+                            s.live.retain(|&x| x != suspect as u8);
+                            s.base = s.base.max(c);
+                        }
+                    }
+                }
+                Tok::Poisoned => {}
+            },
+        }
+        s
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        let executors = self
+            .threads
+            .iter()
+            .filter(|t| matches!(t, Th::Executing { .. } | Th::Stalled { .. }))
+            .count();
+        if executors > 1 {
+            return Err(format!("{executors} simultaneous executors"));
+        }
+        if self.double_exec {
+            return Err("a chunk was executed again after mutation".into());
+        }
+        if self.was_poisoned && self.token != Tok::Poisoned {
+            return Err("a poisoned token was resurrected".into());
+        }
+        if self.moved_back {
+            return Err("the token moved backward (lost hand-off)".into());
+        }
+        if self.cause_overwritten {
+            return Err("the first poison cause was overwritten".into());
+        }
+        Ok(())
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t, Th::Done))
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.was_poisoned {
+            // Fell through the ladder; salvage takes over outside the
+            // model. The invariants already guaranteed no corruption.
+            return Ok(());
+        }
+        if self.token != Tok::Granted(self.chunks) {
+            return Err(format!(
+                "clean run ended with the token at {:?}, not Granted({})",
+                self.token, self.chunks
+            ));
+        }
+        for (c, &n) in self.executed.iter().enumerate() {
+            if n != 1 {
+                return Err(format!("chunk {c} executed {n} times"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively explore `scenario`, panicking if the state space exceeds
+/// `max_states` (a truncated exploration must never read as a pass).
+pub fn verify(scenario: Protocol, max_states: usize) -> Exploration<Step> {
+    let result = explore(scenario, max_states);
+    assert!(
+        !result.truncated,
+        "exploration truncated at {} states — raise max_states",
+        result.states
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_verified(scenario: Protocol, label: &str) {
+        let result = verify(scenario, 2_000_000);
+        if let Some(v) = &result.violation {
+            panic!(
+                "[{label}] {} — counterexample schedule ({} steps): {:?}",
+                v.message,
+                v.trace.len(),
+                v.trace
+            );
+        }
+        assert!(result.states > 0);
+    }
+
+    #[test]
+    fn fault_free_protocol_verifies_for_3_and_4_threads() {
+        for n in [3usize, 4] {
+            assert_verified(Protocol::new(n, 5, 2), "fault-free");
+        }
+    }
+
+    #[test]
+    fn fail_stop_panic_recovers_under_every_schedule() {
+        // Every interleaving must end clean (all chunks exactly once,
+        // token at the end) or poisoned with the invariants intact —
+        // never corrupted, never deadlocked.
+        for faulty_thread in 0..3 {
+            for chunk in 0..4 {
+                assert_verified(
+                    Protocol::new(3, 4, 2).with_fault(
+                        faulty_thread,
+                        chunk,
+                        ModelFault::PanicFailStop,
+                    ),
+                    "fail-stop panic",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn helper_panic_recovers_under_every_schedule() {
+        for chunk in 0..4 {
+            assert_verified(
+                Protocol::new(3, 4, 2).with_fault(1, chunk, ModelFault::PanicHelper),
+                "helper panic",
+            );
+        }
+    }
+
+    #[test]
+    fn mid_body_panic_never_reexecutes_a_mutated_chunk() {
+        for chunk in 0..4 {
+            assert_verified(
+                Protocol::new(3, 4, 2).with_fault(2, chunk, ModelFault::PanicMidBody),
+                "mid-body panic",
+            );
+        }
+    }
+
+    #[test]
+    fn stalled_executor_is_poisoned_never_double_executed() {
+        // Thread 1 owns chunk 1: the stall fires while holding the claim.
+        assert_verified(
+            Protocol::new(3, 4, 2).with_fault(1, 1, ModelFault::Stall),
+            "stall",
+        );
+    }
+
+    #[test]
+    fn spurious_watchdog_quarantine_races_are_benign() {
+        // A healthy owner can be quarantined by a false-positive watchdog
+        // and still race the new owner for the claim: the claim CAS must
+        // arbitrate every such schedule.
+        assert_verified(
+            Protocol::new(3, 4, 2).with_spurious_detection(),
+            "spurious detection",
+        );
+    }
+
+    #[test]
+    fn spurious_detection_plus_real_fault_verifies() {
+        assert_verified(
+            Protocol::new(3, 3, 2).with_spurious_detection().with_fault(
+                0,
+                1,
+                ModelFault::PanicFailStop,
+            ),
+            "spurious + panic",
+        );
+    }
+
+    #[test]
+    fn two_faults_exhaust_the_ladder_cleanly() {
+        assert_verified(
+            Protocol::new(3, 5, 1)
+                .with_fault(0, 1, ModelFault::PanicFailStop)
+                .with_fault(2, 3, ModelFault::PanicFailStop),
+            "two faults, budget 1",
+        );
+    }
+
+    #[test]
+    fn seeded_skip_claim_bug_is_caught() {
+        // Without the claim CAS the protocol either wedges (the advance
+        // CAS never matches) or double-executes under remap races; both
+        // must surface.
+        let quiet = explore(Protocol::new(3, 3, 2).with_bug(Bug::SkipClaim), 2_000_000);
+        let v = quiet.violation.expect("SkipClaim must be caught");
+        assert!(
+            v.message.contains("deadlock") || v.message.contains("executor"),
+            "unexpected message: {}",
+            v.message
+        );
+
+        let racy = explore(
+            Protocol::new(3, 3, 2)
+                .with_bug(Bug::SkipClaim)
+                .with_spurious_detection(),
+            2_000_000,
+        );
+        assert!(
+            racy.violation.is_some(),
+            "SkipClaim under remap races must be caught"
+        );
+    }
+
+    #[test]
+    fn seeded_resurrect_token_bug_is_caught() {
+        // Thread 2 owns chunk 2 under the initial round-robin, so the
+        // stall actually fires; the detector poisons, the stalled thread
+        // wakes, and the buggy plain-store release resurrects the token.
+        let result = explore(
+            Protocol::new(3, 4, 2)
+                .with_bug(Bug::ResurrectToken)
+                .with_fault(2, 2, ModelFault::Stall),
+            2_000_000,
+        );
+        let v = result.violation.expect("ResurrectToken must be caught");
+        assert!(v.message.contains("resurrected"), "{}", v.message);
+    }
+
+    #[test]
+    fn seeded_last_cause_wins_bug_is_caught() {
+        // Two helper panics with a dry budget: both threads reach the
+        // poison CAS; the second must lose, and a plain store does not.
+        let result = explore(
+            Protocol::new(3, 4, 0)
+                .with_bug(Bug::LastCauseWins)
+                .with_fault(0, 0, ModelFault::PanicHelper)
+                .with_fault(1, 1, ModelFault::PanicHelper),
+            2_000_000,
+        );
+        let v = result.violation.expect("LastCauseWins must be caught");
+        assert!(v.message.contains("cause"), "{}", v.message);
+    }
+}

@@ -1,0 +1,265 @@
+//! Worker health tracking for in-cascade fault recovery: heartbeats,
+//! strike counts with exponential backoff, and quarantine.
+//!
+//! The recovery ladder (see `docs/ROBUSTNESS.md`) needs to distinguish a
+//! worker that is *slow* (transient stall: deschedule, long chunk) from
+//! one that is *gone* (crashed, wedged). The [`HealthRegistry`] makes that
+//! call: each time a watchdog window expires on a suspect worker the
+//! detector records a **strike**, and the suspect is granted an
+//! exponentially growing backoff window (`base_backoff * 2^strikes`) to
+//! show progress. A worker whose **heartbeat** (completed-chunk counter)
+//! advances between strikes is healed — its strikes reset. Only when
+//! `strike_limit` consecutive no-progress strikes accumulate is the worker
+//! **quarantined**: removed from the ownership roster so its remaining
+//! chunks are remapped across survivors, never to execute again in this
+//! run (or, for a loop sequence, any later loop).
+//!
+//! All state is atomics plus one timestamp mutex per worker; the hot path
+//! (a heartbeat per completed chunk, a quarantine check per poll batch)
+//! never takes a lock.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a detector should do about a suspect worker after a strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrikeVerdict {
+    /// Give the suspect this much longer before striking again; the
+    /// duration grows exponentially with the strike count.
+    Backoff {
+        /// How long to extend the watch before the next strike.
+        wait: Duration,
+        /// `true` when this call recorded a new strike; `false` when it
+        /// was rate-limited into an already-open backoff window (so only
+        /// one detector records the strike event).
+        fresh: bool,
+    },
+    /// The strike limit is exhausted: quarantine the suspect.
+    Quarantine,
+}
+
+/// Tuning knobs of the strike/quarantine ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Consecutive no-progress strikes before quarantine.
+    pub strike_limit: u32,
+    /// First backoff window; doubles per strike.
+    pub base_backoff: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            strike_limit: 3,
+            base_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct WorkerHealth {
+    /// Completed-chunk counter: the worker's progress heartbeat.
+    heartbeats: AtomicU64,
+    /// Consecutive no-progress strikes.
+    strikes: AtomicU32,
+    /// Heartbeat value observed at the last strike (healing detector).
+    beat_at_strike: AtomicU64,
+    quarantined: AtomicBool,
+    /// When the current backoff window ends; rate-limits concurrent
+    /// detectors so N waiters striking at once count as one strike.
+    backoff_until: Mutex<Option<Instant>>,
+}
+
+impl WorkerHealth {
+    fn new() -> Self {
+        WorkerHealth {
+            heartbeats: AtomicU64::new(0),
+            strikes: AtomicU32::new(0),
+            beat_at_strike: AtomicU64::new(0),
+            quarantined: AtomicBool::new(false),
+            backoff_until: Mutex::new(None),
+        }
+    }
+}
+
+/// Per-run (or per-sequence) health state of every worker thread.
+#[derive(Debug)]
+pub struct HealthRegistry {
+    cfg: HealthConfig,
+    workers: Vec<WorkerHealth>,
+}
+
+impl HealthRegistry {
+    /// A registry for `nthreads` workers, all healthy.
+    pub fn new(nthreads: usize, cfg: HealthConfig) -> Self {
+        HealthRegistry {
+            cfg,
+            workers: (0..nthreads).map(|_| WorkerHealth::new()).collect(),
+        }
+    }
+
+    /// Record progress for worker `t` (called once per completed chunk).
+    #[inline]
+    pub fn heartbeat(&self, t: u64) {
+        self.workers[t as usize]
+            .heartbeats
+            .fetch_add(1, Ordering::Release);
+    }
+
+    /// Completed-chunk count of worker `t`.
+    #[inline]
+    pub fn heartbeats(&self, t: u64) -> u64 {
+        self.workers[t as usize].heartbeats.load(Ordering::Acquire)
+    }
+
+    /// Record a no-progress strike against suspect `t`, returning what the
+    /// detector should do. Strikes are rate-limited: while a backoff
+    /// window is open, concurrent detectors get the remaining window
+    /// instead of a fresh strike. A heartbeat since the last strike heals
+    /// the suspect (strikes reset) — suspicion must be *consecutive*.
+    pub fn strike(&self, t: u64) -> StrikeVerdict {
+        let w = &self.workers[t as usize];
+        let now = Instant::now();
+        let mut until = w.backoff_until.lock().unwrap();
+        if let Some(deadline) = *until {
+            if now < deadline {
+                return StrikeVerdict::Backoff {
+                    wait: deadline - now,
+                    fresh: false,
+                };
+            }
+        }
+        let beats = w.heartbeats.load(Ordering::Acquire);
+        if beats > w.beat_at_strike.load(Ordering::Acquire) {
+            // Progress since the last strike: transient, heal.
+            w.strikes.store(0, Ordering::Release);
+        }
+        w.beat_at_strike.store(beats, Ordering::Release);
+        let strikes = w.strikes.fetch_add(1, Ordering::AcqRel) + 1;
+        if strikes > self.cfg.strike_limit {
+            return StrikeVerdict::Quarantine;
+        }
+        let backoff = self
+            .cfg
+            .base_backoff
+            .saturating_mul(1u32 << (strikes - 1).min(16));
+        *until = Some(now + backoff);
+        StrikeVerdict::Backoff {
+            wait: backoff,
+            fresh: true,
+        }
+    }
+
+    /// Current strike count of worker `t`.
+    pub fn strikes(&self, t: u64) -> u32 {
+        self.workers[t as usize].strikes.load(Ordering::Acquire)
+    }
+
+    /// Quarantine worker `t`. Returns `true` for the first caller (who
+    /// alone records the fault event and remaps the roster).
+    pub fn quarantine(&self, t: u64) -> bool {
+        !self.workers[t as usize]
+            .quarantined
+            .swap(true, Ordering::AcqRel)
+    }
+
+    /// Is worker `t` quarantined?
+    #[inline]
+    pub fn is_quarantined(&self, t: u64) -> bool {
+        self.workers[t as usize].quarantined.load(Ordering::Acquire)
+    }
+
+    /// Number of quarantined workers.
+    pub fn quarantined_count(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter(|w| w.quarantined.load(Ordering::Acquire))
+            .count() as u64
+    }
+
+    /// Thread ids not quarantined, ascending.
+    pub fn live(&self) -> Vec<u64> {
+        (0..self.workers.len() as u64)
+            .filter(|&t| !self.is_quarantined(t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_cfg() -> HealthConfig {
+        HealthConfig {
+            strike_limit: 2,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn strikes_escalate_to_quarantine() {
+        let h = HealthRegistry::new(2, fast_cfg());
+        match h.strike(1) {
+            StrikeVerdict::Backoff { wait, fresh } => {
+                assert_eq!(wait, Duration::from_millis(1));
+                assert!(fresh);
+            }
+            v => panic!("expected first backoff, got {v:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        match h.strike(1) {
+            StrikeVerdict::Backoff { wait, fresh } => {
+                assert_eq!(wait, Duration::from_millis(2), "doubles");
+                assert!(fresh);
+            }
+            v => panic!("expected second backoff, got {v:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(h.strike(1), StrikeVerdict::Quarantine);
+        assert!(h.quarantine(1), "first quarantine call wins");
+        assert!(!h.quarantine(1), "second is a no-op");
+        assert!(h.is_quarantined(1));
+        assert_eq!(h.quarantined_count(), 1);
+        assert_eq!(h.live(), vec![0]);
+    }
+
+    #[test]
+    fn heartbeat_heals_strikes() {
+        let h = HealthRegistry::new(1, fast_cfg());
+        assert!(matches!(h.strike(0), StrikeVerdict::Backoff { .. }));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(h.strike(0), StrikeVerdict::Backoff { .. }));
+        assert_eq!(h.strikes(0), 2);
+        // The suspect makes progress: suspicion resets instead of
+        // escalating to quarantine on the next strike.
+        h.heartbeat(0);
+        std::thread::sleep(Duration::from_millis(5));
+        match h.strike(0) {
+            StrikeVerdict::Backoff { .. } => {}
+            v => panic!("healed worker must not be quarantined, got {v:?}"),
+        }
+        assert_eq!(h.strikes(0), 1, "strikes reset on progress");
+    }
+
+    #[test]
+    fn concurrent_strikes_within_backoff_count_once() {
+        let h = HealthRegistry::new(
+            1,
+            HealthConfig {
+                strike_limit: 2,
+                base_backoff: Duration::from_millis(50),
+            },
+        );
+        assert!(matches!(
+            h.strike(0),
+            StrikeVerdict::Backoff { fresh: true, .. }
+        ));
+        // A second detector inside the open window must not escalate.
+        assert!(matches!(
+            h.strike(0),
+            StrikeVerdict::Backoff { fresh: false, .. }
+        ));
+        assert_eq!(h.strikes(0), 1, "rate-limited to one strike per window");
+    }
+}

@@ -37,11 +37,26 @@
 //! [`try_run_cascaded`] / [`try_run_cascaded_sequence`], deterministic
 //! fault injection ([`FaultyKernel`]), and a graceful sequential fallback
 //! that salvages a faulted run into a bitwise-correct result.
+//!
+//! ## In-cascade recovery
+//!
+//! Above salvage sits a recovery ladder ([`Tolerance::retry`], see
+//! [`runner`] docs): a faulted chunk is re-executed on a healthy worker,
+//! the failed thread is quarantined in a [`HealthRegistry`] (heartbeats,
+//! strikes with exponential backoff), and its remaining chunks are
+//! remapped across survivors so the run finishes cascaded instead of
+//! `degraded`. The token/poison/retry protocol backing this is modeled as
+//! an explicit state machine in [`check`] and exhaustively explored with
+//! the `interleave` shim — the four invariants (exactly-one executor, no
+//! lost or resurrected token, first-cause-wins poisoning, no chunk
+//! re-executed after mutation) hold on every reachable interleaving.
 
 #![warn(missing_docs)]
 
 pub mod barrier;
+pub mod check;
 pub mod fault;
+pub mod health;
 pub mod interp;
 pub mod kernel;
 pub mod prefetch;
@@ -50,12 +65,13 @@ pub mod token;
 
 pub use barrier::{BarrierOutcome, FtBarrier};
 pub use fault::{FaultKind, FaultPlan, FaultyKernel};
+pub use health::{HealthConfig, HealthRegistry, StrikeVerdict};
 pub use interp::{SpecKernel, SpecProgram};
 pub use kernel::RealKernel;
 pub use prefetch::{prefetch_line, prefetch_range, PREFETCH_STRIDE};
 pub use runner::{
     run_cascaded, run_cascaded_sequence, run_sequential, try_run_cascaded,
-    try_run_cascaded_sequence, FaultEvent, RtPolicy, RunError, RunStats, RunnerConfig, ThreadStats,
-    Tolerance,
+    try_run_cascaded_sequence, FaultEvent, RetryAbandon, RetryPolicy, RtPolicy, RunError, RunStats,
+    RunnerConfig, ThreadStats, Tolerance,
 };
-pub use token::{PoisonCause, Token, WaitOutcome, POISONED};
+pub use token::{PoisonCause, Token, TokenView, WaitOutcome, EXEC_BIT, POISONED};

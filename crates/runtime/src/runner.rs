@@ -28,9 +28,41 @@
 //!   the remaining iteration range sequentially, producing a bitwise
 //!   sequential-identical result flagged [`RunStats::degraded`].
 //!
+//! ## In-cascade recovery (the ladder above salvage)
+//!
+//! With [`Tolerance::retry`] set, a fault no longer has to abandon
+//! cascading. Chunk ownership becomes a dynamic roster (round-robin
+//! over the *live* workers) instead of the static `t, t+T, t+2T, ...`
+//! stripe, and execution uses the token's claim protocol
+//! ([`Token::try_claim`] / [`Token::try_advance`] /
+//! [`Token::try_unclaim`]) so exactly-one-executor holds even while
+//! ownership is being remapped. The ladder, in order:
+//!
+//! 1. a worker that panics *fail-stop* ([`RealKernel::panics_before_mutation`])
+//!    quarantines itself in the [`HealthRegistry`], removes itself from
+//!    the roster (remapping its remaining chunks across survivors,
+//!    anchored at the token's current position so no unexecuted chunk is
+//!    orphaned), hands a claimed chunk back ([`Token::try_unclaim`]), and
+//!    drains — a survivor re-claims and re-executes the chunk and the run
+//!    finishes cascaded, *not* `degraded`;
+//! 2. a stalled worker is given exponentially growing backoff windows
+//!    (strikes in the health registry; a heartbeat between strikes heals
+//!    them) before the same quarantine-and-remap — but a worker that
+//!    stalls *while holding a claim* may still write, so its chunk is
+//!    never retried: recovery is abandoned ([`FaultEvent::RetryAbandoned`])
+//!    and the run falls through to poisoning;
+//! 3. when the retry budget is exhausted, no survivor remains, or the
+//!    kernel makes no fail-stop promise, the fault falls through the
+//!    ladder to PR 1 behavior: token poisoning, then salvage or a typed
+//!    error. Every rung leaves a [`FaultEvent`] in the audit trail.
+//!
+//! The protocol state machine (token values, claims, poison, retry
+//! hand-backs) is modeled and exhaustively explored in [`crate::check`].
+//!
 //! The original panicking entry points remain as thin shims over the
 //! fallible ones with a default (non-salvaging) [`Tolerance`].
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,8 +72,9 @@ use std::time::{Duration, Instant};
 use cascade_core::ChunkPlan;
 
 use crate::barrier::{BarrierOutcome, FtBarrier};
+use crate::health::{HealthConfig, HealthRegistry, StrikeVerdict};
 use crate::kernel::RealKernel;
-use crate::token::{PoisonCause, Token, WaitOutcome};
+use crate::token::{PoisonCause, Token, TokenView, EXEC_BIT, POISONED};
 
 /// Helper policy of the real-thread runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +125,33 @@ impl Default for RunnerConfig {
     }
 }
 
+/// In-cascade retry policy: how hard to fight for a cascaded finish
+/// before falling through to salvage (see the recovery ladder in the
+/// module docs and `docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total chunk re-executions (across the whole run or sequence) before
+    /// further faults fall through the ladder.
+    pub budget: u64,
+    /// First stall backoff window; doubles per consecutive strike.
+    /// Stall recovery is driven by the watchdog, so it needs
+    /// [`Tolerance::watchdog`] set; panic recovery does not.
+    pub backoff: Duration,
+    /// Consecutive no-progress strikes before a stalled worker is
+    /// quarantined.
+    pub strike_limit: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 4,
+            backoff: Duration::from_millis(10),
+            strike_limit: 3,
+        }
+    }
+}
+
 /// Fault-tolerance policy of a run, separate from [`RunnerConfig`] so the
 /// performance knobs stay orthogonal to the failure-handling ones.
 #[derive(Debug, Clone, Default)]
@@ -103,6 +163,13 @@ pub struct Tolerance {
     /// cascade has no waiters and therefore no stall detection (it cannot
     /// deadlock on the token either — it always holds it).
     pub watchdog: Option<Duration>,
+    /// In-cascade recovery: re-execute a faulted chunk on a healthy
+    /// worker (sound only for fail-stop faults — gated per-fault on
+    /// [`RealKernel::panics_before_mutation`]), quarantining the failed
+    /// thread and remapping its chunks across survivors so the run
+    /// finishes cascaded instead of `degraded`. `None` (the default)
+    /// climbs straight to salvage/error, exactly PR 1 behavior.
+    pub retry: Option<RetryPolicy>,
     /// After a fault, finish the remaining iteration range sequentially on
     /// the calling thread (bitwise-identical result, `degraded` stats)
     /// instead of returning the error. Salvage is refused — the error is
@@ -114,11 +181,29 @@ pub struct Tolerance {
 }
 
 impl Tolerance {
+    /// No watchdog, no retry, no salvage: the first fault is returned as a
+    /// typed error as fast as it is observed.
+    pub fn fail_fast() -> Self {
+        Tolerance::default()
+    }
+
     /// Watchdog plus salvage: detect stalls within `window` and fall back
     /// to sequential execution on any fault.
     pub fn resilient(window: Duration) -> Self {
         Tolerance {
             watchdog: Some(window),
+            retry: None,
+            salvage: true,
+        }
+    }
+
+    /// The full recovery ladder: watchdog within `window`, in-cascade
+    /// retry with the default [`RetryPolicy`], and sequential salvage for
+    /// whatever falls through.
+    pub fn retrying(window: Duration) -> Self {
+        Tolerance {
+            watchdog: Some(window),
+            retry: Some(RetryPolicy::default()),
             salvage: true,
         }
     }
@@ -202,6 +287,72 @@ pub enum FaultEvent {
         /// Iterations executed by the salvage.
         iters: u64,
     },
+    /// A detector recorded a no-progress strike against a suspect worker
+    /// (retry tolerance only; rate-limited to one event per backoff
+    /// window).
+    StallStrike {
+        /// The suspect worker.
+        thread: u64,
+        /// The chunk the token was stuck on.
+        chunk: u64,
+        /// Consecutive strikes against the suspect, this one included.
+        strikes: u32,
+        /// Backoff granted before the next strike may land.
+        backoff: Duration,
+    },
+    /// A worker was quarantined: removed from the ownership roster, its
+    /// remaining chunks remapped across the surviving workers.
+    WorkerQuarantined {
+        /// The quarantined worker.
+        thread: u64,
+        /// The chunk it faulted on (or was stuck holding).
+        chunk: u64,
+    },
+    /// A chunk whose owner faulted was re-executed in-cascade by a
+    /// survivor — the recovery the retry ladder exists for.
+    ChunkRetried {
+        /// The recovered chunk.
+        chunk: u64,
+        /// The worker that faulted on it.
+        from_thread: u64,
+        /// The survivor that re-executed it.
+        by_thread: u64,
+    },
+    /// In-cascade recovery was not applicable; the fault fell through the
+    /// ladder to token poisoning (then salvage or a typed error).
+    RetryAbandoned {
+        /// The chunk whose recovery was abandoned.
+        chunk: u64,
+        /// Why the ladder gave up.
+        reason: RetryAbandon,
+    },
+}
+
+/// Why in-cascade recovery fell through to poisoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryAbandon {
+    /// The retry budget was already spent.
+    BudgetExhausted,
+    /// The faulting worker was the last live worker: nobody left to
+    /// re-execute the chunk.
+    NoSurvivors,
+    /// The kernel makes no fail-stop promise, so a chunk interrupted
+    /// mid-body may have landed partial writes and must not be re-run.
+    KernelNotFailStop,
+    /// The stalled worker holds the execution claim: it may still write,
+    /// so its chunk can never be handed to a survivor.
+    ExecutorStuck,
+}
+
+impl std::fmt::Display for RetryAbandon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryAbandon::BudgetExhausted => write!(f, "retry budget exhausted"),
+            RetryAbandon::NoSurvivors => write!(f, "no surviving workers"),
+            RetryAbandon::KernelNotFailStop => write!(f, "kernel is not fail-stop"),
+            RetryAbandon::ExecutorStuck => write!(f, "stuck executor still holds the claim"),
+        }
+    }
 }
 
 /// Per-thread execution statistics.
@@ -234,10 +385,17 @@ pub struct RunStats {
     /// Per-thread breakdown.
     pub threads: Vec<ThreadStats>,
     /// Whether the run survived a fault by falling back to sequential
-    /// execution (the result is still bitwise sequential-identical).
+    /// execution (the result is still bitwise sequential-identical). A run
+    /// recovered in-cascade by the retry ladder is **not** degraded.
     pub degraded: bool,
     /// Abnormal events observed during the run, in order.
     pub faults: Vec<FaultEvent>,
+    /// Chunks re-executed in-cascade by a survivor
+    /// ([`FaultEvent::ChunkRetried`] count).
+    pub retries: u64,
+    /// Workers quarantined during the run
+    /// ([`FaultEvent::WorkerQuarantined`] count).
+    pub quarantined: u64,
 }
 
 impl RunStats {
@@ -302,8 +460,160 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Outcome of removing a worker from the [`Roster`].
+enum RemoveOutcome {
+    /// Removed; the survivors own the remaining chunks.
+    Removed,
+    /// The worker was already off the roster (a concurrent detector or
+    /// the worker itself beat us): recovery is already underway.
+    NotLive,
+    /// Refused: removing the last live worker would strand the run.
+    LastWorker,
+}
+
+/// Dynamic chunk→thread ownership: round-robin over the *live* workers,
+/// re-anchored whenever a worker is quarantined. `owner(c) =
+/// live[(c - base) % live.len()]` for `c >= base`; chunks below `base`
+/// already executed (token serialization completes chunks in order), so a
+/// remap anchored at the token's current position never orphans an
+/// unexecuted chunk.
+///
+/// Reads take the mutex but are cheap (one modulo over a tiny vec) and
+/// happen once per chunk, not per poll. Every remap bumps `epoch`;
+/// workers re-check the epoch while waiting and recompute their ownership
+/// when it moves. A worker acting on a stale epoch is benign: execution
+/// rights come from the token claim CAS, never from the roster.
+struct Roster {
+    epoch: AtomicU64,
+    synced: AtomicBool,
+    inner: Mutex<RosterInner>,
+}
+
+struct RosterInner {
+    live: Vec<u64>,
+    base: u64,
+}
+
+impl Roster {
+    fn new(nthreads: usize) -> Self {
+        Roster {
+            epoch: AtomicU64::new(0),
+            synced: AtomicBool::new(false),
+            inner: Mutex::new(RosterInner {
+                live: (0..nthreads as u64).collect(),
+                base: 0,
+            }),
+        }
+    }
+
+    #[inline]
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// One-shot (first caller wins) adoption of the health registry's live
+    /// set, so a loop later in a sequence starts without the workers
+    /// quarantined by earlier loops. Safe to call from every worker: the
+    /// inter-loop barrier guarantees no worker still acts on the previous
+    /// loop's roster.
+    fn sync_with(&self, health: &HealthRegistry) {
+        if self.synced.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let live = health.live();
+        let mut inner = self.inner.lock().unwrap();
+        if inner.live != live {
+            inner.live = live;
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// The live worker owning `chunk`, or `None` while a remap is in
+    /// flight (`chunk` below the anchor) or the roster is empty.
+    fn owner_of(&self, chunk: u64) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        if inner.live.is_empty() || chunk < inner.base {
+            return None;
+        }
+        let l = inner.live.len() as u64;
+        Some(inner.live[((chunk - inner.base) % l) as usize])
+    }
+
+    /// The smallest chunk `>= from` owned by worker `t`, or `None` when
+    /// `t` is not on the roster.
+    fn next_owned(&self, t: u64, from: u64) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        let idx = inner.live.iter().position(|&x| x == t)? as u64;
+        let l = inner.live.len() as u64;
+        let start = from.max(inner.base);
+        let first = inner.base + idx;
+        if start <= first {
+            return Some(first);
+        }
+        let k = (start - first).div_ceil(l);
+        Some(first + k * l)
+    }
+
+    /// Remove worker `t`, re-anchoring the round-robin at `anchor` (the
+    /// token's current chunk) so every unexecuted chunk is remapped across
+    /// the survivors.
+    fn remove(&self, t: u64, anchor: u64) -> RemoveOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(idx) = inner.live.iter().position(|&x| x == t) else {
+            return RemoveOutcome::NotLive;
+        };
+        if inner.live.len() == 1 {
+            return RemoveOutcome::LastWorker;
+        }
+        inner.live.remove(idx);
+        // Monotone: a stale anchor racing a newer remap must never move
+        // the round-robin origin backward.
+        inner.base = inner.base.max(anchor);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        RemoveOutcome::Removed
+    }
+}
+
+/// Recovery state shared across a whole run — or a whole loop *sequence*,
+/// so a worker quarantined in loop `l` stays quarantined in loop `l + 1`
+/// and the retry budget is global.
+struct Recovery {
+    health: HealthRegistry,
+    /// Remaining chunk re-executions (see [`RetryPolicy::budget`]).
+    budget: AtomicU64,
+    policy: Option<RetryPolicy>,
+}
+
+impl Recovery {
+    fn new(nthreads: usize, tol: &Tolerance) -> Self {
+        let health_cfg = match &tol.retry {
+            Some(r) => HealthConfig {
+                strike_limit: r.strike_limit,
+                base_backoff: r.backoff,
+            },
+            None => HealthConfig::default(),
+        };
+        Recovery {
+            health: HealthRegistry::new(nthreads, health_cfg),
+            budget: AtomicU64::new(tol.retry.as_ref().map_or(0, |r| r.budget)),
+            policy: tol.retry,
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// Spend one retry from the budget; `false` when it is already dry.
+    fn try_consume_budget(&self) -> bool {
+        self.budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+            .is_ok()
+    }
+}
+
 /// Shared fault-handling state of one cascaded loop run.
-#[derive(Default)]
 struct FtRun {
     token: Token,
     /// `fetch_max(j + 1)` after chunk `j`'s body: chunks `0..completed`
@@ -315,9 +625,31 @@ struct FtRun {
     /// makes no fail-stop promise — re-running it could double-apply
     /// writes, so salvage must be refused.
     salvage_unsound: AtomicBool,
+    /// Chunk ownership map (static round-robin until a quarantine remaps
+    /// it).
+    roster: Roster,
+    /// Failed chunk → failed thread: retry attribution, consumed by
+    /// whichever worker eventually executes the chunk.
+    retry_from: Mutex<HashMap<u64, u64>>,
+    /// The worker that last won a claim; stall attribution for a stuck
+    /// executor. Racy by design (claim CAS and this store are two steps),
+    /// and only ever used to pick a strike suspect.
+    claimant: AtomicU64,
 }
 
 impl FtRun {
+    fn new(nthreads: usize) -> Self {
+        FtRun {
+            token: Token::default(),
+            completed: AtomicU64::new(0),
+            faults: Mutex::new(Vec::new()),
+            salvage_unsound: AtomicBool::new(false),
+            roster: Roster::new(nthreads),
+            retry_from: Mutex::new(HashMap::new()),
+            claimant: AtomicU64::new(0),
+        }
+    }
+
     fn record(&self, ev: FaultEvent) {
         self.faults.lock().unwrap().push(ev);
     }
@@ -325,21 +657,19 @@ impl FtRun {
     fn take_faults(&self) -> Vec<FaultEvent> {
         std::mem::take(&mut *self.faults.lock().unwrap())
     }
+}
 
-    /// A worker panicked at (or on the way to) `chunk`: record and poison.
-    fn fail(&self, thread: u64, chunk: u64, payload: Box<dyn std::any::Any + Send>) {
-        let message = panic_message(payload.as_ref());
-        self.record(FaultEvent::WorkerPanicked {
-            thread,
-            chunk,
-            message: message.clone(),
-        });
-        self.token.poison_with(PoisonCause::Panicked {
-            thread,
-            chunk,
-            message,
-        });
-    }
+/// `(retries, quarantined)` tallies for [`RunStats`] from the fault trail.
+fn tally(faults: &[FaultEvent]) -> (u64, u64) {
+    let retries = faults
+        .iter()
+        .filter(|f| matches!(f, FaultEvent::ChunkRetried { .. }))
+        .count() as u64;
+    let quarantined = faults
+        .iter()
+        .filter(|f| matches!(f, FaultEvent::WorkerQuarantined { .. }))
+        .count() as u64;
+    (retries, quarantined)
 }
 
 /// Execute `kernel` under cascaded execution with `cfg` (panicking shim;
@@ -370,14 +700,15 @@ pub fn try_run_cascaded<K: RealKernel>(
     }
     let plan = ChunkPlan::by_iterations(iters, cfg.iters_per_chunk);
     let m = plan.num_chunks();
-    let run = FtRun::default();
+    let run = FtRun::new(cfg.nthreads);
+    let rec = Recovery::new(cfg.nthreads, tol);
 
     let start = Instant::now();
     let threads: Vec<ThreadStats> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
-                let (plan, run) = (&plan, &run);
-                s.spawn(move || ft_worker(kernel, cfg, tol, plan, run, t as u64))
+                let (plan, run, rec) = (&plan, &run, &rec);
+                s.spawn(move || ft_worker(kernel, cfg, tol, plan, run, rec, t as u64))
             })
             .collect();
         // Workers catch their own panics and report through the token, so
@@ -396,6 +727,7 @@ pub fn try_run_cascaded<K: RealKernel>(
             m,
             "token must end one past the last chunk"
         );
+        let (retries, quarantined) = tally(&faults);
         return Ok(RunStats {
             elapsed,
             chunks: m,
@@ -403,6 +735,8 @@ pub fn try_run_cascaded<K: RealKernel>(
             threads,
             degraded: false,
             faults,
+            retries,
+            quarantined,
         });
     };
 
@@ -428,6 +762,7 @@ pub fn try_run_cascaded<K: RealKernel>(
             iters: iters - resume,
         });
     }
+    let (retries, quarantined) = tally(&faults);
     Ok(RunStats {
         elapsed: start.elapsed(),
         chunks: m,
@@ -435,6 +770,8 @@ pub fn try_run_cascaded<K: RealKernel>(
         threads,
         degraded: true,
         faults,
+        retries,
+        quarantined,
     })
 }
 
@@ -481,7 +818,11 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
         .iter()
         .map(|k| ChunkPlan::by_iterations(k.iters(), cfg.iters_per_chunk))
         .collect();
-    let runs: Vec<FtRun> = kernels.iter().map(|_| FtRun::default()).collect();
+    let runs: Vec<FtRun> = kernels.iter().map(|_| FtRun::new(cfg.nthreads)).collect();
+    // One recovery state for the whole sequence: a worker quarantined in
+    // loop l stays out of every later loop's roster, and the retry budget
+    // is shared.
+    let rec = Recovery::new(cfg.nthreads, tol);
     let barrier = FtBarrier::new(cfg.nthreads);
     let loop_starts: Vec<Mutex<Option<Instant>>> =
         kernels.iter().map(|_| Mutex::new(None)).collect();
@@ -492,7 +833,7 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
     let per_thread: Vec<Vec<ThreadStats>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
-                let (plans, runs, barrier) = (&plans, &runs, &barrier);
+                let (plans, runs, rec, barrier) = (&plans, &runs, &rec, &barrier);
                 let (loop_starts, loop_ends) = (&loop_starts, &loop_ends);
                 s.spawn(move || {
                     let mut all = Vec::with_capacity(kernels.len());
@@ -504,7 +845,13 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
                             }
                             _ => {}
                         }
-                        all.push(ft_worker(kernel, cfg, tol, &plans[l], &runs[l], t as u64));
+                        // A quarantined worker executes nothing (ft_worker
+                        // drains immediately) but keeps pacing the
+                        // barriers, so the surviving cascade stays in
+                        // lockstep.
+                        all.push(ft_worker(
+                            kernel, cfg, tol, &plans[l], &runs[l], rec, t as u64,
+                        ));
                         if let Some(cause) = runs[l].token.poison_cause() {
                             // Propagate the fault: no worker may block on a
                             // loop that will never start, and the poisoned
@@ -545,13 +892,17 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
             .unwrap()
             .expect("leader stamped start");
         let end = loop_ends[l].lock().unwrap().expect("leader stamped end");
+        let faults = runs[l].take_faults();
+        let (retries, quarantined) = tally(&faults);
         RunStats {
             elapsed: end.duration_since(start),
             chunks: plans[l].num_chunks(),
             iters: kernels[l].iters(),
             threads: thread_stats_for(l),
             degraded: false,
-            faults: runs[l].take_faults(),
+            faults,
+            retries,
+            quarantined,
         }
     };
 
@@ -600,6 +951,7 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
                 iters: iters - resume,
             });
         }
+        let (retries, quarantined) = tally(&faults);
         out.push(RunStats {
             elapsed: t0.elapsed(),
             chunks: m,
@@ -607,9 +959,20 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
             threads: thread_stats_for(l),
             degraded: true,
             faults,
+            retries,
+            quarantined,
         });
     }
     Ok(out)
+}
+
+/// Should the helper for chunk `j` stop and go claim? True when the token
+/// has reached (or passed) `j`, is poisoned, or the roster was remapped —
+/// in the last case `j` may no longer be ours to help for.
+#[inline]
+fn helper_jump_out(run: &FtRun, j: u64, epoch: u64) -> bool {
+    let raw = run.token.raw();
+    raw == POISONED || Token::chunk_index(raw) >= j || run.roster.epoch() != epoch
 }
 
 /// Helper work for chunk `j` (covering `range`): prefetch or pack until
@@ -618,8 +981,9 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
 fn helper_phase<K: RealKernel>(
     kernel: &K,
     cfg: &RunnerConfig,
-    token: &Token,
+    run: &FtRun,
     j: u64,
+    epoch: u64,
     range: &Range<u64>,
     buf: &mut Vec<u8>,
 ) -> (u64, u64) {
@@ -629,7 +993,7 @@ fn helper_phase<K: RealKernel>(
         RtPolicy::None => {}
         RtPolicy::Prefetch => {
             let mut i = range.start;
-            while !token.is_granted(j) && i < range.end {
+            while !helper_jump_out(run, j, epoch) && i < range.end {
                 let batch_end = (i + cfg.poll_batch).min(range.end);
                 for ii in i..batch_end {
                     kernel.prefetch_iter(ii);
@@ -642,7 +1006,7 @@ fn helper_phase<K: RealKernel>(
             buf.clear();
             let mut i = range.start;
             let mut supported = true;
-            while supported && !token.is_granted(j) && i < range.end {
+            while supported && !helper_jump_out(run, j, epoch) && i < range.end {
                 let batch_end = (i + cfg.poll_batch).min(range.end);
                 for ii in i..batch_end {
                     if !kernel.pack_iter(ii, buf) {
@@ -664,44 +1028,263 @@ fn helper_phase<K: RealKernel>(
     (packed_iters, helped_iters)
 }
 
-/// Wait for chunk `j`. `true` = granted, `false` = token poisoned. With a
-/// watchdog window, the waiter re-arms its deadline every time the token
-/// moves; a full window with no movement at all declares a stall.
-fn wait_watchdog(run: &FtRun, j: u64, tol: &Tolerance) -> bool {
-    let Some(window) = tol.watchdog else {
-        return matches!(
-            run.token.wait_for_deadline(j, None),
-            WaitOutcome::Granted { .. }
-        );
+/// How a wait for chunk `j` ended.
+enum ChunkClaim {
+    /// We won the claim CAS: we are the unique executor of `j`.
+    Claimed,
+    /// The token moved past `j` (someone else executed it — e.g. a
+    /// quarantined owner finishing late after its chunk was remapped to
+    /// us): recompute ownership and move on.
+    Superseded,
+    /// The roster epoch moved while we waited: our ownership of `j` may be
+    /// stale, recompute.
+    Remapped,
+    /// The token is poisoned: drain.
+    Poisoned,
+    /// We were quarantined while waiting: drain.
+    Quarantined,
+}
+
+/// What a waiter should do after declaring a stall.
+enum StallAction {
+    /// Keep waiting this much longer (a strike backoff, or recovery by
+    /// another detector is underway).
+    Wait(Duration),
+    /// The token is (now) poisoned: stop waiting.
+    Poisoned,
+}
+
+/// Poison the token with a stall cause; the winning poisoner alone
+/// records the event (and, when the retry ladder gave up, why it fell
+/// through).
+fn poison_stalled(
+    run: &FtRun,
+    stuck: u64,
+    waited: Duration,
+    abandon: Option<RetryAbandon>,
+) -> StallAction {
+    if run.token.poison_with(PoisonCause::Stalled {
+        chunk: stuck,
+        waited,
+    }) {
+        run.record(FaultEvent::StallDeclared {
+            chunk: stuck,
+            waited,
+        });
+        if let Some(reason) = abandon {
+            run.record(FaultEvent::RetryAbandoned {
+                chunk: stuck,
+                reason,
+            });
+        }
+    }
+    StallAction::Poisoned
+}
+
+/// A full watchdog window elapsed with no token movement at all. Without
+/// retry, poison immediately (PR 1 behavior). With retry, strike the
+/// suspect — the stuck chunk's roster owner, or the recorded claimant
+/// when an executor went quiet mid-body — granting exponential backoff;
+/// on a quarantine verdict either remap the chunk to survivors (it was
+/// never claimed, so re-execution is safe) or abandon recovery (a stuck
+/// executor may still write, its chunk is unretryable) and poison.
+fn declare_stall(
+    run: &FtRun,
+    rec: &Recovery,
+    t: u64,
+    raw: u64,
+    waited: Duration,
+    window: Duration,
+) -> StallAction {
+    let stuck = Token::chunk_index(raw);
+    if !rec.enabled() {
+        return poison_stalled(run, stuck, waited, None);
+    }
+    let executing = raw & EXEC_BIT != 0;
+    let suspect = if executing {
+        run.claimant.load(Ordering::Acquire)
+    } else {
+        match run.roster.owner_of(stuck) {
+            Some(owner) => owner,
+            // A remap is in flight; our own epoch check will fire.
+            None => return StallAction::Wait(window),
+        }
     };
-    loop {
-        let observed = run.token.current();
-        match run
-            .token
-            .wait_for_deadline(j, Some(Instant::now() + window))
-        {
-            WaitOutcome::Granted { .. } => return true,
-            WaitOutcome::Poisoned(_) => return false,
-            WaitOutcome::TimedOut { waited } => {
-                if run.token.current() == observed {
-                    // Nobody moved the token for a whole window: its holder
-                    // is dead or stalled beyond tolerance. First poisoner
-                    // wins; it alone records the event.
-                    if run.token.poison_with(PoisonCause::Stalled {
-                        chunk: observed,
-                        waited,
-                    }) {
-                        run.record(FaultEvent::StallDeclared {
-                            chunk: observed,
-                            waited,
-                        });
-                    }
-                    return false;
+    if suspect == t {
+        // The stuck chunk is (or just became) ours: no self-strike, go
+        // recompute ownership instead of waiting here.
+        return StallAction::Wait(window);
+    }
+    match rec.health.strike(suspect) {
+        StrikeVerdict::Backoff { wait, fresh } => {
+            if fresh {
+                run.record(FaultEvent::StallStrike {
+                    thread: suspect,
+                    chunk: stuck,
+                    strikes: rec.health.strikes(suspect),
+                    backoff: wait,
+                });
+            }
+            StallAction::Wait(wait)
+        }
+        StrikeVerdict::Quarantine => {
+            if executing {
+                // The executor claimed the chunk and went quiet mid-body:
+                // it may still write, so the chunk must never be retried.
+                return poison_stalled(run, stuck, waited, Some(RetryAbandon::ExecutorStuck));
+            }
+            if !rec.health.quarantine(suspect) {
+                // Another detector won: its remap is underway.
+                return StallAction::Wait(window);
+            }
+            if !rec.try_consume_budget() {
+                return poison_stalled(run, stuck, waited, Some(RetryAbandon::BudgetExhausted));
+            }
+            match run.roster.remove(suspect, stuck) {
+                RemoveOutcome::LastWorker => {
+                    poison_stalled(run, stuck, waited, Some(RetryAbandon::NoSurvivors))
                 }
-                // The cascade is advancing, just not to us yet: re-arm.
+                RemoveOutcome::NotLive => StallAction::Wait(window),
+                RemoveOutcome::Removed => {
+                    run.retry_from.lock().unwrap().insert(stuck, suspect);
+                    run.record(FaultEvent::WorkerQuarantined {
+                        thread: suspect,
+                        chunk: stuck,
+                    });
+                    StallAction::Wait(window)
+                }
             }
         }
     }
+}
+
+/// Wait for chunk `j` and claim it. With a watchdog window, the waiter
+/// re-arms its deadline every time the raw token value moves (grants and
+/// claims both count as progress); a full window with no movement climbs
+/// the stall ladder in [`declare_stall`].
+fn wait_to_claim(
+    run: &FtRun,
+    rec: &Recovery,
+    tol: &Tolerance,
+    t: u64,
+    j: u64,
+    epoch: u64,
+) -> ChunkClaim {
+    let started = Instant::now();
+    let mut observed = run.token.raw();
+    let mut deadline = tol.watchdog.map(|w| Instant::now() + w);
+    let mut spins = 0u64;
+    loop {
+        let raw = run.token.raw();
+        match Token::decode(raw) {
+            TokenView::Poisoned => return ChunkClaim::Poisoned,
+            TokenView::Granted(p) | TokenView::Claimed(p) if p > j => {
+                return ChunkClaim::Superseded
+            }
+            TokenView::Granted(p) if p == j && run.token.try_claim(j) => {
+                run.claimant.store(t, Ordering::Release);
+                return ChunkClaim::Claimed;
+                // A claimant that loses the CAS falls to `_` instead and
+                // re-observes the token (Superseded soon).
+            }
+            _ => {}
+        }
+        if run.roster.epoch() != epoch {
+            return ChunkClaim::Remapped;
+        }
+        std::hint::spin_loop();
+        spins += 1;
+        if spins.is_multiple_of(1024) {
+            if rec.health.is_quarantined(t) {
+                return ChunkClaim::Quarantined;
+            }
+            if let (Some(window), Some(d)) = (tol.watchdog, deadline) {
+                let now = Instant::now();
+                let raw_now = run.token.raw();
+                if raw_now != observed {
+                    observed = raw_now;
+                    deadline = Some(now + window);
+                } else if now >= d {
+                    if raw_now == POISONED {
+                        return ChunkClaim::Poisoned;
+                    }
+                    match declare_stall(run, rec, t, raw_now, started.elapsed(), window) {
+                        StallAction::Wait(extra) => deadline = Some(now + extra),
+                        StallAction::Poisoned => return ChunkClaim::Poisoned,
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Handle a worker panic at chunk `j` (`claimed` = during the execution
+/// phase, i.e. we hold the claim). Climbs the recovery ladder; returns
+/// `true` when the fault was absorbed in-cascade (self-quarantine, roster
+/// remap, claimed chunk handed back for a survivor to retry) and `false`
+/// when it fell through to token poisoning.
+fn recover_from_panic<K: RealKernel>(
+    kernel: &K,
+    run: &FtRun,
+    rec: &Recovery,
+    t: u64,
+    j: u64,
+    claimed: bool,
+    payload: Box<dyn std::any::Any + Send>,
+) -> bool {
+    let message = panic_message(payload.as_ref());
+    run.record(FaultEvent::WorkerPanicked {
+        thread: t,
+        chunk: j,
+        message: message.clone(),
+    });
+    let fail_stop = kernel.panics_before_mutation();
+    if claimed && !fail_stop {
+        // The chunk body was interrupted and the kernel makes no
+        // fail-stop promise: part of its writes may have landed, so
+        // neither retry nor salvage may re-run it.
+        run.salvage_unsound.store(true, Ordering::Release);
+    }
+    let mut abandon = None;
+    if rec.enabled() {
+        if claimed && !fail_stop {
+            abandon = Some(RetryAbandon::KernelNotFailStop);
+        } else if !rec.try_consume_budget() {
+            abandon = Some(RetryAbandon::BudgetExhausted);
+        } else if let Some(anchor) = run.token.position() {
+            // Anchor the remap at the token's position — the lowest
+            // unexecuted chunk (completion is in token order) — so chunks
+            // between it and j are re-owned too, not orphaned.
+            match run.roster.remove(t, anchor) {
+                RemoveOutcome::LastWorker => abandon = Some(RetryAbandon::NoSurvivors),
+                out => {
+                    if matches!(out, RemoveOutcome::Removed) {
+                        rec.health.quarantine(t);
+                        run.record(FaultEvent::WorkerQuarantined {
+                            thread: t,
+                            chunk: j,
+                        });
+                    }
+                    run.retry_from.lock().unwrap().insert(j, t);
+                    if !claimed || run.token.try_unclaim(j) {
+                        return true;
+                    }
+                    // The token was poisoned while we recovered: fall
+                    // through and report the panic as usual.
+                }
+            }
+        }
+        if let Some(reason) = abandon {
+            run.record(FaultEvent::RetryAbandoned { chunk: j, reason });
+        }
+    }
+    run.token.poison_with(PoisonCause::Panicked {
+        thread: t,
+        chunk: j,
+        message,
+    });
+    false
 }
 
 fn ft_worker<K: RealKernel>(
@@ -710,28 +1293,58 @@ fn ft_worker<K: RealKernel>(
     tol: &Tolerance,
     plan: &ChunkPlan,
     run: &FtRun,
+    rec: &Recovery,
     t: u64,
 ) -> ThreadStats {
+    run.roster.sync_with(&rec.health);
     let mut stats = ThreadStats::default();
     let mut buf: Vec<u8> = Vec::new();
     let m = plan.num_chunks();
-    let step = cfg.nthreads as u64;
-    let mut j = t;
-    while j < m {
+    let mut cursor = 0u64;
+    loop {
+        if rec.health.is_quarantined(t) {
+            return stats;
+        }
+        // The token position is the lowest unexecuted chunk: never look
+        // for work below it.
+        match run.token.position() {
+            None => return stats, // poisoned: the supervisor handles recovery
+            Some(p) => cursor = cursor.max(p),
+        }
+        let epoch = run.roster.epoch();
+        let Some(j) = run.roster.next_owned(t, cursor) else {
+            return stats; // not on the roster (quarantined before this loop)
+        };
+        if j >= m {
+            // Drained: no chunk of ours remains. With retry enabled, leave
+            // the roster *before* exiting — otherwise a later remap could
+            // hand a faulted worker's chunks to a worker that has already
+            // returned, orphaning them (the model checker found exactly
+            // this lost-chunk schedule). Anchoring at the token's current
+            // position is safe: everything below it has executed.
+            if rec.enabled() {
+                if let Some(p) = run.token.position() {
+                    let _ = run.roster.remove(t, p);
+                }
+            }
+            return stats;
+        }
         let range = plan.range(j);
         let range_len = range.end - range.start;
 
         // --- helper phase (with jump-out at poll_batch granularity) ---
         let helper_start = Instant::now();
         let helper = catch_unwind(AssertUnwindSafe(|| {
-            helper_phase(kernel, cfg, &run.token, j, &range, &mut buf)
+            helper_phase(kernel, cfg, run, j, epoch, &range, &mut buf)
         }));
         let (packed_iters, helped_iters) = match helper {
             Ok(counts) => counts,
             Err(payload) => {
                 // Helpers never touch loop-written state, so the chunk body
-                // is untouched; salvage stays sound.
-                run.fail(t, j, payload);
+                // is untouched; both retry and salvage stay sound. Either
+                // way (recovered in-cascade or poisoned) this worker is
+                // done.
+                recover_from_panic(kernel, run, rec, t, j, false, payload);
                 return stats;
             }
         };
@@ -741,20 +1354,22 @@ fn ft_worker<K: RealKernel>(
             stats.helper_complete += 1;
         }
 
-        // --- wait for the token (bounded when a watchdog is configured) ---
+        // --- wait for the token and claim the chunk ---
         let spin_start = Instant::now();
-        let granted = wait_watchdog(run, j, tol);
+        let claim = wait_to_claim(run, rec, tol, t, j, epoch);
         stats.spin_ns += spin_start.elapsed().as_nanos();
-        if !granted {
-            return stats; // poisoned: the supervisor handles recovery
+        match claim {
+            ChunkClaim::Claimed => {}
+            ChunkClaim::Superseded | ChunkClaim::Remapped => continue,
+            ChunkClaim::Poisoned | ChunkClaim::Quarantined => return stats,
         }
 
-        // --- execution phase ---
+        // --- execution phase (we hold the claim: unique executor) ---
         let exec_start = Instant::now();
         let exec = catch_unwind(AssertUnwindSafe(|| {
             let packed_end = range.start + packed_iters;
-            // SAFETY: we hold the token for chunk j: the protocol
-            // serializes all execute calls and release_to/wait_for form
+            // SAFETY: we won the claim CAS for chunk j: the protocol
+            // serializes all execute calls and claim/advance form
             // Release/Acquire edges making prior chunks' writes visible.
             unsafe {
                 if packed_iters > 0 {
@@ -768,20 +1383,24 @@ fn ft_worker<K: RealKernel>(
             }
         }));
         if let Err(payload) = exec {
-            // The chunk body was interrupted. Unless the kernel promises
-            // fail-stop panics, part of the chunk's writes may have landed
-            // and re-running it could double-apply them.
-            if !kernel.panics_before_mutation() {
-                run.salvage_unsound.store(true, Ordering::Release);
-            }
-            run.fail(t, j, payload);
+            recover_from_panic(kernel, run, rec, t, j, true, payload);
             return stats;
         }
         stats.exec_ns += exec_start.elapsed().as_nanos();
         stats.chunks += 1;
         run.completed.fetch_max(j + 1, Ordering::AcqRel);
+        rec.health.heartbeat(t);
+        if let Some(from) = run.retry_from.lock().unwrap().remove(&j) {
+            if from != t {
+                run.record(FaultEvent::ChunkRetried {
+                    chunk: j,
+                    from_thread: from,
+                    by_thread: t,
+                });
+            }
+        }
 
-        if !run.token.try_release(j, j + 1) {
+        if !run.token.try_advance(j) {
             // Poisoned while we executed (the watchdog declared us dead).
             // The chunk still completed exactly once — record and drain.
             run.record(FaultEvent::LateCompletion {
@@ -790,9 +1409,8 @@ fn ft_worker<K: RealKernel>(
             });
             return stats;
         }
-        j += step;
+        cursor = j + 1;
     }
-    stats
 }
 
 #[cfg(test)]
@@ -1079,5 +1697,275 @@ mod tests {
             }) => {}
             other => panic!("expected WorkerPanicked thread 0 chunk 4, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn injected_panic_recovers_in_cascade_bitwise() {
+        let n = 6_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(7, FaultKind::Panic);
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::retrying(Duration::from_millis(50)))
+            .expect("retry must recover");
+        assert!(
+            !stats.degraded,
+            "retry must stay cascaded, not salvage: {:?}",
+            stats.faults
+        );
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.quarantined, 1);
+        // Chunk 7 belongs to thread 1 under the initial round-robin.
+        assert!(
+            stats.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::WorkerQuarantined {
+                    thread: 1,
+                    chunk: 7
+                }
+            )),
+            "missing quarantine event: {:?}",
+            stats.faults
+        );
+        assert!(
+            stats.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::ChunkRetried {
+                    chunk: 7,
+                    from_thread: 1,
+                    ..
+                }
+            )),
+            "missing retry event: {:?}",
+            stats.faults
+        );
+        assert!(
+            !stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::Salvaged { .. })),
+            "in-cascade recovery must not fall through to salvage"
+        );
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_through_to_salvage() {
+        let n = 5_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(6, FaultKind::Panic);
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let tol = Tolerance {
+            watchdog: Some(Duration::from_millis(50)),
+            retry: Some(RetryPolicy {
+                budget: 0,
+                ..RetryPolicy::default()
+            }),
+            salvage: true,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &tol).expect("salvage must still recover");
+        assert!(stats.degraded, "a dry budget must fall through");
+        assert_eq!(stats.retries, 0);
+        assert!(
+            stats.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::RetryAbandoned {
+                    chunk: 6,
+                    reason: RetryAbandon::BudgetExhausted,
+                }
+            )),
+            "the fall-through must be recorded: {:?}",
+            stats.faults
+        );
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn single_worker_panic_has_no_survivors_to_retry_on() {
+        let n = 3_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(4, FaultKind::Panic);
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 1,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::retrying(Duration::from_millis(50)))
+            .expect("salvage must recover");
+        assert!(stats.degraded);
+        assert!(
+            stats.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::RetryAbandoned {
+                    reason: RetryAbandon::NoSurvivors,
+                    ..
+                }
+            )),
+            "missing NoSurvivors fall-through: {:?}",
+            stats.faults
+        );
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn non_fail_stop_kernel_is_never_retried() {
+        // Chain makes no fail-stop promise: a mid-body panic may have
+        // landed partial writes, so neither retry nor salvage may re-run
+        // the chunk — the run must end in a typed error.
+        struct Exploding(Chain);
+        // SAFETY: same serialization argument as Chain.
+        unsafe impl Sync for Exploding {}
+        impl RealKernel for Exploding {
+            fn iters(&self) -> u64 {
+                self.0.iters()
+            }
+            unsafe fn execute(&self, range: Range<u64>) {
+                if range.contains(&500) {
+                    panic!("exploded mid-body");
+                }
+                // SAFETY: forwarded contract.
+                unsafe { self.0.execute(range) }
+            }
+        }
+        let k = Exploding(Chain::new(4_000));
+        let cfg = RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        match try_run_cascaded(&k, &cfg, &Tolerance::retrying(Duration::from_millis(50))) {
+            Err(RunError::WorkerPanicked { chunk: 5, .. }) => {}
+            other => panic!("expected WorkerPanicked on chunk 5, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_claim_holder_is_never_retried() {
+        // The stall fires *after* the claim CAS, so the wedged worker may
+        // still write to its chunk: recovery must strike it, abandon the
+        // retry as ExecutorStuck, and fall through to salvage.
+        let n = 4_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(6, FaultKind::Stall(Duration::from_millis(200)));
+        let k = FaultyKernel::new(Chain::new(n), plan);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let tol = Tolerance {
+            watchdog: Some(Duration::from_millis(10)),
+            retry: Some(RetryPolicy {
+                budget: 4,
+                backoff: Duration::from_millis(5),
+                strike_limit: 2,
+            }),
+            salvage: true,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &tol).expect("stall must salvage");
+        assert!(stats.degraded);
+        assert_eq!(stats.retries, 0, "a claimed chunk must never be retried");
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::StallStrike { chunk: 6, .. })),
+            "missing strike events: {:?}",
+            stats.faults
+        );
+        assert!(
+            stats.faults.iter().any(|f| matches!(
+                f,
+                FaultEvent::RetryAbandoned {
+                    chunk: 6,
+                    reason: RetryAbandon::ExecutorStuck,
+                }
+            )),
+            "missing ExecutorStuck fall-through: {:?}",
+            stats.faults
+        );
+        assert_eq!(k.into_inner().into_data(), expected);
+    }
+
+    #[test]
+    fn sequence_quarantine_persists_across_loops() {
+        let n = 5_000;
+        let expected = seq_result(n);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        // Loop 0 panics on chunk 4 (thread 1); loops 1 and 2 are clean.
+        let kernels: Vec<FaultyKernel<Chain>> = (0..3)
+            .map(|l| {
+                let plan = if l == 0 {
+                    FaultPlan::new(100).inject(4, FaultKind::Panic)
+                } else {
+                    FaultPlan::new(100)
+                };
+                FaultyKernel::new(Chain::new(n), plan)
+            })
+            .collect();
+        let all = try_run_cascaded_sequence(
+            &kernels,
+            &cfg,
+            &Tolerance::retrying(Duration::from_millis(50)),
+        )
+        .expect("the sequence must recover in-cascade");
+        assert_eq!(all.len(), 3);
+        for (l, stats) in all.iter().enumerate() {
+            assert!(!stats.degraded, "loop {l} must stay cascaded");
+        }
+        assert_eq!(all[0].retries, 1);
+        assert_eq!(all[0].quarantined, 1);
+        // Thread 1 (owner of chunk 4) stays quarantined in later loops:
+        // it executes no chunks there, and no new faults appear.
+        for (l, stats) in all.iter().enumerate().skip(1) {
+            assert!(stats.faults.is_empty(), "loop {l}: {:?}", stats.faults);
+            assert_eq!(
+                stats.threads[1].chunks, 0,
+                "quarantined worker executed chunks in loop {l}"
+            );
+        }
+        for (l, k) in kernels.into_iter().enumerate() {
+            assert_eq!(k.into_inner().into_data(), expected, "loop {l}");
+        }
+    }
+
+    #[test]
+    fn retrying_tolerance_is_inert_without_faults() {
+        let n = 8_000;
+        let expected = seq_result(n);
+        let k = Chain::new(n);
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 200,
+            policy: RtPolicy::Restructure,
+            poll_batch: 16,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::retrying(Duration::from_secs(5)))
+            .expect("fault-free run");
+        assert!(!stats.degraded);
+        assert!(stats.faults.is_empty());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.quarantined, 0);
+        assert_eq!(k.into_data(), expected);
     }
 }

@@ -19,6 +19,22 @@
 //! (panics on poison), and the bounded [`Token::wait_for_deadline`] that
 //! returns a [`WaitOutcome`] so callers can implement watchdogs instead of
 //! spinning forever behind a dead token holder.
+//!
+//! ## Claimed execution (the recovery protocol)
+//!
+//! For in-cascade fault recovery the grant alone is not enough: when chunk
+//! ownership can be *remapped* at runtime (a failed worker's chunks handed
+//! to survivors), two workers may transiently wait for the same chunk. The
+//! token therefore distinguishes a **granted** chunk (counter holds `j`)
+//! from a **claimed** one (counter holds `j | EXEC_BIT`): a worker wins the
+//! right to execute `j` with the [`Token::try_claim`] compare-and-swap,
+//! publishes its writes with [`Token::try_advance`] (`j | EXEC_BIT` →
+//! `j + 1`), and — only for fail-stop panics, before any mutation — can
+//! relinquish an unexecuted claim with [`Token::try_unclaim`] so a healthy
+//! worker re-claims the chunk. Every transition is a CAS, so exactly one
+//! executor exists per chunk, a poisoned token can never be resurrected,
+//! and remapping races are benign by construction. The state machine is
+//! exhaustively model-checked in `cascade_rt::check`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -113,6 +129,24 @@ pub struct Token {
 /// Counter value marking a poisoned token (a worker panicked or stalled
 /// while holding it). No real chunk index can reach this value.
 pub const POISONED: u64 = u64::MAX;
+
+/// High bit marking the current chunk as *claimed for execution*: between
+/// the winning [`Token::try_claim`] and the [`Token::try_advance`] that
+/// publishes the chunk's writes, the counter holds `chunk | EXEC_BIT`.
+/// [`POISONED`] also has this bit set; it is excluded everywhere by its
+/// reserved value. Real chunk indices must stay below this bit.
+pub const EXEC_BIT: u64 = 1 << 63;
+
+/// What the token's raw counter currently encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenView {
+    /// Chunk `j` is granted and unclaimed: its owner may claim it.
+    Granted(u64),
+    /// Chunk `j` is claimed: exactly one worker is executing it.
+    Claimed(u64),
+    /// The token is poisoned; see [`Token::poison_cause`].
+    Poisoned,
+}
 
 impl Token {
     /// A token granting chunk 0.
@@ -250,6 +284,85 @@ impl Token {
             .compare_exchange(held, next, Ordering::Release, Ordering::Acquire)
             .is_ok()
     }
+
+    /// The raw counter value (Acquire). Decode with [`Token::decode`].
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.counter.load(Ordering::Acquire)
+    }
+
+    /// The chunk index encoded in a raw counter value, with the claim bit
+    /// stripped. Meaningless for [`POISONED`].
+    #[inline]
+    pub fn chunk_index(raw: u64) -> u64 {
+        raw & !EXEC_BIT
+    }
+
+    /// Decode a raw counter value into its protocol state.
+    #[inline]
+    pub fn decode(raw: u64) -> TokenView {
+        if raw == POISONED {
+            TokenView::Poisoned
+        } else if raw & EXEC_BIT != 0 {
+            TokenView::Claimed(raw & !EXEC_BIT)
+        } else {
+            TokenView::Granted(raw)
+        }
+    }
+
+    /// The lowest not-yet-completed chunk (the cascade's progress point),
+    /// or `None` when the token is poisoned. A claimed chunk is still in
+    /// flight, so it counts as the position.
+    #[inline]
+    pub fn position(&self) -> Option<u64> {
+        match Token::decode(self.raw()) {
+            TokenView::Poisoned => None,
+            TokenView::Granted(j) | TokenView::Claimed(j) => Some(j),
+        }
+    }
+
+    /// Claim granted chunk `chunk` for execution: CAS `chunk` →
+    /// `chunk | EXEC_BIT`. Exactly one claimant wins even when ownership
+    /// remapping makes several workers race for the same chunk; the
+    /// Acquire on success pairs with the previous chunk's
+    /// [`Token::try_advance`] Release so its writes are visible.
+    #[inline]
+    pub fn try_claim(&self, chunk: u64) -> bool {
+        debug_assert_eq!(chunk & EXEC_BIT, 0, "chunk index overflows claim bit");
+        self.counter
+            .compare_exchange(chunk, chunk | EXEC_BIT, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Publish claimed chunk `chunk` as complete and grant `chunk + 1`:
+    /// CAS `chunk | EXEC_BIT` → `chunk + 1` (Release). Fails — returning
+    /// `false` — when the token was poisoned while the chunk executed, so
+    /// a worker the watchdog declared dead can never resurrect the token
+    /// ([`crate::runner::FaultEvent::LateCompletion`]).
+    #[inline]
+    pub fn try_advance(&self, chunk: u64) -> bool {
+        self.counter
+            .compare_exchange(
+                chunk | EXEC_BIT,
+                chunk + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Relinquish claimed-but-unexecuted chunk `chunk`: CAS
+    /// `chunk | EXEC_BIT` → `chunk`, re-granting it so a surviving worker
+    /// can re-claim. Only sound when the claimant wrote nothing (fail-stop
+    /// panic before mutation); the runner gates this on
+    /// [`crate::kernel::RealKernel::panics_before_mutation`]. Fails when
+    /// the token was poisoned in the meantime.
+    #[inline]
+    pub fn try_unclaim(&self, chunk: u64) -> bool {
+        self.counter
+            .compare_exchange(chunk | EXEC_BIT, chunk, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +434,73 @@ mod tests {
             "CAS release must not resurrect a poisoned token"
         );
         assert!(t.is_poisoned());
+    }
+
+    #[test]
+    fn claim_protocol_round_trip() {
+        let t = Token::new();
+        assert_eq!(Token::decode(t.raw()), TokenView::Granted(0));
+        assert!(t.try_claim(0), "owner claims the granted chunk");
+        assert!(!t.try_claim(0), "a second claimant must lose the CAS");
+        assert_eq!(Token::decode(t.raw()), TokenView::Claimed(0));
+        assert_eq!(t.position(), Some(0), "a claimed chunk is still in flight");
+        assert!(t.try_advance(0));
+        assert_eq!(Token::decode(t.raw()), TokenView::Granted(1));
+        assert_eq!(t.position(), Some(1));
+    }
+
+    #[test]
+    fn unclaim_regrants_for_retry() {
+        let t = Token::new();
+        assert!(t.try_claim(0));
+        assert!(t.try_unclaim(0), "fail-stop panic relinquishes the claim");
+        assert_eq!(Token::decode(t.raw()), TokenView::Granted(0));
+        assert!(t.try_claim(0), "a survivor re-claims the retried chunk");
+        assert!(t.try_advance(0));
+        assert_eq!(t.current(), 1);
+    }
+
+    #[test]
+    fn poison_defeats_every_cas_transition() {
+        let t = Token::new();
+        assert!(t.try_claim(0));
+        t.poison();
+        assert!(!t.try_advance(0), "advance must not resurrect poison");
+        assert!(!t.try_unclaim(0), "unclaim must not resurrect poison");
+        assert!(!t.try_claim(0));
+        assert_eq!(t.position(), None);
+        assert!(t.is_poisoned());
+    }
+
+    #[test]
+    fn exactly_one_claimant_under_contention() {
+        // Many threads race to claim each chunk of a short cascade; the
+        // CAS must admit exactly one executor per chunk.
+        use std::sync::atomic::AtomicU64;
+        const CHUNKS: u64 = 50;
+        let t = Token::new();
+        let wins: Vec<AtomicU64> = (0..CHUNKS).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    let raw = t.raw();
+                    match Token::decode(raw) {
+                        TokenView::Poisoned => unreachable!(),
+                        TokenView::Granted(j) if j >= CHUNKS => break,
+                        TokenView::Granted(j) => {
+                            if t.try_claim(j) {
+                                wins[j as usize].fetch_add(1, Ordering::Relaxed);
+                                assert!(t.try_advance(j));
+                            }
+                        }
+                        TokenView::Claimed(_) => std::hint::spin_loop(),
+                    }
+                });
+            }
+        });
+        for (j, w) in wins.iter().enumerate() {
+            assert_eq!(w.load(Ordering::Relaxed), 1, "chunk {j} executors");
+        }
     }
 
     #[test]

@@ -7,8 +7,8 @@
 use std::time::Duration;
 
 use cascade_rt::{
-    try_run_cascaded, try_run_cascaded_sequence, FaultKind, FaultPlan, FaultyKernel, RealKernel,
-    RtPolicy, RunError, RunnerConfig, SpecProgram, Tolerance,
+    try_run_cascaded, try_run_cascaded_sequence, FaultEvent, FaultKind, FaultPlan, FaultyKernel,
+    RealKernel, RtPolicy, RunError, RunnerConfig, SpecProgram, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_wave5::{Parmvr, ParmvrParams};
@@ -105,6 +105,124 @@ fn randomized_fault_matrix_always_terminates_and_never_corrupts() {
     // The matrix must actually exercise the recovery machinery.
     assert!(salvaged >= 5, "only {salvaged} salvaged runs of 24");
     assert!(salvaged + clean + typed_errors == 24);
+}
+
+/// The retry-tolerance acceptance matrix: the same randomized plan shapes
+/// under [`Tolerance::retrying`]. Every injected plan must either complete
+/// bitwise-identical *without* `degraded = true` (recovered in-cascade) or
+/// fall through to salvage with the fall-through recorded as a
+/// [`FaultEvent::RetryAbandoned`] — zero silent corruptions, zero
+/// unexplained degradations.
+#[test]
+fn randomized_retry_matrix_recovers_or_records_fallthrough() {
+    let mut rng = StdRng::seed_from_u64(0x2E7121);
+    let mut recovered = 0u32;
+    let mut fell_through = 0u32;
+    let mut clean = 0u32;
+    let mut typed_errors = 0u32;
+    for case in 0..24u64 {
+        let variant = if case % 2 == 0 {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let expected = sequential_checksum(variant);
+        let nthreads = rng.gen_range(1..=4usize);
+        let policy = match rng.gen_range(0..3u32) {
+            0 => RtPolicy::None,
+            1 => RtPolicy::Prefetch,
+            _ => RtPolicy::Restructure,
+        };
+        let s = Synth::build(N, variant, 99);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
+        let plan = random_plan(&mut rng, num_chunks);
+        let cfg = RunnerConfig {
+            nthreads,
+            iters_per_chunk: CHUNK_ITERS,
+            policy,
+            poll_batch: 8,
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan.clone());
+        let result = try_run_cascaded(&faulty, &cfg, &Tolerance::retrying(WATCHDOG));
+        drop(faulty);
+        match result {
+            Ok(stats) => {
+                assert_eq!(
+                    prog.checksum(),
+                    expected,
+                    "case {case}: threads {nthreads}, plan {plan:?} — \
+                     run reported success but the result diverged"
+                );
+                if stats.degraded {
+                    // Fall-through to salvage must be explained: the
+                    // ladder records why the retry path gave up.
+                    assert!(
+                        stats
+                            .faults
+                            .iter()
+                            .any(|f| matches!(f, FaultEvent::RetryAbandoned { .. })),
+                        "case {case}: threads {nthreads}, plan {plan:?} — \
+                         degraded without a RetryAbandoned event: {:?}",
+                        stats.faults
+                    );
+                    fell_through += 1;
+                } else if stats.retries > 0 {
+                    recovered += 1;
+                } else {
+                    clean += 1;
+                }
+            }
+            Err(RunError::WorkerPanicked { .. } | RunError::Stalled { .. }) => {
+                typed_errors += 1;
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+    }
+    // The matrix must exercise both rungs: in-cascade recovery and the
+    // recorded fall-through to salvage. (Exact counts race on stall
+    // timing; the seed yields roughly 4 recovered / 5 fell-through.)
+    assert!(
+        recovered >= 2,
+        "only {recovered} in-cascade recoveries of 24"
+    );
+    assert!(fell_through >= 2, "only {fell_through} fall-throughs of 24");
+    assert_eq!(recovered + fell_through + clean + typed_errors, 24);
+}
+
+/// A panic-only plan under retry tolerance with ≥2 threads recovers fully
+/// in-cascade: no degraded flag, the retry and quarantine are visible in
+/// the stats, and the result is bitwise sequential-identical.
+#[test]
+fn panic_only_plans_recover_in_cascade_across_thread_counts() {
+    for nthreads in 2..=4usize {
+        let expected = sequential_checksum(Variant::Dense);
+        let s = Synth::build(N, Variant::Dense, 99);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
+        let plan = FaultPlan::new(CHUNK_ITERS).inject(num_chunks / 2, FaultKind::Panic);
+        let cfg = RunnerConfig {
+            nthreads,
+            iters_per_chunk: CHUNK_ITERS,
+            policy: RtPolicy::None,
+            poll_batch: 8,
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan);
+        let stats = try_run_cascaded(&faulty, &cfg, &Tolerance::retrying(WATCHDOG))
+            .expect("retry tolerance must recover a fail-stop panic");
+        drop(faulty);
+        assert!(
+            !stats.degraded,
+            "threads {nthreads}: fell through to salvage"
+        );
+        assert_eq!(stats.retries, 1, "threads {nthreads}");
+        assert_eq!(stats.quarantined, 1, "threads {nthreads}");
+        assert!(stats
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::ChunkRetried { .. })));
+        assert_eq!(prog.checksum(), expected, "threads {nthreads}: diverged");
+    }
 }
 
 /// Fault targeted at a specific (thread, chunk) point via round-robin

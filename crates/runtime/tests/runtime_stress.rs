@@ -315,3 +315,71 @@ fn sequence_rejects_zero_chunk_iters() {
         },
     );
 }
+
+/// Fault-free overhead guard: the full recovery ladder
+/// (`Tolerance::retrying` — watchdog, health registry, claim/advance CAS
+/// hand-off) must cost nothing observable when no fault is injected.
+/// Guards against accidentally putting a lock, an `Instant::now()` per
+/// iteration, or a heartbeat per poll on the hot path; timing compares
+/// the min of several trials with a generous factor so scheduler noise on
+/// a shared box does not flake the suite.
+#[test]
+fn fault_free_retry_ladder_adds_no_measurable_overhead() {
+    use cascade_rt::{try_run_cascaded, Tolerance};
+    use std::time::Duration;
+
+    let n = 1u64 << 14;
+    let cfg = RunnerConfig {
+        nthreads: 2,
+        iters_per_chunk: 256,
+        policy: RtPolicy::Restructure,
+        poll_batch: 8,
+    };
+    let expected = synth_checksum_sequential(n, Variant::Dense);
+    let run = |tol: &Tolerance| {
+        let s = Synth::build(n, Variant::Dense, 1234);
+        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let k = prog.kernel(0);
+        let stats = try_run_cascaded(&k, &cfg, tol).expect("fault-free run must succeed");
+        assert_eq!(prog.checksum(), expected, "fault-free run diverged");
+        stats
+    };
+
+    let ladder = Tolerance::retrying(Duration::from_secs(5));
+    let bare = Tolerance::fail_fast();
+    // Warm-up (page faults, thread-pool first-spawn costs), then trials.
+    run(&ladder);
+    run(&bare);
+    let trials = 5;
+    let min_elapsed = |tol: &Tolerance| {
+        (0..trials)
+            .map(|_| {
+                let stats = run(tol);
+                // The ladder must be armed but silent: no retries, no
+                // quarantines, no fault events, no degradation.
+                assert!(!stats.degraded);
+                assert_eq!(stats.retries, 0);
+                assert_eq!(stats.quarantined, 0);
+                assert!(
+                    stats.faults.is_empty(),
+                    "phantom faults: {:?}",
+                    stats.faults
+                );
+                stats.elapsed
+            })
+            .min()
+            .expect("at least one trial")
+    };
+    let with_ladder = min_elapsed(&ladder);
+    let without = min_elapsed(&bare);
+    // "No measurable cost": the best-case run with the whole ladder armed
+    // stays within 3x + 10ms of the best-case fail-fast run. The absolute
+    // slack absorbs millisecond-scale scheduler jitter on tiny runs; the
+    // factor catches any per-iteration or per-poll regression, which
+    // would show up as 10-100x on this chunk geometry.
+    let budget = without * 3 + Duration::from_millis(10);
+    assert!(
+        with_ladder <= budget,
+        "retry/health machinery slowed a fault-free run: {with_ladder:?} vs {without:?} (budget {budget:?})"
+    );
+}

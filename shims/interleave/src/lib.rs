@@ -1,0 +1,352 @@
+//! Deterministic schedule exploration for explicit state machines — a
+//! loom-style shim.
+//!
+//! Where loom instruments real atomics and re-runs closures under every
+//! schedule, this shim takes the *model-checking* route: the protocol
+//! under test is written down as an explicit state machine (a type
+//! implementing [`Model`]) and [`explore`] enumerates **every** reachable
+//! interleaving breadth-first, deduplicating states by hash. Each visited
+//! state is checked against the model's [`Model::invariant`]; terminal
+//! states must be [`Model::is_accepting`] (otherwise they are deadlocks)
+//! and pass [`Model::final_check`]. A violation comes back with the full
+//! action trace from the initial state — a minimal counterexample
+//! schedule, since BFS reaches every state by a shortest path first.
+//!
+//! The state space must be finite (bound your model: chunk counts,
+//! budgets, backoff ladders). `max_states` is a safety net, not a
+//! sampling knob: a truncated exploration reports `truncated = true` so
+//! callers can fail the test instead of trusting partial coverage.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An explicit-state model of a concurrent protocol.
+///
+/// States are the full shared+per-thread configuration; actions are the
+/// atomic steps threads can take (one action = one indivisible transition,
+/// e.g. a single CAS, not a whole critical section).
+pub trait Model: Clone + Eq + Hash {
+    /// One atomic step some thread can take.
+    type Action: Clone + Debug;
+
+    /// Every action enabled in this state (typically one per runnable
+    /// thread). An empty vec marks the state terminal.
+    fn actions(&self) -> Vec<Self::Action>;
+
+    /// The successor state after `action`. Must be deterministic: any
+    /// nondeterminism belongs in `actions()` as distinct actions.
+    fn apply(&self, action: &Self::Action) -> Self;
+
+    /// Safety property that must hold in **every** reachable state.
+    fn invariant(&self) -> Result<(), String>;
+
+    /// Is a terminal (no enabled actions) state an acceptable end state?
+    /// Terminal non-accepting states are reported as deadlocks.
+    fn is_accepting(&self) -> bool;
+
+    /// Extra property checked on accepting terminal states only
+    /// (e.g. "every chunk executed exactly once").
+    fn final_check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// A property violation plus the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct Violation<A> {
+    /// What went wrong (from `invariant`/`final_check`, or a deadlock).
+    pub message: String,
+    /// The shortest action sequence from the initial state to the bad
+    /// state.
+    pub trace: Vec<A>,
+}
+
+/// The result of exhausting (or truncating) the state space.
+#[derive(Debug)]
+pub struct Exploration<A> {
+    /// Distinct states reached.
+    pub states: usize,
+    /// Transitions evaluated (including ones into already-seen states).
+    pub transitions: usize,
+    /// Longest shortest-path depth reached.
+    pub max_depth: usize,
+    /// The first violation found (BFS order: a minimal one), if any.
+    pub violation: Option<Violation<A>>,
+    /// True when `max_states` stopped the search before exhaustion —
+    /// treat the run as inconclusive, not as a pass.
+    pub truncated: bool,
+}
+
+impl<A> Exploration<A> {
+    /// Did the exploration exhaust the state space with no violation?
+    pub fn verified(&self) -> bool {
+        self.violation.is_none() && !self.truncated
+    }
+}
+
+/// Reconstruct the action trace from the initial state to `idx`.
+fn trace_to<A: Clone>(parents: &[Option<(usize, A)>], mut idx: usize) -> Vec<A> {
+    let mut trace = Vec::new();
+    while let Some((parent, action)) = &parents[idx] {
+        trace.push(action.clone());
+        idx = *parent;
+    }
+    trace.reverse();
+    trace
+}
+
+/// Breadth-first exploration of every state reachable from `initial`,
+/// stopping at the first violation or after `max_states` distinct states.
+pub fn explore<M: Model>(initial: M, max_states: usize) -> Exploration<M::Action> {
+    let mut index: HashMap<M, usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, M::Action)>> = Vec::new();
+    let mut depths: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<(M, usize)> = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut max_depth = 0usize;
+    let mut truncated = false;
+
+    index.insert(initial.clone(), 0);
+    parents.push(None);
+    depths.push(0);
+    queue.push_back((initial, 0));
+
+    let mut violation = None;
+    while let Some((state, idx)) = queue.pop_front() {
+        max_depth = max_depth.max(depths[idx]);
+        if let Err(message) = state.invariant() {
+            violation = Some(Violation {
+                message,
+                trace: trace_to(&parents, idx),
+            });
+            break;
+        }
+        let actions = state.actions();
+        if actions.is_empty() {
+            let verdict = if state.is_accepting() {
+                state.final_check()
+            } else {
+                Err("deadlock: no enabled actions in a non-accepting state".to_string())
+            };
+            if let Err(message) = verdict {
+                violation = Some(Violation {
+                    message,
+                    trace: trace_to(&parents, idx),
+                });
+                break;
+            }
+            continue;
+        }
+        for action in actions {
+            let next = state.apply(&action);
+            transitions += 1;
+            if index.contains_key(&next) {
+                continue;
+            }
+            if index.len() >= max_states {
+                truncated = true;
+                continue;
+            }
+            let next_idx = parents.len();
+            index.insert(next.clone(), next_idx);
+            parents.push(Some((idx, action)));
+            depths.push(depths[idx] + 1);
+            queue.push_back((next, next_idx));
+        }
+    }
+
+    Exploration {
+        states: index.len(),
+        transitions,
+        max_depth,
+        violation,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads doing a non-atomic read-modify-write increment: the
+    /// canonical lost-update race. `tmp[t]` holds the value each thread
+    /// read; `None` means the thread hasn't loaded yet / has stored.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct RacyCounter {
+        value: u8,
+        tmp: [Option<u8>; 2],
+        done: [bool; 2],
+        atomic: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    enum CounterAction {
+        Load(usize),
+        Store(usize),
+        FetchAdd(usize),
+    }
+
+    impl RacyCounter {
+        fn new(atomic: bool) -> Self {
+            RacyCounter {
+                value: 0,
+                tmp: [None, None],
+                done: [false, false],
+                atomic,
+            }
+        }
+    }
+
+    impl Model for RacyCounter {
+        type Action = CounterAction;
+
+        fn actions(&self) -> Vec<CounterAction> {
+            let mut acts = Vec::new();
+            for t in 0..2 {
+                if self.done[t] {
+                    continue;
+                }
+                if self.atomic {
+                    acts.push(CounterAction::FetchAdd(t));
+                } else if self.tmp[t].is_none() {
+                    acts.push(CounterAction::Load(t));
+                } else {
+                    acts.push(CounterAction::Store(t));
+                }
+            }
+            acts
+        }
+
+        fn apply(&self, action: &CounterAction) -> Self {
+            let mut next = self.clone();
+            match *action {
+                CounterAction::Load(t) => next.tmp[t] = Some(self.value),
+                CounterAction::Store(t) => {
+                    next.value = self.tmp[t].expect("store follows load") + 1;
+                    next.tmp[t] = None;
+                    next.done[t] = true;
+                }
+                CounterAction::FetchAdd(t) => {
+                    next.value = self.value + 1;
+                    next.done[t] = true;
+                }
+            }
+            next
+        }
+
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_accepting(&self) -> bool {
+            self.done.iter().all(|&d| d)
+        }
+
+        fn final_check(&self) -> Result<(), String> {
+            if self.value == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: final value {} != 2", self.value))
+            }
+        }
+    }
+
+    #[test]
+    fn lost_update_race_is_found_with_a_trace() {
+        let result = explore(RacyCounter::new(false), 10_000);
+        let v = result.violation.expect("the race must be found");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        // Minimal counterexample: both threads load before either stores.
+        assert_eq!(v.trace.len(), 4, "trace {:?}", v.trace);
+        assert!(!result.truncated);
+    }
+
+    #[test]
+    fn atomic_counter_verifies() {
+        let result = explore(RacyCounter::new(true), 10_000);
+        assert!(
+            result.verified(),
+            "unexpected violation: {:?}",
+            result.violation
+        );
+        assert!(result.states >= 4);
+    }
+
+    /// Two threads taking two locks in opposite order: AB–BA deadlock.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct AbBa {
+        /// lock holder per lock, or None.
+        locks: [Option<usize>; 2],
+        /// locks acquired per thread (0, 1, or 2 = done).
+        progress: [u8; 2],
+    }
+
+    #[derive(Clone, Debug)]
+    struct Acquire {
+        thread: usize,
+        lock: usize,
+    }
+
+    impl Model for AbBa {
+        type Action = Acquire;
+
+        fn actions(&self) -> Vec<Acquire> {
+            let mut acts = Vec::new();
+            for t in 0..2 {
+                if self.progress[t] >= 2 {
+                    continue;
+                }
+                // Thread 0 takes lock 0 then 1; thread 1 takes 1 then 0.
+                let want = if t == 0 {
+                    self.progress[t] as usize
+                } else {
+                    1 - self.progress[t] as usize
+                };
+                if self.locks[want].is_none() {
+                    acts.push(Acquire {
+                        thread: t,
+                        lock: want,
+                    });
+                }
+            }
+            acts
+        }
+
+        fn apply(&self, action: &Acquire) -> Self {
+            let mut next = self.clone();
+            next.locks[action.lock] = Some(action.thread);
+            next.progress[action.thread] += 1;
+            next
+        }
+
+        fn invariant(&self) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_accepting(&self) -> bool {
+            self.progress.iter().all(|&p| p >= 2)
+        }
+    }
+
+    #[test]
+    fn abba_deadlock_is_detected() {
+        let result = explore(
+            AbBa {
+                locks: [None, None],
+                progress: [0, 0],
+            },
+            10_000,
+        );
+        let v = result.violation.expect("deadlock must be found");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+        assert_eq!(v.trace.len(), 2, "each thread took its first lock");
+    }
+
+    #[test]
+    fn truncation_is_reported_not_silently_passed() {
+        let result = explore(RacyCounter::new(false), 3);
+        assert!(result.truncated);
+        assert!(!result.verified());
+    }
+}
