@@ -1,0 +1,266 @@
+//! Dynamic cross-check of the static verdicts: replay the reference
+//! stream and look for observations that contradict the analysis.
+//!
+//! The replay walks iterations in program order with the interpreter's
+//! body semantics — all reads of an iteration happen before its writes —
+//! and checks three claims:
+//!
+//! * a `Packable` read never touches an element a *previous* iteration
+//!   wrote (no flow dependence at all);
+//! * a `HorizonSafe { lag }` read only touches elements whose latest
+//!   prior write is at least `lag` iterations old (the claimed lag is a
+//!   true lower bound);
+//! * every access stays inside the footprint the report claims for its
+//!   stream.
+//!
+//! An empty violation list over randomized specs (see the proptest in
+//! `tests/oracle_props.rs`) is the evidence that the static analysis is
+//! sound; any violation is an analyzer bug, reported with enough detail
+//! to reproduce.
+
+use std::collections::HashMap;
+
+use cascade_trace::{ArrayId, Pattern, Workload};
+
+use crate::{LoopReport, Verdict};
+
+/// One observation that contradicts the static report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The loop the observation came from.
+    pub loop_name: String,
+    /// The operand whose claim was contradicted.
+    pub ref_name: String,
+    /// Iteration at which the contradiction was observed.
+    pub iter: u64,
+    /// Human-readable description of the contradiction.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} · {} @ iter {}: {}",
+            self.loop_name, self.ref_name, self.iter, self.detail
+        )
+    }
+}
+
+/// Resolve the element a pattern touches at iteration `i`, or `None`
+/// when it cannot be resolved (missing/short index contents, negative
+/// affine index) — exactly the cases the analyzer flags separately.
+fn elem(w: &Workload, p: &Pattern, i: u64) -> Option<u64> {
+    match *p {
+        Pattern::Affine { base, stride } => {
+            let e = base + stride * i as i64;
+            (e >= 0).then_some(e as u64)
+        }
+        Pattern::Indirect {
+            index,
+            ibase,
+            istride,
+        } => {
+            let pos = ibase + istride * i as i64;
+            let len = w.index.len_of(index)? as i64;
+            (pos >= 0 && pos < len).then(|| w.index.get(index, pos as u64) as u64)
+        }
+    }
+}
+
+/// Byte address of element `e` of `array`, without the debug bounds
+/// assertion of [`cascade_trace::AddressSpace::addr`] (the oracle also
+/// replays specs the analyzer flagged as out of bounds).
+fn raw_addr(w: &Workload, array: ArrayId, e: u64) -> u64 {
+    let def = w.space.array(array);
+    def.base + e * def.elem as u64
+}
+
+/// Replay loop `idx` of the workload against its report and collect
+/// every contradiction. Unresolvable accesses are skipped (they carry
+/// their own `Unsafe`/`OutOfBounds` findings, which the replay cannot
+/// contradict).
+pub fn check_loop(w: &Workload, report: &LoopReport, idx: usize) -> Vec<Violation> {
+    let spec = &w.loops[idx];
+    let mut violations = Vec::new();
+    // elem -> latest write iteration, per array.
+    let mut last_write: HashMap<(ArrayId, u64), u64> = HashMap::new();
+
+    for i in 0..spec.iters {
+        // Reads of iteration i (before its writes).
+        for (r, rep) in spec.refs.iter().zip(&report.refs) {
+            if !r.mode.is_read_only() {
+                continue;
+            }
+            let Some(e) = elem(w, &r.pattern, i) else {
+                continue;
+            };
+            match rep.verdict {
+                Verdict::Packable => {
+                    if let Some(&j) = last_write.get(&(r.array, e)) {
+                        violations.push(Violation {
+                            loop_name: spec.name.clone(),
+                            ref_name: r.name.to_string(),
+                            iter: i,
+                            detail: format!(
+                                "claimed packable, but element {e} was written at iteration {j}"
+                            ),
+                        });
+                    }
+                }
+                Verdict::HorizonSafe { lag } => {
+                    if let Some(&j) = last_write.get(&(r.array, e)) {
+                        if i - j < lag {
+                            violations.push(Violation {
+                                loop_name: spec.name.clone(),
+                                ref_name: r.name.to_string(),
+                                iter: i,
+                                detail: format!(
+                                    "claimed lag {lag}, but element {e} was written at \
+                                     iteration {j} (gap {})",
+                                    i - j
+                                ),
+                            });
+                        }
+                    }
+                }
+                Verdict::Prefetchable | Verdict::Unsafe { .. } => {}
+            }
+            if let Some(fp) = rep.footprint {
+                let addr = raw_addr(w, r.array, e);
+                if !fp.contains(addr, r.bytes) {
+                    violations.push(Violation {
+                        loop_name: spec.name.clone(),
+                        ref_name: r.name.to_string(),
+                        iter: i,
+                        detail: format!(
+                            "read of [{addr}, {addr}+{}) escapes the claimed footprint \
+                             [{}, {})",
+                            r.bytes, fp.lo, fp.hi
+                        ),
+                    });
+                }
+            }
+        }
+        // Writes of iteration i.
+        for (r, rep) in spec.refs.iter().zip(&report.refs) {
+            if !r.mode.writes() {
+                continue;
+            }
+            let Some(e) = elem(w, &r.pattern, i) else {
+                continue;
+            };
+            last_write.insert((r.array, e), i);
+            if let Some(fp) = rep.footprint {
+                let addr = raw_addr(w, r.array, e);
+                if !fp.contains(addr, r.bytes) {
+                    violations.push(Violation {
+                        loop_name: spec.name.clone(),
+                        ref_name: r.name.to_string(),
+                        iter: i,
+                        detail: format!(
+                            "write of [{addr}, {addr}+{}) escapes the claimed footprint \
+                             [{}, {})",
+                            r.bytes, fp.lo, fp.hi
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Replay every loop of the workload against its report.
+pub fn check_workload(w: &Workload, report: &crate::WorkloadReport) -> Vec<Violation> {
+    report
+        .loops
+        .iter()
+        .enumerate()
+        .flat_map(|(i, l)| check_loop(w, l, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_workload, Footprint, RefReport};
+    use cascade_trace::{AddressSpace, IndexStore, LoopSpec, Mode, StreamRef};
+
+    fn recurrence() -> Workload {
+        let mut s = AddressSpace::new();
+        let y = s.alloc("y", 8, 65);
+        Workload {
+            space: s,
+            index: IndexStore::new(),
+            loops: vec![LoopSpec {
+                name: "rec".into(),
+                iters: 64,
+                refs: vec![
+                    StreamRef {
+                        name: "y(i-1)",
+                        array: y,
+                        pattern: Pattern::Affine { base: 0, stride: 1 },
+                        mode: Mode::Read,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                    StreamRef {
+                        name: "y(i)",
+                        array: y,
+                        pattern: Pattern::Affine { base: 1, stride: 1 },
+                        mode: Mode::Write,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                ],
+                compute: 1.0,
+                hoistable_compute: 0.0,
+                hoist_result_bytes: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn sound_report_has_no_violations() {
+        let w = recurrence();
+        let rep = analyze_workload(&w);
+        assert!(check_workload(&w, &rep).is_empty());
+    }
+
+    #[test]
+    fn inflated_lag_is_caught() {
+        let w = recurrence();
+        let mut rep = analyze_workload(&w);
+        // Sabotage: claim lag 2 where the true lag is 1.
+        rep.loops[0].refs[0].verdict = Verdict::HorizonSafe { lag: 2 };
+        let v = check_workload(&w, &rep);
+        assert!(!v.is_empty());
+        assert!(v[0].detail.contains("claimed lag 2"), "{}", v[0]);
+    }
+
+    #[test]
+    fn false_packable_is_caught() {
+        let w = recurrence();
+        let mut rep = analyze_workload(&w);
+        rep.loops[0].refs[0].verdict = Verdict::Packable;
+        let v = check_workload(&w, &rep);
+        assert!(v.iter().any(|v| v.detail.contains("claimed packable")));
+    }
+
+    #[test]
+    fn shrunken_footprint_is_caught() {
+        let w = recurrence();
+        let mut rep = analyze_workload(&w);
+        let fp = rep.loops[0].refs[0].footprint.unwrap();
+        rep.loops[0].refs[0] = RefReport {
+            footprint: Some(Footprint {
+                hi: fp.hi - 8,
+                ..fp
+            }),
+            ..rep.loops[0].refs[0].clone()
+        };
+        let v = check_workload(&w, &rep);
+        assert!(v.iter().any(|v| v.detail.contains("escapes")));
+    }
+}

@@ -1,0 +1,203 @@
+//! The dynamic oracle versus the static analyzer, over randomized loops.
+//!
+//! For any generated `LoopSpec` the analyzer's verdicts must never be
+//! contradicted by a replay of the reference stream: a `Packable` operand
+//! never reads an element a prior iteration wrote, a `HorizonSafe { lag }`
+//! operand never reads an element written fewer than `lag` iterations
+//! earlier, and every access stays inside the reported footprint. Unlike
+//! `tests/properties.rs` (which segregates read and write arrays so the
+//! legacy validator accepted everything), this generator deliberately lets
+//! reads and writes share arrays so carried dependences actually occur.
+
+use proptest::prelude::*;
+
+use cascade_analyze::{analyze_workload, oracle};
+use cascade_trace::{AddressSpace, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload};
+
+/// Element count of every generated array (small: the oracle replays all
+/// iterations of every case).
+const LEN: u64 = 512;
+
+#[derive(Debug, Clone)]
+struct GenRef {
+    array_pick: u8,
+    mode_pick: u8,
+    indirect: bool,
+    base: i64,
+    stride: i64,
+}
+
+fn gen_ref() -> impl Strategy<Value = GenRef> {
+    (0u8..4, 0u8..4, any::<bool>(), 0i64..5, 1i64..4).prop_map(
+        |(array_pick, mode_pick, indirect, base, stride)| GenRef {
+            array_pick,
+            mode_pick,
+            indirect,
+            base,
+            stride,
+        },
+    )
+}
+
+/// Materialize a generated configuration. All refs draw from one shared
+/// pool of 2–4 data arrays, so read/write aliasing (and therefore flow,
+/// anti, and output dependences at random distances) arises naturally.
+fn build(iters: u64, gens: &[GenRef], narrays: usize, seed: u64) -> Workload {
+    let mut space = AddressSpace::new();
+    let pool: Vec<_> = (0..narrays)
+        .map(|i| space.alloc(&format!("a{i}"), 8, LEN))
+        .collect();
+    let mut index = IndexStore::new();
+    let mut refs = Vec::new();
+    for (k, g) in gens.iter().enumerate() {
+        let array = pool[(g.array_pick as usize) % pool.len()];
+        // Read-biased so loops usually have both readers and writers.
+        let mode = match g.mode_pick {
+            0 | 1 => Mode::Read,
+            2 => Mode::Write,
+            _ => Mode::Modify,
+        };
+        let pattern = if g.indirect {
+            let idx = space.alloc(&format!("idx{k}"), 4, LEN);
+            // Deterministic pseudo-random in-range indices, distinct per
+            // ref and per test case.
+            index.set(
+                idx,
+                (0..LEN)
+                    .map(|i| {
+                        ((i.wrapping_mul(2_654_435_761)
+                            .wrapping_add(seed)
+                            .wrapping_mul(k as u64 + 1))
+                            % LEN) as u32
+                    })
+                    .collect(),
+            );
+            Pattern::Indirect {
+                index: idx,
+                ibase: g.base,
+                istride: g.stride,
+            }
+        } else {
+            Pattern::Affine {
+                base: g.base,
+                stride: g.stride,
+            }
+        };
+        refs.push(StreamRef {
+            name: Box::leak(format!("ref{k}").into_boxed_str()),
+            array,
+            pattern,
+            mode,
+            bytes: 8,
+            hoistable: false,
+        });
+    }
+    let spec = LoopSpec {
+        name: format!("oracle-gen iters={iters}"),
+        iters,
+        refs,
+        compute: 4.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    Workload {
+        space,
+        index,
+        loops: vec![spec],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole acceptance property: the dynamic oracle never
+    /// contradicts a `Packable` / `Prefetchable` / `HorizonSafe` verdict.
+    #[test]
+    fn static_verdicts_survive_dynamic_replay(
+        iters in 16u64..128,
+        gens in proptest::collection::vec(gen_ref(), 1..5),
+        narrays in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let w = build(iters, &gens, narrays, seed);
+        // Bases/strides stay in bounds by construction (4 + 3*128 < 512),
+        // so every generated loop must be admitted...
+        let report = analyze_workload(&w);
+        prop_assert!(
+            report.rt_ok(),
+            "generated loop unexpectedly rejected: {:?}",
+            report.errors()
+        );
+        // ...and the replay must agree with every verdict.
+        let violations = oracle::check_workload(&w, &report);
+        prop_assert!(
+            violations.is_empty(),
+            "oracle contradicted the analyzer: {violations:?}"
+        );
+    }
+
+    /// Horizon lags are not just sound but minimal: replaying the loop
+    /// must witness an actual flow dependence at exactly the reported lag.
+    #[test]
+    fn horizon_lags_are_witnessed(
+        iters in 16u64..96,
+        gens in proptest::collection::vec(gen_ref(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let w = build(iters, &gens, 2, seed);
+        let report = analyze_workload(&w);
+        prop_assume!(report.rt_ok());
+        let spec = &w.loops[0];
+        for r in &report.loops[0].refs {
+            if let Some(lag) = r.verdict.lag() {
+                let sref = spec.refs.iter().find(|s| s.name == r.name).unwrap();
+                let min_gap = observed_min_flow_gap(&w, spec, sref);
+                prop_assert_eq!(
+                    Some(lag), min_gap,
+                    "{}: reported lag {} but observed min flow gap {:?}",
+                    r.name, lag, min_gap
+                );
+            }
+        }
+    }
+}
+
+/// Replay the loop and return the smallest `i - j` over all (write at j,
+/// read by `r` at i, j < i) element collisions — the ground-truth lag.
+fn observed_min_flow_gap(w: &Workload, spec: &LoopSpec, r: &StreamRef) -> Option<u64> {
+    let mut last_write: std::collections::HashMap<(cascade_trace::ArrayId, u64), u64> =
+        std::collections::HashMap::new();
+    let mut min_gap = None;
+    for i in 0..spec.iters {
+        if let Some(e) = elem_of(w, r, i) {
+            if let Some(&j) = last_write.get(&(r.array, e)) {
+                let gap = i - j;
+                if min_gap.is_none_or(|g| gap < g) {
+                    min_gap = Some(gap);
+                }
+            }
+        }
+        for s in &spec.refs {
+            if s.mode.writes() {
+                if let Some(e) = elem_of(w, s, i) {
+                    last_write.insert((s.array, e), i);
+                }
+            }
+        }
+    }
+    min_gap
+}
+
+fn elem_of(w: &Workload, r: &StreamRef, i: u64) -> Option<u64> {
+    match r.pattern {
+        Pattern::Affine { base, stride } => Some((base + stride * i as i64) as u64),
+        Pattern::Indirect {
+            index,
+            ibase,
+            istride,
+        } => {
+            let slot = (ibase + istride * i as i64) as u64;
+            Some(w.index.get(index, slot) as u64)
+        }
+    }
+}

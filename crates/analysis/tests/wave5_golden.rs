@@ -1,0 +1,75 @@
+//! Golden analyzer verdicts for wave5's 15 PARMVR loops: every loop is
+//! admitted, no loop has a carried read (the particle mover's streams are
+//! all loop-independent), and each operand's lattice class is exactly
+//! read→packable, write/modify→prefetchable.
+
+use cascade_analyze::analyze_workload;
+use cascade_trace::Mode;
+use cascade_wave5::{Parmvr, ParmvrParams};
+
+#[test]
+fn wave5_loops_match_golden_verdicts() {
+    let p = Parmvr::build(ParmvrParams {
+        scale: 0.01,
+        seed: 42,
+    });
+    let rep = analyze_workload(&p.workload);
+    assert!(rep.rt_ok(), "wave5 must be admitted in full");
+    assert_eq!(rep.loops.len(), 15);
+    for l in &rep.loops {
+        assert_eq!(
+            l.helper_lag(),
+            None,
+            "{}: PARMVR has no carried reads, lag must be absent",
+            l.loop_name
+        );
+        assert!(
+            l.diagnostics.is_empty(),
+            "{}: unexpected diagnostics {:?}",
+            l.loop_name,
+            l.diagnostics
+        );
+        for r in &l.refs {
+            let want = match r.mode {
+                Mode::Read => "packable",
+                Mode::Write | Mode::Modify => "prefetchable",
+            };
+            assert_eq!(
+                r.verdict.class(),
+                want,
+                "{}: {} drifted to {}",
+                l.loop_name,
+                r.name,
+                r.verdict
+            );
+        }
+    }
+}
+
+#[test]
+fn wave5_footprints_are_exact_for_affine_streams() {
+    // Every affine stream's byte-interval footprint is exact; indirect
+    // gathers fall back to index-store bounds (exact only when the index
+    // contents cover the dense range).
+    let p = Parmvr::build(ParmvrParams {
+        scale: 0.01,
+        seed: 42,
+    });
+    let rep = analyze_workload(&p.workload);
+    for l in &rep.loops {
+        for r in &l.refs {
+            let fp = r
+                .footprint
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: {} lost its footprint", l.loop_name, r.name));
+            assert!(fp.lo < fp.hi, "{}: {} empty footprint", l.loop_name, r.name);
+            if r.index_footprint.is_none() {
+                assert!(
+                    fp.exact,
+                    "{}: affine stream {} must have an exact footprint",
+                    l.loop_name, r.name
+                );
+            }
+        }
+    }
+}

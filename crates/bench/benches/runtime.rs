@@ -47,7 +47,7 @@ fn bench_helpers(c: &mut Criterion) {
     let mut g = c.benchmark_group("helpers");
     let n = 1u64 << 16;
     let s = Synth::build(n, Variant::Dense, 9);
-    let prog = SpecProgram::new(s.workload, s.arena);
+    let prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let k = prog.kernel(0);
     g.throughput(Throughput::Elements(n));
     g.bench_function("prefetch_iter", |b| {
@@ -77,7 +77,7 @@ fn bench_cascade_end_to_end(c: &mut Criterion) {
         g.bench_function(format!("synthetic_dense_{}", policy.label()), |b| {
             b.iter(|| {
                 let s = Synth::build(n, Variant::Dense, 9);
-                let prog = SpecProgram::new(s.workload, s.arena);
+                let prog = SpecProgram::new(s.workload, s.arena).unwrap();
                 let k = prog.kernel(0);
                 let cfg = RunnerConfig {
                     nthreads: 2,

@@ -40,14 +40,14 @@ fn main() {
             let n = 1u64 << 21;
             let seq_sum = {
                 let s = Synth::build(n, variant, 3);
-                let mut prog = SpecProgram::new(s.workload, s.arena);
+                let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
                 let k = prog.kernel(0);
                 // SAFETY: single-threaded baseline.
                 let dt = run_sequential(&k);
                 (prog.checksum(), dt)
             };
             let s = Synth::build(n, variant, 3);
-            let mut prog = SpecProgram::new(s.workload, s.arena);
+            let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
             let k = prog.kernel(0);
             let cfg = RunnerConfig {
                 nthreads: cpus.clamp(1, 4),
@@ -83,7 +83,7 @@ fn main() {
     let scale = 0.02;
     let seq_sum = {
         let p = Parmvr::build(ParmvrParams { scale, seed: 5 });
-        let mut prog = SpecProgram::new(p.workload, p.arena);
+        let mut prog = SpecProgram::new(p.workload, p.arena).unwrap();
         let t0 = std::time::Instant::now();
         for i in 0..prog.num_loops() {
             let k = prog.kernel(i);
@@ -92,7 +92,7 @@ fn main() {
         (prog.checksum(), t0.elapsed())
     };
     let p = Parmvr::build(ParmvrParams { scale, seed: 5 });
-    let mut prog = SpecProgram::new(p.workload, p.arena);
+    let mut prog = SpecProgram::new(p.workload, p.arena).unwrap();
     let cfg = RunnerConfig {
         nthreads: cpus.clamp(1, 4),
         iters_per_chunk: 2048,

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use cascade_analyze::{analyze_workload, WorkloadReport};
 use cascade_core::{
     run_cascaded, run_sequential, run_unbounded, CascadeConfig, HelperPolicy, RunReport,
     UnboundedConfig,
@@ -16,7 +17,7 @@ use cascade_trace::{from_text, to_text, Arena, Workload};
 use cascade_wave5::{Parmvr, ParmvrParams};
 
 use cascade_core::ChunkPlan;
-use cascade_trace::{reuse_distances, stride_histogram, Mode, Resolver, TraceRef};
+use cascade_trace::{reuse_distances, stride_histogram, Mode, Resolver, Severity, TraceRef};
 
 use crate::args::{ArgError, Args};
 
@@ -90,6 +91,17 @@ USAGE:
         --loop N           loop index within the workload (default 0)
         --chunk BYTES      chunk to analyze (default 64K)
         --line BYTES       line granularity (default 32)
+
+  cascade analyze --all [options]
+      Static helper-safety report (cascade-analyze): per-operand lattice
+      verdicts (packable | prefetchable | horizon_safe | unsafe) over the
+      kernel suite and wave5. Exits 1 on any unsafe verdict or error
+      diagnostic.
+        --n N              kernel suite scale (default 4096)
+        --seed N           kernel/wave5 seed (default 42)
+        --scale F          wave5 scale (default 0.01)
+        --format text|json (default text)
+        --workload-file F  analyze one dumped workload instead
 
   cascade dump [options]
       Serialize a workload to the text format (share/edit/replay).
@@ -331,7 +343,7 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
 
     // Sequential reference.
     let expected = {
-        let mut prog = SpecProgram::new(workload.clone(), arena.clone());
+        let mut prog = SpecProgram::new(workload.clone(), arena.clone()).unwrap();
         let t0 = std::time::Instant::now();
         for i in 0..prog.num_loops() {
             let k = prog.kernel(i);
@@ -340,7 +352,7 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
         (prog.checksum(), t0.elapsed())
     };
 
-    let mut prog = SpecProgram::new(workload, arena);
+    let mut prog = SpecProgram::new(workload, arena).unwrap();
     let cfg = RunnerConfig {
         nthreads: threads,
         iters_per_chunk: chunk_iters,
@@ -446,7 +458,7 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     // One sequential reference checksum per workload variant.
     let expected = |variant: Variant| -> u64 {
         let s = Synth::build(n, variant, seed);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let k = prog.kernel(0);
         cascade_rt::run_sequential(&k);
         prog.checksum()
@@ -477,7 +489,7 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
             _ => RtPolicy::Restructure,
         };
         let s = Synth::build(n, variant, seed);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let num_chunks = prog.workload().loops[0].iters.div_ceil(chunk_iters).max(1);
         let mut plan = FaultPlan::new(chunk_iters);
         let mut injected = Vec::new();
@@ -641,6 +653,9 @@ pub fn schedule(args: &Args) -> Result<String, ArgError> {
 
 /// `cascade analyze`
 pub fn analyze(args: &Args) -> Result<String, ArgError> {
+    if args.flag("all") {
+        return analyze_all(args);
+    }
     let (workload, _arena, wname) = workload_from(args)?;
     let loop_idx = args.get_num("loop", 0usize)?;
     let chunk = args.get_bytes("chunk", 64 * 1024)?;
@@ -726,6 +741,207 @@ pub fn analyze(args: &Args) -> Result<String, ArgError> {
     out.push_str(&top.join(", "));
     out.push('\n');
     Ok(out)
+}
+
+/// `cascade analyze --all`: the static helper-safety report — per-operand
+/// lattice verdicts for the kernel suite plus wave5 (or one dumped
+/// workload), in text or JSON. Exits 1 (verification failure) when any
+/// target carries an `Unsafe` verdict or error diagnostic.
+fn analyze_all(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 4096u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let scale = args.get_num("scale", 0.01f64)?;
+    let format = args.get("format", "text");
+    let file = args.get_opt("workload-file");
+    args.reject_unknown()?;
+
+    let mut targets: Vec<(String, WorkloadReport)> = Vec::new();
+    match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
+            let w = from_text(&text)
+                .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
+            targets.push((path, analyze_workload(&w)));
+        }
+        None => {
+            for k in cascade_kernels::suite(n, seed) {
+                targets.push((k.name.to_string(), k.report()));
+            }
+            let p = Parmvr::build(ParmvrParams { scale, seed });
+            targets.push(("wave5-parmvr".to_string(), analyze_workload(&p.workload)));
+        }
+    }
+
+    let out = match format.as_str() {
+        "text" => render_analysis_text(&targets),
+        "json" => render_analysis_json(&targets, n, seed, scale),
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown format '{other}' (text|json)"
+            )))
+        }
+    };
+    let rejected: Vec<&str> = targets
+        .iter()
+        .filter(|(_, r)| !r.rt_ok())
+        .map(|(name, _)| name.as_str())
+        .collect();
+    if rejected.is_empty() {
+        Ok(out)
+    } else {
+        Err(ArgError::verification(format!(
+            "{out}\nunsafe verdicts or error diagnostics in: {}",
+            rejected.join(", ")
+        )))
+    }
+}
+
+fn mode_str(m: Mode) -> &'static str {
+    match m {
+        Mode::Read => "read",
+        Mode::Write => "write",
+        Mode::Modify => "modify",
+    }
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Info => "info",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+fn render_analysis_text(targets: &[(String, WorkloadReport)]) -> String {
+    let mut out = String::from("helper-safety analysis (cascade-analyze)\n");
+    let mut admitted = 0usize;
+    for (name, rep) in targets {
+        let status = if rep.rt_ok() {
+            admitted += 1;
+            "admitted"
+        } else {
+            "REJECTED"
+        };
+        out.push_str(&format!("\n== {name}: {status}\n"));
+        for d in &rep.diagnostics {
+            out.push_str(&format!("  {d}\n"));
+        }
+        for l in &rep.loops {
+            let lag = match l.helper_lag() {
+                Some(lag) => format!(", helper lag {lag}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "  loop {} ({} iters{lag})\n",
+                l.loop_name, l.iters
+            ));
+            for r in &l.refs {
+                out.push_str(&format!(
+                    "    {:<18} {:<7} {}\n",
+                    r.name,
+                    mode_str(r.mode),
+                    r.verdict
+                ));
+            }
+            for d in &l.diagnostics {
+                out.push_str(&format!("    {d}\n"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\nsummary: {admitted}/{} targets admitted\n",
+        targets.len()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_analysis_json(
+    targets: &[(String, WorkloadReport)],
+    n: u64,
+    seed: u64,
+    scale: f64,
+) -> String {
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"cascade-analyze-v1\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"n\": {n}, \"seed\": {seed}, \"scale\": {scale}}},\n"
+    ));
+    out.push_str("  \"targets\": [\n");
+    for (t, (name, rep)) in targets.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str(&format!("      \"rt_ok\": {},\n", rep.rt_ok()));
+        out.push_str("      \"loops\": [\n");
+        for (i, l) in rep.loops.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!(
+                "          \"name\": \"{}\",\n          \"iters\": {},\n          \"helper_lag\": {},\n          \"rt_ok\": {},\n",
+                json_escape(&l.loop_name),
+                l.iters,
+                opt(l.helper_lag()),
+                l.rt_ok()
+            ));
+            out.push_str("          \"refs\": [\n");
+            for (j, r) in l.refs.iter().enumerate() {
+                let fp = r.footprint.as_ref().map_or("null".to_string(), |f| {
+                    format!(
+                        "{{\"lo\": {}, \"hi\": {}, \"exact\": {}}}",
+                        f.lo, f.hi, f.exact
+                    )
+                });
+                out.push_str(&format!(
+                    "            {{\"name\": \"{}\", \"mode\": \"{}\", \"class\": \"{}\", \"lag\": {}, \"footprint\": {fp}}}{}\n",
+                    json_escape(r.name),
+                    mode_str(r.mode),
+                    r.verdict.class(),
+                    opt(r.verdict.lag()),
+                    if j + 1 < l.refs.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ],\n");
+            out.push_str("          \"diagnostics\": [\n");
+            for (j, d) in l.diagnostics.iter().enumerate() {
+                out.push_str(&format!(
+                    "            {{\"code\": \"{}\", \"severity\": \"{}\", \"ref\": {}, \"message\": \"{}\"}}{}\n",
+                    d.code.as_str(),
+                    severity_str(d.severity),
+                    d.ref_name
+                        .as_ref()
+                        .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
+                    json_escape(&d.message),
+                    if j + 1 < l.diagnostics.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ]\n");
+            out.push_str(&format!(
+                "        }}{}\n",
+                if i + 1 < rep.loops.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if t + 1 < targets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// `cascade sweep`

@@ -293,6 +293,77 @@ mod tests {
     }
 
     #[test]
+    fn analyze_all_reports_the_lattice() {
+        let out = run(["analyze", "--all", "--n", "1024", "--scale", "0.005"]).unwrap();
+        assert!(out.contains("triangular_solve: admitted"), "{out}");
+        assert!(out.contains("horizon_safe(lag=1)"), "{out}");
+        assert!(out.contains("wave5-parmvr: admitted"), "{out}");
+        assert!(out.contains("6/6 targets admitted"), "{out}");
+    }
+
+    #[test]
+    fn analyze_all_json_is_structured() {
+        let out = run([
+            "analyze", "--all", "--n", "1024", "--scale", "0.005", "--format", "json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"schema\": \"cascade-analyze-v1\""), "{out}");
+        assert!(out.contains("\"class\": \"horizon_safe\""), "{out}");
+        assert!(out.contains("\"code\": \"AN005\""), "{out}");
+        // Balanced braces/brackets: a cheap structural sanity check that
+        // needs no JSON parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                out.matches(open).count(),
+                out.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_all_unsafe_workload_is_a_verification_failure() {
+        // A loop that writes its own index array is unanalyzable: the
+        // gather's targets change under the loop's feet.
+        let dir = std::env::temp_dir().join("cascade-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unsafe.txt");
+        let contents: Vec<String> = (0..128u64).map(|i| i.to_string()).collect();
+        std::fs::write(
+            &path,
+            format!(
+                "cascade-workload v1\n\
+                 array x elem=8 len=128 align=64\n\
+                 array idx elem=8 len=128 align=64\n\
+                 index 1 {}\n\
+                 loop 64 compute=4 hoistable=0 hoist_bytes=0 name=writes-own-index\n\
+                 ref 0 mode=r bytes=8 hoistable=0 indirect 1 0 1\n\
+                 ref 1 mode=w bytes=8 hoistable=0 affine 0 1\n",
+                contents.join(" ")
+            ),
+        )
+        .unwrap();
+        let err = run([
+            "analyze",
+            "--all",
+            "--workload-file",
+            path.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Verification);
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.message().contains("AN003"), "{err}");
+        assert!(err.message().contains("REJECTED"), "{err}");
+    }
+
+    #[test]
+    fn analyze_all_rejects_unknown_format() {
+        let err = run(["analyze", "--all", "--format", "xml"]).unwrap_err();
+        assert!(err.message().contains("text|json"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Usage);
+    }
+
+    #[test]
     fn analyze_rejects_out_of_range_loop() {
         let err = run([
             "analyze",

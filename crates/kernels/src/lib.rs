@@ -15,11 +15,13 @@
 //!
 //! Each kernel is a [`Workload`] (+ initialized [`Arena`]) exactly like
 //! `cascade-wave5`'s loops, so the simulators run all of them unchanged.
-//! Kernels whose loops read an array they also write (`triangular_solve`,
-//! `iir_recurrence`) are *simulator-only*: the real-thread interpreter's
-//! safety validator rejects them, because it cannot prove the read
-//! prefix/write suffix never overlap within a helper's horizon. Use
-//! [`Kernel::rt_safe`] to filter.
+//! All five also run on real threads: the `cascade-analyze` dependence
+//! analyzer proves a helper-safety verdict per operand, and kernels with
+//! loop-carried reads (`triangular_solve`, `iir_recurrence`) get a
+//! `HorizonSafe { lag }` verdict — the runner then keeps helpers at most
+//! `lag` iterations past the committed frontier, which is exactly the
+//! distance the flow dependence allows. Use [`Kernel::report`] for the
+//! per-operand verdicts and [`Kernel::rt_safe`] for the derived gate.
 
 #![warn(missing_docs)]
 
@@ -39,9 +41,22 @@ pub struct Kernel {
     pub workload: Workload,
     /// Initialized backing data.
     pub arena: Arena,
-    /// Whether the real-thread interpreter accepts this kernel (loops that
-    /// read an array they also write are simulator-only).
-    pub rt_safe: bool,
+}
+
+impl Kernel {
+    /// The `cascade-analyze` helper-safety report for this kernel's
+    /// workload: per-operand verdicts, footprints, and diagnostics.
+    pub fn report(&self) -> cascade_analyze::WorkloadReport {
+        cascade_analyze::analyze_workload(&self.workload)
+    }
+
+    /// Whether the real-thread interpreter accepts this kernel, derived
+    /// from the analyzer's verdicts (no `Unsafe` operand, no error
+    /// diagnostics). Loops with loop-carried reads still qualify — they
+    /// run with a helper horizon instead of unrestricted helpers.
+    pub fn rt_safe(&self) -> bool {
+        self.report().rt_ok()
+    }
 }
 
 fn finish(
@@ -50,7 +65,6 @@ fn finish(
     index: IndexStore,
     spec: LoopSpec,
     arena: Arena,
-    rt_safe: bool,
 ) -> Kernel {
     spec.validate();
     let workload = Workload {
@@ -63,7 +77,6 @@ fn finish(
         name,
         workload,
         arena,
-        rt_safe,
     }
 }
 
@@ -77,8 +90,10 @@ fn fill_f64(arena: &mut Arena, space: &AddressSpace, id: cascade_trace::ArrayId,
 /// of off-diagonal entries per row:
 /// `x(i) = (b(i) - sum_k L(i,k) * x(col(i,k))) / d(i)`.
 ///
-/// The gather of earlier `x` entries is the loop-carried dependence.
-/// Simulator-only (`x` is both gathered and written).
+/// The gather of earlier `x` entries is the loop-carried dependence: the
+/// analyzer proves it `HorizonSafe { lag: 1 }` (every gathered index is
+/// strictly below the current row), so the kernel runs on real threads
+/// with helpers held to the committed frontier.
 pub fn triangular_solve(n: u64, nnz_per_row: u64, seed: u64) -> Kernel {
     assert!(n >= 16 && nnz_per_row >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -164,7 +179,7 @@ pub fn triangular_solve(n: u64, nnz_per_row: u64, seed: u64) -> Kernel {
         fill_f64(&mut arena, &space, id, &mut rng);
     }
     arena.install_indices(&space, &index);
-    finish("triangular_solve", space, index, spec, arena, false)
+    finish("triangular_solve", space, index, spec, arena)
 }
 
 /// Linked-list pointer chase: visit `n` nodes in a precomputed random
@@ -209,12 +224,13 @@ pub fn pointer_chase(n: u64, payload_bytes: u32, seed: u64) -> Kernel {
     let mut arena = Arena::new(&space);
     fill_f64(&mut arena, &space, nodes, &mut rng);
     arena.install_indices(&space, &index);
-    finish("pointer_chase", space, index, spec, arena, true)
+    finish("pointer_chase", space, index, spec, arena)
 }
 
 /// First-order IIR recurrence `y(i) = a * y(i-1) + x(i)`: the classic
-/// un-vectorizable filter. Simulator-only (`y` read at `i-1`, written at
-/// `i`).
+/// un-vectorizable filter. The carried read (`y` read at `i-1`, written
+/// at `i`) is `HorizonSafe { lag: 1 }`, so helpers trail the committed
+/// frontier by at most one iteration and the kernel runs on real threads.
 pub fn iir_recurrence(n: u64, seed: u64) -> Kernel {
     assert!(n >= 16);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -257,14 +273,7 @@ pub fn iir_recurrence(n: u64, seed: u64) -> Kernel {
     let mut arena = Arena::new(&space);
     fill_f64(&mut arena, &space, xv, &mut rng);
     arena.install_indices(&space, &IndexStore::new());
-    finish(
-        "iir_recurrence",
-        space,
-        IndexStore::new(),
-        spec,
-        arena,
-        false,
-    )
+    finish("iir_recurrence", space, IndexStore::new(), spec, arena)
 }
 
 /// Histogram accumulation `hist(key(i)) += w(i)` with colliding keys:
@@ -314,7 +323,7 @@ pub fn histogram(n: u64, buckets: u64, seed: u64) -> Kernel {
     let mut arena = Arena::new(&space);
     fill_f64(&mut arena, &space, w, &mut rng);
     arena.install_indices(&space, &index);
-    finish("histogram", space, index, spec, arena, true)
+    finish("histogram", space, index, spec, arena)
 }
 
 /// Sequentialized sparse matrix-vector product over a nonzero stream:
@@ -382,7 +391,7 @@ pub fn seq_spmv(nnz: u64, nrows: u64, ncols: u64, seed: u64) -> Kernel {
         fill_f64(&mut arena, &space, id, &mut rng);
     }
     arena.install_indices(&space, &index);
-    finish("seq_spmv", space, index, spec, arena, true)
+    finish("seq_spmv", space, index, spec, arena)
 }
 
 /// Build the whole suite at a common scale (element counts ~`n`).
@@ -412,24 +421,19 @@ mod tests {
     }
 
     #[test]
-    fn rt_safety_flags_match_interpreter_validation() {
-        // Kernels marked rt_safe must be accepted by the interpreter's
-        // validator logic: no read-only ref's array is written.
+    fn analyzer_admits_every_kernel() {
+        // All five kernels — including the carried-read pair — carry
+        // analyzer verdicts the real-thread runtime can honor.
         for k in suite(1024, 5) {
-            let spec = &k.workload.loops[0];
-            let written: std::collections::HashSet<_> = spec
-                .refs
-                .iter()
-                .filter(|r| r.mode.writes())
-                .map(|r| r.array)
-                .collect();
-            let reads_written = spec
-                .refs
-                .iter()
-                .any(|r| r.mode.is_read_only() && written.contains(&r.array));
+            let report = k.report();
+            assert!(k.rt_safe(), "{}: analyzer rejected the kernel", k.name);
+            assert!(report.rt_ok());
+            let lag = report.loops[0].helper_lag();
+            let carried = matches!(k.name, "triangular_solve" | "iir_recurrence");
             assert_eq!(
-                !reads_written, k.rt_safe,
-                "{}: rt_safe flag disagrees with ref structure",
+                lag.is_some(),
+                carried,
+                "{}: helper lag {lag:?} disagrees with loop structure",
                 k.name
             );
         }

@@ -1,0 +1,108 @@
+//! Golden analyzer verdicts for the kernel suite: the exact lattice class
+//! (and lag) of every operand, pinned so a change to the dependence
+//! analysis that silently reclassifies a kernel fails loudly here.
+
+use cascade_analyze::Verdict;
+use cascade_kernels::suite;
+use cascade_trace::DiagCode;
+
+/// (kernel, helper lag, [(operand, verdict class)], [diag codes]).
+/// Verdict classes are the stable strings from [`Verdict::class`].
+type GoldenRow = (
+    &'static str,
+    Option<u64>,
+    &'static [(&'static str, &'static str)],
+    &'static [DiagCode],
+);
+
+const GOLDEN: &[GoldenRow] = &[
+    (
+        "triangular_solve",
+        Some(1),
+        &[
+            ("L(i,*)", "packable"),
+            ("b(i)", "packable"),
+            ("d(i)", "packable"),
+            ("x(col(i,0))", "horizon_safe"),
+            ("x(i)", "prefetchable"),
+        ],
+        &[DiagCode::CarriedRead],
+    ),
+    (
+        "pointer_chase",
+        None,
+        &[("nodes(chain(i))", "packable")],
+        &[],
+    ),
+    (
+        "iir_recurrence",
+        Some(1),
+        &[
+            ("x(i)", "packable"),
+            ("y(i-1)", "horizon_safe"),
+            ("y(i)", "prefetchable"),
+        ],
+        &[DiagCode::CarriedRead],
+    ),
+    (
+        "histogram",
+        None,
+        &[("w(i)", "packable"), ("hist(key(i))", "prefetchable")],
+        &[],
+    ),
+    (
+        "seq_spmv",
+        None,
+        &[
+            ("A(k)", "packable"),
+            ("x(col(k))", "packable"),
+            ("y(row(k))", "prefetchable"),
+        ],
+        &[],
+    ),
+];
+
+#[test]
+fn kernel_verdicts_match_golden() {
+    let kernels = suite(4096, 42);
+    assert_eq!(kernels.len(), GOLDEN.len());
+    for (k, (name, lag, refs, codes)) in kernels.iter().zip(GOLDEN) {
+        assert_eq!(k.name, *name);
+        let rep = k.report();
+        assert!(rep.rt_ok(), "{name}: analyzer must admit the kernel");
+        let l = &rep.loops[0];
+        assert_eq!(l.helper_lag(), *lag, "{name}: helper lag drifted");
+        assert_eq!(l.refs.len(), refs.len(), "{name}: operand count drifted");
+        for (r, (rname, class)) in l.refs.iter().zip(*refs) {
+            assert_eq!(r.name, *rname, "{name}: operand order drifted");
+            assert_eq!(
+                r.verdict.class(),
+                *class,
+                "{name}: {rname} verdict drifted to {}",
+                r.verdict
+            );
+        }
+        assert_eq!(l.codes(), *codes, "{name}: diagnostic codes drifted");
+    }
+}
+
+#[test]
+fn carried_kernels_pin_their_exact_lag() {
+    // Both carried-read kernels have a distance-1 flow dependence — pin
+    // the full verdict (class AND lag), not just the class.
+    for k in suite(1024, 7) {
+        let rep = k.report();
+        let l = &rep.loops[0];
+        match k.name {
+            "triangular_solve" => assert_eq!(
+                l.find_ref("x(col(i,0))").unwrap().verdict,
+                Verdict::HorizonSafe { lag: 1 }
+            ),
+            "iir_recurrence" => assert_eq!(
+                l.find_ref("y(i-1)").unwrap().verdict,
+                Verdict::HorizonSafe { lag: 1 }
+            ),
+            _ => assert_eq!(l.helper_lag(), None, "{}: unexpected lag", k.name),
+        }
+    }
+}

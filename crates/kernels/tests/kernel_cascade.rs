@@ -1,10 +1,16 @@
 //! The kernel suite through the full system: simulator speedups per loop
-//! class, and real-thread bitwise equivalence for the rt-safe kernels.
+//! class, and real-thread bitwise equivalence for every kernel — including
+//! the carried-read pair the analyzer proves horizon-safe.
+
+use std::time::Duration;
 
 use cascade_core::{run_cascaded, run_sequential, CascadeConfig, HelperPolicy};
-use cascade_kernels::{histogram, pointer_chase, seq_spmv, suite};
+use cascade_kernels::{histogram, pointer_chase, seq_spmv, suite, triangular_solve};
 use cascade_mem::machines::pentium_pro;
-use cascade_rt::{RtPolicy, RunnerConfig, SpecProgram};
+use cascade_rt::{
+    try_run_cascaded, FaultKind, FaultPlan, FaultyKernel, RtPolicy, RunnerConfig, SpecProgram,
+    Tolerance,
+};
 
 #[test]
 fn every_kernel_simulates_under_every_policy() {
@@ -72,14 +78,12 @@ fn memory_bound_kernels_gain_most() {
 }
 
 #[test]
-fn rt_safe_kernels_cascade_bitwise_on_threads() {
+fn every_kernel_cascades_bitwise_on_threads() {
     for k in suite(4096, 11) {
-        if !k.rt_safe {
-            continue;
-        }
         let name = k.name;
+        assert!(k.rt_safe(), "{name}: analyzer must admit every kernel");
         let expected = {
-            let mut prog = SpecProgram::new(k.workload.clone(), k.arena.clone());
+            let mut prog = SpecProgram::new(k.workload.clone(), k.arena.clone()).unwrap();
             let kern = prog.kernel(0);
             // SAFETY: single-threaded baseline.
             unsafe {
@@ -87,7 +91,7 @@ fn rt_safe_kernels_cascade_bitwise_on_threads() {
             };
             prog.checksum()
         };
-        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
         let kern = prog.kernel(0);
         cascade_rt::run_cascaded(
             &kern,
@@ -103,13 +107,51 @@ fn rt_safe_kernels_cascade_bitwise_on_threads() {
 }
 
 #[test]
+fn tri_solve_survives_injected_panic_bitwise() {
+    // Chaos smoke for the newly rt-enabled carried-read kernel: a worker
+    // panic mid-run must be absorbed by the retry ladder (injected faults
+    // are fail-stop) with a bitwise-identical result — the helper horizon
+    // keeps holding even while chunks are re-executed on survivors.
+    let build = || triangular_solve(4096, 4, 17);
+    let expected = {
+        let k = build();
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
+        let kern = prog.kernel(0);
+        // SAFETY: single-threaded baseline.
+        unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
+        prog.checksum()
+    };
+    let k = build();
+    let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
+    let cfg = RunnerConfig {
+        nthreads: 3,
+        iters_per_chunk: 113,
+        policy: RtPolicy::Restructure,
+        poll_batch: 8,
+    };
+    let faulty = FaultyKernel::new(
+        prog.kernel(0),
+        FaultPlan::new(cfg.iters_per_chunk).inject(5, FaultKind::Panic),
+    );
+    try_run_cascaded(&faulty, &cfg, &Tolerance::retrying(Duration::from_secs(5)))
+        .expect("retry ladder must absorb a fail-stop panic");
+    assert_eq!(faulty.fired(), vec![5], "the planned fault must have fired");
+    drop(faulty);
+    assert_eq!(
+        prog.checksum(),
+        expected,
+        "tri-solve diverged under fault + retry"
+    );
+}
+
+#[test]
 fn spmv_scatter_order_is_preserved() {
     // The scatter-accumulate makes seq_spmv order-sensitive; cascading
     // across different chunk sizes must all give the sequential answer.
     let build = || seq_spmv(8192, 2048, 2048, 5);
     let expected = {
         let k = build();
-        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
         let kern = prog.kernel(0);
         // SAFETY: single-threaded baseline.
         unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
@@ -117,7 +159,7 @@ fn spmv_scatter_order_is_preserved() {
     };
     for chunk in [64u64, 777, 5000] {
         let k = build();
-        let mut prog = SpecProgram::new(k.workload, k.arena);
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
         let kern = prog.kernel(0);
         cascade_rt::run_cascaded(
             &kern,

@@ -167,6 +167,10 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
         unsafe { self.inner.execute_packed(range, buf) }
     }
 
+    fn helper_horizon(&self) -> Option<u64> {
+        self.inner.helper_horizon()
+    }
+
     /// Injected panics fire strictly before the inner body (see module
     /// docs); this promise is void if the *inner* kernel panics mid-body
     /// on its own.

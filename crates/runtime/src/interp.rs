@@ -25,89 +25,68 @@
 //! The arena lives in an `UnsafeCell`. Mutation happens only inside
 //! [`RealKernel::execute`]/[`RealKernel::execute_packed`], whose contract
 //! (enforced by [`crate::runner`]'s token protocol) guarantees exclusivity
-//! and happens-before edges. Helper-phase reads (`pack_iter`) touch only
-//! arrays the loop never writes — validated at construction — and
-//! `prefetch_iter` issues only architectural hints.
+//! and happens-before edges. Helper-phase reads (`pack_iter`) are proven
+//! safe at construction by the `cascade-analyze` dependence analysis:
+//! either the operand is never written by the loop (`Packable`), or every
+//! aliasing write precedes the read by at least `lag` iterations
+//! (`HorizonSafe`) and the runner keeps helpers behind the committed
+//! horizon via [`RealKernel::helper_horizon`]. `prefetch_iter` issues
+//! only architectural hints (plus index-array demand reads, which the
+//! analysis proves are never written).
 
 use std::cell::UnsafeCell;
-use std::collections::HashSet;
 use std::ops::Range;
 
+use cascade_analyze::{analyze_workload, AnalysisError, LoopReport, WorkloadReport};
+use cascade_trace::diag::{DiagCode, Diagnostic, Severity};
 use cascade_trace::{Arena, ArrayId, LoopSpec, Mode, Pattern, Workload};
 
 use crate::kernel::RealKernel;
 use crate::prefetch::prefetch_range;
 
 /// A runnable program: workload description + real backing bytes.
+#[derive(Debug)]
 pub struct SpecProgram {
     workload: Workload,
+    report: WorkloadReport,
     arena: UnsafeCell<Arena>,
 }
 
 // SAFETY: all mutation of `arena` flows through `RealKernel::execute*`,
 // whose contract requires external serialization with happens-before
-// edges; concurrent helper reads are restricted (by `validate_loop`) to
-// arrays the running loop never writes.
+// edges; concurrent helper reads are proven race-free by the
+// `cascade-analyze` verdicts (Packable) or horizon-gated by the runner
+// (HorizonSafe) — `SpecProgram::new` rejects everything else.
 unsafe impl Sync for SpecProgram {}
 
 impl SpecProgram {
-    /// Wrap a workload and its arena, validating that every loop is safe
-    /// to run under concurrent helpers (see module docs).
-    pub fn new(workload: Workload, arena: Arena) -> Self {
-        workload.validate();
-        assert_eq!(
-            arena.len() as u64,
-            workload.space.extent(),
-            "arena does not match the workload's address space"
-        );
-        for spec in &workload.loops {
-            Self::validate_loop(spec);
-        }
-        SpecProgram {
-            workload,
-            arena: UnsafeCell::new(arena),
-        }
-    }
-
-    fn validate_loop(spec: &LoopSpec) {
-        let written: HashSet<ArrayId> = spec
-            .refs
-            .iter()
-            .filter(|r| r.mode.writes())
-            .map(|r| r.array)
-            .collect();
-        let mut width = None;
-        for r in &spec.refs {
-            match width {
-                None => width = Some(r.bytes),
-                Some(w) => assert_eq!(
-                    w, r.bytes,
-                    "{}: interpreter requires uniform operand width",
-                    spec.name
+    /// Wrap a workload and its arena, running the `cascade-analyze`
+    /// helper-safety analysis over every loop. Returns the typed findings
+    /// ([`AnalysisError`]) instead of panicking when a loop cannot run
+    /// under the real-thread interpreter: an `Unsafe` operand verdict, a
+    /// malformed spec, an unsupported or mixed operand width, or an arena
+    /// that does not match the address space.
+    pub fn new(workload: Workload, arena: Arena) -> Result<Self, AnalysisError> {
+        let mut report = analyze_workload(&workload);
+        if arena.len() as u64 != workload.space.extent() {
+            report.diagnostics.push(Diagnostic::loop_level(
+                DiagCode::ArenaMismatch,
+                Severity::Error,
+                "",
+                format!(
+                    "arena does not match the workload's address space \
+                     ({} bytes vs extent {})",
+                    arena.len(),
+                    workload.space.extent()
                 ),
-            }
-            assert!(
-                r.bytes == 4 || r.bytes == 8,
-                "{}: interpreter supports 4- or 8-byte operands",
-                spec.name
-            );
-            if r.mode.is_read_only() {
-                assert!(
-                    !written.contains(&r.array),
-                    "{}: array of read-only ref {} is also written; helpers would race",
-                    spec.name,
-                    r.name
-                );
-            }
-            if let Pattern::Indirect { index, .. } = r.pattern {
-                assert!(
-                    !written.contains(&index),
-                    "{}: index array of {} is written by the same loop",
-                    spec.name,
-                    r.name
-                );
-            }
+            ));
         }
+        let report = report.require_rt()?;
+        Ok(SpecProgram {
+            workload,
+            report,
+            arena: UnsafeCell::new(arena),
+        })
     }
 
     /// The wrapped workload (loops, space, indices).
@@ -115,11 +94,22 @@ impl SpecProgram {
         &self.workload
     }
 
+    /// The helper-safety analysis report the program was admitted under.
+    pub fn report(&self) -> &WorkloadReport {
+        &self.report
+    }
+
+    /// The analysis report of loop `idx`.
+    pub fn loop_report(&self, idx: usize) -> &LoopReport {
+        &self.report.loops[idx]
+    }
+
     /// A kernel for loop `idx`, runnable by [`crate::runner::run_cascaded`].
     pub fn kernel(&self, idx: usize) -> SpecKernel<'_> {
         SpecKernel {
             prog: self,
             spec: &self.workload.loops[idx],
+            report: &self.report.loops[idx],
         }
     }
 
@@ -173,12 +163,18 @@ fn take_bytes<const N: usize>(buf: &[u8], cur: usize) -> [u8; N] {
 pub struct SpecKernel<'p> {
     prog: &'p SpecProgram,
     spec: &'p LoopSpec,
+    report: &'p LoopReport,
 }
 
 impl<'p> SpecKernel<'p> {
     /// The spec this kernel interprets.
     pub fn spec(&self) -> &LoopSpec {
         self.spec
+    }
+
+    /// The helper-safety report of this loop.
+    pub fn report(&self) -> &LoopReport {
+        self.report
     }
 
     /// Resolve the element index of `r` at iteration `i`, reading indirect
@@ -341,12 +337,18 @@ impl<'p> RealKernel for SpecKernel<'p> {
         }
     }
 
+    fn helper_horizon(&self) -> Option<u64> {
+        self.report.helper_lag()
+    }
+
     fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
         for r in &self.spec.refs {
             match r.mode {
                 Mode::Read => {
-                    // SAFETY: loop-read-only array (validated): concurrent
-                    // with the executor but disjoint from all its writes.
+                    // SAFETY: the analysis proved this read is either
+                    // never written by the loop (Packable) or only by
+                    // iterations the horizon gate has already committed
+                    // (HorizonSafe + runner-enforced `helper_horizon`).
                     unsafe {
                         let e = self.elem_index(&r.pattern, i);
                         if r.bytes == 8 {
@@ -509,7 +511,7 @@ mod tests {
 
     fn run_once(policy: RtPolicy, threads: usize, n: u64) -> u64 {
         let (w, arena) = scatter_workload(n);
-        let mut prog = SpecProgram::new(w, arena);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
         let k = prog.kernel(0);
         run_cascaded(
             &k,
@@ -525,7 +527,7 @@ mod tests {
 
     fn sequential_checksum(n: u64) -> u64 {
         let (w, arena) = scatter_workload(n);
-        let mut prog = SpecProgram::new(w, arena);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
         let k = prog.kernel(0);
         // SAFETY: single-threaded.
         unsafe { k.execute(0..k.iters()) };
@@ -547,8 +549,8 @@ mod tests {
     #[test]
     fn packed_execution_matches_unpacked_exactly() {
         let (w, arena) = scatter_workload(4096);
-        let mut p1 = SpecProgram::new(w.clone(), arena.clone());
-        let mut p2 = SpecProgram::new(w, arena);
+        let mut p1 = SpecProgram::new(w.clone(), arena.clone()).unwrap();
+        let mut p2 = SpecProgram::new(w, arena).unwrap();
         {
             let k = p1.kernel(0);
             // SAFETY: single-threaded.
@@ -570,7 +572,7 @@ mod tests {
     #[should_panic(expected = "packed buffer underrun")]
     fn truncated_packed_buffer_reports_underrun_with_context() {
         let (w, arena) = scatter_workload(64);
-        let prog = SpecProgram::new(w, arena);
+        let prog = SpecProgram::new(w, arena).unwrap();
         let k = prog.kernel(0);
         let mut buf = Vec::new();
         for i in 0..4 {
@@ -584,7 +586,7 @@ mod tests {
     #[test]
     fn prefetch_iter_is_pure() {
         let (w, arena) = scatter_workload(1024);
-        let mut prog = SpecProgram::new(w, arena);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
         let before = prog.checksum();
         let k = prog.kernel(0);
         for i in 0..k.iters() {
@@ -593,9 +595,11 @@ mod tests {
         assert_eq!(prog.checksum(), before);
     }
 
+    /// The old validator banned *any* read of a written array; the
+    /// analyzer proves this disjoint-halves loop is packable and admits
+    /// it — and the run stays bitwise-sequential on real threads.
     #[test]
-    #[should_panic(expected = "helpers would race")]
-    fn read_of_written_array_is_rejected() {
+    fn disjoint_read_of_written_array_is_admitted_and_correct() {
         let mut space = AddressSpace::new();
         let a = space.alloc("a", 8, 64);
         let spec = LoopSpec {
@@ -631,12 +635,120 @@ mod tests {
             index: IndexStore::new(),
             loops: vec![spec],
         };
-        let arena = Arena::new(&w.space);
-        SpecProgram::new(w, arena);
+        let mut arena = Arena::new(&w.space);
+        for i in 0..64 {
+            arena.set_f64(&w.space, a, i, i as f64 * 0.5 + 1.0);
+        }
+        let expected = {
+            let mut prog = SpecProgram::new(w.clone(), arena.clone()).unwrap();
+            let k = prog.kernel(0);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+            prog.checksum()
+        };
+        let mut prog = SpecProgram::new(w, arena).unwrap();
+        assert_eq!(
+            prog.loop_report(0).find_ref("a(i)").unwrap().verdict,
+            cascade_analyze::Verdict::Packable
+        );
+        assert_eq!(prog.kernel(0).helper_horizon(), None);
+        let k = prog.kernel(0);
+        run_cascaded(
+            &k,
+            &RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 4,
+                policy: RtPolicy::Restructure,
+                poll_batch: 4,
+            },
+        );
+        assert_eq!(prog.checksum(), expected);
+    }
+
+    /// A first-order recurrence (read y(i-1), write y(i)) was formerly
+    /// unrunnable on real threads; the analyzer classifies the carried
+    /// read HorizonSafe{lag: 1} and the horizon-gated runner keeps the
+    /// cascaded run bitwise-sequential under every policy.
+    #[test]
+    fn recurrence_is_horizon_safe_and_bitwise_on_threads() {
+        let mut space = AddressSpace::new();
+        let n = 4096u64;
+        let x = space.alloc("x", 8, n);
+        let y = space.alloc("y", 8, n + 1);
+        let spec = LoopSpec {
+            name: "recurrence".into(),
+            iters: n,
+            refs: vec![
+                StreamRef {
+                    name: "x(i)",
+                    array: x,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "y(i-1)",
+                    array: y,
+                    pattern: Pattern::Affine { base: 0, stride: 1 },
+                    mode: Mode::Read,
+                    bytes: 8,
+                    hoistable: false,
+                },
+                StreamRef {
+                    name: "y(i)",
+                    array: y,
+                    pattern: Pattern::Affine { base: 1, stride: 1 },
+                    mode: Mode::Write,
+                    bytes: 8,
+                    hoistable: false,
+                },
+            ],
+            compute: 2.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![spec],
+        };
+        let mut arena = Arena::new(&w.space);
+        for i in 0..n {
+            arena.set_f64(&w.space, x, i, (i % 17) as f64 * 0.25 - 1.0);
+        }
+        arena.set_f64(&w.space, y, 0, 0.75);
+        let expected = {
+            let mut prog = SpecProgram::new(w.clone(), arena.clone()).unwrap();
+            let k = prog.kernel(0);
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..k.iters()) };
+            prog.checksum()
+        };
+        for policy in [RtPolicy::None, RtPolicy::Prefetch, RtPolicy::Restructure] {
+            for threads in [2, 4] {
+                let mut prog = SpecProgram::new(w.clone(), arena.clone()).unwrap();
+                assert_eq!(prog.kernel(0).helper_horizon(), Some(1));
+                let k = prog.kernel(0);
+                run_cascaded(
+                    &k,
+                    &RunnerConfig {
+                        nthreads: threads,
+                        iters_per_chunk: 129,
+                        policy,
+                        poll_batch: 8,
+                    },
+                );
+                assert_eq!(
+                    prog.checksum(),
+                    expected,
+                    "policy {policy:?} threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]
-    #[should_panic(expected = "uniform operand width")]
     fn mixed_widths_are_rejected() {
         let mut space = AddressSpace::new();
         let a = space.alloc("a", 8, 64);
@@ -672,6 +784,19 @@ mod tests {
             loops: vec![spec],
         };
         let arena = Arena::new(&w.space);
-        SpecProgram::new(w, arena);
+        let err = SpecProgram::new(w, arena).unwrap_err();
+        assert!(err.has_code(cascade_trace::DiagCode::MixedWidth), "{err}");
+        assert!(format!("{err}").contains("uniform operand width"), "{err}");
+    }
+
+    #[test]
+    fn arena_mismatch_is_a_typed_error() {
+        let (w, _) = scatter_workload(64);
+        let (_, small_arena) = scatter_workload(32);
+        let err = SpecProgram::new(w, small_arena).unwrap_err();
+        assert!(
+            err.has_code(cascade_trace::DiagCode::ArenaMismatch),
+            "{err}"
+        );
     }
 }

@@ -53,6 +53,22 @@ pub trait RealKernel: Sync {
         unsafe { self.execute(range) }
     }
 
+    /// The helper-horizon constraint of this kernel: `Some(lag)` means a
+    /// helper (prefetch or pack) may only touch iteration `i` while
+    /// `i < committed + lag`, where `committed` is the first iteration of
+    /// the chunk the token currently licenses (everything below it is
+    /// executed and visible through the token's Release/Acquire pair).
+    /// `None` means helpers are unrestricted.
+    ///
+    /// This is how loops with loop-carried reads (lag ≥ 1 flow
+    /// dependences, e.g. a first-order recurrence) run safely on real
+    /// threads: the helper never reads a value the concurrent execution
+    /// phase could still produce. Verdicts come from the `cascade-analyze`
+    /// static analysis (see `docs/ANALYSIS.md`).
+    fn helper_horizon(&self) -> Option<u64> {
+        None
+    }
+
     /// Whether any panic raised by `execute` / `execute_packed` is
     /// guaranteed to happen *before* the call mutates shared state
     /// (fail-stop panics). The runner's salvage path re-executes an

@@ -21,7 +21,7 @@
 //! use cascade_synth::{Synth, Variant};
 //!
 //! let s = Synth::build(1 << 14, Variant::Dense, 7);
-//! let mut prog = SpecProgram::new(s.workload, s.arena);
+//! let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
 //! let kernel = prog.kernel(0);
 //! let stats = run_cascaded(&kernel, &RunnerConfig {
 //!     nthreads: 2, iters_per_chunk: 1024, policy: RtPolicy::Restructure, poll_batch: 64,

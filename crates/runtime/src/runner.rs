@@ -978,10 +978,22 @@ fn helper_jump_out(run: &FtRun, j: u64, epoch: u64) -> bool {
 /// Helper work for chunk `j` (covering `range`): prefetch or pack until
 /// the token arrives or the range is exhausted. Returns
 /// `(packed_iters, helped_iters)`.
+///
+/// When the kernel declares a [`RealKernel::helper_horizon`] of `lag`
+/// (a loop-carried read whose aliasing writes trail by at least `lag`
+/// iterations), the helper never touches an iteration `i` unless
+/// `i < committed + lag`, where `committed` is the first iteration of
+/// the chunk the token currently licenses: every value such an `i` reads
+/// was produced by an already-committed chunk and is visible through the
+/// token's Acquire load. The horizon *grows* as the token advances, so
+/// the helper re-reads it each poll batch and spins (still watching for
+/// jump-out) while it has caught up with the horizon.
+#[allow(clippy::too_many_arguments)] // a phase is naturally parameterized by all of these
 fn helper_phase<K: RealKernel>(
     kernel: &K,
     cfg: &RunnerConfig,
     run: &FtRun,
+    plan: &ChunkPlan,
     j: u64,
     epoch: u64,
     range: &Range<u64>,
@@ -989,12 +1001,41 @@ fn helper_phase<K: RealKernel>(
 ) -> (u64, u64) {
     let mut packed_iters = 0u64;
     let mut helped_iters = 0u64;
+    let horizon = kernel.helper_horizon();
+    let m = plan.num_chunks();
+    // Cap a batch end at the current helper horizon. The token read is
+    // Acquire (see `Token::raw`), so every write of a chunk below the
+    // observed position happens-before any value read under this cap.
+    let horizon_cap = |want: u64| -> u64 {
+        match horizon {
+            None => want,
+            Some(lag) => {
+                let raw = run.token.raw();
+                if raw == POISONED {
+                    return 0;
+                }
+                let pos = Token::chunk_index(raw);
+                let committed = if pos >= m {
+                    kernel.iters()
+                } else {
+                    plan.range(pos).start
+                };
+                committed.saturating_add(lag).min(want)
+            }
+        }
+    };
     match cfg.policy {
         RtPolicy::None => {}
         RtPolicy::Prefetch => {
             let mut i = range.start;
             while !helper_jump_out(run, j, epoch) && i < range.end {
-                let batch_end = (i + cfg.poll_batch).min(range.end);
+                let batch_end = horizon_cap((i + cfg.poll_batch).min(range.end));
+                if batch_end <= i {
+                    // Caught up with the horizon: wait for the token to
+                    // commit more chunks (or arrive, via jump-out).
+                    std::hint::spin_loop();
+                    continue;
+                }
                 for ii in i..batch_end {
                     kernel.prefetch_iter(ii);
                 }
@@ -1007,7 +1048,11 @@ fn helper_phase<K: RealKernel>(
             let mut i = range.start;
             let mut supported = true;
             while supported && !helper_jump_out(run, j, epoch) && i < range.end {
-                let batch_end = (i + cfg.poll_batch).min(range.end);
+                let batch_end = horizon_cap((i + cfg.poll_batch).min(range.end));
+                if batch_end <= i {
+                    std::hint::spin_loop();
+                    continue;
+                }
                 for ii in i..batch_end {
                     if !kernel.pack_iter(ii, buf) {
                         supported = false;
@@ -1335,7 +1380,7 @@ fn ft_worker<K: RealKernel>(
         // --- helper phase (with jump-out at poll_batch granularity) ---
         let helper_start = Instant::now();
         let helper = catch_unwind(AssertUnwindSafe(|| {
-            helper_phase(kernel, cfg, run, j, epoch, &range, &mut buf)
+            helper_phase(kernel, cfg, run, plan, j, epoch, &range, &mut buf)
         }));
         let (packed_iters, helped_iters) = match helper {
             Ok(counts) => counts,

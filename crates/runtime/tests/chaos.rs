@@ -22,7 +22,7 @@ const STALL: Duration = Duration::from_millis(80);
 
 fn sequential_checksum(variant: Variant) -> u64 {
     let s = Synth::build(N, variant, 99);
-    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let k = prog.kernel(0);
     // SAFETY: single-threaded.
     unsafe { k.execute(0..k.iters()) };
@@ -69,7 +69,7 @@ fn randomized_fault_matrix_always_terminates_and_never_corrupts() {
             _ => RtPolicy::Restructure,
         };
         let s = Synth::build(N, variant, 99);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
         let plan = random_plan(&mut rng, num_chunks);
         let cfg = RunnerConfig {
@@ -134,7 +134,7 @@ fn randomized_retry_matrix_recovers_or_records_fallthrough() {
             _ => RtPolicy::Restructure,
         };
         let s = Synth::build(N, variant, 99);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
         let plan = random_plan(&mut rng, num_chunks);
         let cfg = RunnerConfig {
@@ -198,7 +198,7 @@ fn panic_only_plans_recover_in_cascade_across_thread_counts() {
     for nthreads in 2..=4usize {
         let expected = sequential_checksum(Variant::Dense);
         let s = Synth::build(N, Variant::Dense, 99);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
         let plan = FaultPlan::new(CHUNK_ITERS).inject(num_chunks / 2, FaultKind::Panic);
         let cfg = RunnerConfig {
@@ -232,7 +232,7 @@ fn typed_error_names_the_injected_thread_and_chunk() {
     let nthreads = 3u64;
     let target_chunk = FaultPlan::chunk_owned_by(2, 4, nthreads); // thread 2, 5th turn
     let s = Synth::build(N, Variant::Dense, 99);
-    let prog = SpecProgram::new(s.workload, s.arena);
+    let prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let plan = FaultPlan::new(CHUNK_ITERS).inject(target_chunk, FaultKind::Panic);
     let faulty = FaultyKernel::new(prog.kernel(0), plan);
     let cfg = RunnerConfig {
@@ -257,7 +257,7 @@ fn sequence_salvages_across_loops_bitwise() {
             scale: 0.005,
             seed: 31,
         });
-        SpecProgram::new(p.workload, p.arena)
+        SpecProgram::new(p.workload, p.arena).unwrap()
     };
     let expected = {
         let mut prog = build();
@@ -308,7 +308,7 @@ fn sequence_stall_is_salvaged_bitwise() {
             scale: 0.005,
             seed: 47,
         });
-        SpecProgram::new(p.workload, p.arena)
+        SpecProgram::new(p.workload, p.arena).unwrap()
     };
     let expected = {
         let mut prog = build();

@@ -9,7 +9,7 @@ use cascade_wave5::{Parmvr, ParmvrParams};
 
 fn synth_checksum_sequential(n: u64, variant: Variant) -> u64 {
     let s = Synth::build(n, variant, 1234);
-    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let k = prog.kernel(0);
     // SAFETY: single-threaded.
     unsafe { k.execute(0..k.iters()) };
@@ -18,7 +18,7 @@ fn synth_checksum_sequential(n: u64, variant: Variant) -> u64 {
 
 fn synth_checksum_cascaded(n: u64, variant: Variant, cfg: &RunnerConfig) -> u64 {
     let s = Synth::build(n, variant, 1234);
-    let mut prog = SpecProgram::new(s.workload, s.arena);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let k = prog.kernel(0);
     run_cascaded(&k, cfg);
     prog.checksum()
@@ -100,7 +100,7 @@ fn sequencing_all_loops_twice_matches_two_sequential_calls() {
             scale: 0.005,
             seed: 77,
         });
-        SpecProgram::new(p.workload, p.arena)
+        SpecProgram::new(p.workload, p.arena).unwrap()
     };
     let expected = {
         let mut prog = build();
@@ -133,7 +133,7 @@ fn sequencing_all_loops_twice_matches_two_sequential_calls() {
 fn stats_account_every_iteration_under_contention() {
     let n = 1u64 << 13;
     let s = Synth::build(n, Variant::Dense, 5);
-    let prog = SpecProgram::new(s.workload, s.arena);
+    let prog = SpecProgram::new(s.workload, s.arena).unwrap();
     let k = prog.kernel(0);
     let stats = run_cascaded(
         &k,
@@ -159,7 +159,7 @@ fn persistent_pool_sequence_matches_per_loop_runs() {
             scale: 0.005,
             seed: 21,
         });
-        SpecProgram::new(p.workload, p.arena)
+        SpecProgram::new(p.workload, p.arena).unwrap()
     };
     let cfg = RunnerConfig {
         nthreads: 3,
@@ -338,7 +338,7 @@ fn fault_free_retry_ladder_adds_no_measurable_overhead() {
     let expected = synth_checksum_sequential(n, Variant::Dense);
     let run = |tol: &Tolerance| {
         let s = Synth::build(n, Variant::Dense, 1234);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let k = prog.kernel(0);
         let stats = try_run_cascaded(&k, &cfg, tol).expect("fault-free run must succeed");
         assert_eq!(prog.checksum(), expected, "fault-free run diverged");

@@ -1,0 +1,240 @@
+//! Lint-style diagnostics for workload validation and helper-safety
+//! analysis.
+//!
+//! Every judgment the toolchain makes about a [`crate::spec::LoopSpec`] —
+//! "this spec is malformed", "this operand races helpers", "this carried
+//! read is safe behind the token horizon" — is reported as a typed
+//! [`Diagnostic`] instead of a panic, so callers can collect, filter,
+//! print, or serialize them (the `cascade analyze` subcommand renders them
+//! both as text and JSON). The stable [`DiagCode`]s are documented in
+//! `docs/ANALYSIS.md`; golden tests pin them per kernel, so changing a
+//! verdict is a loud, reviewed event.
+
+use std::fmt;
+
+/// Stable machine-readable code identifying one class of diagnostic.
+///
+/// `VALxxx` codes come from structural spec validation
+/// ([`crate::spec::LoopSpec::try_validate`]); `ANxxx` codes come from the
+/// helper-safety analysis in `cascade-analyze`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// VAL001: loop has zero iterations.
+    EmptyLoop,
+    /// VAL002: loop has no reference streams.
+    NoRefs,
+    /// VAL003: `hoistable_compute` exceeds `compute`.
+    HoistExceedsCompute,
+    /// VAL004: hoistable refs present but `hoist_result_bytes == 0`.
+    HoistNeedsResultWidth,
+    /// VAL005: a hoistable operand is not read-only.
+    HoistableNotReadOnly,
+    /// VAL006: a ref has zero access width.
+    ZeroWidthRef,
+    /// VAL007: workload has no loops.
+    NoLoops,
+    /// AN001: loop mixes operand widths (the real-thread interpreter
+    /// requires a uniform width).
+    MixedWidth,
+    /// AN002: operand width is not 4 or 8 bytes (unsupported by the
+    /// real-thread interpreter).
+    UnsupportedWidth,
+    /// AN003: an index array is written by the same loop, so helpers
+    /// cannot trust its contents.
+    WrittenIndexArray,
+    /// AN004: an indirect ref's index array has no installed contents.
+    MissingIndexContents,
+    /// AN005: a read operand aliases a write of the same loop with a
+    /// forward (flow) dependence — helpers must respect the horizon.
+    CarriedRead,
+    /// AN006: a read operand overlaps a written array but carries no flow
+    /// dependence (anti/output only, or disjoint intervals) — packable.
+    BenignOverlap,
+    /// AN007: arena does not match the workload's address-space extent.
+    ArenaMismatch,
+    /// AN008: a pattern resolves to an element index outside its array
+    /// (negative, or at/past the array length).
+    OutOfBounds,
+}
+
+impl DiagCode {
+    /// The stable `VALxxx` / `ANxxx` string for reports and golden tests.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::EmptyLoop => "VAL001",
+            DiagCode::NoRefs => "VAL002",
+            DiagCode::HoistExceedsCompute => "VAL003",
+            DiagCode::HoistNeedsResultWidth => "VAL004",
+            DiagCode::HoistableNotReadOnly => "VAL005",
+            DiagCode::ZeroWidthRef => "VAL006",
+            DiagCode::NoLoops => "VAL007",
+            DiagCode::MixedWidth => "AN001",
+            DiagCode::UnsupportedWidth => "AN002",
+            DiagCode::WrittenIndexArray => "AN003",
+            DiagCode::MissingIndexContents => "AN004",
+            DiagCode::CarriedRead => "AN005",
+            DiagCode::BenignOverlap => "AN006",
+            DiagCode::ArenaMismatch => "AN007",
+            DiagCode::OutOfBounds => "AN008",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a fact worth reporting (e.g. a benign overlap).
+    Info,
+    /// Suspicious but not disqualifying.
+    Warning,
+    /// The spec cannot run under the real-thread interpreter (or is
+    /// structurally malformed).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One typed, lint-style finding about a loop (or workload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code.
+    pub code: DiagCode,
+    /// Severity (errors make the loop non-runnable).
+    pub severity: Severity,
+    /// Name of the loop the finding is about (empty for workload-level
+    /// findings such as [`DiagCode::NoLoops`]).
+    pub loop_name: String,
+    /// Name of the operand the finding is about, when it concerns one.
+    pub ref_name: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic about a whole loop.
+    pub fn loop_level(
+        code: DiagCode,
+        severity: Severity,
+        loop_name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            loop_name: loop_name.into(),
+            ref_name: None,
+            message: message.into(),
+        }
+    }
+
+    /// Build a diagnostic about one operand of a loop.
+    pub fn ref_level(
+        code: DiagCode,
+        severity: Severity,
+        loop_name: impl Into<String>,
+        ref_name: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            loop_name: loop_name.into(),
+            ref_name: Some(ref_name.into()),
+            message: message.into(),
+        }
+    }
+
+    /// Is this an error-severity finding?
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.severity, self.code)?;
+        if !self.loop_name.is_empty() {
+            write!(f, " {}", self.loop_name)?;
+        }
+        if let Some(r) = &self.ref_name {
+            write!(f, " · {r}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Render the first error of a diagnostic list as a panic, for the
+/// panicking `validate()` shims kept for legacy callers.
+pub fn panic_on_first_error(diags: &[Diagnostic]) {
+    if let Some(d) = diags.iter().find(|d| d.is_error()) {
+        panic!("{}", d.message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(DiagCode::EmptyLoop.as_str(), "VAL001");
+        assert_eq!(DiagCode::CarriedRead.as_str(), "AN005");
+        assert_eq!(format!("{}", DiagCode::MixedWidth), "AN001");
+    }
+
+    #[test]
+    fn display_includes_code_loop_and_ref() {
+        let d = Diagnostic::ref_level(
+            DiagCode::CarriedRead,
+            Severity::Info,
+            "iir",
+            "y(i-1)",
+            "carried read with lag 1",
+        );
+        let s = format!("{d}");
+        assert!(s.contains("AN005"), "{s}");
+        assert!(s.contains("iir"), "{s}");
+        assert!(s.contains("y(i-1)"), "{s}");
+    }
+
+    #[test]
+    fn severity_orders_error_highest() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_shim_raises_first_error_message() {
+        let diags = vec![
+            Diagnostic::loop_level(DiagCode::BenignOverlap, Severity::Info, "l", "benign"),
+            Diagnostic::loop_level(DiagCode::EmptyLoop, Severity::Error, "l", "boom"),
+        ];
+        panic_on_first_error(&diags);
+    }
+
+    #[test]
+    fn no_error_means_no_panic() {
+        let diags = vec![Diagnostic::loop_level(
+            DiagCode::BenignOverlap,
+            Severity::Info,
+            "l",
+            "benign",
+        )];
+        panic_on_first_error(&diags);
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod analyze;
 pub mod arena;
+pub mod diag;
 pub mod space;
 pub mod spec;
 pub mod stream;
@@ -27,6 +28,7 @@ pub mod workload;
 
 pub use analyze::{reuse_distances, stride_histogram, ReuseProfile, TraceRef};
 pub use arena::Arena;
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use space::{AddressSpace, ArrayDef, ArrayId, IndexStore};
 pub use spec::{LoopSpec, Mode, Pattern, StreamRef, INDEX_BYTES};
 pub use stream::{DataAccess, Resolver};

@@ -163,6 +163,16 @@ impl IndexStore {
     pub fn contains(&self, id: ArrayId) -> bool {
         matches!(self.tables.get(id.0 as usize), Some(Some(_)))
     }
+
+    /// Number of installed elements for `id`, or `None` when the array has
+    /// no contents. Lets analyses bound index scans without risking the
+    /// panic in [`IndexStore::get`].
+    pub fn len_of(&self, id: ArrayId) -> Option<usize> {
+        self.tables
+            .get(id.0 as usize)
+            .and_then(|t| t.as_ref())
+            .map(|t| t.len())
+    }
 }
 
 #[cfg(test)]

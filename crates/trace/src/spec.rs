@@ -11,6 +11,7 @@
 //! * which work involves only read-only values — drives hoisting into the
 //!   helper phase (§2.1 last paragraph).
 
+use crate::diag::{panic_on_first_error, DiagCode, Diagnostic, Severity};
 use crate::space::ArrayId;
 
 /// How a stream walks its array.
@@ -111,39 +112,76 @@ pub struct LoopSpec {
 }
 
 impl LoopSpec {
-    /// Check internal consistency; panics on contradictions. Called by the
-    /// simulators before running a spec.
-    pub fn validate(&self) {
-        assert!(self.iters > 0, "{}: empty loop", self.name);
-        assert!(
-            !self.refs.is_empty(),
-            "{}: loop touches no memory",
-            self.name
-        );
-        assert!(
-            self.hoistable_compute <= self.compute,
-            "{}: hoistable compute exceeds total compute",
-            self.name
-        );
+    /// Check internal consistency, reporting every contradiction as a
+    /// typed [`Diagnostic`] (empty vector = well-formed). This is the
+    /// fallible face of [`LoopSpec::validate`]; the helper-safety analyzer
+    /// in `cascade-analyze` folds these findings into its reports.
+    pub fn try_validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.iters == 0 {
+            diags.push(Diagnostic::loop_level(
+                DiagCode::EmptyLoop,
+                Severity::Error,
+                &self.name,
+                format!("{}: empty loop", self.name),
+            ));
+        }
+        if self.refs.is_empty() {
+            diags.push(Diagnostic::loop_level(
+                DiagCode::NoRefs,
+                Severity::Error,
+                &self.name,
+                format!("{}: loop touches no memory", self.name),
+            ));
+        }
+        if self.hoistable_compute > self.compute {
+            diags.push(Diagnostic::loop_level(
+                DiagCode::HoistExceedsCompute,
+                Severity::Error,
+                &self.name,
+                format!("{}: hoistable compute exceeds total compute", self.name),
+            ));
+        }
         let any_hoistable = self.refs.iter().any(|r| r.hoistable);
-        if any_hoistable {
-            assert!(
-                self.hoist_result_bytes > 0,
-                "{}: hoistable refs need a hoist result width",
-                self.name
-            );
+        if any_hoistable && self.hoist_result_bytes == 0 {
+            diags.push(Diagnostic::loop_level(
+                DiagCode::HoistNeedsResultWidth,
+                Severity::Error,
+                &self.name,
+                format!("{}: hoistable refs need a hoist result width", self.name),
+            ));
         }
         for r in &self.refs {
-            if r.hoistable {
-                assert!(
-                    r.mode.is_read_only(),
-                    "{}: hoistable operand {} must be read-only",
-                    self.name,
-                    r.name
-                );
+            if r.hoistable && !r.mode.is_read_only() {
+                diags.push(Diagnostic::ref_level(
+                    DiagCode::HoistableNotReadOnly,
+                    Severity::Error,
+                    &self.name,
+                    r.name,
+                    format!(
+                        "{}: hoistable operand {} must be read-only",
+                        self.name, r.name
+                    ),
+                ));
             }
-            assert!(r.bytes > 0, "{}: zero-width ref {}", self.name, r.name);
+            if r.bytes == 0 {
+                diags.push(Diagnostic::ref_level(
+                    DiagCode::ZeroWidthRef,
+                    Severity::Error,
+                    &self.name,
+                    r.name,
+                    format!("{}: zero-width ref {}", self.name, r.name),
+                ));
+            }
         }
+        diags
+    }
+
+    /// Check internal consistency; panics on contradictions. Legacy shim
+    /// over [`LoopSpec::try_validate`], kept for the simulators, which
+    /// treat a malformed spec as a programming error.
+    pub fn validate(&self) {
+        panic_on_first_error(&self.try_validate());
     }
 
     /// Estimated bytes of data touched per iteration of the *original*

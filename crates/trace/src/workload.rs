@@ -1,5 +1,6 @@
 //! A complete workload: arrays, index contents, and the loop sequence.
 
+use crate::diag::{panic_on_first_error, DiagCode, Diagnostic, Severity};
 use crate::space::{AddressSpace, IndexStore};
 use crate::spec::LoopSpec;
 
@@ -18,12 +19,28 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Validate every loop spec (panics on inconsistency).
-    pub fn validate(&self) {
-        assert!(!self.loops.is_empty(), "workload has no loops");
-        for l in &self.loops {
-            l.validate();
+    /// Validate every loop spec, returning all findings as typed
+    /// [`Diagnostic`]s (empty vector = well-formed).
+    pub fn try_validate(&self) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        if self.loops.is_empty() {
+            diags.push(Diagnostic::loop_level(
+                DiagCode::NoLoops,
+                Severity::Error,
+                "",
+                "workload has no loops",
+            ));
         }
+        for l in &self.loops {
+            diags.extend(l.try_validate());
+        }
+        diags
+    }
+
+    /// Validate every loop spec (panics on inconsistency). Legacy shim
+    /// over [`Workload::try_validate`].
+    pub fn validate(&self) {
+        panic_on_first_error(&self.try_validate());
     }
 
     /// Sum of the loops' data footprints in bytes.

@@ -115,7 +115,7 @@ fn main() {
     // ---- 2. The same loop on real threads --------------------------------
     println!("\nReal-thread cascaded execution on this host:");
     let expected = {
-        let mut prog = SpecProgram::new(workload.clone(), arena.clone());
+        let mut prog = SpecProgram::new(workload.clone(), arena.clone()).unwrap();
         let kernel = prog.kernel(0);
         let dt = rt_sequential(&kernel);
         println!(
@@ -124,7 +124,7 @@ fn main() {
         );
         prog.checksum()
     };
-    let mut prog = SpecProgram::new(workload, arena);
+    let mut prog = SpecProgram::new(workload, arena).unwrap();
     let kernel = prog.kernel(0);
     let stats = rt_cascaded(
         &kernel,

@@ -187,14 +187,14 @@ proptest! {
         };
         let expected = {
             let (w, a) = build(&gw);
-            let mut prog = SpecProgram::new(w, a);
+            let mut prog = SpecProgram::new(w, a).unwrap();
             let k = prog.kernel(0);
             // SAFETY: single-threaded baseline.
             unsafe { k.execute(0..k.iters()) };
             prog.checksum()
         };
         let (w, a) = build(&gw);
-        let mut prog = SpecProgram::new(w, a);
+        let mut prog = SpecProgram::new(w, a).unwrap();
         let k = prog.kernel(0);
         rt_cascaded(&k, &RunnerConfig {
             nthreads: threads,

@@ -16,7 +16,7 @@ fn parmvr() -> Parmvr {
 }
 
 fn sequential_checksum(p: Parmvr) -> u64 {
-    let mut prog = SpecProgram::new(p.workload, p.arena);
+    let mut prog = SpecProgram::new(p.workload, p.arena).unwrap();
     for i in 0..prog.num_loops() {
         let k = prog.kernel(i);
         // SAFETY: single-threaded baseline.
@@ -35,7 +35,7 @@ fn all_fifteen_parmvr_loops_cascade_bitwise() {
     for policy in [RtPolicy::None, RtPolicy::Prefetch, RtPolicy::Restructure] {
         for threads in [2usize, 3] {
             let p = parmvr();
-            let mut prog = SpecProgram::new(p.workload, p.arena);
+            let mut prog = SpecProgram::new(p.workload, p.arena).unwrap();
             for i in 0..prog.num_loops() {
                 let k = prog.kernel(i);
                 run_cascaded(
@@ -62,14 +62,14 @@ fn synthetic_loop_cascades_bitwise_in_both_variants() {
     for variant in [Variant::Dense, Variant::Sparse] {
         let expected = {
             let s = Synth::build(1 << 14, variant, 77);
-            let mut prog = SpecProgram::new(s.workload, s.arena);
+            let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
             let k = prog.kernel(0);
             // SAFETY: single-threaded baseline.
             unsafe { cascaded_execution::rt::RealKernel::execute(&k, 0..p_iters(&k)) };
             prog.checksum()
         };
         let s = Synth::build(1 << 14, variant, 77);
-        let mut prog = SpecProgram::new(s.workload, s.arena);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
         let k = prog.kernel(0);
         run_cascaded(
             &k,
@@ -105,7 +105,7 @@ fn simulator_and_runtime_agree_on_chunk_boundaries() {
 #[test]
 fn runtime_helper_stats_are_consistent() {
     let p = parmvr();
-    let prog = SpecProgram::new(p.workload, p.arena);
+    let prog = SpecProgram::new(p.workload, p.arena).unwrap();
     let k = prog.kernel(0);
     let stats = run_cascaded(
         &k,
