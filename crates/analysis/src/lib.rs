@@ -435,6 +435,12 @@ pub fn analyze_loop(w: &Workload, spec: &LoopSpec) -> LoopReport {
                 ),
             ));
         }
+        if let Some(fp) = &footprint {
+            check_footprint_bounds(w, spec, r, r.array, fp, &mut diags);
+        }
+        if let (Some(ifp), Pattern::Indirect { index, .. }) = (&index_fp, r.pattern) {
+            check_footprint_bounds(w, spec, r, index, ifp, &mut diags);
+        }
         refs.push(RefReport {
             name: r.name,
             array: r.array,
@@ -467,6 +473,44 @@ pub fn analyze_workload(w: &Workload) -> WorkloadReport {
     WorkloadReport {
         loops: w.loops.iter().map(|l| analyze_loop(w, l)).collect(),
         diagnostics,
+    }
+}
+
+/// The overflow direction of the out-of-bounds check: a computed
+/// footprint is valid interval arithmetic, but the stream must also stay
+/// inside the array it names — past-the-end accesses would read or write
+/// neighboring arrays (silently invalidating per-array verdicts) or run
+/// off the arena entirely, and `AddressSpace::addr` only debug-asserts
+/// bounds. Negative / unresolvable indices surface as a `None` footprint
+/// and are diagnosed separately.
+fn check_footprint_bounds(
+    w: &Workload,
+    spec: &LoopSpec,
+    r: &StreamRef,
+    array: ArrayId,
+    fp: &Footprint,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let def = w.space.array(array);
+    let end = def.base + def.len * def.elem as u64;
+    if fp.elem_hi > def.len || fp.hi > end {
+        diags.push(Diagnostic::ref_level(
+            DiagCode::OutOfBounds,
+            Severity::Error,
+            &spec.name,
+            r.name,
+            format!(
+                "{}: {} runs past the end of {}: touches element {} / byte offset {} \
+                 of a {}-element array ({} bytes)",
+                spec.name,
+                r.name,
+                def.name,
+                fp.elem_hi - 1,
+                fp.hi - def.base,
+                def.len,
+                end - def.base,
+            ),
+        ));
     }
 }
 
@@ -604,8 +648,11 @@ fn classify(
 
 /// Minimum flow lag `min(i - j)` over all pairs where write iteration `j`
 /// and read iteration `i > j` touch the same element; `None` when no such
-/// pair exists. Uses a closed form for all-affine pairs and an exact
-/// forward replay (index-store-bounded) otherwise.
+/// pair exists. Writers whose full-range footprint never meets the
+/// read's are disjoint at every distance and are dropped before any
+/// per-iteration reasoning; the survivors go through a closed form for
+/// all-affine pairs and an exact forward replay (index-store-bounded)
+/// otherwise.
 fn min_flow_lag(
     w: &Workload,
     spec: &LoopSpec,
@@ -613,6 +660,19 @@ fn min_flow_lag(
     writers: &[&StreamRef],
 ) -> Option<u64> {
     let n = spec.iters;
+    let read_fp = ref_footprint(w, read, 0..n);
+    let writers: Vec<&StreamRef> = writers
+        .iter()
+        .copied()
+        .filter(|o| match (&read_fp, ref_footprint(w, o, 0..n)) {
+            (Some(rf), Some(of)) => rf.overlaps(&of),
+            // An unresolvable hull proves nothing — keep the writer.
+            _ => true,
+        })
+        .collect();
+    if writers.is_empty() {
+        return None;
+    }
     if read.pattern.is_affine() && writers.iter().all(|o| o.pattern.is_affine()) {
         let Pattern::Affine {
             base: rb,
@@ -635,7 +695,7 @@ fn min_flow_lag(
             })
             .min();
     }
-    scan_flow_lag(w, read, writers, n)
+    scan_flow_lag(w, read, &writers, n)
 }
 
 /// Closed-form (or single-scan) minimum flow lag between an affine read
@@ -1030,9 +1090,141 @@ mod tests {
         assert_eq!(fp.elem_hi, 192);
         assert_eq!(fp.lo, base + 16);
         assert_eq!(fp.hi, base + 191 * 8 + 8);
+        assert!(!l.rt_ok());
+        assert!(l.codes().contains(&DiagCode::OutOfBounds));
         // The partial-range footprint is a function of the range.
         let fp8 = ref_footprint(&w, &w.loops[0].refs[0], 0..8).unwrap();
         assert_eq!(fp8.elem_hi, 2 + 3 * 7 + 1);
+    }
+
+    #[test]
+    fn affine_overshoot_is_out_of_bounds() {
+        // Exactly in-bounds passes; one element past the end is an AN008
+        // error even though the footprint itself computes fine.
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8, 64);
+        let w = workload(
+            vec![rd("a(i)", a, Pattern::Affine { base: 0, stride: 1 })],
+            s,
+            IndexStore::new(),
+        );
+        let l = &analyze_workload(&w).loops[0];
+        assert!(l.rt_ok(), "{:?}", l.diagnostics);
+
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8, 63);
+        let w = workload(
+            vec![rd("a(i)", a, Pattern::Affine { base: 0, stride: 1 })],
+            s,
+            IndexStore::new(),
+        );
+        let l = &analyze_workload(&w).loops[0];
+        assert!(!l.rt_ok());
+        assert!(l.codes().contains(&DiagCode::OutOfBounds));
+        // The footprint is still reported — the diagnostic carries the
+        // rejection, not a poisoned report.
+        assert!(l.find_ref("a(i)").unwrap().footprint.is_some());
+    }
+
+    #[test]
+    fn index_values_past_array_end_are_out_of_bounds() {
+        // The index contents resolve, but point one element past the end
+        // of the data array: the gather's footprint overshoots → AN008.
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 64);
+        let ij = s.alloc("ij", 4, 64);
+        let mut index = IndexStore::new();
+        let mut vals: Vec<u32> = (0..64).collect();
+        vals[17] = 64; // x has elements 0..=63
+        index.set(ij, vals);
+        let gather = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(vec![gather], s, index);
+        let l = &analyze_workload(&w).loops[0];
+        assert!(!l.rt_ok());
+        assert!(l.codes().contains(&DiagCode::OutOfBounds));
+    }
+
+    #[test]
+    fn index_positions_past_index_array_end_are_out_of_bounds() {
+        // The *index-array* reads themselves overshoot: istride walks past
+        // the installed contents' backing array.
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 256);
+        let ij = s.alloc("ij", 4, 32);
+        let mut index = IndexStore::new();
+        // Contents longer than the declared array: positions resolve, but
+        // the declared ij array only owns 32 elements.
+        index.set(ij, (0..64).collect());
+        let gather = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(vec![gather], s, index);
+        let l = &analyze_workload(&w).loops[0];
+        assert!(!l.rt_ok());
+        assert!(l.codes().contains(&DiagCode::OutOfBounds));
+    }
+
+    #[test]
+    fn disjoint_footprints_short_circuit_indirect_lag_scan() {
+        // Gather confined to the low half, write confined to the high
+        // half: the hulls are disjoint, so min_flow_lag drops the writer
+        // without replaying the index contents — packable, benign.
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8, 128);
+        let ij = s.alloc("ij", 4, 64);
+        let mut index = IndexStore::new();
+        index.set(ij, (0..64).collect());
+        let gather = StreamRef {
+            name: "a(ij(i))",
+            array: a,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(
+            vec![
+                gather,
+                wr(
+                    "a(64+i)",
+                    a,
+                    Pattern::Affine {
+                        base: 64,
+                        stride: 1,
+                    },
+                ),
+            ],
+            s,
+            index,
+        );
+        let l = &analyze_workload(&w).loops[0];
+        assert_eq!(l.find_ref("a(ij(i))").unwrap().verdict, Verdict::Packable);
+        assert!(l.codes().contains(&DiagCode::BenignOverlap));
+        assert!(l.rt_ok());
     }
 
     #[test]

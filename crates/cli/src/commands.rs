@@ -766,7 +766,7 @@ fn analyze_all(args: &Args) -> Result<String, ArgError> {
         }
         None => {
             for k in cascade_kernels::suite(n, seed) {
-                targets.push((k.name.to_string(), k.report()));
+                targets.push((k.name.to_string(), k.report().clone()));
             }
             let p = Parmvr::build(ParmvrParams { scale, seed });
             targets.push(("wave5-parmvr".to_string(), analyze_workload(&p.workload)));

@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+use std::sync::OnceLock;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -41,13 +43,19 @@ pub struct Kernel {
     pub workload: Workload,
     /// Initialized backing data.
     pub arena: Arena,
+    /// Lazily computed analyzer report (the analysis replays index
+    /// contents, so repeated `rt_safe()` calls must not re-run it).
+    report: OnceLock<cascade_analyze::WorkloadReport>,
 }
 
 impl Kernel {
     /// The `cascade-analyze` helper-safety report for this kernel's
     /// workload: per-operand verdicts, footprints, and diagnostics.
-    pub fn report(&self) -> cascade_analyze::WorkloadReport {
-        cascade_analyze::analyze_workload(&self.workload)
+    /// Computed on first call and cached for the kernel's lifetime (the
+    /// built-in constructors never mutate the workload afterwards).
+    pub fn report(&self) -> &cascade_analyze::WorkloadReport {
+        self.report
+            .get_or_init(|| cascade_analyze::analyze_workload(&self.workload))
     }
 
     /// Whether the real-thread interpreter accepts this kernel, derived
@@ -77,6 +85,7 @@ fn finish(
         name,
         workload,
         arena,
+        report: OnceLock::new(),
     }
 }
 

@@ -799,4 +799,36 @@ mod tests {
             "{err}"
         );
     }
+
+    #[test]
+    fn past_the_end_stream_is_rejected() {
+        // The interpreter only debug-asserts addresses, so a stream whose
+        // elements run past its array would corrupt neighboring arrays in
+        // release builds — the analyzer must reject it up front (AN008).
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 48);
+        let spec = LoopSpec {
+            name: "overshoot".into(),
+            iters: 64,
+            refs: vec![StreamRef {
+                name: "a(i)",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            }],
+            compute: 1.0,
+            hoistable_compute: 0.0,
+            hoist_result_bytes: 0,
+        };
+        let w = Workload {
+            space,
+            index: IndexStore::new(),
+            loops: vec![spec],
+        };
+        let arena = Arena::new(&w.space);
+        let err = SpecProgram::new(w, arena).unwrap_err();
+        assert!(err.has_code(cascade_trace::DiagCode::OutOfBounds), "{err}");
+    }
 }
