@@ -7,6 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 
 use cascade_rt::{run_cascaded, RealKernel, RtPolicy, RunnerConfig, SpecProgram, Token};
 use cascade_synth::{Synth, Variant};
+use cascade_wave5::{Parmvr, ParmvrParams};
 
 fn bench_token(c: &mut Criterion) {
     let mut g = c.benchmark_group("token");
@@ -92,10 +93,40 @@ fn bench_cascade_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wave5_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wave5");
+    g.sample_size(10);
+    // End-to-end miniature PARMVR: all 15 loops cascaded in sequence, the
+    // same configuration `bench_suite` snapshots into BENCH_runtime.json.
+    g.bench_function("parmvr_x15_small", |b| {
+        b.iter(|| {
+            let p = Parmvr::build(ParmvrParams {
+                scale: 0.02,
+                seed: 5,
+            });
+            let prog = SpecProgram::new(p.workload, p.arena).unwrap();
+            let cfg = RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 2048,
+                policy: RtPolicy::Restructure,
+                poll_batch: 64,
+            };
+            let mut chunks = 0u64;
+            for i in 0..prog.num_loops() {
+                let k = prog.kernel(i);
+                chunks += run_cascaded(&k, &cfg).chunks;
+            }
+            black_box(chunks)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_token,
     bench_helpers,
-    bench_cascade_end_to_end
+    bench_cascade_end_to_end,
+    bench_wave5_small
 );
 criterion_main!(benches);

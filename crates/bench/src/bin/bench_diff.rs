@@ -1,0 +1,146 @@
+//! bench_diff — compare two `bench_suite` snapshots.
+//!
+//! ```text
+//! bench_diff BASELINE.json CURRENT.json [--max-regress PCT]
+//! ```
+//!
+//! The two maps of a snapshot are held to different standards:
+//!
+//! * `exact` counters must match **exactly** — they are deterministic for
+//!   a given scale, so any difference is a behaviour change (chunking,
+//!   handoff protocol, helper byte accounting, simulator cost model) and
+//!   fails the diff (exit 1).
+//! * `timing_ns` entries are host-dependent: their drift is reported but
+//!   only gates when `--max-regress PCT` is given (intended for local
+//!   tracking, not CI, which runs on varying hardware).
+//!
+//! Snapshots taken at different scales are not comparable; mismatched
+//! `params` is a usage error (exit 2).
+
+use cascade_bench::json::{parse, Json};
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("cascade-bench-v1") => Ok(doc),
+        other => Err(format!("{path}: unsupported schema {other:?}")),
+    }
+}
+
+fn num_map<'a>(doc: &'a Json, key: &str) -> Vec<(&'a str, f64)> {
+    doc.get(key)
+        .and_then(Json::as_obj)
+        .map(|members| {
+            members
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|v| (k.as_str(), v)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff BASELINE.json CURRENT.json [--max-regress PCT]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regress: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regress" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) => max_regress = Some(p),
+                None => usage(),
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [base_path, cur_path] = paths.as_slice() else {
+        usage();
+    };
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_diff: {e}");
+                }
+            }
+            std::process::exit(2);
+        }
+    };
+
+    // Snapshots are only comparable at identical parameters.
+    let (bp, cp) = (num_map(&base, "params"), num_map(&cur, "params"));
+    if bp != cp {
+        eprintln!("bench_diff: param mismatch — snapshots are not comparable");
+        eprintln!("  baseline: {bp:?}");
+        eprintln!("  current:  {cp:?}");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+
+    println!("exact counters (must match):");
+    let (be, ce) = (num_map(&base, "exact"), num_map(&cur, "exact"));
+    for (k, bv) in &be {
+        match ce.iter().find(|(ck, _)| ck == k) {
+            Some((_, cv)) if cv == bv => {
+                println!("  ok       {k:<28} {bv}");
+            }
+            Some((_, cv)) => {
+                failures += 1;
+                println!("  CHANGED  {k:<28} {bv} -> {cv}");
+            }
+            None => {
+                failures += 1;
+                println!("  MISSING  {k:<28} (baseline {bv})");
+            }
+        }
+    }
+    for (k, cv) in &ce {
+        if !be.iter().any(|(bk, _)| bk == k) {
+            failures += 1;
+            println!("  NEW      {k:<28} {cv} (not in baseline)");
+        }
+    }
+
+    println!(
+        "timings (informational{}):",
+        match max_regress {
+            Some(p) => format!(", gated at +{p}%"),
+            None => String::new(),
+        }
+    );
+    let (bt, ct) = (num_map(&base, "timing_ns"), num_map(&cur, "timing_ns"));
+    for (k, bv) in &bt {
+        let Some((_, cv)) = ct.iter().find(|(ck, _)| ck == k) else {
+            println!("  -        {k:<28} missing in current");
+            continue;
+        };
+        let delta = if *bv > 0.0 {
+            100.0 * (cv - bv) / bv
+        } else {
+            0.0
+        };
+        let gated = matches!(max_regress, Some(p) if delta > p);
+        if gated {
+            failures += 1;
+        }
+        println!(
+            "  {}  {k:<28} {bv:.0} -> {cv:.0} ns ({delta:+.1}%)",
+            if gated { "SLOWER " } else { "       " }
+        );
+    }
+
+    if failures > 0 {
+        println!("bench_diff: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("bench_diff: snapshots agree");
+}

@@ -73,7 +73,7 @@ fn main() {
 
     println!("\nSynthetic sparse loop, unbounded model (the §3.4 projection, on real 2020s");
     println!("latencies instead of extrapolation):");
-    let n = 4u64 << 20;
+    let n = (((4u64 << 20) as f64 * scale) as u64).max(4096) / 8 * 8;
     for machine in [pentium_pro(), modern()] {
         let synth = Synth::build(n, Variant::Sparse, cascade_bench::SEED);
         let base = run_sequential(&machine, &synth.workload, 1, true);

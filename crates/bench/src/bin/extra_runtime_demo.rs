@@ -9,12 +9,15 @@
 //! correctness, not speedup — the quantitative claims live in the
 //! simulator experiments.
 
-use cascade_bench::{header, row};
+use cascade_bench::{header, row, scale_from_args};
 use cascade_rt::{run_cascaded, run_sequential, RtPolicy, RunnerConfig, SpecProgram};
 use cascade_synth::{Synth, Variant};
 use cascade_wave5::{Parmvr, ParmvrParams};
 
 fn main() {
+    // `scale` multiplies the synthetic vector length (default n = 2M) and
+    // the PARMVR problem size.
+    let scale = scale_from_args(1.0);
     header("Extra C: real-thread cascaded execution (correctness + wall time on this host)");
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("host CPUs: {cpus}\n");
@@ -37,7 +40,7 @@ fn main() {
     // Synthetic loop, dense and sparse.
     for variant in [Variant::Dense, Variant::Sparse] {
         for policy in [RtPolicy::Prefetch, RtPolicy::Restructure] {
-            let n = 1u64 << 21;
+            let n = (((1u64 << 21) as f64 * scale) as u64).max(1024) / 8 * 8;
             let seq_sum = {
                 let s = Synth::build(n, variant, 3);
                 let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
@@ -80,7 +83,7 @@ fn main() {
     }
 
     // Miniature PARMVR: every loop in sequence.
-    let scale = 0.02;
+    let scale = (0.02 * scale).max(0.005);
     let seq_sum = {
         let p = Parmvr::build(ParmvrParams { scale, seed: 5 });
         let mut prog = SpecProgram::new(p.workload, p.arena).unwrap();

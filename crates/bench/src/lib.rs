@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod plot;
 
 use cascade_core::{run_cascaded, run_sequential, CascadeConfig, HelperPolicy, RunReport};

@@ -9,8 +9,8 @@ use cascade_core::{
 };
 use cascade_mem::{machines, MachineConfig};
 use cascade_rt::{
-    try_run_cascaded, FaultEvent, FaultKind, FaultPlan, FaultyKernel, RetryPolicy, RtPolicy,
-    RunError, RunnerConfig, SpecProgram, Tolerance,
+    try_run_cascaded, try_run_cascaded_observed, FaultEvent, FaultKind, FaultPlan, FaultyKernel,
+    Observe, RetryPolicy, RtPolicy, RunError, RunnerConfig, SpecProgram, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
@@ -56,6 +56,23 @@ USAGE:
         --chunk-iters N    iterations per chunk (default 4096)
         --policy none|prefetch|restructure            (default restructure)
         --poll N           helper iterations between token polls (default 64)
+
+  cascade metrics [options]
+      Phase-level observability report of one cascaded run: per-worker
+      helper/spin/execute breakdown, token-handoff latency distribution,
+      pack/prefetch byte counts, jump-outs and horizon stalls — in the
+      schema shared by the simulator and the real-thread runtime
+      (docs/OBSERVABILITY.md).
+        --source rt|sim    real threads (default) or the simulator
+        --workload/--scale/--n/--seed   as above
+                           (default: quickstart-style synthetic loop,
+                           n 65536)
+        --loop N           loop index within the workload (default 0)
+        --format text|json (default text)
+        --events           include the timestamped phase-event ring
+        --out FILE         write the report to a file instead of stdout
+        rt:  --threads/--chunk-iters/--poll/--policy   as `rt`
+        sim: --machine/--procs/--chunk/--policy        as `sim`
 
   cascade chaos [options]
       Fault-injection matrix against the real-thread runtime: random
@@ -199,6 +216,17 @@ fn workload_from(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
     }
 }
 
+fn rt_policy_from(args: &Args) -> Result<RtPolicy, ArgError> {
+    match args.get("policy", "restructure").as_str() {
+        "none" => Ok(RtPolicy::None),
+        "prefetch" | "prefetched" => Ok(RtPolicy::Prefetch),
+        "restructure" | "restructured" => Ok(RtPolicy::Restructure),
+        other => Err(ArgError::usage(format!(
+            "unknown policy '{other}' (none|prefetch|restructure)"
+        ))),
+    }
+}
+
 fn sim_policy_from(args: &Args) -> Result<HelperPolicy, ArgError> {
     match args.get("policy", "restructure+hoist").as_str() {
         "none" => Ok(HelperPolicy::None),
@@ -329,16 +357,7 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     )?;
     let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
     let poll = args.get_num("poll", 64u64)?;
-    let policy = match args.get("policy", "restructure").as_str() {
-        "none" => RtPolicy::None,
-        "prefetch" | "prefetched" => RtPolicy::Prefetch,
-        "restructure" | "restructured" => RtPolicy::Restructure,
-        other => {
-            return Err(ArgError::usage(format!(
-                "unknown policy '{other}' (none|prefetch|restructure)"
-            )))
-        }
-    };
+    let policy = rt_policy_from(args)?;
     args.reject_unknown()?;
 
     // Sequential reference.
@@ -388,6 +407,120 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
         ));
     }
     Ok(out)
+}
+
+/// The workload behind `cascade metrics` when none is named: the
+/// quickstart-scale synthetic loop, small enough that the report answers
+/// in well under a second on either source.
+fn metrics_workload(args: &Args) -> Result<(Workload, Arena, String), ArgError> {
+    if args.get_opt("workload").is_some() || args.get_opt("workload-file").is_some() {
+        return workload_from(args);
+    }
+    let n = args.get_num("n", 1u64 << 16)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let s = Synth::build(n, Variant::Dense, seed);
+    Ok((s.workload, s.arena, format!("synthetic dense (n={n})")))
+}
+
+/// `cascade metrics`
+pub fn metrics(args: &Args) -> Result<String, ArgError> {
+    let source = args.get("source", "rt");
+    let format = args.get("format", "text");
+    let events = args.flag("events");
+    let out_path = args.get_opt("out");
+    let loop_idx = args.get_num("loop", 0usize)?;
+    let (mut workload, arena, wname) = metrics_workload(args)?;
+    if loop_idx >= workload.loops.len() {
+        return Err(ArgError::usage(format!(
+            "--loop {loop_idx}: workload has {} loops",
+            workload.loops.len()
+        )));
+    }
+
+    let (m, title) = match source.as_str() {
+        "rt" | "real" => {
+            let threads = args.get_num(
+                "threads",
+                std::thread::available_parallelism().map_or(2, |n| n.get()),
+            )?;
+            let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
+            let poll = args.get_num("poll", 64u64)?;
+            let policy = rt_policy_from(args)?;
+            args.reject_unknown()?;
+            let prog = SpecProgram::new(workload, arena)
+                .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
+            let k = prog.kernel(loop_idx);
+            let cfg = RunnerConfig {
+                nthreads: threads,
+                iters_per_chunk: chunk_iters,
+                policy,
+                poll_batch: poll,
+            };
+            let obs = if events {
+                Observe::with_events()
+            } else {
+                Observe::default()
+            };
+            let stats = try_run_cascaded_observed(&k, &cfg, &Tolerance::default(), &obs)
+                .map_err(|e| ArgError::verification(format!("cascaded run failed: {e}")))?;
+            let title = format!(
+                "real-thread cascade metrics of {wname}, loop {loop_idx} \
+                 ({threads} threads, policy {})",
+                policy.label()
+            );
+            (stats.metrics(), title)
+        }
+        "sim" | "simulated" => {
+            let machine = machine_from(args)?;
+            let policy = sim_policy_from(args)?;
+            let procs = args.get_num("procs", 4usize)?;
+            let chunk = args.get_bytes("chunk", 64 * 1024)?;
+            args.reject_unknown()?;
+            let spec = workload.loops.swap_remove(loop_idx);
+            workload.loops = vec![spec];
+            let report = run_cascaded(
+                &machine,
+                &workload,
+                &CascadeConfig {
+                    nprocs: procs,
+                    chunk_bytes: chunk,
+                    policy,
+                    jump_out: true,
+                    calls: 1,
+                    flush_between_calls: false,
+                },
+            );
+            let title = format!(
+                "simulated cascade metrics of {wname}, loop {loop_idx} on {} \
+                 ({procs} procs, policy {})",
+                machine.name,
+                policy.label()
+            );
+            (report.loops[0].timeline.metrics_with_events(events), title)
+        }
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown source '{other}' (rt|sim)"
+            )))
+        }
+    };
+
+    let doc = match format.as_str() {
+        "json" => m.to_json(),
+        "text" => format!("{title}\n{}", m.render_text()),
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown format '{other}' (text|json)"
+            )))
+        }
+    };
+    match out_path {
+        None => Ok(doc),
+        Some(p) => {
+            std::fs::write(&p, &doc).map_err(|e| ArgError::usage(format!("--out {p}: {e}")))?;
+            Ok(format!("wrote {} bytes to {p}\n", doc.len()))
+        }
+    }
 }
 
 /// Deterministic splitmix64 step — the CLI avoids external RNG crates.

@@ -41,13 +41,14 @@ where
                 Some("machines") => commands::machines(&args),
                 Some("sim") => commands::sim(&args),
                 Some("rt") => commands::rt(&args),
+                Some("metrics") => commands::metrics(&args),
                 Some("chaos") => commands::chaos(&args),
                 Some("sweep") => commands::sweep(&args),
                 Some("analyze") => commands::analyze(&args),
                 Some("dump") => commands::dump(&args),
                 Some("schedule") => commands::schedule(&args),
                 Some(other) => Err(ArgError::usage(format!(
-                    "unknown subcommand '{other}' (try: machines, sim, rt, chaos, sweep, analyze, dump, schedule, help)"
+                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, sweep, analyze, dump, schedule, help)"
                 ))),
             }
         },
@@ -173,6 +174,92 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn metrics_reports_the_phase_breakdown() {
+        let out = run([
+            "metrics",
+            "--n",
+            "8192",
+            "--threads",
+            "2",
+            "--chunk-iters",
+            "512",
+        ])
+        .unwrap();
+        assert!(out.contains("real-thread cascade metrics"), "{out}");
+        assert!(out.contains("token handoffs:"), "{out}");
+        assert!(out.contains("helper"), "{out}");
+        assert!(out.contains("spin"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+    }
+
+    #[test]
+    fn metrics_json_carries_the_shared_schema() {
+        let out = run([
+            "metrics", "--source", "sim", "--n", "8192", "--procs", "2", "--chunk", "8K",
+            "--format", "json", "--events",
+        ])
+        .unwrap();
+        assert!(out.contains("\"source\": \"simulated\""), "{out}");
+        assert!(out.contains("\"time_unit\": \"cycles\""), "{out}");
+        assert!(out.contains("\"handoff\""), "{out}");
+        assert!(out.contains("\"kind\": \"execute\""), "{out}");
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                out.matches(open).count(),
+                out.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_rt_json_reports_nanoseconds() {
+        let out = run([
+            "metrics",
+            "--n",
+            "8192",
+            "--threads",
+            "2",
+            "--chunk-iters",
+            "512",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(out.contains("\"source\": \"real\""), "{out}");
+        assert!(out.contains("\"time_unit\": \"ns\""), "{out}");
+    }
+
+    /// The simulated metrics report is deterministic, so the exact JSON
+    /// for the default invocation is checked in as a golden file. This
+    /// pins the schema AND the simulator's cost model: a diff here means
+    /// either an intentional schema change (regenerate the golden with
+    /// `cargo run --release -p cascade-cli -- metrics --source sim
+    /// --format json --events --out results/metrics-golden.json`) or an
+    /// unintended behaviour change.
+    #[test]
+    fn metrics_sim_matches_the_checked_in_golden() {
+        let out = run(["metrics", "--source", "sim", "--format", "json", "--events"]).unwrap();
+        let golden_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/metrics-golden.json"
+        );
+        let golden = std::fs::read_to_string(golden_path).expect("golden file must exist");
+        assert_eq!(
+            out, golden,
+            "simulated metrics diverged from results/metrics-golden.json"
+        );
+    }
+
+    #[test]
+    fn metrics_rejects_unknown_source_and_format() {
+        let err = run(["metrics", "--source", "fpga"]).unwrap_err();
+        assert!(err.message().contains("rt|sim"), "{err}");
+        let err = run(["metrics", "--n", "4096", "--format", "xml"]).unwrap_err();
+        assert!(err.message().contains("text|json"), "{err}");
     }
 
     #[test]

@@ -67,6 +67,7 @@
 pub mod amdahl;
 pub mod cascade;
 pub mod chunk;
+pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod seq;
@@ -77,6 +78,9 @@ pub mod walk;
 pub use amdahl::AmdahlModel;
 pub use cascade::run_cascaded;
 pub use chunk::ChunkPlan;
+pub use metrics::{
+    CascadeMetrics, LatencyStats, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics,
+};
 pub use policy::HelperPolicy;
 pub use report::{CascadeConfig, LoopReport, PhaseTotals, RunReport, UNBOUNDED_PROCS};
 pub use seq::run_sequential;

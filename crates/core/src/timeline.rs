@@ -6,6 +6,8 @@
 //! rendered, which is exactly what Figure 1(b) of the paper draws by
 //! hand.
 
+use crate::metrics::{CascadeMetrics, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics};
+
 /// One chunk's life in the schedule (all times in simulated cycles from
 /// the start of the run).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,9 +88,119 @@ impl Timeline {
                 e.helper_start >= proc_busy_until[e.proc] - 1e-9,
                 "chunk {i}'s helper overlapped its processor's previous work"
             );
+            if i > 0 {
+                assert!(
+                    e.token_arrival >= prev_end - 1e-9,
+                    "chunk {i}'s token arrived before chunk {} finished \
+                     (negative handoff latency)",
+                    i - 1
+                );
+            }
             prev_end = e.exec_end;
             proc_busy_until[e.proc] = e.exec_end;
         }
+        // The derived observability report must satisfy the cross-engine
+        // schema invariants (phase partition, aggregation exactness,
+        // handoff count) for every legal schedule.
+        self.metrics_with_events(true).check();
+    }
+
+    /// Derive the [`CascadeMetrics`] observability report (times in
+    /// simulated cycles) from the schedule — the same schema the
+    /// real-thread runtime's `PhaseRecorder` produces, so simulated and
+    /// real runs diff with the same tools.
+    pub fn metrics(&self) -> CascadeMetrics {
+        self.metrics_with_events(false)
+    }
+
+    /// Like [`Timeline::metrics`], optionally including one
+    /// [`PhaseSample`] per helper / spin / execute interval (the
+    /// simulator's analogue of the runtime's opt-in event ring).
+    pub fn metrics_with_events(&self, events: bool) -> CascadeMetrics {
+        let t0 = self
+            .events
+            .iter()
+            .map(|e| e.helper_start.min(e.token_arrival))
+            .fold(f64::INFINITY, f64::min)
+            .min(self.start());
+        let span = (self.end() - t0).max(0.0);
+        let mut workers: Vec<WorkerMetrics> = (0..self.nprocs)
+            .map(|p| WorkerMetrics {
+                worker: p as u64,
+                wall_time: span,
+                ..Default::default()
+            })
+            .collect();
+        let mut samples = Vec::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let w = &mut workers[e.proc];
+            w.chunks += 1;
+            w.helper_time += e.helper_cycles;
+            w.spin_time += e.spin_cycles();
+            w.exec_time += e.exec_cycles();
+            w.helper_iters += e.helper_iters;
+            if e.helper_iters > 0 && e.helper_iters >= e.iters {
+                w.helper_complete += 1;
+            }
+            if e.helper_cycles > 0.0 && e.helper_iters < e.iters {
+                w.jump_outs += 1;
+            }
+            w.chunk_exec.record(e.exec_cycles());
+            if i + 1 < self.events.len() {
+                // Releasing chunk i hands the token to chunk i + 1.
+                w.handoffs += 1;
+                let next = &self.events[i + 1];
+                workers[next.proc]
+                    .takeover
+                    .record((next.token_arrival - e.exec_end).max(0.0));
+            }
+            if events {
+                let rel = |t: f64| t - t0;
+                let helper_end = e.helper_start + e.helper_cycles;
+                if e.helper_cycles > 0.0 {
+                    samples.push(PhaseSample {
+                        worker: e.proc as u64,
+                        kind: PhaseKind::Helper,
+                        chunk: Some(e.chunk),
+                        start: rel(e.helper_start),
+                        end: rel(helper_end),
+                    });
+                }
+                if e.spin_cycles() > 0.0 {
+                    samples.push(PhaseSample {
+                        worker: e.proc as u64,
+                        kind: PhaseKind::Spin,
+                        chunk: Some(e.chunk),
+                        start: rel(helper_end.max(e.helper_start)),
+                        end: rel(e.exec_start),
+                    });
+                }
+                samples.push(PhaseSample {
+                    worker: e.proc as u64,
+                    kind: PhaseKind::Execute,
+                    chunk: Some(e.chunk),
+                    start: rel(e.exec_start),
+                    end: rel(e.exec_end),
+                });
+            }
+        }
+        for w in &mut workers {
+            // A simulated processor is idle whenever no chunk of its own
+            // is in flight: expose that remainder as `other`, so the
+            // phase-partition identity holds for both engines.
+            w.other_time = (w.wall_time - w.helper_time - w.spin_time - w.exec_time).max(0.0);
+        }
+        let mut m = CascadeMetrics {
+            source: Some(MetricsSource::Simulated),
+            chunks: self.events.len() as u64,
+            iters: self.events.iter().map(|e| e.iters).sum(),
+            wall_time: span,
+            workers,
+            events: samples,
+            ..Default::default()
+        };
+        m.aggregate();
+        m
     }
 
     /// Render an ASCII Gantt chart: one row per processor, `width`

@@ -341,6 +341,22 @@ impl<'p> RealKernel for SpecKernel<'p> {
         self.report.helper_lag()
     }
 
+    fn prefetch_bytes_per_iter(&self) -> u64 {
+        // Mirrors `prefetch_iter` exactly: 4 index bytes per indirect
+        // stream, plus each stream's data footprint.
+        self.spec
+            .refs
+            .iter()
+            .map(|r| {
+                let index_bytes = match r.pattern {
+                    Pattern::Indirect { .. } => 4,
+                    _ => 0,
+                };
+                index_bytes + r.bytes as u64
+            })
+            .sum()
+    }
+
     fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
         for r in &self.spec.refs {
             match r.mode {

@@ -30,6 +30,16 @@ pub trait RealKernel: Sync {
         let _ = i;
     }
 
+    /// Bytes of operand data one [`RealKernel::prefetch_iter`] call
+    /// covers — the unit behind the prefetch-byte accounting in the
+    /// observability report (`RunStats::metrics`). The default (0) means
+    /// the kernel does not report prefetch volume; kernels overriding
+    /// `prefetch_iter` should return the per-iteration footprint their
+    /// hints actually touch.
+    fn prefetch_bytes_per_iter(&self) -> u64 {
+        0
+    }
+
     /// Append the packed (sequential-buffer) form of iteration `i`'s
     /// read-only operands to `buf`. Returns `false` when this kernel does
     /// not support restructuring (the runner then falls back to prefetch).

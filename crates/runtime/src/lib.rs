@@ -59,6 +59,7 @@ pub mod fault;
 pub mod health;
 pub mod interp;
 pub mod kernel;
+pub mod metrics;
 pub mod prefetch;
 pub mod runner;
 pub mod token;
@@ -68,10 +69,12 @@ pub use fault::{FaultKind, FaultPlan, FaultyKernel};
 pub use health::{HealthConfig, HealthRegistry, StrikeVerdict};
 pub use interp::{SpecKernel, SpecProgram};
 pub use kernel::RealKernel;
+pub use metrics::{NsStats, Observe, PhaseEventNs};
 pub use prefetch::{prefetch_line, prefetch_range, PREFETCH_STRIDE};
 pub use runner::{
     run_cascaded, run_cascaded_sequence, run_sequential, try_run_cascaded,
-    try_run_cascaded_sequence, FaultEvent, RetryAbandon, RetryPolicy, RtPolicy, RunError, RunStats,
-    RunnerConfig, ThreadStats, Tolerance,
+    try_run_cascaded_observed, try_run_cascaded_sequence, try_run_cascaded_sequence_observed,
+    FaultEvent, RetryAbandon, RetryPolicy, RtPolicy, RunError, RunStats, RunnerConfig, ThreadStats,
+    Tolerance,
 };
 pub use token::{PoisonCause, Token, TokenView, WaitOutcome, EXEC_BIT, POISONED};

@@ -69,11 +69,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use cascade_core::ChunkPlan;
+use cascade_core::{
+    CascadeMetrics, ChunkPlan, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics,
+};
 
 use crate::barrier::{BarrierOutcome, FtBarrier};
 use crate::health::{HealthConfig, HealthRegistry, StrikeVerdict};
 use crate::kernel::RealKernel;
+use crate::metrics::{NsStats, Observe, PhaseEventNs, PhaseRecorder};
 use crate::token::{PoisonCause, Token, TokenView, EXEC_BIT, POISONED};
 
 /// Helper policy of the real-thread runtime.
@@ -370,6 +373,37 @@ pub struct ThreadStats {
     pub helper_ns: u128,
     /// Nanoseconds spent pure-spinning on the token.
     pub spin_ns: u128,
+    /// Nanoseconds climbing the recovery ladder (0 for fault-free runs).
+    pub retry_ns: u128,
+    /// Nanoseconds of everything else: startup, roster bookkeeping,
+    /// token release.
+    pub other_ns: u128,
+    /// Whole wall time of the worker. The `PhaseRecorder` closes and
+    /// opens adjacent phases with one shared timestamp, so
+    /// `helper_ns + spin_ns + exec_ns + retry_ns + other_ns == wall_ns`
+    /// holds *exactly* — no gaps, no overlaps.
+    pub wall_ns: u128,
+    /// Helper phases abandoned before covering their chunk (token
+    /// arrival, jump-out, or roster remap).
+    pub jump_outs: u64,
+    /// Helper poll batches that stalled waiting for the dependence
+    /// horizon to grow (horizon-gated kernels only).
+    pub horizon_stalls: u64,
+    /// Bytes packed into the sequential buffer by restructure helpers.
+    pub packed_bytes: u64,
+    /// Bytes covered by prefetch helpers
+    /// ([`RealKernel::prefetch_bytes_per_iter`] × iterations hinted).
+    pub prefetched_bytes: u64,
+    /// Token handoffs performed (successful releases of a finished
+    /// chunk to its successor).
+    pub handoffs: u64,
+    /// Receive-side handoff latency: previous executor's release →
+    /// this worker's winning claim.
+    pub takeover: NsStats,
+    /// Per-chunk execution-phase durations (count == `chunks`).
+    pub chunk_exec: NsStats,
+    /// Timestamped phase intervals (empty unless [`Observe::events`]).
+    pub events: Vec<PhaseEventNs>,
 }
 
 /// Whole-run statistics.
@@ -406,6 +440,69 @@ impl RunStats {
         }
         let helped: u64 = self.threads.iter().map(|t| t.helper_iters).sum();
         helped as f64 / self.iters as f64
+    }
+
+    /// The observability report (times in nanoseconds) — the same
+    /// [`CascadeMetrics`] schema the simulator derives from its
+    /// `ChunkEvent` timeline, so simulated and real runs are directly
+    /// comparable. For a `degraded` run the report covers the in-cascade
+    /// portion only (salvage executes outside the worker pool).
+    pub fn metrics(&self) -> CascadeMetrics {
+        let workers: Vec<WorkerMetrics> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(t, s)| WorkerMetrics {
+                worker: t as u64,
+                chunks: s.chunks,
+                helper_time: s.helper_ns as f64,
+                spin_time: s.spin_ns as f64,
+                exec_time: s.exec_ns as f64,
+                retry_time: s.retry_ns as f64,
+                other_time: s.other_ns as f64,
+                wall_time: s.wall_ns as f64,
+                helper_iters: s.helper_iters,
+                helper_complete: s.helper_complete,
+                jump_outs: s.jump_outs,
+                horizon_stalls: s.horizon_stalls,
+                packed_bytes: s.packed_bytes,
+                prefetched_bytes: s.prefetched_bytes,
+                handoffs: s.handoffs,
+                takeover: s.takeover.to_latency(),
+                chunk_exec: s.chunk_exec.to_latency(),
+            })
+            .collect();
+        let mut events: Vec<PhaseSample> = self
+            .threads
+            .iter()
+            .enumerate()
+            .flat_map(|(t, s)| {
+                s.events.iter().map(move |e| PhaseSample {
+                    worker: t as u64,
+                    kind: e.kind,
+                    chunk: e.chunk,
+                    start: e.start_ns as f64,
+                    end: e.end_ns as f64,
+                })
+            })
+            .collect();
+        events.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then(a.worker.cmp(&b.worker))
+                .then(a.end.total_cmp(&b.end))
+        });
+        let mut m = CascadeMetrics {
+            source: Some(MetricsSource::Real),
+            chunks: self.chunks,
+            iters: self.iters,
+            wall_time: self.elapsed.as_nanos() as f64,
+            workers,
+            events,
+            ..Default::default()
+        };
+        m.aggregate();
+        m
     }
 }
 
@@ -635,6 +732,19 @@ struct FtRun {
     /// executor. Racy by design (claim CAS and this store are two steps),
     /// and only ever used to pick a strike suspect.
     claimant: AtomicU64,
+    /// Time zero of the run: every recorder timestamp and handoff stamp
+    /// is an offset from here.
+    origin: Instant,
+    /// Handoff stamp: when the grant of `release_chunk` was published
+    /// (ns since `origin`). Written by the releaser *before* its
+    /// `try_advance`; the next claimant reads it after winning the claim
+    /// CAS, so the Release/Acquire edge through the token orders the
+    /// pair and the latency sample is exact.
+    release_ns: AtomicU64,
+    /// Which chunk `release_ns` stamps (`u64::MAX` = none yet: chunk 0's
+    /// grant predates the run, so it produces no handoff sample and a
+    /// fault-free cascade records exactly `chunks - 1` handoffs).
+    release_chunk: AtomicU64,
 }
 
 impl FtRun {
@@ -647,6 +757,9 @@ impl FtRun {
             roster: Roster::new(nthreads),
             retry_from: Mutex::new(HashMap::new()),
             claimant: AtomicU64::new(0),
+            origin: Instant::now(),
+            release_ns: AtomicU64::new(0),
+            release_chunk: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -693,6 +806,17 @@ pub fn try_run_cascaded<K: RealKernel>(
     cfg: &RunnerConfig,
     tol: &Tolerance,
 ) -> Result<RunStats, RunError> {
+    try_run_cascaded_observed(kernel, cfg, tol, &Observe::default())
+}
+
+/// [`try_run_cascaded`] with explicit observability options (`obs`
+/// enables the timestamped event ring behind `RunStats::metrics`).
+pub fn try_run_cascaded_observed<K: RealKernel>(
+    kernel: &K,
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+    obs: &Observe,
+) -> Result<RunStats, RunError> {
     validate(cfg)?;
     let iters = kernel.iters();
     if iters == 0 {
@@ -708,7 +832,7 @@ pub fn try_run_cascaded<K: RealKernel>(
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
                 let (plan, run, rec) = (&plan, &run, &rec);
-                s.spawn(move || ft_worker(kernel, cfg, tol, plan, run, rec, t as u64))
+                s.spawn(move || ft_worker(kernel, cfg, tol, obs, plan, run, rec, t as u64))
             })
             .collect();
         // Workers catch their own panics and report through the token, so
@@ -805,6 +929,16 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
     cfg: &RunnerConfig,
     tol: &Tolerance,
 ) -> Result<Vec<RunStats>, RunError> {
+    try_run_cascaded_sequence_observed(kernels, cfg, tol, &Observe::default())
+}
+
+/// [`try_run_cascaded_sequence`] with explicit observability options.
+pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
+    kernels: &[K],
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+    obs: &Observe,
+) -> Result<Vec<RunStats>, RunError> {
     validate(cfg)?;
     if kernels.is_empty() {
         return Err(RunError::InvalidConfig("empty kernel sequence".into()));
@@ -850,7 +984,7 @@ pub fn try_run_cascaded_sequence<K: RealKernel>(
                         // barriers, so the surviving cascade stays in
                         // lockstep.
                         all.push(ft_worker(
-                            kernel, cfg, tol, &plans[l], &runs[l], rec, t as u64,
+                            kernel, cfg, tol, obs, &plans[l], &runs[l], rec, t as u64,
                         ));
                         if let Some(cause) = runs[l].token.poison_cause() {
                             // Propagate the fault: no worker may block on a
@@ -975,9 +1109,23 @@ fn helper_jump_out(run: &FtRun, j: u64, epoch: u64) -> bool {
     raw == POISONED || Token::chunk_index(raw) >= j || run.roster.epoch() != epoch
 }
 
+/// What one helper phase accomplished.
+#[derive(Debug, Default, Clone, Copy)]
+struct HelperOut {
+    /// Iterations packed into the sequential buffer (restructure only).
+    packed_iters: u64,
+    /// Iterations covered by helper work (prefetched or packed).
+    helped_iters: u64,
+    /// Poll batches that found no headroom below the dependence horizon
+    /// and spun waiting for the token to commit more chunks.
+    horizon_stalls: u64,
+    /// The phase was abandoned (token arrival / jump-out / remap) before
+    /// covering its whole range.
+    jumped_out: bool,
+}
+
 /// Helper work for chunk `j` (covering `range`): prefetch or pack until
-/// the token arrives or the range is exhausted. Returns
-/// `(packed_iters, helped_iters)`.
+/// the token arrives or the range is exhausted.
 ///
 /// When the kernel declares a [`RealKernel::helper_horizon`] of `lag`
 /// (a loop-carried read whose aliasing writes trail by at least `lag`
@@ -998,9 +1146,8 @@ fn helper_phase<K: RealKernel>(
     epoch: u64,
     range: &Range<u64>,
     buf: &mut Vec<u8>,
-) -> (u64, u64) {
-    let mut packed_iters = 0u64;
-    let mut helped_iters = 0u64;
+) -> HelperOut {
+    let mut out = HelperOut::default();
     let horizon = kernel.helper_horizon();
     let m = plan.num_chunks();
     // Cap a batch end at the current helper horizon. The token read is
@@ -1033,15 +1180,17 @@ fn helper_phase<K: RealKernel>(
                 if batch_end <= i {
                     // Caught up with the horizon: wait for the token to
                     // commit more chunks (or arrive, via jump-out).
+                    out.horizon_stalls += 1;
                     std::hint::spin_loop();
                     continue;
                 }
                 for ii in i..batch_end {
                     kernel.prefetch_iter(ii);
                 }
-                helped_iters += batch_end - i;
+                out.helped_iters += batch_end - i;
                 i = batch_end;
             }
+            out.jumped_out = i < range.end;
         }
         RtPolicy::Restructure => {
             buf.clear();
@@ -1050,6 +1199,7 @@ fn helper_phase<K: RealKernel>(
             while supported && !helper_jump_out(run, j, epoch) && i < range.end {
                 let batch_end = horizon_cap((i + cfg.poll_batch).min(range.end));
                 if batch_end <= i {
+                    out.horizon_stalls += 1;
                     std::hint::spin_loop();
                     continue;
                 }
@@ -1058,19 +1208,20 @@ fn helper_phase<K: RealKernel>(
                         supported = false;
                         break;
                     }
-                    packed_iters += 1;
+                    out.packed_iters += 1;
                 }
-                i = range.start + packed_iters;
+                i = range.start + out.packed_iters;
                 if !supported {
                     // Kernel cannot pack: degrade to nothing packed.
                     buf.clear();
-                    packed_iters = 0;
+                    out.packed_iters = 0;
                 }
             }
-            helped_iters = packed_iters;
+            out.helped_iters = out.packed_iters;
+            out.jumped_out = supported && i < range.end;
         }
     }
-    (packed_iters, helped_iters)
+    out
 }
 
 /// How a wait for chunk `j` ended.
@@ -1332,15 +1483,21 @@ fn recover_from_panic<K: RealKernel>(
     false
 }
 
+#[allow(clippy::too_many_arguments)] // a worker is parameterized by the whole run context
 fn ft_worker<K: RealKernel>(
     kernel: &K,
     cfg: &RunnerConfig,
     tol: &Tolerance,
+    obs: &Observe,
     plan: &ChunkPlan,
     run: &FtRun,
     rec: &Recovery,
     t: u64,
 ) -> ThreadStats {
+    // The recorder's transitions replace ad-hoc `Instant` pairs: one
+    // timestamp both closes the outgoing phase and opens the incoming
+    // one, so the per-phase totals tile this worker's wall time exactly.
+    let mut phases = PhaseRecorder::new(run.origin, obs);
     run.roster.sync_with(&rec.health);
     let mut stats = ThreadStats::default();
     let mut buf: Vec<u8> = Vec::new();
@@ -1348,17 +1505,17 @@ fn ft_worker<K: RealKernel>(
     let mut cursor = 0u64;
     loop {
         if rec.health.is_quarantined(t) {
-            return stats;
+            return phases.finish(stats);
         }
         // The token position is the lowest unexecuted chunk: never look
         // for work below it.
         match run.token.position() {
-            None => return stats, // poisoned: the supervisor handles recovery
+            None => return phases.finish(stats), // poisoned: the supervisor handles recovery
             Some(p) => cursor = cursor.max(p),
         }
         let epoch = run.roster.epoch();
         let Some(j) = run.roster.next_owned(t, cursor) else {
-            return stats; // not on the roster (quarantined before this loop)
+            return phases.finish(stats); // not on the roster (quarantined before this loop)
         };
         if j >= m {
             // Drained: no chunk of ours remains. With retry enabled, leave
@@ -1372,52 +1529,70 @@ fn ft_worker<K: RealKernel>(
                     let _ = run.roster.remove(t, p);
                 }
             }
-            return stats;
+            return phases.finish(stats);
         }
         let range = plan.range(j);
         let range_len = range.end - range.start;
 
         // --- helper phase (with jump-out at poll_batch granularity) ---
-        let helper_start = Instant::now();
+        phases.transition(PhaseKind::Helper, Some(j));
         let helper = catch_unwind(AssertUnwindSafe(|| {
             helper_phase(kernel, cfg, run, plan, j, epoch, &range, &mut buf)
         }));
-        let (packed_iters, helped_iters) = match helper {
-            Ok(counts) => counts,
+        let helper = match helper {
+            Ok(out) => out,
             Err(payload) => {
                 // Helpers never touch loop-written state, so the chunk body
                 // is untouched; both retry and salvage stay sound. Either
                 // way (recovered in-cascade or poisoned) this worker is
                 // done.
+                phases.transition(PhaseKind::Retry, Some(j));
                 recover_from_panic(kernel, run, rec, t, j, false, payload);
-                return stats;
+                return phases.finish(stats);
             }
         };
-        stats.helper_ns += helper_start.elapsed().as_nanos();
-        stats.helper_iters += helped_iters;
-        if helped_iters >= range_len && !matches!(cfg.policy, RtPolicy::None) {
+        stats.helper_iters += helper.helped_iters;
+        stats.horizon_stalls += helper.horizon_stalls;
+        if helper.jumped_out {
+            stats.jump_outs += 1;
+        }
+        if helper.packed_iters > 0 {
+            stats.packed_bytes += buf.len() as u64;
+        }
+        if matches!(cfg.policy, RtPolicy::Prefetch) {
+            stats.prefetched_bytes += helper.helped_iters * kernel.prefetch_bytes_per_iter();
+        }
+        if helper.helped_iters >= range_len && !matches!(cfg.policy, RtPolicy::None) {
             stats.helper_complete += 1;
         }
 
         // --- wait for the token and claim the chunk ---
-        let spin_start = Instant::now();
+        phases.transition(PhaseKind::Spin, Some(j));
         let claim = wait_to_claim(run, rec, tol, t, j, epoch);
-        stats.spin_ns += spin_start.elapsed().as_nanos();
+        let (claim_ns, _) = phases.transition(PhaseKind::Other, Some(j));
         match claim {
             ChunkClaim::Claimed => {}
             ChunkClaim::Superseded | ChunkClaim::Remapped => continue,
-            ChunkClaim::Poisoned | ChunkClaim::Quarantined => return stats,
+            ChunkClaim::Poisoned | ChunkClaim::Quarantined => return phases.finish(stats),
+        }
+        // Handoff latency: the previous executor stamped the grant of `j`
+        // before the advance our claim CAS read from, so (Release/Acquire
+        // through the token) the stamp is visible and the pairing exact.
+        // Chunk 0's grant predates the run: no stamp, no sample.
+        if run.release_chunk.load(Ordering::Acquire) == j {
+            let rel = run.release_ns.load(Ordering::Relaxed);
+            stats.takeover.record(claim_ns.saturating_sub(rel));
         }
 
         // --- execution phase (we hold the claim: unique executor) ---
-        let exec_start = Instant::now();
+        phases.transition(PhaseKind::Execute, Some(j));
         let exec = catch_unwind(AssertUnwindSafe(|| {
-            let packed_end = range.start + packed_iters;
+            let packed_end = range.start + helper.packed_iters;
             // SAFETY: we won the claim CAS for chunk j: the protocol
             // serializes all execute calls and claim/advance form
             // Release/Acquire edges making prior chunks' writes visible.
             unsafe {
-                if packed_iters > 0 {
+                if helper.packed_iters > 0 {
                     kernel.execute_packed(range.start..packed_end, &buf);
                     if packed_end < range.end {
                         kernel.execute(packed_end..range.end);
@@ -1428,10 +1603,12 @@ fn ft_worker<K: RealKernel>(
             }
         }));
         if let Err(payload) = exec {
+            phases.transition(PhaseKind::Retry, Some(j));
             recover_from_panic(kernel, run, rec, t, j, true, payload);
-            return stats;
+            return phases.finish(stats);
         }
-        stats.exec_ns += exec_start.elapsed().as_nanos();
+        let (_, exec_ns) = phases.transition(PhaseKind::Other, Some(j));
+        stats.chunk_exec.record(exec_ns);
         stats.chunks += 1;
         run.completed.fetch_max(j + 1, Ordering::AcqRel);
         rec.health.heartbeat(t);
@@ -1445,6 +1622,16 @@ fn ft_worker<K: RealKernel>(
             }
         }
 
+        if j + 1 < m {
+            // Stamp the grant of j + 1 *before* publishing it via the
+            // advance, so the claimant's latency sample pairs with this
+            // release (the final advance grants no one: not a handoff).
+            run.release_ns.store(
+                Instant::now().duration_since(run.origin).as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            run.release_chunk.store(j + 1, Ordering::Release);
+        }
         if !run.token.try_advance(j) {
             // Poisoned while we executed (the watchdog declared us dead).
             // The chunk still completed exactly once — record and drain.
@@ -1452,7 +1639,10 @@ fn ft_worker<K: RealKernel>(
                 thread: t,
                 chunk: j,
             });
-            return stats;
+            return phases.finish(stats);
+        }
+        if j + 1 < m {
+            stats.handoffs += 1;
         }
         cursor = j + 1;
     }
