@@ -188,6 +188,59 @@ pub fn ref_footprint(w: &Workload, r: &StreamRef, range: Range<u64>) -> Option<F
     })
 }
 
+/// Whether a chunk transaction (undo journal + bitwise rollback) can be
+/// materialized for a loop: every write-mode stream's footprint over an
+/// arbitrary chunk range must be resolvable — in affine closed form, or
+/// bounded by installed index contents. The runtime uses this to decide
+/// whether a faulted chunk can be rolled back and re-executed, or must
+/// keep the conservative fail-stop gate (see `docs/ROBUSTNESS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Journalability {
+    /// Every write stream's footprint is resolvable: [`write_set`]
+    /// bounds the undo journal of any non-empty in-bounds chunk range.
+    Journalable,
+    /// Some write stream's footprint cannot be bounded; the chunk's
+    /// write-set is unknowable and rollback is impossible.
+    Unjournalable {
+        /// The first offending write stream.
+        ref_name: &'static str,
+        /// Why its footprint cannot be bounded.
+        reason: UnsafeReason,
+    },
+}
+
+impl fmt::Display for Journalability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Journalability::Journalable => f.write_str("journalable"),
+            Journalability::Unjournalable { ref_name, reason } => {
+                write!(f, "unjournalable({ref_name}: {reason})")
+            }
+        }
+    }
+}
+
+/// The undo-journal bound of one chunk: the footprint of every
+/// write-mode stream of `spec` over `range`, in spec order. This is the
+/// exact set of byte intervals `execute(range)` may mutate — affine
+/// closed form where available, index-store-bounded for indirect
+/// writes — so snapshotting these intervals before the chunk body and
+/// restoring them after a fault yields bitwise-identical array state.
+///
+/// Returns `None` when the range is empty or any write footprint is
+/// unresolvable (the loop is [`Journalability::Unjournalable`]); a loop
+/// with no writes journals as `Some(vec![])` (an empty journal).
+pub fn write_set(w: &Workload, spec: &LoopSpec, range: Range<u64>) -> Option<Vec<Footprint>> {
+    if range.is_empty() {
+        return None;
+    }
+    spec.refs
+        .iter()
+        .filter(|r| r.mode.writes())
+        .map(|r| ref_footprint(w, r, range.clone()))
+        .collect()
+}
+
 /// The footprint of the *index-array* reads of an indirect stream over
 /// the iteration range (`None` for affine streams or empty ranges).
 pub fn index_footprint(w: &Workload, r: &StreamRef, range: Range<u64>) -> Option<Footprint> {
@@ -299,6 +352,25 @@ impl LoopReport {
     /// The report for operand `name`, if present.
     pub fn find_ref(&self, name: &str) -> Option<&RefReport> {
         self.refs.iter().find(|r| r.name == name)
+    }
+
+    /// Can a chunk of this loop be journaled and rolled back? The undo
+    /// journal is bounded by [`write_set`]: it exists exactly when every
+    /// write-mode operand's footprint is resolvable, i.e. no write
+    /// operand bottomed out at [`Verdict::Unsafe`]. Loops the
+    /// real-thread interpreter accepts ([`LoopReport::rt_ok`]) are
+    /// always journalable; the distinction matters for hand-written
+    /// kernels and for reporting.
+    pub fn journalability(&self) -> Journalability {
+        for r in self.refs.iter().filter(|r| r.mode.writes()) {
+            if let Verdict::Unsafe { reason } = r.verdict {
+                return Journalability::Unjournalable {
+                    ref_name: r.name,
+                    reason,
+                };
+            }
+        }
+        Journalability::Journalable
     }
 
     /// The distinct diagnostic codes that fired, in first-seen order.
@@ -933,6 +1005,147 @@ mod tests {
         );
         let l = &analyze_workload(&w).loops[0];
         assert_eq!(l.find_ref("a(i+1)").unwrap().verdict, Verdict::Packable);
+    }
+
+    #[test]
+    fn write_set_bounds_affine_chunks_in_closed_form() {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8, 64);
+        let b = s.alloc("b", 8, 64);
+        let w = workload(
+            vec![
+                rd("a(i)", a, Pattern::Affine { base: 0, stride: 1 }),
+                wr("b(i)", b, Pattern::Affine { base: 0, stride: 1 }),
+            ],
+            s,
+            IndexStore::new(),
+        );
+        assert_eq!(
+            analyze_workload(&w).loops[0].journalability(),
+            Journalability::Journalable
+        );
+        let set = write_set(&w, &w.loops[0], 8..16).expect("journalable chunk");
+        assert_eq!(set.len(), 1, "reads contribute nothing to the journal");
+        let fp = set[0];
+        assert!(fp.exact, "affine writes bound in closed form");
+        assert_eq!((fp.elem_lo, fp.elem_hi), (8, 16));
+        assert_eq!(fp.hi - fp.lo, 8 * 8, "eight f64 elements");
+        assert!(
+            write_set(&w, &w.loops[0], 3..3).is_none(),
+            "an empty range has no journal"
+        );
+    }
+
+    #[test]
+    fn indirect_write_set_is_index_store_bounded() {
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 64);
+        let ij = s.alloc("ij", 4, 64);
+        let contents: Vec<u32> = (0..64u32).map(|i| (i * 13) % 32).collect();
+        let mut index = IndexStore::new();
+        index.set(ij, contents.clone());
+        let scatter = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Modify,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(vec![scatter], s, index);
+        assert_eq!(
+            analyze_workload(&w).loops[0].journalability(),
+            Journalability::Journalable
+        );
+        let range = 4..9u64;
+        let set = write_set(&w, &w.loops[0], range.clone()).expect("index contents installed");
+        assert_eq!(set.len(), 1);
+        let fp = set[0];
+        assert!(!fp.exact, "indirect hulls are scanned, not closed-form");
+        let touched: Vec<u64> = range.map(|i| contents[i as usize] as u64).collect();
+        assert_eq!(fp.elem_lo, *touched.iter().min().unwrap());
+        assert_eq!(fp.elem_hi, *touched.iter().max().unwrap() + 1);
+        let base = w.space.array(x).base;
+        for &e in &touched {
+            assert!(
+                fp.contains(base + e * 8, 8),
+                "every scattered element lies inside the journal bound"
+            );
+        }
+    }
+
+    #[test]
+    fn unresolvable_write_footprints_are_unjournalable() {
+        // A scatter *write* whose index array has no installed contents:
+        // the write-set is unknowable, so no undo journal can exist.
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 64);
+        let ij = s.alloc("ij", 4, 64);
+        let scatter = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Write,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(vec![scatter], s, IndexStore::new());
+        assert_eq!(
+            analyze_workload(&w).loops[0].journalability(),
+            Journalability::Unjournalable {
+                ref_name: "x(ij(i))",
+                reason: UnsafeReason::MissingIndexContents
+            }
+        );
+        assert!(write_set(&w, &w.loops[0], 0..8).is_none());
+    }
+
+    #[test]
+    fn unsafe_reads_do_not_block_journaling() {
+        // The gather reads through an index array the loop itself
+        // writes — unsafe for helpers — but the only *write* is affine,
+        // so the chunk write-set is still exactly bounded.
+        let mut s = AddressSpace::new();
+        let x = s.alloc("x", 8, 64);
+        let ij = s.alloc("ij", 4, 64);
+        let mut index = IndexStore::new();
+        index.set(ij, (0..64).collect());
+        let gather = StreamRef {
+            name: "x(ij(i))",
+            array: x,
+            pattern: Pattern::Indirect {
+                index: ij,
+                ibase: 0,
+                istride: 1,
+            },
+            mode: Mode::Read,
+            bytes: 8,
+            hoistable: false,
+        };
+        let w = workload(
+            vec![
+                gather,
+                wr("ij(i)", ij, Pattern::Affine { base: 0, stride: 1 }),
+            ],
+            s,
+            index,
+        );
+        let l = &analyze_workload(&w).loops[0];
+        assert!(!l.rt_ok(), "helpers must not touch this loop");
+        assert_eq!(l.journalability(), Journalability::Journalable);
+        assert_eq!(
+            write_set(&w, &w.loops[0], 0..16).map(|s| s.len()),
+            Some(1),
+            "the affine index-array write is the whole journal"
+        );
     }
 
     #[test]

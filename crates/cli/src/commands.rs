@@ -94,6 +94,12 @@ USAGE:
                            to salvage (default 4, retry only)
         --retry-backoff-ms N  first stall backoff window, doubling per
                            strike (default 10, retry only)
+        --mid-mutation     also sample panics that fire *after* part of
+                           a chunk's writes landed; recovery then rests
+                           on the analyzer-bounded undo journal (the
+                           synth kernels are journalable, so these must
+                           recover, salvage, or report a typed error —
+                           never corrupt)
 
   cascade sweep [options]
       Sweep one parameter of the simulated cascade.
@@ -544,6 +550,7 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let tolerance = args.get("tolerance", "salvage");
     let retry_budget = args.get_num("retry-budget", 4u64)?;
     let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
+    let mid_mutation = args.flag("mid-mutation");
     args.reject_unknown()?;
     if plans == 0 {
         return Err(ArgError::usage("--plans must be positive"));
@@ -607,7 +614,12 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let mut unexplained = 0u64;
     let mut out = format!(
         "chaos matrix: {plans} fault plans, threads 1..={max_threads}, \
-         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}\n"
+         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}{}\n",
+        if mid_mutation {
+            ", mid-mutation on"
+        } else {
+            ""
+        }
     );
     for case in 0..plans {
         let variant = if case % 2 == 0 {
@@ -628,10 +640,15 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
         let mut injected = Vec::new();
         for _ in 0..=(splitmix64(&mut rng) % 3) {
             let chunk = splitmix64(&mut rng) % num_chunks;
-            let kind = match splitmix64(&mut rng) % 3 {
+            let kind = match splitmix64(&mut rng) % if mid_mutation { 4 } else { 3 } {
                 0 => FaultKind::Panic,
                 1 => FaultKind::Stall(Duration::from_millis(stall_ms)),
-                _ => FaultKind::Slowdown(Duration::from_millis(1 + splitmix64(&mut rng) % 3)),
+                2 => FaultKind::Slowdown(Duration::from_millis(1 + splitmix64(&mut rng) % 3)),
+                // A panic with partial writes already landed: only the
+                // undo journal makes this recoverable.
+                _ => FaultKind::PanicMidMutation {
+                    after_iters: 1 + splitmix64(&mut rng) % (chunk_iters - 1).max(1),
+                },
             };
             injected.push(format!("{kind:?}@{chunk}"));
             plan = plan.inject(chunk, kind);

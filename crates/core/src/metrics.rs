@@ -185,6 +185,17 @@ pub struct WorkerMetrics {
     pub prefetched_bytes: u64,
     /// Token handoffs performed (successful releases of a finished chunk).
     pub handoffs: u64,
+    /// Chunks whose undo journal was rolled back after a mid-body fault
+    /// (0 for simulated and fault-free runs).
+    pub rollbacks: u64,
+    /// Bytes captured into undo journals before execution phases (0 when
+    /// journaling is off or the kernel is unjournalable).
+    pub journal_bytes: u64,
+    /// Time spent capturing and rolling back undo journals. A side
+    /// counter carved out of the execute/retry phases, *not* a sixth
+    /// phase: the `helper + spin + execute + retry + other == wall`
+    /// partition is unaffected.
+    pub journal_time: f64,
     /// Receive-side token-handoff latency: release of chunk `j` by the
     /// previous executor → this worker's claim of `j`.
     pub takeover: LatencyStats,
@@ -213,7 +224,7 @@ impl WorkerMetrics {
 
     fn json(&self) -> String {
         format!(
-            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
+            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"rollbacks\": {}, \"journal_bytes\": {}, \"journal_time\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
             self.worker,
             self.chunks,
             fmt_f64(self.helper_time),
@@ -229,6 +240,9 @@ impl WorkerMetrics {
             self.packed_bytes,
             self.prefetched_bytes,
             self.handoffs,
+            self.rollbacks,
+            self.journal_bytes,
+            fmt_f64(self.journal_time),
             self.takeover.json(),
             self.chunk_exec.json(),
         )
@@ -331,6 +345,22 @@ impl CascadeMetrics {
         self.workers.iter().map(|w| w.prefetched_bytes).sum()
     }
 
+    /// Total chunks rolled back via their undo journal.
+    pub fn rollbacks(&self) -> u64 {
+        self.workers.iter().map(|w| w.rollbacks).sum()
+    }
+
+    /// Total bytes captured into undo journals.
+    pub fn journal_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.journal_bytes).sum()
+    }
+
+    /// Total time spent capturing and rolling back undo journals (a side
+    /// counter inside the execute/retry phases, not a sixth phase).
+    pub fn journal_time(&self) -> f64 {
+        self.workers.iter().map(|w| w.journal_time).sum()
+    }
+
     /// Render the fixed-field-order JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -351,6 +381,12 @@ impl CascadeMetrics {
         out.push_str(&format!(
             "  \"prefetched_bytes\": {},\n",
             self.prefetched_bytes()
+        ));
+        out.push_str(&format!("  \"rollbacks\": {},\n", self.rollbacks()));
+        out.push_str(&format!("  \"journal_bytes\": {},\n", self.journal_bytes()));
+        out.push_str(&format!(
+            "  \"journal_time\": {},\n",
+            fmt_f64(self.journal_time())
         ));
         out.push_str(&format!("  \"handoff\": {},\n", self.handoff.json()));
         out.push_str(&format!("  \"chunk_exec\": {},\n", self.chunk_exec.json()));
@@ -386,9 +422,11 @@ impl CascadeMetrics {
             100.0 * self.helper_coverage()
         ));
         out.push_str(&format!(
-            "  packed {} B, prefetched {} B\n",
+            "  packed {} B, prefetched {} B, journaled {} B ({} rollbacks)\n",
             self.packed_bytes(),
-            self.prefetched_bytes()
+            self.prefetched_bytes(),
+            self.journal_bytes(),
+            self.rollbacks()
         ));
         out.push_str(&format!(
             "  token handoffs: {} ({} min / {} mean / {} max {unit})\n",

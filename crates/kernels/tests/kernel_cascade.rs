@@ -8,8 +8,8 @@ use cascade_core::{run_cascaded, run_sequential, CascadeConfig, HelperPolicy};
 use cascade_kernels::{histogram, pointer_chase, seq_spmv, suite, triangular_solve};
 use cascade_mem::machines::pentium_pro;
 use cascade_rt::{
-    try_run_cascaded, FaultKind, FaultPlan, FaultyKernel, RtPolicy, RunnerConfig, SpecProgram,
-    Tolerance,
+    try_run_cascaded, FaultEvent, FaultKind, FaultPlan, FaultyKernel, RtPolicy, RunnerConfig,
+    SpecProgram, Tolerance,
 };
 
 #[test]
@@ -142,6 +142,65 @@ fn tri_solve_survives_injected_panic_bitwise() {
         expected,
         "tri-solve diverged under fault + retry"
     );
+}
+
+#[test]
+fn tri_solve_survives_mid_mutation_panic_bitwise() {
+    // Acceptance for transactional chunks: tri-solve makes *no* fail-stop
+    // promise, and this fault panics after 40 iterations of the chunk
+    // already mutated x — before journaling this was unconditionally
+    // fatal. The analyzer bounds the write-set, the worker rolls the
+    // chunk back to its pre-chunk bytes, and both the retry ladder and
+    // the salvage pass must now finish bitwise-identical to sequential.
+    let build = || triangular_solve(4096, 4, 17);
+    let expected = {
+        let k = build();
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
+        let kern = prog.kernel(0);
+        // SAFETY: single-threaded baseline.
+        unsafe { cascade_rt::RealKernel::execute(&kern, 0..cascade_rt::RealKernel::iters(&kern)) };
+        prog.checksum()
+    };
+    for (label, tol, want_degraded) in [
+        ("retry", Tolerance::retrying(Duration::from_secs(5)), false),
+        (
+            "salvage",
+            Tolerance::resilient(Duration::from_secs(5)),
+            true,
+        ),
+    ] {
+        let k = build();
+        let mut prog = SpecProgram::new(k.workload, k.arena).unwrap();
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 113,
+            policy: RtPolicy::Restructure,
+            poll_batch: 8,
+        };
+        let faulty = FaultyKernel::new(
+            prog.kernel(0),
+            FaultPlan::new(cfg.iters_per_chunk)
+                .inject(5, FaultKind::PanicMidMutation { after_iters: 40 }),
+        );
+        let stats = try_run_cascaded(&faulty, &cfg, &tol)
+            .unwrap_or_else(|e| panic!("{label}: journaled recovery must absorb the fault: {e}"));
+        assert_eq!(stats.degraded, want_degraded, "{label}");
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::ChunkRolledBack { chunk: 5, .. })),
+            "{label}: missing rollback event: {:?}",
+            stats.faults
+        );
+        assert_eq!(faulty.fired(), vec![5], "{label}: planned fault must fire");
+        drop(faulty);
+        assert_eq!(
+            prog.checksum(),
+            expected,
+            "tri-solve diverged under mid-mutation fault + {label}"
+        );
+    }
 }
 
 #[test]

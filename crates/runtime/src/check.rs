@@ -18,7 +18,12 @@
 //! 3. **First-cause-wins poisoning** — concurrent poisoners never
 //!    overwrite the first recorded cause;
 //! 4. **No chunk executed twice after mutation** — a retry may re-run a
-//!    chunk only if its body never started writing (fail-stop faults).
+//!    chunk only if its body never started writing (fail-stop faults)
+//!    or its partial writes were restored from the undo journal;
+//! 5. **No torn state observable after rollback** — a chunk whose
+//!    partial writes have not been rolled back is never re-claimed: the
+//!    rollback happens-before any re-execution claim, and a clean run
+//!    never accepts with a torn chunk.
 //!
 //! The model follows the runner's code paths step for step: `Seek`
 //! mirrors `Roster::next_owned`, `Claim`/`Advance` mirror
@@ -33,9 +38,9 @@
 //! runtime can reach.
 //!
 //! [`Bug`] deliberately re-introduces protocol mistakes (skipping the
-//! claim CAS, plain-store release, last-cause-wins poisoning) so the
-//! tests can prove the checker actually *catches* violations instead of
-//! vacuously passing.
+//! claim CAS, plain-store release, last-cause-wins poisoning, unclaiming
+//! before the journal rollback) so the tests can prove the checker
+//! actually *catches* violations instead of vacuously passing.
 
 use interleave::{explore, Exploration, Model};
 
@@ -66,9 +71,14 @@ pub enum ModelFault {
     /// Panic inside the chunk body before any write lands (fail-stop):
     /// the chunk is legally retryable.
     PanicFailStop,
-    /// Panic after partial writes (kernel not fail-stop): the chunk must
-    /// never be re-run.
+    /// Panic after partial writes (kernel not fail-stop, no journal):
+    /// the chunk must never be re-run.
     PanicMidBody,
+    /// Panic after partial writes on a kernel whose write-set the
+    /// analyzer bounded: the worker restores the chunk's undo journal
+    /// while still holding the claim, then retries as if the fault were
+    /// fail-stop.
+    PanicMidBodyJournaled,
     /// Panic in the helper phase: no claim held, body untouched.
     PanicHelper,
     /// Go quiet mid-body while holding the claim (a finite stall: the
@@ -92,6 +102,10 @@ pub enum Bug {
     /// Poison with a store instead of a CAS: a later fault overwrites the
     /// first recorded cause.
     LastCauseWins,
+    /// Hand the claim back (the unclaim CAS) *before* applying the undo
+    /// journal: a survivor can re-claim the chunk while it is still
+    /// torn, breaking rollback-happens-before-re-execution.
+    UnclaimBeforeRollback,
 }
 
 /// What one modeled thread is doing (mirrors the runner's worker loop).
@@ -116,8 +130,16 @@ enum Th {
         claimed: bool,
         fail_stop: bool,
     },
+    /// Panicked mid-body with a captured journal; about to restore the
+    /// chunk's write-set bitwise. `recovered` marks the seeded-bug path
+    /// ([`Bug::UnclaimBeforeRollback`]) where the ladder already ran and
+    /// the rollback is landing late, after the unclaim.
+    RollingBack { chunk: u8, recovered: bool },
     /// Self-quarantined and remapped; about to hand the claim back.
-    HandingBack { chunk: u8 },
+    /// `rollback_after` is only ever true under
+    /// [`Bug::UnclaimBeforeRollback`]: the undo journal is still
+    /// unapplied and will run after the unclaim.
+    HandingBack { chunk: u8, rollback_after: bool },
     /// Fell through the ladder; about to poison the token.
     Poisoning { chunk: u8 },
     /// Drained.
@@ -141,6 +163,8 @@ pub enum Step {
     Advance(usize),
     /// Recovery ladder: budget, roster remove + re-anchor, quarantine.
     Recover(usize),
+    /// Restore the chunk's write-set from the undo journal (bitwise).
+    Rollback(usize),
     /// The unclaim CAS: hand a retryable chunk back to the survivors.
     HandBack(usize),
     /// The poison CAS (first cause wins).
@@ -175,6 +199,7 @@ pub struct Protocol {
     threads: Vec<Th>,
     executed: Vec<u8>,
     mutated: Vec<bool>,
+    torn: Vec<bool>,
     live: Vec<u8>,
     base: u8,
     quarantined: Vec<bool>,
@@ -185,6 +210,7 @@ pub struct Protocol {
     moved_back: bool,
     cause_overwritten: bool,
     double_exec: bool,
+    claimed_torn: bool,
 }
 
 impl Protocol {
@@ -202,6 +228,7 @@ impl Protocol {
             threads: vec![Th::Idle { cursor: 0 }; nthreads],
             executed: vec![0; chunks as usize],
             mutated: vec![false; chunks as usize],
+            torn: vec![false; chunks as usize],
             live: (0..nthreads as u8).collect(),
             base: 0,
             quarantined: vec![false; nthreads],
@@ -211,6 +238,7 @@ impl Protocol {
             moved_back: false,
             cause_overwritten: false,
             double_exec: false,
+            claimed_torn: false,
         }
     }
 
@@ -347,6 +375,7 @@ impl Model for Protocol {
                 Th::Stalled { .. } => acts.push(Step::Wake(i)),
                 Th::Releasing { .. } => acts.push(Step::Advance(i)),
                 Th::Recovering { .. } => acts.push(Step::Recover(i)),
+                Th::RollingBack { .. } => acts.push(Step::Rollback(i)),
                 Th::HandingBack { .. } => acts.push(Step::HandBack(i)),
                 Th::Poisoning { .. } => acts.push(Step::Poison(i)),
                 Th::Done => {}
@@ -415,6 +444,11 @@ impl Model for Protocol {
                 let Th::Waiting { chunk, .. } = s.threads[i] else {
                     unreachable!("Claim from non-Waiting")
                 };
+                if s.torn[chunk as usize] {
+                    // Re-claiming a chunk whose partial writes were never
+                    // rolled back: the retry would read torn state.
+                    s.claimed_torn = true;
+                }
                 if s.bug != Bug::SkipClaim {
                     s.set_token(Tok::Claimed(chunk));
                 }
@@ -445,10 +479,30 @@ impl Model for Protocol {
                     },
                     ModelFault::PanicMidBody => {
                         s.mutated[chunk as usize] = true;
+                        s.torn[chunk as usize] = true;
                         Th::Recovering {
                             chunk,
                             claimed: true,
                             fail_stop: false,
+                        }
+                    }
+                    ModelFault::PanicMidBodyJournaled => {
+                        s.mutated[chunk as usize] = true;
+                        s.torn[chunk as usize] = true;
+                        if s.bug == Bug::UnclaimBeforeRollback {
+                            // Seeded bug: climb the ladder (and unclaim)
+                            // with the journal still unapplied — the
+                            // rollback lands too late.
+                            Th::Recovering {
+                                chunk,
+                                claimed: true,
+                                fail_stop: true,
+                            }
+                        } else {
+                            Th::RollingBack {
+                                chunk,
+                                recovered: false,
+                            }
                         }
                     }
                     ModelFault::Stall => Th::Stalled { chunk },
@@ -509,19 +563,61 @@ impl Model for Protocol {
                 // (If we were not live, a detector already quarantined and
                 // remapped us — just hand the chunk back.)
                 s.threads[i] = if claimed {
-                    Th::HandingBack { chunk }
+                    Th::HandingBack {
+                        chunk,
+                        // Only the seeded UnclaimBeforeRollback path can
+                        // reach here with the chunk still torn: the
+                        // faithful order rolled back before recovering.
+                        rollback_after: s.torn[chunk as usize],
+                    }
                 } else {
                     Th::Done
                 };
             }
+            Step::Rollback(i) => {
+                let Th::RollingBack { chunk, recovered } = s.threads[i] else {
+                    unreachable!("Rollback from non-RollingBack")
+                };
+                // Bitwise restore: the chunk's write-set is pristine
+                // again — legally re-executable, no longer torn.
+                s.torn[chunk as usize] = false;
+                s.mutated[chunk as usize] = false;
+                s.threads[i] = if recovered {
+                    // Seeded-bug tail: the ladder already ran.
+                    Th::Done
+                } else {
+                    // Faithful order: rollback first (claim still held),
+                    // then climb the ladder as if the kernel were
+                    // fail-stop — the chunk is pristine.
+                    Th::Recovering {
+                        chunk,
+                        claimed: true,
+                        fail_stop: true,
+                    }
+                };
+            }
             Step::HandBack(i) => {
-                let Th::HandingBack { chunk } = s.threads[i] else {
+                let Th::HandingBack {
+                    chunk,
+                    rollback_after,
+                } = s.threads[i]
+                else {
                     unreachable!("HandBack from non-HandingBack")
                 };
                 if s.token == Tok::Claimed(chunk) {
                     // The unclaim CAS: a survivor will re-claim.
                     s.set_token(Tok::Granted(chunk));
-                    s.threads[i] = Th::Done;
+                    s.threads[i] = if rollback_after {
+                        // Seeded-bug ordering: the journal is applied
+                        // only now, after the unclaim already published
+                        // the chunk to the survivors.
+                        Th::RollingBack {
+                            chunk,
+                            recovered: true,
+                        }
+                    } else {
+                        Th::Done
+                    };
                 } else {
                     // Poisoned while recovering: the fall-through poison
                     // call is a no-op CAS, modeled for the cause check.
@@ -570,6 +666,9 @@ impl Model for Protocol {
         if self.double_exec {
             return Err("a chunk was executed again after mutation".into());
         }
+        if self.claimed_torn {
+            return Err("a torn chunk was re-claimed before its rollback".into());
+        }
         if self.was_poisoned && self.token != Tok::Poisoned {
             return Err("a poisoned token was resurrected".into());
         }
@@ -602,6 +701,11 @@ impl Model for Protocol {
             if n != 1 {
                 return Err(format!("chunk {c} executed {n} times"));
             }
+        }
+        if let Some(c) = self.torn.iter().position(|&t| t) {
+            return Err(format!(
+                "clean run accepted with chunk {c} still torn (rollback never ran)"
+            ));
         }
         Ok(())
     }
@@ -680,6 +784,50 @@ mod tests {
                 "mid-body panic",
             );
         }
+    }
+
+    #[test]
+    fn journaled_mid_body_panic_recovers_under_every_schedule() {
+        // A mid-body panic on a journalable kernel rolls the chunk back
+        // while the claim is still held, then retries like a fail-stop
+        // fault. Every schedule must end clean (all chunks exactly once)
+        // or poisoned with the invariants intact — in particular, the
+        // torn window must never be observable to a re-claimer.
+        for faulty_thread in 0..3 {
+            for chunk in 0..4 {
+                assert_verified(
+                    Protocol::new(3, 4, 2).with_fault(
+                        faulty_thread,
+                        chunk,
+                        ModelFault::PanicMidBodyJournaled,
+                    ),
+                    "journaled mid-body panic",
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn journaled_panic_with_dry_budget_rolls_back_before_poisoning() {
+        // No retry budget: the ladder falls through to poison, but the
+        // rollback already ran (faithful order), so the poisoned state
+        // carries no torn chunk — salvage can re-run it soundly.
+        assert_verified(
+            Protocol::new(3, 4, 0).with_fault(1, 1, ModelFault::PanicMidBodyJournaled),
+            "journaled panic, dry budget",
+        );
+    }
+
+    #[test]
+    fn journaled_panic_plus_spurious_detection_verifies() {
+        assert_verified(
+            Protocol::new(3, 3, 2).with_spurious_detection().with_fault(
+                0,
+                1,
+                ModelFault::PanicMidBodyJournaled,
+            ),
+            "journaled panic + spurious detection",
+        );
     }
 
     #[test]
@@ -762,6 +910,23 @@ mod tests {
         );
         let v = result.violation.expect("ResurrectToken must be caught");
         assert!(v.message.contains("resurrected"), "{}", v.message);
+    }
+
+    #[test]
+    fn seeded_unclaim_before_rollback_bug_is_caught() {
+        // The buggy ordering unclaims the chunk (re-publishing it to the
+        // survivors) before applying the undo journal: some schedule
+        // lets a survivor claim the chunk while it is still torn.
+        let result = explore(
+            Protocol::new(3, 4, 2)
+                .with_bug(Bug::UnclaimBeforeRollback)
+                .with_fault(1, 1, ModelFault::PanicMidBodyJournaled),
+            2_000_000,
+        );
+        let v = result
+            .violation
+            .expect("UnclaimBeforeRollback must be caught");
+        assert!(v.message.contains("torn"), "{}", v.message);
     }
 
     #[test]

@@ -5,12 +5,18 @@
 //! Design points that keep injected faults compatible with salvage (see
 //! `docs/ROBUSTNESS.md`):
 //!
-//! * **Faults fire before the chunk body.** An injected panic interrupts
-//!   the chunk *before* the inner kernel writes anything, so re-executing
-//!   the chunk from its start (the salvage path) is bitwise-correct.
-//!   [`FaultyKernel`] therefore reports
+//! * **Most faults fire before the chunk body.** An injected panic
+//!   interrupts the chunk *before* the inner kernel writes anything, so
+//!   re-executing the chunk from its start (the salvage path) is
+//!   bitwise-correct, and [`FaultyKernel`] reports
 //!   [`RealKernel::panics_before_mutation`] — wrap only kernels that do
-//!   not panic on their own, or that promise fail-stop themselves.
+//!   not panic on their own, or that promise fail-stop themselves. The
+//!   exception is [`FaultKind::PanicMidMutation`], which deliberately
+//!   executes a prefix of the chunk before panicking to leave torn
+//!   partial writes behind: a plan containing one makes the wrapper
+//!   truthfully *deny* fail-stop, so recovery is only possible through
+//!   the journal-rollback transaction layer (or refused, for
+//!   unjournalable inner kernels).
 //! * **Faults fire once.** Each planned chunk trips at most one time, so
 //!   the sequential salvage (or a retry) does not re-trigger the fault it
 //!   is recovering from.
@@ -31,6 +37,18 @@ use crate::kernel::RealKernel;
 pub enum FaultKind {
     /// Panic before the chunk body runs (a crashed worker).
     Panic,
+    /// Execute the first `after_iters` iterations of the chunk, then
+    /// panic — a crash *mid-mutation* that leaves torn partial writes in
+    /// shared memory. Recovering from this requires the chunk
+    /// transaction layer (undo-journal rollback); a fail-stop promise
+    /// cannot cover it, so a plan containing one revokes
+    /// [`RealKernel::panics_before_mutation`].
+    PanicMidMutation {
+        /// Iterations of the chunk to execute before panicking (clamped
+        /// to the chunk length; 0 degenerates to a fail-stop panic but
+        /// is still reported as mid-mutation).
+        after_iters: u64,
+    },
     /// Sleep for the duration, then run the body (a worker stuck long
     /// enough for the watchdog to declare it dead, yet finite so the pool
     /// always drains).
@@ -85,6 +103,15 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// Does any planned fault interrupt a chunk mid-mutation? If so, a
+    /// [`FaultyKernel`] running this plan cannot promise fail-stop
+    /// panics.
+    pub fn has_mid_mutation(&self) -> bool {
+        self.faults
+            .values()
+            .any(|k| matches!(k, FaultKind::PanicMidMutation { .. }))
+    }
+
     /// The chunk an execution range starting at `iter` belongs to.
     fn chunk_of(&self, iter: u64) -> u64 {
         iter / self.iters_per_chunk
@@ -123,23 +150,38 @@ impl<K> FaultyKernel<K> {
     }
 
     /// Fire the planned fault for the chunk containing `start_iter`, at
-    /// most once per chunk.
-    fn trip(&self, start_iter: u64) {
+    /// most once per chunk. Returns how much of the chunk body the
+    /// execute path may still run: all of it, or only a prefix (the
+    /// mid-mutation fault, which executes that prefix and then panics).
+    fn trip(&self, start_iter: u64) -> Trip {
         let chunk = self.plan.chunk_of(start_iter);
         let Some(kind) = self.plan.faults.get(&chunk) else {
-            return;
+            return Trip::Clean;
         };
         {
             let mut fired = self.fired.lock().unwrap();
             if !fired.insert(chunk) {
-                return; // fire once: salvage must not re-trip it
+                return Trip::Clean; // fire once: salvage must not re-trip it
             }
         }
         match *kind {
             FaultKind::Panic => panic!("injected fault: panic at chunk {chunk}"),
-            FaultKind::Stall(d) | FaultKind::Slowdown(d) => std::thread::sleep(d),
+            FaultKind::PanicMidMutation { after_iters } => Trip::Prefix(after_iters),
+            FaultKind::Stall(d) | FaultKind::Slowdown(d) => {
+                std::thread::sleep(d);
+                Trip::Clean
+            }
         }
     }
+}
+
+/// What an execute path does after [`FaultyKernel::trip`].
+enum Trip {
+    /// No interruption (no fault planned, already fired, or a sleep that
+    /// has finished): run the whole body.
+    Clean,
+    /// Run only the first `n` iterations of the range, then panic.
+    Prefix(u64),
 }
 
 impl<K: RealKernel> RealKernel for FaultyKernel<K> {
@@ -148,13 +190,24 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
     }
 
     unsafe fn execute(&self, range: Range<u64>) {
-        self.trip(range.start);
-        // SAFETY: forwarded under the caller's exclusivity guarantee.
-        unsafe { self.inner.execute(range) }
+        match self.trip(range.start) {
+            // SAFETY: forwarded under the caller's exclusivity guarantee.
+            Trip::Clean => unsafe { self.inner.execute(range) },
+            Trip::Prefix(n) => {
+                let split = (range.start + n).min(range.end);
+                // SAFETY: forwarded prefix under the same guarantee.
+                unsafe { self.inner.execute(range.start..split) };
+                panic!("injected fault: panic mid-mutation at iteration {split}");
+            }
+        }
     }
 
     fn prefetch_iter(&self, i: u64) {
         self.inner.prefetch_iter(i)
+    }
+
+    fn prefetch_bytes_per_iter(&self) -> u64 {
+        self.inner.prefetch_bytes_per_iter()
     }
 
     fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
@@ -162,9 +215,20 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
     }
 
     unsafe fn execute_packed(&self, range: Range<u64>, buf: &[u8]) {
-        self.trip(range.start);
-        // SAFETY: forwarded under the caller's exclusivity guarantee.
-        unsafe { self.inner.execute_packed(range, buf) }
+        match self.trip(range.start) {
+            // SAFETY: forwarded under the caller's exclusivity guarantee.
+            Trip::Clean => unsafe { self.inner.execute_packed(range, buf) },
+            Trip::Prefix(n) => {
+                let split = (range.start + n).min(range.end);
+                // The prefix runs *unpacked*, which is bitwise-identical:
+                // under the claim, every value the pack captured is still
+                // exactly what memory holds (packs read only data that
+                // committed chunks wrote, or that no iteration writes).
+                // SAFETY: forwarded prefix under the same guarantee.
+                unsafe { self.inner.execute(range.start..split) };
+                panic!("injected fault: panic mid-mutation at iteration {split}");
+            }
+        }
     }
 
     fn helper_horizon(&self) -> Option<u64> {
@@ -172,10 +236,24 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
     }
 
     /// Injected panics fire strictly before the inner body (see module
-    /// docs); this promise is void if the *inner* kernel panics mid-body
-    /// on its own.
+    /// docs) — *unless* the plan contains a mid-mutation fault, which
+    /// exists precisely to break that promise. Either way the promise is
+    /// void if the *inner* kernel panics mid-body on its own.
     fn panics_before_mutation(&self) -> bool {
-        true
+        !self.plan.has_mid_mutation()
+    }
+
+    unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
+        // Forwarded (the trait default would wrongly deny journaling):
+        // the write-set of the wrapper is the write-set of the inner
+        // kernel — an injected fault only truncates execution.
+        // SAFETY: forwarded under the caller's exclusivity guarantee.
+        unsafe { self.inner.journal_capture(range, buf) }
+    }
+
+    unsafe fn journal_rollback(&self, range: Range<u64>, buf: &[u8]) {
+        // SAFETY: forwarded under the caller's exclusivity guarantee.
+        unsafe { self.inner.journal_rollback(range, buf) }
     }
 }
 
@@ -240,6 +318,56 @@ mod tests {
         // SAFETY: single-threaded.
         unsafe { k.execute(0..10) };
         assert!(t0.elapsed() >= Duration::from_millis(30));
+        assert!(k.into_inner().0.into_inner().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn mid_mutation_fault_executes_a_prefix_then_panics() {
+        let plan = FaultPlan::new(10).inject(1, FaultKind::PanicMidMutation { after_iters: 4 });
+        assert!(plan.has_mid_mutation());
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 40])), plan);
+        assert!(
+            !k.panics_before_mutation(),
+            "a mid-mutation plan must revoke the fail-stop promise"
+        );
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: single-threaded.
+            unsafe { k.execute(10..20) }
+        }));
+        assert!(r.is_err());
+        assert_eq!(k.fired(), vec![1]);
+        {
+            // SAFETY: single-threaded, no execute outstanding.
+            let counts = unsafe { &*k.inner.0.get() };
+            assert!(
+                counts[10..14].iter().all(|&c| c == 1),
+                "the prefix mutated: {counts:?}"
+            );
+            assert!(
+                counts[14..20].iter().all(|&c| c == 0),
+                "the suffix did not: {counts:?}"
+            );
+        }
+        // The fault fired; re-execution (retry / salvage) runs clean.
+        // SAFETY: single-threaded.
+        unsafe { k.execute(10..20) };
+        let counts = k.into_inner().0.into_inner();
+        assert!(
+            counts[10..14].iter().all(|&c| c == 2),
+            "torn prefix re-ran: {counts:?}"
+        );
+        assert!(counts[14..20].iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn mid_mutation_prefix_is_clamped_to_the_chunk() {
+        let plan = FaultPlan::new(10).inject(0, FaultKind::PanicMidMutation { after_iters: 99 });
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 10])), plan);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // SAFETY: single-threaded.
+            unsafe { k.execute(0..10) }
+        }));
+        assert!(r.is_err(), "still panics even with the whole chunk run");
         assert!(k.into_inner().0.into_inner().iter().all(|&c| c == 1));
     }
 

@@ -466,13 +466,63 @@ impl<'p> RealKernel for SpecKernel<'p> {
         }
         debug_assert_eq!(cur, buf.len(), "packed buffer fully consumed");
     }
+
+    unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
+        buf.clear();
+        for r in self.spec.refs.iter().filter(|r| r.mode.writes()) {
+            let Some(fp) = cascade_analyze::ref_footprint(&self.prog.workload, r, range.clone())
+            else {
+                // Unresolvable write footprint: no journal bound exists.
+                // Loops `SpecProgram::new` admits never hit this (rt_ok
+                // rejects unsafe write verdicts), but the contract allows
+                // it, so degrade to the fail-stop gate rather than panic.
+                buf.clear();
+                return false;
+            };
+            let len = (fp.hi - fp.lo) as usize;
+            // SAFETY: the footprint is analyzer-bounded inside the arena
+            // (past-the-end streams are rejected at construction), and we
+            // hold the chunk's claim, so no concurrent writer exists while
+            // these bytes are read.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(self.prog.base().add(fp.lo as usize), len) };
+            buf.extend_from_slice(bytes);
+        }
+        true
+    }
+
+    unsafe fn journal_rollback(&self, range: Range<u64>, buf: &[u8]) {
+        let mut cur = 0usize;
+        for r in self.spec.refs.iter().filter(|r| r.mode.writes()) {
+            let fp = cascade_analyze::ref_footprint(&self.prog.workload, r, range.clone())
+                .expect("rollback follows a successful capture over the same range");
+            let len = (fp.hi - fp.lo) as usize;
+            // Overlapping footprints restore safely: every captured byte
+            // is pre-chunk state, so repeated restores are idempotent.
+            // SAFETY: same in-bounds argument as the capture, and the
+            // claim is still held — the interrupted executor is us.
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    buf[cur..cur + len].as_ptr(),
+                    self.prog.base().add(fp.lo as usize),
+                    len,
+                );
+            }
+            cur += len;
+        }
+        debug_assert_eq!(cur, buf.len(), "journal fully consumed");
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_cascaded, RtPolicy, RunnerConfig};
+    use crate::fault::{FaultKind, FaultPlan, FaultyKernel};
+    use crate::runner::{
+        run_cascaded, try_run_cascaded, FaultEvent, RtPolicy, RunnerConfig, Tolerance,
+    };
     use cascade_trace::{AddressSpace, IndexStore, StreamRef};
+    use std::time::Duration;
 
     fn scatter_workload(n: u64) -> (Workload, Arena) {
         let mut space = AddressSpace::new();
@@ -846,5 +896,131 @@ mod tests {
         let arena = Arena::new(&w.space);
         let err = SpecProgram::new(w, arena).unwrap_err();
         assert!(err.has_code(cascade_trace::DiagCode::OutOfBounds), "{err}");
+    }
+
+    #[test]
+    fn journal_rollback_restores_an_interrupted_chunk_bitwise() {
+        // Capture the undo journal for a chunk, run only a *prefix* of it
+        // (a mid-mutation interruption), then roll back: the whole
+        // program state must return to its exact pre-chunk bytes.
+        let (w, arena) = scatter_workload(2_048);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
+        let pristine = prog.checksum();
+        let range = 512u64..1024;
+        let mut jbuf = Vec::new();
+        {
+            let k = prog.kernel(0);
+            // SAFETY: single-threaded test, trivially exclusive.
+            assert!(unsafe { k.journal_capture(range.clone(), &mut jbuf) });
+            assert!(!jbuf.is_empty());
+            // SAFETY: as above.
+            unsafe { k.execute(range.start..range.start + 100) };
+        }
+        assert_ne!(prog.checksum(), pristine, "the prefix must mutate state");
+        {
+            let k = prog.kernel(0);
+            // SAFETY: single-threaded; `jbuf` is the unmodified capture
+            // over the same range.
+            unsafe { k.journal_rollback(range.clone(), &jbuf) };
+        }
+        assert_eq!(prog.checksum(), pristine, "rollback must restore bitwise");
+    }
+
+    #[test]
+    fn mid_mutation_panic_rolls_back_and_retries_in_cascade() {
+        // The acceptance path for journaled recovery: a kernel with *no*
+        // fail-stop promise panics after partial writes; the worker rolls
+        // the chunk's journal back, hands it to a survivor, and the run
+        // finishes cascaded and bitwise-equal to sequential.
+        let n = 8_192;
+        let expected = sequential_checksum(n);
+        let (w, arena) = scatter_workload(n);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
+        let stats = {
+            let plan =
+                FaultPlan::new(257).inject(7, FaultKind::PanicMidMutation { after_iters: 100 });
+            let k = FaultyKernel::new(prog.kernel(0), plan);
+            try_run_cascaded(
+                &k,
+                &RunnerConfig {
+                    nthreads: 3,
+                    iters_per_chunk: 257,
+                    policy: RtPolicy::None,
+                    poll_batch: 4,
+                },
+                &Tolerance::retrying(Duration::from_millis(50)),
+            )
+            .expect("journaled retry must recover in-cascade")
+        };
+        assert!(
+            !stats.degraded,
+            "retry must stay cascaded, not salvage: {:?}",
+            stats.faults
+        );
+        assert_eq!(stats.retries, 1);
+        let rolled = stats
+            .faults
+            .iter()
+            .position(|f| matches!(f, FaultEvent::ChunkRolledBack { chunk: 7, .. }))
+            .unwrap_or_else(|| panic!("missing rollback event: {:?}", stats.faults));
+        let retried = stats
+            .faults
+            .iter()
+            .position(|f| matches!(f, FaultEvent::ChunkRetried { chunk: 7, .. }))
+            .unwrap_or_else(|| panic!("missing retry event: {:?}", stats.faults));
+        assert!(
+            rolled < retried,
+            "rollback must happen-before the re-execution: {:?}",
+            stats.faults
+        );
+        assert_eq!(stats.threads.iter().map(|t| t.rollbacks).sum::<u64>(), 1);
+        assert!(stats.threads.iter().map(|t| t.journal_bytes).sum::<u64>() > 0);
+        assert_eq!(prog.checksum(), expected, "retried run must be bitwise");
+    }
+
+    #[test]
+    fn mid_mutation_panic_salvages_bitwise_after_rollback() {
+        // Salvage-only tolerance: the journaled rollback makes the faulted
+        // chunk pristine, so the sequential completion pass re-runs it
+        // soundly — `salvage_unsound` no longer fires for journalable
+        // kernels.
+        let n = 8_192;
+        let expected = sequential_checksum(n);
+        let (w, arena) = scatter_workload(n);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
+        let stats = {
+            let plan =
+                FaultPlan::new(257).inject(7, FaultKind::PanicMidMutation { after_iters: 100 });
+            let k = FaultyKernel::new(prog.kernel(0), plan);
+            try_run_cascaded(
+                &k,
+                &RunnerConfig {
+                    nthreads: 3,
+                    iters_per_chunk: 257,
+                    policy: RtPolicy::None,
+                    poll_batch: 4,
+                },
+                &Tolerance::resilient(Duration::from_millis(50)),
+            )
+            .expect("journaled salvage must recover")
+        };
+        assert!(stats.degraded);
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::ChunkRolledBack { chunk: 7, .. })),
+            "missing rollback event: {:?}",
+            stats.faults
+        );
+        assert!(
+            stats
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultEvent::Salvaged { from_chunk: 7, .. })),
+            "missing salvage event: {:?}",
+            stats.faults
+        );
+        assert_eq!(prog.checksum(), expected, "salvaged run must be bitwise");
     }
 }

@@ -82,12 +82,51 @@ pub trait RealKernel: Sync {
     /// Whether any panic raised by `execute` / `execute_packed` is
     /// guaranteed to happen *before* the call mutates shared state
     /// (fail-stop panics). The runner's salvage path re-executes an
-    /// interrupted chunk from its start, which is only bitwise-sound under
-    /// this promise — kernels that cannot make it keep the conservative
-    /// default and salvage is refused after a mid-body panic (see
+    /// interrupted chunk from its start, which is only bitwise-sound when
+    /// the interrupted attempt left no partial writes behind — either via
+    /// this promise, or because the runner rolled the chunk's undo
+    /// journal back (see [`RealKernel::journal_capture`]). Kernels that
+    /// can make neither guarantee keep the conservative default and
+    /// recovery is refused after a mid-body panic (see
     /// `docs/ROBUSTNESS.md`).
     fn panics_before_mutation(&self) -> bool {
         false
+    }
+
+    /// Capture the undo journal of chunk `range`: replace `buf`'s
+    /// contents with the *current* bytes of every location
+    /// `execute(range)` / `execute_packed(range, ..)` may write — the
+    /// chunk's write-set, typically bounded by the `cascade-analyze`
+    /// footprints (`cascade_analyze::write_set`). Returns `false` when
+    /// this kernel cannot bound its write-set (the chunk is
+    /// unjournalable and the runner falls back to the fail-stop gate).
+    /// The call must only read; the chunk body has not run yet.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`RealKernel::execute`]: the caller
+    /// holds the chunk's claim, so no concurrent writer exists while the
+    /// snapshot is taken.
+    unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
+        let _ = (range, buf);
+        false
+    }
+
+    /// Restore the bytes captured by a prior successful
+    /// `journal_capture(range, buf)`, returning the chunk's write-set to
+    /// its exact pre-chunk state bitwise. The runner calls this after an
+    /// execution-phase panic, while still holding the chunk's claim, so
+    /// the rollback happens-before any re-execution claim.
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`RealKernel::execute`]; `buf` must
+    /// be the unmodified output of a `journal_capture` call over the
+    /// same `range` on this kernel, taken before the interrupted
+    /// execution attempt.
+    unsafe fn journal_rollback(&self, range: Range<u64>, buf: &[u8]) {
+        let _ = (range, buf);
+        unreachable!("journal_rollback without a successful journal_capture");
     }
 }
 

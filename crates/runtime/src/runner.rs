@@ -38,7 +38,9 @@
 //! [`Token::try_unclaim`]) so exactly-one-executor holds even while
 //! ownership is being remapped. The ladder, in order:
 //!
-//! 1. a worker that panics *fail-stop* ([`RealKernel::panics_before_mutation`])
+//! 1. a worker whose interrupted chunk is *pristine* — the kernel
+//!    promises fail-stop panics ([`RealKernel::panics_before_mutation`]),
+//!    **or** the chunk's undo journal was rolled back (see below) —
 //!    quarantines itself in the [`HealthRegistry`], removes itself from
 //!    the roster (remapping its remaining chunks across survivors,
 //!    anchored at the token's current position so no unexecuted chunk is
@@ -52,12 +54,35 @@
 //!    never retried: recovery is abandoned ([`FaultEvent::RetryAbandoned`])
 //!    and the run falls through to poisoning;
 //! 3. when the retry budget is exhausted, no survivor remains, or the
-//!    kernel makes no fail-stop promise, the fault falls through the
-//!    ladder to PR 1 behavior: token poisoning, then salvage or a typed
-//!    error. Every rung leaves a [`FaultEvent`] in the audit trail.
+//!    interrupted chunk is torn (no fail-stop promise and no journal),
+//!    the fault falls through the ladder to PR 1 behavior: token
+//!    poisoning, then salvage or a typed error. Every rung leaves a
+//!    [`FaultEvent`] in the audit trail.
+//!
+//! ## Chunk transactions (journaled rollback)
+//!
+//! Before an execution phase, whenever any recovery path is enabled
+//! (retry or salvage), the worker materializes an *undo journal* for the
+//! chunk: a snapshot of exactly the bytes the chunk may write, bounded
+//! by the `cascade-analyze` write-set footprints
+//! ([`RealKernel::journal_capture`]). If the chunk body then panics, the
+//! worker rolls the journal back ([`RealKernel::journal_rollback`])
+//! *while still holding the claim* — so the rollback happens-before any
+//! survivor's re-execution claim, and no torn write-set is ever
+//! observable ([`FaultEvent::ChunkRolledBack`]). This retires the
+//! fail-stop gate for journalable kernels: retry and salvage stay sound
+//! for arbitrary mid-body panics. Kernels whose write footprint is
+//! unresolvable (`Journalability::Unjournalable` in `cascade-analyze`
+//! terms, i.e. any kernel keeping the `journal_capture` default) fall
+//! back to the PR 2 fail-stop gate. A *stalled* claim holder still
+//! abandons retry (nobody can roll back a possibly-live writer), but
+//! post-join salvage stays sound: by the fault model stalls are finite,
+//! so the holder wakes and either completes late or panics and rolls
+//! back itself before draining.
 //!
 //! The protocol state machine (token values, claims, poison, retry
-//! hand-backs) is modeled and exhaustively explored in [`crate::check`].
+//! hand-backs, journal/rollback ordering) is modeled and exhaustively
+//! explored in [`crate::check`].
 //!
 //! The original panicking entry points remain as thin shims over the
 //! fallible ones with a default (non-salvaging) [`Tolerance`].
@@ -167,19 +192,24 @@ pub struct Tolerance {
     /// deadlock on the token either — it always holds it).
     pub watchdog: Option<Duration>,
     /// In-cascade recovery: re-execute a faulted chunk on a healthy
-    /// worker (sound only for fail-stop faults — gated per-fault on
-    /// [`RealKernel::panics_before_mutation`]), quarantining the failed
-    /// thread and remapping its chunks across survivors so the run
-    /// finishes cascaded instead of `degraded`. `None` (the default)
-    /// climbs straight to salvage/error, exactly PR 1 behavior.
+    /// worker, quarantining the failed thread and remapping its chunks
+    /// across survivors so the run finishes cascaded instead of
+    /// `degraded`. Sound only when the interrupted chunk is pristine:
+    /// the kernel promises fail-stop panics
+    /// ([`RealKernel::panics_before_mutation`]) or its undo journal was
+    /// rolled back ([`RealKernel::journal_capture`]) — gated per fault.
+    /// `None` (the default) climbs straight to salvage/error, exactly
+    /// PR 1 behavior.
     pub retry: Option<RetryPolicy>,
     /// After a fault, finish the remaining iteration range sequentially on
     /// the calling thread (bitwise-identical result, `degraded` stats)
     /// instead of returning the error. Salvage is refused — the error is
-    /// returned — when a chunk body was interrupted mid-flight and the
-    /// kernel does not promise fail-stop panics
-    /// ([`RealKernel::panics_before_mutation`]), because re-running a
-    /// half-applied chunk could double-apply writes.
+    /// returned — when a chunk body was interrupted mid-flight *torn*:
+    /// its undo journal could not be captured or rolled back
+    /// ([`RealKernel::journal_capture`]) and the kernel does not promise
+    /// fail-stop panics ([`RealKernel::panics_before_mutation`]),
+    /// because re-running a half-applied chunk could double-apply
+    /// writes. Journalable kernels are always salvageable.
     pub salvage: bool,
 }
 
@@ -233,6 +263,15 @@ pub enum RunError {
         /// How long the waiter watched the token not move.
         waited: Duration,
     },
+    /// A sequence loop completed as healthy but its leader's start/end
+    /// stamps are missing — the leader died between a barrier and its
+    /// stamp. Unreachable through the public API (a dead leader poisons
+    /// the loop before it can read as healthy); kept as a typed error so
+    /// a protocol regression cannot panic the supervisor.
+    LeaderLost {
+        /// The loop whose stamps are missing.
+        loop_idx: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -246,6 +285,12 @@ impl std::fmt::Display for RunError {
                 write!(
                     f,
                     "cascade stalled on chunk {chunk} ({waited:?} without progress)"
+                )
+            }
+            RunError::LeaderLost { loop_idx } => {
+                write!(
+                    f,
+                    "sequence loop {loop_idx} finished without its leader's timing stamps"
                 )
             }
         }
@@ -329,6 +374,18 @@ pub enum FaultEvent {
         /// Why the ladder gave up.
         reason: RetryAbandon,
     },
+    /// A faulted chunk's undo journal was rolled back: its write-set was
+    /// restored to the exact pre-chunk bytes, while the faulting worker
+    /// still held the claim — before any retry hand-back or salvage
+    /// could observe the torn state.
+    ChunkRolledBack {
+        /// The worker that rolled its own journal back.
+        thread: u64,
+        /// The restored chunk.
+        chunk: u64,
+        /// Journal bytes restored.
+        bytes: u64,
+    },
 }
 
 /// Why in-cascade recovery fell through to poisoning.
@@ -339,8 +396,9 @@ pub enum RetryAbandon {
     /// The faulting worker was the last live worker: nobody left to
     /// re-execute the chunk.
     NoSurvivors,
-    /// The kernel makes no fail-stop promise, so a chunk interrupted
-    /// mid-body may have landed partial writes and must not be re-run.
+    /// The interrupted chunk is torn: the kernel makes no fail-stop
+    /// promise and its write-set could not be journaled and rolled back,
+    /// so partial writes may remain and the chunk must not be re-run.
     KernelNotFailStop,
     /// The stalled worker holds the execution claim: it may still write,
     /// so its chunk can never be handed to a survivor.
@@ -352,7 +410,12 @@ impl std::fmt::Display for RetryAbandon {
         match self {
             RetryAbandon::BudgetExhausted => write!(f, "retry budget exhausted"),
             RetryAbandon::NoSurvivors => write!(f, "no surviving workers"),
-            RetryAbandon::KernelNotFailStop => write!(f, "kernel is not fail-stop"),
+            RetryAbandon::KernelNotFailStop => {
+                write!(
+                    f,
+                    "chunk is torn: kernel is neither fail-stop nor journalable"
+                )
+            }
             RetryAbandon::ExecutorStuck => write!(f, "stuck executor still holds the claim"),
         }
     }
@@ -397,6 +460,16 @@ pub struct ThreadStats {
     /// Token handoffs performed (successful releases of a finished
     /// chunk to its successor).
     pub handoffs: u64,
+    /// Chunks whose undo journal was rolled back after a mid-body fault
+    /// ([`FaultEvent::ChunkRolledBack`] count for this thread).
+    pub rollbacks: u64,
+    /// Bytes captured into undo journals before execution phases.
+    pub journal_bytes: u64,
+    /// Nanoseconds spent capturing and rolling back undo journals. This
+    /// is a side counter carved out of the execute/retry phases — it is
+    /// *not* a sixth phase, so the exact partition
+    /// `helper + spin + exec + retry + other == wall` is untouched.
+    pub journal_ns: u128,
     /// Receive-side handoff latency: previous executor's release →
     /// this worker's winning claim.
     pub takeover: NsStats,
@@ -468,6 +541,9 @@ impl RunStats {
                 packed_bytes: s.packed_bytes,
                 prefetched_bytes: s.prefetched_bytes,
                 handoffs: s.handoffs,
+                rollbacks: s.rollbacks,
+                journal_bytes: s.journal_bytes,
+                journal_time: s.journal_ns as f64,
                 takeover: s.takeover.to_latency(),
                 chunk_exec: s.chunk_exec.to_latency(),
             })
@@ -866,6 +942,10 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
 
     // --- degraded path: a worker panicked or the cascade stalled ---
     let err = run_error_from(&cause);
+    // `salvage_unsound` is only ever set for a *torn* chunk: interrupted
+    // mid-body with neither a fail-stop promise nor a rolled-back undo
+    // journal. Journaled chunks were restored bitwise by their faulting
+    // worker before it drained, so salvage re-executes pristine state.
     if !tol.salvage || run.salvage_unsound.load(Ordering::Acquire) {
         return Err(err);
     }
@@ -1020,15 +1100,12 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
             .map(|tv| tv.get(l).cloned().unwrap_or_default())
             .collect()
     };
-    let healthy_stats = |l: usize| -> RunStats {
-        let start = loop_starts[l]
-            .lock()
-            .unwrap()
-            .expect("leader stamped start");
-        let end = loop_ends[l].lock().unwrap().expect("leader stamped end");
+    let healthy_stats = |l: usize| -> Result<RunStats, RunError> {
+        let (start, end) = loop_stamps(&loop_starts[l], &loop_ends[l])
+            .ok_or(RunError::LeaderLost { loop_idx: l as u64 })?;
         let faults = runs[l].take_faults();
         let (retries, quarantined) = tally(&faults);
-        RunStats {
+        Ok(RunStats {
             elapsed: end.duration_since(start),
             chunks: plans[l].num_chunks(),
             iters: kernels[l].iters(),
@@ -1037,11 +1114,11 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
             faults,
             retries,
             quarantined,
-        }
+        })
     };
 
     let Some(l0) = runs.iter().position(|r| r.token.poison_cause().is_some()) else {
-        return Ok((0..kernels.len()).map(healthy_stats).collect());
+        return (0..kernels.len()).map(healthy_stats).collect();
     };
 
     // --- degraded path ---
@@ -1057,7 +1134,7 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
     {
         return Err(err);
     }
-    let mut out: Vec<RunStats> = (0..l0).map(healthy_stats).collect();
+    let mut out: Vec<RunStats> = (0..l0).map(healthy_stats).collect::<Result<_, _>>()?;
     // Finish loop l0 from its last completed chunk, then run every later
     // loop start-to-end, all sequentially on this thread. Every worker has
     // joined, so exclusivity and happens-before hold.
@@ -1098,6 +1175,23 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
         });
     }
     Ok(out)
+}
+
+/// The leader's start/end stamps of a healthy sequence loop, or `None`
+/// when either is missing — the leader died between winning a barrier
+/// and writing its stamp. That window is unreachable through the public
+/// API (a worker dying inside a loop poisons it, so the loop never reads
+/// as healthy, and barriers are all-arrive so healthy loops are fully
+/// stamped by join time), but a protocol regression here used to
+/// `expect` and panic the *supervisor*; callers now surface
+/// [`RunError::LeaderLost`] instead.
+fn loop_stamps(
+    start: &Mutex<Option<Instant>>,
+    end: &Mutex<Option<Instant>>,
+) -> Option<(Instant, Instant)> {
+    let s = (*start.lock().unwrap())?;
+    let e = (*end.lock().unwrap())?;
+    Some((s, e))
 }
 
 /// Should the helper for chunk `j` stop and go claim? True when the token
@@ -1416,17 +1510,20 @@ fn wait_to_claim(
 }
 
 /// Handle a worker panic at chunk `j` (`claimed` = during the execution
-/// phase, i.e. we hold the claim). Climbs the recovery ladder; returns
-/// `true` when the fault was absorbed in-cascade (self-quarantine, roster
-/// remap, claimed chunk handed back for a survivor to retry) and `false`
-/// when it fell through to token poisoning.
-fn recover_from_panic<K: RealKernel>(
-    kernel: &K,
+/// phase, i.e. we hold the claim; `pristine` = the chunk's shared state
+/// is bitwise pre-chunk — the body never started, the kernel promises
+/// fail-stop panics, or the undo journal was rolled back). Climbs the
+/// recovery ladder; returns `true` when the fault was absorbed
+/// in-cascade (self-quarantine, roster remap, claimed chunk handed back
+/// for a survivor to retry) and `false` when it fell through to token
+/// poisoning.
+fn recover_from_panic(
     run: &FtRun,
     rec: &Recovery,
     t: u64,
     j: u64,
     claimed: bool,
+    pristine: bool,
     payload: Box<dyn std::any::Any + Send>,
 ) -> bool {
     let message = panic_message(payload.as_ref());
@@ -1435,16 +1532,15 @@ fn recover_from_panic<K: RealKernel>(
         chunk: j,
         message: message.clone(),
     });
-    let fail_stop = kernel.panics_before_mutation();
-    if claimed && !fail_stop {
-        // The chunk body was interrupted and the kernel makes no
-        // fail-stop promise: part of its writes may have landed, so
-        // neither retry nor salvage may re-run it.
+    if claimed && !pristine {
+        // The chunk body was interrupted and is torn: no fail-stop
+        // promise and no rolled-back journal, so part of its writes may
+        // have landed and neither retry nor salvage may re-run it.
         run.salvage_unsound.store(true, Ordering::Release);
     }
     let mut abandon = None;
     if rec.enabled() {
-        if claimed && !fail_stop {
+        if claimed && !pristine {
             abandon = Some(RetryAbandon::KernelNotFailStop);
         } else if !rec.try_consume_budget() {
             abandon = Some(RetryAbandon::BudgetExhausted);
@@ -1501,6 +1597,10 @@ fn ft_worker<K: RealKernel>(
     run.roster.sync_with(&rec.health);
     let mut stats = ThreadStats::default();
     let mut buf: Vec<u8> = Vec::new();
+    // Reusable undo-journal buffer (capture clears and refills it per
+    // chunk, so like `buf` it amortizes to zero allocations at steady
+    // state).
+    let mut jbuf: Vec<u8> = Vec::new();
     let m = plan.num_chunks();
     let mut cursor = 0u64;
     loop {
@@ -1543,11 +1643,11 @@ fn ft_worker<K: RealKernel>(
             Ok(out) => out,
             Err(payload) => {
                 // Helpers never touch loop-written state, so the chunk body
-                // is untouched; both retry and salvage stay sound. Either
-                // way (recovered in-cascade or poisoned) this worker is
-                // done.
+                // is untouched (pristine); both retry and salvage stay
+                // sound. Either way (recovered in-cascade or poisoned) this
+                // worker is done.
                 phases.transition(PhaseKind::Retry, Some(j));
-                recover_from_panic(kernel, run, rec, t, j, false, payload);
+                recover_from_panic(run, rec, t, j, false, true, payload);
                 return phases.finish(stats);
             }
         };
@@ -1586,6 +1686,37 @@ fn ft_worker<K: RealKernel>(
 
         // --- execution phase (we hold the claim: unique executor) ---
         phases.transition(PhaseKind::Execute, Some(j));
+        // Chunk transaction: when any recovery path could want this chunk
+        // re-executed (retry or salvage), capture its undo journal — the
+        // analyzer-bounded write-set bytes — before the body runs. The
+        // timing rides inside the Execute phase as a side counter
+        // (`journal_ns`), so the exact phase partition is untouched.
+        let journaled = if rec.enabled() || tol.salvage {
+            let t0 = Instant::now();
+            // SAFETY: we hold the claim — the same exclusivity contract
+            // as `execute` — and capture only reads.
+            let cap = catch_unwind(AssertUnwindSafe(|| unsafe {
+                kernel.journal_capture(range.clone(), &mut jbuf)
+            }));
+            match cap {
+                Ok(captured) => {
+                    if captured {
+                        stats.journal_ns += t0.elapsed().as_nanos();
+                        stats.journal_bytes += jbuf.len() as u64;
+                    }
+                    captured
+                }
+                Err(payload) => {
+                    // Capture only reads, so the chunk body never started:
+                    // the chunk is pristine and the full ladder applies.
+                    phases.transition(PhaseKind::Retry, Some(j));
+                    recover_from_panic(run, rec, t, j, true, true, payload);
+                    return phases.finish(stats);
+                }
+            }
+        } else {
+            false
+        };
         let exec = catch_unwind(AssertUnwindSafe(|| {
             let packed_end = range.start + helper.packed_iters;
             // SAFETY: we won the claim CAS for chunk j: the protocol
@@ -1604,7 +1735,33 @@ fn ft_worker<K: RealKernel>(
         }));
         if let Err(payload) = exec {
             phases.transition(PhaseKind::Retry, Some(j));
-            recover_from_panic(kernel, run, rec, t, j, true, payload);
+            // Roll the journal back *before* any recovery hand-back: we
+            // still hold the claim, so the restore is exclusive and
+            // happens-before any survivor's re-execution claim — no torn
+            // write-set is ever observable. A rollback that itself
+            // panics leaves the chunk torn, which the ladder treats
+            // exactly like an unjournalable kernel.
+            let rolled_back = journaled && {
+                let t0 = Instant::now();
+                // SAFETY: claim still held; `jbuf` is the unmodified
+                // capture of this same range.
+                let rb = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    kernel.journal_rollback(range.clone(), &jbuf)
+                }))
+                .is_ok();
+                stats.journal_ns += t0.elapsed().as_nanos();
+                rb
+            };
+            if rolled_back {
+                stats.rollbacks += 1;
+                run.record(FaultEvent::ChunkRolledBack {
+                    thread: t,
+                    chunk: j,
+                    bytes: jbuf.len() as u64,
+                });
+            }
+            let pristine = rolled_back || kernel.panics_before_mutation();
+            recover_from_panic(run, rec, t, j, true, pristine, payload);
             return phases.finish(stats);
         }
         let (_, exec_ns) = phases.transition(PhaseKind::Other, Some(j));
@@ -2181,6 +2338,76 @@ mod tests {
         }
         for (l, k) in kernels.into_iter().enumerate() {
             assert_eq!(k.into_inner().into_data(), expected, "loop {l}");
+        }
+    }
+
+    #[test]
+    fn unjournalable_mid_mutation_panic_keeps_the_fail_stop_gate() {
+        // Chain neither promises fail-stop panics nor bounds its
+        // write-set (default `journal_capture` returns false), so a
+        // mid-mutation panic leaves the chunk torn: both retry and
+        // salvage must refuse and surface the typed error.
+        for tol in [
+            Tolerance::retrying(Duration::from_millis(50)),
+            Tolerance::resilient(Duration::from_millis(50)),
+        ] {
+            let plan =
+                FaultPlan::new(100).inject(5, FaultKind::PanicMidMutation { after_iters: 30 });
+            let k = FaultyKernel::new(Chain::new(4_000), plan);
+            let cfg = RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            };
+            match try_run_cascaded(&k, &cfg, &tol) {
+                Err(RunError::WorkerPanicked { chunk: 5, .. }) => {}
+                other => panic!("expected WorkerPanicked on chunk 5, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_leader_stamp_is_a_typed_error_not_a_panic() {
+        // The seam behind RunError::LeaderLost: a healthy-looking loop
+        // whose leader never wrote its stamps must surface as None (the
+        // caller maps it to the typed error), not panic the supervisor.
+        let start = Mutex::new(Some(Instant::now()));
+        let end = Mutex::new(None);
+        assert!(loop_stamps(&start, &end).is_none());
+        assert!(loop_stamps(&end, &start).is_none());
+        let both = Mutex::new(Some(Instant::now()));
+        assert!(loop_stamps(&start, &both).is_some());
+        let msg = RunError::LeaderLost { loop_idx: 3 }.to_string();
+        assert!(msg.contains("loop 3"), "{msg}");
+    }
+
+    #[test]
+    fn leader_death_mid_sequence_is_a_typed_error_not_a_panic() {
+        // Fail-fast tolerance, panic in loop 0 of a 3-loop sequence: the
+        // workers break out before the end-of-loop barrier ever stamps
+        // loop_ends[0] (and never reach loops 1–2 at all). The supervisor
+        // must return the worker's typed error — a regression that reads
+        // the missing stamps used to panic the supervisor itself.
+        let cfg = RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let kernels: Vec<FaultyKernel<Chain>> = (0..3)
+            .map(|l| {
+                let plan = if l == 0 {
+                    FaultPlan::new(100).inject(2, FaultKind::Panic)
+                } else {
+                    FaultPlan::new(100)
+                };
+                FaultyKernel::new(Chain::new(2_000), plan)
+            })
+            .collect();
+        match try_run_cascaded_sequence(&kernels, &cfg, &Tolerance::default()) {
+            Err(RunError::WorkerPanicked { chunk: 2, .. }) => {}
+            other => panic!("expected WorkerPanicked on chunk 2, got {other:?}"),
         }
     }
 

@@ -29,9 +29,10 @@
 //! from a **claimed** one (counter holds `j | EXEC_BIT`): a worker wins the
 //! right to execute `j` with the [`Token::try_claim`] compare-and-swap,
 //! publishes its writes with [`Token::try_advance`] (`j | EXEC_BIT` →
-//! `j + 1`), and — only for fail-stop panics, before any mutation — can
-//! relinquish an unexecuted claim with [`Token::try_unclaim`] so a healthy
-//! worker re-claims the chunk. Every transition is a CAS, so exactly one
+//! `j + 1`), and — only while the chunk is *pristine* (a fail-stop panic
+//! before any mutation, or partial writes rolled back from the undo
+//! journal) — can relinquish an unexecuted claim with
+//! [`Token::try_unclaim`] so a healthy worker re-claims the chunk. Every transition is a CAS, so exactly one
 //! executor exists per chunk, a poisoned token can never be resurrected,
 //! and remapping races are benign by construction. The state machine is
 //! exhaustively model-checked in `cascade_rt::check`.
@@ -353,10 +354,13 @@ impl Token {
 
     /// Relinquish claimed-but-unexecuted chunk `chunk`: CAS
     /// `chunk | EXEC_BIT` → `chunk`, re-granting it so a surviving worker
-    /// can re-claim. Only sound when the claimant wrote nothing (fail-stop
-    /// panic before mutation); the runner gates this on
-    /// [`crate::kernel::RealKernel::panics_before_mutation`]. Fails when
-    /// the token was poisoned in the meantime.
+    /// can re-claim. Only sound when the chunk is pristine — the claimant
+    /// wrote nothing (fail-stop panic before mutation) or its partial
+    /// writes were rolled back from the undo journal *before* this call
+    /// (rollback happens-before the re-execution claim); the runner gates
+    /// this on [`crate::kernel::RealKernel::panics_before_mutation`] and
+    /// [`crate::kernel::RealKernel::journal_rollback`]. Fails when the
+    /// token was poisoned in the meantime.
     #[inline]
     pub fn try_unclaim(&self, chunk: u64) -> bool {
         self.counter

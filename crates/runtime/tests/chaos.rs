@@ -1,8 +1,11 @@
-//! Randomized chaos tests of the fault-tolerant runtime: inject panics,
-//! stalls, and slowdowns at random (thread, chunk) points across thread
-//! counts 1–4 and require that every run terminates and either salvages a
-//! bitwise sequential-identical result or returns a typed [`RunError`] —
-//! never a hang, never a silently wrong answer.
+//! Randomized chaos tests of the fault-tolerant runtime: inject panics
+//! (fail-stop and mid-mutation), stalls, and slowdowns at random
+//! (thread, chunk) points across thread counts 1–4 and require that
+//! every run terminates and either salvages a bitwise
+//! sequential-identical result or returns a typed [`RunError`] — never a
+//! hang, never a silently wrong answer. Mid-mutation panics leave
+//! partial writes behind, so their recovery rests entirely on the
+//! analyzer-bounded undo journal (the synth kernels are journalable).
 
 use std::time::Duration;
 
@@ -33,10 +36,15 @@ fn random_plan(rng: &mut StdRng, num_chunks: u64) -> FaultPlan {
     let mut plan = FaultPlan::new(CHUNK_ITERS);
     for _ in 0..rng.gen_range(1..=3usize) {
         let chunk = rng.gen_range(0..num_chunks);
-        let kind = match rng.gen_range(0..3u32) {
+        let kind = match rng.gen_range(0..4u32) {
             0 => FaultKind::Panic,
             1 => FaultKind::Stall(STALL),
-            _ => FaultKind::Slowdown(Duration::from_millis(rng.gen_range(1..4u64))),
+            2 => FaultKind::Slowdown(Duration::from_millis(rng.gen_range(1..4u64))),
+            // Partial writes land before the panic: recovery relies on
+            // the journaled rollback.
+            _ => FaultKind::PanicMidMutation {
+                after_iters: rng.gen_range(1..CHUNK_ITERS),
+            },
         };
         plan = plan.inject(chunk, kind);
     }
