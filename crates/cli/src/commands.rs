@@ -9,8 +9,9 @@ use cascade_core::{
 };
 use cascade_mem::{machines, MachineConfig};
 use cascade_rt::{
-    try_run_cascaded, try_run_cascaded_observed, FaultEvent, FaultKind, FaultPlan, FaultyKernel,
-    Observe, RetryPolicy, RtPolicy, RunError, RunnerConfig, SpecProgram, Tolerance,
+    try_run_cascaded, try_run_cascaded_observed, try_run_governed, CancelToken, FaultEvent,
+    FaultKind, FaultPlan, FaultyKernel, Observe, RealKernel, RetryPolicy, RtPolicy, RunConfig,
+    RunError, RunnerConfig, SpecProgram, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
@@ -100,6 +101,12 @@ USAGE:
                            synth kernels are journalable, so these must
                            recover, salvage, or report a typed error —
                            never corrupt)
+        --cancel           also storm run governance: each plan gets a
+                           canceller thread firing at a random point (or,
+                           every third plan, a random run deadline); a
+                           cancelled run must report the exact committed
+                           prefix, and resuming sequentially from it must
+                           be bitwise identical to straight sequential
 
   cascade sweep [options]
       Sweep one parameter of the simulated cascade.
@@ -551,6 +558,7 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let retry_budget = args.get_num("retry-budget", 4u64)?;
     let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
     let mid_mutation = args.flag("mid-mutation");
+    let cancel_storm = args.flag("cancel");
     args.reject_unknown()?;
     if plans == 0 {
         return Err(ArgError::usage("--plans must be positive"));
@@ -610,13 +618,19 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let mut recovered = 0u64;
     let mut salvaged = 0u64;
     let mut typed = 0u64;
+    let mut cancelled = 0u64;
     let mut diverged = 0u64;
     let mut unexplained = 0u64;
     let mut out = format!(
         "chaos matrix: {plans} fault plans, threads 1..={max_threads}, \
-         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}{}\n",
+         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}{}{}\n",
         if mid_mutation {
             ", mid-mutation on"
+        } else {
+            ""
+        },
+        if cancel_storm {
+            ", cancel storm on"
         } else {
             ""
         }
@@ -660,13 +674,58 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
             poll_batch: 8,
         };
         let faulty = FaultyKernel::new(prog.kernel(0), plan);
-        let result = try_run_cascaded(&faulty, &cfg, &tol);
+        let (result, gov_note) = if cancel_storm {
+            // Every third plan exercises the deadline-armed governor; the
+            // rest get an external canceller thread firing at a random
+            // point inside (or occasionally after) the run.
+            let token = CancelToken::new();
+            let use_deadline = case % 3 == 2;
+            let deadline =
+                use_deadline.then(|| Duration::from_micros(200 + splitmix64(&mut rng) % 4_000));
+            // A watchdog longer than the deadline is a config error (it
+            // could never fire); clamp it so deadline plans stay valid —
+            // the jumpier watchdog is welcome storm coverage.
+            let mut tolerance = tol.clone();
+            if let (Some(d), Some(w)) = (deadline, tolerance.watchdog) {
+                tolerance.watchdog = Some(w.min(d));
+            }
+            let run_cfg = RunConfig {
+                runner: cfg.clone(),
+                tolerance,
+                deadline,
+                cancel: token.clone(),
+                ..RunConfig::default()
+            };
+            let canceller = (!use_deadline).then(|| {
+                let token = token.clone();
+                let delay = Duration::from_micros(splitmix64(&mut rng) % 5_000);
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    token.cancel("chaos canceller");
+                })
+            });
+            let result = try_run_governed(&faulty, &run_cfg);
+            if let Some(h) = canceller {
+                let _ = h.join();
+            }
+            (
+                result,
+                if use_deadline {
+                    " +deadline"
+                } else {
+                    " +cancel"
+                },
+            )
+        } else {
+            (try_run_cascaded(&faulty, &cfg, &tol), "")
+        };
         drop(faulty);
         let label = format!(
-            "  plan {case:>3}: {} threads, {:<11} [{}]",
+            "  plan {case:>3}: {} threads, {:<11} [{}]{}",
             nthreads,
             policy.label(),
             injected.join(", "),
+            gov_note,
         );
         let verdict = match result {
             Ok(stats) => {
@@ -708,6 +767,31 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
                     }
                 }
             }
+            Err(
+                ref e @ (RunError::Cancelled {
+                    committed_iters, ..
+                }
+                | RunError::DeadlineExceeded {
+                    committed_iters, ..
+                }),
+            ) => {
+                // The governed run promises a bitwise-clean committed
+                // prefix: finishing the loop sequentially from
+                // `committed_iters` must match straight sequential.
+                {
+                    let k = prog.kernel(0);
+                    // SAFETY: every worker drained before the error was
+                    // returned; this is the documented sequential resume.
+                    unsafe { k.execute(committed_iters..k.iters()) };
+                }
+                if prog.checksum() == reference[(case % 2) as usize] {
+                    cancelled += 1;
+                    format!("cancelled at iter {committed_iters}, resumed bitwise ({e})")
+                } else {
+                    diverged += 1;
+                    format!("CANCELLED RESUME DIVERGED from iter {committed_iters}")
+                }
+            }
             Err(e @ (RunError::WorkerPanicked { .. } | RunError::Stalled { .. })) => {
                 typed += 1;
                 format!("typed error: {e}")
@@ -718,7 +802,12 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     }
     out.push_str(&format!(
         "summary: {clean} clean, {recovered} recovered in-cascade, {salvaged} salvaged, \
-         {typed} typed errors, {diverged} diverged\n"
+         {typed} typed errors{}, {diverged} diverged\n",
+        if cancel_storm {
+            format!(", {cancelled} cancelled+resumed")
+        } else {
+            String::new()
+        }
     ));
     out.push_str(&format!(
         "recovery ladder: fail-fast{}{}\n",

@@ -285,6 +285,36 @@ mod tests {
     }
 
     #[test]
+    fn chaos_cancel_storm_resumes_bitwise_across_tolerances() {
+        for tolerance in ["salvage", "retry", "fail-fast"] {
+            let out = run([
+                "chaos",
+                "--cancel",
+                "--n",
+                "2048",
+                "--plans",
+                "6",
+                "--chunk-iters",
+                "64",
+                "--max-threads",
+                "3",
+                "--stall-ms",
+                "60",
+                "--tolerance",
+                tolerance,
+            ])
+            .unwrap_or_else(|e| panic!("[{tolerance}] {e}"));
+            assert!(out.contains("cancel storm on"), "[{tolerance}] {out}");
+            assert!(out.contains("cancelled+resumed"), "[{tolerance}] {out}");
+            assert!(out.contains("0 diverged"), "[{tolerance}] {out}");
+            assert!(
+                out.contains("no hangs, no silent corruption"),
+                "[{tolerance}] {out}"
+            );
+        }
+    }
+
+    #[test]
     fn chaos_rejects_zero_plans() {
         let err = run(["chaos", "--plans", "0"]).unwrap_err();
         assert!(err.message().contains("--plans"), "{err}");

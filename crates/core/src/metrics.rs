@@ -302,6 +302,15 @@ pub struct CascadeMetrics {
     pub handoff: LatencyStats,
     /// Chunk execution-time distribution, aggregated over all workers.
     pub chunk_exec: LatencyStats,
+    /// Cancel latency: the cancel request firing → the first worker
+    /// acting on it. Zero for a run that was never cancelled (always zero
+    /// for simulated runs, which have no governance layer). A side
+    /// counter, not a phase.
+    pub cancel_latency: f64,
+    /// Peak bytes reserved from the run's memory budget (journal and
+    /// pack arenas); zero when nothing was metered. A side counter, not
+    /// a phase.
+    pub budget_high_water: u64,
     /// Timestamped phase intervals (empty unless the event ring was on).
     pub events: Vec<PhaseSample>,
 }
@@ -388,6 +397,14 @@ impl CascadeMetrics {
             "  \"journal_time\": {},\n",
             fmt_f64(self.journal_time())
         ));
+        out.push_str(&format!(
+            "  \"cancel_latency\": {},\n",
+            fmt_f64(self.cancel_latency)
+        ));
+        out.push_str(&format!(
+            "  \"budget_high_water\": {},\n",
+            self.budget_high_water
+        ));
         out.push_str(&format!("  \"handoff\": {},\n", self.handoff.json()));
         out.push_str(&format!("  \"chunk_exec\": {},\n", self.chunk_exec.json()));
         out.push_str("  \"workers\": [\n");
@@ -428,6 +445,13 @@ impl CascadeMetrics {
             self.journal_bytes(),
             self.rollbacks()
         ));
+        if self.cancel_latency > 0.0 || self.budget_high_water > 0 {
+            out.push_str(&format!(
+                "  governance: cancel latency {} {unit}, budget high-water {} B\n",
+                fmt_time(self.cancel_latency),
+                self.budget_high_water
+            ));
+        }
         out.push_str(&format!(
             "  token handoffs: {} ({} min / {} mean / {} max {unit})\n",
             self.handoff.count,

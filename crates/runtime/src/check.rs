@@ -7,7 +7,7 @@
 //! where hand-written reasoning fails, so this module writes the protocol
 //! down as an explicit state machine ([`Protocol`]) and lets the
 //! `interleave` shim enumerate **every** thread interleaving, checking
-//! four invariants in every reachable state:
+//! seven invariants in every reachable state:
 //!
 //! 1. **Exactly-one executor** — no two threads inside a chunk body at
 //!    once;
@@ -23,7 +23,16 @@
 //! 5. **No torn state observable after rollback** — a chunk whose
 //!    partial writes have not been rolled back is never re-claimed: the
 //!    rollback happens-before any re-execution claim, and a clean run
-//!    never accepts with a torn chunk.
+//!    never accepts with a torn chunk;
+//! 6. **Cancellation never observable as torn state** — whenever the
+//!    run's terminal cause is *cancelled*, every chunk is bitwise clean
+//!    (the in-flight chunk either rolled back under its claim or
+//!    committed whole) and the committed chunks form a contiguous
+//!    prefix a sequential resume can pick up from;
+//! 7. **Exactly one terminal outcome per run** — a run either completes
+//!    cleanly or poisons, never both: a cancel that arrives after the
+//!    last chunk changes nothing, and a cancelled run never reads as
+//!    completed.
 //!
 //! The model follows the runner's code paths step for step: `Seek`
 //! mirrors `Roster::next_owned`, `Claim`/`Advance` mirror
@@ -31,7 +40,13 @@
 //! `recover_from_panic` (remap under the roster lock, then the unclaim
 //! CAS as a separate step — the dangerous window in between is explored),
 //! and `DetectStall` mirrors `declare_stall` with the strike ladder
-//! compressed to its final verdict. Abstractions: backoff timing is
+//! compressed to its final verdict. Cancellation is modeled too:
+//! `CancelAt` fires the run's cancel flag at an arbitrary point
+//! (exploring it at every schedule position covers every cancel
+//! timing), `ObserveCancel` mirrors the `wait_to_claim` cancel check,
+//! and `CancelAbort`/`CancelCommit` mirror the post-body abort — roll
+//! the journaled chunk back under the claim, or commit the
+//! unjournalable chunk whole. Abstractions: backoff timing is
 //! dropped (any detector may fire whenever the real watchdog *could*
 //! have), and strikes escalate immediately — both over-approximate the
 //! real scheduler, so the verified state space is a superset of what the
@@ -39,8 +54,9 @@
 //!
 //! [`Bug`] deliberately re-introduces protocol mistakes (skipping the
 //! claim CAS, plain-store release, last-cause-wins poisoning, unclaiming
-//! before the journal rollback) so the tests can prove the checker
-//! actually *catches* violations instead of vacuously passing.
+//! before the journal rollback — on the retry path or the cancel-abort
+//! path) so the tests can prove the checker actually *catches*
+//! violations instead of vacuously passing.
 
 use interleave::{explore, Exploration, Model};
 
@@ -106,6 +122,11 @@ pub enum Bug {
     /// journal: a survivor can re-claim the chunk while it is still
     /// torn, breaking rollback-happens-before-re-execution.
     UnclaimBeforeRollback,
+    /// On the cancellation abort path, hand the claim back *before*
+    /// rolling the in-flight chunk back: the unclaim re-publishes the
+    /// chunk to the survivors while its memory is still torn, so a
+    /// remap race lets another worker re-claim mid-rollback.
+    UnclaimBeforeCancelRollback,
 }
 
 /// What one modeled thread is doing (mirrors the runner's worker loop).
@@ -140,8 +161,16 @@ enum Th {
     /// [`Bug::UnclaimBeforeRollback`]: the undo journal is still
     /// unapplied and will run after the unclaim.
     HandingBack { chunk: u8, rollback_after: bool },
-    /// Fell through the ladder; about to poison the token.
-    Poisoning { chunk: u8 },
+    /// Cancellation abort of a journaled chunk: the body completed but
+    /// the run is cancelled, so the worker restores the chunk's undo
+    /// journal. `unclaimed` marks the seeded-bug path
+    /// ([`Bug::UnclaimBeforeCancelRollback`]) where the claim was
+    /// handed back first and the rollback is landing late.
+    CancelRollingBack { chunk: u8, unclaimed: bool },
+    /// Fell through the ladder; about to poison the token. `cancelled`
+    /// marks a poison whose cause is run cancellation rather than a
+    /// fault — the terminal-outcome invariant keys off which cause wins.
+    Poisoning { chunk: u8, cancelled: bool },
     /// Drained.
     Done,
 }
@@ -179,6 +208,19 @@ pub enum Step {
     },
     /// A stalled executor wakes and finishes its body.
     Wake(usize),
+    /// The governor (deadline thread, budget refusal, or user) fires the
+    /// run's cancel flag. Exploring this at every schedule position
+    /// covers every possible cancel timing.
+    CancelAt,
+    /// A waiter notices the cancel flag and poisons with the
+    /// `Cancelled` cause (mirrors the `wait_to_claim` cancel check).
+    ObserveCancel(usize),
+    /// Post-body cancel abort of a *journaled* chunk: roll the completed
+    /// body back under the claim, then poison.
+    CancelAbort(usize),
+    /// Post-body cancel abort of an *unjournalable* chunk: commit the
+    /// completed body whole, then poison without advancing.
+    CancelCommit(usize),
 }
 
 /// Explicit state of the modeled protocol: token word, per-thread
@@ -190,10 +232,12 @@ pub struct Protocol {
     // Scenario (constant across a run, varied across tests).
     chunks: u8,
     spurious: bool,
+    cancel: bool,
     bug: Bug,
     plan: Vec<Option<(u8, ModelFault)>>,
     // Dynamic protocol state.
     budget: u8,
+    cancel_fired: bool,
     fired: Vec<bool>,
     token: Tok,
     threads: Vec<Th>,
@@ -211,6 +255,8 @@ pub struct Protocol {
     cause_overwritten: bool,
     double_exec: bool,
     claimed_torn: bool,
+    /// The installed (first-cause-wins) poison cause is `Cancelled`.
+    cancelled_poison: bool,
 }
 
 impl Protocol {
@@ -220,9 +266,11 @@ impl Protocol {
         Protocol {
             chunks,
             spurious: false,
+            cancel: false,
             bug: Bug::None,
             plan: vec![None; nthreads],
             budget,
+            cancel_fired: false,
             fired: vec![false; nthreads],
             token: Tok::Granted(0),
             threads: vec![Th::Idle { cursor: 0 }; nthreads],
@@ -239,6 +287,7 @@ impl Protocol {
             cause_overwritten: false,
             double_exec: false,
             claimed_torn: false,
+            cancelled_poison: false,
         }
     }
 
@@ -258,6 +307,14 @@ impl Protocol {
     /// Seed a protocol bug the checker must catch.
     pub fn with_bug(mut self, bug: Bug) -> Self {
         self.bug = bug;
+        self
+    }
+
+    /// Let the governor fire the run's cancel flag at an arbitrary point
+    /// in the schedule (covers user cancels, deadlines and budget
+    /// refusals — all three raise the same flag).
+    pub fn with_cancellation(mut self) -> Self {
+        self.cancel = true;
         self
     }
 
@@ -295,17 +352,19 @@ impl Protocol {
 
     /// `Token::poison_with`, modeled (a CAS: first cause wins) — except
     /// under [`Bug::LastCauseWins`], which overwrites like a plain store.
-    fn poison(&mut self, by: u8, chunk: u8) {
+    /// Returns `true` when this call installed the cause (won the CAS).
+    fn poison(&mut self, by: u8, chunk: u8) -> bool {
         if self.token == Tok::Poisoned {
             if self.bug == Bug::LastCauseWins {
                 self.cause = Some((by, chunk));
                 self.cause_overwritten = true;
             }
-            return;
+            return false;
         }
         self.token = Tok::Poisoned;
         self.was_poisoned = true;
         self.cause = Some((by, chunk));
+        true
     }
 
     /// Does thread `i` have an unfired body fault scripted at `chunk`?
@@ -326,6 +385,12 @@ impl Model for Protocol {
                 Th::Waiting { chunk, cursor } => {
                     if self.token == Tok::Granted(chunk) {
                         acts.push(Step::Claim(i));
+                    }
+                    // The `wait_to_claim` cancel check: a waiter on a
+                    // real chunk proves the run is incomplete, so it may
+                    // poison with the Cancelled cause.
+                    if self.cancel_fired {
+                        acts.push(Step::ObserveCancel(i));
                     }
                     // Re-seek whenever poisoned, quarantined, or a
                     // supersession/remap means seeking again would land
@@ -373,13 +438,29 @@ impl Model for Protocol {
                     }
                 }
                 Th::Stalled { .. } => acts.push(Step::Wake(i)),
-                Th::Releasing { .. } => acts.push(Step::Advance(i)),
+                Th::Releasing { .. } => {
+                    acts.push(Step::Advance(i));
+                    // Post-body cancel check: the executor may notice the
+                    // flag before advancing (the Advance action models it
+                    // missing the racing store). Both kernel kinds are
+                    // explored: journaled chunks roll back, unjournalable
+                    // chunks commit whole.
+                    if self.cancel_fired {
+                        acts.push(Step::CancelAbort(i));
+                        acts.push(Step::CancelCommit(i));
+                    }
+                }
                 Th::Recovering { .. } => acts.push(Step::Recover(i)),
-                Th::RollingBack { .. } => acts.push(Step::Rollback(i)),
+                Th::RollingBack { .. } | Th::CancelRollingBack { .. } => {
+                    acts.push(Step::Rollback(i))
+                }
                 Th::HandingBack { .. } => acts.push(Step::HandBack(i)),
                 Th::Poisoning { .. } => acts.push(Step::Poison(i)),
                 Th::Done => {}
             }
+        }
+        if self.cancel && !self.cancel_fired {
+            acts.push(Step::CancelAt);
         }
         acts
     }
@@ -541,18 +622,27 @@ impl Model for Protocol {
                 };
                 if (claimed && !fail_stop) || s.budget == 0 {
                     // Unretryable chunk or dry budget: fall through.
-                    s.threads[i] = Th::Poisoning { chunk };
+                    s.threads[i] = Th::Poisoning {
+                        chunk,
+                        cancelled: false,
+                    };
                     return s;
                 }
                 if s.live.contains(&(i as u8)) {
                     if s.live.len() == 1 {
                         // Last live worker: no survivor to retry on.
-                        s.threads[i] = Th::Poisoning { chunk };
+                        s.threads[i] = Th::Poisoning {
+                            chunk,
+                            cancelled: false,
+                        };
                         return s;
                     }
                     let Some(anchor) = s.token.position() else {
                         // Poisoned while we recovered: just report.
-                        s.threads[i] = Th::Poisoning { chunk };
+                        s.threads[i] = Th::Poisoning {
+                            chunk,
+                            cancelled: false,
+                        };
                         return s;
                     };
                     s.budget -= 1;
@@ -574,28 +664,46 @@ impl Model for Protocol {
                     Th::Done
                 };
             }
-            Step::Rollback(i) => {
-                let Th::RollingBack { chunk, recovered } = s.threads[i] else {
-                    unreachable!("Rollback from non-RollingBack")
-                };
-                // Bitwise restore: the chunk's write-set is pristine
-                // again — legally re-executable, no longer torn.
-                s.torn[chunk as usize] = false;
-                s.mutated[chunk as usize] = false;
-                s.threads[i] = if recovered {
-                    // Seeded-bug tail: the ladder already ran.
-                    Th::Done
-                } else {
-                    // Faithful order: rollback first (claim still held),
-                    // then climb the ladder as if the kernel were
-                    // fail-stop — the chunk is pristine.
-                    Th::Recovering {
-                        chunk,
-                        claimed: true,
-                        fail_stop: true,
-                    }
-                };
-            }
+            Step::Rollback(i) => match s.threads[i] {
+                Th::RollingBack { chunk, recovered } => {
+                    // Bitwise restore: the chunk's write-set is pristine
+                    // again — legally re-executable, no longer torn.
+                    s.torn[chunk as usize] = false;
+                    s.mutated[chunk as usize] = false;
+                    s.threads[i] = if recovered {
+                        // Seeded-bug tail: the ladder already ran.
+                        Th::Done
+                    } else {
+                        // Faithful order: rollback first (claim still
+                        // held), then climb the ladder as if the kernel
+                        // were fail-stop — the chunk is pristine.
+                        Th::Recovering {
+                            chunk,
+                            claimed: true,
+                            fail_stop: true,
+                        }
+                    };
+                }
+                Th::CancelRollingBack { chunk, unclaimed } => {
+                    // Cancellation abort: the completed body is undone
+                    // bitwise, so the chunk reverts to unexecuted and the
+                    // sequential resume point is its first iteration.
+                    s.torn[chunk as usize] = false;
+                    s.mutated[chunk as usize] = false;
+                    s.executed[chunk as usize] -= 1;
+                    s.threads[i] = if unclaimed {
+                        // Seeded-bug tail: the claim was already handed
+                        // back; nothing left but to drain.
+                        Th::Done
+                    } else {
+                        Th::Poisoning {
+                            chunk,
+                            cancelled: true,
+                        }
+                    };
+                }
+                _ => unreachable!("Rollback from non-rollback state"),
+            },
             Step::HandBack(i) => {
                 let Th::HandingBack {
                     chunk,
@@ -621,15 +729,67 @@ impl Model for Protocol {
                 } else {
                     // Poisoned while recovering: the fall-through poison
                     // call is a no-op CAS, modeled for the cause check.
-                    s.threads[i] = Th::Poisoning { chunk };
+                    s.threads[i] = Th::Poisoning {
+                        chunk,
+                        cancelled: false,
+                    };
                 }
             }
             Step::Poison(i) => {
-                let Th::Poisoning { chunk } = s.threads[i] else {
+                let Th::Poisoning { chunk, cancelled } = s.threads[i] else {
                     unreachable!("Poison from non-Poisoning")
                 };
-                s.poison(i as u8, chunk);
+                if s.poison(i as u8, chunk) && cancelled {
+                    s.cancelled_poison = true;
+                }
                 s.threads[i] = Th::Done;
+            }
+            Step::CancelAt => {
+                s.cancel_fired = true;
+            }
+            Step::ObserveCancel(i) => {
+                let Th::Waiting { chunk, .. } = s.threads[i] else {
+                    unreachable!("ObserveCancel from non-Waiting")
+                };
+                s.threads[i] = Th::Poisoning {
+                    chunk,
+                    cancelled: true,
+                };
+            }
+            Step::CancelAbort(i) => {
+                let Th::Releasing { chunk } = s.threads[i] else {
+                    unreachable!("CancelAbort from non-Releasing")
+                };
+                // Journaled chunk: undo the completed body. Until the
+                // rollback lands the chunk's memory is torn; the faithful
+                // order keeps the claim for the whole window.
+                s.torn[chunk as usize] = true;
+                if s.bug == Bug::UnclaimBeforeCancelRollback && s.token == Tok::Claimed(chunk) {
+                    // Seeded bug: hand the claim back first, re-publishing
+                    // the torn chunk to the survivors.
+                    s.set_token(Tok::Granted(chunk));
+                    s.threads[i] = Th::CancelRollingBack {
+                        chunk,
+                        unclaimed: true,
+                    };
+                } else {
+                    s.threads[i] = Th::CancelRollingBack {
+                        chunk,
+                        unclaimed: false,
+                    };
+                }
+            }
+            Step::CancelCommit(i) => {
+                let Th::Releasing { chunk } = s.threads[i] else {
+                    unreachable!("CancelCommit from non-Releasing")
+                };
+                // Unjournalable chunk: it commits whole (stays executed)
+                // and the worker poisons without advancing — the resume
+                // point is the next chunk.
+                s.threads[i] = Th::Poisoning {
+                    chunk,
+                    cancelled: true,
+                };
             }
             Step::DetectStall { suspect, .. } => match s.token {
                 Tok::Claimed(c) => {
@@ -686,11 +846,37 @@ impl Model for Protocol {
     }
 
     fn final_check(&self) -> Result<(), String> {
+        if self.cancelled_poison {
+            // The run's terminal cause is Cancelled: the resume guarantee
+            // requires a bitwise-clean committed prefix — no torn chunk,
+            // no chunk executed twice, and no gap a sequential resume
+            // from `committed_iters` would silently skip.
+            if let Some(c) = self.torn.iter().position(|&t| t) {
+                return Err(format!("cancelled run left chunk {c} torn"));
+            }
+            if let Some(c) = self.executed.iter().position(|&n| n > 1) {
+                return Err(format!("cancelled run committed chunk {c} twice"));
+            }
+            let mut gap = false;
+            for (c, &n) in self.executed.iter().enumerate() {
+                if n == 0 {
+                    gap = true;
+                } else if gap {
+                    return Err(format!(
+                        "cancelled run committed chunk {c} after an uncommitted gap"
+                    ));
+                }
+            }
+            return Ok(());
+        }
         if self.was_poisoned {
             // Fell through the ladder; salvage takes over outside the
             // model. The invariants already guaranteed no corruption.
             return Ok(());
         }
+        // Exactly one terminal outcome: with neither a cancelled nor a
+        // faulted poison the run must have completed cleanly — even when
+        // the cancel flag fired but arrived too late to be observed.
         if self.token != Tok::Granted(self.chunks) {
             return Err(format!(
                 "clean run ended with the token at {:?}, not Granted({})",
@@ -926,6 +1112,80 @@ mod tests {
         let v = result
             .violation
             .expect("UnclaimBeforeRollback must be caught");
+        assert!(v.message.contains("torn"), "{}", v.message);
+    }
+
+    #[test]
+    fn cancellation_is_clean_at_every_point() {
+        // The governor may fire the cancel at any schedule position:
+        // every interleaving must end with a bitwise-clean committed
+        // prefix (no torn chunk, no double-commit, no gap) or a clean
+        // completion when the cancel lands too late — never both.
+        for n in [2usize, 3] {
+            assert_verified(Protocol::new(n, 4, 2).with_cancellation(), "cancellation");
+        }
+    }
+
+    #[test]
+    fn cancellation_racing_a_fail_stop_panic_verifies() {
+        // Cancel and fault poisons race: whichever cause wins first, the
+        // terminal state must satisfy its own invariant — cancelled
+        // prefix-clean, or faulted with the usual guarantees.
+        for chunk in 0..3 {
+            assert_verified(
+                Protocol::new(3, 3, 2).with_cancellation().with_fault(
+                    1,
+                    chunk,
+                    ModelFault::PanicFailStop,
+                ),
+                "cancellation + fail-stop panic",
+            );
+        }
+    }
+
+    #[test]
+    fn cancellation_racing_a_journaled_rollback_verifies() {
+        // The cancel abort and the fault rollback both restore chunks
+        // under their claims; no interleaving of the two may expose torn
+        // state or double-commit a chunk.
+        assert_verified(
+            Protocol::new(3, 3, 2).with_cancellation().with_fault(
+                0,
+                1,
+                ModelFault::PanicMidBodyJournaled,
+            ),
+            "cancellation + journaled panic",
+        );
+    }
+
+    #[test]
+    fn cancellation_under_spurious_detection_verifies() {
+        // Remap races while a cancel abort is rolling back are exactly
+        // where the claim-held-through-rollback ordering earns its keep.
+        assert_verified(
+            Protocol::new(3, 3, 2)
+                .with_cancellation()
+                .with_spurious_detection(),
+            "cancellation + spurious detection",
+        );
+    }
+
+    #[test]
+    fn seeded_unclaim_before_cancel_rollback_bug_is_caught() {
+        // The buggy abort hands the claim back before undoing the
+        // cancelled chunk: a spurious quarantine of the aborting worker
+        // remaps its chunk to a survivor, which re-claims it while the
+        // rollback is still pending.
+        let result = explore(
+            Protocol::new(3, 4, 2)
+                .with_cancellation()
+                .with_spurious_detection()
+                .with_bug(Bug::UnclaimBeforeCancelRollback),
+            4_000_000,
+        );
+        let v = result
+            .violation
+            .expect("UnclaimBeforeCancelRollback must be caught");
         assert!(v.message.contains("torn"), "{}", v.message);
     }
 

@@ -1,0 +1,482 @@
+//! Run governance: cooperative cancellation, run deadlines, and memory
+//! budgets for the real-thread cascade.
+//!
+//! The recovery ladder (`docs/ROBUSTNESS.md`) handles *faults*; nothing
+//! there can stop a **healthy** run. This module adds the three missing
+//! primitives, all cooperative and all drained through the existing
+//! poison protocol so cancellation leaves bitwise-clean state:
+//!
+//! * [`CancelToken`] — a cheap `Arc`'d flag plus a reason cell, checked by
+//!   workers at chunk-claim and helper-pass boundaries. The first cancel
+//!   wins; everything later observes the same [`CancelState`].
+//! * a per-run deadline ([`RunConfig::deadline`]) — arms a governor thread
+//!   that fires the run's `CancelToken` when the wall-clock budget
+//!   expires, translating to `RunError::DeadlineExceeded`.
+//! * [`MemBudget`] — meters the runtime's only unbounded allocations (undo
+//!   journals and helper pack arenas) and converts an over-budget growth
+//!   into a typed `RunError::BudgetExceeded` refusal instead of an OOM.
+//!
+//! A cancelled run is **not** an error-shaped crash: every committed chunk
+//! stays committed, the in-flight claimed chunk is rolled back via its
+//! undo journal (or completed when unjournalable), and the returned error
+//! carries `committed_iters` so the caller can finish the loop
+//! sequentially from exactly that iteration. See the "Run governance"
+//! section of `docs/ROBUSTNESS.md` for the protocol diagram.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::metrics::Observe;
+use crate::runner::{RunError, RunnerConfig, Tolerance};
+use crate::token::lock_recover;
+
+/// Why a run was cancelled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelKind {
+    /// An external caller fired [`CancelToken::cancel`].
+    User,
+    /// The run deadline expired ([`RunConfig::deadline`]).
+    Deadline {
+        /// The configured deadline that expired.
+        after: Duration,
+    },
+    /// A metered allocation would have exceeded the [`MemBudget`].
+    Budget {
+        /// Bytes the refused reservation asked for.
+        needed: u64,
+        /// The configured budget limit.
+        limit: u64,
+    },
+}
+
+/// The recorded cancellation: what fired and why, first cause wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CancelState {
+    /// What kind of canceller fired.
+    pub kind: CancelKind,
+    /// Human-readable reason recorded by the canceller.
+    pub reason: String,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: AtomicBool,
+    state: Mutex<Option<CancelState>>,
+    origin: Instant,
+    /// ns since `origin` when the cancel fired (`u64::MAX` = not fired).
+    requested_ns: AtomicU64,
+    /// ns between the cancel firing and the first worker acting on it
+    /// (`u64::MAX` = not yet observed).
+    latency_ns: AtomicU64,
+}
+
+/// A shared, cloneable cancellation flag with a reason cell.
+///
+/// `is_cancelled` is a single `Acquire` load — cheap enough for the
+/// runtime to poll at every chunk boundary and helper poll batch without
+/// measurable overhead (the fault-free overhead guard pins this).
+/// Cancelling is idempotent: the first [`CancelToken::cancel_with`] wins
+/// and installs the [`CancelState`]; later calls are no-ops.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                state: Mutex::new(None),
+                origin: Instant::now(),
+                requested_ns: AtomicU64::new(u64::MAX),
+                latency_ns: AtomicU64::new(u64::MAX),
+            }),
+        }
+    }
+
+    /// Cancel the run (user-initiated). Returns `true` when this call won
+    /// the race to install the cancellation.
+    pub fn cancel(&self, reason: &str) -> bool {
+        self.cancel_with(CancelKind::User, reason)
+    }
+
+    /// Cancel with an explicit kind. First cause wins; the install happens
+    /// before the flag store, so any worker that observes the flag also
+    /// observes a populated [`CancelState`].
+    pub fn cancel_with(&self, kind: CancelKind, reason: &str) -> bool {
+        let installed = {
+            let mut slot = lock_recover(&self.inner.state);
+            if slot.is_none() {
+                *slot = Some(CancelState {
+                    kind,
+                    reason: reason.to_string(),
+                });
+                true
+            } else {
+                false
+            }
+        };
+        if installed {
+            self.inner.requested_ns.store(
+                self.inner.origin.elapsed().as_nanos() as u64,
+                Ordering::Release,
+            );
+        }
+        self.inner.flag.store(true, Ordering::Release);
+        installed
+    }
+
+    /// Has the run been cancelled? One `Acquire` load.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+    }
+
+    /// The recorded cancellation, if any.
+    pub fn state(&self) -> Option<CancelState> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        lock_recover(&self.inner.state).clone()
+    }
+
+    /// Stamp the moment the first worker acted on the cancellation.
+    /// Idempotent: only the first observer records the latency sample.
+    pub(crate) fn note_observed(&self) {
+        let requested = self.inner.requested_ns.load(Ordering::Acquire);
+        if requested == u64::MAX {
+            return;
+        }
+        let now = self.inner.origin.elapsed().as_nanos() as u64;
+        let _ = self.inner.latency_ns.compare_exchange(
+            u64::MAX,
+            now.saturating_sub(requested),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Time between the cancel firing and the first worker acting on it —
+    /// the run's cancel latency. `None` until a worker has observed the
+    /// cancellation.
+    pub fn latency(&self) -> Option<Duration> {
+        match self.inner.latency_ns.load(Ordering::Acquire) {
+            u64::MAX => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+}
+
+/// A shared memory budget metering the runtime's elastic allocations:
+/// per-worker undo-journal buffers and helper pack arenas. (Prefetch
+/// helpers issue cache hints and allocate nothing; sequential salvage
+/// re-executes in place and allocates nothing either — both are metered
+/// trivially at zero.)
+///
+/// Accounting is capacity-growth based: workers reserve the *growth* of
+/// their long-lived buffers, which amortize to a steady state, so `used`
+/// tracks the peak bytes those arenas pin for the run's lifetime. A
+/// refused reservation cancels the run with [`CancelKind::Budget`], which
+/// surfaces as `RunError::BudgetExceeded`.
+#[derive(Debug, Clone)]
+pub struct MemBudget {
+    limit: Option<u64>,
+    used: Arc<AtomicU64>,
+    high: Arc<AtomicU64>,
+}
+
+impl Default for MemBudget {
+    fn default() -> Self {
+        MemBudget::unlimited()
+    }
+}
+
+impl MemBudget {
+    /// No limit: reservations always succeed (the high-water mark is
+    /// still tracked).
+    pub fn unlimited() -> Self {
+        MemBudget {
+            limit: None,
+            used: Arc::new(AtomicU64::new(0)),
+            high: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A hard limit in bytes across all metered allocations of the run.
+    pub fn limited(bytes: u64) -> Self {
+        MemBudget {
+            limit: Some(bytes),
+            ..MemBudget::unlimited()
+        }
+    }
+
+    /// The configured limit, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Try to reserve `bytes`; `false` means the reservation would exceed
+    /// the limit (and nothing was reserved).
+    pub fn try_reserve(&self, bytes: u64) -> bool {
+        if bytes == 0 {
+            return true;
+        }
+        let new = self.used.fetch_add(bytes, Ordering::AcqRel) + bytes;
+        if let Some(limit) = self.limit {
+            if new > limit {
+                self.used.fetch_sub(bytes, Ordering::AcqRel);
+                return false;
+            }
+        }
+        self.high.fetch_max(new, Ordering::AcqRel);
+        true
+    }
+
+    /// Return `bytes` to the budget (for transient reservations).
+    pub fn release(&self, bytes: u64) {
+        if bytes > 0 {
+            self.used.fetch_sub(bytes, Ordering::AcqRel);
+        }
+    }
+
+    /// Currently reserved bytes.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Peak reserved bytes over the budget's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high.load(Ordering::Acquire)
+    }
+}
+
+/// Everything governing one run: the runner geometry, the fault
+/// tolerance, and the governance primitives (cancel token, deadline,
+/// memory budget, observability options). Consumed by
+/// `try_run_governed[_sequence]`.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Thread count, chunk geometry, and helper policy.
+    pub runner: RunnerConfig,
+    /// The fault-recovery ladder configuration.
+    pub tolerance: Tolerance,
+    /// Whole-run wall-clock budget; expiring fires the cancel token with
+    /// [`CancelKind::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Memory budget for journals and pack arenas.
+    pub budget: MemBudget,
+    /// The run's cancel token — clone it to cancel from outside.
+    pub cancel: CancelToken,
+    /// Observability options (event ring).
+    pub observe: Observe,
+}
+
+impl RunConfig {
+    /// Validate the cross-field governance invariants. The runner's own
+    /// geometry checks still run inside `try_run_governed`; this catches
+    /// the silent misconfiguration they cannot see: a watchdog window
+    /// longer than the run deadline would never fire — every stall would
+    /// surface as the blunter `DeadlineExceeded` instead of a diagnosed
+    /// `Stalled{chunk}` — so it is refused with a typed diagnostic.
+    pub fn try_validate(&self) -> Result<(), RunError> {
+        if let (Some(watchdog), Some(deadline)) = (self.tolerance.watchdog, self.deadline) {
+            if watchdog > deadline {
+                return Err(RunError::InvalidConfig(format!(
+                    "watchdog window ({watchdog:?}) exceeds the run deadline ({deadline:?}): \
+                     the watchdog could never fire; shrink the window or raise the deadline"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The armed deadline: a thread that fires the run's [`CancelToken`] when
+/// the wall-clock budget expires, disarmed (woken and joined) on drop.
+pub(crate) struct Governor {
+    done: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Governor {
+    /// Arm a governor that cancels via `cancel` after `deadline`.
+    pub(crate) fn arm(cancel: &CancelToken, deadline: Duration) -> Governor {
+        let done = Arc::new((Mutex::new(false), Condvar::new()));
+        let done2 = done.clone();
+        let cancel = cancel.clone();
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*done2;
+            let mut finished = lock_recover(lock);
+            let armed_at = Instant::now();
+            loop {
+                if *finished {
+                    return;
+                }
+                let elapsed = armed_at.elapsed();
+                if elapsed >= deadline {
+                    break;
+                }
+                let (g, _) = cvar
+                    .wait_timeout(finished, deadline - elapsed)
+                    .unwrap_or_else(|e| e.into_inner());
+                finished = g;
+            }
+            drop(finished);
+            cancel.cancel_with(
+                CancelKind::Deadline { after: deadline },
+                &format!("run deadline of {deadline:?} expired"),
+            );
+        });
+        Governor {
+            done,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Governor {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.done;
+        *lock_recover(lock) = true;
+        cvar.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_cancel_wins_and_later_calls_are_noops() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.state(), None);
+        assert!(t.cancel("first"));
+        assert!(!t.cancel("second"));
+        assert!(t.is_cancelled());
+        let s = t.state().unwrap();
+        assert_eq!(s.kind, CancelKind::User);
+        assert_eq!(s.reason, "first");
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel_with(
+            CancelKind::Budget {
+                needed: 64,
+                limit: 32,
+            },
+            "over budget",
+        );
+        assert!(t.is_cancelled());
+        assert!(matches!(
+            t.state().unwrap().kind,
+            CancelKind::Budget {
+                needed: 64,
+                limit: 32
+            }
+        ));
+    }
+
+    #[test]
+    fn latency_is_recorded_once_by_the_first_observer() {
+        let t = CancelToken::new();
+        t.note_observed();
+        assert_eq!(t.latency(), None, "no cancel: nothing to observe");
+        t.cancel("stop");
+        assert_eq!(t.latency(), None, "not yet observed");
+        t.note_observed();
+        let first = t.latency().expect("observed");
+        std::thread::sleep(Duration::from_millis(2));
+        t.note_observed();
+        assert_eq!(t.latency(), Some(first), "only the first observer stamps");
+    }
+
+    #[test]
+    fn budget_meters_and_refuses_over_limit() {
+        let b = MemBudget::limited(100);
+        assert!(b.try_reserve(60));
+        assert!(b.try_reserve(40));
+        assert_eq!(b.used(), 100);
+        assert!(!b.try_reserve(1), "101 > 100 must be refused");
+        assert_eq!(b.used(), 100, "refused reservation reserves nothing");
+        assert_eq!(b.high_water(), 100);
+        b.release(50);
+        assert_eq!(b.used(), 50);
+        assert!(b.try_reserve(30));
+        assert_eq!(b.high_water(), 100, "high-water is a peak, not current");
+    }
+
+    #[test]
+    fn unlimited_budget_tracks_high_water() {
+        let b = MemBudget::unlimited();
+        assert!(b.try_reserve(1 << 40));
+        assert_eq!(b.high_water(), 1 << 40);
+        assert_eq!(b.limit(), None);
+    }
+
+    #[test]
+    fn governor_fires_the_deadline() {
+        let t = CancelToken::new();
+        let g = Governor::arm(&t, Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(t.is_cancelled());
+        assert!(matches!(
+            t.state().unwrap().kind,
+            CancelKind::Deadline { .. }
+        ));
+        drop(g);
+    }
+
+    #[test]
+    fn disarmed_governor_never_fires() {
+        let t = CancelToken::new();
+        let g = Governor::arm(&t, Duration::from_secs(3600));
+        drop(g); // must join promptly, not hang for an hour
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn validate_rejects_watchdog_longer_than_deadline() {
+        let cfg = RunConfig {
+            tolerance: Tolerance {
+                watchdog: Some(Duration::from_secs(10)),
+                retry: None,
+                salvage: true,
+            },
+            deadline: Some(Duration::from_secs(1)),
+            ..RunConfig::default()
+        };
+        match cfg.try_validate() {
+            Err(RunError::InvalidConfig(msg)) => {
+                assert!(msg.contains("watchdog"), "{msg}");
+                assert!(msg.contains("deadline"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let ok = RunConfig {
+            tolerance: Tolerance {
+                watchdog: Some(Duration::from_millis(100)),
+                retry: None,
+                salvage: true,
+            },
+            deadline: Some(Duration::from_secs(1)),
+            ..RunConfig::default()
+        };
+        assert!(ok.try_validate().is_ok());
+    }
+}

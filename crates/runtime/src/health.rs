@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use crate::token::lock_recover;
+
 /// What a detector should do about a suspect worker after a strike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrikeVerdict {
@@ -121,7 +123,10 @@ impl HealthRegistry {
     pub fn strike(&self, t: u64) -> StrikeVerdict {
         let w = &self.workers[t as usize];
         let now = Instant::now();
-        let mut until = w.backoff_until.lock().unwrap();
+        // A worker can panic while holding this lock (the injected-fault
+        // tests do exactly that); recover instead of letting one fault
+        // cascade `PoisonError` panics through every surviving detector.
+        let mut until = lock_recover(&w.backoff_until);
         if let Some(deadline) = *until {
             if now < deadline {
                 return StrikeVerdict::Backoff {
@@ -240,6 +245,27 @@ mod tests {
             v => panic!("healed worker must not be quarantined, got {v:?}"),
         }
         assert_eq!(h.strikes(0), 1, "strikes reset on progress");
+    }
+
+    /// Regression: a worker panicking while it holds `backoff_until`
+    /// poisons the mutex; `strike` must recover the guard and keep
+    /// functioning instead of turning one fault into a registry-wide
+    /// panic cascade.
+    #[test]
+    fn strike_survives_a_lock_poisoned_by_a_panicking_holder() {
+        let h = std::sync::Arc::new(HealthRegistry::new(1, fast_cfg()));
+        let h2 = h.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = h2.workers[0].backoff_until.lock().unwrap();
+            panic!("die holding the backoff lock");
+        })
+        .join();
+        assert!(h.workers[0].backoff_until.is_poisoned());
+        match h.strike(0) {
+            StrikeVerdict::Backoff { fresh: true, .. } => {}
+            v => panic!("strike must survive the poisoned lock, got {v:?}"),
+        }
+        assert_eq!(h.strikes(0), 1);
     }
 
     #[test]

@@ -47,15 +47,28 @@
 //! remapped across survivors so the run finishes cascaded instead of
 //! `degraded`. The token/poison/retry protocol backing this is modeled as
 //! an explicit state machine in [`check`] and exhaustively explored with
-//! the `interleave` shim — the four invariants (exactly-one executor, no
-//! lost or resurrected token, first-cause-wins poisoning, no chunk
-//! re-executed after mutation) hold on every reachable interleaving.
+//! the `interleave` shim — the seven invariants (exactly-one executor,
+//! no lost or resurrected token, first-cause-wins poisoning, no chunk
+//! re-executed after mutation, no torn state observable after rollback,
+//! cancellation never observable as torn state, exactly one terminal
+//! outcome per run) hold on every reachable interleaving.
+//!
+//! ## Run governance
+//!
+//! A *healthy* run can be stopped too ([`govern`]): a shared
+//! [`CancelToken`] checked at chunk-claim and helper-pass boundaries, a
+//! whole-run deadline that arms a governor thread, and a [`MemBudget`]
+//! metering journal and pack arenas. [`try_run_governed`] /
+//! [`try_run_governed_sequence`] drain cancelled runs with bitwise-clean
+//! state and return typed errors carrying the exact sequential resume
+//! point (`committed_iters`).
 
 #![warn(missing_docs)]
 
 pub mod barrier;
 pub mod check;
 pub mod fault;
+pub mod govern;
 pub mod health;
 pub mod interp;
 pub mod kernel;
@@ -66,6 +79,7 @@ pub mod token;
 
 pub use barrier::{BarrierOutcome, FtBarrier};
 pub use fault::{FaultKind, FaultPlan, FaultyKernel};
+pub use govern::{CancelKind, CancelState, CancelToken, MemBudget, RunConfig};
 pub use health::{HealthConfig, HealthRegistry, StrikeVerdict};
 pub use interp::{SpecKernel, SpecProgram};
 pub use kernel::RealKernel;
@@ -74,7 +88,7 @@ pub use prefetch::{prefetch_line, prefetch_range, PREFETCH_STRIDE};
 pub use runner::{
     run_cascaded, run_cascaded_sequence, run_sequential, try_run_cascaded,
     try_run_cascaded_observed, try_run_cascaded_sequence, try_run_cascaded_sequence_observed,
-    FaultEvent, RetryAbandon, RetryPolicy, RtPolicy, RunError, RunStats, RunnerConfig, ThreadStats,
-    Tolerance,
+    try_run_governed, try_run_governed_sequence, FaultEvent, RetryAbandon, RetryPolicy, RtPolicy,
+    RunError, RunStats, RunnerConfig, ThreadStats, Tolerance,
 };
 pub use token::{PoisonCause, Token, TokenView, WaitOutcome, EXEC_BIT, POISONED};

@@ -99,10 +99,11 @@ use cascade_core::{
 };
 
 use crate::barrier::{BarrierOutcome, FtBarrier};
+use crate::govern::{CancelKind, CancelState, CancelToken, Governor, MemBudget, RunConfig};
 use crate::health::{HealthConfig, HealthRegistry, StrikeVerdict};
 use crate::kernel::RealKernel;
 use crate::metrics::{NsStats, Observe, PhaseEventNs, PhaseRecorder};
-use crate::token::{PoisonCause, Token, TokenView, EXEC_BIT, POISONED};
+use crate::token::{lock_recover, PoisonCause, Token, TokenView, EXEC_BIT, POISONED};
 
 /// Helper policy of the real-thread runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,6 +273,38 @@ pub enum RunError {
         /// The loop whose stamps are missing.
         loop_idx: u64,
     },
+    /// The run was cancelled cooperatively (via its
+    /// [`CancelToken`]) and drained with bitwise-clean state: every
+    /// iteration below `committed_iters` is committed exactly once and
+    /// nothing above it was touched, so the caller can finish the loop
+    /// sequentially from `committed_iters`.
+    Cancelled {
+        /// Reason recorded by the canceller.
+        reason: String,
+        /// Iterations committed before the cancellation drained the run
+        /// (for a sequence: global across all loops, in order).
+        committed_iters: u64,
+    },
+    /// The whole-run deadline ([`RunConfig::deadline`]) expired and the
+    /// governor cancelled the run; same clean-state guarantee as
+    /// [`RunError::Cancelled`].
+    DeadlineExceeded {
+        /// The configured deadline that expired.
+        deadline: Duration,
+        /// Iterations committed before the run drained.
+        committed_iters: u64,
+    },
+    /// A metered allocation would have exceeded the run's [`MemBudget`];
+    /// the run was cancelled instead of allocating unboundedly. Same
+    /// clean-state guarantee as [`RunError::Cancelled`].
+    BudgetExceeded {
+        /// Bytes the refused reservation asked for.
+        needed: u64,
+        /// The configured budget limit in bytes.
+        limit: u64,
+        /// Iterations committed before the run drained.
+        committed_iters: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -291,6 +324,35 @@ impl std::fmt::Display for RunError {
                 write!(
                     f,
                     "sequence loop {loop_idx} finished without its leader's timing stamps"
+                )
+            }
+            RunError::Cancelled {
+                reason,
+                committed_iters,
+            } => {
+                write!(
+                    f,
+                    "run cancelled after {committed_iters} committed iterations: {reason}"
+                )
+            }
+            RunError::DeadlineExceeded {
+                deadline,
+                committed_iters,
+            } => {
+                write!(
+                    f,
+                    "run deadline of {deadline:?} exceeded after {committed_iters} committed iterations"
+                )
+            }
+            RunError::BudgetExceeded {
+                needed,
+                limit,
+                committed_iters,
+            } => {
+                write!(
+                    f,
+                    "memory budget exceeded (reservation of {needed} B over the {limit} B limit) \
+                     after {committed_iters} committed iterations"
                 )
             }
         }
@@ -503,6 +565,13 @@ pub struct RunStats {
     /// Workers quarantined during the run
     /// ([`FaultEvent::WorkerQuarantined`] count).
     pub quarantined: u64,
+    /// Cancel latency in nanoseconds: the cancel firing → the first
+    /// worker acting on it. Zero for a run that was never cancelled (a
+    /// too-late cancel can still stamp this on a clean run).
+    pub cancel_latency_ns: u64,
+    /// Peak bytes reserved from the run's [`MemBudget`] (journal and
+    /// pack arenas). Zero when nothing was metered.
+    pub budget_high_water: u64,
 }
 
 impl RunStats {
@@ -573,6 +642,8 @@ impl RunStats {
             chunks: self.chunks,
             iters: self.iters,
             wall_time: self.elapsed.as_nanos() as f64,
+            cancel_latency: self.cancel_latency_ns as f64,
+            budget_high_water: self.budget_high_water,
             workers,
             events,
             ..Default::default()
@@ -615,12 +686,113 @@ fn run_error_from(cause: &PoisonCause) -> RunError {
             chunk: *chunk,
             waited: *waited,
         },
+        // The degraded paths intercept cancellation before mapping the
+        // cause (they need the exact `committed_iters`); kept total for a
+        // foreign token poisoned from outside this module.
+        PoisonCause::Cancelled { reason } => RunError::Cancelled {
+            reason: reason.clone(),
+            committed_iters: 0,
+        },
         // Unreachable for tokens this module creates, but kept total.
         PoisonCause::Unspecified => RunError::WorkerPanicked {
             thread: 0,
             chunk: 0,
         },
     }
+}
+
+/// The governance context threaded through a run's workers: the shared
+/// cancel flag and the memory budget. The ungoverned entry points use
+/// [`Govern::none`] — a fresh never-cancelled token and an unlimited
+/// budget — so every check site costs one never-true atomic load.
+pub(crate) struct Govern {
+    pub(crate) cancel: CancelToken,
+    pub(crate) budget: MemBudget,
+}
+
+impl Govern {
+    fn none() -> Self {
+        Govern {
+            cancel: CancelToken::new(),
+            budget: MemBudget::unlimited(),
+        }
+    }
+}
+
+/// Drain the run leader-ward with a `Cancelled` poison cause: called by
+/// the first worker (or waiter) that acts on the cancel flag. Stamps the
+/// cancel latency; the poison itself is first-cause-wins, so a cancel
+/// racing a real fault never masks it.
+fn poison_cancelled(run: &FtRun, gov: &Govern) {
+    gov.cancel.note_observed();
+    let reason = gov
+        .cancel
+        .state()
+        .map(|s| s.reason)
+        .unwrap_or_else(|| "cancelled".to_string());
+    run.token.poison_with(PoisonCause::Cancelled { reason });
+}
+
+/// Map a cancelled run to its typed error, carrying the exact sequential
+/// resume point. The kind comes from the run's own [`CancelToken`]; a
+/// token poisoned `Cancelled` from outside (sequence propagation carries
+/// the cause string) falls back to [`RunError::Cancelled`].
+fn cancel_error(gov: &Govern, cause: &PoisonCause, committed_iters: u64) -> RunError {
+    match gov.cancel.state() {
+        Some(CancelState {
+            kind: CancelKind::Deadline { after },
+            ..
+        }) => RunError::DeadlineExceeded {
+            deadline: after,
+            committed_iters,
+        },
+        Some(CancelState {
+            kind: CancelKind::Budget { needed, limit },
+            ..
+        }) => RunError::BudgetExceeded {
+            needed,
+            limit,
+            committed_iters,
+        },
+        Some(CancelState {
+            kind: CancelKind::User,
+            reason,
+        }) => RunError::Cancelled {
+            reason,
+            committed_iters,
+        },
+        None => {
+            let reason = match cause {
+                PoisonCause::Cancelled { reason } => reason.clone(),
+                _ => "cancelled".to_string(),
+            };
+            RunError::Cancelled {
+                reason,
+                committed_iters,
+            }
+        }
+    }
+}
+
+/// A cancelled run whose in-flight chunk tore (its rollback panicked, or
+/// a concurrent fault left an unjournalable chunk half-applied) must NOT
+/// report a clean `Cancelled{committed_iters}` — resuming from it could
+/// double-apply writes. Surface the tear as the panic that caused it.
+fn torn_fallback(faults: &[FaultEvent]) -> RunError {
+    faults
+        .iter()
+        .rev()
+        .find_map(|f| match f {
+            FaultEvent::WorkerPanicked { thread, chunk, .. } => Some(RunError::WorkerPanicked {
+                thread: *thread,
+                chunk: *chunk,
+            }),
+            _ => None,
+        })
+        .unwrap_or(RunError::WorkerPanicked {
+            thread: 0,
+            chunk: 0,
+        })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -694,7 +866,7 @@ impl Roster {
             return;
         }
         let live = health.live();
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.live != live {
             inner.live = live;
             self.epoch.fetch_add(1, Ordering::AcqRel);
@@ -704,7 +876,7 @@ impl Roster {
     /// The live worker owning `chunk`, or `None` while a remap is in
     /// flight (`chunk` below the anchor) or the roster is empty.
     fn owner_of(&self, chunk: u64) -> Option<u64> {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         if inner.live.is_empty() || chunk < inner.base {
             return None;
         }
@@ -715,7 +887,7 @@ impl Roster {
     /// The smallest chunk `>= from` owned by worker `t`, or `None` when
     /// `t` is not on the roster.
     fn next_owned(&self, t: u64, from: u64) -> Option<u64> {
-        let inner = self.inner.lock().unwrap();
+        let inner = lock_recover(&self.inner);
         let idx = inner.live.iter().position(|&x| x == t)? as u64;
         let l = inner.live.len() as u64;
         let start = from.max(inner.base);
@@ -731,7 +903,7 @@ impl Roster {
     /// token's current chunk) so every unexecuted chunk is remapped across
     /// the survivors.
     fn remove(&self, t: u64, anchor: u64) -> RemoveOutcome {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         let Some(idx) = inner.live.iter().position(|&x| x == t) else {
             return RemoveOutcome::NotLive;
         };
@@ -840,11 +1012,11 @@ impl FtRun {
     }
 
     fn record(&self, ev: FaultEvent) {
-        self.faults.lock().unwrap().push(ev);
+        lock_recover(&self.faults).push(ev);
     }
 
     fn take_faults(&self) -> Vec<FaultEvent> {
-        std::mem::take(&mut *self.faults.lock().unwrap())
+        std::mem::take(&mut *lock_recover(&self.faults))
     }
 }
 
@@ -893,6 +1065,34 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
     tol: &Tolerance,
     obs: &Observe,
 ) -> Result<RunStats, RunError> {
+    run_cascaded_inner(kernel, cfg, tol, obs, &Govern::none())
+}
+
+/// Execute `kernel` under full run governance ([`RunConfig`]): cooperative
+/// cancellation via `cfg.cancel`, an optional whole-run deadline that arms
+/// a governor thread, and a memory budget metering journal and pack
+/// arenas. A governed run that is cancelled drains with bitwise-clean
+/// state and returns [`RunError::Cancelled`] /
+/// [`RunError::DeadlineExceeded`] / [`RunError::BudgetExceeded`] carrying
+/// `committed_iters` — resuming `kernel` sequentially from that iteration
+/// reproduces the uncancelled result bitwise.
+pub fn try_run_governed<K: RealKernel>(kernel: &K, cfg: &RunConfig) -> Result<RunStats, RunError> {
+    cfg.try_validate()?;
+    let gov = Govern {
+        cancel: cfg.cancel.clone(),
+        budget: cfg.budget.clone(),
+    };
+    let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
+    run_cascaded_inner(kernel, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
+}
+
+fn run_cascaded_inner<K: RealKernel>(
+    kernel: &K,
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+    obs: &Observe,
+    gov: &Govern,
+) -> Result<RunStats, RunError> {
     validate(cfg)?;
     let iters = kernel.iters();
     if iters == 0 {
@@ -908,7 +1108,7 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
         let handles: Vec<_> = (0..cfg.nthreads)
             .map(|t| {
                 let (plan, run, rec) = (&plan, &run, &rec);
-                s.spawn(move || ft_worker(kernel, cfg, tol, obs, plan, run, rec, t as u64))
+                s.spawn(move || ft_worker(kernel, cfg, tol, obs, gov, plan, run, rec, t as u64))
             })
             .collect();
         // Workers catch their own panics and report through the token, so
@@ -920,6 +1120,15 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
     });
     let elapsed = start.elapsed();
     let mut faults = run.take_faults();
+    // First chunk not yet committed → its first iteration is the exact
+    // sequential resume point (completion is in token order).
+    let committed_at = |done: u64| {
+        if done >= m {
+            iters
+        } else {
+            plan.range(done).start
+        }
+    };
 
     let Some(cause) = run.token.poison_cause() else {
         debug_assert_eq!(
@@ -937,8 +1146,21 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
             faults,
             retries,
             quarantined,
+            cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
+            budget_high_water: gov.budget.high_water(),
         });
     };
+
+    // --- cancelled path: drained clean, never salvaged ---
+    if matches!(cause, PoisonCause::Cancelled { .. }) {
+        if run.salvage_unsound.load(Ordering::Acquire) {
+            // The in-flight chunk tore while the run drained: the resume
+            // guarantee is broken, report the tear instead.
+            return Err(torn_fallback(&faults));
+        }
+        let done = run.completed.load(Ordering::Acquire);
+        return Err(cancel_error(gov, &cause, committed_at(done)));
+    }
 
     // --- degraded path: a worker panicked or the cascade stalled ---
     let err = run_error_from(&cause);
@@ -949,20 +1171,31 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
     if !tol.salvage || run.salvage_unsound.load(Ordering::Acquire) {
         return Err(err);
     }
-    let done = run.completed.load(Ordering::Acquire);
+    let mut done = run.completed.load(Ordering::Acquire);
     if done < m {
-        let resume = plan.range(done).start;
-        // SAFETY: every worker has joined, so this thread has exclusive
-        // access and all completed chunks' writes happen-before it.
-        let salvage = catch_unwind(AssertUnwindSafe(|| unsafe {
-            kernel.execute(resume..iters)
-        }));
-        if salvage.is_err() {
-            // The kernel fails even sequentially: report the original fault.
-            return Err(err);
+        let salvage_from = done;
+        let resume = plan.range(salvage_from).start;
+        // Chunk at a time so a cancellation arriving mid-salvage still
+        // stops at an exact chunk boundary with an accurate resume point.
+        while done < m {
+            if gov.cancel.is_cancelled() {
+                gov.cancel.note_observed();
+                return Err(cancel_error(gov, &cause, committed_at(done)));
+            }
+            let r = plan.range(done);
+            // SAFETY: every worker has joined, so this thread has
+            // exclusive access and all completed chunks' writes
+            // happen-before it.
+            let salvage = catch_unwind(AssertUnwindSafe(|| unsafe { kernel.execute(r) }));
+            if salvage.is_err() {
+                // The kernel fails even sequentially: report the original
+                // fault.
+                return Err(err);
+            }
+            done += 1;
         }
         faults.push(FaultEvent::Salvaged {
-            from_chunk: done,
+            from_chunk: salvage_from,
             iters: iters - resume,
         });
     }
@@ -976,6 +1209,8 @@ pub fn try_run_cascaded_observed<K: RealKernel>(
         faults,
         retries,
         quarantined,
+        cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
+        budget_high_water: gov.budget.high_water(),
     })
 }
 
@@ -1019,6 +1254,35 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
     tol: &Tolerance,
     obs: &Observe,
 ) -> Result<Vec<RunStats>, RunError> {
+    run_cascaded_sequence_inner(kernels, cfg, tol, obs, &Govern::none())
+}
+
+/// [`try_run_governed`] for a whole loop sequence: one governed pool, one
+/// cancel token, one deadline, one budget across every loop. The
+/// `committed_iters` of a cancellation error is **global**: the summed
+/// iteration counts of every fully completed loop plus the committed
+/// prefix of the loop the cancel landed in, so a caller can replay the
+/// remainder of the sequence from exactly that point.
+pub fn try_run_governed_sequence<K: RealKernel>(
+    kernels: &[K],
+    cfg: &RunConfig,
+) -> Result<Vec<RunStats>, RunError> {
+    cfg.try_validate()?;
+    let gov = Govern {
+        cancel: cfg.cancel.clone(),
+        budget: cfg.budget.clone(),
+    };
+    let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
+    run_cascaded_sequence_inner(kernels, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
+}
+
+fn run_cascaded_sequence_inner<K: RealKernel>(
+    kernels: &[K],
+    cfg: &RunnerConfig,
+    tol: &Tolerance,
+    obs: &Observe,
+    gov: &Govern,
+) -> Result<Vec<RunStats>, RunError> {
     validate(cfg)?;
     if kernels.is_empty() {
         return Err(RunError::InvalidConfig("empty kernel sequence".into()));
@@ -1055,7 +1319,7 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
                         match barrier.wait() {
                             BarrierOutcome::Poisoned => break 'seq,
                             out if out.is_leader() => {
-                                *loop_starts[l].lock().unwrap() = Some(Instant::now());
+                                *lock_recover(&loop_starts[l]) = Some(Instant::now());
                             }
                             _ => {}
                         }
@@ -1064,7 +1328,7 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
                         // barriers, so the surviving cascade stays in
                         // lockstep.
                         all.push(ft_worker(
-                            kernel, cfg, tol, obs, &plans[l], &runs[l], rec, t as u64,
+                            kernel, cfg, tol, obs, gov, &plans[l], &runs[l], rec, t as u64,
                         ));
                         if let Some(cause) = runs[l].token.poison_cause() {
                             // Propagate the fault: no worker may block on a
@@ -1079,7 +1343,7 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
                         match barrier.wait() {
                             BarrierOutcome::Poisoned => break 'seq,
                             out if out.is_leader() => {
-                                *loop_ends[l].lock().unwrap() = Some(Instant::now());
+                                *lock_recover(&loop_ends[l]) = Some(Instant::now());
                             }
                             _ => {}
                         }
@@ -1114,6 +1378,8 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
             faults,
             retries,
             quarantined,
+            cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
+            budget_high_water: gov.budget.high_water(),
         })
     };
 
@@ -1126,6 +1392,31 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
         .token
         .poison_cause()
         .expect("position found a cause");
+    // Global sequential resume point: every iteration of loops before `l`
+    // plus the committed prefix within `l` (completion is in token order).
+    let committed_global = |l: usize, done: u64| -> u64 {
+        let before: u64 = kernels[..l].iter().map(|k| k.iters()).sum();
+        let within = if done < plans[l].num_chunks() {
+            plans[l].range(done).start
+        } else {
+            kernels[l].iters()
+        };
+        before + within
+    };
+
+    // --- cancelled path: drained clean, never salvaged ---
+    if matches!(cause, PoisonCause::Cancelled { .. }) {
+        if runs
+            .iter()
+            .any(|r| r.salvage_unsound.load(Ordering::Acquire))
+        {
+            let all: Vec<FaultEvent> = runs.iter().flat_map(|r| r.take_faults()).collect();
+            return Err(torn_fallback(&all));
+        }
+        let done = runs[l0].completed.load(Ordering::Acquire);
+        return Err(cancel_error(gov, &cause, committed_global(l0, done)));
+    }
+
     let err = run_error_from(&cause);
     if !tol.salvage
         || runs
@@ -1142,23 +1433,29 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
         let mut faults = runs[l].take_faults();
         let m = plans[l].num_chunks();
         let iters = kernels[l].iters();
-        let done = runs[l].completed.load(Ordering::Acquire);
-        let resume = if done < m {
-            plans[l].range(done).start
-        } else {
-            iters
-        };
+        let mut done = runs[l].completed.load(Ordering::Acquire);
         let t0 = Instant::now();
-        if resume < iters {
-            // SAFETY: all workers joined; single-threaded remainder.
-            let salvage = catch_unwind(AssertUnwindSafe(|| unsafe {
-                kernels[l].execute(resume..iters)
-            }));
-            if salvage.is_err() {
-                return Err(err);
+        if done < m {
+            let salvage_from = done;
+            let resume = plans[l].range(salvage_from).start;
+            // Chunk at a time so a cancellation arriving mid-salvage
+            // still stops at an exact chunk boundary with an accurate
+            // (global) resume point.
+            while done < m {
+                if gov.cancel.is_cancelled() {
+                    gov.cancel.note_observed();
+                    return Err(cancel_error(gov, &cause, committed_global(l, done)));
+                }
+                let r = plans[l].range(done);
+                // SAFETY: all workers joined; single-threaded remainder.
+                let salvage = catch_unwind(AssertUnwindSafe(|| unsafe { kernels[l].execute(r) }));
+                if salvage.is_err() {
+                    return Err(err);
+                }
+                done += 1;
             }
             faults.push(FaultEvent::Salvaged {
-                from_chunk: done,
+                from_chunk: salvage_from,
                 iters: iters - resume,
             });
         }
@@ -1172,6 +1469,8 @@ pub fn try_run_cascaded_sequence_observed<K: RealKernel>(
             faults,
             retries,
             quarantined,
+            cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
+            budget_high_water: gov.budget.high_water(),
         });
     }
     Ok(out)
@@ -1189,18 +1488,22 @@ fn loop_stamps(
     start: &Mutex<Option<Instant>>,
     end: &Mutex<Option<Instant>>,
 ) -> Option<(Instant, Instant)> {
-    let s = (*start.lock().unwrap())?;
-    let e = (*end.lock().unwrap())?;
+    let s = (*lock_recover(start))?;
+    let e = (*lock_recover(end))?;
     Some((s, e))
 }
 
 /// Should the helper for chunk `j` stop and go claim? True when the token
-/// has reached (or passed) `j`, is poisoned, or the roster was remapped —
-/// in the last case `j` may no longer be ours to help for.
+/// has reached (or passed) `j`, is poisoned, the run was cancelled, or
+/// the roster was remapped — in the last case `j` may no longer be ours
+/// to help for.
 #[inline]
-fn helper_jump_out(run: &FtRun, j: u64, epoch: u64) -> bool {
+fn helper_jump_out(run: &FtRun, gov: &Govern, j: u64, epoch: u64) -> bool {
     let raw = run.token.raw();
-    raw == POISONED || Token::chunk_index(raw) >= j || run.roster.epoch() != epoch
+    raw == POISONED
+        || Token::chunk_index(raw) >= j
+        || run.roster.epoch() != epoch
+        || gov.cancel.is_cancelled()
 }
 
 /// What one helper phase accomplished.
@@ -1235,6 +1538,7 @@ fn helper_phase<K: RealKernel>(
     kernel: &K,
     cfg: &RunnerConfig,
     run: &FtRun,
+    gov: &Govern,
     plan: &ChunkPlan,
     j: u64,
     epoch: u64,
@@ -1269,7 +1573,7 @@ fn helper_phase<K: RealKernel>(
         RtPolicy::None => {}
         RtPolicy::Prefetch => {
             let mut i = range.start;
-            while !helper_jump_out(run, j, epoch) && i < range.end {
+            while !helper_jump_out(run, gov, j, epoch) && i < range.end {
                 let batch_end = horizon_cap((i + cfg.poll_batch).min(range.end));
                 if batch_end <= i {
                     // Caught up with the horizon: wait for the token to
@@ -1290,7 +1594,7 @@ fn helper_phase<K: RealKernel>(
             buf.clear();
             let mut i = range.start;
             let mut supported = true;
-            while supported && !helper_jump_out(run, j, epoch) && i < range.end {
+            while supported && !helper_jump_out(run, gov, j, epoch) && i < range.end {
                 let batch_end = horizon_cap((i + cfg.poll_batch).min(range.end));
                 if batch_end <= i {
                     out.horizon_stalls += 1;
@@ -1436,7 +1740,7 @@ fn declare_stall(
                 }
                 RemoveOutcome::NotLive => StallAction::Wait(window),
                 RemoveOutcome::Removed => {
-                    run.retry_from.lock().unwrap().insert(stuck, suspect);
+                    lock_recover(&run.retry_from).insert(stuck, suspect);
                     run.record(FaultEvent::WorkerQuarantined {
                         thread: suspect,
                         chunk: stuck,
@@ -1456,6 +1760,7 @@ fn wait_to_claim(
     run: &FtRun,
     rec: &Recovery,
     tol: &Tolerance,
+    gov: &Govern,
     t: u64,
     j: u64,
     epoch: u64,
@@ -1487,6 +1792,14 @@ fn wait_to_claim(
         if spins.is_multiple_of(1024) {
             if rec.health.is_quarantined(t) {
                 return ChunkClaim::Quarantined;
+            }
+            if gov.cancel.is_cancelled() {
+                // Poisoning while another executor holds a claim is safe:
+                // its `completed` bump precedes the advance the poison
+                // refuses, so the resume point stays exact
+                // (LateCompletion, like a watchdog poison).
+                poison_cancelled(run, gov);
+                return ChunkClaim::Poisoned;
             }
             if let (Some(window), Some(d)) = (tol.watchdog, deadline) {
                 let now = Instant::now();
@@ -1558,7 +1871,7 @@ fn recover_from_panic(
                             chunk: j,
                         });
                     }
-                    run.retry_from.lock().unwrap().insert(j, t);
+                    lock_recover(&run.retry_from).insert(j, t);
                     if !claimed || run.token.try_unclaim(j) {
                         return true;
                     }
@@ -1585,6 +1898,7 @@ fn ft_worker<K: RealKernel>(
     cfg: &RunnerConfig,
     tol: &Tolerance,
     obs: &Observe,
+    gov: &Govern,
     plan: &ChunkPlan,
     run: &FtRun,
     rec: &Recovery,
@@ -1605,6 +1919,13 @@ fn ft_worker<K: RealKernel>(
     let mut cursor = 0u64;
     loop {
         if rec.health.is_quarantined(t) {
+            return phases.finish(stats);
+        }
+        if gov.cancel.is_cancelled() && run.completed.load(Ordering::Acquire) < m {
+            // Cancelled with work still outstanding: drain leader-ward.
+            // (When every chunk already committed the run is complete —
+            // exactly one terminal outcome, so no poison.)
+            poison_cancelled(run, gov);
             return phases.finish(stats);
         }
         // The token position is the lowest unexecuted chunk: never look
@@ -1636,8 +1957,9 @@ fn ft_worker<K: RealKernel>(
 
         // --- helper phase (with jump-out at poll_batch granularity) ---
         phases.transition(PhaseKind::Helper, Some(j));
+        let buf_cap0 = buf.capacity();
         let helper = catch_unwind(AssertUnwindSafe(|| {
-            helper_phase(kernel, cfg, run, plan, j, epoch, &range, &mut buf)
+            helper_phase(kernel, cfg, run, gov, plan, j, epoch, &range, &mut buf)
         }));
         let helper = match helper {
             Ok(out) => out,
@@ -1651,6 +1973,21 @@ fn ft_worker<K: RealKernel>(
                 return phases.finish(stats);
             }
         };
+        // Meter the pack arena's capacity growth (the buffer is long-lived
+        // and amortizes to a steady state, so `used` tracks the peak bytes
+        // it pins). A refusal cancels the run instead of allocating on.
+        let buf_growth = buf.capacity().saturating_sub(buf_cap0) as u64;
+        if !gov.budget.try_reserve(buf_growth) {
+            gov.cancel.cancel_with(
+                CancelKind::Budget {
+                    needed: buf_growth,
+                    limit: gov.budget.limit().unwrap_or(0),
+                },
+                "helper pack-arena growth exceeds the memory budget",
+            );
+            poison_cancelled(run, gov);
+            return phases.finish(stats);
+        }
         stats.helper_iters += helper.helped_iters;
         stats.horizon_stalls += helper.horizon_stalls;
         if helper.jumped_out {
@@ -1668,12 +2005,19 @@ fn ft_worker<K: RealKernel>(
 
         // --- wait for the token and claim the chunk ---
         phases.transition(PhaseKind::Spin, Some(j));
-        let claim = wait_to_claim(run, rec, tol, t, j, epoch);
+        let claim = wait_to_claim(run, rec, tol, gov, t, j, epoch);
         let (claim_ns, _) = phases.transition(PhaseKind::Other, Some(j));
         match claim {
             ChunkClaim::Claimed => {}
             ChunkClaim::Superseded | ChunkClaim::Remapped => continue,
             ChunkClaim::Poisoned | ChunkClaim::Quarantined => return phases.finish(stats),
+        }
+        if gov.cancel.is_cancelled() {
+            // We hold the claim but the body never started: the chunk is
+            // pristine, and poisoning the token discards the claim, so
+            // `j` stays the first uncommitted chunk.
+            poison_cancelled(run, gov);
+            return phases.finish(stats);
         }
         // Handoff latency: the previous executor stamped the grant of `j`
         // before the advance our claim CAS read from, so (Release/Acquire
@@ -1693,6 +2037,7 @@ fn ft_worker<K: RealKernel>(
         // (`journal_ns`), so the exact phase partition is untouched.
         let journaled = if rec.enabled() || tol.salvage {
             let t0 = Instant::now();
+            let jbuf_cap0 = jbuf.capacity();
             // SAFETY: we hold the claim — the same exclusivity contract
             // as `execute` — and capture only reads.
             let cap = catch_unwind(AssertUnwindSafe(|| unsafe {
@@ -1700,6 +2045,22 @@ fn ft_worker<K: RealKernel>(
             }));
             match cap {
                 Ok(captured) => {
+                    // Meter the journal arena's capacity growth (capture
+                    // allocates whether or not it ultimately succeeds).
+                    // The chunk body has not started, so a refusal drains
+                    // with the chunk pristine and uncommitted.
+                    let jbuf_growth = jbuf.capacity().saturating_sub(jbuf_cap0) as u64;
+                    if !gov.budget.try_reserve(jbuf_growth) {
+                        gov.cancel.cancel_with(
+                            CancelKind::Budget {
+                                needed: jbuf_growth,
+                                limit: gov.budget.limit().unwrap_or(0),
+                            },
+                            "undo-journal capture exceeds the memory budget",
+                        );
+                        poison_cancelled(run, gov);
+                        return phases.finish(stats);
+                    }
                     if captured {
                         stats.journal_ns += t0.elapsed().as_nanos();
                         stats.journal_bytes += jbuf.len() as u64;
@@ -1765,11 +2126,64 @@ fn ft_worker<K: RealKernel>(
             return phases.finish(stats);
         }
         let (_, exec_ns) = phases.transition(PhaseKind::Other, Some(j));
+        if gov.cancel.is_cancelled() {
+            // Cancellation raced the chunk body. We still hold the claim,
+            // so abort-must-be-unobservable can hold: roll the journal
+            // back (the chunk reverts to uncommitted, bitwise) or, when
+            // unjournalable, commit the finished chunk — never leave a
+            // half-observed state. The rollback happens *before* the
+            // poison drains the claim (the model checker's seeded
+            // unclaim-before-cancel-rollback bug shows why the order
+            // matters).
+            if journaled {
+                let t0 = Instant::now();
+                // SAFETY: claim still held; `jbuf` is the unmodified
+                // capture of this same range.
+                let rb = catch_unwind(AssertUnwindSafe(|| unsafe {
+                    kernel.journal_rollback(range.clone(), &jbuf)
+                }));
+                stats.journal_ns += t0.elapsed().as_nanos();
+                match rb {
+                    Ok(()) => {
+                        stats.rollbacks += 1;
+                        run.record(FaultEvent::ChunkRolledBack {
+                            thread: t,
+                            chunk: j,
+                            bytes: jbuf.len() as u64,
+                        });
+                        // The chunk is uncommitted again: not counted.
+                    }
+                    Err(payload) => {
+                        // The rollback itself tore the chunk: resuming
+                        // from `completed` could double-apply writes, so
+                        // the supervisor must report the tear instead of
+                        // a clean cancel.
+                        run.record(FaultEvent::WorkerPanicked {
+                            thread: t,
+                            chunk: j,
+                            message: format!(
+                                "journal rollback panicked during cancellation abort: {}",
+                                panic_message(payload.as_ref())
+                            ),
+                        });
+                        run.salvage_unsound.store(true, Ordering::Release);
+                    }
+                }
+            } else {
+                // Unjournalable: the finished chunk cannot be reverted,
+                // so it commits and the resume point moves past it.
+                stats.chunk_exec.record(exec_ns);
+                stats.chunks += 1;
+                run.completed.fetch_max(j + 1, Ordering::AcqRel);
+            }
+            poison_cancelled(run, gov);
+            return phases.finish(stats);
+        }
         stats.chunk_exec.record(exec_ns);
         stats.chunks += 1;
         run.completed.fetch_max(j + 1, Ordering::AcqRel);
         rec.health.heartbeat(t);
-        if let Some(from) = run.retry_from.lock().unwrap().remove(&j) {
+        if let Some(from) = lock_recover(&run.retry_from).remove(&j) {
             if from != t {
                 run.record(FaultEvent::ChunkRetried {
                     chunk: j,
@@ -2429,5 +2843,366 @@ mod tests {
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.quarantined, 0);
         assert_eq!(k.into_data(), expected);
+    }
+
+    /// Chain with an undo journal: capture copies the chunk's write-set
+    /// (`d[i + 1]` for `i` in the range) so a mid-body interruption can
+    /// be rolled back bitwise.
+    struct JChain(Chain);
+    impl RealKernel for JChain {
+        fn iters(&self) -> u64 {
+            self.0.iters()
+        }
+        unsafe fn execute(&self, range: Range<u64>) {
+            // SAFETY: forwarded contract.
+            unsafe { self.0.execute(range) }
+        }
+        unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
+            // SAFETY: capture holds the claim; reads are exclusive.
+            let d = unsafe { &*self.0.data.get() };
+            buf.clear();
+            for i in range {
+                buf.extend_from_slice(&d[i as usize + 1].to_le_bytes());
+            }
+            true
+        }
+        unsafe fn journal_rollback(&self, range: Range<u64>, buf: &[u8]) {
+            // SAFETY: rollback holds the claim; writes are exclusive.
+            let d = unsafe { &mut *self.0.data.get() };
+            for (k, i) in range.enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&buf[k * 8..k * 8 + 8]);
+                d[i as usize + 1] = f64::from_le_bytes(b);
+            }
+        }
+    }
+
+    /// Fires the run's cancel token when execution reaches `at_iter`, so
+    /// governance tests land the cancel inside a known chunk
+    /// deterministically.
+    struct CancelAt<K> {
+        inner: K,
+        at_iter: u64,
+        cancel: CancelToken,
+    }
+    impl<K: RealKernel> RealKernel for CancelAt<K> {
+        fn iters(&self) -> u64 {
+            self.inner.iters()
+        }
+        unsafe fn execute(&self, range: Range<u64>) {
+            if range.contains(&self.at_iter) {
+                self.cancel.cancel("cancelled at a known iteration");
+            }
+            // SAFETY: forwarded contract.
+            unsafe { self.inner.execute(range) }
+        }
+        unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
+            // SAFETY: forwarded contract.
+            unsafe { self.inner.journal_capture(range, buf) }
+        }
+        unsafe fn journal_rollback(&self, range: Range<u64>, buf: &[u8]) {
+            // SAFETY: forwarded contract.
+            unsafe { self.inner.journal_rollback(range, buf) }
+        }
+        fn panics_before_mutation(&self) -> bool {
+            self.inner.panics_before_mutation()
+        }
+    }
+
+    #[test]
+    fn cancel_mid_run_commits_a_clean_prefix_and_resumes_bitwise() {
+        let n = 20_000;
+        let expected = seq_result(n);
+        let cancel = CancelToken::new();
+        let k = CancelAt {
+            inner: Chain::new(n),
+            at_iter: 3_000,
+            cancel: cancel.clone(),
+        };
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 3,
+                iters_per_chunk: 500,
+                policy: RtPolicy::None,
+                poll_batch: 8,
+            },
+            cancel,
+            ..RunConfig::default()
+        };
+        let committed = match try_run_governed(&k, &cfg) {
+            Err(RunError::Cancelled {
+                committed_iters,
+                reason,
+            }) => {
+                assert!(reason.contains("known iteration"), "{reason}");
+                committed_iters
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        };
+        // Chain is unjournalable, so the in-flight chunk (the one holding
+        // iteration 3000) completed whole; nothing past it was touched.
+        assert_eq!(committed, 3_500, "the cancelled chunk commits whole");
+        // SAFETY: the run drained before returning; single-threaded resume.
+        unsafe { k.inner.execute(committed..k.inner.iters()) };
+        assert_eq!(k.inner.into_data(), expected);
+    }
+
+    #[test]
+    fn cancel_rolls_back_the_in_flight_journaled_chunk() {
+        let n = 20_000;
+        let expected = seq_result(n);
+        let cancel = CancelToken::new();
+        let k = CancelAt {
+            inner: JChain(Chain::new(n)),
+            at_iter: 3_000,
+            cancel: cancel.clone(),
+        };
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 500,
+                policy: RtPolicy::None,
+                poll_batch: 8,
+            },
+            // Salvage tolerance turns journaling on.
+            tolerance: Tolerance::resilient(Duration::from_secs(5)),
+            cancel,
+            ..RunConfig::default()
+        };
+        let committed = match try_run_governed(&k, &cfg) {
+            Err(RunError::Cancelled {
+                committed_iters, ..
+            }) => committed_iters,
+            other => panic!("expected Cancelled, got {other:?}"),
+        };
+        // The in-flight chunk was journaled: it rolled back instead of
+        // committing, so the resume point is its own first iteration.
+        assert_eq!(committed, 3_000, "journaled in-flight chunk rolls back");
+        // SAFETY: the run drained before returning; single-threaded resume.
+        unsafe { k.inner.0.execute(committed..k.inner.iters()) };
+        assert_eq!(k.inner.0.into_data(), expected);
+    }
+
+    #[test]
+    fn deadline_cancels_and_the_error_carries_the_resume_point() {
+        struct SlowChain(Chain);
+        impl RealKernel for SlowChain {
+            fn iters(&self) -> u64 {
+                self.0.iters()
+            }
+            unsafe fn execute(&self, range: Range<u64>) {
+                std::thread::sleep(Duration::from_millis(2));
+                // SAFETY: forwarded contract.
+                unsafe { self.0.execute(range) }
+            }
+        }
+        let n = 2_001; // 20 chunks, ~2 ms each: far slower than the deadline
+        let expected = seq_result(n);
+        let k = SlowChain(Chain::new(n));
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            },
+            deadline: Some(Duration::from_millis(8)),
+            ..RunConfig::default()
+        };
+        match try_run_governed(&k, &cfg) {
+            Err(RunError::DeadlineExceeded {
+                deadline,
+                committed_iters,
+            }) => {
+                assert_eq!(deadline, Duration::from_millis(8));
+                assert_eq!(committed_iters % 100, 0, "resume at a chunk boundary");
+                assert!(committed_iters < k.iters());
+                // SAFETY: the run drained; single-threaded resume.
+                unsafe { k.0.execute(committed_iters..k.0.iters()) };
+                assert_eq!(k.0.into_data(), expected);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_refusal_is_typed_and_leaves_a_clean_prefix() {
+        let n = 20_000;
+        let expected = seq_result(n);
+        let k = JChain(Chain::new(n));
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 500,
+                policy: RtPolicy::None,
+                poll_batch: 8,
+            },
+            // Salvage tolerance turns journaling on; one 500-iteration
+            // journal needs 4000 B, far over the limit.
+            tolerance: Tolerance::resilient(Duration::from_secs(5)),
+            budget: MemBudget::limited(1024),
+            ..RunConfig::default()
+        };
+        match try_run_governed(&k, &cfg) {
+            Err(RunError::BudgetExceeded {
+                needed,
+                limit,
+                committed_iters,
+            }) => {
+                assert_eq!(limit, 1024);
+                assert!(needed > 1024, "refused reservation was {needed} B");
+                // SAFETY: the run drained; single-threaded resume.
+                unsafe { k.0.execute(committed_iters..k.iters()) };
+                assert_eq!(k.0.into_data(), expected);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_run_rejects_watchdog_longer_than_deadline() {
+        let k = Chain::new(1_000);
+        let cfg = RunConfig {
+            tolerance: Tolerance::resilient(Duration::from_secs(10)),
+            deadline: Some(Duration::from_millis(100)),
+            ..RunConfig::default()
+        };
+        match try_run_governed(&k, &cfg) {
+            Err(RunError::InvalidConfig(msg)) => assert!(msg.contains("watchdog"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_late_cancellation_leaves_a_completed_run() {
+        let n = 2_000;
+        let expected = seq_result(n);
+        let cancel = CancelToken::new();
+        let k = Chain::new(n);
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            },
+            cancel: cancel.clone(),
+            ..RunConfig::default()
+        };
+        let stats = try_run_governed(&k, &cfg).expect("uncancelled run completes");
+        assert!(!stats.degraded);
+        // Exactly one terminal outcome: a cancel arriving after completion
+        // changes nothing about the already-returned result.
+        cancel.cancel("after the fact");
+        assert_eq!(k.into_data(), expected);
+    }
+
+    #[test]
+    fn journaled_mid_mutation_panic_rolls_back_then_salvages_in_order() {
+        let n = 4_000;
+        let expected = seq_result(n);
+        let plan = FaultPlan::new(100).inject(5, FaultKind::PanicMidMutation { after_iters: 30 });
+        let k = FaultyKernel::new(JChain(Chain::new(n)), plan);
+        let cfg = RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 100,
+            policy: RtPolicy::None,
+            poll_batch: 4,
+        };
+        let stats = try_run_cascaded(&k, &cfg, &Tolerance::resilient(Duration::from_millis(50)))
+            .expect("journaled chunk must salvage");
+        assert!(stats.degraded, "salvage marks the run degraded");
+        let pos = |pred: &dyn Fn(&FaultEvent) -> bool| {
+            stats
+                .faults
+                .iter()
+                .position(pred)
+                .unwrap_or_else(|| panic!("missing event in {:?}", stats.faults))
+        };
+        let rb = pos(&|f| matches!(f, FaultEvent::ChunkRolledBack { chunk: 5, .. }));
+        let wp = pos(&|f| matches!(f, FaultEvent::WorkerPanicked { chunk: 5, .. }));
+        let sv = pos(&|f| matches!(f, FaultEvent::Salvaged { from_chunk: 5, .. }));
+        assert!(
+            rb < wp && wp < sv,
+            "rollback precedes the panic record, salvage last: {:?}",
+            stats.faults
+        );
+        assert_eq!(k.into_inner().0.into_data(), expected);
+    }
+
+    #[test]
+    fn cancel_during_sequential_salvage_reports_an_exact_resume_point() {
+        let n = 4_001; // 40 chunks of 100 iterations
+        let expected = seq_result(n);
+        let cancel = CancelToken::new();
+        // Fail-stop panic on chunk 2 sends the run to sequential salvage;
+        // the cancel fires only when salvage reaches iteration 1550
+        // (chunk 15) — the cascade never gets that far.
+        let plan = FaultPlan::new(100).inject(2, FaultKind::Panic);
+        let k = CancelAt {
+            inner: FaultyKernel::new(Chain::new(n), plan),
+            at_iter: 1_550,
+            cancel: cancel.clone(),
+        };
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            },
+            tolerance: Tolerance::resilient(Duration::from_millis(50)),
+            cancel,
+            ..RunConfig::default()
+        };
+        match try_run_governed(&k, &cfg) {
+            Err(RunError::Cancelled {
+                committed_iters, ..
+            }) => {
+                // Salvage runs chunk at a time: the chunk holding
+                // iteration 1550 completes (the cancel fires inside its
+                // execute) and the next pre-chunk check stops the loop.
+                assert_eq!(committed_iters, 1_600);
+                let chain = k.inner.into_inner();
+                // SAFETY: salvage stopped; single-threaded resume.
+                unsafe { chain.execute(committed_iters..chain.iters()) };
+                assert_eq!(chain.into_data(), expected);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_cancellation_reports_a_global_resume_point() {
+        // Three loops of 2000 iterations; the cancel fires inside loop 1
+        // at iteration 550.
+        let cancel = CancelToken::new();
+        let kernels: Vec<CancelAt<Chain>> = (0..3)
+            .map(|l| CancelAt {
+                inner: Chain::new(2_001),
+                at_iter: if l == 1 { 550 } else { u64::MAX },
+                cancel: cancel.clone(),
+            })
+            .collect();
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 100,
+                policy: RtPolicy::None,
+                poll_batch: 4,
+            },
+            cancel,
+            ..RunConfig::default()
+        };
+        match try_run_governed_sequence(&kernels, &cfg) {
+            Err(RunError::Cancelled {
+                committed_iters, ..
+            }) => {
+                // Global resume point: all of loop 0 (2000 iters) plus
+                // loop 1 through the chunk holding iteration 550.
+                assert_eq!(committed_iters, 2_000 + 600);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 }

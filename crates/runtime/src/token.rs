@@ -41,6 +41,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// Lock a mutex, recovering the guard when the mutex was poisoned by a
+/// panicking holder. Every runtime-internal mutex guards plain data whose
+/// invariants hold between statements (fault logs, roster membership,
+/// backoff stamps), so a panic mid-critical-section cannot leave it torn —
+/// recovering is always sound here, and it keeps one panicking worker from
+/// cascading `PoisonError` panics through every survivor that touches the
+/// same lock.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Pads and aligns a value to 128 bytes (two x86-64 prefetch-pair lines)
 /// so the token never false-shares a cache line with neighbouring state.
 /// Local replacement for `crossbeam::utils::CachePadded` — the offline
@@ -75,6 +86,13 @@ pub enum PoisonCause {
         /// How long the token sat on that chunk before poisoning.
         waited: Duration,
     },
+    /// The run was cancelled cooperatively (user cancel, run deadline, or
+    /// memory-budget refusal — the governance layer in `cascade_rt::govern`
+    /// records which).
+    Cancelled {
+        /// Human-readable reason recorded by the canceller.
+        reason: String,
+    },
     /// Poisoned via the legacy diagnostic-free [`Token::poison`].
     Unspecified,
 }
@@ -97,6 +115,9 @@ impl std::fmt::Display for PoisonCause {
                     f,
                     "no progress on chunk {chunk} for {waited:?} (stall declared)"
                 )
+            }
+            PoisonCause::Cancelled { reason } => {
+                write!(f, "run cancelled: {reason}")
             }
             PoisonCause::Unspecified => write!(f, "poisoned without diagnostic"),
         }
@@ -169,7 +190,7 @@ impl Token {
     /// one installed — lets the winning caller alone record a fault event.
     pub fn poison_with(&self, cause: PoisonCause) -> bool {
         let installed = {
-            let mut slot = self.cause.lock().unwrap();
+            let mut slot = lock_recover(&self.cause);
             if slot.is_none() {
                 *slot = Some(cause);
                 true
@@ -193,9 +214,7 @@ impl Token {
             return None;
         }
         Some(
-            self.cause
-                .lock()
-                .unwrap()
+            lock_recover(&self.cause)
                 .clone()
                 .unwrap_or(PoisonCause::Unspecified),
         )

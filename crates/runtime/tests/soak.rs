@@ -1,0 +1,199 @@
+//! Governance soak: a timed storm of concurrent cancellation, deadlines,
+//! memory budgets, and injected faults against the fault-tolerant
+//! runtime. Each iteration races a canceller thread (or an armed
+//! deadline, or a tight memory budget) against a randomized fault plan
+//! across all three tolerances, and requires the clean-state guarantee
+//! to hold every time: a successful run is bitwise sequential-identical,
+//! a governed abort reports the exact committed prefix and resuming
+//! sequentially from it is bitwise identical, and every other outcome is
+//! a typed error — never a hang, never silent corruption.
+//!
+//! The storm runs for `CASCADE_SOAK_SECS` seconds (default 2 — a smoke
+//! run; CI's soak-smoke job raises it) with a hard per-iteration shape
+//! that keeps a single pass well under a second.
+
+use std::time::{Duration, Instant};
+
+use cascade_rt::{
+    try_run_governed, CancelToken, FaultKind, FaultPlan, FaultyKernel, MemBudget, RealKernel,
+    RtPolicy, RunConfig, RunError, RunnerConfig, SpecProgram, Tolerance,
+};
+use cascade_synth::{Synth, Variant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: u64 = 1 << 12;
+const CHUNK_ITERS: u64 = 64;
+const WATCHDOG: Duration = Duration::from_millis(25);
+const STALL: Duration = Duration::from_millis(40);
+
+fn sequential_checksum(variant: Variant) -> u64 {
+    let s = Synth::build(N, variant, 99);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+    let k = prog.kernel(0);
+    // SAFETY: single-threaded.
+    unsafe { k.execute(0..k.iters()) };
+    prog.checksum()
+}
+
+fn random_plan(rng: &mut StdRng, num_chunks: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(CHUNK_ITERS);
+    // Roughly half the iterations run fault-free so the storm also
+    // samples pure-governance schedules.
+    for _ in 0..rng.gen_range(0..=2usize) {
+        let chunk = rng.gen_range(0..num_chunks);
+        let kind = match rng.gen_range(0..4u32) {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Stall(STALL),
+            2 => FaultKind::Slowdown(Duration::from_millis(rng.gen_range(1..3u64))),
+            _ => FaultKind::PanicMidMutation {
+                after_iters: rng.gen_range(1..CHUNK_ITERS),
+            },
+        };
+        plan = plan.inject(chunk, kind);
+    }
+    plan
+}
+
+fn tolerance_for(case: u64) -> Tolerance {
+    match case % 3 {
+        0 => Tolerance {
+            watchdog: Some(WATCHDOG),
+            retry: None,
+            salvage: false,
+        },
+        1 => Tolerance::retrying(WATCHDOG),
+        _ => Tolerance::resilient(WATCHDOG),
+    }
+}
+
+/// The storm loop. Iterations are bounded by wall clock, not count, so
+/// the harness scales from a 2 s smoke run to a CI soak without edits.
+#[test]
+fn governance_storm_never_corrupts_and_always_resumes() {
+    let secs: u64 = std::env::var("CASCADE_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut rng = StdRng::seed_from_u64(0x50AC);
+    let mut iterations = 0u64;
+    let mut governed_aborts = 0u64;
+    let mut completions = 0u64;
+    let mut typed = 0u64;
+    while Instant::now() < deadline {
+        let case = iterations;
+        let variant = if case.is_multiple_of(2) {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let expected = sequential_checksum(variant);
+        let nthreads = rng.gen_range(1..=4usize);
+        let policy = match rng.gen_range(0..3u32) {
+            0 => RtPolicy::None,
+            1 => RtPolicy::Prefetch,
+            _ => RtPolicy::Restructure,
+        };
+        let s = Synth::build(N, variant, 99);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let num_chunks = prog.workload().loops[0].iters.div_ceil(CHUNK_ITERS);
+        let plan = random_plan(&mut rng, num_chunks);
+        let cfg = RunnerConfig {
+            nthreads,
+            iters_per_chunk: CHUNK_ITERS,
+            policy,
+            poll_batch: 8,
+        };
+        let token = CancelToken::new();
+        // Rotate the governance pressure: external canceller thread,
+        // armed deadline, or a tight memory budget.
+        let (run_deadline, budget, canceller) = match case % 3 {
+            0 => {
+                let token = token.clone();
+                let delay = Duration::from_micros(rng.gen_range(0..5_000u64));
+                let h = std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    token.cancel("soak canceller");
+                });
+                (None, MemBudget::unlimited(), Some(h))
+            }
+            1 => {
+                let d = Duration::from_micros(rng.gen_range(200..4_000u64));
+                (Some(d), MemBudget::unlimited(), None)
+            }
+            _ => {
+                let limit = rng.gen_range(256..32_768u64);
+                (None, MemBudget::limited(limit), None)
+            }
+        };
+        let mut tolerance = tolerance_for(case);
+        if let (Some(d), Some(w)) = (run_deadline, tolerance.watchdog) {
+            // A watchdog longer than the deadline is a config error.
+            tolerance.watchdog = Some(w.min(d));
+        }
+        let run_cfg = RunConfig {
+            runner: cfg,
+            tolerance,
+            deadline: run_deadline,
+            budget,
+            cancel: token,
+            ..RunConfig::default()
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan.clone());
+        let result = try_run_governed(&faulty, &run_cfg);
+        drop(faulty);
+        if let Some(h) = canceller {
+            let _ = h.join();
+        }
+        match result {
+            Ok(_) => {
+                assert_eq!(
+                    prog.checksum(),
+                    expected,
+                    "case {case}: threads {nthreads}, plan {plan:?} — \
+                     run reported success but the result diverged"
+                );
+                completions += 1;
+            }
+            Err(
+                RunError::Cancelled {
+                    committed_iters, ..
+                }
+                | RunError::DeadlineExceeded {
+                    committed_iters, ..
+                }
+                | RunError::BudgetExceeded {
+                    committed_iters, ..
+                },
+            ) => {
+                // The clean-state guarantee: finish sequentially from the
+                // reported prefix, bitwise.
+                {
+                    let k = prog.kernel(0);
+                    // SAFETY: every worker drained before the error returned.
+                    unsafe { k.execute(committed_iters..k.iters()) };
+                }
+                assert_eq!(
+                    prog.checksum(),
+                    expected,
+                    "case {case}: threads {nthreads}, plan {plan:?} — \
+                     resume from iter {committed_iters} diverged"
+                );
+                governed_aborts += 1;
+            }
+            Err(RunError::WorkerPanicked { .. } | RunError::Stalled { .. }) => {
+                typed += 1;
+            }
+            Err(other) => panic!("case {case}: unexpected error {other}"),
+        }
+        iterations += 1;
+    }
+    assert!(iterations > 0, "the storm never ran");
+    // Sanity on coverage, not exact counts (timing-dependent): the storm
+    // must see at least one of each broad outcome class over a full run.
+    eprintln!(
+        "soak: {iterations} iterations — {completions} completed, \
+         {governed_aborts} governed aborts, {typed} typed errors"
+    );
+}
