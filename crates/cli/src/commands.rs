@@ -1,5 +1,6 @@
 //! The `cascade` subcommands.
 
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use cascade_analyze::{analyze_workload, WorkloadReport};
@@ -9,9 +10,9 @@ use cascade_core::{
 };
 use cascade_mem::{machines, MachineConfig};
 use cascade_rt::{
-    try_run_cascaded, try_run_cascaded_observed, try_run_governed, CancelToken, FaultEvent,
-    FaultKind, FaultPlan, FaultyKernel, Observe, RealKernel, RetryPolicy, RtPolicy, RunConfig,
-    RunError, RunnerConfig, SpecProgram, Tolerance,
+    ckpt, try_run_cascaded, try_run_cascaded_observed, try_run_governed, CancelToken, CkptMeta,
+    CkptPolicy, CkptSink, CkptWriter, FaultEvent, FaultKind, FaultPlan, FaultyKernel, Observe,
+    RealKernel, RetryPolicy, RtPolicy, RunConfig, RunError, RunnerConfig, SpecProgram, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
@@ -107,6 +108,25 @@ USAGE:
                            cancelled run must report the exact committed
                            prefix, and resuming sequentially from it must
                            be bitwise identical to straight sequential
+        --kill             kill-restart storm instead: fork checkpointing
+                           child runs, SIGKILL each at a random point,
+                           resume from the surviving checkpoint and gate
+                           on bitwise equality with an uninterrupted
+                           sequential run
+          --plans N        kill trials (default 6)
+          --every is sampled per trial; --throttle-us N slows child
+          chunks (default 300) so kills land mid-run; --kill-dir D keeps
+          checkpoint dirs under D (default: temp, removed on success)
+
+  cascade resume [options]
+      Restore a checkpointed run (written by a durable run or chaos
+      --kill) and finish the loop sequentially from the committed
+      prefix. Corrupted, torn or stale checkpoints are refused with a
+      typed error — never silently resumed.
+        --dir D            checkpoint directory (required)
+        --verify           also replay the whole loop from the pristine
+                           base snapshot and require the resumed state to
+                           match bitwise (exit 1 on divergence)
 
   cascade sweep [options]
       Sweep one parameter of the simulated cascade.
@@ -375,7 +395,8 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
 
     // Sequential reference.
     let expected = {
-        let mut prog = SpecProgram::new(workload.clone(), arena.clone()).unwrap();
+        let mut prog = SpecProgram::new(workload.clone(), arena.clone())
+            .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
         let t0 = std::time::Instant::now();
         for i in 0..prog.num_loops() {
             let k = prog.kernel(i);
@@ -384,7 +405,8 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
         (prog.checksum(), t0.elapsed())
     };
 
-    let mut prog = SpecProgram::new(workload, arena).unwrap();
+    let mut prog = SpecProgram::new(workload, arena)
+        .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
     let cfg = RunnerConfig {
         nthreads: threads,
         iters_per_chunk: chunk_iters,
@@ -536,6 +558,41 @@ pub fn metrics(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// The synthetic chaos workloads are generated by this tool, so an
+/// analyzer rejection is a bug in cascade, not in the invocation.
+fn synth_rejected(e: impl std::fmt::Display) -> ArgError {
+    ArgError::internal(format!("synthetic workload rejected by the analyzer: {e}"))
+}
+
+/// Map a `--tolerance` name onto the runtime's recovery ladder.
+fn tolerance_from(
+    name: &str,
+    window: Duration,
+    retry_budget: u64,
+    retry_backoff: Duration,
+) -> Result<Tolerance, ArgError> {
+    match name {
+        "salvage" => Ok(Tolerance::resilient(window)),
+        "retry" => Ok(Tolerance {
+            watchdog: Some(window),
+            retry: Some(RetryPolicy {
+                budget: retry_budget,
+                backoff: retry_backoff,
+                ..RetryPolicy::default()
+            }),
+            salvage: true,
+        }),
+        "fail-fast" => Ok(Tolerance {
+            watchdog: Some(window),
+            retry: None,
+            salvage: false,
+        }),
+        other => Err(ArgError::usage(format!(
+            "--tolerance: unknown policy '{other}' (retry|salvage|fail-fast)"
+        ))),
+    }
+}
+
 /// Deterministic splitmix64 step — the CLI avoids external RNG crates.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e3779b97f4a7c15);
@@ -547,6 +604,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// `cascade chaos`
 pub fn chaos(args: &Args) -> Result<String, ArgError> {
+    if args.flag("kill") {
+        return chaos_kill(args);
+    }
     let n = args.get_num("n", 16_384u64)?;
     let seed = args.get_num("seed", 42u64)?;
     let plans = args.get_num("plans", 20u64)?;
@@ -567,28 +627,12 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
         return Err(ArgError::usage("--max-threads must be positive"));
     }
     let window = Duration::from_millis(watchdog_ms);
-    let tol = match tolerance.as_str() {
-        "salvage" => Tolerance::resilient(window),
-        "retry" => Tolerance {
-            watchdog: Some(window),
-            retry: Some(RetryPolicy {
-                budget: retry_budget,
-                backoff: Duration::from_millis(retry_backoff_ms),
-                ..RetryPolicy::default()
-            }),
-            salvage: true,
-        },
-        "fail-fast" => Tolerance {
-            watchdog: Some(window),
-            retry: None,
-            salvage: false,
-        },
-        other => {
-            return Err(ArgError::usage(format!(
-                "--tolerance: unknown policy '{other}' (retry|salvage|fail-fast)"
-            )))
-        }
-    };
+    let tol = tolerance_from(
+        &tolerance,
+        window,
+        retry_budget,
+        Duration::from_millis(retry_backoff_ms),
+    )?;
     let retrying = tol.retry.is_some();
 
     // Injected faults are ordinary panics; without this the default hook
@@ -604,14 +648,14 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
     let _hook = HookGuard;
 
     // One sequential reference checksum per workload variant.
-    let expected = |variant: Variant| -> u64 {
+    let expected = |variant: Variant| -> Result<u64, ArgError> {
         let s = Synth::build(n, variant, seed);
-        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
         let k = prog.kernel(0);
         cascade_rt::run_sequential(&k);
-        prog.checksum()
+        Ok(prog.checksum())
     };
-    let reference = [expected(Variant::Dense), expected(Variant::Sparse)];
+    let reference = [expected(Variant::Dense)?, expected(Variant::Sparse)?];
 
     let mut rng = seed ^ 0x000F_A170_FA17_C0DE_u64;
     let mut clean = 0u64;
@@ -648,7 +692,7 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
             _ => RtPolicy::Restructure,
         };
         let s = Synth::build(n, variant, seed);
-        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
         let num_chunks = prog.workload().loops[0].iters.div_ceil(chunk_iters).max(1);
         let mut plan = FaultPlan::new(chunk_iters);
         let mut injected = Vec::new();
@@ -830,6 +874,378 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
         )));
     }
     out.push_str("recovery verdict: no hangs, no silent corruption\n");
+    Ok(out)
+}
+
+/// Wraps a kernel so every chunk execution takes a bounded minimum wall
+/// time. `cascade chaos --kill` needs SIGKILL to land *mid-run* with
+/// useful probability, and the synthetic loops are otherwise too fast
+/// for the kill window to sample interesting commit boundaries.
+struct ThrottledKernel<K> {
+    inner: K,
+    delay: Duration,
+}
+
+impl<K: RealKernel> RealKernel for ThrottledKernel<K> {
+    fn iters(&self) -> u64 {
+        self.inner.iters()
+    }
+
+    unsafe fn execute(&self, range: std::ops::Range<u64>) {
+        std::thread::sleep(self.delay);
+        self.inner.execute(range)
+    }
+
+    fn prefetch_iter(&self, i: u64) {
+        self.inner.prefetch_iter(i)
+    }
+
+    fn prefetch_bytes_per_iter(&self) -> u64 {
+        self.inner.prefetch_bytes_per_iter()
+    }
+
+    fn pack_iter(&self, i: u64, buf: &mut Vec<u8>) -> bool {
+        self.inner.pack_iter(i, buf)
+    }
+
+    unsafe fn execute_packed(&self, range: std::ops::Range<u64>, buf: &[u8]) {
+        std::thread::sleep(self.delay);
+        self.inner.execute_packed(range, buf)
+    }
+
+    fn helper_horizon(&self) -> Option<u64> {
+        self.inner.helper_horizon()
+    }
+
+    fn panics_before_mutation(&self) -> bool {
+        self.inner.panics_before_mutation()
+    }
+
+    unsafe fn journal_capture(&self, range: std::ops::Range<u64>, buf: &mut Vec<u8>) -> bool {
+        self.inner.journal_capture(range, buf)
+    }
+
+    unsafe fn journal_rollback(&self, range: std::ops::Range<u64>, buf: &[u8]) {
+        self.inner.journal_rollback(range, buf)
+    }
+}
+
+/// Hidden subcommand: the child half of `cascade chaos --kill`. Runs one
+/// governed synthetic loop with checkpointing enabled and a throttled
+/// kernel, persisting checkpoints into `--dir` until the parent SIGKILLs
+/// the process (or the run finishes first). Not part of the public
+/// surface — the parent invokes it through its own executable.
+pub fn ckpt_run(args: &Args) -> Result<String, ArgError> {
+    let dir = args
+        .get_opt("dir")
+        .ok_or_else(|| ArgError::usage("ckpt-run: --dir is required"))?;
+    let n = args.get_num("n", 4096u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let threads = args.get_num("threads", 2usize)?;
+    let chunk_iters = args.get_num("chunk-iters", 64u64)?;
+    let every = args.get_num("every", 1u64)?;
+    let throttle_us = args.get_num("throttle-us", 0u64)?;
+    let watchdog_ms = args.get_num("watchdog-ms", 25u64)?;
+    let retry_budget = args.get_num("retry-budget", 4u64)?;
+    let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
+    let tol = tolerance_from(
+        &args.get("tolerance", "salvage"),
+        Duration::from_millis(watchdog_ms),
+        retry_budget,
+        Duration::from_millis(retry_backoff_ms),
+    )?;
+    let variant = match args.get("variant", "dense").as_str() {
+        "dense" => Variant::Dense,
+        "sparse" => Variant::Sparse,
+        other => {
+            return Err(ArgError::usage(format!(
+                "ckpt-run: unknown variant '{other}' (dense|sparse)"
+            )))
+        }
+    };
+    args.reject_unknown()?;
+
+    let s = Synth::build(n, variant, seed);
+    let text = to_text(&s.workload);
+    let base = s.arena.bytes().to_vec();
+    let iters = s.workload.loops[0].iters;
+    let prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+    let writer = CkptWriter::create(
+        Path::new(&dir),
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters,
+            iters_per_chunk: chunk_iters,
+        },
+        &base,
+    )
+    .map_err(|e| ArgError::usage(format!("ckpt-run: --dir {dir}: {e}")))?;
+    let kernel = ThrottledKernel {
+        inner: prog.kernel(0),
+        delay: Duration::from_micros(throttle_us),
+    };
+    let cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: threads,
+            iters_per_chunk: chunk_iters,
+            policy: RtPolicy::Restructure,
+            poll_batch: 8,
+        },
+        tolerance: tol,
+        ckpt: CkptPolicy::EveryChunks(every),
+        ckpt_sink: Some(CkptSink::new(writer)),
+        ..RunConfig::default()
+    };
+    let stats = try_run_governed(&kernel, &cfg)
+        .map_err(|e| ArgError::verification(format!("ckpt-run: {e}")))?;
+    Ok(format!("ckpt-run complete: {} chunks\n", stats.chunks))
+}
+
+/// `cascade chaos --kill`: kill-restart recovery trials. Each trial forks
+/// this executable as a checkpointing child run, SIGKILLs it at a
+/// randomized point, resumes from whatever checkpoint survived, finishes
+/// the loop sequentially, and gates on bitwise equality with an
+/// uninterrupted sequential run.
+fn chaos_kill(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 4096u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let plans = args.get_num("plans", 6u64)?;
+    let max_threads = args.get_num("max-threads", 3usize)?;
+    let chunk_iters = args.get_num("chunk-iters", 64u64)?;
+    let tolerance = args.get("tolerance", "salvage");
+    let watchdog_ms = args.get_num("watchdog-ms", 25u64)?;
+    let retry_budget = args.get_num("retry-budget", 4u64)?;
+    let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
+    let throttle_us = args.get_num("throttle-us", 300u64)?;
+    let kill_dir = args.get_opt("kill-dir");
+    let exe = args.get_opt("exe").map(PathBuf::from);
+    let _ = args.flag("kill");
+    args.reject_unknown()?;
+    if plans == 0 {
+        return Err(ArgError::usage("--plans must be positive"));
+    }
+    if max_threads == 0 {
+        return Err(ArgError::usage("--max-threads must be positive"));
+    }
+    if chunk_iters == 0 || chunk_iters >= n {
+        return Err(ArgError::usage("--chunk-iters must be in 1..n"));
+    }
+    // Validate the name up front; the child re-parses its own copy.
+    tolerance_from(
+        &tolerance,
+        Duration::from_millis(watchdog_ms),
+        retry_budget,
+        Duration::from_millis(retry_backoff_ms),
+    )?;
+    let exe = match exe {
+        Some(p) => p,
+        None => std::env::current_exe()
+            .map_err(|e| ArgError::internal(format!("chaos --kill: current_exe: {e}")))?,
+    };
+    let base_dir = match &kill_dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("cascade-kill-{}", std::process::id())),
+    };
+
+    let mut rng = seed ^ 0x0000_51C4_11ED_0009_u64; // 9 = SIGKILL
+    let mut out = format!(
+        "kill-restart storm: {plans} trials, threads 1..={max_threads}, \
+         {chunk_iters} iters/chunk, tolerance {tolerance}, checkpoints under {}\n",
+        base_dir.display()
+    );
+    let mut resumed = 0u64;
+    let mut cold = 0u64;
+    let mut diverged = 0u64;
+    for t in 0..plans {
+        let variant = if t % 2 == 0 {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let child_seed = seed.wrapping_add(t);
+        let nthreads = 1 + (splitmix64(&mut rng) as usize) % max_threads;
+        let every = 1 + splitmix64(&mut rng) % 2;
+        let dir = base_dir.join(format!("trial-{t:02}"));
+
+        // Uninterrupted sequential reference: full arena bytes, not just
+        // a checksum — the acceptance bar is bitwise equality.
+        let want = {
+            let s = Synth::build(n, variant, child_seed);
+            let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+            {
+                let k = prog.kernel(0);
+                cascade_rt::run_sequential(&k);
+            }
+            prog.arena_mut().bytes().to_vec()
+        };
+
+        let mut child = std::process::Command::new(&exe)
+            .args([
+                "ckpt-run",
+                "--dir",
+                &dir.display().to_string(),
+                "--n",
+                &n.to_string(),
+                "--seed",
+                &child_seed.to_string(),
+                "--variant",
+                if t % 2 == 0 { "dense" } else { "sparse" },
+                "--threads",
+                &nthreads.to_string(),
+                "--chunk-iters",
+                &chunk_iters.to_string(),
+                "--every",
+                &every.to_string(),
+                "--throttle-us",
+                &throttle_us.to_string(),
+                "--tolerance",
+                &tolerance,
+                "--watchdog-ms",
+                &watchdog_ms.to_string(),
+                "--retry-budget",
+                &retry_budget.to_string(),
+                "--retry-backoff-ms",
+                &retry_backoff_ms.to_string(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| ArgError::internal(format!("chaos --kill: spawn {exe:?}: {e}")))?;
+        // Kill anywhere from before the manifest exists to after the run
+        // finished: every point must recover.
+        let chunks_total = n.div_ceil(chunk_iters);
+        let horizon_us = 2_000 + chunks_total * throttle_us * 2;
+        std::thread::sleep(Duration::from_micros(splitmix64(&mut rng) % horizon_us));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        let (got, note) = if dir.join("MANIFEST").exists() {
+            // A published manifest must load, restore, and finish — any
+            // failure past this point is a durability bug, not bad luck.
+            let ck = ckpt::load(&dir).map_err(|e| {
+                ArgError::verification(format!(
+                    "chaos --kill: trial {t}: published checkpoint rejected: {e} \
+                     (dir kept at {})",
+                    dir.display()
+                ))
+            })?;
+            let committed = ck.committed_iters();
+            let (mut prog, at) = ck.into_program().map_err(|e| {
+                ArgError::verification(format!(
+                    "chaos --kill: trial {t}: restore failed: {e} (dir kept at {})",
+                    dir.display()
+                ))
+            })?;
+            {
+                let k = prog.kernel(0);
+                // SAFETY: the child is dead; this is the documented
+                // single-threaded sequential resume.
+                unsafe { k.execute(at..k.iters()) };
+            }
+            resumed += 1;
+            (
+                prog.arena_mut().bytes().to_vec(),
+                format!("resumed from iter {committed}"),
+            )
+        } else {
+            // Killed before the writer published anything: the contract
+            // degrades to a cold restart, which must still match.
+            let s = Synth::build(n, variant, child_seed);
+            let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+            {
+                let k = prog.kernel(0);
+                cascade_rt::run_sequential(&k);
+            }
+            cold += 1;
+            (
+                prog.arena_mut().bytes().to_vec(),
+                "no checkpoint published; restarted from scratch".to_string(),
+            )
+        };
+        let ok = got == want;
+        if !ok {
+            diverged += 1;
+        }
+        out.push_str(&format!(
+            "  trial {t:>2}: {nthreads} threads, every {every} chunks, {note} -> {}\n",
+            if ok { "bitwise identical" } else { "DIVERGED" }
+        ));
+        if ok {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    out.push_str(&format!(
+        "summary: {resumed} resumed from checkpoint, {cold} cold restarts, {diverged} diverged\n"
+    ));
+    if diverged > 0 {
+        return Err(ArgError::verification(format!(
+            "chaos --kill: {diverged} of {plans} trials diverged after kill-restart \
+             (checkpoint dirs kept under {})\n{out}",
+            base_dir.display()
+        )));
+    }
+    if kill_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+    out.push_str("kill-restart verdict: every sampled SIGKILL point recovered bitwise\n");
+    Ok(out)
+}
+
+/// `cascade resume`
+pub fn resume(args: &Args) -> Result<String, ArgError> {
+    let dir = args
+        .get_opt("dir")
+        .ok_or_else(|| ArgError::usage("resume: --dir is required"))?;
+    let verify = args.flag("verify");
+    args.reject_unknown()?;
+
+    let ck =
+        ckpt::load(Path::new(&dir)).map_err(|e| ArgError::usage(format!("--dir {dir}: {e}")))?;
+    let meta = ck.meta();
+    let committed = ck.committed_iters();
+    let chunks = ck.committed_chunks();
+    let deltas = ck.num_deltas();
+    let verify_src = verify.then(|| (ck.workload_text().to_string(), ck.base_bytes().to_vec()));
+    let (mut prog, at) = ck
+        .into_program()
+        .map_err(|e| ArgError::usage(format!("--dir {dir}: {e}")))?;
+    let total = {
+        let k = prog.kernel(meta.loop_index);
+        // SAFETY: single-threaded — the documented sequential resume.
+        unsafe { k.execute(at..k.iters()) };
+        k.iters()
+    };
+    let sum = prog.checksum();
+    let mut out = format!(
+        "resumed {dir}: loop {}, {committed}/{total} iterations checkpointed \
+         ({chunks} chunks, {deltas} deltas)\n\
+         finished sequentially from iteration {at}; checksum {sum:016x}\n",
+        meta.loop_index
+    );
+    if let Some((text, base)) = verify_src {
+        // Replay the whole loop from the pristine base snapshot: the
+        // checkpointed prefix plus the sequential tail must be
+        // indistinguishable from never having crashed.
+        let w =
+            from_text(&text).map_err(|e| ArgError::usage(format!("--dir {dir}: workload: {e}")))?;
+        let mut fresh = SpecProgram::new(w, Arena::from_bytes(base)).map_err(|e| {
+            ArgError::usage(format!(
+                "--dir {dir}: workload rejected by the analyzer: {e}"
+            ))
+        })?;
+        {
+            let k = fresh.kernel(meta.loop_index);
+            cascade_rt::run_sequential(&k);
+        }
+        if fresh.arena_mut().bytes() == prog.arena_mut().bytes() {
+            out.push_str("verify: bitwise identical to an uninterrupted sequential run\n");
+        } else {
+            return Err(ArgError::verification(format!(
+                "{out}verify: resumed state DIVERGED from an uninterrupted sequential run"
+            )));
+        }
+    }
     Ok(out)
 }
 

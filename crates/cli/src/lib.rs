@@ -43,12 +43,15 @@ where
                 Some("rt") => commands::rt(&args),
                 Some("metrics") => commands::metrics(&args),
                 Some("chaos") => commands::chaos(&args),
+                Some("resume") => commands::resume(&args),
+                // Hidden: the child half of `chaos --kill`.
+                Some("ckpt-run") => commands::ckpt_run(&args),
                 Some("sweep") => commands::sweep(&args),
                 Some("analyze") => commands::analyze(&args),
                 Some("dump") => commands::dump(&args),
                 Some("schedule") => commands::schedule(&args),
                 Some(other) => Err(ArgError::usage(format!(
-                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, sweep, analyze, dump, schedule, help)"
+                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, resume, sweep, analyze, dump, schedule, help)"
                 ))),
             }
         },
@@ -543,6 +546,81 @@ mod tests {
         assert!(out.contains("proc 0"));
         assert!(out.contains("proc 2"));
         assert!(out.contains("execution phase"));
+    }
+
+    /// Run a small checkpointed governed loop to completion, leaving a
+    /// fully populated checkpoint directory behind for `resume` tests.
+    fn make_checkpoint(tag: &str) -> std::path::PathBuf {
+        use cascade_rt::{
+            CkptMeta, CkptPolicy, CkptSink, CkptWriter, RtPolicy, RunConfig, RunnerConfig,
+            SpecProgram,
+        };
+        use cascade_synth::{Synth, Variant};
+        let dir =
+            std::env::temp_dir().join(format!("cascade-cli-resume-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = Synth::build(4096, Variant::Sparse, 7);
+        let text = cascade_trace::to_text(&s.workload);
+        let base = s.arena.bytes().to_vec();
+        let iters = s.workload.loops[0].iters;
+        let prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let writer = CkptWriter::create(
+            &dir,
+            &text,
+            CkptMeta {
+                loop_index: 0,
+                iters,
+                iters_per_chunk: 256,
+            },
+            &base,
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads: 2,
+                iters_per_chunk: 256,
+                policy: RtPolicy::Restructure,
+                poll_batch: 8,
+            },
+            ckpt: CkptPolicy::EveryChunks(1),
+            ckpt_sink: Some(CkptSink::new(writer)),
+            ..RunConfig::default()
+        };
+        cascade_rt::try_run_governed(&prog.kernel(0), &cfg).unwrap();
+        dir
+    }
+
+    #[test]
+    fn resume_restores_a_checkpointed_run_bitwise() {
+        let dir = make_checkpoint("ok");
+        let out = run(["resume", "--dir", dir.to_str().unwrap(), "--verify"]).unwrap();
+        assert!(out.contains("finished sequentially"), "{out}");
+        assert!(
+            out.contains("bitwise identical to an uninterrupted sequential run"),
+            "{out}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_corrupted_checkpoint() {
+        let dir = make_checkpoint("corrupt");
+        let p = dir.join("base.bin");
+        let mut b = std::fs::read(&p).unwrap();
+        b[0] ^= 1;
+        std::fs::write(&p, &b).unwrap();
+        let err = run(["resume", "--dir", dir.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("base.bin"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_requires_a_directory() {
+        let err = run(["resume"]).unwrap_err();
+        assert!(err.message().contains("--dir"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Usage);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! End-to-end kill-restart recovery: `cascade chaos --kill` forks real
+//! checkpointing child processes through the built `cascade` binary,
+//! SIGKILLs each at a randomized point, and gates on bitwise equality
+//! between the resumed run and an uninterrupted sequential run.
+//!
+//! The `--exe` override points the parent at the actual binary — under
+//! `cargo test` the current executable is the test harness, which does
+//! not dispatch cascade subcommands.
+
+#[test]
+fn chaos_kill_recovers_bitwise_at_random_kill_points() {
+    let out = cascade_cli::run([
+        "chaos",
+        "--kill",
+        "--exe",
+        env!("CARGO_BIN_EXE_cascade"),
+        "--n",
+        "2048",
+        "--plans",
+        "3",
+        "--chunk-iters",
+        "64",
+        "--max-threads",
+        "2",
+        "--seed",
+        "11",
+    ])
+    .unwrap_or_else(|e| panic!("{e}"));
+    assert!(out.contains("kill-restart storm: 3 trials"), "{out}");
+    assert!(out.contains("0 diverged"), "{out}");
+    assert!(
+        out.contains("kill-restart verdict: every sampled SIGKILL point recovered bitwise"),
+        "{out}"
+    );
+}
+
+#[test]
+fn chaos_kill_resume_survives_every_tolerance() {
+    for tolerance in ["salvage", "retry", "fail-fast"] {
+        let out = cascade_cli::run([
+            "chaos",
+            "--kill",
+            "--exe",
+            env!("CARGO_BIN_EXE_cascade"),
+            "--n",
+            "1024",
+            "--plans",
+            "2",
+            "--chunk-iters",
+            "64",
+            "--max-threads",
+            "2",
+            "--seed",
+            "23",
+            "--tolerance",
+            tolerance,
+        ])
+        .unwrap_or_else(|e| panic!("[{tolerance}] {e}"));
+        assert!(out.contains("0 diverged"), "[{tolerance}] {out}");
+    }
+}

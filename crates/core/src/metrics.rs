@@ -196,6 +196,15 @@ pub struct WorkerMetrics {
     /// phase: the `helper + spin + execute + retry + other == wall`
     /// partition is unaffected.
     pub journal_time: f64,
+    /// Durable checkpoints this worker captured and published (0 when
+    /// checkpointing is off — the default — and for simulated runs).
+    pub ckpt_count: u64,
+    /// Delta bytes written into durable checkpoints by this worker.
+    pub ckpt_bytes: u64,
+    /// Time spent capturing and publishing durable checkpoints. Like
+    /// `journal_time`, a side counter riding inside the phases, *not* a
+    /// sixth phase: the partition identity is unaffected.
+    pub ckpt_time: f64,
     /// Receive-side token-handoff latency: release of chunk `j` by the
     /// previous executor → this worker's claim of `j`.
     pub takeover: LatencyStats,
@@ -224,7 +233,7 @@ impl WorkerMetrics {
 
     fn json(&self) -> String {
         format!(
-            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"rollbacks\": {}, \"journal_bytes\": {}, \"journal_time\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
+            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"rollbacks\": {}, \"journal_bytes\": {}, \"journal_time\": {}, \"ckpt_count\": {}, \"ckpt_bytes\": {}, \"ckpt_time\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
             self.worker,
             self.chunks,
             fmt_f64(self.helper_time),
@@ -243,6 +252,9 @@ impl WorkerMetrics {
             self.rollbacks,
             self.journal_bytes,
             fmt_f64(self.journal_time),
+            self.ckpt_count,
+            self.ckpt_bytes,
+            fmt_f64(self.ckpt_time),
             self.takeover.json(),
             self.chunk_exec.json(),
         )
@@ -370,6 +382,22 @@ impl CascadeMetrics {
         self.workers.iter().map(|w| w.journal_time).sum()
     }
 
+    /// Total durable checkpoints captured and published.
+    pub fn ckpt_count(&self) -> u64 {
+        self.workers.iter().map(|w| w.ckpt_count).sum()
+    }
+
+    /// Total delta bytes written into durable checkpoints.
+    pub fn ckpt_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.ckpt_bytes).sum()
+    }
+
+    /// Total time spent capturing and publishing durable checkpoints (a
+    /// side counter, not a sixth phase).
+    pub fn ckpt_time(&self) -> f64 {
+        self.workers.iter().map(|w| w.ckpt_time).sum()
+    }
+
     /// Render the fixed-field-order JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -396,6 +424,12 @@ impl CascadeMetrics {
         out.push_str(&format!(
             "  \"journal_time\": {},\n",
             fmt_f64(self.journal_time())
+        ));
+        out.push_str(&format!("  \"ckpt_count\": {},\n", self.ckpt_count()));
+        out.push_str(&format!("  \"ckpt_bytes\": {},\n", self.ckpt_bytes()));
+        out.push_str(&format!(
+            "  \"ckpt_time\": {},\n",
+            fmt_f64(self.ckpt_time())
         ));
         out.push_str(&format!(
             "  \"cancel_latency\": {},\n",
@@ -445,6 +479,14 @@ impl CascadeMetrics {
             self.journal_bytes(),
             self.rollbacks()
         ));
+        if self.ckpt_count() > 0 {
+            out.push_str(&format!(
+                "  durability: {} checkpoints, {} delta B, {} {unit} capture+publish\n",
+                self.ckpt_count(),
+                self.ckpt_bytes(),
+                fmt_time(self.ckpt_time())
+            ));
+        }
         if self.cancel_latency > 0.0 || self.budget_high_water > 0 {
             out.push_str(&format!(
                 "  governance: cancel latency {} {unit}, budget high-water {} B\n",

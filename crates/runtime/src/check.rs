@@ -7,7 +7,7 @@
 //! where hand-written reasoning fails, so this module writes the protocol
 //! down as an explicit state machine ([`Protocol`]) and lets the
 //! `interleave` shim enumerate **every** thread interleaving, checking
-//! seven invariants in every reachable state:
+//! eight invariants in every reachable state:
 //!
 //! 1. **Exactly-one executor** — no two threads inside a chunk body at
 //!    once;
@@ -32,7 +32,12 @@
 //! 7. **Exactly one terminal outcome per run** — a run either completes
 //!    cleanly or poisons, never both: a cancel that arrives after the
 //!    last chunk changes nothing, and a cancelled run never reads as
-//!    completed.
+//!    completed;
+//! 8. **Checkpoint capture happens-before token handoff** — the leader
+//!    captures the durable checkpoint of chunk *k* while still holding
+//!    the claim, so no capture ever observes a chunk beyond *k* mutated
+//!    or any chunk torn: a checkpoint can never persist an uncommitted
+//!    write.
 //!
 //! The model follows the runner's code paths step for step: `Seek`
 //! mirrors `Roster::next_owned`, `Claim`/`Advance` mirror
@@ -46,7 +51,12 @@
 //! timing), `ObserveCancel` mirrors the `wait_to_claim` cancel check,
 //! and `CancelAbort`/`CancelCommit` mirror the post-body abort — roll
 //! the journaled chunk back under the claim, or commit the
-//! unjournalable chunk whole. Abstractions: backoff timing is
+//! unjournalable chunk whole. Checkpointing is modeled as the runner
+//! implements it: with `with_checkpointing` the committing executor's
+//! `CkptCapture` step reads the arena *between* the commit and the
+//! advance CAS, still under the claim — and the capture check flags any
+//! schedule where the read could observe an uncommitted write.
+//! Abstractions: backoff timing is
 //! dropped (any detector may fire whenever the real watchdog *could*
 //! have), and strikes escalate immediately — both over-approximate the
 //! real scheduler, so the verified state space is a superset of what the
@@ -127,6 +137,11 @@ pub enum Bug {
     /// chunk to the survivors while its memory is still torn, so a
     /// remap race lets another worker re-claim mid-rollback.
     UnclaimBeforeCancelRollback,
+    /// Capture the checkpoint *after* the token handoff instead of
+    /// before: a schedule lets the next chunk's executor claim and
+    /// mutate memory before the late capture reads it, so the
+    /// checkpoint persists an uncommitted write.
+    CaptureAfterHandoff,
 }
 
 /// What one modeled thread is doing (mirrors the runner's worker loop).
@@ -167,6 +182,10 @@ enum Th {
     /// ([`Bug::UnclaimBeforeCancelRollback`]) where the claim was
     /// handed back first and the rollback is landing late.
     CancelRollingBack { chunk: u8, unclaimed: bool },
+    /// Checkpoint capture pending *after* the token handoff: only ever
+    /// reached under [`Bug::CaptureAfterHandoff`] (the faithful order
+    /// captures from `Releasing`, claim still held).
+    Capturing { chunk: u8 },
     /// Fell through the ladder; about to poison the token. `cancelled`
     /// marks a poison whose cause is run cancellation rather than a
     /// fault — the terminal-outcome invariant keys off which cause wins.
@@ -221,6 +240,12 @@ pub enum Step {
     /// Post-body cancel abort of an *unjournalable* chunk: commit the
     /// completed body whole, then poison without advancing.
     CancelCommit(usize),
+    /// The committing executor captures the durable checkpoint: reads
+    /// the arena covering chunks `..=k`. Faithful order: from
+    /// `Releasing`, claim still held, before the advance CAS. The
+    /// capture check records a violation if the read could observe a
+    /// chunk beyond `k` mutated or any chunk torn.
+    CkptCapture(usize),
 }
 
 /// Explicit state of the modeled protocol: token word, per-thread
@@ -233,6 +258,7 @@ pub struct Protocol {
     chunks: u8,
     spurious: bool,
     cancel: bool,
+    ckpt: bool,
     bug: Bug,
     plan: Vec<Option<(u8, ModelFault)>>,
     // Dynamic protocol state.
@@ -248,6 +274,9 @@ pub struct Protocol {
     base: u8,
     quarantined: Vec<bool>,
     cause: Option<(u8, u8)>,
+    /// Chunks already covered by a published checkpoint (the sink
+    /// no-ops on re-delivery of a covered commit).
+    ckpt_done: Vec<bool>,
     // Violation trackers (set in apply, reported by invariant).
     was_poisoned: bool,
     max_pos: u8,
@@ -257,6 +286,9 @@ pub struct Protocol {
     claimed_torn: bool,
     /// The installed (first-cause-wins) poison cause is `Cancelled`.
     cancelled_poison: bool,
+    /// A checkpoint capture observed an uncommitted write (a chunk
+    /// beyond the captured prefix mutated, or a torn chunk).
+    ckpt_dirty: bool,
 }
 
 impl Protocol {
@@ -267,6 +299,7 @@ impl Protocol {
             chunks,
             spurious: false,
             cancel: false,
+            ckpt: false,
             bug: Bug::None,
             plan: vec![None; nthreads],
             budget,
@@ -281,6 +314,7 @@ impl Protocol {
             base: 0,
             quarantined: vec![false; nthreads],
             cause: None,
+            ckpt_done: vec![false; chunks as usize],
             was_poisoned: false,
             max_pos: 0,
             moved_back: false,
@@ -288,6 +322,7 @@ impl Protocol {
             double_exec: false,
             claimed_torn: false,
             cancelled_poison: false,
+            ckpt_dirty: false,
         }
     }
 
@@ -316,6 +351,32 @@ impl Protocol {
     pub fn with_cancellation(mut self) -> Self {
         self.cancel = true;
         self
+    }
+
+    /// Checkpoint every committed chunk: the executor's commit path
+    /// captures the arena before the advance CAS (claim still held).
+    /// Modeling every commit as due over-approximates every real policy
+    /// (`EveryChunks(n)` / `EveryMillis(t)` capture at a subset of these
+    /// points).
+    pub fn with_checkpointing(mut self) -> Self {
+        self.ckpt = true;
+        self
+    }
+
+    /// The capture check: a checkpoint covering chunks `..=chunk` must
+    /// never read a later chunk's mutation or any torn chunk — either
+    /// would persist an uncommitted write.
+    fn capture(&mut self, chunk: u8) {
+        let dirty = self
+            .mutated
+            .iter()
+            .enumerate()
+            .any(|(c, &m)| m && c as u8 > chunk)
+            || self.torn.iter().any(|&t| t);
+        if dirty {
+            self.ckpt_dirty = true;
+        }
+        self.ckpt_done[chunk as usize] = true;
     }
 
     /// `Roster::owner_of`, modeled.
@@ -438,18 +499,33 @@ impl Model for Protocol {
                     }
                 }
                 Th::Stalled { .. } => acts.push(Step::Wake(i)),
-                Th::Releasing { .. } => {
-                    acts.push(Step::Advance(i));
+                Th::Releasing { chunk } => {
+                    if self.ckpt
+                        && !self.ckpt_done[chunk as usize]
+                        && self.bug != Bug::CaptureAfterHandoff
+                    {
+                        // Faithful order: the commit path captures the
+                        // checkpoint before the advance CAS, claim still
+                        // held — the advance only becomes available once
+                        // the capture has happened.
+                        acts.push(Step::CkptCapture(i));
+                    } else {
+                        acts.push(Step::Advance(i));
+                    }
                     // Post-body cancel check: the executor may notice the
                     // flag before advancing (the Advance action models it
                     // missing the racing store). Both kernel kinds are
                     // explored: journaled chunks roll back, unjournalable
-                    // chunks commit whole.
-                    if self.cancel_fired {
+                    // chunks commit whole. The runner's single cancel
+                    // check precedes the commit and capture, so once a
+                    // checkpoint covered this chunk the abort window is
+                    // closed.
+                    if self.cancel_fired && !self.ckpt_done[chunk as usize] {
                         acts.push(Step::CancelAbort(i));
                         acts.push(Step::CancelCommit(i));
                     }
                 }
+                Th::Capturing { .. } => acts.push(Step::CkptCapture(i)),
                 Th::Recovering { .. } => acts.push(Step::Recover(i)),
                 Th::RollingBack { .. } | Th::CancelRollingBack { .. } => {
                     acts.push(Step::Rollback(i))
@@ -597,7 +673,17 @@ impl Model for Protocol {
                 match s.token {
                     Tok::Claimed(c) if c == chunk => {
                         s.set_token(Tok::Granted(chunk + 1));
-                        s.threads[i] = Th::Idle { cursor: chunk + 1 };
+                        s.threads[i] = if s.bug == Bug::CaptureAfterHandoff
+                            && s.ckpt
+                            && !s.ckpt_done[chunk as usize]
+                        {
+                            // Seeded bug: the token is already handed off
+                            // but the capture has not happened yet — the
+                            // successor may mutate chunk+1 before we read.
+                            Th::Capturing { chunk }
+                        } else {
+                            Th::Idle { cursor: chunk + 1 }
+                        };
                     }
                     Tok::Poisoned if s.bug == Bug::ResurrectToken => {
                         // Plain store instead of the CAS: resurrection.
@@ -611,6 +697,22 @@ impl Model for Protocol {
                     }
                 }
             }
+            Step::CkptCapture(i) => match s.threads[i] {
+                Th::Releasing { chunk } => {
+                    // Faithful order: claim still held, so no successor
+                    // can have started chunk+1 — the capture reads only
+                    // committed prefix state. `ckpt_done` now gates the
+                    // Releasing arm over to Advance.
+                    s.capture(chunk);
+                }
+                Th::Capturing { chunk } => {
+                    // Seeded-bug tail: capture after the handoff, racing
+                    // the successor's execution of chunk+1.
+                    s.capture(chunk);
+                    s.threads[i] = Th::Idle { cursor: chunk + 1 };
+                }
+                _ => unreachable!("CkptCapture from non-capturing state"),
+            },
             Step::Recover(i) => {
                 let Th::Recovering {
                     chunk,
@@ -837,6 +939,9 @@ impl Model for Protocol {
         }
         if self.cause_overwritten {
             return Err("the first poison cause was overwritten".into());
+        }
+        if self.ckpt_dirty {
+            return Err("a checkpoint observed an uncommitted write".into());
         }
         Ok(())
     }
@@ -1202,5 +1307,61 @@ mod tests {
         );
         let v = result.violation.expect("LastCauseWins must be caught");
         assert!(v.message.contains("cause"), "{}", v.message);
+    }
+
+    #[test]
+    fn checkpointing_verifies_fault_free() {
+        // Invariant 8: every capture runs with the claim still held, so
+        // no schedule lets a checkpoint observe a successor's write or a
+        // torn chunk.
+        for n in [2usize, 3] {
+            assert_verified(Protocol::new(n, 4, 2).with_checkpointing(), "checkpointing");
+        }
+    }
+
+    #[test]
+    fn checkpointing_racing_cancellation_verifies() {
+        // The cancel check precedes the commit and capture: a chunk is
+        // either aborted pre-capture or captured post-commit — no
+        // interleaving may checkpoint a chunk the abort then unwinds.
+        assert_verified(
+            Protocol::new(3, 3, 2)
+                .with_cancellation()
+                .with_checkpointing(),
+            "checkpointing + cancellation",
+        );
+    }
+
+    #[test]
+    fn checkpointing_racing_a_journaled_rollback_verifies() {
+        // The rollback happens under the faulted claim, before any
+        // commit: no capture may persist the torn window.
+        for chunk in 0..3 {
+            assert_verified(
+                Protocol::new(3, 3, 2).with_checkpointing().with_fault(
+                    1,
+                    chunk,
+                    ModelFault::PanicMidBodyJournaled,
+                ),
+                "checkpointing + journaled panic",
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_capture_after_handoff_bug_is_caught() {
+        // The buggy ordering hands the token off first and captures
+        // second: some schedule lets the successor mutate chunk+1 before
+        // the capture reads, persisting an uncommitted write.
+        let result = explore(
+            Protocol::new(3, 3, 2)
+                .with_checkpointing()
+                .with_bug(Bug::CaptureAfterHandoff),
+            2_000_000,
+        );
+        let v = result
+            .violation
+            .expect("CaptureAfterHandoff must be caught");
+        assert!(v.message.contains("uncommitted"), "{}", v.message);
     }
 }

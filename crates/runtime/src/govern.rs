@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::ckpt::{CkptPolicy, CkptSink};
 use crate::metrics::Observe;
 use crate::runner::{RunError, RunnerConfig, Tolerance};
 use crate::token::lock_recover;
@@ -242,10 +243,26 @@ impl MemBudget {
     }
 
     /// Return `bytes` to the budget (for transient reservations).
+    ///
+    /// Releasing more than is currently reserved is a caller bug (a
+    /// mismatched reserve/release pair): it trips a debug assertion, and
+    /// in release builds it clamps to zero instead of wrapping `used`
+    /// around to ~`u64::MAX` — which would permanently satisfy every
+    /// limit check and silently disable the budget.
     pub fn release(&self, bytes: u64) {
-        if bytes > 0 {
-            self.used.fetch_sub(bytes, Ordering::AcqRel);
+        if bytes == 0 {
+            return;
         }
+        let prev = self
+            .used
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                Some(used.saturating_sub(bytes))
+            })
+            .expect("fetch_update closure never returns None");
+        debug_assert!(
+            prev >= bytes,
+            "MemBudget::release({bytes}) exceeds reserved bytes ({prev}): mismatched release"
+        );
     }
 
     /// Currently reserved bytes.
@@ -278,6 +295,11 @@ pub struct RunConfig {
     pub cancel: CancelToken,
     /// Observability options (event ring).
     pub observe: Observe,
+    /// When the leader captures durable checkpoints ([`CkptPolicy::Off`]
+    /// by default: zero durability overhead).
+    pub ckpt: CkptPolicy,
+    /// Where checkpoints go; required iff `ckpt` is not `Off`.
+    pub ckpt_sink: Option<CkptSink>,
 }
 
 impl RunConfig {
@@ -294,6 +316,38 @@ impl RunConfig {
                     "watchdog window ({watchdog:?}) exceeds the run deadline ({deadline:?}): \
                      the watchdog could never fire; shrink the window or raise the deadline"
                 )));
+            }
+        }
+        match self.ckpt {
+            CkptPolicy::Off => {
+                if self.ckpt_sink.is_some() {
+                    return Err(RunError::InvalidConfig(
+                        "a checkpoint sink is configured but the policy is Off: \
+                         nothing would ever be written; set a policy or drop the sink"
+                            .into(),
+                    ));
+                }
+            }
+            CkptPolicy::EveryChunks(0) => {
+                return Err(RunError::InvalidConfig(
+                    "CkptPolicy::EveryChunks(0) can never be due; use at least 1".into(),
+                ));
+            }
+            CkptPolicy::EveryMillis(0) => {
+                return Err(RunError::InvalidConfig(
+                    "CkptPolicy::EveryMillis(0) degenerates to every-chunk; \
+                     use EveryChunks(1) to say that, or a real interval"
+                        .into(),
+                ));
+            }
+            _ => {
+                if self.ckpt_sink.is_none() {
+                    return Err(RunError::InvalidConfig(format!(
+                        "checkpoint policy {:?} has no sink: the run would silently \
+                         lose its durability guarantee; attach a CkptSink",
+                        self.ckpt
+                    )));
+                }
             }
         }
         Ok(())
@@ -422,6 +476,21 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds reserved bytes"))]
+    fn mismatched_release_saturates_instead_of_wrapping() {
+        let b = MemBudget::limited(100);
+        assert!(b.try_reserve(10));
+        // Releasing more than is reserved is a caller bug: debug builds
+        // assert; release builds clamp `used` to zero so the budget keeps
+        // metering instead of wrapping to ~u64::MAX and never refusing
+        // another reservation.
+        b.release(11);
+        assert_eq!(b.used(), 0, "saturated, not wrapped");
+        assert!(b.try_reserve(100), "budget still functional");
+        assert!(!b.try_reserve(1), "limit still enforced after saturation");
+    }
+
+    #[test]
     fn unlimited_budget_tracks_high_water() {
         let b = MemBudget::unlimited();
         assert!(b.try_reserve(1 << 40));
@@ -478,5 +547,55 @@ mod tests {
             ..RunConfig::default()
         };
         assert!(ok.try_validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_checkpoint_policies() {
+        for ckpt in [CkptPolicy::EveryChunks(0), CkptPolicy::EveryMillis(0)] {
+            let cfg = RunConfig {
+                ckpt,
+                ..RunConfig::default()
+            };
+            assert!(
+                matches!(cfg.try_validate(), Err(RunError::InvalidConfig(_))),
+                "{ckpt:?} must be refused"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_policy_without_sink_and_sink_without_policy() {
+        let cfg = RunConfig {
+            ckpt: CkptPolicy::EveryChunks(1),
+            ..RunConfig::default()
+        };
+        match cfg.try_validate() {
+            Err(RunError::InvalidConfig(m)) => assert!(m.contains("sink"), "{m}"),
+            other => panic!("policy without sink must be refused, got {other:?}"),
+        }
+
+        let dir =
+            std::env::temp_dir().join(format!("cascade-govern-validate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let writer = crate::ckpt::CkptWriter::create(
+            &dir,
+            "w",
+            crate::ckpt::CkptMeta {
+                loop_index: 0,
+                iters: 8,
+                iters_per_chunk: 2,
+            },
+            &[0; 4],
+        )
+        .unwrap();
+        let cfg = RunConfig {
+            ckpt_sink: Some(CkptSink::new(writer)),
+            ..RunConfig::default()
+        };
+        match cfg.try_validate() {
+            Err(RunError::InvalidConfig(m)) => assert!(m.contains("Off"), "{m}"),
+            other => panic!("sink without policy must be refused, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -47,11 +47,12 @@
 //! remapped across survivors so the run finishes cascaded instead of
 //! `degraded`. The token/poison/retry protocol backing this is modeled as
 //! an explicit state machine in [`check`] and exhaustively explored with
-//! the `interleave` shim — the seven invariants (exactly-one executor,
+//! the `interleave` shim — the eight invariants (exactly-one executor,
 //! no lost or resurrected token, first-cause-wins poisoning, no chunk
 //! re-executed after mutation, no torn state observable after rollback,
 //! cancellation never observable as torn state, exactly one terminal
-//! outcome per run) hold on every reachable interleaving.
+//! outcome per run, checkpoint capture happens-before token handoff)
+//! hold on every reachable interleaving.
 //!
 //! ## Run governance
 //!
@@ -62,11 +63,22 @@
 //! [`try_run_governed_sequence`] drain cancelled runs with bitwise-clean
 //! state and return typed errors carrying the exact sequential resume
 //! point (`committed_iters`).
+//!
+//! ## Durable runs
+//!
+//! The [`ckpt`] module makes the resume point survive process death: the
+//! leader's commit path persists crash-consistent checkpoints (full base
+//! arena snapshot plus write-set deltas from the PR 5 journaling
+//! machinery, all fsync'd and atomically renamed) under a [`CkptPolicy`]
+//! on [`RunConfig`]. A SIGKILLed run restores bitwise via
+//! [`ckpt::load`] / [`Checkpoint::into_program`] and finishes from
+//! `committed_iters` — `cascade chaos --kill` gates this end to end.
 
 #![warn(missing_docs)]
 
 pub mod barrier;
 pub mod check;
+pub mod ckpt;
 pub mod fault;
 pub mod govern;
 pub mod health;
@@ -78,6 +90,7 @@ pub mod runner;
 pub mod token;
 
 pub use barrier::{BarrierOutcome, FtBarrier};
+pub use ckpt::{Checkpoint, CkptError, CkptMeta, CkptPolicy, CkptRun, CkptSink, CkptWriter};
 pub use fault::{FaultKind, FaultPlan, FaultyKernel};
 pub use govern::{CancelKind, CancelState, CancelToken, MemBudget, RunConfig};
 pub use health::{HealthConfig, HealthRegistry, StrikeVerdict};

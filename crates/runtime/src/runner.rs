@@ -99,6 +99,7 @@ use cascade_core::{
 };
 
 use crate::barrier::{BarrierOutcome, FtBarrier};
+use crate::ckpt::{CkptPolicy, CkptRun};
 use crate::govern::{CancelKind, CancelState, CancelToken, Governor, MemBudget, RunConfig};
 use crate::health::{HealthConfig, HealthRegistry, StrikeVerdict};
 use crate::kernel::RealKernel;
@@ -532,6 +533,14 @@ pub struct ThreadStats {
     /// *not* a sixth phase, so the exact partition
     /// `helper + spin + exec + retry + other == wall` is untouched.
     pub journal_ns: u128,
+    /// Durable checkpoints this thread captured and published.
+    pub ckpt_count: u64,
+    /// Delta bytes written into durable checkpoints by this thread.
+    pub ckpt_bytes: u64,
+    /// Nanoseconds spent in checkpoint capture and publication. Like
+    /// `journal_ns`, a side counter riding inside the Other phase — the
+    /// exact phase partition is untouched.
+    pub ckpt_ns: u128,
     /// Receive-side handoff latency: previous executor's release →
     /// this worker's winning claim.
     pub takeover: NsStats,
@@ -613,6 +622,9 @@ impl RunStats {
                 rollbacks: s.rollbacks,
                 journal_bytes: s.journal_bytes,
                 journal_time: s.journal_ns as f64,
+                ckpt_count: s.ckpt_count,
+                ckpt_bytes: s.ckpt_bytes,
+                ckpt_time: s.ckpt_ns as f64,
                 takeover: s.takeover.to_latency(),
                 chunk_exec: s.chunk_exec.to_latency(),
             })
@@ -708,6 +720,10 @@ fn run_error_from(cause: &PoisonCause) -> RunError {
 pub(crate) struct Govern {
     pub(crate) cancel: CancelToken,
     pub(crate) budget: MemBudget,
+    /// Durable-checkpoint policy and sink; `None` (the ungoverned and
+    /// `CkptPolicy::Off` cases) costs one `Option` check per chunk
+    /// commit, so the fault-free overhead guard is unaffected.
+    pub(crate) ckpt: Option<CkptRun>,
 }
 
 impl Govern {
@@ -715,6 +731,7 @@ impl Govern {
         Govern {
             cancel: CancelToken::new(),
             budget: MemBudget::unlimited(),
+            ckpt: None,
         }
     }
 }
@@ -1081,6 +1098,10 @@ pub fn try_run_governed<K: RealKernel>(kernel: &K, cfg: &RunConfig) -> Result<Ru
     let gov = Govern {
         cancel: cfg.cancel.clone(),
         budget: cfg.budget.clone(),
+        ckpt: cfg.ckpt_sink.clone().map(|sink| CkptRun {
+            policy: cfg.ckpt,
+            sink,
+        }),
     };
     let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
     run_cascaded_inner(kernel, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
@@ -1268,9 +1289,22 @@ pub fn try_run_governed_sequence<K: RealKernel>(
     cfg: &RunConfig,
 ) -> Result<Vec<RunStats>, RunError> {
     cfg.try_validate()?;
+    if cfg.ckpt != CkptPolicy::Off {
+        // A checkpoint manifest describes exactly one loop's committed
+        // prefix; silently checkpointing only part of a sequence would
+        // hand back a resume point that skips later loops. Refuse until
+        // sequence manifests exist rather than mislead.
+        return Err(RunError::InvalidConfig(
+            "checkpointing covers a single governed loop; sequences are not \
+             resumable yet — run loops individually, each with its own \
+             checkpoint directory"
+                .into(),
+        ));
+    }
     let gov = Govern {
         cancel: cfg.cancel.clone(),
         budget: cfg.budget.clone(),
+        ckpt: None,
     };
     let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
     run_cascaded_sequence_inner(kernels, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
@@ -2191,6 +2225,35 @@ fn ft_worker<K: RealKernel>(
                     by_thread: t,
                 });
             }
+        }
+
+        // --- durable checkpoint (claim still held) ---
+        // Capture happens-before the token handoff to chunk j + 1, so a
+        // checkpoint can never observe an uncommitted write (model-checker
+        // invariant 8). Helpers never touch the sink, so nothing here
+        // blocks them; the cost rides inside the Other phase as side
+        // counters (`ckpt_ns`/`ckpt_bytes`/`ckpt_count`), leaving the
+        // exact phase partition untouched. A panic anywhere in the sink
+        // skips the checkpoint and lets the run continue.
+        if let Some(ck) = &gov.ckpt {
+            let t0 = Instant::now();
+            let written = catch_unwind(AssertUnwindSafe(|| {
+                ck.sink.on_commit(
+                    ck.policy,
+                    j + 1,
+                    range.end,
+                    |c| plan.range(c).start,
+                    // SAFETY: we hold the claim — the same exclusivity
+                    // contract as `execute` — and capture only reads.
+                    |r, buf| unsafe { kernel.journal_capture(r, buf) },
+                )
+            }))
+            .unwrap_or(None);
+            if let Some(bytes) = written {
+                stats.ckpt_count += 1;
+                stats.ckpt_bytes += bytes;
+            }
+            stats.ckpt_ns += t0.elapsed().as_nanos();
         }
 
         if j + 1 < m {

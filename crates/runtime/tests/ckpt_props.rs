@@ -1,0 +1,485 @@
+//! Property and integration tests for durable checkpoints.
+//!
+//! For randomized alias-heavy loops — overlapping affine writes plus
+//! colliding indirect scatters, mirroring `journal_props.rs` — a
+//! checkpoint (base snapshot + ordered write-set deltas) loaded back
+//! from disk must restore the arena **bitwise** at every commit
+//! boundary. The oracle is a byte-for-byte comparison against the live
+//! arena, so an under-captured delta cannot hide. Corrupted, torn and
+//! stale checkpoints must be refused with the matching typed error —
+//! never partially restored.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cascade_rt::{
+    ckpt, CkptError, CkptMeta, CkptPolicy, CkptSink, CkptWriter, RealKernel, RtPolicy, RunConfig,
+    RunnerConfig, SpecProgram,
+};
+use cascade_trace::{
+    to_text, AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One randomized write stream (see `journal_props.rs` for the shape
+/// rationale): an affine write/modify, or an indirect scatter whose
+/// colliding index contents make order-sensitive RMW chains.
+#[derive(Debug, Clone)]
+enum RawShape {
+    Affine {
+        base: u64,
+        stride: u64,
+        modify: bool,
+    },
+    Scatter {
+        seed: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    iters: u64,
+    shapes: Vec<RawShape>,
+    /// Commit-boundary spacing: one delta per `chunk_iters` iterations.
+    chunk_iters: u64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a 64 — the checkpoint manifest's checksum, recomputed here so
+/// the stale-spec test can forge an otherwise self-consistent manifest.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let id = CASE.fetch_add(1, Ordering::Relaxed);
+    let d = std::env::temp_dir().join(format!(
+        "cascade-ckpt-props-{tag}-{}-{id}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn raw_shape() -> impl Strategy<Value = RawShape> {
+    prop_oneof![
+        (any::<u64>(), 1..=3u64, any::<bool>()).prop_map(|(base, stride, modify)| {
+            RawShape::Affine {
+                base,
+                stride,
+                modify,
+            }
+        }),
+        any::<u64>().prop_map(|seed| RawShape::Scatter { seed }),
+    ]
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (64u64..200, vec(raw_shape(), 1..4), 16u64..48).prop_map(|(iters, shapes, chunk_iters)| {
+        Scenario {
+            iters,
+            shapes,
+            chunk_iters,
+        }
+    })
+}
+
+/// Build a runnable program from the scenario (the `journal_props.rs`
+/// construction): all scatters alias one shared array, affine writes may
+/// overlap within another, and a read stream keeps the accumulator
+/// data-dependent.
+fn build(s: &Scenario) -> SpecProgram {
+    let n = s.iters;
+    let sc_elems = (n / 2).max(4);
+    let mut space = AddressSpace::new();
+    let src = space.alloc("src", 8, n);
+    let af = space.alloc("af", 8, 4 * n);
+    let sc = space.alloc("sc", 8, sc_elems);
+    let mut index = IndexStore::new();
+    let mut refs = vec![StreamRef {
+        name: "src(i)",
+        array: src,
+        pattern: Pattern::Affine { base: 0, stride: 1 },
+        mode: Mode::Read,
+        bytes: 8,
+        hoistable: false,
+    }];
+    const IJ_NAMES: [&str; 3] = ["ij0", "ij1", "ij2"];
+    const AF_NAMES: [&str; 3] = ["af(a0+s0*i)", "af(a1+s1*i)", "af(a2+s2*i)"];
+    const SC_NAMES: [&str; 3] = ["sc(ij0(i))", "sc(ij1(i))", "sc(ij2(i))"];
+    for (slot, w) in s.shapes.iter().enumerate() {
+        match *w {
+            RawShape::Affine {
+                base,
+                stride,
+                modify,
+            } => refs.push(StreamRef {
+                name: AF_NAMES[slot],
+                array: af,
+                pattern: Pattern::Affine {
+                    base: (base % n) as i64,
+                    stride: stride as i64,
+                },
+                mode: if modify { Mode::Modify } else { Mode::Write },
+                bytes: 8,
+                hoistable: false,
+            }),
+            RawShape::Scatter { seed } => {
+                let ij = space.alloc(IJ_NAMES[slot], 4, n);
+                let bound = (sc_elems / 4).max(2) as u32;
+                index.set(
+                    ij,
+                    (0..n)
+                        .map(|i| (splitmix64(seed ^ i) % bound as u64) as u32)
+                        .collect(),
+                );
+                refs.push(StreamRef {
+                    name: SC_NAMES[slot],
+                    array: sc,
+                    pattern: Pattern::Indirect {
+                        index: ij,
+                        ibase: 0,
+                        istride: 1,
+                    },
+                    mode: Mode::Modify,
+                    bytes: 8,
+                    hoistable: false,
+                });
+            }
+        }
+    }
+    let spec = LoopSpec {
+        name: "ckpt-prop".into(),
+        iters: n,
+        refs,
+        compute: 2.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    let w = Workload {
+        space,
+        index,
+        loops: vec![spec],
+    };
+    let mut arena = Arena::new(&w.space);
+    for i in 0..n {
+        arena.set_f64(&w.space, src, i, (i % 31) as f64 * 0.375 + 0.5);
+    }
+    for i in 0..4 * n {
+        arena.set_f64(&w.space, af, i, (i % 17) as f64 * 0.125 - 1.0);
+    }
+    for i in 0..sc_elems {
+        arena.set_f64(&w.space, sc, i, (i % 7) as f64 * 0.25 + 0.125);
+    }
+    arena.install_indices(&w.space, &w.index);
+    SpecProgram::new(w, arena).expect("generated workload must be runnable")
+}
+
+/// Execute the scenario's loop to completion, chunk by chunk, publishing
+/// a delta at every commit boundary — the leader's commit path, minus
+/// the threads. Returns the checkpoint directory and the final arena.
+fn write_checkpoint(tag: &str, s: &Scenario) -> (PathBuf, Vec<u8>) {
+    let dir = tmpdir(tag);
+    let mut live = build(s);
+    let text = to_text(live.workload());
+    let base = live.arena_mut().bytes().to_vec();
+    let mut w = CkptWriter::create(
+        &dir,
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters: s.iters,
+            iters_per_chunk: s.chunk_iters,
+        },
+        &base,
+    )
+    .expect("writer creation");
+    let mut jbuf = Vec::new();
+    let mut from = 0u64;
+    let mut chunk = 0u64;
+    while from < s.iters {
+        let to = (from + s.chunk_iters).min(s.iters);
+        {
+            let k = live.kernel(0);
+            // SAFETY: single-threaded test, trivially exclusive.
+            unsafe { k.execute(from..to) };
+            // SAFETY: as above; post-state capture over the chunk.
+            assert!(unsafe { k.journal_capture(from..to, &mut jbuf) });
+        }
+        w.append_delta(chunk, chunk + 1, from, to, &jbuf)
+            .expect("delta append");
+        from = to;
+        chunk += 1;
+    }
+    let bytes = live.arena_mut().bytes().to_vec();
+    (dir, bytes)
+}
+
+fn fixed_scenario() -> Scenario {
+    Scenario {
+        iters: 160,
+        shapes: vec![
+            RawShape::Scatter { seed: 3 },
+            RawShape::Affine {
+                base: 5,
+                stride: 2,
+                modify: true,
+            },
+        ],
+        chunk_iters: 32,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Loading the checkpoint back from disk at EVERY commit boundary
+    /// restores the live arena bitwise: base snapshot plus ordered
+    /// deltas loses nothing, even with aliasing within and across
+    /// chunks (later deltas re-cover earlier footprints).
+    #[test]
+    fn restore_is_bitwise_at_every_commit_boundary(s in scenario()) {
+        let dir = tmpdir("boundary");
+        let mut live = build(&s);
+        let text = to_text(live.workload());
+        let base = live.arena_mut().bytes().to_vec();
+        let mut w = CkptWriter::create(
+            &dir,
+            &text,
+            CkptMeta { loop_index: 0, iters: s.iters, iters_per_chunk: s.chunk_iters },
+            &base,
+        ).expect("writer creation");
+        let mut jbuf = Vec::new();
+        let mut from = 0u64;
+        let mut chunk = 0u64;
+        while from < s.iters {
+            let to = (from + s.chunk_iters).min(s.iters);
+            {
+                let k = live.kernel(0);
+                // SAFETY: single-threaded test, trivially exclusive.
+                unsafe { k.execute(from..to) };
+                // SAFETY: as above; post-state capture over the chunk.
+                prop_assert!(unsafe { k.journal_capture(from..to, &mut jbuf) },
+                    "affine and index-store-bounded write-sets must be journalable");
+            }
+            w.append_delta(chunk, chunk + 1, from, to, &jbuf).expect("delta append");
+
+            let ck = ckpt::load(&dir).expect("published checkpoint must load");
+            prop_assert_eq!(ck.committed_iters(), to);
+            let (mut restored, at) = ck.into_program().expect("restore");
+            prop_assert_eq!(at, to);
+            prop_assert_eq!(
+                restored.arena_mut().bytes(), live.arena_mut().bytes(),
+                "restored arena diverged from the live arena at commit boundary {}", to
+            );
+            from = to;
+            chunk += 1;
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn governed_checkpointed_run_restores_bitwise_from_disk() {
+    // The real commit path this time: a governed cascaded run with
+    // checkpointing every chunk must leave a checkpoint that restores —
+    // purely from disk — to exactly what straight sequential produces.
+    let s = fixed_scenario();
+    let mut reference = build(&s);
+    {
+        let k = reference.kernel(0);
+        cascade_rt::run_sequential(&k);
+    }
+    let want = reference.arena_mut().bytes().to_vec();
+
+    let mut prog = build(&s);
+    let text = to_text(prog.workload());
+    let base = prog.arena_mut().bytes().to_vec();
+    let dir = tmpdir("governed");
+    let writer = CkptWriter::create(
+        &dir,
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters: s.iters,
+            iters_per_chunk: s.chunk_iters,
+        },
+        &base,
+    )
+    .expect("writer creation");
+    let sink = CkptSink::new(writer);
+    let cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: s.chunk_iters,
+            policy: RtPolicy::Restructure,
+            poll_batch: 8,
+        },
+        ckpt: CkptPolicy::EveryChunks(1),
+        ckpt_sink: Some(sink.clone()),
+        ..RunConfig::default()
+    };
+    {
+        let k = prog.kernel(0);
+        cascade_rt::try_run_governed(&k, &cfg).expect("governed run");
+    }
+    assert_eq!(sink.error(), None);
+    assert_eq!(sink.committed().1, s.iters);
+
+    let ck = ckpt::load(&dir).expect("load");
+    let (mut restored, at) = ck.into_program().expect("restore");
+    assert_eq!(at, s.iters);
+    assert_eq!(restored.arena_mut().bytes(), want.as_slice());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_millis_policy_resumes_bitwise_from_the_last_checkpoint() {
+    // Time-based cadence: the run may publish anywhere from zero to all
+    // deltas. Whatever survives, restoring and finishing the tail
+    // sequentially must land on the straight-sequential bytes.
+    let s = fixed_scenario();
+    let mut reference = build(&s);
+    {
+        let k = reference.kernel(0);
+        cascade_rt::run_sequential(&k);
+    }
+    let want = reference.arena_mut().bytes().to_vec();
+
+    let mut prog = build(&s);
+    let text = to_text(prog.workload());
+    let base = prog.arena_mut().bytes().to_vec();
+    let dir = tmpdir("millis");
+    let writer = CkptWriter::create(
+        &dir,
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters: s.iters,
+            iters_per_chunk: s.chunk_iters,
+        },
+        &base,
+    )
+    .expect("writer creation");
+    let cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: s.chunk_iters,
+            policy: RtPolicy::Restructure,
+            poll_batch: 8,
+        },
+        ckpt: CkptPolicy::EveryMillis(1),
+        ckpt_sink: Some(CkptSink::new(writer)),
+        ..RunConfig::default()
+    };
+    {
+        let k = prog.kernel(0);
+        cascade_rt::try_run_governed(&k, &cfg).expect("governed run");
+    }
+
+    let ck = ckpt::load(&dir).expect("load");
+    let (mut restored, at) = ck.into_program().expect("restore");
+    assert!(at <= s.iters);
+    {
+        let k = restored.kernel(0);
+        // SAFETY: single-threaded — the documented sequential resume.
+        unsafe { k.execute(at..k.iters()) };
+    }
+    assert_eq!(restored.arena_mut().bytes(), want.as_slice());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_delta_is_rejected() {
+    let (dir, _) = write_checkpoint("flip", &fixed_scenario());
+    let p = dir.join("delta-000001.bin");
+    let mut b = fs::read(&p).expect("delta file");
+    let mid = b.len() / 2;
+    b[mid] ^= 0x40;
+    fs::write(&p, &b).unwrap();
+    match ckpt::load(&dir) {
+        Err(CkptError::Corrupt(m)) => assert!(m.contains("delta-000001.bin"), "{m}"),
+        other => panic!("bit-flipped delta must be Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_base_snapshot_is_rejected() {
+    let (dir, _) = write_checkpoint("trunc-base", &fixed_scenario());
+    let p = dir.join("base.bin");
+    let b = fs::read(&p).expect("base file");
+    fs::write(&p, &b[..b.len() - 8]).unwrap();
+    match ckpt::load(&dir) {
+        Err(CkptError::Corrupt(m)) => assert!(m.contains("base.bin"), "{m}"),
+        other => panic!("truncated base must be Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_manifest_is_rejected() {
+    // Simulate a torn write of the manifest itself (a crash the atomic
+    // rename is designed to prevent, and the self-checksum to catch if
+    // the filesystem lies): drop the tail.
+    let (dir, _) = write_checkpoint("torn", &fixed_scenario());
+    let p = dir.join("MANIFEST");
+    let b = fs::read(&p).expect("manifest");
+    fs::write(&p, &b[..b.len() - 10]).unwrap();
+    match ckpt::load(&dir) {
+        Err(CkptError::Corrupt(_)) => {}
+        other => panic!("torn manifest must be Corrupt, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_spec_hash_is_rejected() {
+    // Forge an otherwise self-consistent manifest — workload record and
+    // trailing self-checksum recomputed over an edited workload file —
+    // but keep the original spec_hash binding. The deltas were captured
+    // under a different LoopSpec, so resume must refuse.
+    let (dir, _) = write_checkpoint("stale", &fixed_scenario());
+    let wpath = dir.join("workload.txt");
+    let mut text = fs::read_to_string(&wpath).expect("workload text");
+    text.push('\n');
+    fs::write(&wpath, &text).unwrap();
+
+    let manifest = fs::read_to_string(dir.join("MANIFEST")).expect("manifest");
+    let mut lines: Vec<String> = manifest.lines().map(str::to_string).collect();
+    assert!(lines.pop().is_some_and(|l| l.starts_with("checksum ")));
+    for l in lines.iter_mut() {
+        if l.starts_with("workload ") {
+            *l = format!(
+                "workload workload.txt {} {:016x}",
+                text.len(),
+                fnv64(text.as_bytes())
+            );
+        }
+    }
+    let mut m = lines.join("\n");
+    m.push('\n');
+    m.push_str(&format!("checksum {:016x}\n", fnv64(m.as_bytes())));
+    fs::write(dir.join("MANIFEST"), m).unwrap();
+
+    match ckpt::load(&dir) {
+        Err(CkptError::SpecMismatch(_)) => {}
+        other => panic!("stale spec hash must be SpecMismatch, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}

@@ -35,6 +35,14 @@ impl Arena {
         self.bytes.is_empty()
     }
 
+    /// Rebuild an arena from previously captured raw bytes (the inverse of
+    /// [`Arena::bytes`]). Callers restoring persisted state must validate
+    /// the length against the target address space's extent before handing
+    /// the arena to an interpreter.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Arena { bytes }
+    }
+
     /// Raw bytes (for checksumming / bitwise comparison).
     #[inline]
     pub fn bytes(&self) -> &[u8] {
