@@ -50,6 +50,7 @@ use cascade_trace::diag::{DiagCode, Diagnostic, Severity};
 use cascade_trace::{ArrayId, LoopSpec, Mode, Pattern, StreamRef, Workload};
 
 pub mod oracle;
+pub mod plan;
 
 /// Why an operand is unsafe for any helper participation (and usually for
 /// real-thread cascading of the whole loop).
@@ -772,7 +773,9 @@ fn min_flow_lag(
 
 /// Closed-form (or single-scan) minimum flow lag between an affine read
 /// `rb + rs·i` and an affine write `wb + ws·j` over `0 ≤ j < i < n`.
-fn affine_flow_lag(rb: i64, rs: i64, wb: i64, ws: i64, n: u64) -> Option<u64> {
+/// (Also the carried-gap core of the [`plan`] dependence edges, with
+/// the roles src=write, dst=read.)
+pub(crate) fn affine_flow_lag(rb: i64, rs: i64, wb: i64, ws: i64, n: u64) -> Option<u64> {
     if n < 2 {
         return None;
     }

@@ -51,21 +51,7 @@ impl std::fmt::Display for Violation {
 /// when it cannot be resolved (missing/short index contents, negative
 /// affine index) — exactly the cases the analyzer flags separately.
 fn elem(w: &Workload, p: &Pattern, i: u64) -> Option<u64> {
-    match *p {
-        Pattern::Affine { base, stride } => {
-            let e = base + stride * i as i64;
-            (e >= 0).then_some(e as u64)
-        }
-        Pattern::Indirect {
-            index,
-            ibase,
-            istride,
-        } => {
-            let pos = ibase + istride * i as i64;
-            let len = w.index.len_of(index)? as i64;
-            (pos >= 0 && pos < len).then(|| w.index.get(index, pos as u64) as u64)
-        }
-    }
+    crate::plan::elem_at(w, p, i)
 }
 
 /// Byte address of element `e` of `array`, without the debug bounds
@@ -181,6 +167,323 @@ pub fn check_workload(w: &Workload, report: &crate::WorkloadReport) -> Vec<Viola
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Transformation-plan validation: a value-level model of the interpreter.
+//
+// The real-thread interpreter computes, per iteration, an accumulator
+// folded over every pure-read operand in operand order, then stores a
+// function of it through each write-mode operand (`Modify` also reads
+// its own old value at the write). The model below mirrors exactly that
+// dependence structure over u64 values with a non-commutative mixer, so
+// any reordering the plan claims legal must reproduce the sequential
+// final state *exactly*, while an illegal reordering diverges with
+// overwhelming probability. This is the replay half of the plan
+// machinery in [`crate::plan`]: [`check_plan`] executes the fissioned
+// order, the per-sub-loop schedules, and the whole-loop DOACROSS
+// frontier orders, and reports any state mismatch as a [`Violation`].
+// ---------------------------------------------------------------------------
+
+use cascade_trace::LoopSpec;
+
+use crate::plan::{elem_at, Schedule, TransformPlan};
+
+/// Non-commutative 64-bit mixer (splitmix-style finalizer): `mix(a, b)`
+/// differs from `mix(b, a)`, so read order, write order, and old-value
+/// provenance all leave distinct fingerprints in the state.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(b)
+        .wrapping_add(0x632be59bd9b4e019);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Sparse value state of the model: element values, defaulting to a
+/// per-(array, element) pseudo-random initial value.
+#[derive(Clone, PartialEq, Eq)]
+struct ModelState(HashMap<(ArrayId, u64), u64>);
+
+impl ModelState {
+    fn new() -> Self {
+        ModelState(HashMap::new())
+    }
+
+    fn get(&self, w: &Workload, array: ArrayId, e: u64) -> u64 {
+        self.0
+            .get(&(array, e))
+            .copied()
+            .unwrap_or_else(|| mix(w.space.array(array).base, e))
+    }
+
+    fn set(&mut self, array: ArrayId, e: u64, v: u64) {
+        self.0.insert((array, e), v);
+    }
+}
+
+/// Execute one iteration of the loop body restricted to the given
+/// anchor operands (by ref index): fold every pure read in operand
+/// order, then store through each selected write-mode operand in
+/// operand order — the interpreter's read-before-write body shape.
+fn model_iter(w: &Workload, spec: &LoopSpec, anchors: &[usize], st: &mut ModelState, i: u64) {
+    let mut acc = 0x517cc1b727220a95u64;
+    for r in spec.refs.iter().filter(|r| r.mode.is_read_only()) {
+        if let Some(e) = elem_at(w, &r.pattern, i) {
+            acc = mix(acc, st.get(w, r.array, e));
+        }
+    }
+    for (k, r) in spec.refs.iter().enumerate() {
+        if !r.mode.writes() || !anchors.contains(&k) {
+            continue;
+        }
+        let Some(e) = elem_at(w, &r.pattern, i) else {
+            continue;
+        };
+        let v = match r.mode {
+            cascade_trace::Mode::Write => mix(acc, k as u64 + 1),
+            cascade_trace::Mode::Modify => mix(mix(st.get(w, r.array, e), acc), k as u64 + 1),
+            cascade_trace::Mode::Read => unreachable!(),
+        };
+        st.set(r.array, e, v);
+    }
+}
+
+/// Deterministic xorshift64* stream for the randomized admissible
+/// orders (no global RNG: plan validation must be reproducible).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+/// A random permutation of `0..n` (Fisher–Yates) — admissible for a
+/// DOALL claim.
+fn shuffled(n: u64, rng: &mut XorShift) -> Vec<u64> {
+    let mut v: Vec<u64> = (0..n).collect();
+    for i in (1..v.len()).rev() {
+        v.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+    }
+    v
+}
+
+/// Iterations `0..n` with each consecutive block of `lag` reversed —
+/// admissible under the committed-frontier DOACROSS rule: iteration `i`
+/// in block `k` only needs `j ≤ i − lag ≤ k·lag − 1` done, and every
+/// earlier block completes before block `k` starts.
+fn block_reversed(n: u64, lag: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n as usize);
+    let mut start = 0;
+    while start < n {
+        let end = (start + lag).min(n);
+        out.extend((start..end).rev());
+        start = end;
+    }
+    out
+}
+
+/// A random order admissible under the committed-frontier rule for lag
+/// `L`: iteration `i` may be picked once every `j ≤ i − L` is done.
+fn admissible_order(n: u64, lag: u64, rng: &mut XorShift) -> Vec<u64> {
+    let mut done = vec![false; n as usize];
+    let mut frontier: i64 = -1; // all j <= frontier are done
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let hi = ((frontier + lag as i64).min(n as i64 - 1)) as u64;
+        let ready: Vec<u64> = ((frontier + 1) as u64..=hi)
+            .filter(|&i| !done[i as usize])
+            .collect();
+        let pick = ready[(rng.next() % ready.len() as u64) as usize];
+        done[pick as usize] = true;
+        out.push(pick);
+        while ((frontier + 1) as u64) < n && done[(frontier + 1) as usize] {
+            frontier += 1;
+        }
+    }
+    out
+}
+
+/// The iteration orders that falsify a schedule claim if any real
+/// dependence contradicts it.
+fn schedule_orders(n: u64, s: Schedule, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = XorShift(seed | 1);
+    match s {
+        Schedule::Sequential => vec![(0..n).collect()],
+        Schedule::Parallel => vec![(0..n).rev().collect(), shuffled(n, &mut rng)],
+        Schedule::DoAcross { lag } => vec![
+            block_reversed(n, lag),
+            admissible_order(n, lag, &mut rng),
+            admissible_order(n, lag, &mut rng),
+        ],
+    }
+}
+
+/// Run the partition in order; sub-loop `k` walks its iterations in the
+/// order produced by `order_of(k)`.
+fn run_partition(
+    w: &Workload,
+    spec: &LoopSpec,
+    plan: &TransformPlan,
+    mut order_of: impl FnMut(usize) -> Vec<u64>,
+) -> ModelState {
+    let mut st = ModelState::new();
+    for (k, sub) in plan.partition.iter().enumerate() {
+        let anchors: Vec<usize> = sub
+            .statements
+            .iter()
+            .filter_map(|&s| plan.statements[s].anchor)
+            .collect();
+        for i in order_of(k) {
+            model_iter(w, spec, &anchors, &mut st, i);
+        }
+    }
+    st
+}
+
+/// Compare a candidate state to the sequential reference; `None` when
+/// bitwise equal, else the first differing location (canonical order).
+fn first_diff(w: &Workload, reference: &ModelState, got: &ModelState) -> Option<String> {
+    let mut keys: Vec<(ArrayId, u64)> = reference.0.keys().chain(got.0.keys()).copied().collect();
+    keys.sort_unstable_by_key(|&(a, e)| (a.0, e));
+    keys.dedup();
+    for (a, e) in keys {
+        let want = reference.get(w, a, e);
+        let have = got.get(w, a, e);
+        if want != have {
+            return Some(format!(
+                "{}[{e}]: sequential {want:#x}, transformed {have:#x}",
+                w.space.array(a).name
+            ));
+        }
+    }
+    None
+}
+
+/// Validate every claim of a [`TransformPlan`] against the value-level
+/// replay model:
+///
+/// 1. **fission order** — executing the sub-loops one after another (each
+///    sequentially) equals the sequential loop;
+/// 2. **per-sub-loop schedules** — a `Parallel` sub-loop survives reversed
+///    and shuffled iteration orders, a `DoAcross { lag }` sub-loop
+///    survives block-reversed and randomized committed-frontier orders at
+///    its lag;
+/// 3. **whole-loop claims** — a `parallel` mode survives whole-loop
+///    reversal/shuffle; a whole-loop `doacross_lag ≥ 2` survives frontier
+///    orders at that lag.
+///
+/// An opaque plan claims nothing and is vacuously valid. `seed` drives
+/// the randomized orders (deterministically).
+pub fn check_plan(
+    w: &Workload,
+    spec: &LoopSpec,
+    plan: &TransformPlan,
+    seed: u64,
+) -> Vec<Violation> {
+    let n = spec.iters;
+    let mut out = Vec::new();
+    if n == 0 || spec.refs.is_empty() || plan.opaque {
+        return out;
+    }
+    let mut violation = |claim: &str, diff: String| {
+        out.push(Violation {
+            loop_name: spec.name.clone(),
+            ref_name: "<plan>".to_string(),
+            iter: 0,
+            detail: format!("{claim}: {diff}"),
+        });
+    };
+
+    let all_anchors: Vec<usize> = (0..spec.refs.len())
+        .filter(|&k| spec.refs[k].mode.writes())
+        .collect();
+    let mut reference = ModelState::new();
+    for i in 0..n {
+        model_iter(w, spec, &all_anchors, &mut reference, i);
+    }
+
+    // Claim 1: the fission order itself.
+    let fissioned = run_partition(w, spec, plan, |_| (0..n).collect());
+    if let Some(diff) = first_diff(w, &reference, &fissioned) {
+        violation("fissioned sub-loop order diverges from sequential", diff);
+    }
+
+    // Claim 2: each sub-loop's schedule, every falsifying order.
+    for (k, sub) in plan.partition.iter().enumerate() {
+        for (pass, order) in schedule_orders(n, sub.schedule, seed ^ (k as u64) << 8)
+            .into_iter()
+            .enumerate()
+        {
+            let got = run_partition(w, spec, plan, |j| {
+                if j == k {
+                    order.clone()
+                } else {
+                    (0..n).collect()
+                }
+            });
+            if let Some(diff) = first_diff(w, &reference, &got) {
+                violation(
+                    &format!(
+                        "sub-loop {k} ({}) pass {pass} violates its {} schedule",
+                        sub.statements
+                            .iter()
+                            .map(|&s| plan.statements[s].name)
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        sub.schedule.as_str()
+                    ),
+                    diff,
+                );
+            }
+        }
+    }
+
+    // Claim 3: the whole-loop mode matrix.
+    let whole = if plan.modes.parallel {
+        Some(Schedule::Parallel)
+    } else {
+        match plan.modes.doacross_lag {
+            Some(lag) if lag >= 2 => Some(Schedule::DoAcross { lag }),
+            _ => None,
+        }
+    };
+    if let Some(s) = whole {
+        for (pass, order) in schedule_orders(n, s, seed ^ 0xdead_beef)
+            .into_iter()
+            .enumerate()
+        {
+            let mut st = ModelState::new();
+            for &i in &order {
+                model_iter(w, spec, &all_anchors, &mut st, i);
+            }
+            if let Some(diff) = first_diff(w, &reference, &st) {
+                violation(
+                    &format!("whole-loop {} claim pass {pass} diverges", s.as_str()),
+                    diff,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Validate the plan of every loop of a workload (plans in workload
+/// order, as produced by [`crate::plan::plan_workload`]).
+pub fn check_workload_plans(w: &Workload, plans: &[TransformPlan], seed: u64) -> Vec<Violation> {
+    w.loops
+        .iter()
+        .zip(plans)
+        .flat_map(|(spec, plan)| check_plan(w, spec, plan, seed))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +549,178 @@ mod tests {
         rep.loops[0].refs[0].verdict = Verdict::Packable;
         let v = check_workload(&w, &rep);
         assert!(v.iter().any(|v| v.detail.contains("claimed packable")));
+    }
+
+    fn fused() -> Workload {
+        let mut s = AddressSpace::new();
+        let a = s.alloc("a", 8, 64);
+        let b = s.alloc("b", 8, 65);
+        let c = s.alloc("c", 8, 64);
+        Workload {
+            space: s,
+            index: IndexStore::new(),
+            loops: vec![LoopSpec {
+                name: "fused".into(),
+                iters: 64,
+                refs: vec![
+                    StreamRef {
+                        name: "a(i)",
+                        array: a,
+                        pattern: Pattern::Affine { base: 0, stride: 1 },
+                        mode: Mode::Read,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                    StreamRef {
+                        name: "b(i)",
+                        array: b,
+                        pattern: Pattern::Affine { base: 0, stride: 1 },
+                        mode: Mode::Read,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                    StreamRef {
+                        name: "b(i+1)",
+                        array: b,
+                        pattern: Pattern::Affine { base: 1, stride: 1 },
+                        mode: Mode::Write,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                    StreamRef {
+                        name: "c(i)",
+                        array: c,
+                        pattern: Pattern::Affine { base: 0, stride: 1 },
+                        mode: Mode::Write,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                ],
+                compute: 1.0,
+                hoistable_compute: 0.0,
+                hoist_result_bytes: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn emitted_plans_validate_bitwise() {
+        for w in [recurrence(), fused()] {
+            let plans = crate::plan::plan_workload(&w);
+            let v = check_workload_plans(&w, &plans, 0xfeed);
+            assert!(v.is_empty(), "{:?}", v);
+        }
+    }
+
+    #[test]
+    fn swapped_fission_order_is_caught_by_replay() {
+        // Seeded bug: run the DOALL consumer sub-loop *before* the
+        // recurrence that produces its input. check_partition rejects it
+        // statically; the replay model catches it dynamically.
+        let w = fused();
+        let mut plan = crate::plan::plan_loop(&w, &w.loops[0]);
+        assert_eq!(plan.partition.len(), 2);
+        plan.partition.swap(0, 1);
+        let groups: Vec<Vec<usize>> = plan
+            .partition
+            .iter()
+            .map(|s| s.statements.clone())
+            .collect();
+        assert!(plan.check_partition(&groups).is_err());
+        let v = check_plan(&w, &w.loops[0], &plan, 7);
+        assert!(
+            v.iter()
+                .any(|v| v.detail.contains("fissioned sub-loop order")),
+            "{:?}",
+            v
+        );
+    }
+
+    #[test]
+    fn false_parallel_schedule_is_caught_by_replay() {
+        // Seeded bug: claim the recurrence sub-loop is DOALL.
+        let w = recurrence();
+        let mut plan = crate::plan::plan_loop(&w, &w.loops[0]);
+        assert_eq!(
+            plan.partition[0].schedule,
+            crate::plan::Schedule::Sequential
+        );
+        plan.partition[0].schedule = Schedule::Parallel;
+        let v = check_plan(&w, &w.loops[0], &plan, 7);
+        assert!(
+            v.iter().any(|v| v.detail.contains("parallel schedule")),
+            "{:?}",
+            v
+        );
+    }
+
+    #[test]
+    fn inflated_doacross_lag_is_caught_by_replay() {
+        // Seeded bug: claim lag 4 where the true carried lag is 1.
+        let w = recurrence();
+        let mut plan = crate::plan::plan_loop(&w, &w.loops[0]);
+        plan.partition[0].schedule = Schedule::DoAcross { lag: 4 };
+        let v = check_plan(&w, &w.loops[0], &plan, 7);
+        assert!(
+            v.iter().any(|v| v.detail.contains("doacross schedule")),
+            "{:?}",
+            v
+        );
+    }
+
+    #[test]
+    fn false_whole_loop_doacross_claim_is_caught() {
+        let w = recurrence();
+        let mut plan = crate::plan::plan_loop(&w, &w.loops[0]);
+        assert_eq!(plan.modes.doacross_lag, Some(1));
+        plan.modes.doacross_lag = Some(4);
+        let v = check_plan(&w, &w.loops[0], &plan, 7);
+        assert!(
+            v.iter().any(|v| v.detail.contains("whole-loop doacross")),
+            "{:?}",
+            v
+        );
+    }
+
+    #[test]
+    fn legal_doacross_lag_survives_frontier_orders() {
+        // y(i+8) = f(y(i)): true carried lag 8; the frontier orders at
+        // lag 8 must reproduce sequential state bitwise.
+        let mut s = AddressSpace::new();
+        let y = s.alloc("y", 8, 72);
+        let w = Workload {
+            space: s,
+            index: IndexStore::new(),
+            loops: vec![LoopSpec {
+                name: "wide".into(),
+                iters: 64,
+                refs: vec![
+                    StreamRef {
+                        name: "y(i)",
+                        array: y,
+                        pattern: Pattern::Affine { base: 0, stride: 1 },
+                        mode: Mode::Read,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                    StreamRef {
+                        name: "y(i+8)",
+                        array: y,
+                        pattern: Pattern::Affine { base: 8, stride: 1 },
+                        mode: Mode::Write,
+                        bytes: 8,
+                        hoistable: false,
+                    },
+                ],
+                compute: 1.0,
+                hoistable_compute: 0.0,
+                hoist_result_bytes: 0,
+            }],
+        };
+        let plan = crate::plan::plan_loop(&w, &w.loops[0]);
+        assert_eq!(plan.partition[0].schedule, Schedule::DoAcross { lag: 8 });
+        let v = check_plan(&w, &w.loops[0], &plan, 99);
+        assert!(v.is_empty(), "{:?}", v);
     }
 
     #[test]

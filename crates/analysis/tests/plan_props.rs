@@ -1,0 +1,188 @@
+//! Transformation plans versus the dynamic replay oracle, over randomized
+//! alias-heavy loops.
+//!
+//! The generator mirrors `tests/oracle_props.rs`: every ref draws from one
+//! shared pool of 2–4 data arrays, so flow/anti/output dependences at
+//! random distances (and random same-iteration aliasing) arise naturally.
+//! For any generated `LoopSpec` the emitted `TransformPlan` must be
+//! self-consistent (its own partition passes `check_partition`) and — the
+//! tentpole property — bitwise-validated by the replay model: the
+//! fissioned sub-loop order, every per-sub-loop schedule, and the
+//! whole-loop DOALL/DOACROSS claims all reproduce the sequential final
+//! state exactly. Conversely, reversing a partition that has a
+//! cross-sub-loop dependence must be rejected with `AN013`.
+
+use proptest::prelude::*;
+
+use cascade_analyze::oracle::check_plan;
+use cascade_analyze::plan::plan_loop;
+use cascade_trace::{
+    AddressSpace, DiagCode, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
+
+/// Element count of every generated array (small: the oracle replays all
+/// iterations of every schedule order).
+const LEN: u64 = 512;
+
+#[derive(Debug, Clone)]
+struct GenRef {
+    array_pick: u8,
+    mode_pick: u8,
+    indirect: bool,
+    base: i64,
+    stride: i64,
+}
+
+fn gen_ref() -> impl Strategy<Value = GenRef> {
+    (0u8..4, 0u8..4, any::<bool>(), 0i64..5, 1i64..4).prop_map(
+        |(array_pick, mode_pick, indirect, base, stride)| GenRef {
+            array_pick,
+            mode_pick,
+            indirect,
+            base,
+            stride,
+        },
+    )
+}
+
+/// Materialize a generated configuration (same scheme as
+/// `oracle_props::build`, write-biased so multi-statement loops — the
+/// interesting case for fission — are common).
+fn build(iters: u64, gens: &[GenRef], narrays: usize, seed: u64) -> Workload {
+    let mut space = AddressSpace::new();
+    let pool: Vec<_> = (0..narrays)
+        .map(|i| space.alloc(&format!("a{i}"), 8, LEN))
+        .collect();
+    let mut index = IndexStore::new();
+    let mut refs = Vec::new();
+    for (k, g) in gens.iter().enumerate() {
+        let array = pool[(g.array_pick as usize) % pool.len()];
+        let mode = match g.mode_pick {
+            0 => Mode::Read,
+            1 | 2 => Mode::Write,
+            _ => Mode::Modify,
+        };
+        let pattern = if g.indirect {
+            let idx = space.alloc(&format!("idx{k}"), 4, LEN);
+            index.set(
+                idx,
+                (0..LEN)
+                    .map(|i| {
+                        ((i.wrapping_mul(2_654_435_761)
+                            .wrapping_add(seed)
+                            .wrapping_mul(k as u64 + 1))
+                            % LEN) as u32
+                    })
+                    .collect(),
+            );
+            Pattern::Indirect {
+                index: idx,
+                ibase: g.base,
+                istride: g.stride,
+            }
+        } else {
+            Pattern::Affine {
+                base: g.base,
+                stride: g.stride,
+            }
+        };
+        refs.push(StreamRef {
+            name: Box::leak(format!("ref{k}").into_boxed_str()),
+            array,
+            pattern,
+            mode,
+            bytes: 8,
+            hoistable: false,
+        });
+    }
+    let spec = LoopSpec {
+        name: format!("plan-gen iters={iters}"),
+        iters,
+        refs,
+        compute: 4.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    Workload {
+        space,
+        index,
+        loops: vec![spec],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole acceptance property: every emitted plan validates
+    /// bitwise against the replay model, and the plan's own partition
+    /// passes its own legality check.
+    #[test]
+    fn emitted_plans_survive_dynamic_replay(
+        iters in 16u64..128,
+        gens in proptest::collection::vec(gen_ref(), 1..6),
+        narrays in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let w = build(iters, &gens, narrays, seed);
+        let spec = &w.loops[0];
+        let plan = plan_loop(&w, spec);
+        prop_assert!(
+            plan.check_partition(&plan.partition.iter().map(|s| s.statements.clone()).collect::<Vec<_>>()).is_ok(),
+            "plan's own partition failed its own legality check"
+        );
+        let violations = check_plan(&w, spec, &plan, seed);
+        prop_assert!(
+            violations.is_empty(),
+            "replay contradicted the plan: {violations:?}\nplan: {plan:?}"
+        );
+    }
+
+    /// Reversing the fission order is illegal exactly when a dependence
+    /// crosses sub-loops: `check_partition` must reject the reversed
+    /// partition with AN013 iff a cross-sub-loop edge exists, and accept
+    /// it otherwise (independent sub-loops commute).
+    #[test]
+    fn reversed_partitions_are_rejected_iff_a_cross_edge_exists(
+        iters in 16u64..96,
+        gens in proptest::collection::vec(gen_ref(), 2..6),
+        narrays in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        let w = build(iters, &gens, narrays, seed);
+        let spec = &w.loops[0];
+        let plan = plan_loop(&w, spec);
+        prop_assume!(!plan.opaque && plan.partition.len() >= 2);
+        let mut group_of = vec![0usize; plan.statements.len()];
+        for (g, sub) in plan.partition.iter().enumerate() {
+            for &s in &sub.statements {
+                group_of[s] = g;
+            }
+        }
+        let cross_edge = plan
+            .edges
+            .iter()
+            .any(|e| group_of[e.src] != group_of[e.dst]);
+        let reversed: Vec<Vec<usize>> = plan
+            .partition
+            .iter()
+            .rev()
+            .map(|s| s.statements.clone())
+            .collect();
+        match plan.check_partition(&reversed) {
+            Ok(()) => prop_assert!(
+                !cross_edge,
+                "reversed partition accepted despite a cross-sub-loop edge"
+            ),
+            Err(diags) => {
+                prop_assert!(
+                    cross_edge,
+                    "independent sub-loops must commute, got {diags:?}"
+                );
+                prop_assert!(
+                    diags.iter().all(|d| d.code == DiagCode::IllegalPartition),
+                    "rejection must use AN013: {diags:?}"
+                );
+            }
+        }
+    }
+}

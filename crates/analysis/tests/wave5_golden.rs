@@ -1,9 +1,15 @@
 //! Golden analyzer verdicts for wave5's 15 PARMVR loops: every loop is
 //! admitted, no loop has a carried read (the particle mover's streams are
 //! all loop-independent), and each operand's lattice class is exactly
-//! read→packable, write/modify→prefetchable.
+//! read→packable, write/modify→prefetchable. The transformation planner
+//! additionally proves 13 of the 15 loops DOALL — only the two colliding
+//! scatter-adds (L5 charge deposition, L11 gather-scatter) stay
+//! sequential — and every plan validates bitwise against the replay
+//! oracle.
 
 use cascade_analyze::analyze_workload;
+use cascade_analyze::oracle::check_plan;
+use cascade_analyze::plan::{plan_workload, Schedule};
 use cascade_trace::Mode;
 use cascade_wave5::{Parmvr, ParmvrParams};
 
@@ -43,6 +49,51 @@ fn wave5_loops_match_golden_verdicts() {
                 r.verdict
             );
         }
+    }
+}
+
+#[test]
+fn wave5_plans_match_golden_and_validate() {
+    let p = Parmvr::build(ParmvrParams {
+        scale: 0.01,
+        seed: 42,
+    });
+    let w = &p.workload;
+    let plans = plan_workload(w);
+    assert_eq!(plans.len(), 15);
+    for (spec, plan) in w.loops.iter().zip(&plans) {
+        assert!(!plan.opaque, "{}: plan must not be opaque", spec.name);
+        // Each PARMVR loop has a single store statement: fission never
+        // applies, but the schedule verdict is the interesting part.
+        assert_eq!(
+            plan.modes.sub_loops, 1,
+            "{}: partition shape drifted",
+            spec.name
+        );
+        let sequential = spec.name.starts_with("L5 ") || spec.name.starts_with("L11 ");
+        let want = if sequential {
+            // The colliding scatter-adds carry an output+flow chain at
+            // distance 1 through rho.
+            Schedule::Sequential
+        } else {
+            Schedule::Parallel
+        };
+        assert_eq!(
+            plan.partition[0].schedule, want,
+            "{}: schedule verdict drifted",
+            spec.name
+        );
+        assert_eq!(
+            plan.modes.parallel, !sequential,
+            "{}: whole-loop DOALL verdict drifted",
+            spec.name
+        );
+        let v = check_plan(w, spec, plan, 0x5eed);
+        assert!(
+            v.is_empty(),
+            "{}: plan contradicted by replay: {v:?}",
+            spec.name
+        );
     }
 }
 

@@ -100,7 +100,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parse raw arguments (excluding argv[0]).
+    /// Parse raw arguments (excluding `argv[0]`).
     pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
     where
         I: IntoIterator<Item = S>,

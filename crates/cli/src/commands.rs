@@ -3,6 +3,8 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use cascade_analyze::oracle::{check_plan, Violation};
+use cascade_analyze::plan::{plan_workload, Schedule, TransformPlan};
 use cascade_analyze::{analyze_workload, WorkloadReport};
 use cascade_core::{
     run_cascaded, run_sequential, run_unbounded, CascadeConfig, HelperPolicy, RunReport,
@@ -152,6 +154,19 @@ USAGE:
         --scale F          wave5 scale (default 0.01)
         --format text|json (default text)
         --workload-file F  analyze one dumped workload instead
+
+  cascade plan [--all] [options]
+      Whole-loop transformation plans (cascade-analyze): statement-level
+      dependence graph, SCC-condensed fission partition, per-sub-loop
+      DOALL / DOACROSS / sequential schedules, and the per-kernel mode
+      matrix (cascade | fission | DOACROSS | speculation-ready). Every
+      plan is re-validated against the dynamic replay oracle; exits 1 if
+      any plan is contradicted.
+        --n N              kernel suite scale (default 4096)
+        --seed N           kernel/wave5 seed (default 42)
+        --scale F          wave5 scale (default 0.01)
+        --format text|json (default text)
+        --workload-file F  plan one dumped workload instead
 
   cascade dump [options]
       Serialize a workload to the text format (share/edit/replay).
@@ -1593,6 +1608,256 @@ fn render_analysis_json(
         out.push_str(&format!(
             "    }}{}\n",
             if t + 1 < targets.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `cascade plan`: whole-loop transformation plans (cascade-analyze) —
+/// the statement-level dependence graph condensed into a topologically
+/// ordered fission partition with per-sub-loop DOALL/DOACROSS/sequential
+/// schedules, plus the per-kernel mode matrix. Every emitted plan is
+/// re-validated against the dynamic replay oracle; exits 1 (verification
+/// failure) if any plan is contradicted.
+pub fn plan(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 4096u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let scale = args.get_num("scale", 0.01f64)?;
+    let format = args.get("format", "text");
+    let file = args.get_opt("workload-file");
+    // `--all` is accepted for symmetry with `analyze --all`; without a
+    // --workload-file the full suite is the only target set anyway.
+    let _ = args.flag("all");
+    args.reject_unknown()?;
+
+    let mut targets: Vec<(String, Workload)> = Vec::new();
+    match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
+            let w = from_text(&text)
+                .map_err(|e| ArgError::usage(format!("--workload-file {path}: {e}")))?;
+            targets.push((path, w));
+        }
+        None => {
+            for k in cascade_kernels::suite(n, seed) {
+                targets.push((k.name.to_string(), k.workload));
+            }
+            let p = Parmvr::build(ParmvrParams { scale, seed });
+            targets.push(("wave5-parmvr".to_string(), p.workload));
+        }
+    }
+
+    // Plan every loop of every target, then replay-validate each plan.
+    let mut planned: Vec<PlannedTarget> = Vec::new();
+    let mut contradicted: Vec<String> = Vec::new();
+    for (name, w) in &targets {
+        let plans = plan_workload(w);
+        let mut violations = Vec::new();
+        for (spec, p) in w.loops.iter().zip(&plans) {
+            let v = check_plan(w, spec, p, 0x5eed);
+            if !v.is_empty() {
+                contradicted.push(format!("{name} / {}", spec.name));
+            }
+            violations.push(v);
+        }
+        planned.push((name.clone(), plans, violations));
+    }
+
+    let out = match format.as_str() {
+        "text" => render_plan_text(&planned),
+        "json" => render_plan_json(&planned, n, seed, scale),
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown format '{other}' (text|json)"
+            )))
+        }
+    };
+    if contradicted.is_empty() {
+        Ok(out)
+    } else {
+        Err(ArgError::verification(format!(
+            "{out}\nplans contradicted by the replay oracle: {}",
+            contradicted.join(", ")
+        )))
+    }
+}
+
+/// One planned target: name, per-loop plans, per-loop oracle violations.
+type PlannedTarget = (String, Vec<TransformPlan>, Vec<Vec<Violation>>);
+
+fn schedule_str(s: Schedule) -> String {
+    match s {
+        Schedule::DoAcross { lag } => format!("doacross({lag})"),
+        s => s.as_str().to_string(),
+    }
+}
+
+fn render_plan_text(planned: &[PlannedTarget]) -> String {
+    let mut out = String::from("transformation plans (cascade-analyze)\n");
+    let mut validated = 0usize;
+    let mut total = 0usize;
+    for (name, plans, violations) in planned {
+        out.push_str(&format!("\n== {name}\n"));
+        for (p, v) in plans.iter().zip(violations) {
+            total += 1;
+            let m = &p.modes;
+            out.push_str(&format!(
+                "  loop {} ({} iters{})\n",
+                p.loop_name,
+                p.iters,
+                if p.opaque { ", opaque" } else { "" }
+            ));
+            for s in &p.statements {
+                out.push_str(&format!("    S{}: {}\n", s.id, s.name));
+            }
+            if !p.edges.is_empty() {
+                out.push_str("    deps:");
+                for e in &p.edges {
+                    out.push_str(&format!(
+                        " S{}->S{} {}({})",
+                        e.src,
+                        e.dst,
+                        e.kind.as_str(),
+                        e.lag
+                    ));
+                }
+                out.push('\n');
+            }
+            for (g, sub) in p.partition.iter().enumerate() {
+                let stmts: Vec<String> = sub.statements.iter().map(|s| format!("S{s}")).collect();
+                out.push_str(&format!(
+                    "    sub-loop {g}: [{}] {}\n",
+                    stmts.join(" "),
+                    schedule_str(sub.schedule)
+                ));
+            }
+            let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            out.push_str(&format!(
+                "    modes: cascade={} helper_lag={} journalable={} fission={} ({} sub-loops) doacross={} parallel={} speculation_ready={}\n",
+                m.cascade,
+                opt(m.helper_lag),
+                m.journalable,
+                m.fissionable,
+                m.sub_loops,
+                opt(m.doacross_lag),
+                m.parallel,
+                m.speculation_ready
+            ));
+            for d in &p.diagnostics {
+                out.push_str(&format!("    {d}\n"));
+            }
+            if v.is_empty() {
+                validated += 1;
+                out.push_str("    oracle: validated\n");
+            } else {
+                out.push_str(&format!(
+                    "    oracle: CONTRADICTED ({} violations)\n",
+                    v.len()
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\nsummary: {validated}/{total} plans replay-validated\n"
+    ));
+    out
+}
+
+fn render_plan_json(planned: &[PlannedTarget], n: u64, seed: u64, scale: f64) -> String {
+    let opt = |v: Option<u64>| v.map_or("null".to_string(), |x| x.to_string());
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"cascade-plan-v1\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"n\": {n}, \"seed\": {seed}, \"scale\": {scale}}},\n"
+    ));
+    out.push_str("  \"targets\": [\n");
+    for (t, (name, plans, violations)) in planned.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str("      \"loops\": [\n");
+        for (i, (p, v)) in plans.iter().zip(violations).enumerate() {
+            let m = &p.modes;
+            out.push_str("        {\n");
+            out.push_str(&format!(
+                "          \"name\": \"{}\",\n          \"iters\": {},\n          \"opaque\": {},\n",
+                json_escape(&p.loop_name),
+                p.iters,
+                p.opaque
+            ));
+            out.push_str("          \"statements\": [\n");
+            for (j, s) in p.statements.iter().enumerate() {
+                out.push_str(&format!(
+                    "            {{\"id\": {}, \"name\": \"{}\", \"anchor\": {}}}{}\n",
+                    s.id,
+                    json_escape(s.name),
+                    s.anchor.map_or("null".to_string(), |a| a.to_string()),
+                    if j + 1 < p.statements.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ],\n");
+            out.push_str("          \"edges\": [\n");
+            for (j, e) in p.edges.iter().enumerate() {
+                out.push_str(&format!(
+                    "            {{\"src\": {}, \"dst\": {}, \"kind\": \"{}\", \"lag\": {}, \"src_ref\": \"{}\", \"dst_ref\": \"{}\"}}{}\n",
+                    e.src,
+                    e.dst,
+                    e.kind.as_str(),
+                    e.lag,
+                    json_escape(e.src_ref),
+                    json_escape(e.dst_ref),
+                    if j + 1 < p.edges.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ],\n");
+            out.push_str("          \"partition\": [\n");
+            for (j, sub) in p.partition.iter().enumerate() {
+                let stmts: Vec<String> = sub.statements.iter().map(|s| s.to_string()).collect();
+                out.push_str(&format!(
+                    "            {{\"statements\": [{}], \"schedule\": \"{}\", \"lag\": {}}}{}\n",
+                    stmts.join(", "),
+                    schedule_str(sub.schedule),
+                    opt(sub.carried_lag),
+                    if j + 1 < p.partition.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ],\n");
+            out.push_str(&format!(
+                "          \"modes\": {{\"cascade\": {}, \"helper_lag\": {}, \"journalable\": {}, \"fissionable\": {}, \"sub_loops\": {}, \"doacross_lag\": {}, \"parallel\": {}, \"speculation_ready\": {}}},\n",
+                m.cascade,
+                opt(m.helper_lag),
+                m.journalable,
+                m.fissionable,
+                m.sub_loops,
+                opt(m.doacross_lag),
+                m.parallel,
+                m.speculation_ready
+            ));
+            out.push_str("          \"diagnostics\": [\n");
+            for (j, d) in p.diagnostics.iter().enumerate() {
+                out.push_str(&format!(
+                    "            {{\"code\": \"{}\", \"severity\": \"{}\", \"ref\": {}, \"message\": \"{}\"}}{}\n",
+                    d.code.as_str(),
+                    severity_str(d.severity),
+                    d.ref_name
+                        .as_ref()
+                        .map_or("null".to_string(), |r| format!("\"{}\"", json_escape(r))),
+                    json_escape(&d.message),
+                    if j + 1 < p.diagnostics.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("          ],\n");
+            out.push_str(&format!("          \"oracle_violations\": {}\n", v.len()));
+            out.push_str(&format!(
+                "        }}{}\n",
+                if i + 1 < plans.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if t + 1 < planned.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");

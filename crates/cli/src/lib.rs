@@ -22,7 +22,7 @@ pub mod commands;
 
 pub use args::{ArgError, Args, ErrorKind};
 
-/// Entry point: parse `raw` (excluding argv[0]) and execute the
+/// Entry point: parse `raw` (excluding `argv[0]`) and execute the
 /// subcommand, returning the report text.
 ///
 /// Every failure comes back as a typed [`ArgError`] — including a panic
@@ -48,10 +48,11 @@ where
                 Some("ckpt-run") => commands::ckpt_run(&args),
                 Some("sweep") => commands::sweep(&args),
                 Some("analyze") => commands::analyze(&args),
+                Some("plan") => commands::plan(&args),
                 Some("dump") => commands::dump(&args),
                 Some("schedule") => commands::schedule(&args),
                 Some(other) => Err(ArgError::usage(format!(
-                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, resume, sweep, analyze, dump, schedule, help)"
+                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, resume, sweep, analyze, plan, dump, schedule, help)"
                 ))),
             }
         },
@@ -418,7 +419,7 @@ mod tests {
         assert!(out.contains("triangular_solve: admitted"), "{out}");
         assert!(out.contains("horizon_safe(lag=1)"), "{out}");
         assert!(out.contains("wave5-parmvr: admitted"), "{out}");
-        assert!(out.contains("6/6 targets admitted"), "{out}");
+        assert!(out.contains("7/7 targets admitted"), "{out}");
     }
 
     #[test]
@@ -474,6 +475,47 @@ mod tests {
         assert_eq!(err.exit_code(), 1);
         assert!(err.message().contains("AN003"), "{err}");
         assert!(err.message().contains("REJECTED"), "{err}");
+    }
+
+    #[test]
+    fn plan_reports_the_mode_matrix() {
+        let out = run(["plan", "--all", "--n", "1024", "--scale", "0.005"]).unwrap();
+        assert!(out.contains("== fused_stream"), "{out}");
+        assert!(out.contains("sub-loop 0: [S0] sequential"), "{out}");
+        assert!(out.contains("sub-loop 1: [S1] parallel"), "{out}");
+        assert!(out.contains("fission=true (2 sub-loops)"), "{out}");
+        assert!(out.contains("S0->S1 flow(1)"), "{out}");
+        assert!(
+            out.contains("summary: 21/21 plans replay-validated"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn plan_json_matches_the_checked_in_golden() {
+        // Default parameters are exactly what CI regenerates; the golden
+        // protects every layer from dependence edges to mode threading.
+        let out = run(["plan", "--all", "--format", "json"]).unwrap();
+        let golden = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/plan-golden.json"
+        ));
+        assert!(
+            out == golden,
+            "plan output drifted from results/plan-golden.json; regenerate with:\n  \
+             cargo run --release -p cascade-cli -- plan --all --format json > results/plan-golden.json"
+        );
+    }
+
+    #[test]
+    fn plan_rejects_unknown_format() {
+        let err = run(["plan", "--format", "yaml"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(
+            err.message().contains("unknown format"),
+            "{}",
+            err.message()
+        );
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! The workspace's one hash function.
+//!
+//! FNV-1a 64 is cheap, dependency-free, and stable across platforms and
+//! releases — exactly what on-disk checkpoint manifests and golden files
+//! need. It is **not** collision-resistant against an adversary; it
+//! detects corruption and drift, nothing more. Kept in `cascade-core` so
+//! the checkpoint writer, its adversarial tests, and any future consumer
+//! agree on the same bytes-to-sum mapping by construction.
+
+/// FNV-1a 64 of `bytes` (offset basis `0xcbf29ce484222325`, prime
+/// `0x100000001b3`).
+///
+/// ```
+/// // The standard FNV-1a 64 test vectors.
+/// assert_eq!(cascade_core::fnv64(b""), 0xcbf29ce484222325);
+/// assert_eq!(cascade_core::fnv64(b"a"), 0xaf63dc4c8601ec8c);
+/// assert_eq!(cascade_core::fnv64(b"foobar"), 0x85944171f73967e8);
+/// ```
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv64;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // From the FNV reference implementation's test suite.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn is_byte_order_sensitive() {
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+        assert_ne!(fnv64(b"\x00"), fnv64(b""));
+    }
+}

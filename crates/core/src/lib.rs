@@ -67,6 +67,7 @@
 pub mod amdahl;
 pub mod cascade;
 pub mod chunk;
+pub mod hash;
 pub mod metrics;
 pub mod policy;
 pub mod report;
@@ -78,6 +79,7 @@ pub mod walk;
 pub use amdahl::AmdahlModel;
 pub use cascade::run_cascaded;
 pub use chunk::ChunkPlan;
+pub use hash::fnv64;
 pub use metrics::{
     CascadeMetrics, LatencyStats, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics,
 };

@@ -10,12 +10,13 @@
 //! | [`triangular_solve`] | loop-carried through the solution vector | affine row data + gather of earlier results |
 //! | [`pointer_chase`] | address of iteration `i+1` is data of iteration `i` | dependent gather chain |
 //! | [`iir_recurrence`] | `y[i] = a*y[i-1] + x[i]` | streaming with a carried scalar chain |
+//! | [`fused_stream`] | recurrence fused with an independent store (the fission target) | two streaming statements, one carried |
 //! | [`histogram`] | colliding scatter-add (order-sensitive in FP) | gather index + scatter |
 //! | [`seq_spmv`] | scatter-accumulate into the result vector | gather x, scatter y, streaming values |
 //!
 //! Each kernel is a [`Workload`] (+ initialized [`Arena`]) exactly like
 //! `cascade-wave5`'s loops, so the simulators run all of them unchanged.
-//! All five also run on real threads: the `cascade-analyze` dependence
+//! All six also run on real threads: the `cascade-analyze` dependence
 //! analyzer proves a helper-safety verdict per operand, and kernels with
 //! loop-carried reads (`triangular_solve`, `iir_recurrence`) get a
 //! `HorizonSafe { lag }` verdict — the runner then keeps helpers at most
@@ -285,6 +286,69 @@ pub fn iir_recurrence(n: u64, seed: u64) -> Kernel {
     finish("iir_recurrence", space, IndexStore::new(), spec, arena)
 }
 
+/// An IIR recurrence *fused* with an independent stream store in one
+/// loop body: `b(i+1) = f(b(i), a(i)); c(i) = g(a(i), b(i))`.
+///
+/// Classic loop-fission material: the transformation planner
+/// (`cascade_analyze::plan`) proves the body splits into a sequential
+/// recurrence residue (the `b` statement, carried at lag 1) followed by
+/// a fully parallel (DOALL) sub-loop (the `c` statement) — the
+/// decomposition the paper's cascaded mode leaves on the table when it
+/// treats the whole loop as one sequential residue.
+pub fn fused_stream(n: u64, seed: u64) -> Kernel {
+    assert!(n >= 16);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new();
+    let a = space.alloc("a", 8, n);
+    let b = space.alloc("b", 8, n + 1);
+    let c = space.alloc("c", 8, n);
+    let spec = LoopSpec {
+        name: format!("fused b(i+1)=f(b(i),a(i)); c(i)=g(a(i),b(i)), n={n}"),
+        iters: n,
+        refs: vec![
+            StreamRef {
+                name: "a(i)",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: true,
+            },
+            StreamRef {
+                name: "b(i)",
+                array: b,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "b(i+1)",
+                array: b,
+                pattern: Pattern::Affine { base: 1, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "c(i)",
+                array: c,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 8.0,
+        hoistable_compute: 1.0,
+        hoist_result_bytes: 8,
+    };
+    let mut arena = Arena::new(&space);
+    fill_f64(&mut arena, &space, a, &mut rng);
+    arena.install_indices(&space, &IndexStore::new());
+    finish("fused_stream", space, IndexStore::new(), spec, arena)
+}
+
 /// Histogram accumulation `hist(key(i)) += w(i)` with colliding keys:
 /// order-sensitive in floating point, so it must stay sequential.
 /// Runs everywhere (the paper's scatter-add class).
@@ -409,6 +473,7 @@ pub fn suite(n: u64, seed: u64) -> Vec<Kernel> {
         triangular_solve(n, 4, seed),
         pointer_chase(n, 8, seed ^ 1),
         iir_recurrence(n, seed ^ 2),
+        fused_stream(n, seed ^ 5),
         histogram(n, (n / 4).max(2), seed ^ 3),
         seq_spmv(n * 4, n, n, seed ^ 4),
     ]
@@ -421,7 +486,7 @@ mod tests {
     #[test]
     fn suite_builds_and_validates() {
         let ks = suite(4096, 9);
-        assert_eq!(ks.len(), 5);
+        assert_eq!(ks.len(), 6);
         for k in &ks {
             k.workload.validate();
             assert_eq!(k.workload.loops.len(), 1);
@@ -431,14 +496,17 @@ mod tests {
 
     #[test]
     fn analyzer_admits_every_kernel() {
-        // All five kernels — including the carried-read pair — carry
+        // All six kernels — including the carried-read ones — carry
         // analyzer verdicts the real-thread runtime can honor.
         for k in suite(1024, 5) {
             let report = k.report();
             assert!(k.rt_safe(), "{}: analyzer rejected the kernel", k.name);
             assert!(report.rt_ok());
             let lag = report.loops[0].helper_lag();
-            let carried = matches!(k.name, "triangular_solve" | "iir_recurrence");
+            let carried = matches!(
+                k.name,
+                "triangular_solve" | "iir_recurrence" | "fused_stream"
+            );
             assert_eq!(
                 lag.is_some(),
                 carried,

@@ -45,6 +45,17 @@ const GOLDEN: &[GoldenRow] = &[
         &[DiagCode::CarriedRead],
     ),
     (
+        "fused_stream",
+        Some(1),
+        &[
+            ("a(i)", "packable"),
+            ("b(i)", "horizon_safe"),
+            ("b(i+1)", "prefetchable"),
+            ("c(i)", "prefetchable"),
+        ],
+        &[DiagCode::CarriedRead],
+    ),
+    (
         "histogram",
         None,
         &[("w(i)", "packable"), ("hist(key(i))", "prefetchable")],
@@ -88,8 +99,8 @@ fn kernel_verdicts_match_golden() {
 
 #[test]
 fn carried_kernels_pin_their_exact_lag() {
-    // Both carried-read kernels have a distance-1 flow dependence — pin
-    // the full verdict (class AND lag), not just the class.
+    // The carried-read kernels all have a distance-1 flow dependence —
+    // pin the full verdict (class AND lag), not just the class.
     for k in suite(1024, 7) {
         let rep = k.report();
         let l = &rep.loops[0];
@@ -100,6 +111,10 @@ fn carried_kernels_pin_their_exact_lag() {
             ),
             "iir_recurrence" => assert_eq!(
                 l.find_ref("y(i-1)").unwrap().verdict,
+                Verdict::HorizonSafe { lag: 1 }
+            ),
+            "fused_stream" => assert_eq!(
+                l.find_ref("b(i)").unwrap().verdict,
                 Verdict::HorizonSafe { lag: 1 }
             ),
             _ => assert_eq!(l.helper_lag(), None, "{}: unexpected lag", k.name),

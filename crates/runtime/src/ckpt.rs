@@ -109,15 +109,7 @@ impl fmt::Display for CkptError {
 
 impl std::error::Error for CkptError {}
 
-/// FNV-1a 64 — the only hash we need: cheap, dependency-free, stable.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use cascade_core::fnv64;
 
 /// Hash of a workload's canonical text form — the identity a checkpoint
 /// is bound to. Resuming against an edited workload is refused.

@@ -1,8 +1,8 @@
 //! Phase-level observability for the real-thread runtime.
 //!
-//! [`PhaseRecorder`] is the always-on counter core behind
+//! `PhaseRecorder` (crate-private) is the always-on counter core behind
 //! `RunStats::metrics`: each worker owns one recorder, and every phase
-//! change ([`PhaseRecorder::transition`]) takes **a single timestamp**
+//! change (`PhaseRecorder::transition`) takes **a single timestamp**
 //! that simultaneously closes the previous phase and opens the next one.
 //! Per-phase totals therefore telescope — their sum equals the worker's
 //! wall time *exactly*, by construction, with no gaps and no overlaps.

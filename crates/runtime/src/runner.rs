@@ -2260,10 +2260,8 @@ fn ft_worker<K: RealKernel>(
             // Stamp the grant of j + 1 *before* publishing it via the
             // advance, so the claimant's latency sample pairs with this
             // release (the final advance grants no one: not a handoff).
-            run.release_ns.store(
-                Instant::now().duration_since(run.origin).as_nanos() as u64,
-                Ordering::Relaxed,
-            );
+            let now_ns = Instant::now().duration_since(run.origin).as_nanos() as u64;
+            run.release_ns.store(now_ns, Ordering::Relaxed);
             run.release_chunk.store(j + 1, Ordering::Release);
         }
         if !run.token.try_advance(j) {

@@ -53,16 +53,10 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// FNV-1a 64 — the checkpoint manifest's checksum, recomputed here so
-/// the stale-spec test can forge an otherwise self-consistent manifest.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// FNV-1a 64 — the checkpoint manifest's checksum; the shared
+// `cascade-core` helper lets the stale-spec test forge an otherwise
+// self-consistent manifest.
+use cascade_core::fnv64;
 
 static CASE: AtomicU64 = AtomicU64::new(0);
 

@@ -1,0 +1,249 @@
+//! Fission plans under the *real* interpreter: materialize a
+//! [`TransformPlan`]'s partition as standalone [`LoopSpec`]s, execute the
+//! sub-loops in plan order on the shared arena, and demand a
+//! bitwise-identical checksum to the unfissioned sequential run. This
+//! closes the loop from the static legality analysis (dependence edges,
+//! SCC condensation) through the dynamic replay model down to actual
+//! loads and stores — and proves the negative too: executing the
+//! sub-loops in an order `check_partition` rejects really does corrupt
+//! the result.
+
+use cascade_analyze::plan::{plan_loop, Schedule, TransformPlan};
+use cascade_rt::{RealKernel, SpecProgram};
+use cascade_trace::{
+    AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
+
+/// Materialize the plan's partition as one standalone `LoopSpec` per
+/// sub-loop: every pure read is kept by every sub-loop (the interpreter
+/// folds the shared read set into the accumulator for each statement),
+/// while each write-mode anchor lands only in its own sub-loop, all in
+/// original `refs` order so the accumulator fold is unchanged. Hoisting
+/// is cleared — a fissioned residue runs as a plain loop.
+fn fission_specs(spec: &LoopSpec, plan: &TransformPlan) -> Vec<LoopSpec> {
+    plan.partition
+        .iter()
+        .enumerate()
+        .map(|(g, sub)| {
+            let anchors: Vec<usize> = sub
+                .statements
+                .iter()
+                .filter_map(|&s| plan.statements[s].anchor)
+                .collect();
+            let mut refs = Vec::new();
+            for (k, r) in spec.refs.iter().enumerate() {
+                if r.mode.is_read_only() || anchors.contains(&k) {
+                    let mut r = r.clone();
+                    r.hoistable = false;
+                    refs.push(r);
+                }
+            }
+            LoopSpec {
+                name: format!("{} [fission {g}]", spec.name),
+                iters: spec.iters,
+                refs,
+                compute: spec.compute,
+                hoistable_compute: 0.0,
+                hoist_result_bytes: 0,
+            }
+        })
+        .collect()
+}
+
+/// Run the fissioned sub-loops sequentially in `order` on `arena` and
+/// return the final checksum.
+fn run_fissioned(w: &Workload, arena: Arena, specs: &[LoopSpec], order: &[usize]) -> u64 {
+    let fw = Workload {
+        space: w.space.clone(),
+        index: w.index.clone(),
+        loops: specs.to_vec(),
+    };
+    let mut prog = SpecProgram::new(fw, arena).expect("fission sub-loops must be admitted");
+    for &g in order {
+        let k = prog.kernel(g);
+        // SAFETY: single-threaded.
+        unsafe { k.execute(0..k.iters()) };
+    }
+    prog.checksum()
+}
+
+/// Checksum of the unfissioned sequential run.
+fn sequential(w: &Workload, arena: Arena) -> u64 {
+    let mut prog = SpecProgram::new(w.clone(), arena).unwrap();
+    let k = prog.kernel(0);
+    // SAFETY: single-threaded.
+    unsafe { k.execute(0..k.iters()) };
+    prog.checksum()
+}
+
+#[test]
+fn fused_stream_fission_executes_bitwise() {
+    let k = cascade_kernels::fused_stream(4096, 11);
+    let w = &k.workload;
+    let plan = plan_loop(w, &w.loops[0]);
+    assert!(plan.modes.fissionable, "fused_stream must fission");
+    assert_eq!(plan.partition.len(), 2);
+    assert_eq!(plan.partition[0].schedule, Schedule::Sequential);
+    assert_eq!(plan.partition[1].schedule, Schedule::Parallel);
+
+    let specs = fission_specs(&w.loops[0], &plan);
+    let expected = sequential(w, k.arena.clone());
+    let got = run_fissioned(w, k.arena.clone(), &specs, &[0, 1]);
+    assert_eq!(
+        got, expected,
+        "legal fission order diverged from sequential"
+    );
+}
+
+#[test]
+fn swapped_fission_order_corrupts_the_result() {
+    // Running the consumer sub-loop before the recurrence reads stale b
+    // values: the static check rejects the order, and the interpreter
+    // confirms the rejection is not conservative.
+    let k = cascade_kernels::fused_stream(4096, 11);
+    let w = &k.workload;
+    let plan = plan_loop(w, &w.loops[0]);
+    let swapped = vec![
+        plan.partition[1].statements.clone(),
+        plan.partition[0].statements.clone(),
+    ];
+    assert!(
+        plan.check_partition(&swapped).is_err(),
+        "the swapped order must be statically rejected"
+    );
+
+    let specs = fission_specs(&w.loops[0], &plan);
+    let expected = sequential(w, k.arena.clone());
+    let got = run_fissioned(w, k.arena.clone(), &specs, &[1, 0]);
+    assert_ne!(
+        got, expected,
+        "the statically rejected order must actually diverge"
+    );
+}
+
+/// A synthetic three-writer loop: `a(i+1) = f(a(i))` (a carried
+/// recurrence) plus two independent consumers `x(i)` and `y(i)` of the
+/// shared read set. The plan fissions into three sub-loops —
+/// [recurrence: Sequential, x: Parallel, y: Parallel].
+fn three_writer_workload(n: u64) -> (Workload, Arena) {
+    let mut space = AddressSpace::new();
+    let a = space.alloc("a", 8, n + 1);
+    let x = space.alloc("x", 8, n);
+    let y = space.alloc("y", 8, n);
+    let spec = LoopSpec {
+        name: "three-writer".into(),
+        iters: n,
+        refs: vec![
+            StreamRef {
+                name: "a(i)",
+                array: a,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Read,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "a(i+1)",
+                array: a,
+                pattern: Pattern::Affine { base: 1, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "x(i)",
+                array: x,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Write,
+                bytes: 8,
+                hoistable: false,
+            },
+            StreamRef {
+                name: "y(i)",
+                array: y,
+                pattern: Pattern::Affine { base: 0, stride: 1 },
+                mode: Mode::Modify,
+                bytes: 8,
+                hoistable: false,
+            },
+        ],
+        compute: 4.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    let w = Workload {
+        space,
+        index: IndexStore::new(),
+        loops: vec![spec],
+    };
+    let mut arena = Arena::new(&w.space);
+    for i in 0..=n {
+        arena.set_f64(&w.space, a, i, (i % 17) as f64 * 0.375 + 0.5);
+    }
+    for i in 0..n {
+        arena.set_f64(&w.space, y, i, (i % 5) as f64 - 1.75);
+    }
+    (w, arena)
+}
+
+#[test]
+fn synthetic_three_way_fission_executes_bitwise() {
+    let (w, arena) = three_writer_workload(2048);
+    let plan = plan_loop(&w, &w.loops[0]);
+    assert_eq!(plan.partition.len(), 3, "plan: {plan:?}");
+    assert_eq!(plan.partition[0].schedule, Schedule::Sequential);
+    assert_eq!(plan.partition[1].schedule, Schedule::Parallel);
+    assert_eq!(plan.partition[2].schedule, Schedule::Parallel);
+
+    let specs = fission_specs(&w.loops[0], &plan);
+    let expected = sequential(&w, arena.clone());
+    // Plan order is bitwise; so is swapping the two *independent*
+    // consumers (no cross edge between them)...
+    for order in [[0, 1, 2], [0, 2, 1]] {
+        let got = run_fissioned(&w, arena.clone(), &specs, &order);
+        assert_eq!(got, expected, "legal order {order:?} diverged");
+    }
+    assert!(plan
+        .check_partition(&[
+            plan.partition[0].statements.clone(),
+            plan.partition[2].statements.clone(),
+            plan.partition[1].statements.clone(),
+        ])
+        .is_ok());
+    // ...but hoisting a consumer above the recurrence is rejected and
+    // really diverges.
+    for order in [[1, 0, 2], [2, 1, 0]] {
+        let got = run_fissioned(&w, arena.clone(), &specs, &order);
+        assert_ne!(got, expected, "illegal order {order:?} failed to diverge");
+    }
+}
+
+#[test]
+fn disjoint_writers_commute() {
+    // Strip the recurrence: two writers into disjoint arrays plus a
+    // loop-invariant read set form two Parallel sub-loops with no cross
+    // edge — every execution order is bitwise-identical.
+    let (mut w, _) = three_writer_workload(1024);
+    w.loops[0].refs.remove(1); // drop the a(i+1) recurrence writer
+    let arena = {
+        let mut a = Arena::new(&w.space);
+        a.install_indices(&w.space, &w.index);
+        a
+    };
+    let plan = plan_loop(&w, &w.loops[0]);
+    assert_eq!(plan.partition.len(), 2, "plan: {plan:?}");
+    assert!(plan.modes.parallel, "no carried edge: whole loop is DOALL");
+
+    let specs = fission_specs(&w.loops[0], &plan);
+    let expected = sequential(&w, arena.clone());
+    for order in [[0, 1], [1, 0]] {
+        let got = run_fissioned(&w, arena.clone(), &specs, &order);
+        assert_eq!(got, expected, "independent sub-loops must commute");
+    }
+    assert!(plan
+        .check_partition(&[
+            plan.partition[1].statements.clone(),
+            plan.partition[0].statements.clone(),
+        ])
+        .is_ok());
+}

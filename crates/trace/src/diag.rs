@@ -55,6 +55,22 @@ pub enum DiagCode {
     /// AN008: a pattern resolves to an element index outside its array
     /// (negative, or at/past the array length).
     OutOfBounds,
+    /// AN009: a statement's access pattern cannot be resolved statically
+    /// (missing/written index contents), so the transformation planner
+    /// degrades the loop to a single opaque sequential residue.
+    PlanOpaque,
+    /// AN010: the dependence graph proves a fission into two or more
+    /// independently schedulable sub-loops legal.
+    FissionLegal,
+    /// AN011: a sub-loop carries a dependence with minimal lag `L >= 2`,
+    /// admitting a pipelined DOACROSS post/wait schedule at that lag.
+    DoacrossLag,
+    /// AN012: a sub-loop carries no loop-carried dependence at all — its
+    /// iterations may run in any order (DOALL).
+    PlanParallel,
+    /// AN013: a proposed fission partition violates a dependence edge
+    /// (a source statement is scheduled after its dependent).
+    IllegalPartition,
 }
 
 impl DiagCode {
@@ -76,6 +92,11 @@ impl DiagCode {
             DiagCode::BenignOverlap => "AN006",
             DiagCode::ArenaMismatch => "AN007",
             DiagCode::OutOfBounds => "AN008",
+            DiagCode::PlanOpaque => "AN009",
+            DiagCode::FissionLegal => "AN010",
+            DiagCode::DoacrossLag => "AN011",
+            DiagCode::PlanParallel => "AN012",
+            DiagCode::IllegalPartition => "AN013",
         }
     }
 }
@@ -194,6 +215,11 @@ mod tests {
         assert_eq!(DiagCode::EmptyLoop.as_str(), "VAL001");
         assert_eq!(DiagCode::CarriedRead.as_str(), "AN005");
         assert_eq!(format!("{}", DiagCode::MixedWidth), "AN001");
+        assert_eq!(DiagCode::PlanOpaque.as_str(), "AN009");
+        assert_eq!(DiagCode::FissionLegal.as_str(), "AN010");
+        assert_eq!(DiagCode::DoacrossLag.as_str(), "AN011");
+        assert_eq!(DiagCode::PlanParallel.as_str(), "AN012");
+        assert_eq!(DiagCode::IllegalPartition.as_str(), "AN013");
     }
 
     #[test]

@@ -28,9 +28,11 @@ fn main() {
         "x(i) depends on earlier x entries",
         "next address is this node's data",
         "y(i) = a*y(i-1) + x(i)",
+        "b recurrence fused with parallel c stream",
         "colliding FP scatter-add",
         "scatter-accumulate into y",
     ];
+    assert_eq!(suite(n, 7).len(), why.len(), "one why per kernel");
     for (k, why) in suite(n, 7).into_iter().zip(why) {
         let spec = &k.workload.loops[0];
         let footprint = format!("{:.1} MB", spec.footprint() as f64 / (1024.0 * 1024.0));
