@@ -28,15 +28,19 @@
 
 use std::time::Instant;
 
+use cascade_analyze::plan::plan_loop;
 use cascade_bench::{baseline, cascade_cfg, header, parmvr, scale_from_args, CHUNK_64K};
 use cascade_core::metrics::fmt_f64;
 use cascade_core::{run_cascaded as sim_run_cascaded, HelperPolicy};
 use cascade_mem::machines::pentium_pro;
 use cascade_rt::{
-    try_run_cascaded_observed, Observe, RealKernel, RtPolicy, RunnerConfig, SpecProgram, Token,
-    Tolerance,
+    fission_specs, try_run_cascaded_observed, try_run_planned, Observe, RealKernel, RtPolicy,
+    RunConfig, RunnerConfig, SpecProgram, Token, Tolerance,
 };
 use cascade_synth::{Synth, Variant};
+use cascade_trace::{
+    AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
+};
 
 #[derive(Default)]
 struct Suite {
@@ -68,6 +72,45 @@ impl Suite {
             map(&self.timing),
         )
     }
+}
+
+/// A lag-2 recurrence (`a(i+2) = f(a(i))`) plus an independent consumer:
+/// the planner fissions it into `[doacross(2), parallel]`, so the
+/// planned executor exercises the post/wait pipeline.
+fn doacross_workload(n: u64) -> (Workload, Arena) {
+    let mut space = AddressSpace::new();
+    let a = space.alloc("a", 8, n + 2);
+    let x = space.alloc("x", 8, n);
+    let sref = |name: &'static str, array, base, mode| StreamRef {
+        name,
+        array,
+        pattern: Pattern::Affine { base, stride: 1 },
+        mode,
+        bytes: 8,
+        hoistable: false,
+    };
+    let spec = LoopSpec {
+        name: "bench-doacross".into(),
+        iters: n,
+        refs: vec![
+            sref("a(i)", a, 0, Mode::Read),
+            sref("a(i+2)", a, 2, Mode::Write),
+            sref("x(i)", x, 0, Mode::Write),
+        ],
+        compute: 4.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    let w = Workload {
+        space,
+        index: IndexStore::new(),
+        loops: vec![spec],
+    };
+    let mut arena = Arena::new(&w.space);
+    for i in 0..n + 2 {
+        arena.set_f64(&w.space, a, i, (i % 23) as f64 * 0.1875 + 0.25);
+    }
+    (w, arena)
 }
 
 fn main() {
@@ -160,6 +203,60 @@ fn main() {
     suite.exact("wave5.iters", iters as f64);
     suite.exact("wave5.handoffs", handoffs as f64);
     suite.timing("wave5.wall_ns", t0.elapsed().as_nanos() as f64);
+
+    // --- plan-driven execution: fission + the DOACROSS post/wait pipeline ---
+    // fused_stream fissions into [sequential residue, parallel consumer];
+    // the lag-2 recurrence plans [doacross(2), parallel]. Sub-loop
+    // counts, per-sub-loop chunk counts, and post/wait gate counts are
+    // structural — deterministic for a given scale — so they gate in
+    // `exact`; gate-stall time is host-dependent and lands in `timing`.
+    let fused = cascade_kernels::fused_stream(n, 11);
+    let (dw, darena) = doacross_workload(n);
+    let planned_cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: 2,
+            iters_per_chunk: 1024,
+            policy: RtPolicy::Restructure,
+            poll_batch: 64,
+        },
+        ..RunConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut stall_ns = 0u128;
+    for (tag, w, arena) in [
+        ("fused", fused.workload, fused.arena),
+        ("doacross", dw, darena),
+    ] {
+        let plan = plan_loop(&w, &w.loops[0]);
+        assert!(!plan.opaque && !plan.partition.is_empty(), "{tag}: no plan");
+        let fw = Workload {
+            space: w.space.clone(),
+            index: w.index.clone(),
+            loops: fission_specs(&w.loops[0], &plan),
+        };
+        let prog = SpecProgram::new(fw, arena).unwrap();
+        let kernels: Vec<_> = (0..plan.partition.len()).map(|g| prog.kernel(g)).collect();
+        let stats =
+            try_run_planned(&kernels, &plan, &planned_cfg).expect("fault-free run must succeed");
+        suite.exact(
+            &format!("planned.{tag}.sub_loops"),
+            stats.sub_loops.len() as f64,
+        );
+        suite.exact(&format!("planned.{tag}.iters"), stats.iters as f64);
+        suite.exact(
+            &format!("planned.{tag}.post_waits"),
+            stats.post_waits() as f64,
+        );
+        for s in &stats.sub_loops {
+            suite.exact(
+                &format!("planned.{tag}.sub{}_chunks", s.index),
+                s.chunks as f64,
+            );
+        }
+        stall_ns += stats.post_wait_stall_ns();
+    }
+    suite.timing("planned.post_wait_stall_ns", stall_ns as f64);
+    suite.timing("planned.wall_ns", t0.elapsed().as_nanos() as f64);
 
     // --- the deterministic simulator on the same wave5 problem ---
     let machine = pentium_pro();

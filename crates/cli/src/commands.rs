@@ -21,7 +21,10 @@ use cascade_trace::{from_text, to_text, Arena, Workload};
 use cascade_wave5::{Parmvr, ParmvrParams};
 
 use cascade_core::ChunkPlan;
-use cascade_trace::{reuse_distances, stride_histogram, Mode, Resolver, Severity, TraceRef};
+use cascade_trace::{
+    reuse_distances, stride_histogram, AddressSpace, IndexStore, LoopSpec, Mode, Pattern, Resolver,
+    Severity, StreamRef, TraceRef,
+};
 
 use crate::args::{ArgError, Args};
 
@@ -61,6 +64,20 @@ USAGE:
         --policy none|prefetch|restructure            (default restructure)
         --poll N           helper iterations between token polls (default 64)
 
+  cascade run [options]
+      Run the workload on real threads under an explicit execution
+      mode and verify bitwise equivalence with sequential execution.
+        --mode cascade|plan   (default plan)
+                           cascade: the token-serialized runtime (as
+                           `cascade rt`); plan: fission each loop under
+                           its analyzer transformation plan and run
+                           DOALL sub-loops as a static range split,
+                           DOACROSS sub-loops as a post/wait pipeline,
+                           and sequential residues cascaded — in plan
+                           order. Opaque loops fall back to cascade.
+        --workload/--scale/--n/--seed   as above
+        --threads/--chunk-iters/--poll/--policy   as `rt`
+
   cascade metrics [options]
       Phase-level observability report of one cascaded run: per-worker
       helper/spin/execute breakdown, token-handoff latency distribution,
@@ -98,6 +115,12 @@ USAGE:
                            to salvage (default 4, retry only)
         --retry-backoff-ms N  first stall backoff window, doubling per
                            strike (default 10, retry only)
+        --mode cascade|plan                          (default cascade)
+                           plan: point the matrix at the plan-driven
+                           executor instead — randomized multi-writer
+                           loops fissioned into DOALL/DOACROSS/
+                           sequential sub-loops, with per-sub-loop
+                           fault plans; same verdict rules
         --mid-mutation     also sample panics that fire *after* part of
                            a chunk's writes landed; recovery then rests
                            on the analyzer-bounded undo journal (the
@@ -459,6 +482,151 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `cascade run`: execute a workload under an explicit execution mode.
+/// `--mode cascade` is the token-serialized runtime (identical to
+/// `cascade rt`); `--mode plan` consumes the analyzer's per-loop
+/// [`TransformPlan`] and executes each sub-loop of the fissioned
+/// partition under its planned schedule — DOALL sub-loops as a static
+/// range split across the worker pool, DOACROSS sub-loops as a
+/// pipelined post/wait stage over per-worker committed-iteration
+/// counters, sequential residues cascaded with the token runtime — in
+/// the plan's topological order. The final arena state is gated on
+/// bitwise equality with straight sequential execution; opaque loops
+/// (no usable plan) fall back to the cascaded runtime.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    let mode = args.get("mode", "plan");
+    match mode.as_str() {
+        "cascade" => return rt(args),
+        "plan" => {}
+        other => {
+            return Err(ArgError::usage(format!(
+                "unknown mode '{other}' (cascade|plan)"
+            )))
+        }
+    }
+    let (workload, arena, wname) = workload_from(args)?;
+    let threads = args.get_num(
+        "threads",
+        std::thread::available_parallelism().map_or(2, |n| n.get()),
+    )?;
+    let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
+    let poll = args.get_num("poll", 64u64)?;
+    let policy = rt_policy_from(args)?;
+    args.reject_unknown()?;
+
+    // Sequential reference.
+    let (expected, seq_elapsed) = {
+        let mut prog = SpecProgram::new(workload.clone(), arena.clone())
+            .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
+        let t0 = std::time::Instant::now();
+        for i in 0..prog.num_loops() {
+            let k = prog.kernel(i);
+            cascade_rt::run_sequential(&k);
+        }
+        (prog.checksum(), t0.elapsed())
+    };
+
+    let plans = plan_workload(&workload);
+    let runner = RunnerConfig {
+        nthreads: threads,
+        iters_per_chunk: chunk_iters,
+        policy,
+        poll_batch: poll,
+    };
+    let mut out = format!(
+        "plan-driven execution of {wname}\n  threads {threads}, {chunk_iters} iters/chunk, policy {}\n",
+        policy.label()
+    );
+    let t0 = std::time::Instant::now();
+    let mut arena = arena;
+    let mut post_waits = 0u64;
+    let mut stall_ns = 0u128;
+    for (i, (spec, plan)) in workload.loops.iter().zip(&plans).enumerate() {
+        if plan.opaque || plan.partition.is_empty() {
+            // No usable plan: this loop runs under the classic cascaded
+            // token runtime, unfissioned.
+            let lw = Workload {
+                space: workload.space.clone(),
+                index: workload.index.clone(),
+                loops: vec![spec.clone()],
+            };
+            let prog = SpecProgram::new(lw, arena)
+                .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
+            {
+                let k = prog.kernel(0);
+                try_run_cascaded(&k, &runner, &Tolerance::default()).map_err(|e| {
+                    ArgError::verification(format!("loop '{}' failed: {e}", spec.name))
+                })?;
+            }
+            arena = prog.into_arena();
+            out.push_str(&format!(
+                "  loop {i} ({}): opaque — cascaded, {} iters\n",
+                spec.name, spec.iters
+            ));
+            continue;
+        }
+        let specs = cascade_rt::fission_specs(spec, plan);
+        let fw = Workload {
+            space: workload.space.clone(),
+            index: workload.index.clone(),
+            loops: specs,
+        };
+        let prog = SpecProgram::new(fw, arena).map_err(|e| {
+            ArgError::usage(format!("fissioned workload rejected by the analyzer: {e}"))
+        })?;
+        let stats = {
+            let kernels: Vec<_> = (0..plan.partition.len()).map(|g| prog.kernel(g)).collect();
+            let cfg = RunConfig {
+                runner: runner.clone(),
+                ..RunConfig::default()
+            };
+            cascade_rt::try_run_planned(&kernels, plan, &cfg).map_err(|e| {
+                ArgError::verification(format!("planned run of loop '{}' failed: {e}", spec.name))
+            })?
+        };
+        arena = prog.into_arena();
+        out.push_str(&format!(
+            "  loop {i} ({}): {} sub-loops{}\n",
+            spec.name,
+            stats.sub_loops.len(),
+            if stats.degraded { ", degraded" } else { "" }
+        ));
+        for s in &stats.sub_loops {
+            out.push_str(&format!(
+                "    sub-loop {}: {:<12} {} iters, {} chunks, {} post/waits\n",
+                s.index,
+                schedule_str(s.schedule),
+                s.iters,
+                s.chunks,
+                s.post_waits
+            ));
+        }
+        post_waits += stats.post_waits();
+        stall_ns += stats.post_wait_stall_ns();
+    }
+    let elapsed = t0.elapsed();
+
+    let got = {
+        let mut prog = SpecProgram::new(workload, arena)
+            .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
+        prog.checksum()
+    };
+    out.push_str(&format!(
+        "  sequential {:.2} ms, planned {:.2} ms, {post_waits} post/waits ({:.2} ms gate stall)\n",
+        seq_elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3,
+        stall_ns as f64 / 1e6,
+    ));
+    if got == expected {
+        out.push_str("  result: bitwise identical to sequential execution\n");
+        Ok(out)
+    } else {
+        Err(ArgError::verification(
+            "planned result DIVERGED from sequential execution",
+        ))
+    }
+}
+
 /// The workload behind `cascade metrics` when none is named: the
 /// quickstart-scale synthetic loop, small enough that the report answers
 /// in well under a second on either source.
@@ -621,6 +789,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub fn chaos(args: &Args) -> Result<String, ArgError> {
     if args.flag("kill") {
         return chaos_kill(args);
+    }
+    if args.get("mode", "cascade") == "plan" {
+        return chaos_plan(args);
     }
     let n = args.get_num("n", 16_384u64)?;
     let seed = args.get_num("seed", 42u64)?;
@@ -886,6 +1057,333 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
         return Err(ArgError::verification(format!(
             "chaos: {unexplained} of {plans} plans fell through to salvage without a recorded \
              RetryAbandoned reason\n{out}"
+        )));
+    }
+    out.push_str("recovery verdict: no hangs, no silent corruption\n");
+    Ok(out)
+}
+
+/// One randomized planned-chaos workload: a single loop whose
+/// transformation plan exercises the named schedule mix. Shapes rotate
+/// per case so every chaos run covers DOALL fan-out, a DOACROSS
+/// post/wait pipeline, and a sequential residue. All writers are
+/// stride-1, so every sub-loop is range-exact journalable and
+/// mid-mutation panics must be recoverable.
+fn planned_chaos_workload(n: u64, shape: u64, rng: &mut u64) -> (Workload, Arena, &'static str) {
+    let mut space = AddressSpace::new();
+    let a = space.alloc("a", 8, n + 2);
+    let x = space.alloc("x", 8, n);
+    let y = space.alloc("y", 8, n);
+    let sref = |name: &'static str, array, base, mode| StreamRef {
+        name,
+        array,
+        pattern: Pattern::Affine { base, stride: 1 },
+        mode,
+        bytes: 8,
+        hoistable: false,
+    };
+    let (refs, desc) = match shape % 3 {
+        // Lag-1 recurrence + two independent consumers:
+        // [Sequential, Parallel, Parallel].
+        0 => (
+            vec![
+                sref("a(i)", a, 0, Mode::Read),
+                sref("a(i+1)", a, 1, Mode::Write),
+                sref("x(i)", x, 0, Mode::Write),
+                sref("y(i)", y, 0, Mode::Modify),
+            ],
+            "seq+doall",
+        ),
+        // Lag-2 recurrence + an independent consumer:
+        // [DoAcross(2), Parallel].
+        1 => (
+            vec![
+                sref("a(i)", a, 0, Mode::Read),
+                sref("a(i+2)", a, 2, Mode::Write),
+                sref("x(i)", x, 0, Mode::Write),
+            ],
+            "doacross+doall",
+        ),
+        // Two independent writers over a shared read set:
+        // [Parallel, Parallel].
+        _ => (
+            vec![
+                sref("a(i)", a, 0, Mode::Read),
+                sref("x(i)", x, 0, Mode::Write),
+                sref("y(i)", y, 0, Mode::Modify),
+            ],
+            "doall x2",
+        ),
+    };
+    let spec = LoopSpec {
+        name: "planned-chaos".into(),
+        iters: n,
+        refs,
+        compute: 4.0,
+        hoistable_compute: 0.0,
+        hoist_result_bytes: 0,
+    };
+    let w = Workload {
+        space,
+        index: IndexStore::new(),
+        loops: vec![spec],
+    };
+    let mut arena = Arena::new(&w.space);
+    let salt = splitmix64(rng);
+    for i in 0..n + 2 {
+        arena.set_f64(&w.space, a, i, ((i ^ salt) % 23) as f64 * 0.1875 + 0.25);
+    }
+    for i in 0..n {
+        arena.set_f64(&w.space, y, i, ((i.wrapping_add(salt)) % 7) as f64 - 2.5);
+    }
+    (w, arena, desc)
+}
+
+/// `cascade chaos --mode plan`: the fault-injection matrix pointed at
+/// the plan-driven executor. Each case fissions a randomized
+/// multi-writer loop under its transformation plan, injects
+/// panics/stalls/slowdowns (and, with `--mid-mutation`, torn panics)
+/// into random sub-loop chunks via per-sub-loop fault plans, and
+/// demands the planned run finish or salvage bitwise, report a typed
+/// error, or — under `--cancel` — drain to an exactly-resumable
+/// committed prefix of the fissioned sequence. Exits 1 on any silent
+/// corruption.
+fn chaos_plan(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 4096u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let plans = args.get_num("plans", 12u64)?;
+    let max_threads = args.get_num("max-threads", 4usize)?;
+    let chunk_iters = args.get_num("chunk-iters", 128u64)?;
+    let watchdog_ms = args.get_num("watchdog-ms", 25u64)?;
+    let stall_ms = args.get_num("stall-ms", 80u64)?;
+    let tolerance = args.get("tolerance", "salvage");
+    let retry_budget = args.get_num("retry-budget", 4u64)?;
+    let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
+    let mid_mutation = args.flag("mid-mutation");
+    let cancel_storm = args.flag("cancel");
+    args.reject_unknown()?;
+    if plans == 0 {
+        return Err(ArgError::usage("--plans must be positive"));
+    }
+    if max_threads == 0 {
+        return Err(ArgError::usage("--max-threads must be positive"));
+    }
+    let window = Duration::from_millis(watchdog_ms);
+    let tol = tolerance_from(
+        &tolerance,
+        window,
+        retry_budget,
+        Duration::from_millis(retry_backoff_ms),
+    )?;
+
+    // Injected faults are ordinary panics; suppress the default hook's
+    // per-fault backtraces (restored on drop, including error paths).
+    struct HookGuard;
+    impl Drop for HookGuard {
+        fn drop(&mut self) {
+            let _ = std::panic::take_hook();
+        }
+    }
+    std::panic::set_hook(Box::new(|_| {}));
+    let _hook = HookGuard;
+
+    let mut rng = seed ^ 0x0000_F1A2_0000_C0DE_u64;
+    let mut clean = 0u64;
+    let mut salvaged = 0u64;
+    let mut typed = 0u64;
+    let mut cancelled = 0u64;
+    let mut diverged = 0u64;
+    let mut out = format!(
+        "planned chaos matrix: {plans} fault plans, threads 1..={max_threads}, \
+         {chunk_iters} iters/chunk, watchdog {watchdog_ms} ms, tolerance {tolerance}{}{}\n",
+        if mid_mutation {
+            ", mid-mutation on"
+        } else {
+            ""
+        },
+        if cancel_storm {
+            ", cancel storm on"
+        } else {
+            ""
+        }
+    );
+    for case in 0..plans {
+        let (w, arena, desc) = planned_chaos_workload(n, case, &mut rng);
+        let nthreads = 1 + (splitmix64(&mut rng) as usize) % max_threads;
+
+        // Straight sequential reference over this case's arena.
+        let expected = {
+            let mut prog = SpecProgram::new(w.clone(), arena.clone()).map_err(synth_rejected)?;
+            let k = prog.kernel(0);
+            cascade_rt::run_sequential(&k);
+            prog.checksum()
+        };
+
+        let plan = &plan_workload(&w)[0];
+        let groups = plan.partition.len() as u64;
+        let specs = cascade_rt::fission_specs(&w.loops[0], plan);
+        let fw = Workload {
+            space: w.space.clone(),
+            index: w.index.clone(),
+            loops: specs,
+        };
+        let mut prog = SpecProgram::new(fw, arena).map_err(synth_rejected)?;
+        let num_chunks = n.div_ceil(chunk_iters).max(1);
+
+        // One independent fault plan per sub-loop.
+        let mut fplans: Vec<FaultPlan> = (0..groups).map(|_| FaultPlan::new(chunk_iters)).collect();
+        let mut injected = Vec::new();
+        for _ in 0..=(splitmix64(&mut rng) % 2) {
+            let g = (splitmix64(&mut rng) % groups) as usize;
+            let chunk = splitmix64(&mut rng) % num_chunks;
+            let kind = match splitmix64(&mut rng) % if mid_mutation { 4 } else { 3 } {
+                0 => FaultKind::Panic,
+                1 => FaultKind::Stall(Duration::from_millis(stall_ms)),
+                2 => FaultKind::Slowdown(Duration::from_millis(1 + splitmix64(&mut rng) % 3)),
+                _ => FaultKind::PanicMidMutation {
+                    after_iters: 1 + splitmix64(&mut rng) % (chunk_iters - 1).max(1),
+                },
+            };
+            injected.push(format!("{kind:?}@{g}/{chunk}"));
+            fplans[g] = std::mem::take(&mut fplans[g]).inject(chunk, kind);
+        }
+
+        let runner = RunnerConfig {
+            nthreads,
+            iters_per_chunk: chunk_iters,
+            policy: RtPolicy::Restructure,
+            poll_batch: 8,
+        };
+        let faulty: Vec<FaultyKernel<_>> = fplans
+            .into_iter()
+            .enumerate()
+            .map(|(g, fp)| FaultyKernel::new(prog.kernel(g), fp))
+            .collect();
+        let (result, gov_note) = if cancel_storm {
+            // Every third case arms the deadline governor; the rest get
+            // an external canceller thread firing at a random point.
+            let token = CancelToken::new();
+            let use_deadline = case % 3 == 2;
+            let deadline =
+                use_deadline.then(|| Duration::from_micros(200 + splitmix64(&mut rng) % 4_000));
+            let mut tolerance = tol.clone();
+            if let (Some(d), Some(wd)) = (deadline, tolerance.watchdog) {
+                tolerance.watchdog = Some(wd.min(d));
+            }
+            let cfg = RunConfig {
+                runner,
+                tolerance,
+                deadline,
+                cancel: token.clone(),
+                ..RunConfig::default()
+            };
+            let canceller = (!use_deadline).then(|| {
+                let token = token.clone();
+                let delay = Duration::from_micros(splitmix64(&mut rng) % 5_000);
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    token.cancel("planned chaos canceller");
+                })
+            });
+            let result = cascade_rt::try_run_planned(&faulty, plan, &cfg);
+            if let Some(h) = canceller {
+                let _ = h.join();
+            }
+            (
+                result,
+                if use_deadline {
+                    " +deadline"
+                } else {
+                    " +cancel"
+                },
+            )
+        } else {
+            let cfg = RunConfig {
+                runner,
+                tolerance: tol.clone(),
+                ..RunConfig::default()
+            };
+            (cascade_rt::try_run_planned(&faulty, plan, &cfg), "")
+        };
+        drop(faulty);
+        let label = format!(
+            "  plan {case:>3}: {desc:<14} {nthreads} threads [{}]{gov_note}",
+            injected.join(", "),
+        );
+        let verdict = match result {
+            Ok(stats) => {
+                let bitwise = prog.checksum() == expected;
+                match (bitwise, stats.degraded) {
+                    (true, true) => {
+                        salvaged += 1;
+                        format!("salvaged bitwise ({} fault events)", stats.faults.len())
+                    }
+                    (true, false) => {
+                        clean += 1;
+                        "clean bitwise".to_string()
+                    }
+                    (false, _) => {
+                        diverged += 1;
+                        "SILENT DIVERGENCE".to_string()
+                    }
+                }
+            }
+            Err(
+                ref e @ (RunError::Cancelled {
+                    committed_iters, ..
+                }
+                | RunError::DeadlineExceeded {
+                    committed_iters, ..
+                }),
+            ) => {
+                // The planned run promises a bitwise-clean prefix of
+                // the *fissioned sequence*: finish the remaining
+                // sub-loops sequentially from the global committed
+                // count, in plan order, and gate on straight
+                // sequential.
+                let mut rem = committed_iters;
+                for g in 0..groups as usize {
+                    let k = prog.kernel(g);
+                    let done = rem.min(k.iters());
+                    rem -= done;
+                    if done < k.iters() {
+                        // SAFETY: every worker drained before the
+                        // error returned; documented sequential resume.
+                        unsafe { k.execute(done..k.iters()) };
+                    }
+                }
+                if prog.checksum() == expected {
+                    cancelled += 1;
+                    format!("cancelled at iter {committed_iters}, resumed bitwise ({e})")
+                } else {
+                    diverged += 1;
+                    format!("CANCELLED RESUME DIVERGED from iter {committed_iters}")
+                }
+            }
+            Err(e @ (RunError::WorkerPanicked { .. } | RunError::Stalled { .. })) => {
+                typed += 1;
+                format!("typed error: {e}")
+            }
+            Err(e) => {
+                return Err(ArgError::verification(format!(
+                    "planned chaos: plan {case}: {e}"
+                )))
+            }
+        };
+        out.push_str(&format!("{label} -> {verdict}\n"));
+    }
+    out.push_str(&format!(
+        "summary: {clean} clean, {salvaged} salvaged, {typed} typed errors{}, {diverged} diverged\n",
+        if cancel_storm {
+            format!(", {cancelled} cancelled+resumed")
+        } else {
+            String::new()
+        }
+    ));
+    if diverged > 0 {
+        return Err(ArgError::verification(format!(
+            "planned chaos: {diverged} of {plans} plans reported success with a corrupted \
+             result\n{out}"
         )));
     }
     out.push_str("recovery verdict: no hangs, no silent corruption\n");

@@ -41,6 +41,7 @@ where
                 Some("machines") => commands::machines(&args),
                 Some("sim") => commands::sim(&args),
                 Some("rt") => commands::rt(&args),
+                Some("run") => commands::run(&args),
                 Some("metrics") => commands::metrics(&args),
                 Some("chaos") => commands::chaos(&args),
                 Some("resume") => commands::resume(&args),
@@ -52,7 +53,7 @@ where
                 Some("dump") => commands::dump(&args),
                 Some("schedule") => commands::schedule(&args),
                 Some(other) => Err(ArgError::usage(format!(
-                    "unknown subcommand '{other}' (try: machines, sim, rt, metrics, chaos, resume, sweep, analyze, plan, dump, schedule, help)"
+                    "unknown subcommand '{other}' (try: machines, sim, rt, run, metrics, chaos, resume, sweep, analyze, plan, dump, schedule, help)"
                 ))),
             }
         },
@@ -505,6 +506,114 @@ mod tests {
             "plan output drifted from results/plan-golden.json; regenerate with:\n  \
              cargo run --release -p cascade-cli -- plan --all --format json > results/plan-golden.json"
         );
+    }
+
+    #[test]
+    fn run_plan_mode_executes_fused_stream_bitwise() {
+        // The acceptance loop for the plan-driven executor: fused_stream
+        // fissions into [sequential recurrence, parallel consumer], and
+        // the planned run on real threads must be bitwise-equal to
+        // straight sequential execution.
+        let dir = std::env::temp_dir().join("cascade-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fused-stream.txt");
+        let k = cascade_kernels::fused_stream(4096, 11);
+        std::fs::write(&path, cascade_trace::to_text(&k.workload)).unwrap();
+        let out = run([
+            "run",
+            "--workload-file",
+            path.to_str().unwrap(),
+            "--threads",
+            "3",
+            "--chunk-iters",
+            "256",
+        ])
+        .unwrap();
+        assert!(out.contains("plan-driven execution"), "{out}");
+        assert!(out.contains("2 sub-loops"), "{out}");
+        assert!(out.contains("sub-loop 0: sequential"), "{out}");
+        assert!(out.contains("sub-loop 1: parallel"), "{out}");
+        assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn run_plan_mode_executes_parmvr_bitwise() {
+        let out = run([
+            "run",
+            "--workload",
+            "parmvr",
+            "--scale",
+            "0.005",
+            "--threads",
+            "2",
+            "--chunk-iters",
+            "512",
+        ])
+        .unwrap();
+        assert!(out.contains("plan-driven execution"), "{out}");
+        // The PARMVR suite mixes DOALL sweeps with scatter loops whose
+        // plans stay sequential; both must ride the planned executor.
+        assert!(out.contains("parallel"), "{out}");
+        assert!(out.contains("sequential"), "{out}");
+        assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn run_cascade_mode_delegates_to_the_token_runtime() {
+        let out = run([
+            "run",
+            "--mode",
+            "cascade",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "4096",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("real-thread cascaded execution"), "{out}");
+        assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_unknown_mode() {
+        let err = run(["run", "--mode", "speculative"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(err.message().contains("cascade|plan"), "{err}");
+    }
+
+    #[test]
+    fn chaos_plan_matrix_recovers_across_tolerances() {
+        // The planned executor under the full storm — injected faults,
+        // mid-mutation panics, cancellation — must never corrupt:
+        // every case finishes bitwise, salvages bitwise, resumes
+        // bitwise from the committed prefix, or reports a typed error.
+        for tol in ["salvage", "retry", "fail-fast"] {
+            let out = run([
+                "chaos",
+                "--mode",
+                "plan",
+                "--plans",
+                "6",
+                "--n",
+                "1024",
+                "--seed",
+                "3",
+                "--max-threads",
+                "3",
+                "--tolerance",
+                tol,
+                "--mid-mutation",
+                "--cancel",
+            ])
+            .unwrap_or_else(|e| panic!("tolerance {tol}: {e}"));
+            assert!(
+                out.contains("no hangs, no silent corruption"),
+                "{tol}: {out}"
+            );
+            assert!(out.contains("0 diverged"), "{tol}: {out}");
+        }
     }
 
     #[test]

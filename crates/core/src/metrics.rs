@@ -323,6 +323,18 @@ pub struct CascadeMetrics {
     /// pack arenas); zero when nothing was metered. A side counter, not
     /// a phase.
     pub budget_high_water: u64,
+    /// Sub-loops a plan-driven run executed; zero for classic cascades
+    /// and simulated runs. A side counter, not a phase.
+    pub sub_loops: u64,
+    /// Structural DOACROSS post/wait gate count: gated iterations whose
+    /// dependence iteration lay in a different chunk. Deterministic
+    /// (independent of timing); zero outside plan mode. A side counter.
+    pub post_waits: u64,
+    /// Time workers spent blocked in DOACROSS gate spins, in the run's
+    /// time unit. Timing-dependent; zero outside plan mode. A side
+    /// counter, not a phase (gate spins also land in each worker's Spin
+    /// phase).
+    pub post_wait_stall: f64,
     /// Timestamped phase intervals (empty unless the event ring was on).
     pub events: Vec<PhaseSample>,
 }
@@ -439,6 +451,12 @@ impl CascadeMetrics {
             "  \"budget_high_water\": {},\n",
             self.budget_high_water
         ));
+        out.push_str(&format!("  \"sub_loops\": {},\n", self.sub_loops));
+        out.push_str(&format!("  \"post_waits\": {},\n", self.post_waits));
+        out.push_str(&format!(
+            "  \"post_wait_stall\": {},\n",
+            fmt_f64(self.post_wait_stall)
+        ));
         out.push_str(&format!("  \"handoff\": {},\n", self.handoff.json()));
         out.push_str(&format!("  \"chunk_exec\": {},\n", self.chunk_exec.json()));
         out.push_str("  \"workers\": [\n");
@@ -492,6 +510,14 @@ impl CascadeMetrics {
                 "  governance: cancel latency {} {unit}, budget high-water {} B\n",
                 fmt_time(self.cancel_latency),
                 self.budget_high_water
+            ));
+        }
+        if self.sub_loops > 0 {
+            out.push_str(&format!(
+                "  planned: {} sub-loops, {} post/waits, {} {unit} gate stall\n",
+                self.sub_loops,
+                self.post_waits,
+                fmt_time(self.post_wait_stall)
             ));
         }
         out.push_str(&format!(

@@ -67,6 +67,14 @@
 //! before the journal rollback — on the retry path or the cancel-abort
 //! path) so the tests can prove the checker actually *catches*
 //! violations instead of vacuously passing.
+//!
+//! A second, independent state machine ([`DoAcrossModel`]) covers the
+//! plan-driven runtime's DOACROSS post/wait protocol
+//! ([`crate::sched`]): post happens-before wait-satisfied, no worker
+//! reads an iteration before its lag window is committed, exactly-once
+//! execution. Its seeded bugs ([`DaBug`]) invert the execute/publish
+//! order and shorten the gate window by one — both caught by
+//! exploration.
 
 use interleave::{explore, Exploration, Model};
 
@@ -1014,6 +1022,290 @@ pub fn verify(scenario: Protocol, max_states: usize) -> Exploration<Step> {
     result
 }
 
+// ---------------------------------------------------------------------------
+// DOACROSS post/wait model
+// ---------------------------------------------------------------------------
+
+/// A deliberately seeded bug in the DOACROSS post/wait protocol, for
+/// negative tests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum DaBug {
+    /// The faithful protocol: execute, then publish the frontier.
+    #[default]
+    None,
+    /// Publish the committed frontier *before* executing the iteration:
+    /// a gated peer observes `posts[w] = j + 1`, reads iteration `j`'s
+    /// output, and finds stale memory — post must happen-before
+    /// wait-satisfied.
+    PostBeforeExec,
+    /// Gate with window `lag + 1` instead of `lag` — the "wait for
+    /// `lag - 1` commits" off-by-one. One predecessor fewer is demanded,
+    /// so a schedule exists where iteration `j` runs while `j - lag` is
+    /// still unexecuted.
+    WaitTooShort,
+}
+
+/// One atomic step of the DOACROSS model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DaStep {
+    /// Execute the worker's next owned iteration (its gate is satisfied).
+    Exec {
+        /// Acting worker.
+        worker: u8,
+    },
+    /// Publish the worker's committed frontier (the `Release` store).
+    Post {
+        /// Acting worker.
+        worker: u8,
+    },
+}
+
+/// Explicit-state model of the planned runtime's DOACROSS post/wait
+/// protocol ([`crate::sched`]): round-robin chunk ownership, in-order
+/// execution within each worker, a padded per-worker committed frontier
+/// published after every iteration, and a gate that admits iteration
+/// `j` only once `posts` proves **every** iteration `≤ j − lag`
+/// committed (the per-worker [`gate-target`] thresholds — checking one
+/// counter would re-introduce the off-by-a-chunk bug).
+///
+/// The execute and publish halves of an iteration are separate atomic
+/// actions, so the model explores the window in between — exactly where
+/// [`DaBug::PostBeforeExec`] breaks. The gate's multi-counter read is
+/// modeled as one atomic predicate: `posts` counters are monotone and
+/// the gate only tests `≥` thresholds, so a torn non-atomic read can
+/// delay admission but never falsely grant it — the abstraction
+/// over-approximates nothing.
+///
+/// Invariants, checked in every reachable state:
+/// 1. **Post happens-before wait-satisfied** — `posts[w] = f` implies
+///    every `w`-owned iteration below `f` has executed;
+/// 2. **Lag safety** — no iteration `j` executes while some iteration
+///    `≤ j − lag` is still unexecuted (no worker reads an iteration
+///    before its lag window is committed);
+/// 3. **At-most-once execution**, with exactly-once on acceptance.
+///
+/// [`gate-target`]: crate::sched
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DoAcrossModel {
+    nthreads: u8,
+    iters: u8,
+    chunk: u8,
+    lag: u8,
+    bug: DaBug,
+    /// Published committed frontier per worker.
+    posts: Vec<u8>,
+    /// Times each iteration's body ran (ground truth).
+    executed: Vec<u8>,
+    /// Next owned iteration per worker; `u8::MAX` = exhausted.
+    next: Vec<u8>,
+    /// Mid-iteration phase marker: `Some(j + 1)` between the two halves
+    /// of iteration `j` (executed-not-posted for the faithful protocol,
+    /// posted-not-executed under [`DaBug::PostBeforeExec`]).
+    pending: Vec<Option<u8>>,
+}
+
+impl DoAcrossModel {
+    /// A fresh model: `nthreads` workers over `iters` iterations in
+    /// round-robin chunks of `chunk`, carried lag `lag`.
+    pub fn new(nthreads: u8, iters: u8, chunk: u8, lag: u8) -> Self {
+        assert!(nthreads >= 1 && chunk >= 1 && lag >= 1);
+        let next = (0..nthreads)
+            .map(|w| {
+                let c = w; // first round-robin chunk owned by w
+                let j = c * chunk;
+                if j < iters {
+                    j
+                } else {
+                    u8::MAX
+                }
+            })
+            .collect();
+        DoAcrossModel {
+            nthreads,
+            iters,
+            chunk,
+            lag,
+            bug: DaBug::None,
+            posts: vec![0; nthreads as usize],
+            executed: vec![0; iters as usize],
+            next,
+            pending: vec![None; nthreads as usize],
+        }
+    }
+
+    /// Seed a protocol bug (negative tests).
+    pub fn with_bug(mut self, bug: DaBug) -> Self {
+        self.bug = bug;
+        self
+    }
+
+    /// The iteration after `j` in `w`'s round-robin in-order schedule.
+    fn advance(&self, w: u8, j: u8) -> u8 {
+        let c = self.chunk as u64;
+        let n = self.nthreads as u64;
+        let cur = j as u64 / c;
+        let nj = j as u64 + 1;
+        if nj < self.iters as u64 && nj / c == cur {
+            return nj as u8;
+        }
+        let mut cc = cur + 1;
+        while cc % n != w as u64 {
+            cc += 1;
+        }
+        if cc * c < self.iters as u64 {
+            (cc * c) as u8
+        } else {
+            u8::MAX
+        }
+    }
+
+    /// The gate for iteration `j`, read from `posts` only (mirrors
+    /// `sched::gate_target` across every worker).
+    fn gate(&self, j: u8) -> bool {
+        let window = match self.bug {
+            DaBug::WaitTooShort => self.lag as u64 + 1,
+            _ => self.lag as u64,
+        };
+        let j = j as u64;
+        if j < window {
+            return true;
+        }
+        let d = j - window;
+        let (c, n, iters) = (self.chunk as u64, self.nthreads as u64, self.iters as u64);
+        (0..n).all(|w| {
+            let e = d / c;
+            let target = if e % n == w {
+                d + 1
+            } else {
+                let delta = (e % n + n - w) % n;
+                if e < delta {
+                    0
+                } else {
+                    ((e - delta + 1) * c).min(iters)
+                }
+            };
+            self.posts[w as usize] as u64 >= target
+        })
+    }
+}
+
+impl Model for DoAcrossModel {
+    type Action = DaStep;
+
+    fn actions(&self) -> Vec<DaStep> {
+        let mut acts = Vec::new();
+        for w in 0..self.nthreads {
+            let (first, second) = match self.bug {
+                DaBug::PostBeforeExec => (DaStep::Post { worker: w }, DaStep::Exec { worker: w }),
+                _ => (DaStep::Exec { worker: w }, DaStep::Post { worker: w }),
+            };
+            if self.pending[w as usize].is_some() {
+                acts.push(second);
+            } else if self.next[w as usize] != u8::MAX && self.gate(self.next[w as usize]) {
+                acts.push(first);
+            }
+        }
+        acts
+    }
+
+    fn apply(&self, step: &DaStep) -> Self {
+        let mut s = self.clone();
+        match (*step, self.bug) {
+            // Faithful order: execute, then publish and move on.
+            (DaStep::Exec { worker }, DaBug::None | DaBug::WaitTooShort) => {
+                let j = s.next[worker as usize];
+                s.executed[j as usize] += 1;
+                s.pending[worker as usize] = Some(j + 1);
+            }
+            (DaStep::Post { worker }, DaBug::None | DaBug::WaitTooShort) => {
+                let f = s.pending[worker as usize]
+                    .take()
+                    .expect("post follows exec");
+                s.posts[worker as usize] = f;
+                s.next[worker as usize] = s.advance(worker, f - 1);
+            }
+            // Inverted order: publish first, then execute and move on.
+            (DaStep::Post { worker }, DaBug::PostBeforeExec) => {
+                let j = s.next[worker as usize];
+                s.posts[worker as usize] = j + 1;
+                s.pending[worker as usize] = Some(j + 1);
+            }
+            (DaStep::Exec { worker }, DaBug::PostBeforeExec) => {
+                let f = s.pending[worker as usize]
+                    .take()
+                    .expect("exec follows post");
+                s.executed[(f - 1) as usize] += 1;
+                s.next[worker as usize] = s.advance(worker, f - 1);
+            }
+        }
+        s
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // 1. Post happens-before wait-satisfied: a published frontier
+        //    only covers executed iterations.
+        for w in 0..self.nthreads {
+            let f = self.posts[w as usize];
+            for j in 0..f {
+                let owned = (j as u64 / self.chunk as u64) % self.nthreads as u64 == w as u64;
+                if owned && self.executed[j as usize] == 0 {
+                    return Err(format!(
+                        "worker {w} posted frontier {f} before executing iteration {j}"
+                    ));
+                }
+            }
+        }
+        // 2. Lag safety: an executed iteration proves its whole lag
+        //    window executed first.
+        for j in 0..self.iters {
+            if self.executed[j as usize] == 0 || (j as u64) < self.lag as u64 {
+                continue;
+            }
+            let d = j - self.lag;
+            for i in 0..=d {
+                if self.executed[i as usize] == 0 {
+                    return Err(format!(
+                        "iteration {j} executed before its lag-{} dependence {i}",
+                        self.lag
+                    ));
+                }
+            }
+        }
+        // 3. At most once.
+        for (j, &n) in self.executed.iter().enumerate() {
+            if n > 1 {
+                return Err(format!("iteration {j} executed {n} times"));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.next.iter().all(|&j| j == u8::MAX) && self.pending.iter().all(|p| p.is_none())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        for (j, &n) in self.executed.iter().enumerate() {
+            if n != 1 {
+                return Err(format!("iteration {j} executed {n} times"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively explore a DOACROSS scenario, panicking on truncation
+/// (a truncated exploration must never read as a pass).
+pub fn verify_doacross(scenario: DoAcrossModel, max_states: usize) -> Exploration<DaStep> {
+    let result = explore(scenario, max_states);
+    assert!(
+        !result.truncated,
+        "exploration truncated at {} states — raise max_states",
+        result.states
+    );
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1346,6 +1638,68 @@ mod tests {
                 "checkpointing + journaled panic",
             );
         }
+    }
+
+    fn assert_doacross_verified(scenario: DoAcrossModel, label: &str) {
+        let result = verify_doacross(scenario, 2_000_000);
+        if let Some(v) = &result.violation {
+            panic!(
+                "[{label}] {} — counterexample schedule ({} steps): {:?}",
+                v.message,
+                v.trace.len(),
+                v.trace
+            );
+        }
+        assert!(result.states > 0);
+    }
+
+    #[test]
+    fn doacross_protocol_verifies_across_shapes() {
+        // (workers, iters, chunk, lag) — chunk boundaries and lag
+        // windows deliberately misaligned, including the case where a
+        // gate's dependence sits two chunks back (the off-by-a-chunk
+        // family a single-counter gate would miss).
+        for (n, iters, c, lag) in [(2, 6, 2, 2), (3, 9, 2, 2), (2, 8, 3, 3), (2, 7, 2, 4)] {
+            assert_doacross_verified(
+                DoAcrossModel::new(n, iters, c, lag),
+                &format!("doacross n={n} iters={iters} c={c} lag={lag}"),
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_post_before_exec_bug_is_caught() {
+        let result = verify_doacross(
+            DoAcrossModel::new(2, 6, 2, 2).with_bug(DaBug::PostBeforeExec),
+            2_000_000,
+        );
+        let v = result
+            .violation
+            .expect("publishing the frontier before executing must be caught");
+        assert!(
+            v.message.contains("before executing"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn seeded_wait_too_short_bug_is_caught() {
+        // window = lag + 1 is the "wait for lag - 1 commits" off-by-one:
+        // some schedule runs an iteration while its lag-distance
+        // dependence is still unexecuted.
+        let result = verify_doacross(
+            DoAcrossModel::new(2, 6, 2, 2).with_bug(DaBug::WaitTooShort),
+            2_000_000,
+        );
+        let v = result
+            .violation
+            .expect("the shortened gate window must be caught");
+        assert!(
+            v.message.contains("dependence"),
+            "unexpected violation: {}",
+            v.message
+        );
     }
 
     #[test]

@@ -243,6 +243,12 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
         !self.plan.has_mid_mutation()
     }
 
+    fn journal_range_exact(&self) -> bool {
+        // Fault injection never widens the write-set, so the inner
+        // kernel's exactness promise carries over.
+        self.inner.journal_range_exact()
+    }
+
     unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
         // Forwarded (the trait default would wrongly deny journaling):
         // the write-set of the wrapper is the write-set of the inner

@@ -467,6 +467,20 @@ impl<'p> RealKernel for SpecKernel<'p> {
         debug_assert_eq!(cur, buf.len(), "packed buffer fully consumed");
     }
 
+    fn journal_range_exact(&self) -> bool {
+        // A write footprint is range-exact when its interval holds only
+        // bytes the range itself writes: contiguous affine strides
+        // (|stride| == 1, ascending or descending). A wider stride
+        // leaves gap bytes inside the interval that another range may
+        // own, and an indirect scatter's interval is the whole target
+        // array — both would make a concurrent capture race a writer.
+        self.spec
+            .refs
+            .iter()
+            .filter(|r| r.mode.writes())
+            .all(|r| matches!(r.pattern, Pattern::Affine { stride, .. } if stride.abs() == 1))
+    }
+
     unsafe fn journal_capture(&self, range: Range<u64>, buf: &mut Vec<u8>) -> bool {
         buf.clear();
         for r in self.spec.refs.iter().filter(|r| r.mode.writes()) {

@@ -112,6 +112,23 @@ pub trait RealKernel: Sync {
         false
     }
 
+    /// Whether this kernel's undo-journal footprints are *range-exact*:
+    /// `journal_capture(range, ..)` reads exactly the bytes
+    /// `execute(range)` writes — no padding bytes, no gap bytes between
+    /// strided elements — so disjoint iteration ranges always have
+    /// disjoint journal footprints. The plan-driven scheduler
+    /// ([`crate::sched::try_run_planned`]) only journals DOALL and
+    /// DOACROSS stages under this promise: concurrent workers capture
+    /// and write disjoint ranges, and a non-exact footprint (e.g. an
+    /// interval over a stride-2 write whose gap bytes another chunk
+    /// owns) would make the capture itself a data race. The
+    /// conservative default (`false`) disables stage journaling; the
+    /// stage then falls back to the fail-stop gate on faults and to
+    /// *completing* on cancellation.
+    fn journal_range_exact(&self) -> bool {
+        false
+    }
+
     /// Restore the bytes captured by a prior successful
     /// `journal_capture(range, buf)`, returning the chunk's write-set to
     /// its exact pre-chunk state bitwise. The runner calls this after an

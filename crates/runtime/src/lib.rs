@@ -64,6 +64,20 @@
 //! state and return typed errors carrying the exact sequential resume
 //! point (`committed_iters`).
 //!
+//! ## Plan-driven execution
+//!
+//! The [`sched`] module executes a `cascade-analyze`
+//! [`TransformPlan`](cascade_analyze::plan::TransformPlan) instead of
+//! ignoring it: [`try_run_planned`] runs each `Parallel` sub-loop as a
+//! DOALL static range split, each `DoAcross { lag }` sub-loop as a
+//! pipelined post/wait stage over padded per-worker committed-iteration
+//! counters (Release/Acquire publication), and cascades `Sequential`
+//! residues with the token runtime — in the plan's topological order,
+//! fenced by the poisonable [`FtBarrier`]. Governance, journaled
+//! rollback, and sequential salvage compose per stage; the DOACROSS
+//! post/wait protocol is modeled and exhaustively explored in
+//! [`check`].
+//!
 //! ## Durable runs
 //!
 //! The [`ckpt`] module makes the resume point survive process death: the
@@ -87,6 +101,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod prefetch;
 pub mod runner;
+pub mod sched;
 pub mod token;
 
 pub use barrier::{BarrierOutcome, FtBarrier};
@@ -103,5 +118,8 @@ pub use runner::{
     try_run_cascaded_observed, try_run_cascaded_sequence, try_run_cascaded_sequence_observed,
     try_run_governed, try_run_governed_sequence, FaultEvent, RetryAbandon, RetryPolicy, RtPolicy,
     RunError, RunStats, RunnerConfig, ThreadStats, Tolerance,
+};
+pub use sched::{
+    doacross_order, fission_specs, try_run_planned, PlannedStats, PlannedThread, SubLoopStats,
 };
 pub use token::{PoisonCause, Token, TokenView, WaitOutcome, EXEC_BIT, POISONED};

@@ -8,47 +8,11 @@
 //! sub-loops in an order `check_partition` rejects really does corrupt
 //! the result.
 
-use cascade_analyze::plan::{plan_loop, Schedule, TransformPlan};
-use cascade_rt::{RealKernel, SpecProgram};
+use cascade_analyze::plan::{plan_loop, Schedule};
+use cascade_rt::{fission_specs, RealKernel, SpecProgram};
 use cascade_trace::{
     AddressSpace, Arena, IndexStore, LoopSpec, Mode, Pattern, StreamRef, Workload,
 };
-
-/// Materialize the plan's partition as one standalone `LoopSpec` per
-/// sub-loop: every pure read is kept by every sub-loop (the interpreter
-/// folds the shared read set into the accumulator for each statement),
-/// while each write-mode anchor lands only in its own sub-loop, all in
-/// original `refs` order so the accumulator fold is unchanged. Hoisting
-/// is cleared — a fissioned residue runs as a plain loop.
-fn fission_specs(spec: &LoopSpec, plan: &TransformPlan) -> Vec<LoopSpec> {
-    plan.partition
-        .iter()
-        .enumerate()
-        .map(|(g, sub)| {
-            let anchors: Vec<usize> = sub
-                .statements
-                .iter()
-                .filter_map(|&s| plan.statements[s].anchor)
-                .collect();
-            let mut refs = Vec::new();
-            for (k, r) in spec.refs.iter().enumerate() {
-                if r.mode.is_read_only() || anchors.contains(&k) {
-                    let mut r = r.clone();
-                    r.hoistable = false;
-                    refs.push(r);
-                }
-            }
-            LoopSpec {
-                name: format!("{} [fission {g}]", spec.name),
-                iters: spec.iters,
-                refs,
-                compute: spec.compute,
-                hoistable_compute: 0.0,
-                hoist_result_bytes: 0,
-            }
-        })
-        .collect()
-}
 
 /// Run the fissioned sub-loops sequentially in `order` on `arena` and
 /// return the final checksum.

@@ -35,7 +35,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RT=crates/runtime/src
-ALLOWED_ATOMIC_FILES="barrier.rs govern.rs health.rs runner.rs token.rs"
+# sched.rs: the DOACROSS post/wait counters (padded per-worker committed
+#   frontiers, Release on post / Acquire in the gate) plus the stage
+#   halt/unjournaled flags. The protocol is model-checked by
+#   DoAcrossModel in src/check.rs; the module uses no Relaxed orderings.
+ALLOWED_ATOMIC_FILES="barrier.rs govern.rs health.rs runner.rs sched.rs token.rs"
 ALLOW_RELAXED_RE='release_ns\.(load|store)\('
 
 fail=0
