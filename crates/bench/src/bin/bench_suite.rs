@@ -34,8 +34,8 @@ use cascade_core::metrics::fmt_f64;
 use cascade_core::{run_cascaded as sim_run_cascaded, HelperPolicy};
 use cascade_mem::machines::pentium_pro;
 use cascade_rt::{
-    fission_specs, try_run_cascaded_observed, try_run_planned, Observe, RealKernel, RtPolicy,
-    RunConfig, RunnerConfig, SpecProgram, Token, Tolerance,
+    fission_specs, try_run_cascaded_observed, try_run_governed, try_run_planned, Observe,
+    RealKernel, RtPolicy, RunConfig, RunnerConfig, SpecProgram, Token, Tolerance, VerifyPolicy,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{
@@ -173,6 +173,30 @@ fn main() {
     suite.exact("rt_cascade.handoffs", m.handoff.count as f64);
     suite.exact("rt_cascade.exec_samples", m.chunk_exec.count as f64);
     suite.timing("rt_cascade.wall_ns", stats.elapsed.as_nanos() as f64);
+
+    // --- verified execution: digest handoffs + full-replay audit ---
+    // The same synthetic loop under `VerifyPolicy::EveryChunk`. The
+    // counters are structural: claimants replay-verify every committed
+    // predecessor (chunks - 1 of them; the supervisor audits the final
+    // chunk outside the per-thread counters) and the arena is scrubbed
+    // exactly twice (baseline + post-join compare). The digest/replay
+    // path cost is host-dependent and lands in `timing`.
+    let vs = Synth::build(n, Variant::Dense, 9);
+    let vprog = SpecProgram::new(vs.workload, vs.arena).unwrap();
+    let vk = vprog.kernel(0);
+    let vcfg = RunConfig {
+        runner: cfg.clone(),
+        verify: VerifyPolicy::EveryChunk,
+        ..RunConfig::default()
+    };
+    let vstats = try_run_governed(&vk, &vcfg).expect("fault-free run must succeed");
+    let verified: u64 = vstats.threads.iter().map(|t| t.verified_chunks).sum();
+    let verify_ns: u128 = vstats.threads.iter().map(|t| t.verify_ns).sum();
+    suite.exact("verify.chunks", vstats.chunks as f64);
+    suite.exact("verify.replayed_chunks", verified as f64);
+    suite.exact("verify.scrubs", vstats.scrubs as f64);
+    suite.timing("verify.digest_replay_ns", verify_ns as f64);
+    suite.timing("verify.wall_ns", vstats.elapsed.as_nanos() as f64);
 
     // --- miniature wave5 end-to-end on real threads ---
     let pscale = (0.02 * scale).max(0.005);

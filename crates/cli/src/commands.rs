@@ -15,6 +15,7 @@ use cascade_rt::{
     ckpt, try_run_cascaded, try_run_cascaded_observed, try_run_governed, CancelToken, CkptMeta,
     CkptPolicy, CkptSink, CkptWriter, FaultEvent, FaultKind, FaultPlan, FaultyKernel, Observe,
     RealKernel, RetryPolicy, RtPolicy, RunConfig, RunError, RunnerConfig, SpecProgram, Tolerance,
+    VerifyPolicy,
 };
 use cascade_synth::{Synth, Variant};
 use cascade_trace::{from_text, to_text, Arena, Workload};
@@ -63,6 +64,13 @@ USAGE:
         --chunk-iters N    iterations per chunk (default 4096)
         --policy none|prefetch|restructure            (default restructure)
         --poll N           helper iterations between token polls (default 64)
+        --verify off|checksum|every|sampled:K         (default off)
+                           online verified execution: every chunk commit
+                           publishes a write-footprint digest with the
+                           token handoff; `every`/`sampled:K` also
+                           replay-verify committed chunks against a
+                           journaled private view before the next chunk
+                           executes (docs/ROBUSTNESS.md)
 
   cascade run [options]
       Run the workload on real threads under an explicit execution
@@ -76,7 +84,10 @@ USAGE:
                            and sequential residues cascaded — in plan
                            order. Opaque loops fall back to cascade.
         --workload/--scale/--n/--seed   as above
-        --threads/--chunk-iters/--poll/--policy   as `rt`
+        --threads/--chunk-iters/--poll/--policy/--verify   as `rt`
+                           (verification rides sequential/cascaded
+                           stages; DOALL/DOACROSS stages have no
+                           sequential handoff to checksum)
 
   cascade metrics [options]
       Phase-level observability report of one cascaded run: per-worker
@@ -142,6 +153,20 @@ USAGE:
           --every is sampled per trial; --throttle-us N slows child
           chunks (default 300) so kills land mid-run; --kill-dir D keeps
           checkpoint dirs under D (default: temp, removed on success)
+        --corrupt          silent-bit-flip storm instead: chunks execute
+                           normally but XOR a byte inside (or, every 4th
+                           plan, outside) their write footprint; the run
+                           executes under an armed replaying verify
+                           policy and every flip must be detected online
+                           — repaired bitwise, or failed with a typed
+                           error whose committed prefix resumes bitwise
+                           (out-of-footprint flips are the arena
+                           scrubber's catch). Exits 1 on any missed flip
+                           or silent divergence.
+          --verify every|sampled:K        (default every)
+          --tolerance retry|salvage|fail-fast  as above (default retry:
+          retry/salvage repair in place, fail-fast proves the typed
+          error's clean prefix); --plans N flip plans (default 12)
 
   cascade resume [options]
       Restore a checkpointed run (written by a durable run or chaos
@@ -429,6 +454,7 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
     let poll = args.get_num("poll", 64u64)?;
     let policy = rt_policy_from(args)?;
+    let verify = verify_policy_from(&args.get("verify", "off"))?;
     args.reject_unknown()?;
 
     // Sequential reference.
@@ -455,12 +481,28 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
     let mut chunks = 0u64;
     let mut helped = 0u64;
     let mut iters = 0u64;
+    let mut verified = 0u64;
+    let mut scrubs = 0u64;
     for i in 0..prog.num_loops() {
         let k = prog.kernel(i);
-        let stats = cascade_rt::run_cascaded(&k, &cfg);
+        let stats = if verify.armed() {
+            // The armed policies ride the governed runner: checksummed
+            // handoffs, claimant verification, and the arena scrubber.
+            let run_cfg = RunConfig {
+                runner: cfg.clone(),
+                verify,
+                ..RunConfig::default()
+            };
+            try_run_governed(&k, &run_cfg)
+                .map_err(|e| ArgError::verification(format!("loop {i}: {e}")))?
+        } else {
+            cascade_rt::run_cascaded(&k, &cfg)
+        };
         chunks += stats.chunks;
         iters += stats.iters;
         helped += stats.threads.iter().map(|t| t.helper_iters).sum::<u64>();
+        verified += stats.threads.iter().map(|t| t.verified_chunks).sum::<u64>();
+        scrubs += stats.scrubs;
     }
     let elapsed = t0.elapsed();
     let ok = prog.checksum() == expected.0;
@@ -472,6 +514,11 @@ pub fn rt(args: &Args) -> Result<String, ArgError> {
         elapsed.as_secs_f64() * 1e3,
         100.0 * helped as f64 / iters.max(1) as f64,
     );
+    if verify.armed() {
+        out.push_str(&format!(
+            "  verification: {verified} chunks replay-verified, {scrubs} arena scrubs, no corruption\n",
+        ));
+    }
     if ok {
         out.push_str("  result: bitwise identical to sequential execution\n");
     } else {
@@ -512,6 +559,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let chunk_iters = args.get_num("chunk-iters", 4096u64)?;
     let poll = args.get_num("poll", 64u64)?;
     let policy = rt_policy_from(args)?;
+    let verify = verify_policy_from(&args.get("verify", "off"))?;
     args.reject_unknown()?;
 
     // Sequential reference.
@@ -554,7 +602,12 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
                 .map_err(|e| ArgError::usage(format!("workload rejected by the analyzer: {e}")))?;
             {
                 let k = prog.kernel(0);
-                try_run_cascaded(&k, &runner, &Tolerance::default()).map_err(|e| {
+                let run_cfg = RunConfig {
+                    runner: runner.clone(),
+                    verify,
+                    ..RunConfig::default()
+                };
+                try_run_governed(&k, &run_cfg).map_err(|e| {
                     ArgError::verification(format!("loop '{}' failed: {e}", spec.name))
                 })?;
             }
@@ -578,6 +631,7 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             let kernels: Vec<_> = (0..plan.partition.len()).map(|g| prog.kernel(g)).collect();
             let cfg = RunConfig {
                 runner: runner.clone(),
+                verify,
                 ..RunConfig::default()
             };
             cascade_rt::try_run_planned(&kernels, plan, &cfg).map_err(|e| {
@@ -776,6 +830,31 @@ fn tolerance_from(
     }
 }
 
+/// Parse `--verify off|checksum|every|sampled:K` into a [`VerifyPolicy`].
+fn verify_policy_from(name: &str) -> Result<VerifyPolicy, ArgError> {
+    match name {
+        "off" => Ok(VerifyPolicy::Off),
+        "checksum" => Ok(VerifyPolicy::Checksum),
+        "every" => Ok(VerifyPolicy::EveryChunk),
+        other => {
+            if let Some(k) = other.strip_prefix("sampled:") {
+                let k: u64 = k.parse().map_err(|_| {
+                    ArgError::usage(format!("--verify: cannot parse '{k}' as a sample period"))
+                })?;
+                if k == 0 {
+                    return Err(ArgError::usage(
+                        "--verify sampled:0 never samples; use at least 1",
+                    ));
+                }
+                return Ok(VerifyPolicy::Sampled(k));
+            }
+            Err(ArgError::usage(format!(
+                "--verify: unknown policy '{other}' (off|checksum|every|sampled:K)"
+            )))
+        }
+    }
+}
+
 /// Deterministic splitmix64 step — the CLI avoids external RNG crates.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e3779b97f4a7c15);
@@ -789,6 +868,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub fn chaos(args: &Args) -> Result<String, ArgError> {
     if args.flag("kill") {
         return chaos_kill(args);
+    }
+    if args.flag("corrupt") {
+        return chaos_corrupt(args);
     }
     if args.get("mode", "cascade") == "plan" {
         return chaos_plan(args);
@@ -1060,6 +1142,233 @@ pub fn chaos(args: &Args) -> Result<String, ArgError> {
         )));
     }
     out.push_str("recovery verdict: no hangs, no silent corruption\n");
+    Ok(out)
+}
+
+/// `cascade chaos --corrupt`: silent-data-corruption storm. Each plan
+/// injects [`FaultKind::SilentBitFlip`]s — in-footprint flips that the
+/// checksummed-handoff verifier must catch at the very next claim, plus
+/// out-of-footprint flips only the arena scrubber can see — and the run
+/// executes under an armed replaying [`VerifyPolicy`]. The exit gate is
+/// *online detection*: every injected flip must surface before the run
+/// returns (repaired bitwise, or a typed [`RunError::Corrupted`] whose
+/// committed prefix resumes bitwise); a single silent divergence or
+/// missed flip exits 1.
+fn chaos_corrupt(args: &Args) -> Result<String, ArgError> {
+    let n = args.get_num("n", 16_384u64)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let plans = args.get_num("plans", 12u64)?;
+    let max_threads = args.get_num("max-threads", 4usize)?;
+    let chunk_iters = args.get_num("chunk-iters", 128u64)?;
+    let watchdog_ms = args.get_num("watchdog-ms", 200u64)?;
+    let tolerance = args.get("tolerance", "retry");
+    let retry_budget = args.get_num("retry-budget", 4u64)?;
+    let retry_backoff_ms = args.get_num("retry-backoff-ms", 10u64)?;
+    let verify = verify_policy_from(&args.get("verify", "every"))?;
+    let _ = args.flag("corrupt"); // consumed by the dispatcher
+    args.reject_unknown()?;
+    if plans == 0 {
+        return Err(ArgError::usage("--plans must be positive"));
+    }
+    if max_threads == 0 {
+        return Err(ArgError::usage("--max-threads must be positive"));
+    }
+    // Detection of an in-execution flip needs the replay compare; a
+    // digest-only policy would re-hash the executor's own (corrupted)
+    // bytes and agree with them.
+    let sample_k = match verify {
+        VerifyPolicy::EveryChunk => 1,
+        VerifyPolicy::Sampled(k) => k,
+        VerifyPolicy::Off | VerifyPolicy::Checksum => {
+            return Err(ArgError::usage(
+                "--corrupt needs a replaying --verify policy (every or sampled:K)",
+            ))
+        }
+    };
+    let tol = tolerance_from(
+        &tolerance,
+        Duration::from_millis(watchdog_ms),
+        retry_budget,
+        Duration::from_millis(retry_backoff_ms),
+    )?;
+    let recovers = tol.retry.is_some() || tol.salvage;
+
+    let expected = |variant: Variant| -> Result<u64, ArgError> {
+        let s = Synth::build(n, variant, seed);
+        let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+        let k = prog.kernel(0);
+        cascade_rt::run_sequential(&k);
+        Ok(prog.checksum())
+    };
+    let reference = [expected(Variant::Dense)?, expected(Variant::Sparse)?];
+    // Out-of-footprint flips only make sense on workloads that *have*
+    // bytes outside their write footprints; probe with a no-op flip.
+    let has_gaps = |variant: Variant| -> Result<bool, ArgError> {
+        let s = Synth::build(n, variant, seed);
+        let prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+        let k = prog.kernel(0);
+        // SAFETY: single-threaded; xor 0 is a no-op on the probed byte.
+        Ok(unsafe { k.corrupt_byte(0..k.iters(), 0, 0, false) })
+    };
+    let gaps = [has_gaps(Variant::Dense)?, has_gaps(Variant::Sparse)?];
+
+    let mut rng = seed ^ 0x00C0_44FF_7ED0_57A7_u64;
+    let mut repaired = 0u64;
+    let mut failed_clean = 0u64;
+    let mut scrubbed = 0u64;
+    let mut missed = 0u64;
+    let mut diverged = 0u64;
+    let mut out = format!(
+        "corruption storm: {plans} flip plans, threads 1..={max_threads}, \
+         {chunk_iters} iters/chunk, verify {verify:?}, tolerance {tolerance}\n"
+    );
+    for case in 0..plans {
+        let vi = (case % 2) as usize;
+        let variant = if vi == 0 {
+            Variant::Dense
+        } else {
+            Variant::Sparse
+        };
+        let nthreads = 1 + (splitmix64(&mut rng) as usize) % max_threads;
+        let s = Synth::build(n, variant, seed);
+        let mut prog = SpecProgram::new(s.workload, s.arena).map_err(synth_rejected)?;
+        let iters = prog.workload().loops[0].iters;
+        let num_chunks = iters.div_ceil(chunk_iters).max(1);
+        // Every fourth plan aims outside the footprints (when the
+        // workload has such bytes) — the scrubber's jurisdiction.
+        let outside = case % 4 == 3 && gaps[vi];
+        let mut plan = FaultPlan::new(chunk_iters);
+        let mut flips: Vec<u64> = Vec::new();
+        for _ in 0..=(splitmix64(&mut rng) % 2) {
+            // Land on replay-sampled chunks so Sampled(K) storms still
+            // promise detection for every injected flip.
+            let sampled = num_chunks.div_ceil(sample_k);
+            let chunk = (splitmix64(&mut rng) % sampled) * sample_k;
+            if flips.contains(&chunk) {
+                continue;
+            }
+            flips.push(chunk);
+            plan = plan.inject(
+                chunk,
+                FaultKind::SilentBitFlip {
+                    // Flip after the whole chunk ran, so no later
+                    // iteration of the same chunk legitimately repairs it.
+                    after_iters: chunk_iters,
+                    offset: splitmix64(&mut rng),
+                    xor: 1 << (splitmix64(&mut rng) % 8),
+                    in_footprint: !outside,
+                },
+            );
+            if outside {
+                break; // one scrubber target is enough per plan
+            }
+        }
+        let run_cfg = RunConfig {
+            runner: RunnerConfig {
+                nthreads,
+                iters_per_chunk: chunk_iters,
+                policy: RtPolicy::None,
+                poll_batch: 8,
+            },
+            tolerance: tol.clone(),
+            verify,
+            ..RunConfig::default()
+        };
+        let faulty = FaultyKernel::new(prog.kernel(0), plan);
+        let result = try_run_governed(&faulty, &run_cfg);
+        drop(faulty);
+        let label = format!(
+            "  plan {case:>3}: {nthreads} threads, {} flip(s) {}footprint @{:?}",
+            flips.len(),
+            if outside { "out-of-" } else { "in-" },
+            flips,
+        );
+        let verdict = match result {
+            Ok(stats) => {
+                let detected = stats
+                    .faults
+                    .iter()
+                    .filter(|f| matches!(f, FaultEvent::CorruptionDetected { .. }))
+                    .count() as u64;
+                let bitwise = prog.checksum() == reference[vi];
+                if outside || detected < flips.len() as u64 {
+                    // An out-of-footprint flip must fail the run (there
+                    // is no journal to repair from), and an in-footprint
+                    // one must be caught — success with a missed flip is
+                    // exactly the silent corruption this gate exists for.
+                    missed += 1;
+                    format!("MISSED FLIP(S): {detected}/{} detected", flips.len())
+                } else if !bitwise {
+                    diverged += 1;
+                    "SILENT DIVERGENCE after repair".to_string()
+                } else {
+                    repaired += 1;
+                    format!(
+                        "detected {detected}/{} online, repaired bitwise ({} blamed)",
+                        flips.len(),
+                        stats
+                            .faults
+                            .iter()
+                            .filter(|f| matches!(f, FaultEvent::WorkerBlamed { .. }))
+                            .count()
+                    )
+                }
+            }
+            Err(RunError::Corrupted {
+                thread,
+                chunk,
+                committed_iters,
+            }) => {
+                if outside {
+                    // Scrubber verdict: unassignable blame, fully
+                    // committed prefix — the drift is outside every chunk.
+                    if thread.is_none() && chunk.is_none() {
+                        scrubbed += 1;
+                        format!("scrubber caught out-of-footprint drift ({committed_iters} clean)")
+                    } else {
+                        missed += 1;
+                        format!("out-of-footprint flip misattributed to {thread:?}/{chunk:?}")
+                    }
+                } else if recovers {
+                    // A repairing tolerance should not have failed.
+                    missed += 1;
+                    format!("failed despite a recovery path (chunk {chunk:?})")
+                } else {
+                    // Fail-fast: the typed error's prefix must resume
+                    // bitwise.
+                    {
+                        let k = prog.kernel(0);
+                        // SAFETY: the run drained before returning; this
+                        // is the documented sequential resume.
+                        unsafe { k.execute(committed_iters..k.iters()) };
+                    }
+                    if prog.checksum() == reference[vi] {
+                        failed_clean += 1;
+                        format!(
+                            "detected online, failed fast at chunk {chunk:?} \
+                             (blamed {thread:?}), resumed bitwise"
+                        )
+                    } else {
+                        diverged += 1;
+                        format!("CORRUPT PREFIX: resume from {committed_iters} diverged")
+                    }
+                }
+            }
+            Err(e) => return Err(ArgError::verification(format!("corrupt plan {case}: {e}"))),
+        };
+        out.push_str(&format!("{label} -> {verdict}\n"));
+    }
+    out.push_str(&format!(
+        "summary: {repaired} repaired bitwise, {failed_clean} failed fast with clean resume, \
+         {scrubbed} scrubber catches, {missed} missed, {diverged} diverged\n"
+    ));
+    if missed > 0 || diverged > 0 {
+        return Err(ArgError::verification(format!(
+            "chaos --corrupt: {missed} missed flips / {diverged} divergences — \
+             silent corruption escaped online verification\n{out}"
+        )));
+    }
+    out.push_str("corruption verdict: every flip detected online, zero silent divergence\n");
     Ok(out)
 }
 
@@ -1742,7 +2051,9 @@ pub fn resume(args: &Args) -> Result<String, ArgError> {
         // indistinguishable from never having crashed.
         let w =
             from_text(&text).map_err(|e| ArgError::usage(format!("--dir {dir}: workload: {e}")))?;
-        let mut fresh = SpecProgram::new(w, Arena::from_bytes(base)).map_err(|e| {
+        let fresh_arena = Arena::try_from_bytes(&w.space, base)
+            .map_err(|e| ArgError::usage(format!("--dir {dir}: {e}")))?;
+        let mut fresh = SpecProgram::new(w, fresh_arena).map_err(|e| {
             ArgError::usage(format!(
                 "--dir {dir}: workload rejected by the analyzer: {e}"
             ))

@@ -362,6 +362,97 @@ mod tests {
     }
 
     #[test]
+    fn rt_verify_every_replays_every_chunk() {
+        let out = run([
+            "rt",
+            "--workload",
+            "synth-dense",
+            "--n",
+            "8192",
+            "--threads",
+            "2",
+            "--chunk-iters",
+            "512",
+            "--verify",
+            "every",
+        ])
+        .unwrap();
+        assert!(out.contains("chunks replay-verified"), "{out}");
+        assert!(out.contains("no corruption"), "{out}");
+        assert!(out.contains("bitwise identical"), "{out}");
+    }
+
+    #[test]
+    fn rt_rejects_malformed_verify_policies() {
+        let err = run(["rt", "--n", "4096", "--verify", "paranoid"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(
+            err.message().contains("off|checksum|every|sampled:K"),
+            "{err}"
+        );
+        let err = run(["rt", "--n", "4096", "--verify", "sampled:0"]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(err.message().contains("sampled:0"), "{err}");
+    }
+
+    #[test]
+    fn chaos_corrupt_storm_detects_every_flip() {
+        let out = run([
+            "chaos",
+            "--corrupt",
+            "--n",
+            "4096",
+            "--plans",
+            "4",
+            "--chunk-iters",
+            "64",
+            "--max-threads",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("corruption storm"), "{out}");
+        assert!(out.contains("0 missed"), "{out}");
+        assert!(out.contains("0 diverged"), "{out}");
+        assert!(
+            out.contains("every flip detected online, zero silent divergence"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn chaos_corrupt_fail_fast_resumes_clean() {
+        let out = run([
+            "chaos",
+            "--corrupt",
+            "--n",
+            "4096",
+            "--plans",
+            "4",
+            "--chunk-iters",
+            "64",
+            "--max-threads",
+            "3",
+            "--tolerance",
+            "fail-fast",
+        ])
+        .unwrap();
+        assert!(out.contains("failed fast with clean resume"), "{out}");
+        assert!(
+            out.contains("every flip detected online, zero silent divergence"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn chaos_corrupt_rejects_non_replaying_policies() {
+        for policy in ["off", "checksum"] {
+            let err = run(["chaos", "--corrupt", "--verify", policy]).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Usage, "[{policy}]");
+            assert!(err.message().contains("replay"), "[{policy}] {err}");
+        }
+    }
+
+    #[test]
     fn sweep_over_procs() {
         let out = run([
             "sweep",

@@ -205,6 +205,18 @@ pub struct WorkerMetrics {
     /// `journal_time`, a side counter riding inside the phases, *not* a
     /// sixth phase: the partition identity is unaffected.
     pub ckpt_time: f64,
+    /// Committed chunks this worker *verified* (digest compare and, under
+    /// replaying policies, journaled re-execution) before letting its own
+    /// execution proceed. 0 when `VerifyPolicy::Off` and for simulated
+    /// runs.
+    pub verified_chunks: u64,
+    /// Time spent digesting write footprints at commit and verifying the
+    /// predecessor's chunk after claim. Like `journal_time`, a side
+    /// counter riding inside the phases, *not* a sixth phase.
+    pub verify_time: f64,
+    /// Phase intervals lost because the opt-in event ring hit its
+    /// capacity; a non-zero value flags `events` as truncated.
+    pub events_dropped: u64,
     /// Receive-side token-handoff latency: release of chunk `j` by the
     /// previous executor → this worker's claim of `j`.
     pub takeover: LatencyStats,
@@ -233,7 +245,7 @@ impl WorkerMetrics {
 
     fn json(&self) -> String {
         format!(
-            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"rollbacks\": {}, \"journal_bytes\": {}, \"journal_time\": {}, \"ckpt_count\": {}, \"ckpt_bytes\": {}, \"ckpt_time\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
+            "{{\"worker\": {}, \"chunks\": {}, \"phases\": {{\"helper\": {}, \"spin\": {}, \"execute\": {}, \"retry\": {}, \"other\": {}}}, \"wall\": {}, \"helper_iters\": {}, \"helper_complete\": {}, \"jump_outs\": {}, \"horizon_stalls\": {}, \"packed_bytes\": {}, \"prefetched_bytes\": {}, \"handoffs\": {}, \"rollbacks\": {}, \"journal_bytes\": {}, \"journal_time\": {}, \"ckpt_count\": {}, \"ckpt_bytes\": {}, \"ckpt_time\": {}, \"verified_chunks\": {}, \"verify_time\": {}, \"events_dropped\": {}, \"takeover\": {}, \"chunk_exec\": {}}}",
             self.worker,
             self.chunks,
             fmt_f64(self.helper_time),
@@ -255,6 +267,9 @@ impl WorkerMetrics {
             self.ckpt_count,
             self.ckpt_bytes,
             fmt_f64(self.ckpt_time),
+            self.verified_chunks,
+            fmt_f64(self.verify_time),
+            self.events_dropped,
             self.takeover.json(),
             self.chunk_exec.json(),
         )
@@ -335,6 +350,11 @@ pub struct CascadeMetrics {
     /// counter, not a phase (gate spins also land in each worker's Spin
     /// phase).
     pub post_wait_stall: f64,
+    /// Arena scrub passes the supervisor ran (whole-memory checksums of
+    /// bytes outside every chunk's write footprint, taken at quiescent
+    /// points). Zero when `VerifyPolicy::Off` and for simulated runs. A
+    /// side counter, not a phase.
+    pub scrubs: u64,
     /// Timestamped phase intervals (empty unless the event ring was on).
     pub events: Vec<PhaseSample>,
 }
@@ -410,6 +430,23 @@ impl CascadeMetrics {
         self.workers.iter().map(|w| w.ckpt_time).sum()
     }
 
+    /// Total committed chunks verified before downstream execution.
+    pub fn verified_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.verified_chunks).sum()
+    }
+
+    /// Total time spent digesting and verifying committed chunks (a side
+    /// counter, not a sixth phase).
+    pub fn verify_time(&self) -> f64 {
+        self.workers.iter().map(|w| w.verify_time).sum()
+    }
+
+    /// Total phase intervals lost to event-ring capacity across workers;
+    /// non-zero means `events` is a truncated timeline.
+    pub fn events_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.events_dropped).sum()
+    }
+
     /// Render the fixed-field-order JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
@@ -442,6 +479,19 @@ impl CascadeMetrics {
         out.push_str(&format!(
             "  \"ckpt_time\": {},\n",
             fmt_f64(self.ckpt_time())
+        ));
+        out.push_str(&format!(
+            "  \"verified_chunks\": {},\n",
+            self.verified_chunks()
+        ));
+        out.push_str(&format!(
+            "  \"verify_time\": {},\n",
+            fmt_f64(self.verify_time())
+        ));
+        out.push_str(&format!("  \"scrubs\": {},\n", self.scrubs));
+        out.push_str(&format!(
+            "  \"events_dropped\": {},\n",
+            self.events_dropped()
         ));
         out.push_str(&format!(
             "  \"cancel_latency\": {},\n",
@@ -520,6 +570,14 @@ impl CascadeMetrics {
                 fmt_time(self.post_wait_stall)
             ));
         }
+        if self.verified_chunks() > 0 || self.scrubs > 0 {
+            out.push_str(&format!(
+                "  verification: {} chunks verified, {} arena scrubs, {} {unit} digest+verify\n",
+                self.verified_chunks(),
+                self.scrubs,
+                fmt_time(self.verify_time())
+            ));
+        }
         out.push_str(&format!(
             "  token handoffs: {} ({} min / {} mean / {} max {unit})\n",
             self.handoff.count,
@@ -562,10 +620,11 @@ impl CascadeMetrics {
                 w.jump_outs,
             ));
         }
-        if !self.events.is_empty() {
+        if !self.events.is_empty() || self.events_dropped() > 0 {
             out.push_str(&format!(
-                "\n  event ring: {} phase intervals recorded\n",
-                self.events.len()
+                "\n  event ring: {} phase intervals recorded, {} dropped at capacity\n",
+                self.events.len(),
+                self.events_dropped()
             ));
         }
         out
@@ -601,6 +660,16 @@ impl CascadeMetrics {
             assert!(
                 w.chunk_exec.count == w.chunks,
                 "worker {}: one exec sample per chunk",
+                w.worker
+            );
+            assert!(
+                w.verify_time >= 0.0 && w.verify_time.is_finite(),
+                "worker {}: verify_time must be a finite non-negative side counter",
+                w.worker
+            );
+            assert!(
+                w.verified_chunks <= self.chunks,
+                "worker {}: cannot verify more chunks than the run executed",
                 w.worker
             );
         }

@@ -75,6 +75,23 @@
 //! execution. Its seeded bugs ([`DaBug`]) invert the execute/publish
 //! order and shorten the gate window by one — both caught by
 //! exploration.
+//!
+//! A third state machine ([`VerifyModel`]) covers the verified-execution
+//! protocol (checksummed handoffs + blame, `docs/ROBUSTNESS.md` §"Silent
+//! data corruption") with three invariants: **verification
+//! happens-before downstream commit visibility** when a `VerifyPolicy`
+//! is armed (the claimant of chunk `j` verifies chunk `j-1`'s packet
+//! before its own execute phase), **a corrupted chunk is never part of
+//! the committed prefix** a typed error reports (the fail path rolls the
+//! chunk back to its pre-image before poisoning), and **blame never
+//! convicts an innocent worker** under a single-fault assumption
+//! (conviction requires the sequential tiebreak — two agreeing replays —
+//! *and* the published digest matching the committed bytes, which proves
+//! the executor computed them). Its seeded bugs ([`VBug`]) verify after
+//! the downstream execute instead of before
+//! ([`VBug::VerifyAfterHandoff`]) and blame on a lone mismatch without
+//! the tiebreak ([`VBug::BlameWithoutTiebreak`]) — both caught by
+//! exploration.
 
 use interleave::{explore, Exploration, Model};
 
@@ -1306,6 +1323,526 @@ pub fn verify_doacross(scenario: DoAcrossModel, max_states: usize) -> Exploratio
     result
 }
 
+// ---------------------------------------------------------------------------
+// Verified-execution (checksummed handoffs + blame) model
+// ---------------------------------------------------------------------------
+
+/// The single scripted corruption fault of a [`VerifyModel`] scenario.
+/// At most one fires per run — the blame-attribution invariant is proved
+/// under the same single-fault assumption the runner's tiebreak
+/// reasoning rests on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VFault {
+    /// The executor of `chunk` computes wrong bytes. Its published
+    /// digest covers them (an executor digests what it actually wrote),
+    /// so the tiebreak *plus* the digest match convict it — correctly.
+    WrongBytes {
+        /// The chunk whose body miscomputes.
+        chunk: u8,
+    },
+    /// The chunk's committed bytes flip *after* the executor's
+    /// commit-time digest capture, while the handoff packet is still
+    /// outstanding. The digest mismatch proves the executor innocent:
+    /// the faithful protocol detects and recovers without blame.
+    PostCommitFlip {
+        /// The chunk whose committed bytes flip in place.
+        chunk: u8,
+    },
+    /// The verifier's first private replay of `chunk` is itself wrong (a
+    /// transient on the verifier's side). The tiebreak's second replay
+    /// disagrees with the first, so the faithful protocol blames nobody
+    /// and lets the committed bytes stand.
+    ReplayGlitch {
+        /// The chunk whose first replay glitches.
+        chunk: u8,
+    },
+}
+
+impl VFault {
+    /// The chunk this fault is scripted at.
+    fn chunk(self) -> u8 {
+        match self {
+            VFault::WrongBytes { chunk }
+            | VFault::PostCommitFlip { chunk }
+            | VFault::ReplayGlitch { chunk } => chunk,
+        }
+    }
+}
+
+/// A deliberately seeded verified-execution protocol bug, for negative
+/// tests: the checker must catch each of these.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum VBug {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// The claimant executes its own chunk *before* verifying the
+    /// predecessor's packet: the downstream body consumes bytes nobody
+    /// has checked yet, breaking verification-happens-before-downstream
+    /// commit visibility.
+    VerifyAfterHandoff,
+    /// Blame the executor on a lone replay mismatch — no second replay,
+    /// no digest guard. A verifier-side glitch or a post-commit flip
+    /// then convicts an innocent worker.
+    BlameWithoutTiebreak,
+}
+
+/// What a chunk's committed bytes look like, abstractly.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum VData {
+    /// Never executed.
+    Fresh,
+    /// Executed correctly (or repaired to the verified bytes).
+    Good,
+    /// The executor committed miscomputed bytes.
+    Wrong,
+    /// Flipped in place after the executor's digest capture.
+    Flipped,
+    /// Restored to its pre-image by the fail path (and poisoned).
+    RolledBack,
+}
+
+/// Modeled worker control state (the verify-relevant slice of the
+/// runner's worker loop).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum VTh {
+    /// About to compute its next owned chunk.
+    Idle { cursor: u8 },
+    /// Polling the token for its owned chunk.
+    Waiting { chunk: u8 },
+    /// Won the claim; the predecessor's packet is pending — the faithful
+    /// order verifies it *before* the execute phase.
+    Verifying { chunk: u8 },
+    /// Inside the chunk body.
+    Executing { chunk: u8 },
+    /// Seeded-bug tail ([`VBug::VerifyAfterHandoff`]): body already run,
+    /// the predecessor's packet verified only now.
+    LateVerifying { chunk: u8 },
+    /// Body done; about to publish the handoff packet and advance.
+    Releasing { chunk: u8 },
+    /// Drained.
+    Done,
+}
+
+/// One atomic step of the verified-execution model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VStep {
+    /// Compute the next owned chunk (or drain).
+    Seek(usize),
+    /// Notice poisoning while waiting.
+    Observe(usize),
+    /// The claim CAS; the faithful claimant then verifies the
+    /// predecessor's packet before executing.
+    Claim(usize),
+    /// Verify the pending packet: digest compare, replay, tiebreak,
+    /// blame, repair-or-fail — the runner's `verify_committed`.
+    Verify(usize),
+    /// Run the chunk body.
+    Execute(usize),
+    /// Publish the handoff packet (digest + pre-image) and advance the
+    /// token — the checksummed handoff.
+    Advance(usize),
+    /// The scripted post-commit flip lands (only while the victim
+    /// chunk's packet is outstanding — the window the protocol claims
+    /// detection over).
+    Flip,
+    /// The supervisor verifies the final chunk's packet after the last
+    /// handoff (post-join in the runner, quiescent by construction).
+    FinalVerify,
+}
+
+/// Explicit-state model of the verified-execution protocol
+/// ([`crate::runner`]'s `verify_committed` / `convict` / `fail_rollback`
+/// under an armed `VerifyPolicy`): every commit publishes a packet
+/// (digest + pre-image) with the token handoff, the claimant of chunk
+/// `j` verifies chunk `j-1` before its own execute phase, a mismatch is
+/// confirmed by the sequential tiebreak (two agreeing private replays),
+/// blame additionally requires the published digest to match the
+/// committed bytes, and the fail path rolls the corrupted chunk back to
+/// its pre-image before poisoning.
+///
+/// Ownership is a fixed round-robin with no roster dynamics: quarantine
+/// remaps, stalls and panics are [`Protocol`]'s concern — this model
+/// isolates the three verification claims so their state space stays
+/// exhaustively explorable:
+///
+/// 1. **Verification happens-before downstream commit visibility** — in
+///    no reachable state is a chunk's body executing (or executed,
+///    unreleased) while its predecessor's packet is still unverified;
+/// 2. **A corrupted chunk is never part of the committed prefix** — in
+///    every poisoned state the blamed chunk is rolled back to its
+///    pre-image and every chunk before the resume point is bitwise
+///    good, so the typed error's `committed_iters` is trustworthy;
+/// 3. **Blame never convicts an innocent worker** (single-fault
+///    assumption) — a conviction implies the convicted executor really
+///    computed the wrong bytes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VerifyModel {
+    // Scenario (constant across a run, varied across tests).
+    nthreads: u8,
+    chunks: u8,
+    recover: bool,
+    bug: VBug,
+    fault: Option<VFault>,
+    // Dynamic state.
+    fault_fired: bool,
+    token: Tok,
+    threads: Vec<VTh>,
+    data: Vec<VData>,
+    executed: Vec<u8>,
+    /// The outstanding handoff packet: `(chunk, executor)`.
+    packet: Option<(u8, u8)>,
+    /// The chunk a corruption poison named (the typed error's blame).
+    poisoned_chunk: Option<u8>,
+    /// A worker that did not corrupt anything was blamed.
+    blamed_innocent: bool,
+}
+
+impl VerifyModel {
+    /// A faithful verified run over `nthreads` workers and `chunks`
+    /// chunks with recovery on (convictions repair in place).
+    pub fn new(nthreads: u8, chunks: u8) -> Self {
+        assert!(nthreads >= 1 && chunks >= 1);
+        VerifyModel {
+            nthreads,
+            chunks,
+            recover: true,
+            bug: VBug::None,
+            fault: None,
+            fault_fired: false,
+            token: Tok::Granted(0),
+            threads: vec![VTh::Idle { cursor: 0 }; nthreads as usize],
+            data: vec![VData::Fresh; chunks as usize],
+            executed: vec![0; chunks as usize],
+            packet: None,
+            poisoned_chunk: None,
+            blamed_innocent: false,
+        }
+    }
+
+    /// Script the run's single corruption fault.
+    pub fn with_fault(mut self, fault: VFault) -> Self {
+        assert!(fault.chunk() < self.chunks);
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Disable recovery: a confirmed corruption rolls back and poisons
+    /// instead of repairing in place (the fail-fast tolerance).
+    pub fn without_recovery(mut self) -> Self {
+        self.recover = false;
+        self
+    }
+
+    /// Seed a protocol bug the checker must catch.
+    pub fn with_bug(mut self, bug: VBug) -> Self {
+        self.bug = bug;
+        self
+    }
+
+    /// Fixed round-robin ownership: the smallest `j >= from` owned by `t`.
+    fn next_owned(&self, t: u8, from: u8) -> u8 {
+        let n = self.nthreads;
+        let r = from % n;
+        if r <= t {
+            from - r + t
+        } else {
+            from - r + n + t
+        }
+    }
+
+    /// The runner's `verify_committed`, compressed to one atomic
+    /// decision (the interleavings that matter — packet vs. downstream
+    /// claim vs. flip — are between steps, not inside the comparison).
+    /// Returns `true` when the run poisoned.
+    fn run_verify(&mut self) -> bool {
+        let (c, _e) = self.packet.take().expect("verify requires a packet");
+        let ci = c as usize;
+        // First private replay: wrong only under a pending glitch.
+        let glitch = matches!(self.fault, Some(VFault::ReplayGlitch { chunk }) if chunk == c)
+            && !self.fault_fired;
+        if glitch {
+            self.fault_fired = true;
+        }
+        // The replay recomputes the chunk from its pre-image: correct
+        // bytes unless the glitch fires, so it matches the committed
+        // bytes iff they are good.
+        let r1_matches = !glitch && self.data[ci] == VData::Good;
+        // The executor digested what it wrote, so the published digest
+        // matches the committed bytes unless they flipped afterwards.
+        let digest_matches = self.data[ci] != VData::Flipped;
+        if self.bug == VBug::BlameWithoutTiebreak {
+            if r1_matches {
+                return false;
+            }
+            // Seeded bug: lone mismatch, no second replay, no digest
+            // guard — the executor is convicted outright.
+            if self.data[ci] != VData::Wrong {
+                self.blamed_innocent = true;
+            }
+            return self.resolve(ci);
+        }
+        if r1_matches {
+            return false;
+        }
+        // Sequential tiebreak: the second replay (transients do not
+        // repeat) — if it disagrees with the first, the fault is the
+        // verifier's own and the committed bytes stand, unblamed.
+        if glitch {
+            return false;
+        }
+        // Two agreeing replays against the committed bytes: corruption
+        // confirmed. Blame only if the digest proves the executor
+        // computed them; a post-commit flip convicts nobody.
+        if digest_matches && self.data[ci] != VData::Wrong {
+            self.blamed_innocent = true;
+        }
+        self.resolve(ci)
+    }
+
+    /// Repair in place (recovery armed) or roll back and poison.
+    fn resolve(&mut self, ci: usize) -> bool {
+        if self.recover {
+            // Install the verified replay bytes: bitwise what a clean
+            // execution would have left.
+            self.data[ci] = VData::Good;
+            false
+        } else {
+            // Fail path: pre-image rollback first, then poison — the
+            // committed prefix of the typed error stays clean.
+            self.data[ci] = VData::RolledBack;
+            self.token = Tok::Poisoned;
+            self.poisoned_chunk = Some(ci as u8);
+            true
+        }
+    }
+}
+
+impl Model for VerifyModel {
+    type Action = VStep;
+
+    fn actions(&self) -> Vec<VStep> {
+        let mut acts = Vec::new();
+        for (i, th) in self.threads.iter().enumerate() {
+            match *th {
+                VTh::Idle { .. } => acts.push(VStep::Seek(i)),
+                VTh::Waiting { chunk } => {
+                    if self.token == Tok::Granted(chunk) {
+                        acts.push(VStep::Claim(i));
+                    }
+                    if self.token == Tok::Poisoned {
+                        acts.push(VStep::Observe(i));
+                    }
+                }
+                VTh::Verifying { .. } | VTh::LateVerifying { .. } => acts.push(VStep::Verify(i)),
+                VTh::Executing { .. } => acts.push(VStep::Execute(i)),
+                VTh::Releasing { .. } => acts.push(VStep::Advance(i)),
+                VTh::Done => {}
+            }
+        }
+        if let Some(VFault::PostCommitFlip { chunk }) = self.fault {
+            // The flip may land at any point while the victim's packet
+            // is outstanding — the window the protocol claims detection
+            // over (later flips are the arena scrubber's concern).
+            if !self.fault_fired && self.packet.is_some_and(|(c, _)| c == chunk) {
+                acts.push(VStep::Flip);
+            }
+        }
+        if self.token == Tok::Granted(self.chunks) && self.packet.is_some() {
+            acts.push(VStep::FinalVerify);
+        }
+        acts
+    }
+
+    fn apply(&self, step: &VStep) -> Self {
+        let mut s = self.clone();
+        match *step {
+            VStep::Seek(i) => {
+                let VTh::Idle { cursor } = s.threads[i] else {
+                    unreachable!("Seek from non-Idle")
+                };
+                if s.token == Tok::Poisoned {
+                    s.threads[i] = VTh::Done;
+                    return s;
+                }
+                let j = s.next_owned(i as u8, cursor);
+                s.threads[i] = if j < s.chunks {
+                    VTh::Waiting { chunk: j }
+                } else {
+                    VTh::Done
+                };
+            }
+            VStep::Observe(i) => {
+                s.threads[i] = VTh::Done;
+            }
+            VStep::Claim(i) => {
+                let VTh::Waiting { chunk } = s.threads[i] else {
+                    unreachable!("Claim from non-Waiting")
+                };
+                s.token = Tok::Claimed(chunk);
+                let pending_pred = s.packet.is_some_and(|(c, _)| c + 1 == chunk);
+                s.threads[i] = if pending_pred && s.bug != VBug::VerifyAfterHandoff {
+                    // Faithful order: verify the predecessor while
+                    // holding the downstream claim, before executing.
+                    VTh::Verifying { chunk }
+                } else {
+                    // No packet (chunk 0), or the seeded bug defers the
+                    // verification until after the body.
+                    VTh::Executing { chunk }
+                };
+            }
+            VStep::Verify(i) => {
+                let late = matches!(s.threads[i], VTh::LateVerifying { .. });
+                let (VTh::Verifying { chunk } | VTh::LateVerifying { chunk }) = s.threads[i] else {
+                    unreachable!("Verify from non-verifying state")
+                };
+                let failed = s.run_verify();
+                s.threads[i] = if failed {
+                    VTh::Done
+                } else if late {
+                    VTh::Releasing { chunk }
+                } else {
+                    VTh::Executing { chunk }
+                };
+            }
+            VStep::Execute(i) => {
+                let VTh::Executing { chunk } = s.threads[i] else {
+                    unreachable!("Execute from non-Executing")
+                };
+                s.executed[chunk as usize] += 1;
+                let wrong = matches!(s.fault, Some(VFault::WrongBytes { chunk: fc }) if fc == chunk)
+                    && !s.fault_fired;
+                if wrong {
+                    s.fault_fired = true;
+                }
+                s.data[chunk as usize] = if wrong { VData::Wrong } else { VData::Good };
+                let pending_pred = s.packet.is_some_and(|(c, _)| c + 1 == chunk);
+                s.threads[i] = if pending_pred {
+                    // Only reachable under VerifyAfterHandoff: the
+                    // deferred verification lands now, after the body
+                    // already consumed unverified bytes.
+                    VTh::LateVerifying { chunk }
+                } else {
+                    VTh::Releasing { chunk }
+                };
+            }
+            VStep::Advance(i) => {
+                let VTh::Releasing { chunk } = s.threads[i] else {
+                    unreachable!("Advance from non-Releasing")
+                };
+                if s.token == Tok::Claimed(chunk) {
+                    // The checksummed handoff: digest + pre-image packet
+                    // published, then the advance CAS — program order
+                    // within one worker, so modeled as one step.
+                    s.packet = Some((chunk, i as u8));
+                    s.token = Tok::Granted(chunk + 1);
+                    s.threads[i] = VTh::Idle { cursor: chunk + 1 };
+                } else {
+                    s.threads[i] = VTh::Done;
+                }
+            }
+            VStep::Flip => {
+                let Some(VFault::PostCommitFlip { chunk }) = s.fault else {
+                    unreachable!("Flip without a scripted flip")
+                };
+                s.fault_fired = true;
+                s.data[chunk as usize] = VData::Flipped;
+            }
+            VStep::FinalVerify => {
+                // Post-join supervisor verification of the last packet;
+                // quiescent by construction.
+                s.run_verify();
+            }
+        }
+        s
+    }
+
+    fn invariant(&self) -> Result<(), String> {
+        // 3. Blame never convicts an innocent worker (single fault).
+        if self.blamed_innocent {
+            return Err("an innocent worker was blamed for corruption".into());
+        }
+        // 1. Verification happens-before downstream commit visibility:
+        //    no chunk's body runs while its predecessor is unverified.
+        for th in &self.threads {
+            if let VTh::Executing { chunk }
+            | VTh::LateVerifying { chunk }
+            | VTh::Releasing { chunk } = th
+            {
+                if self.packet.is_some_and(|(c, _)| c + 1 == *chunk) {
+                    return Err(format!(
+                        "chunk {chunk} executed before its predecessor was verified"
+                    ));
+                }
+            }
+        }
+        // 2. A corrupted chunk is never part of the committed prefix.
+        if let Some(pc) = self.poisoned_chunk {
+            if self.data[pc as usize] != VData::RolledBack {
+                return Err(format!("poisoned with chunk {pc} still corrupted in place"));
+            }
+            for c in 0..pc {
+                if matches!(self.data[c as usize], VData::Wrong | VData::Flipped) {
+                    return Err(format!(
+                        "corrupted chunk {c} inside the committed prefix of the typed error"
+                    ));
+                }
+            }
+        }
+        for (c, &n) in self.executed.iter().enumerate() {
+            if n > 1 {
+                return Err(format!("chunk {c} executed {n} times"));
+            }
+        }
+        Ok(())
+    }
+
+    fn is_accepting(&self) -> bool {
+        self.threads.iter().all(|t| matches!(t, VTh::Done)) && self.packet.is_none()
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.token == Tok::Poisoned {
+            // Fail path: the per-state invariants already guaranteed the
+            // rolled-back chunk and the clean prefix.
+            return Ok(());
+        }
+        if self.token != Tok::Granted(self.chunks) {
+            return Err(format!(
+                "clean run ended with the token at {:?}, not Granted({})",
+                self.token, self.chunks
+            ));
+        }
+        for (c, &n) in self.executed.iter().enumerate() {
+            if n != 1 {
+                return Err(format!("chunk {c} executed {n} times"));
+            }
+        }
+        // Online detection, never after the run: an accepted run has no
+        // corrupted chunk left in place.
+        if let Some(c) = self
+            .data
+            .iter()
+            .position(|d| matches!(d, VData::Wrong | VData::Flipped))
+        {
+            return Err(format!("run accepted with chunk {c} still corrupted"));
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively explore a verified-execution scenario, panicking on
+/// truncation (a truncated exploration must never read as a pass).
+pub fn verify_verification(scenario: VerifyModel, max_states: usize) -> Exploration<VStep> {
+    let result = explore(scenario, max_states);
+    assert!(
+        !result.truncated,
+        "exploration truncated at {} states — raise max_states",
+        result.states
+    );
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1717,5 +2254,131 @@ mod tests {
             .violation
             .expect("CaptureAfterHandoff must be caught");
         assert!(v.message.contains("uncommitted"), "{}", v.message);
+    }
+
+    fn assert_verify_verified(scenario: VerifyModel, label: &str) {
+        let result = verify_verification(scenario, 2_000_000);
+        if let Some(v) = &result.violation {
+            panic!(
+                "[{label}] {} — counterexample schedule ({} steps): {:?}",
+                v.message,
+                v.trace.len(),
+                v.trace
+            );
+        }
+        assert!(result.states > 0);
+    }
+
+    #[test]
+    fn verified_execution_protocol_verifies_fault_free() {
+        for n in [2u8, 3] {
+            assert_verify_verified(VerifyModel::new(n, 4), &format!("verify fault-free n={n}"));
+        }
+    }
+
+    #[test]
+    fn wrong_bytes_are_detected_and_repaired_under_every_schedule() {
+        // A miscomputing executor at any chunk: every interleaving must
+        // convict it (digest matches the wrong bytes it digested itself)
+        // and repair in place to the verified replay bytes.
+        for chunk in 0..4 {
+            assert_verify_verified(
+                VerifyModel::new(2, 4).with_fault(VFault::WrongBytes { chunk }),
+                &format!("wrong-bytes repair chunk={chunk}"),
+            );
+        }
+        assert_verify_verified(
+            VerifyModel::new(3, 4).with_fault(VFault::WrongBytes { chunk: 2 }),
+            "wrong-bytes repair n=3",
+        );
+    }
+
+    #[test]
+    fn wrong_bytes_without_recovery_poison_with_a_clean_prefix() {
+        // Fail-fast tolerance: the corrupted chunk must be rolled back
+        // before the poison publishes, and every chunk before it must
+        // still be good — invariant 2 holds in every poisoned state.
+        for chunk in 0..4 {
+            assert_verify_verified(
+                VerifyModel::new(2, 4)
+                    .with_fault(VFault::WrongBytes { chunk })
+                    .without_recovery(),
+                &format!("wrong-bytes fail-fast chunk={chunk}"),
+            );
+        }
+    }
+
+    #[test]
+    fn post_commit_flip_never_blames_the_innocent_executor() {
+        // The flip lands after the executor's digest capture, so the
+        // digest guard must exonerate it in every schedule — detection
+        // and recovery (or rollback) with no conviction.
+        for chunk in 0..4 {
+            for recover in [true, false] {
+                let mut m = VerifyModel::new(2, 4).with_fault(VFault::PostCommitFlip { chunk });
+                if !recover {
+                    m = m.without_recovery();
+                }
+                assert_verify_verified(m, &format!("post-commit flip chunk={chunk}"));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_glitch_indicts_the_verifier_not_the_executor() {
+        // A transient on the verifier's side: the tiebreak's second
+        // replay disagrees with the first, so the committed bytes stand
+        // and nobody is blamed — under every schedule.
+        for chunk in 0..4 {
+            assert_verify_verified(
+                VerifyModel::new(2, 4).with_fault(VFault::ReplayGlitch { chunk }),
+                &format!("replay glitch chunk={chunk}"),
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_verify_after_handoff_bug_is_caught() {
+        // Deferring the predecessor's verification until after the body
+        // breaks verification-happens-before-downstream-execution even
+        // with no fault scripted — the ordering violation is structural.
+        let result = verify_verification(
+            VerifyModel::new(2, 3).with_bug(VBug::VerifyAfterHandoff),
+            2_000_000,
+        );
+        let v = result
+            .violation
+            .expect("executing before the predecessor is verified must be caught");
+        assert!(
+            v.message.contains("before its predecessor was verified"),
+            "unexpected violation: {}",
+            v.message
+        );
+    }
+
+    #[test]
+    fn seeded_blame_without_tiebreak_bug_is_caught() {
+        // Convicting on a lone replay mismatch blames the executor for
+        // faults that are not its own: a verifier-side glitch and a
+        // post-commit flip each produce an innocent conviction.
+        for fault in [
+            VFault::ReplayGlitch { chunk: 1 },
+            VFault::PostCommitFlip { chunk: 1 },
+        ] {
+            let result = verify_verification(
+                VerifyModel::new(2, 3)
+                    .with_fault(fault)
+                    .with_bug(VBug::BlameWithoutTiebreak),
+                2_000_000,
+            );
+            let v = result
+                .violation
+                .unwrap_or_else(|| panic!("blame without tiebreak must be caught ({fault:?})"));
+            assert!(
+                v.message.contains("innocent"),
+                "unexpected violation: {}",
+                v.message
+            );
+        }
     }
 }

@@ -410,15 +410,10 @@ impl Checkpoint {
                 self.committed_iters
             )));
         }
-        let extent = workload.space.extent();
-        if self.base.len() as u64 != extent {
-            return Err(CkptError::SpecMismatch(format!(
-                "base snapshot is {} bytes, workload address space needs {extent}",
-                self.base.len()
-            )));
-        }
-        let prog = SpecProgram::new(workload, Arena::from_bytes(self.base))
-            .map_err(|e| CkptError::Analysis(e.to_string()))?;
+        let arena = Arena::try_from_bytes(&workload.space, self.base)
+            .map_err(|e| CkptError::SpecMismatch(e.to_string()))?;
+        let prog =
+            SpecProgram::new(workload, arena).map_err(|e| CkptError::Analysis(e.to_string()))?;
         {
             let kernel = prog.kernel(self.meta.loop_index);
             let mut scratch = Vec::new();

@@ -56,6 +56,32 @@ pub enum FaultKind {
     /// Sleep briefly, then run the body (a slow worker that should *not*
     /// trip a well-tuned watchdog).
     Slowdown(Duration),
+    /// Execute the chunk **and commit it normally**, but XOR one byte of
+    /// shared memory partway through — silent data corruption. Nothing
+    /// panics, nothing stalls: without the verification layer
+    /// (`VerifyPolicy`, `docs/ROBUSTNESS.md` "Silent data corruption")
+    /// the wrong bytes flow straight into the committed prefix. The flip
+    /// lands via [`RealKernel::corrupt_byte`] either *inside* the chunk's
+    /// analyzer-computed write footprint (`in_footprint`, caught by
+    /// replay verification) or *outside* every write footprint of the
+    /// loop (caught only by the arena scrubber).
+    SilentBitFlip {
+        /// Iterations of the chunk to execute before flipping (clamped to
+        /// the chunk length; the remainder executes after the flip, so a
+        /// small value lets later iterations legitimately overwrite the
+        /// flip — use at least the chunk length to guarantee the
+        /// corruption survives to commit).
+        after_iters: u64,
+        /// Which byte to flip: an index into the chunk's journal-layout
+        /// write footprint (`in_footprint`) or a search start in the
+        /// arena (outside), both taken modulo the respective size.
+        offset: u64,
+        /// XOR mask applied to the byte (0 degenerates to a no-op flip).
+        xor: u8,
+        /// Flip inside the chunk's write footprint (`true`) or outside
+        /// every write footprint of the loop (`false`).
+        in_footprint: bool,
+    },
 }
 
 /// Which chunks of a run misbehave, and how. The plan is keyed by chunk
@@ -171,6 +197,17 @@ impl<K> FaultyKernel<K> {
                 std::thread::sleep(d);
                 Trip::Clean
             }
+            FaultKind::SilentBitFlip {
+                after_iters,
+                offset,
+                xor,
+                in_footprint,
+            } => Trip::Flip {
+                after_iters,
+                offset,
+                xor,
+                in_footprint,
+            },
         }
     }
 }
@@ -182,6 +219,15 @@ enum Trip {
     Clean,
     /// Run only the first `n` iterations of the range, then panic.
     Prefix(u64),
+    /// Run the first `after_iters` iterations, XOR a byte via
+    /// [`RealKernel::corrupt_byte`], then run the rest — and return
+    /// normally, as if nothing happened.
+    Flip {
+        after_iters: u64,
+        offset: u64,
+        xor: u8,
+        in_footprint: bool,
+    },
 }
 
 impl<K: RealKernel> RealKernel for FaultyKernel<K> {
@@ -198,6 +244,23 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
                 // SAFETY: forwarded prefix under the same guarantee.
                 unsafe { self.inner.execute(range.start..split) };
                 panic!("injected fault: panic mid-mutation at iteration {split}");
+            }
+            Trip::Flip {
+                after_iters,
+                offset,
+                xor,
+                in_footprint,
+            } => {
+                let split = (range.start.saturating_add(after_iters)).min(range.end);
+                // SAFETY: forwarded under the caller's exclusivity
+                // guarantee; the flip happens while the claim is held, so
+                // no concurrent reader observes the torn byte.
+                unsafe {
+                    self.inner.execute(range.start..split);
+                    self.inner
+                        .corrupt_byte(range.clone(), offset, xor, in_footprint);
+                    self.inner.execute(split..range.end);
+                }
             }
         }
     }
@@ -227,6 +290,25 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
                 // SAFETY: forwarded prefix under the same guarantee.
                 unsafe { self.inner.execute(range.start..split) };
                 panic!("injected fault: panic mid-mutation at iteration {split}");
+            }
+            Trip::Flip {
+                after_iters,
+                offset,
+                xor,
+                in_footprint,
+            } => {
+                let split = (range.start.saturating_add(after_iters)).min(range.end);
+                // Both halves run *unpacked* (bitwise-identical, see the
+                // mid-mutation arm above) so the flip can land between
+                // iterations exactly as in the plain execute path.
+                // SAFETY: forwarded under the caller's exclusivity
+                // guarantee.
+                unsafe {
+                    self.inner.execute(range.start..split);
+                    self.inner
+                        .corrupt_byte(range.clone(), offset, xor, in_footprint);
+                    self.inner.execute(split..range.end);
+                }
             }
         }
     }
@@ -261,6 +343,31 @@ impl<K: RealKernel> RealKernel for FaultyKernel<K> {
         // SAFETY: forwarded under the caller's exclusivity guarantee.
         unsafe { self.inner.journal_rollback(range, buf) }
     }
+
+    unsafe fn replay_footprint(&self, range: Range<u64>, pre_image: &[u8]) -> Option<Vec<u8>> {
+        // Forwarded to the *inner* kernel, bypassing `trip` entirely:
+        // replays are the verification read path and must be clean even
+        // when the original execution of the range flipped a byte (the
+        // fire-once set already contains the chunk anyway).
+        // SAFETY: forwarded under the caller's committed-range guarantee.
+        unsafe { self.inner.replay_footprint(range, pre_image) }
+    }
+
+    unsafe fn corrupt_byte(
+        &self,
+        range: Range<u64>,
+        offset: u64,
+        xor: u8,
+        in_footprint: bool,
+    ) -> bool {
+        // SAFETY: forwarded under the caller's exclusivity guarantee.
+        unsafe { self.inner.corrupt_byte(range, offset, xor, in_footprint) }
+    }
+
+    unsafe fn scrub_digest(&self) -> Option<u64> {
+        // SAFETY: forwarded under the caller's quiescence guarantee.
+        unsafe { self.inner.scrub_digest() }
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +391,22 @@ mod tests {
             for i in range {
                 v[i as usize] += 1;
             }
+        }
+        unsafe fn corrupt_byte(
+            &self,
+            range: Range<u64>,
+            offset: u64,
+            xor: u8,
+            in_footprint: bool,
+        ) -> bool {
+            if !in_footprint {
+                return false; // this toy kernel only targets its own writes
+            }
+            // SAFETY: exclusive per contract.
+            let v = unsafe { &mut *self.0.get() };
+            let i = range.start + offset % (range.end - range.start);
+            v[i as usize] ^= xor as u64;
+            true
         }
     }
 
@@ -375,6 +498,39 @@ mod tests {
         }));
         assert!(r.is_err(), "still panics even with the whole chunk run");
         assert!(k.into_inner().0.into_inner().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn silent_bit_flip_executes_fully_then_corrupts_without_panicking() {
+        let plan = FaultPlan::new(10).inject(
+            1,
+            FaultKind::SilentBitFlip {
+                after_iters: u64::MAX, // flip after the whole chunk body
+                offset: 3,
+                xor: 0xFF,
+                in_footprint: true,
+            },
+        );
+        assert!(!plan.has_mid_mutation(), "a flip is not a panic");
+        let k = FaultyKernel::new(Counter(UnsafeCell::new(vec![0; 40])), plan);
+        assert!(k.panics_before_mutation(), "the fail-stop promise stands");
+        // SAFETY: single-threaded.
+        unsafe { k.execute(10..20) };
+        assert_eq!(k.fired(), vec![1], "the flip fired — and nothing panicked");
+        // Second touch (a replay / salvage) is clean: fire-once.
+        // SAFETY: single-threaded.
+        unsafe { k.execute(10..20) };
+        let counts = k.into_inner().0.into_inner();
+        // First touch: count 1, then XOR (1 ^ 0xFF = 254); second, clean
+        // touch increments to 255.
+        assert_eq!(counts[13], (1 ^ 0xFF) + 1, "offset 3 was XORed once");
+        assert!(
+            counts[10..20]
+                .iter()
+                .enumerate()
+                .all(|(i, &c)| i == 3 || c == 2),
+            "every other element executed twice, uncorrupted: {counts:?}"
+        );
     }
 
     #[test]

@@ -32,6 +32,59 @@ use crate::metrics::Observe;
 use crate::runner::{RunError, RunnerConfig, Tolerance};
 use crate::token::lock_recover;
 
+/// When the runtime verifies committed chunk bytes — the silent-data-
+/// corruption defense (`docs/ROBUSTNESS.md`, "Silent data corruption").
+///
+/// The executor of every chunk publishes an `fnv64` digest of its write
+/// footprint with the token handoff; what the *downstream* claimant does
+/// with that digest is this policy:
+///
+/// * [`VerifyPolicy::Off`] — nothing is digested or checked. The default;
+///   costs a single branch per chunk (the fault-free overhead guard pins
+///   this).
+/// * [`VerifyPolicy::Checksum`] — the claimant recomputes the digest from
+///   the arena and compares. Catches bytes that changed *after* the
+///   executor committed (a stray write landing in a committed footprint);
+///   cannot catch a flip that happened during execution, because the
+///   executor digested the already-corrupted bytes.
+/// * [`VerifyPolicy::EveryChunk`] — the claimant re-executes the
+///   committed chunk against a journaled private view and compares bytes.
+///   Catches in-execution flips too; detection happens before the
+///   claimant's own chunk commits (never after the run).
+/// * [`VerifyPolicy::Sampled`]`(k)` — re-executes chunks where
+///   `chunk % k == 0`, digest-checks the rest. `Sampled(1)` is
+///   `EveryChunk`; `Sampled(0)` is refused by [`RunConfig::try_validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// No verification (the default): zero digests, zero replays.
+    #[default]
+    Off,
+    /// Digest-compare committed footprints; no replay.
+    Checksum,
+    /// Replay-verify every committed chunk.
+    EveryChunk,
+    /// Replay-verify chunks where `chunk % k == 0`; digest-check the rest.
+    Sampled(u64),
+}
+
+impl VerifyPolicy {
+    /// Is any verification armed at all?
+    #[inline]
+    pub fn armed(&self) -> bool {
+        !matches!(self, VerifyPolicy::Off)
+    }
+
+    /// Does this policy replay-verify chunk index `chunk`?
+    #[inline]
+    pub fn replays(&self, chunk: u64) -> bool {
+        match self {
+            VerifyPolicy::EveryChunk => true,
+            VerifyPolicy::Sampled(k) => *k != 0 && chunk.is_multiple_of(*k),
+            VerifyPolicy::Off | VerifyPolicy::Checksum => false,
+        }
+    }
+}
+
 /// Why a run was cancelled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CancelKind {
@@ -300,6 +353,9 @@ pub struct RunConfig {
     pub ckpt: CkptPolicy,
     /// Where checkpoints go; required iff `ckpt` is not `Off`.
     pub ckpt_sink: Option<CkptSink>,
+    /// Silent-data-corruption defense: when committed chunk bytes are
+    /// verified ([`VerifyPolicy::Off`] by default: one branch per chunk).
+    pub verify: VerifyPolicy,
 }
 
 impl RunConfig {
@@ -349,6 +405,14 @@ impl RunConfig {
                     )));
                 }
             }
+        }
+        if self.verify == VerifyPolicy::Sampled(0) {
+            return Err(RunError::InvalidConfig(
+                "VerifyPolicy::Sampled(0) never replays anything (chunk % 0 is \
+                 undefined); use Sampled(1) for every chunk or Checksum for \
+                 digest-only"
+                    .into(),
+            ));
         }
         Ok(())
     }
@@ -561,6 +625,37 @@ mod tests {
                 "{ckpt:?} must be refused"
             );
         }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_sampled_verify() {
+        let cfg = RunConfig {
+            verify: VerifyPolicy::Sampled(0),
+            ..RunConfig::default()
+        };
+        match cfg.try_validate() {
+            Err(RunError::InvalidConfig(m)) => assert!(m.contains("Sampled(0)"), "{m}"),
+            other => panic!("Sampled(0) must be refused, got {other:?}"),
+        }
+        let ok = RunConfig {
+            verify: VerifyPolicy::Sampled(1),
+            ..RunConfig::default()
+        };
+        assert!(ok.try_validate().is_ok());
+    }
+
+    #[test]
+    fn verify_policy_replay_schedule() {
+        assert!(!VerifyPolicy::Off.armed());
+        assert!(VerifyPolicy::Checksum.armed());
+        assert!(!VerifyPolicy::Checksum.replays(0));
+        assert!(VerifyPolicy::EveryChunk.replays(7));
+        let s = VerifyPolicy::Sampled(3);
+        assert!(s.replays(0) && s.replays(3) && !s.replays(4));
+        assert!(
+            !VerifyPolicy::Sampled(0).replays(0),
+            "degenerate k never divides"
+        );
     }
 
     #[test]

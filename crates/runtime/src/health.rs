@@ -67,6 +67,9 @@ struct WorkerHealth {
     strikes: AtomicU32,
     /// Heartbeat value observed at the last strike (healing detector).
     beat_at_strike: AtomicU64,
+    /// Proven corruption verdicts against this worker (never healed:
+    /// wrong bytes are not a transient condition the way a stall is).
+    corruption_strikes: AtomicU32,
     quarantined: AtomicBool,
     /// When the current backoff window ends; rate-limits concurrent
     /// detectors so N waiters striking at once count as one strike.
@@ -79,6 +82,7 @@ impl WorkerHealth {
             heartbeats: AtomicU64::new(0),
             strikes: AtomicU32::new(0),
             beat_at_strike: AtomicU64::new(0),
+            corruption_strikes: AtomicU32::new(0),
             quarantined: AtomicBool::new(false),
             backoff_until: Mutex::new(None),
         }
@@ -161,6 +165,29 @@ impl HealthRegistry {
         self.workers[t as usize].strikes.load(Ordering::Acquire)
     }
 
+    /// Record a *proven* corruption verdict against worker `t` (blame
+    /// assigned by the tiebreak re-execution — see `docs/ROBUSTNESS.md`,
+    /// "Silent data corruption"). Unlike stall strikes, corruption
+    /// strikes never heal: a worker that computed wrong bytes once is
+    /// suspect for the rest of the run. Returns `true` when the strike
+    /// crossed the repeat threshold and the worker should be quarantined
+    /// (the first offense is recovered in place; the second removes the
+    /// worker from the roster).
+    pub fn corruption_strike(&self, t: u64) -> bool {
+        let strikes = self.workers[t as usize]
+            .corruption_strikes
+            .fetch_add(1, Ordering::AcqRel)
+            + 1;
+        strikes >= 2
+    }
+
+    /// Proven corruption verdicts against worker `t`.
+    pub fn corruption_strikes(&self, t: u64) -> u32 {
+        self.workers[t as usize]
+            .corruption_strikes
+            .load(Ordering::Acquire)
+    }
+
     /// Quarantine worker `t`. Returns `true` for the first caller (who
     /// alone records the fault event and remaps the roster).
     pub fn quarantine(&self, t: u64) -> bool {
@@ -227,6 +254,19 @@ mod tests {
         assert!(h.is_quarantined(1));
         assert_eq!(h.quarantined_count(), 1);
         assert_eq!(h.live(), vec![0]);
+    }
+
+    #[test]
+    fn corruption_strikes_quarantine_on_repeat_and_never_heal() {
+        let h = HealthRegistry::new(2, fast_cfg());
+        assert!(!h.corruption_strike(1), "first offense: recover in place");
+        assert_eq!(h.corruption_strikes(1), 1);
+        // Progress heals *stall* strikes, never corruption verdicts.
+        h.heartbeat(1);
+        assert_eq!(h.corruption_strikes(1), 1);
+        assert!(h.corruption_strike(1), "second offense: quarantine");
+        assert_eq!(h.corruption_strikes(1), 2);
+        assert_eq!(h.corruption_strikes(0), 0, "innocent worker untouched");
     }
 
     #[test]

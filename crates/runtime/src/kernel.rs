@@ -145,6 +145,73 @@ pub trait RealKernel: Sync {
         let _ = (range, buf);
         unreachable!("journal_rollback without a successful journal_capture");
     }
+
+    /// Re-execute the *committed* chunk `range` against a journaled
+    /// private view and return the resulting write-set bytes in
+    /// journal layout (the byte order of [`RealKernel::journal_capture`]).
+    /// `pre_image` is the undo journal captured over the same `range`
+    /// before the chunk ran: the replay seeds a private overlay of the
+    /// chunk's write footprint from it, executes every iteration of
+    /// `range` routing all footprint loads/stores through the overlay
+    /// (loads outside the footprint read shared memory, which the chunk
+    /// never writes), and returns the overlay. Shared memory is **never
+    /// written** — this is the verification read path of the
+    /// silent-data-corruption defense (`docs/ROBUSTNESS.md`).
+    ///
+    /// Returns `None` when this kernel cannot replay (the conservative
+    /// default; verification then degrades to digest comparison).
+    ///
+    /// # Safety
+    ///
+    /// `range` must be committed (no concurrent `execute` may overlap its
+    /// write footprint) and `pre_image` must be the unmodified output of
+    /// a `journal_capture(range, ..)` taken before the chunk executed.
+    unsafe fn replay_footprint(&self, range: Range<u64>, pre_image: &[u8]) -> Option<Vec<u8>> {
+        let _ = (range, pre_image);
+        None
+    }
+
+    /// Corrupt one byte of shared memory by XOR — the fault-injection hook
+    /// behind `FaultKind::SilentBitFlip`, never called by the runtime
+    /// itself. With `in_footprint`, `offset` indexes (mod the footprint
+    /// size) into the journal-layout write footprint of `range`, so the
+    /// flip lands on bytes the chunk legitimately wrote; otherwise the
+    /// flip targets a byte *outside* the loop's whole write footprint
+    /// (starting the search at `offset` mod the arena size). Returns
+    /// `false` when this kernel cannot target the requested scope (no
+    /// resolvable footprint, or no byte outside it).
+    ///
+    /// # Safety
+    ///
+    /// Same exclusivity contract as [`RealKernel::execute`]: the caller
+    /// holds the chunk's claim, so no concurrent reader can observe the
+    /// torn write.
+    unsafe fn corrupt_byte(
+        &self,
+        range: Range<u64>,
+        offset: u64,
+        xor: u8,
+        in_footprint: bool,
+    ) -> bool {
+        let _ = (range, offset, xor, in_footprint);
+        false
+    }
+
+    /// An `fnv64` digest over the bytes *outside* the loop's whole write
+    /// footprint — the arena scrubber of the silent-data-corruption
+    /// defense. Any drift between two scrubs brackets an out-of-footprint
+    /// corruption: no iteration of the loop may write there. `None` (the
+    /// default) when the kernel cannot bound its footprint; the scrubber
+    /// is then disabled.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee quiescence: no `execute` /
+    /// `execute_packed` call may be concurrent with the scrub (the
+    /// runner scrubs from the supervisor, outside worker lifetimes).
+    unsafe fn scrub_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

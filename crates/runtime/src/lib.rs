@@ -87,6 +87,28 @@
 //! on [`RunConfig`]. A SIGKILLed run restores bitwise via
 //! [`ckpt::load`] / [`Checkpoint::into_program`] and finishes from
 //! `committed_iters` — `cascade chaos --kill` gates this end to end.
+//!
+//! ## Verified execution
+//!
+//! Crashes announce themselves; silent data corruption does not. Under a
+//! [`VerifyPolicy`] (on [`RunConfig`]) every chunk commit publishes an
+//! `fnv64` digest of the chunk's analyzer-computed write footprint with
+//! the token handoff, and the claimant of the next chunk *verifies* its
+//! predecessor — digest compare always, journaled private re-execution
+//! under `EveryChunk`/`Sampled` — before its own execution phase begins,
+//! so corruption is detected online, never after the run. A confirmed
+//! mismatch triggers the blame-and-recover protocol: a sequential
+//! tiebreak re-execution convicts the guilty worker (corruption strikes
+//! in [`HealthRegistry`], roster quarantine on repeat), the chunk is
+//! rolled back via its undo journal and repaired in place, and the run
+//! continues bitwise-correct. Between loops an arena scrubber checksums
+//! bytes *outside* every footprint. The protocol's ordering claims are
+//! model-checked ([`check`]): verification happens-before downstream
+//! commit visibility, a corrupted chunk is never part of a committed
+//! prefix, and blame never quarantines an innocent worker under a
+//! single-fault assumption. `cascade chaos --corrupt` gates detection
+//! end to end; `VerifyPolicy::Off` (the default) costs one never-true
+//! branch per commit and claim.
 
 #![warn(missing_docs)]
 
@@ -107,7 +129,7 @@ pub mod token;
 pub use barrier::{BarrierOutcome, FtBarrier};
 pub use ckpt::{Checkpoint, CkptError, CkptMeta, CkptPolicy, CkptRun, CkptSink, CkptWriter};
 pub use fault::{FaultKind, FaultPlan, FaultyKernel};
-pub use govern::{CancelKind, CancelState, CancelToken, MemBudget, RunConfig};
+pub use govern::{CancelKind, CancelState, CancelToken, MemBudget, RunConfig, VerifyPolicy};
 pub use health::{HealthConfig, HealthRegistry, StrikeVerdict};
 pub use interp::{SpecKernel, SpecProgram};
 pub use kernel::RealKernel;

@@ -26,8 +26,10 @@ pub struct Observe {
     /// Record a [`PhaseEventNs`] per phase interval (off by default: the
     /// ring costs one `Vec` push per transition).
     pub events: bool,
-    /// Per-worker ring capacity; recording stops silently at the cap so
-    /// a long run cannot exhaust memory.
+    /// Per-worker ring capacity; recording stops at the cap so a long
+    /// run cannot exhaust memory. Events lost to the cap are *counted*
+    /// and surfaced as `events_dropped` in the metrics report — a
+    /// truncated timeline is flagged, never silent.
     pub max_events: usize,
 }
 
@@ -124,6 +126,8 @@ pub(crate) struct PhaseRecorder {
     events: Vec<PhaseEventNs>,
     record_events: bool,
     max_events: usize,
+    /// Phase intervals not recorded because the ring hit `max_events`.
+    dropped: u64,
 }
 
 impl PhaseRecorder {
@@ -140,6 +144,7 @@ impl PhaseRecorder {
             events: Vec::new(),
             record_events: obs.events,
             max_events: obs.max_events,
+            dropped: 0,
         }
     }
 
@@ -150,13 +155,20 @@ impl PhaseRecorder {
         let now = Instant::now();
         let closed = now.duration_since(self.last).as_nanos();
         self.totals[kind_idx(self.kind)] += closed;
-        if self.record_events && self.events.len() < self.max_events {
-            self.events.push(PhaseEventNs {
-                kind: self.kind,
-                chunk: self.chunk,
-                start_ns: self.last.duration_since(self.origin).as_nanos() as u64,
-                end_ns: now.duration_since(self.origin).as_nanos() as u64,
-            });
+        if self.record_events {
+            if self.events.len() < self.max_events {
+                self.events.push(PhaseEventNs {
+                    kind: self.kind,
+                    chunk: self.chunk,
+                    start_ns: self.last.duration_since(self.origin).as_nanos() as u64,
+                    end_ns: now.duration_since(self.origin).as_nanos() as u64,
+                });
+            } else {
+                // The ring is full: stop recording but *count* what was
+                // lost, so a truncated timeline is visible in the report
+                // instead of silently reading as complete.
+                self.dropped += 1;
+            }
         }
         self.last = now;
         self.kind = next;
@@ -182,6 +194,7 @@ impl PhaseRecorder {
         stats.other_ns = self.totals[kind_idx(PhaseKind::Other)];
         stats.wall_ns = self.last.duration_since(self.started).as_nanos();
         stats.events = self.events;
+        stats.events_dropped = self.dropped;
         stats
     }
 }
@@ -234,5 +247,9 @@ mod tests {
         }
         let stats = rec.finish(Default::default());
         assert_eq!(stats.events.len(), 2);
+        // Every interval past the cap is counted, not silently lost:
+        // the 10 transitions and the finish each close an interval
+        // (the recorder opens one at construction), 2 kept, 9 dropped.
+        assert_eq!(stats.events_dropped, 9);
     }
 }

@@ -95,12 +95,14 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use cascade_core::{
-    CascadeMetrics, ChunkPlan, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics,
+    fnv64, CascadeMetrics, ChunkPlan, MetricsSource, PhaseKind, PhaseSample, WorkerMetrics,
 };
 
 use crate::barrier::{BarrierOutcome, FtBarrier};
 use crate::ckpt::{CkptPolicy, CkptRun};
-use crate::govern::{CancelKind, CancelState, CancelToken, Governor, MemBudget, RunConfig};
+use crate::govern::{
+    CancelKind, CancelState, CancelToken, Governor, MemBudget, RunConfig, VerifyPolicy,
+};
 use crate::health::{HealthConfig, HealthRegistry, StrikeVerdict};
 use crate::kernel::RealKernel;
 use crate::metrics::{NsStats, Observe, PhaseEventNs, PhaseRecorder};
@@ -306,6 +308,23 @@ pub enum RunError {
         /// Iterations committed before the run drained.
         committed_iters: u64,
     },
+    /// Online verification ([`crate::govern::VerifyPolicy`]) caught
+    /// silent data corruption and the tolerance offered no recovery
+    /// path. The corrupted chunk was rolled back to its pre-image before
+    /// the token was poisoned, so the committed prefix below
+    /// `committed_iters` is bitwise clean — a corrupted chunk is never
+    /// part of the prefix this error reports (model-checker invariant).
+    Corrupted {
+        /// The blamed executor, or `None` when the corruption landed
+        /// outside every chunk's write footprint (scrubber detection:
+        /// no chunk wrote there, so blame is unassignable).
+        thread: Option<u64>,
+        /// The corrupted chunk, or `None` for out-of-footprint drift.
+        chunk: Option<u64>,
+        /// Exact sequential resume point (global, for a sequence): every
+        /// iteration below it is committed exactly once and uncorrupted.
+        committed_iters: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -356,6 +375,22 @@ impl std::fmt::Display for RunError {
                      after {committed_iters} committed iterations"
                 )
             }
+            RunError::Corrupted {
+                thread,
+                chunk,
+                committed_iters,
+            } => match (thread, chunk) {
+                (Some(t), Some(c)) => write!(
+                    f,
+                    "silent corruption detected in chunk {c} (blamed on worker {t}); \
+                     rolled back, clean through iteration {committed_iters}"
+                ),
+                _ => write!(
+                    f,
+                    "silent corruption detected outside every chunk's write footprint; \
+                     committed prefix of {committed_iters} iterations is clean"
+                ),
+            },
         }
     }
 }
@@ -449,6 +484,38 @@ pub enum FaultEvent {
         /// Journal bytes restored.
         bytes: u64,
     },
+    /// Online verification caught silent data corruption: the bytes a
+    /// committed chunk left in shared memory disagree with a verified
+    /// re-execution (or, for the arena scrubber, bytes outside every
+    /// chunk's write footprint drifted between two scrubs).
+    CorruptionDetected {
+        /// The corrupted chunk (`u64::MAX` for out-of-footprint drift
+        /// found by the scrubber, which no chunk owns).
+        chunk: u64,
+        /// Digest of the bytes a clean execution should have produced.
+        expected: u64,
+        /// Digest of the bytes actually found in shared memory.
+        found: u64,
+        /// `true` when the verified replay bytes were installed in place
+        /// (recovery); `false` when the chunk was rolled back to its
+        /// pre-image and the run failed with [`RunError::Corrupted`].
+        repaired: bool,
+    },
+    /// The sequential tiebreak re-execution confirmed the detected
+    /// mismatch twice over and assigned blame to the executor that
+    /// committed the wrong bytes. Blame is only ever assigned after the
+    /// tiebreak — a lone verifier mismatch could be the *verifier's*
+    /// fault (model-checker invariant: no innocent worker is quarantined
+    /// under the single-fault assumption).
+    WorkerBlamed {
+        /// The guilty executor.
+        thread: u64,
+        /// The chunk it corrupted.
+        chunk: u64,
+        /// Proven corruption verdicts against it, this one included; the
+        /// second strike quarantines (corruption strikes never heal).
+        strikes: u32,
+    },
 }
 
 /// Why in-cascade recovery fell through to poisoning.
@@ -541,6 +608,19 @@ pub struct ThreadStats {
     /// `journal_ns`, a side counter riding inside the Other phase — the
     /// exact phase partition is untouched.
     pub ckpt_ns: u128,
+    /// Committed predecessor chunks this worker verified (digest check
+    /// or full journaled replay, per [`crate::govern::VerifyPolicy`]).
+    pub verified_chunks: u64,
+    /// Nanoseconds spent publishing verification packets (executor side)
+    /// and verifying committed chunks (claimant side). Like `journal_ns`
+    /// and `ckpt_ns`, a side counter riding inside the Execute/Other
+    /// phases — the exact phase partition
+    /// `helper + spin + exec + retry + other == wall` is untouched.
+    pub verify_ns: u128,
+    /// Timestamped phase events this worker *dropped* after its event
+    /// ring reached [`Observe::max_events`] (0 when the ring never
+    /// filled, or when events are off).
+    pub events_dropped: u64,
     /// Receive-side handoff latency: previous executor's release →
     /// this worker's winning claim.
     pub takeover: NsStats,
@@ -581,6 +661,11 @@ pub struct RunStats {
     /// Peak bytes reserved from the run's [`MemBudget`] (journal and
     /// pack arenas). Zero when nothing was metered.
     pub budget_high_water: u64,
+    /// Arena scrubs performed by the supervisor (baseline + compare):
+    /// digests over the bytes *outside* the loop's whole write
+    /// footprint, bracketing out-of-footprint corruption. Zero unless
+    /// verification is armed and the kernel can bound its footprint.
+    pub scrubs: u64,
 }
 
 impl RunStats {
@@ -625,6 +710,9 @@ impl RunStats {
                 ckpt_count: s.ckpt_count,
                 ckpt_bytes: s.ckpt_bytes,
                 ckpt_time: s.ckpt_ns as f64,
+                verified_chunks: s.verified_chunks,
+                verify_time: s.verify_ns as f64,
+                events_dropped: s.events_dropped,
                 takeover: s.takeover.to_latency(),
                 chunk_exec: s.chunk_exec.to_latency(),
             })
@@ -656,6 +744,7 @@ impl RunStats {
             wall_time: self.elapsed.as_nanos() as f64,
             cancel_latency: self.cancel_latency_ns as f64,
             budget_high_water: self.budget_high_water,
+            scrubs: self.scrubs,
             workers,
             events,
             ..Default::default()
@@ -705,6 +794,17 @@ fn run_error_from(cause: &PoisonCause) -> RunError {
             reason: reason.clone(),
             committed_iters: 0,
         },
+        // `resume_at` is loop-local; the sequence supervisor rebases it
+        // onto the global iteration count before surfacing the error.
+        PoisonCause::Corrupted {
+            thread,
+            chunk,
+            resume_at,
+        } => RunError::Corrupted {
+            thread: *thread,
+            chunk: *chunk,
+            committed_iters: *resume_at,
+        },
         // Unreachable for tokens this module creates, but kept total.
         PoisonCause::Unspecified => RunError::WorkerPanicked {
             thread: 0,
@@ -724,6 +824,10 @@ pub(crate) struct Govern {
     /// `CkptPolicy::Off` cases) costs one `Option` check per chunk
     /// commit, so the fault-free overhead guard is unaffected.
     pub(crate) ckpt: Option<CkptRun>,
+    /// Online-verification policy. The default `Off` costs one
+    /// never-true branch per chunk commit and per claim, so the
+    /// fault-free overhead guard is unaffected.
+    pub(crate) verify: VerifyPolicy,
 }
 
 impl Govern {
@@ -732,6 +836,7 @@ impl Govern {
             cancel: CancelToken::new(),
             budget: MemBudget::unlimited(),
             ckpt: None,
+            verify: VerifyPolicy::Off,
         }
     }
 }
@@ -1010,6 +1115,40 @@ struct FtRun {
     /// grant predates the run, so it produces no handoff sample and a
     /// fault-free cascade records exactly `chunks - 1` handoffs).
     release_chunk: AtomicU64,
+    /// Digest stamp of the checksummed handoff: the `fnv64` of the
+    /// released chunk's committed write footprint, stored (Relaxed)
+    /// before the `release_chunk` Release — the claimant's Acquire
+    /// through the claim CAS orders the pair, exactly like `release_ns`.
+    /// Zero when verification is off or no packet was published.
+    release_digest: AtomicU64,
+    /// The full verification packet of the most recently committed chunk
+    /// (digest + pre-image journal for replay). Published by the
+    /// executor before its `try_advance`; taken by the downstream
+    /// claimant (or, for the final chunk, the supervisor after join).
+    verify_slot: Mutex<Option<VerifyPacket>>,
+    /// Arena scrubs performed against this run's kernel (baseline +
+    /// compare); surfaced as [`RunStats::scrubs`].
+    scrubs: AtomicU64,
+}
+
+/// Everything a verifier needs to re-check one committed chunk: the
+/// executor's advertised digest and the pre-image journal that seeds the
+/// replay overlay ([`RealKernel::replay_footprint`]).
+struct VerifyPacket {
+    /// The committed chunk this packet describes.
+    chunk: u64,
+    /// Its iteration range.
+    range: Range<u64>,
+    /// The worker that executed and committed it (blame target).
+    executor: u64,
+    /// `fnv64` over the committed write-footprint bytes, captured by the
+    /// executor after the chunk body ran, while it still held the claim.
+    digest: u64,
+    /// The undo journal captured *before* the chunk ran: seeds the
+    /// replay's private overlay, and doubles as the rollback image when
+    /// a confirmed corruption has no recovery path. `None` when the
+    /// chunk was not journaled (replay degrades to digest comparison).
+    pre_image: Option<Vec<u8>>,
 }
 
 impl FtRun {
@@ -1025,6 +1164,9 @@ impl FtRun {
             origin: Instant::now(),
             release_ns: AtomicU64::new(0),
             release_chunk: AtomicU64::new(u64::MAX),
+            release_digest: AtomicU64::new(0),
+            verify_slot: Mutex::new(None),
+            scrubs: AtomicU64::new(0),
         }
     }
 
@@ -1102,6 +1244,7 @@ pub fn try_run_governed<K: RealKernel>(kernel: &K, cfg: &RunConfig) -> Result<Ru
             policy: cfg.ckpt,
             sink,
         }),
+        verify: cfg.verify,
     };
     let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
     run_cascaded_inner(kernel, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
@@ -1124,6 +1267,21 @@ fn run_cascaded_inner<K: RealKernel>(
     let run = FtRun::new(cfg.nthreads);
     let rec = Recovery::new(cfg.nthreads, tol);
 
+    // Arena-scrub baseline: a digest over the bytes *outside* the loop's
+    // whole write footprint, taken before any worker spawns (quiescent).
+    // Drift against the post-join scrub brackets an out-of-footprint
+    // corruption no chunk-level verification can attribute.
+    let scrub_base = if gov.verify.armed() {
+        // SAFETY: no worker spawned yet; trivially quiescent.
+        let d = unsafe { kernel.scrub_digest() };
+        if d.is_some() {
+            run.scrubs.fetch_add(1, Ordering::Relaxed);
+        }
+        d
+    } else {
+        None
+    };
+
     let start = Instant::now();
     let threads: Vec<ThreadStats> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.nthreads)
@@ -1140,6 +1298,60 @@ fn run_cascaded_inner<K: RealKernel>(
             .collect()
     });
     let elapsed = start.elapsed();
+
+    // --- final-chunk verification + arena scrub (supervisor side) ---
+    // The last chunk has no downstream claimant; every worker has
+    // joined, so the supervisor holds both exclusivity and the
+    // happens-before edge and verifies it here — still before the run
+    // returns, so detection stays online.
+    if gov.verify.armed() && run.token.poison_cause().is_none() {
+        if let Some(p) = lock_recover(&run.verify_slot).take() {
+            if p.chunk + 1 == m {
+                let _ = verify_committed(kernel, &run, &rec, gov, tol, p.executor, p);
+            }
+        }
+        if run.token.poison_cause().is_none() {
+            if let Some(base) = scrub_base {
+                // SAFETY: every worker joined; quiescent.
+                if let Some(now_d) = unsafe { kernel.scrub_digest() } {
+                    run.scrubs.fetch_add(1, Ordering::Relaxed);
+                    if now_d != base {
+                        run.record(FaultEvent::CorruptionDetected {
+                            chunk: u64::MAX,
+                            expected: base,
+                            found: now_d,
+                            repaired: false,
+                        });
+                        run.token.poison_with(PoisonCause::Corrupted {
+                            thread: None,
+                            chunk: None,
+                            resume_at: iters,
+                        });
+                    }
+                }
+            }
+        }
+        // Deferred durable checkpoint, final installment: the whole run
+        // is now verified (and scrubbed), so the complete prefix may
+        // persist. Workers only published through their own claims, which
+        // stop one chunk short of the end.
+        if run.token.poison_cause().is_none() {
+            if let Some(ck) = &gov.ckpt {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    ck.sink.on_commit(
+                        ck.policy,
+                        m,
+                        iters,
+                        |c| plan.range(c).start,
+                        // SAFETY: every worker joined; quiescent, and
+                        // capture only reads.
+                        |r, buf| unsafe { kernel.journal_capture(r, buf) },
+                    )
+                }));
+            }
+        }
+    }
+
     let mut faults = run.take_faults();
     // First chunk not yet committed → its first iteration is the exact
     // sequential resume point (completion is in token order).
@@ -1169,6 +1381,7 @@ fn run_cascaded_inner<K: RealKernel>(
             quarantined,
             cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
             budget_high_water: gov.budget.high_water(),
+            scrubs: run.scrubs.load(Ordering::Relaxed),
         });
     };
 
@@ -1185,6 +1398,14 @@ fn run_cascaded_inner<K: RealKernel>(
 
     // --- degraded path: a worker panicked or the cascade stalled ---
     let err = run_error_from(&cause);
+    if matches!(cause, PoisonCause::Corrupted { .. }) {
+        // Corruption is never salvaged: the chunk was rolled back to its
+        // pre-image (or the drift lies outside every footprint), and the
+        // typed error already carries the exact clean resume point —
+        // re-executing from `completed` could run on top of the
+        // rollback and double-apply writes.
+        return Err(err);
+    }
     // `salvage_unsound` is only ever set for a *torn* chunk: interrupted
     // mid-body with neither a fail-stop promise nor a rolled-back undo
     // journal. Journaled chunks were restored bitwise by their faulting
@@ -1232,6 +1453,7 @@ fn run_cascaded_inner<K: RealKernel>(
         quarantined,
         cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
         budget_high_water: gov.budget.high_water(),
+        scrubs: run.scrubs.load(Ordering::Relaxed),
     })
 }
 
@@ -1305,6 +1527,7 @@ pub fn try_run_governed_sequence<K: RealKernel>(
         cancel: cfg.cancel.clone(),
         budget: cfg.budget.clone(),
         ckpt: None,
+        verify: cfg.verify,
     };
     let _governor = cfg.deadline.map(|d| Governor::arm(&cfg.cancel, d));
     run_cascaded_sequence_inner(kernels, &cfg.runner, &cfg.tolerance, &cfg.observe, &gov)
@@ -1340,6 +1563,22 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
         kernels.iter().map(|_| Mutex::new(None)).collect();
     let loop_ends: Vec<Mutex<Option<Instant>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
 
+    // Arena-scrub baselines, one per loop. Loop `l`'s baseline digests
+    // the bytes outside *loop l's* write footprints — bytes other loops
+    // of the sequence legitimately mutate — so it cannot be taken until
+    // every earlier loop has finished: loop 0's before any worker
+    // spawns, each later loop's in the end-of-loop leader's quiescent
+    // window, right after the previous loop's scrub comparison.
+    let scrub_bases: Vec<Mutex<Option<u64>>> = kernels.iter().map(|_| Mutex::new(None)).collect();
+    if gov.verify.armed() {
+        // SAFETY: no worker spawned yet; trivially quiescent.
+        let d = unsafe { kernels[0].scrub_digest() };
+        if d.is_some() {
+            runs[0].scrubs.fetch_add(1, Ordering::Relaxed);
+        }
+        *lock_recover(&scrub_bases[0]) = d;
+    }
+
     // per_thread[t][l] = stats of thread t on loop l (may stop short when
     // a fault drained the pool).
     let per_thread: Vec<Vec<ThreadStats>> = std::thread::scope(|s| {
@@ -1347,6 +1586,7 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
             .map(|t| {
                 let (plans, runs, rec, barrier) = (&plans, &runs, &rec, &barrier);
                 let (loop_starts, loop_ends) = (&loop_starts, &loop_ends);
+                let scrub_bases = &scrub_bases;
                 s.spawn(move || {
                     let mut all = Vec::with_capacity(kernels.len());
                     'seq: for (l, kernel) in kernels.iter().enumerate() {
@@ -1374,12 +1614,84 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
                             barrier.poison();
                             break 'seq;
                         }
+                        let mut seq_corrupt = false;
                         match barrier.wait() {
                             BarrierOutcome::Poisoned => break 'seq,
                             out if out.is_leader() => {
                                 *lock_recover(&loop_ends[l]) = Some(Instant::now());
+                                // Between sequence loops the leader
+                                // verifies the loop's final chunk and
+                                // runs the arena scrubber. Every other
+                                // worker is parked at the next loop's
+                                // start barrier (or exiting after the
+                                // last loop), so the leader has
+                                // quiescence on this loop's kernel.
+                                if gov.verify.armed() {
+                                    if let Some(p) = lock_recover(&runs[l].verify_slot).take() {
+                                        if p.chunk + 1 == plans[l].num_chunks()
+                                            && verify_committed(
+                                                kernel, &runs[l], rec, gov, tol, p.executor, p,
+                                            ) == VerifyVerdict::Failed
+                                        {
+                                            seq_corrupt = true;
+                                        }
+                                    }
+                                    if !seq_corrupt {
+                                        if let Some(base) = *lock_recover(&scrub_bases[l]) {
+                                            // SAFETY: quiescent (see above).
+                                            if let Some(now_d) = unsafe { kernel.scrub_digest() } {
+                                                let scrubs = &runs[l].scrubs;
+                                                scrubs.fetch_add(1, Ordering::Relaxed);
+                                                if now_d != base {
+                                                    runs[l].record(
+                                                        FaultEvent::CorruptionDetected {
+                                                            chunk: u64::MAX,
+                                                            expected: base,
+                                                            found: now_d,
+                                                            repaired: false,
+                                                        },
+                                                    );
+                                                    runs[l].token.poison_with(
+                                                        PoisonCause::Corrupted {
+                                                            thread: None,
+                                                            chunk: None,
+                                                            resume_at: kernels[l].iters(),
+                                                        },
+                                                    );
+                                                    seq_corrupt = true;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    if !seq_corrupt && l + 1 < kernels.len() {
+                                        // Still quiescent: every earlier
+                                        // loop's writes are in, the next
+                                        // loop's have not begun — the
+                                        // only sound moment for the next
+                                        // loop's baseline.
+                                        // SAFETY: quiescent (see above).
+                                        let d = unsafe { kernels[l + 1].scrub_digest() };
+                                        if d.is_some() {
+                                            let scrubs = &runs[l + 1].scrubs;
+                                            scrubs.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        *lock_recover(&scrub_bases[l + 1]) = d;
+                                    }
+                                }
                             }
                             _ => {}
+                        }
+                        if seq_corrupt {
+                            // Same propagation as a mid-loop fault: no
+                            // worker may block on a loop that will never
+                            // start.
+                            if let Some(cause) = runs[l].token.poison_cause() {
+                                for later in &runs[l + 1..] {
+                                    later.token.poison_with(cause.clone());
+                                }
+                            }
+                            barrier.poison();
+                            break 'seq;
                         }
                     }
                     all
@@ -1414,6 +1726,7 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
             quarantined,
             cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
             budget_high_water: gov.budget.high_water(),
+            scrubs: runs[l].scrubs.load(Ordering::Relaxed),
         })
     };
 
@@ -1449,6 +1762,23 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
         }
         let done = runs[l0].completed.load(Ordering::Acquire);
         return Err(cancel_error(gov, &cause, committed_global(l0, done)));
+    }
+
+    if let PoisonCause::Corrupted {
+        thread,
+        chunk,
+        resume_at,
+    } = &cause
+    {
+        // Corruption is never salvaged (the rollback already restored
+        // the exact clean prefix); rebase the loop-local resume point
+        // onto the global iteration count.
+        let before: u64 = kernels[..l0].iter().map(|k| k.iters()).sum();
+        return Err(RunError::Corrupted {
+            thread: *thread,
+            chunk: *chunk,
+            committed_iters: before + resume_at,
+        });
     }
 
     let err = run_error_from(&cause);
@@ -1505,6 +1835,7 @@ fn run_cascaded_sequence_inner<K: RealKernel>(
             quarantined,
             cancel_latency_ns: gov.cancel.latency().map_or(0, |d| d.as_nanos() as u64),
             budget_high_water: gov.budget.high_water(),
+            scrubs: runs[l].scrubs.load(Ordering::Relaxed),
         });
     }
     Ok(out)
@@ -1926,6 +2257,237 @@ fn recover_from_panic(
     false
 }
 
+/// Outcome of verifying one committed chunk against its handoff packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VerifyVerdict {
+    /// The committed bytes check out — or a lone replay mismatch failed
+    /// its own tiebreak, which indicts the verifier, not the executor.
+    Verified,
+    /// Corruption confirmed by the tiebreak and repaired in place by
+    /// installing the verified replay bytes; the run continues cascaded.
+    Repaired,
+    /// Corruption confirmed with no recovery path: the chunk was rolled
+    /// back to its pre-image and the token poisoned
+    /// ([`PoisonCause::Corrupted`]). The caller drains.
+    Failed,
+}
+
+/// Verify committed chunk `p.chunk` against its handoff packet: recompute
+/// the write-footprint digest, and — under a replaying policy — re-execute
+/// the chunk against a journaled private view
+/// ([`RealKernel::replay_footprint`]) and compare bytes. On a replay
+/// mismatch a *second* replay is the sequential tiebreak: only when both
+/// replays agree against the committed bytes is the executor blamed (a
+/// lone mismatch could equally be the verifier's own fault — blame
+/// without the tiebreak is the seeded model-checker bug). A conviction is
+/// a corruption strike ([`HealthRegistry::corruption_strike`]): the first
+/// offense is repaired in place, the second quarantines the executor via
+/// the roster remap. Recovery installs the verified replay bytes whenever
+/// the tolerance has any recovery path (retry or salvage); otherwise the
+/// chunk is rolled back to its pre-image and the token poisoned, so the
+/// typed error's committed prefix never contains a corrupted chunk.
+///
+/// The caller must hold the downstream chunk's claim (or have joined all
+/// workers): verification happens-before the downstream chunk's
+/// execution, so corruption is caught before the next handoff consumes
+/// it — never after the run.
+fn verify_committed<K: RealKernel>(
+    kernel: &K,
+    run: &FtRun,
+    rec: &Recovery,
+    gov: &Govern,
+    tol: &Tolerance,
+    verifier: u64,
+    p: VerifyPacket,
+) -> VerifyVerdict {
+    let mut committed = Vec::new();
+    // SAFETY: the caller holds the downstream claim (or every worker has
+    // joined), so no execute overlaps `p.range`'s footprint, and capture
+    // only reads.
+    let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
+        kernel.journal_capture(p.range.clone(), &mut committed)
+    }))
+    .unwrap_or(false);
+    if !ok {
+        // The kernel lost its footprint bound mid-run: nothing to check
+        // against (the executor could not have published a packet either
+        // unless this is transient; be conservative, not wrong).
+        return VerifyVerdict::Verified;
+    }
+    let found = fnv64(&committed);
+
+    if gov.verify.replays(p.chunk) {
+        if let Some(pre) = p.pre_image.as_deref() {
+            let replay = || -> Option<Vec<u8>> {
+                // SAFETY: same exclusivity as the capture above; replay
+                // routes every footprint access through a private
+                // overlay and never writes shared memory.
+                catch_unwind(AssertUnwindSafe(|| unsafe {
+                    kernel.replay_footprint(p.range.clone(), pre)
+                }))
+                .ok()
+                .flatten()
+            };
+            if let Some(r1) = replay() {
+                if r1 == committed {
+                    return VerifyVerdict::Verified;
+                }
+                let Some(r2) = replay() else {
+                    // Tiebreak unavailable: a lone mismatch never blames.
+                    return VerifyVerdict::Verified;
+                };
+                if r2 != r1 {
+                    // The verifier's own replays disagree: the fault is
+                    // on our side, the committed bytes stand.
+                    return VerifyVerdict::Verified;
+                }
+                // Tiebreak confirmed: the committed bytes are wrong. Who
+                // is to blame hangs on the published digest. If it
+                // matches the committed bytes, the executor *computed*
+                // them — guilty. If not, the corruption landed after the
+                // executor's own commit-time capture (a post-commit
+                // flip), and blaming the executor would convict an
+                // innocent worker — the single-fault attribution the
+                // model checker proves.
+                let blamed = if found == p.digest {
+                    Some(p.executor)
+                } else {
+                    None
+                };
+                return convict(kernel, run, rec, tol, verifier, &p, &r1, found, blamed);
+            }
+        }
+    }
+
+    // Digest-only comparison (Checksum policy, unsampled chunks, or no
+    // replay path): catches corruption that landed *after* the
+    // executor's own post-execution capture. No replay means no
+    // tiebreak, so no blame — and no verified bytes to install, so
+    // detection always fails the run.
+    if found == p.digest {
+        return VerifyVerdict::Verified;
+    }
+    run.record(FaultEvent::CorruptionDetected {
+        chunk: p.chunk,
+        expected: p.digest,
+        found,
+        repaired: false,
+    });
+    fail_rollback(kernel, run, &p, None)
+}
+
+/// The tiebreak confirmed the corruption: assign blame (when the digest
+/// proves the executor computed the bytes — `blamed` is `None` for a
+/// post-commit flip the executor is innocent of), quarantine a repeat
+/// offender, and recover — install the verified replay bytes in place
+/// when the tolerance has a recovery path, or roll back to the pre-image
+/// and poison the token when it does not.
+#[allow(clippy::too_many_arguments)] // a conviction is parameterized by the whole verify context
+fn convict<K: RealKernel>(
+    kernel: &K,
+    run: &FtRun,
+    rec: &Recovery,
+    tol: &Tolerance,
+    verifier: u64,
+    p: &VerifyPacket,
+    verified: &[u8],
+    found: u64,
+    blamed: Option<u64>,
+) -> VerifyVerdict {
+    let expected = fnv64(verified);
+    if let Some(guilty) = blamed {
+        let quarantine_now = rec.health.corruption_strike(guilty);
+        run.record(FaultEvent::WorkerBlamed {
+            thread: guilty,
+            chunk: p.chunk,
+            strikes: rec.health.corruption_strikes(guilty),
+        });
+        if quarantine_now {
+            // Repeat offender: remove from the roster (remapping its
+            // remaining chunks across survivors, anchored at the token's
+            // position so nothing is orphaned) — unless it is the last
+            // live worker, in which case refusing strands nobody.
+            let anchor = run.token.position().unwrap_or(p.chunk + 1);
+            if matches!(run.roster.remove(guilty, anchor), RemoveOutcome::Removed)
+                && rec.health.quarantine(guilty)
+            {
+                run.record(FaultEvent::WorkerQuarantined {
+                    thread: guilty,
+                    chunk: p.chunk,
+                });
+            }
+        }
+    }
+    if rec.enabled() || tol.salvage {
+        // Install the verified replay bytes: rollback and re-execution
+        // in one restore — bitwise what a clean execution left behind.
+        let installed = catch_unwind(AssertUnwindSafe(|| unsafe {
+            // SAFETY: caller's exclusivity (downstream claim or
+            // post-join); `verified` is in journal layout over `p.range`.
+            kernel.journal_rollback(p.range.clone(), verified)
+        }))
+        .is_ok();
+        if installed {
+            run.record(FaultEvent::CorruptionDetected {
+                chunk: p.chunk,
+                expected,
+                found,
+                repaired: true,
+            });
+            if verifier != p.executor {
+                run.record(FaultEvent::ChunkRetried {
+                    chunk: p.chunk,
+                    from_thread: p.executor,
+                    by_thread: verifier,
+                });
+            }
+            return VerifyVerdict::Repaired;
+        }
+    }
+    run.record(FaultEvent::CorruptionDetected {
+        chunk: p.chunk,
+        expected,
+        found,
+        repaired: false,
+    });
+    fail_rollback(kernel, run, p, blamed)
+}
+
+/// Roll the corrupted chunk back to its pre-image and poison the token:
+/// the committed prefix carried by the typed error must never contain a
+/// corrupted chunk. A missing or panicking rollback additionally marks
+/// the run salvage-unsound (the state cannot be trusted at all).
+fn fail_rollback<K: RealKernel>(
+    kernel: &K,
+    run: &FtRun,
+    p: &VerifyPacket,
+    blamed: Option<u64>,
+) -> VerifyVerdict {
+    let rolled_back = match p.pre_image.as_deref() {
+        // SAFETY: caller's exclusivity; `pre` is the unmodified capture
+        // of this same range taken before the chunk executed.
+        Some(pre) => catch_unwind(AssertUnwindSafe(|| unsafe {
+            kernel.journal_rollback(p.range.clone(), pre)
+        }))
+        .is_ok(),
+        None => false,
+    };
+    if !rolled_back {
+        run.salvage_unsound.store(true, Ordering::Release);
+    }
+    let resume_at = if rolled_back {
+        p.range.start
+    } else {
+        p.range.end
+    };
+    run.token.poison_with(PoisonCause::Corrupted {
+        thread: blamed,
+        chunk: Some(p.chunk),
+        resume_at,
+    });
+    VerifyVerdict::Failed
+}
+
 #[allow(clippy::too_many_arguments)] // a worker is parameterized by the whole run context
 fn ft_worker<K: RealKernel>(
     kernel: &K,
@@ -2062,14 +2624,69 @@ fn ft_worker<K: RealKernel>(
             stats.takeover.record(claim_ns.saturating_sub(rel));
         }
 
+        // --- verify the predecessor's handoff (claim held) ---
+        // Verification happens-before this chunk's execution: while we
+        // hold the claim no execute can run anywhere, so the committed
+        // predecessor is checked *before* its bytes feed the downstream
+        // computation — corruption is caught at the handoff, never after
+        // the run. Cost rides inside the Other phase as a side counter
+        // (`verify_ns`); with `VerifyPolicy::Off` this is one branch.
+        if gov.verify.armed() && j > 0 {
+            let t0 = Instant::now();
+            if let Some(p) = lock_recover(&run.verify_slot).take() {
+                if p.chunk + 1 == j {
+                    stats.verified_chunks += 1;
+                    let verdict = verify_committed(kernel, run, rec, gov, tol, t, p);
+                    if verdict == VerifyVerdict::Failed {
+                        stats.verify_ns += t0.elapsed().as_nanos();
+                        return phases.finish(stats);
+                    }
+                }
+                // A packet for any other chunk is stale (a remap or a
+                // supersede raced the slot): drop it without blame —
+                // checking it against the wrong predecessor could
+                // accuse an innocent worker.
+            }
+            stats.verify_ns += t0.elapsed().as_nanos();
+            // Deferred durable checkpoint: with verification armed, the
+            // prefix through chunk j - 1 becomes persistable only now —
+            // the predecessor's handoff was just checked (or repaired)
+            // above, and every older chunk passed its own claimant's
+            // check. The sink's contiguity tracking makes repeated
+            // publication after retries a no-op.
+            if let Some(ck) = &gov.ckpt {
+                let t0 = Instant::now();
+                let written = catch_unwind(AssertUnwindSafe(|| {
+                    ck.sink.on_commit(
+                        ck.policy,
+                        j,
+                        range.start,
+                        |c| plan.range(c).start,
+                        // SAFETY: we hold the claim — no executor is
+                        // active anywhere, and every chunk below `j` is
+                        // committed — and capture only reads.
+                        |r, buf| unsafe { kernel.journal_capture(r, buf) },
+                    )
+                }))
+                .unwrap_or(None);
+                if let Some(bytes) = written {
+                    stats.ckpt_count += 1;
+                    stats.ckpt_bytes += bytes;
+                }
+                stats.ckpt_ns += t0.elapsed().as_nanos();
+            }
+        }
+
         // --- execution phase (we hold the claim: unique executor) ---
         phases.transition(PhaseKind::Execute, Some(j));
         // Chunk transaction: when any recovery path could want this chunk
-        // re-executed (retry or salvage), capture its undo journal — the
-        // analyzer-bounded write-set bytes — before the body runs. The
-        // timing rides inside the Execute phase as a side counter
-        // (`journal_ns`), so the exact phase partition is untouched.
-        let journaled = if rec.enabled() || tol.salvage {
+        // re-executed (retry or salvage), or online verification needs a
+        // pre-image to seed its replay overlay, capture the chunk's undo
+        // journal — the analyzer-bounded write-set bytes — before the
+        // body runs. The timing rides inside the Execute phase as a side
+        // counter (`journal_ns`), so the exact phase partition is
+        // untouched.
+        let journaled = if rec.enabled() || tol.salvage || gov.verify.armed() {
             let t0 = Instant::now();
             let jbuf_cap0 = jbuf.capacity();
             // SAFETY: we hold the claim — the same exclusivity contract
@@ -2234,8 +2851,13 @@ fn ft_worker<K: RealKernel>(
         // blocks them; the cost rides inside the Other phase as side
         // counters (`ckpt_ns`/`ckpt_bytes`/`ckpt_count`), leaving the
         // exact phase partition untouched. A panic anywhere in the sink
-        // skips the checkpoint and lets the run continue.
-        if let Some(ck) = &gov.ckpt {
+        // skips the checkpoint and lets the run continue. Under an armed
+        // VerifyPolicy publication is deferred to the downstream claimant
+        // (the supervisor, for the final chunk): this chunk enters the
+        // checkpoint only after its handoff is verified, so a kill landing
+        // between commit and verification can never persist bytes that
+        // verification would have rejected.
+        if let Some(ck) = gov.ckpt.as_ref().filter(|_| !gov.verify.armed()) {
             let t0 = Instant::now();
             let written = catch_unwind(AssertUnwindSafe(|| {
                 ck.sink.on_commit(
@@ -2254,6 +2876,37 @@ fn ft_worker<K: RealKernel>(
                 stats.ckpt_bytes += bytes;
             }
             stats.ckpt_ns += t0.elapsed().as_nanos();
+        }
+
+        // --- checksummed handoff (claim still held) ---
+        // Digest the chunk's *committed* write footprint and publish the
+        // verification packet before the advance: the downstream
+        // claimant's Acquire through its claim CAS sees the packet (and
+        // the `release_digest` stamp) before chunk j + 1 can execute.
+        // The pre-image journal rides along to seed the verifier's
+        // replay overlay. Cost is a side counter (`verify_ns`) inside
+        // the Other phase; with `VerifyPolicy::Off` this is one branch.
+        if gov.verify.armed() && journaled {
+            let t0 = Instant::now();
+            let mut committed_bytes = Vec::new();
+            // SAFETY: claim still held — the same exclusivity contract
+            // as `execute` — and capture only reads.
+            let ok = catch_unwind(AssertUnwindSafe(|| unsafe {
+                kernel.journal_capture(range.clone(), &mut committed_bytes)
+            }))
+            .unwrap_or(false);
+            if ok {
+                let digest = fnv64(&committed_bytes);
+                run.release_digest.store(digest, Ordering::Relaxed);
+                *lock_recover(&run.verify_slot) = Some(VerifyPacket {
+                    chunk: j,
+                    range: range.clone(),
+                    executor: t,
+                    digest,
+                    pre_image: Some(std::mem::take(&mut jbuf)),
+                });
+            }
+            stats.verify_ns += t0.elapsed().as_nanos();
         }
 
         if j + 1 < m {

@@ -349,6 +349,9 @@ impl PlannedStats {
                     ts.ckpt_count += s.ckpt_count;
                     ts.ckpt_bytes += s.ckpt_bytes;
                     ts.ckpt_ns += s.ckpt_ns;
+                    ts.verified_chunks += s.verified_chunks;
+                    ts.verify_ns += s.verify_ns;
+                    ts.events_dropped += s.events_dropped;
                     merge_ns(&mut ts.takeover, &s.takeover);
                     merge_ns(&mut ts.chunk_exec, &s.chunk_exec);
                 }
@@ -365,6 +368,12 @@ impl PlannedStats {
             quarantined: 0,
             cancel_latency_ns: self.cancel_latency_ns,
             budget_high_water: self.budget_high_water,
+            scrubs: self
+                .sub_loops
+                .iter()
+                .filter_map(|s| s.run.as_ref())
+                .map(|r| r.scrubs)
+                .sum(),
         };
         let mut m = rs.metrics();
         m.sub_loops = self.sub_loops.len() as u64;
@@ -1094,6 +1103,10 @@ pub fn try_run_planned<K: RealKernel>(
                     observe: Default::default(),
                     ckpt: CkptPolicy::Off,
                     ckpt_sink: None,
+                    // Verification rides the token cascade: the residue's
+                    // handoffs are verified; DOALL/DOACROSS stages have no
+                    // sequential handoff to checksum.
+                    verify: cfg.verify,
                 };
                 let res = try_run_governed(kernel, &sub_cfg);
                 if barrier.wait() == BarrierOutcome::Poisoned {

@@ -36,6 +36,17 @@
 //! executor exists per chunk, a poisoned token can never be resurrected,
 //! and remapping races are benign by construction. The state machine is
 //! exhaustively model-checked in `cascade_rt::check`.
+//!
+//! ## Checksummed handoffs
+//!
+//! When online verification is armed (`VerifyPolicy` in
+//! `cascade_rt::govern`), the executor publishes an `fnv64` digest of its
+//! chunk's committed write footprint *before* the `try_advance` Release —
+//! alongside the existing release-timestamp stamp — so the downstream
+//! claimant's Acquire through the claim CAS makes the digest (and the
+//! full verification packet) visible before the next chunk executes. The
+//! digest itself rides a Relaxed store: the token's Release/Acquire edge
+//! is the only ordering needed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -93,6 +104,22 @@ pub enum PoisonCause {
         /// Human-readable reason recorded by the canceller.
         reason: String,
     },
+    /// Online verification caught silent data corruption and the
+    /// tolerance offered no recovery path (see `docs/ROBUSTNESS.md`,
+    /// "Silent data corruption"): the corrupted chunk was rolled back to
+    /// its pre-image before poisoning, so the committed prefix returned
+    /// with the typed error never contains a corrupted chunk.
+    Corrupted {
+        /// The blamed executor, or `None` when the corruption landed
+        /// outside every chunk's write footprint (arena-scrubber
+        /// detection; no chunk wrote there, so blame is unassignable).
+        thread: Option<u64>,
+        /// The corrupted chunk, or `None` for out-of-footprint drift.
+        chunk: Option<u64>,
+        /// Exact loop-local sequential resume point after the rollback:
+        /// every iteration below it is committed and uncorrupted.
+        resume_at: u64,
+    },
     /// Poisoned via the legacy diagnostic-free [`Token::poison`].
     Unspecified,
 }
@@ -119,6 +146,22 @@ impl std::fmt::Display for PoisonCause {
             PoisonCause::Cancelled { reason } => {
                 write!(f, "run cancelled: {reason}")
             }
+            PoisonCause::Corrupted {
+                thread,
+                chunk,
+                resume_at,
+            } => match (thread, chunk) {
+                (Some(t), Some(c)) => write!(
+                    f,
+                    "silent corruption in chunk {c} blamed on worker {t} \
+                     (rolled back; clean through iteration {resume_at})"
+                ),
+                _ => write!(
+                    f,
+                    "silent corruption outside every chunk's write footprint \
+                     (clean through iteration {resume_at})"
+                ),
+            },
             PoisonCause::Unspecified => write!(f, "poisoned without diagnostic"),
         }
     }

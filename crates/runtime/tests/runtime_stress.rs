@@ -383,3 +383,79 @@ fn fault_free_retry_ladder_adds_no_measurable_overhead() {
         "retry/health machinery slowed a fault-free run: {with_ladder:?} vs {without:?} (budget {budget:?})"
     );
 }
+
+/// Overhead guard for the verification machinery: with
+/// `VerifyPolicy::Off` (the default) the entire verify apparatus — digest
+/// publication, packet handoff, journal capture for replay, and the
+/// supervisor's arena scrubber — must collapse to the single
+/// `gov.verify.armed()` branch per chunk. Every verify-side counter must
+/// read zero and the wall clock must match a governance-free run within
+/// scheduler noise; timing compares the min of several trials like the
+/// ladder guard above.
+#[test]
+fn verify_off_costs_one_branch() {
+    use cascade_rt::{try_run_cascaded, try_run_governed, RunConfig, Tolerance, VerifyPolicy};
+    use std::time::Duration;
+
+    let n = 1u64 << 14;
+    let runner = RunnerConfig {
+        nthreads: 2,
+        iters_per_chunk: 256,
+        policy: RtPolicy::Restructure,
+        poll_batch: 8,
+    };
+    let expected = synth_checksum_sequential(n, Variant::Dense);
+    let governed = |verify: VerifyPolicy| {
+        let s = Synth::build(n, Variant::Dense, 1234);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let k = prog.kernel(0);
+        let cfg = RunConfig {
+            runner: runner.clone(),
+            tolerance: Tolerance::fail_fast(),
+            verify,
+            ..RunConfig::default()
+        };
+        let stats = try_run_governed(&k, &cfg).expect("fault-free run must succeed");
+        assert_eq!(prog.checksum(), expected, "fault-free run diverged");
+        stats
+    };
+    let bare = || {
+        let s = Synth::build(n, Variant::Dense, 1234);
+        let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+        let k = prog.kernel(0);
+        let stats =
+            try_run_cascaded(&k, &runner, &Tolerance::fail_fast()).expect("bare run must succeed");
+        assert_eq!(prog.checksum(), expected, "bare run diverged");
+        stats
+    };
+    // Warm-up, then trials.
+    governed(VerifyPolicy::Off);
+    bare();
+    let trials = 5;
+    let with_off = (0..trials)
+        .map(|_| {
+            let stats = governed(VerifyPolicy::Off);
+            // Off must mean *off*: no chunk was verified, no digest or
+            // journal time was charged to the verify counter, and the
+            // supervisor never scrubbed the arena.
+            assert_eq!(stats.scrubs, 0, "scrubber ran with verification off");
+            for t in &stats.threads {
+                assert_eq!(t.verified_chunks, 0, "chunk verified with verification off");
+                assert_eq!(t.verify_ns, 0, "verify time charged with verification off");
+            }
+            assert!(
+                stats.faults.is_empty(),
+                "phantom faults: {:?}",
+                stats.faults
+            );
+            stats.elapsed
+        })
+        .min()
+        .expect("at least one trial");
+    let without = (0..trials).map(|_| bare().elapsed).min().expect("trial");
+    let budget = without * 3 + Duration::from_millis(10);
+    assert!(
+        with_off <= budget,
+        "VerifyPolicy::Off slowed a fault-free run: {with_off:?} vs {without:?} (budget {budget:?})"
+    );
+}

@@ -15,10 +15,12 @@
 use std::time::{Duration, Instant};
 
 use cascade_rt::{
-    try_run_governed, CancelToken, FaultKind, FaultPlan, FaultyKernel, MemBudget, RealKernel,
-    RtPolicy, RunConfig, RunError, RunnerConfig, SpecProgram, Tolerance,
+    ckpt, try_run_governed, CancelToken, CkptMeta, CkptPolicy, CkptSink, CkptWriter, FaultEvent,
+    FaultKind, FaultPlan, FaultyKernel, MemBudget, RealKernel, RtPolicy, RunConfig, RunError,
+    RunnerConfig, SpecProgram, Tolerance, VerifyPolicy,
 };
 use cascade_synth::{Synth, Variant};
+use cascade_trace::to_text;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -196,4 +198,296 @@ fn governance_storm_never_corrupts_and_always_resumes() {
         "soak: {iterations} iterations — {completions} completed, \
          {governed_aborts} governed aborts, {typed} typed errors"
     );
+}
+
+/// The corruption storm: every (tolerance × verify policy) cell of the
+/// matrix takes randomized in-footprint bit flips. Replaying policies
+/// (`EveryChunk`, `Sampled` on a sampled chunk) must detect every flip
+/// online and either repair bitwise or fail with an exact clean resume
+/// point; non-replaying policies (`Off`, `Checksum` — the executor
+/// digests its own corrupted bytes) must still finish without hangs or
+/// spurious errors, documenting exactly where the detection boundary is.
+#[test]
+fn corruption_storm_detects_iff_the_policy_replays() {
+    const SAMPLE_K: u64 = 3;
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let policies = [
+        VerifyPolicy::Off,
+        VerifyPolicy::Checksum,
+        VerifyPolicy::EveryChunk,
+        VerifyPolicy::Sampled(SAMPLE_K),
+    ];
+    for tol_case in 0..3u64 {
+        for verify in policies {
+            for round in 0..2u64 {
+                let case = tol_case * 8 + round;
+                let variant = if case.is_multiple_of(2) {
+                    Variant::Dense
+                } else {
+                    Variant::Sparse
+                };
+                let expected = sequential_checksum(variant);
+                let s = Synth::build(N, variant, 99);
+                let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+                let iters = prog.workload().loops[0].iters;
+                let num_chunks = iters.div_ceil(CHUNK_ITERS);
+                // Land the flip on a chunk the policy replays, and on a
+                // full chunk so `after_iters` always fires.
+                let full_chunks = iters / CHUNK_ITERS;
+                let chunk = match verify {
+                    VerifyPolicy::Sampled(k) => (rng.gen_range(0..full_chunks.div_ceil(k))) * k,
+                    _ => rng.gen_range(0..full_chunks),
+                };
+                let plan = FaultPlan::new(CHUNK_ITERS).inject(
+                    chunk,
+                    FaultKind::SilentBitFlip {
+                        after_iters: CHUNK_ITERS,
+                        offset: rng.gen_range(0..u64::MAX),
+                        xor: 1 << rng.gen_range(0..8u32),
+                        in_footprint: true,
+                    },
+                );
+                let tolerance = tolerance_for(tol_case);
+                let recovers = tolerance.retry.is_some() || tolerance.salvage;
+                let nthreads = rng.gen_range(1..=4usize);
+                let run_cfg = RunConfig {
+                    runner: RunnerConfig {
+                        nthreads,
+                        iters_per_chunk: CHUNK_ITERS,
+                        policy: RtPolicy::None,
+                        poll_batch: 8,
+                    },
+                    tolerance,
+                    verify,
+                    ..RunConfig::default()
+                };
+                let ctx = format!(
+                    "tol {tol_case}, verify {verify:?}, chunk {chunk}, \
+                     threads {nthreads}, {variant:?}"
+                );
+                let faulty = FaultyKernel::new(prog.kernel(0), plan);
+                let result = try_run_governed(&faulty, &run_cfg);
+                drop(faulty);
+                let replays = matches!(verify, VerifyPolicy::EveryChunk)
+                    || matches!(verify, VerifyPolicy::Sampled(k) if chunk.is_multiple_of(k));
+                match result {
+                    Ok(stats) if replays => {
+                        assert!(recovers, "{ctx}: fail-fast must not absorb a flip");
+                        assert!(
+                            stats.faults.iter().any(|f| matches!(
+                                f,
+                                FaultEvent::CorruptionDetected { chunk: c, repaired: true, .. }
+                                    if *c == chunk
+                            )),
+                            "{ctx}: flip escaped online detection: {:?}",
+                            stats.faults
+                        );
+                        assert_eq!(prog.checksum(), expected, "{ctx}: repair diverged");
+                    }
+                    Ok(_) => {
+                        // Off / Checksum / unsampled chunk: the flip is
+                        // invisible by design; the run must simply finish.
+                        // (The end state may legitimately diverge — that
+                        // is exactly what armed replaying policies buy.)
+                    }
+                    Err(RunError::Corrupted {
+                        thread,
+                        chunk: Some(c),
+                        committed_iters,
+                    }) if replays && !recovers => {
+                        assert_eq!(c, chunk, "{ctx}: blamed the wrong chunk");
+                        assert!(thread.is_some(), "{ctx}: in-footprint flip has an executor");
+                        assert_eq!(committed_iters, chunk * CHUNK_ITERS, "{ctx}");
+                        assert!(c < num_chunks, "{ctx}");
+                        {
+                            let k = prog.kernel(0);
+                            // SAFETY: every worker drained before the
+                            // error returned.
+                            unsafe { k.execute(committed_iters..k.iters()) };
+                        }
+                        assert_eq!(prog.checksum(), expected, "{ctx}: resume diverged");
+                    }
+                    Err(other) => panic!("{ctx}: unexpected outcome {other}"),
+                }
+            }
+        }
+    }
+}
+
+/// Kill-during-verify, modeled at the durability layer: with an armed
+/// `VerifyPolicy`, checkpoint publication is deferred until the chunk's
+/// handoff has been verified — so no matter where a kill lands (here: a
+/// fail-fast corruption poisons the run between commit and the next
+/// handoff), the checkpoint on disk never contains an unverified chunk,
+/// and resuming from it converges bitwise.
+#[test]
+fn kill_during_verify_never_persists_an_unverified_chunk() {
+    let expected = sequential_checksum(Variant::Dense);
+    let flip = FaultKind::SilentBitFlip {
+        after_iters: CHUNK_ITERS,
+        offset: 17,
+        xor: 0x40,
+        in_footprint: true,
+    };
+    let dir = std::env::temp_dir().join(format!("cascade-soak-verify-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let s = Synth::build(N, Variant::Dense, 99);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+    let text = to_text(prog.workload());
+    let base = prog.arena_mut().bytes().to_vec();
+    let iters = prog.workload().loops[0].iters;
+    let writer = CkptWriter::create(
+        &dir,
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters,
+            iters_per_chunk: CHUNK_ITERS,
+        },
+        &base,
+    )
+    .expect("writer creation");
+    let sink = CkptSink::new(writer);
+    let run_cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: CHUNK_ITERS,
+            policy: RtPolicy::None,
+            poll_batch: 8,
+        },
+        // Fail-fast: detection poisons the run on the spot — the closest
+        // in-process stand-in for dying mid-verification.
+        tolerance: Tolerance {
+            watchdog: Some(Duration::from_millis(200)),
+            retry: None,
+            salvage: false,
+        },
+        verify: VerifyPolicy::EveryChunk,
+        ckpt: CkptPolicy::EveryChunks(1),
+        ckpt_sink: Some(sink.clone()),
+        ..RunConfig::default()
+    };
+    let plan = FaultPlan::new(CHUNK_ITERS).inject(5, flip);
+    let faulty = FaultyKernel::new(prog.kernel(0), plan);
+    let committed = match try_run_governed(&faulty, &run_cfg) {
+        Err(RunError::Corrupted {
+            chunk: Some(5),
+            committed_iters,
+            ..
+        }) => committed_iters,
+        other => panic!("expected online corruption detection, got {other:?}"),
+    };
+    drop(faulty);
+    assert_eq!(committed, 5 * CHUNK_ITERS);
+    assert_eq!(sink.error(), None, "the sink must not have tripped");
+
+    // The checkpoint on disk stops exactly at the verified prefix: the
+    // corrupted chunk was committed and journaled but never published.
+    let ck = ckpt::load(&dir).expect("checkpoint must load");
+    assert_eq!(
+        ck.committed_iters(),
+        committed,
+        "an unverified chunk leaked into the durable checkpoint"
+    );
+    let (mut restored, at) = ck.into_program().expect("restore");
+    assert_eq!(at, committed);
+    {
+        let k = restored.kernel(0);
+        // SAFETY: single-threaded — the documented sequential resume.
+        unsafe { k.execute(at..k.iters()) };
+    }
+    assert_eq!(
+        restored.arena_mut().bytes(),
+        {
+            let s = Synth::build(N, Variant::Dense, 99);
+            let mut reference = SpecProgram::new(s.workload, s.arena).unwrap();
+            {
+                let k = reference.kernel(0);
+                // SAFETY: single-threaded.
+                unsafe { k.execute(0..k.iters()) };
+            }
+            assert_eq!(reference.checksum(), expected);
+            reference.arena_mut().bytes().to_vec()
+        }
+        .as_slice(),
+        "resume from the verified checkpoint prefix diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The repaired counterpart: with retry armed the same flip is repaired
+/// in place and the run completes; the final (supervisor-published)
+/// checkpoint then covers the whole verified run and restores bitwise.
+#[test]
+fn repaired_run_checkpoints_the_whole_verified_prefix() {
+    let expected = sequential_checksum(Variant::Dense);
+    let dir =
+        std::env::temp_dir().join(format!("cascade-soak-verify-repair-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let s = Synth::build(N, Variant::Dense, 99);
+    let mut prog = SpecProgram::new(s.workload, s.arena).unwrap();
+    let text = to_text(prog.workload());
+    let base = prog.arena_mut().bytes().to_vec();
+    let iters = prog.workload().loops[0].iters;
+    let writer = CkptWriter::create(
+        &dir,
+        &text,
+        CkptMeta {
+            loop_index: 0,
+            iters,
+            iters_per_chunk: CHUNK_ITERS,
+        },
+        &base,
+    )
+    .expect("writer creation");
+    let sink = CkptSink::new(writer);
+    let run_cfg = RunConfig {
+        runner: RunnerConfig {
+            nthreads: 3,
+            iters_per_chunk: CHUNK_ITERS,
+            policy: RtPolicy::None,
+            poll_batch: 8,
+        },
+        tolerance: Tolerance::retrying(Duration::from_millis(200)),
+        verify: VerifyPolicy::EveryChunk,
+        ckpt: CkptPolicy::EveryChunks(1),
+        ckpt_sink: Some(sink.clone()),
+        ..RunConfig::default()
+    };
+    let plan = FaultPlan::new(CHUNK_ITERS).inject(
+        5,
+        FaultKind::SilentBitFlip {
+            after_iters: CHUNK_ITERS,
+            offset: 17,
+            xor: 0x40,
+            in_footprint: true,
+        },
+    );
+    let faulty = FaultyKernel::new(prog.kernel(0), plan);
+    let stats = try_run_governed(&faulty, &run_cfg).expect("repairable flip");
+    drop(faulty);
+    assert!(stats.faults.iter().any(|f| matches!(
+        f,
+        FaultEvent::CorruptionDetected {
+            chunk: 5,
+            repaired: true,
+            ..
+        }
+    )));
+    assert_eq!(sink.error(), None);
+    assert_eq!(sink.committed().1, iters, "final installment missing");
+    assert_eq!(prog.checksum(), expected);
+
+    let ck = ckpt::load(&dir).expect("load");
+    assert_eq!(ck.committed_iters(), iters);
+    let (mut restored, at) = ck.into_program().expect("restore");
+    assert_eq!(at, iters);
+    assert_eq!(
+        restored.arena_mut().bytes(),
+        prog.arena_mut().bytes(),
+        "checkpointed repaired run diverged from the live repaired run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

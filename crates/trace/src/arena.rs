@@ -9,6 +9,32 @@
 
 use crate::space::{AddressSpace, ArrayId, IndexStore};
 
+/// Typed rejection of raw bytes that cannot back an address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArenaError {
+    /// The byte buffer's length does not equal the space's extent, so
+    /// element addresses would read out of bounds (or alias the wrong
+    /// array). Carries both sides of the mismatch for the error report.
+    SizeMismatch {
+        /// Bytes the address space requires ([`AddressSpace::extent`]).
+        expected: u64,
+        /// Bytes actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArenaError::SizeMismatch { expected, got } => write!(
+                f,
+                "arena snapshot is {got} bytes, address space needs {expected}"
+            ),
+        }
+    }
+}
+impl std::error::Error for ArenaError {}
+
 /// Flat storage backing every array of an address space.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Arena {
@@ -38,9 +64,33 @@ impl Arena {
     /// Rebuild an arena from previously captured raw bytes (the inverse of
     /// [`Arena::bytes`]). Callers restoring persisted state must validate
     /// the length against the target address space's extent before handing
-    /// the arena to an interpreter.
+    /// the arena to an interpreter — or use [`Arena::try_from_bytes`],
+    /// which does it for them.
     pub fn from_bytes(bytes: Vec<u8>) -> Self {
         Arena { bytes }
+    }
+
+    /// Rebuild an arena from captured raw bytes, rejecting a buffer whose
+    /// length does not match `space` with a typed [`ArenaError`] instead
+    /// of deferring the failure to a later out-of-bounds element access.
+    pub fn try_from_bytes(space: &AddressSpace, bytes: Vec<u8>) -> Result<Self, ArenaError> {
+        let expected = space.extent();
+        if bytes.len() as u64 != expected {
+            return Err(ArenaError::SizeMismatch {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        Ok(Arena { bytes })
+    }
+
+    /// Copy the 8-byte word at `off` out of the arena (bounds-checked by
+    /// the slice; the fixed-size copy itself cannot fail).
+    #[inline]
+    fn word8(&self, off: usize) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[off..off + 8]);
+        b
     }
 
     /// Raw bytes (for checksumming / bitwise comparison).
@@ -60,7 +110,7 @@ impl Arena {
     pub fn get_f64(&self, space: &AddressSpace, array: ArrayId, i: u64) -> f64 {
         debug_assert_eq!(space.array(array).elem, 8, "get_f64 on non-8-byte array");
         let off = space.addr(array, i) as usize;
-        f64::from_le_bytes(self.bytes[off..off + 8].try_into().unwrap())
+        f64::from_le_bytes(self.word8(off))
     }
 
     /// Write an `f64` element of `array`.
@@ -76,7 +126,9 @@ impl Arena {
     pub fn get_u32(&self, space: &AddressSpace, array: ArrayId, i: u64) -> u32 {
         debug_assert_eq!(space.array(array).elem, 4, "get_u32 on non-4-byte array");
         let off = space.addr(array, i) as usize;
-        u32::from_le_bytes(self.bytes[off..off + 4].try_into().unwrap())
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.bytes[off..off + 4]);
+        u32::from_le_bytes(b)
     }
 
     /// Write a `u32` element of `array`.
@@ -109,7 +161,9 @@ impl Arena {
         let mut sum = self.bytes.len() as u64;
         let mut chunks = self.bytes.chunks_exact(8);
         for c in &mut chunks {
-            sum = sum.wrapping_add(u64::from_le_bytes(c.try_into().unwrap()));
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            sum = sum.wrapping_add(u64::from_le_bytes(b));
         }
         for &b in chunks.remainder() {
             sum = sum.wrapping_add(b as u64);
@@ -164,6 +218,22 @@ mod tests {
         for i in 0..5 {
             assert_eq!(ar.get_u32(&space, ij, i), index.get(ij, i));
         }
+    }
+
+    #[test]
+    fn try_from_bytes_rejects_length_mismatches() {
+        let mut space = AddressSpace::new();
+        let a = space.alloc("a", 8, 8);
+        let ok = Arena::try_from_bytes(&space, vec![0u8; space.extent() as usize]).unwrap();
+        assert_eq!(ok.get_f64(&space, a, 0), 0.0);
+        let err = Arena::try_from_bytes(&space, vec![0u8; 3]).unwrap_err();
+        match err {
+            ArenaError::SizeMismatch { expected, got } => {
+                assert_eq!(expected, space.extent());
+                assert_eq!(got, 3);
+            }
+        }
+        assert!(err.to_string().contains("3 bytes"), "{err}");
     }
 
     #[test]

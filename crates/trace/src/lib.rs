@@ -27,7 +27,7 @@ pub mod textfmt;
 pub mod workload;
 
 pub use analyze::{reuse_distances, stride_histogram, ReuseProfile, TraceRef};
-pub use arena::Arena;
+pub use arena::{Arena, ArenaError};
 pub use diag::{DiagCode, Diagnostic, Severity};
 pub use space::{AddressSpace, ArrayDef, ArrayId, IndexStore};
 pub use spec::{LoopSpec, Mode, Pattern, StreamRef, INDEX_BYTES};

@@ -250,8 +250,17 @@ pub fn from_text(text: &str) -> Result<Workload, FormatError> {
     if w.loops.is_empty() {
         return Err(err(0, "workload has no loops"));
     }
+    // A parsed file is user input: contradictions inside a loop spec are
+    // malformed input, not programming errors, so they come back as typed
+    // [`FormatError`]s instead of panicking like [`LoopSpec::validate`].
     for l in &w.loops {
-        l.validate();
+        if let Some(d) = l
+            .try_validate()
+            .into_iter()
+            .find(|d| d.severity == crate::diag::Severity::Error)
+        {
+            return Err(err(0, format!("[{:?}] {}", d.code, d.message)));
+        }
     }
     Ok(w)
 }
@@ -360,6 +369,37 @@ mod tests {
         let mut text = to_text(&w);
         text.push_str("\n# trailing comment\n\n");
         assert!(from_text(&text).is_ok());
+    }
+
+    #[test]
+    fn malformed_loops_are_typed_errors_not_panics() {
+        // An empty loop and a memory-less loop both violate LoopSpec
+        // invariants; a hand-edited file must get a FormatError back,
+        // never a panic out of validate().
+        let empty = format!(
+            "{HEADER}\narray a elem=8 len=4 align=64\n\
+             loop 0 compute=1 hoistable=0 hoist_bytes=0 name=empty\n\
+             ref 0 mode=r bytes=8 hoistable=0 affine 0 1\n"
+        );
+        let e = from_text(&empty).unwrap_err();
+        assert!(e.message.contains("empty loop"), "{e}");
+        let no_refs = format!(
+            "{HEADER}\narray a elem=8 len=4 align=64\n\
+             loop 4 compute=1 hoistable=0 hoist_bytes=0 name=memoryless\n"
+        );
+        let e = from_text(&no_refs).unwrap_err();
+        assert!(e.message.contains("touches no memory"), "{e}");
+    }
+
+    #[test]
+    fn hoistable_write_is_a_typed_error() {
+        let text = format!(
+            "{HEADER}\narray a elem=8 len=4 align=64\n\
+             loop 4 compute=1 hoistable=0 hoist_bytes=8 name=bad-hoist\n\
+             ref 0 mode=w bytes=8 hoistable=1 affine 0 1\n"
+        );
+        let e = from_text(&text).unwrap_err();
+        assert!(e.message.contains("read-only"), "{e}");
     }
 
     #[test]

@@ -31,6 +31,22 @@
 #     release_chunk's Release/Acquire edge (model-checked token handoff,
 #     invariant 1), so the value itself needs no ordering. A missed
 #     pairing only drops a latency sample; it can never affect results.
+#
+#   release_digest (runner.rs): the checksummed-handoff digest. Stored
+#     before `try_advance`'s Release store publishes the commit, loaded
+#     by the claimant after its Acquire claim CAS observes it — exactly
+#     the release_ns pattern, ordered by the token edge (VerifyModel
+#     invariant: verification happens-before downstream commit
+#     visibility). The digest is advisory next to the VerifyPacket slot
+#     (a Mutex, its own synchronization); a stale read can only cause a
+#     redundant verify, never a missed one.
+#
+#   scrubs (runner.rs): the arena-scrub pass counter. Bumped only by the
+#     supervisor (single-loop) or the end-of-loop barrier leader
+#     (sequence) and read into RunStats after `thread::scope` joins /
+#     the barrier's own AcqRel edge — every reader is already ordered
+#     after every writer, so the counter itself needs no ordering. Pure
+#     statistics; no protocol decision reads it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,7 +56,7 @@ RT=crates/runtime/src
 #   halt/unjournaled flags. The protocol is model-checked by
 #   DoAcrossModel in src/check.rs; the module uses no Relaxed orderings.
 ALLOWED_ATOMIC_FILES="barrier.rs govern.rs health.rs runner.rs sched.rs token.rs"
-ALLOW_RELAXED_RE='release_ns\.(load|store)\('
+ALLOW_RELAXED_RE='(release_ns|release_digest)\.(load|store)\(|scrubs\.(load|fetch_add)\('
 
 fail=0
 
